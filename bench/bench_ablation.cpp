@@ -1,0 +1,158 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   * consistency level (ONE / QUORUM / ALL) write cost,
+//   * replication factor vs availability under node failures,
+//   * memtable flush threshold (write-path amplification),
+//   * shuffle partition count for reduce-by-key jobs,
+//   * crash-recovery replay cost (commit log).
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "sparklite/dataset.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+titanlog::EventRecord mk_event(std::int64_t i) {
+  titanlog::EventRecord e;
+  e.ts = kT0 + i % 3600;
+  e.seq = i;
+  e.type = titanlog::EventType::kMemoryEcc;
+  e.node = static_cast<topo::NodeId>(i % 19200);
+  e.message = "EDAC MC0: 1 CE error on DIMM1 (addr 0x0 syndrome 0x0)";
+  return e;
+}
+
+/// Write latency at each consistency level (RF=3, 4 nodes).
+void BM_Ablation_ConsistencyWrite(benchmark::State& state) {
+  const auto consistency =
+      static_cast<cassalite::Consistency>(state.range(0));
+  cassalite::Cluster cluster(cluster_opts(4, 3));
+  HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto e = mk_event(i++);
+    benchmark::DoNotOptimize(cluster.insert(
+        std::string(model::kEventByTime),
+        model::event_time_key(hour_bucket(e.ts), e.type),
+        model::event_time_row(e), consistency));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ablation_ConsistencyWrite)
+    ->Arg(static_cast<int>(hpcla::cassalite::Consistency::kOne))
+    ->Arg(static_cast<int>(hpcla::cassalite::Consistency::kQuorum))
+    ->Arg(static_cast<int>(hpcla::cassalite::Consistency::kAll))
+    ->ArgName("one0_quorum1_all2");
+
+/// Availability: fraction of writes accepted at QUORUM while killing
+/// progressively more of an 8-node cluster, at RF 1 / 3 / 5.
+void BM_Ablation_AvailabilityUnderFailures(benchmark::State& state) {
+  const auto rf = static_cast<std::size_t>(state.range(0));
+  double worst_accept = 1.0;
+  for (auto _ : state) {
+    cassalite::Cluster cluster(cluster_opts(8, rf));
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    std::int64_t i = 0;
+    for (std::size_t kills = 0; kills <= 4; ++kills) {
+      if (kills > 0) cluster.kill_node(kills - 1);
+      int ok = 0;
+      constexpr int kTries = 200;
+      for (int t = 0; t < kTries; ++t) {
+        auto e = mk_event(i++);
+        ok += cluster.insert(std::string(model::kEventByTime),
+                             model::event_time_key(413185 + i % 50, e.type),
+                             model::event_time_row(e),
+                             cassalite::Consistency::kQuorum).is_ok();
+      }
+      worst_accept = std::min(
+          worst_accept, static_cast<double>(ok) / kTries);
+    }
+    benchmark::DoNotOptimize(worst_accept);
+  }
+  state.counters["accept_rate_4_dead"] = worst_accept;
+}
+BENCHMARK(BM_Ablation_AvailabilityUnderFailures)->Arg(1)->Arg(3)->Arg(5)
+    ->ArgName("rf");
+
+/// Memtable flush threshold: small thresholds trade write cost for many
+/// tiny SSTables (and compactions).
+void BM_Ablation_MemtableFlush(benchmark::State& state) {
+  const auto flush_bytes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  for (auto _ : state) {
+    cassalite::StorageOptions sopts;
+    sopts.memtable_flush_bytes = flush_bytes;
+    cassalite::StorageEngine engine(sopts);
+    for (std::int64_t i = 0; i < 5000; ++i) {
+      auto e = mk_event(i);
+      engine.apply(cassalite::WriteCommand{
+          std::string(model::kEventByTime),
+          model::event_time_key(hour_bucket(e.ts), e.type),
+          model::event_time_row(e)});
+    }
+    flushes = engine.metrics().memtable_flushes;
+    compactions = engine.metrics().compactions;
+    benchmark::DoNotOptimize(engine);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+  state.counters["flushes"] = static_cast<double>(flushes);
+  state.counters["compactions"] = static_cast<double>(compactions);
+}
+BENCHMARK(BM_Ablation_MemtableFlush)
+    ->Arg(16 << 10)->Arg(256 << 10)->Arg(8 << 20)
+    ->ArgName("flush_bytes");
+
+/// Shuffle partition count for a word-count-shaped reduce_by_key.
+void BM_Ablation_ShufflePartitions(benchmark::State& state) {
+  const auto parts = static_cast<std::size_t>(state.range(0));
+  sparklite::Engine engine(engine_opts(4));
+  Rng rng(3);
+  std::vector<std::pair<std::string, std::int64_t>> data;
+  data.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    data.emplace_back("term" + std::to_string(rng.zipf(5000, 1.1)), 1);
+  }
+  auto ds = sparklite::Dataset<std::pair<std::string, std::int64_t>>::
+      parallelize(engine, data, 8);
+  for (auto _ : state) {
+    auto reduced = sparklite::reduce_by_key(
+        ds, [](std::int64_t a, std::int64_t b) { return a + b; }, parts);
+    benchmark::DoNotOptimize(reduced.count());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_Ablation_ShufflePartitions)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->ArgName("shuffle_partitions");
+
+/// Crash recovery: replaying the commit log after losing the memtable.
+void BM_Ablation_CrashRecovery(benchmark::State& state) {
+  const auto rows = static_cast<std::int64_t>(state.range(0));
+  std::size_t replayed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cassalite::StorageEngine engine;  // default flush policy
+    for (std::int64_t i = 0; i < rows; ++i) {
+      auto e = mk_event(i);
+      // Spread across hour partitions like real ingest does.
+      e.ts = kT0 + (i % 24) * 3600 + i % 3600;
+      engine.apply(cassalite::WriteCommand{
+          std::string(model::kEventByTime),
+          model::event_time_key(hour_bucket(e.ts), e.type),
+          model::event_time_row(e)});
+    }
+    state.ResumeTiming();
+    replayed = engine.crash_and_recover();
+    HPCLA_CHECK(replayed <= static_cast<std::size_t>(rows));
+    benchmark::DoNotOptimize(replayed);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["replayed"] = static_cast<double>(replayed);
+}
+BENCHMARK(BM_Ablation_CrashRecovery)->Arg(1000)->Arg(10000)->Arg(20000)
+    ->ArgName("rows");
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// §V extensions: composite-event mining, application profiles, and the
+// precursor failure predictor — costs and quality counters on a day with
+// injected escalation chains.
+#include "bench_util.hpp"
+
+#include "analytics/app_profile.hpp"
+#include "analytics/composite.hpp"
+#include "analytics/prediction.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+using titanlog::EventType;
+
+LoadedStack& stack() {
+  static LoadedStack s = [] {
+    titanlog::ScenarioConfig cfg;
+    cfg.seed = 23;
+    cfg.window = TimeRange{kT0, kT0 + 6 * 3600};
+    cfg.background_scale = 0.5;
+    titanlog::HotspotSpec sick;
+    sick.type = EventType::kMemoryEcc;
+    sick.location = topo::Coord{9, 6, -1, -1, -1};
+    sick.window = cfg.window;
+    sick.rate_per_node_hour = 8.0;
+    sick.node_skew = 1.5;
+    cfg.hotspots.push_back(sick);
+    titanlog::CausalPairSpec ecc_mce;
+    ecc_mce.cause = EventType::kMemoryEcc;
+    ecc_mce.effect = EventType::kMachineCheck;
+    ecc_mce.lag_seconds = 120;
+    ecc_mce.probability = 0.1;
+    cfg.causal_pairs.push_back(ecc_mce);
+    titanlog::CausalPairSpec mce_panic;
+    mce_panic.cause = EventType::kMachineCheck;
+    mce_panic.effect = EventType::kKernelPanic;
+    mce_panic.lag_seconds = 300;
+    mce_panic.probability = 0.3;
+    cfg.causal_pairs.push_back(mce_panic);
+    cfg.jobs = titanlog::JobMixSpec{.users = 10, .apps = 6,
+                                    .jobs_per_hour = 40, .max_size_log2 = 6};
+    return LoadedStack(cluster_opts(4), engine_opts(4), cfg);
+  }();
+  return s;
+}
+
+analytics::Context whole_window() {
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 6 * 3600};
+  return ctx;
+}
+
+void BM_Ext_CompositeMining(benchmark::State& state) {
+  auto& s = stack();
+  const auto ctx = whole_window();
+  const auto rules = analytics::default_composite_rules();
+  std::size_t matches = 0;
+  for (auto _ : state) {
+    auto found = analytics::detect_composites(s.engine, s.cluster, ctx, rules);
+    matches = found.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_Ext_CompositeMining);
+
+void BM_Ext_AppProfiles(benchmark::State& state) {
+  auto& s = stack();
+  const auto ctx = whole_window();
+  std::size_t apps = 0;
+  for (auto _ : state) {
+    auto profiles = analytics::build_app_profiles(s.engine, s.cluster, ctx);
+    apps = profiles.size();
+    benchmark::DoNotOptimize(profiles);
+  }
+  state.counters["apps"] = static_cast<double>(apps);
+}
+BENCHMARK(BM_Ext_AppProfiles);
+
+void BM_Ext_Prediction(benchmark::State& state) {
+  auto& s = stack();
+  const auto ctx = whole_window();
+  analytics::PredictorConfig cfg;
+  cfg.precursors = {EventType::kMemoryEcc, EventType::kMachineCheck};
+  cfg.targets = {EventType::kKernelPanic};
+  cfg.threshold = state.range(0);
+  cfg.window_seconds = 3600;
+  cfg.lead_seconds = 3600;
+  double precision = 0.0;
+  double recall = 0.0;
+  for (auto _ : state) {
+    auto report = analytics::evaluate_predictor(s.engine, s.cluster, ctx, cfg);
+    precision = report.precision();
+    recall = report.recall();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["precision"] = precision;
+  state.counters["recall"] = recall;
+}
+BENCHMARK(BM_Ext_Prediction)->Arg(1)->Arg(3)->Arg(8)->ArgName("threshold");
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

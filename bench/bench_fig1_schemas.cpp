@@ -1,0 +1,123 @@
+// Fig 1 — dual event schemas (event_by_time / event_by_location).
+//
+// The paper stores every event twice so that both "all events of one type
+// in an hour" and "all events on one component in an hour" are single
+// time-ordered partition reads. This bench measures:
+//   * write amplification of the dual schema (rows/s into both tables),
+//   * the hour-slice read each schema makes cheap,
+//   * the mismatch cost: answering a location query from the by-time
+//     schema (scan + filter) vs from the by-location schema directly.
+#include "bench_util.hpp"
+
+#include "analytics/queries.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+using titanlog::EventType;
+
+LoadedStack& stack() {
+  static LoadedStack s(cluster_opts(4), engine_opts(4), mixed_scenario(2.0));
+  return s;
+}
+
+/// Write path: one event into both schema tables (what ingest does).
+void BM_Fig1_DualSchemaWrite(benchmark::State& state) {
+  cassalite::Cluster cluster(cluster_opts(4));
+  HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+  titanlog::EventRecord e;
+  e.type = EventType::kMachineCheck;
+  e.message = "MCE: Machine Check Exception bank 4 status 0xdead misc 0x0";
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    e.ts = kT0 + i % 3600;
+    e.node = static_cast<topo::NodeId>(i % topo::TitanGeometry::kTotalNodes);
+    e.seq = i++;
+    const auto hour = hour_bucket(e.ts);
+    benchmark::DoNotOptimize(cluster.insert(
+        std::string(model::kEventByTime), model::event_time_key(hour, e.type),
+        model::event_time_row(e)));
+    benchmark::DoNotOptimize(cluster.insert(
+        std::string(model::kEventByLocation),
+        model::event_location_key(hour, e.node), model::event_location_row(e)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tables_per_event"] = 2;
+}
+BENCHMARK(BM_Fig1_DualSchemaWrite);
+
+/// Read path A: one hour of one type — single by-time partition.
+void BM_Fig1_ReadHourByType(benchmark::State& state) {
+  auto& s = stack();
+  cassalite::ReadQuery q;
+  q.table = std::string(model::kEventByTime);
+  q.partition_key =
+      model::event_time_key(hour_bucket(kT0), EventType::kMachineCheck);
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto r = s.cluster.select(q);
+    HPCLA_CHECK(r.is_ok());
+    rows = r->rows.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_per_read"] = static_cast<double>(rows);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_Fig1_ReadHourByType);
+
+/// Read path B: one hour of one node — single by-location partition.
+void BM_Fig1_ReadHourByLocation(benchmark::State& state) {
+  auto& s = stack();
+  // Pick a node inside the hotspot cabinet so the partition is non-empty.
+  const topo::NodeId node = s.logs.events.front().node;
+  cassalite::ReadQuery q;
+  q.table = std::string(model::kEventByLocation);
+  q.partition_key = model::event_location_key(hour_bucket(kT0), node);
+  for (auto _ : state) {
+    auto r = s.cluster.select(q);
+    HPCLA_CHECK(r.is_ok());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_ReadHourByLocation);
+
+/// Mismatch: answering "events on this blade" from each schema. The
+/// planner picks by-location; forcing by-time scans all 9 type partitions
+/// of the hour and filters.
+void BM_Fig1_BladeQuery(benchmark::State& state) {
+  auto& s = stack();
+  const bool use_location_schema = state.range(0) == 1;
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 3600};
+  ctx.location = topo::Coord{2, 4, 0, 3, -1};  // one blade
+  const auto plan = use_location_schema ? analytics::ScanPlan::kByLocation
+                                        : analytics::ScanPlan::kByTime;
+  for (auto _ : state) {
+    auto keys = analytics::event_partition_keys(ctx, plan);
+    auto ds = sparklite::scan_table_keyed(
+        s.engine, s.cluster,
+        std::string(use_location_schema ? model::kEventByLocation
+                                        : model::kEventByTime),
+        std::move(keys));
+    // Count rows matching the blade (by-time path must filter).
+    analytics::Context filter = ctx;
+    auto count =
+        ds.filter([filter, use_location_schema](
+                      const std::pair<std::string, cassalite::Row>& kv) {
+            if (use_location_schema) return true;  // keys already exact
+            auto e = model::decode_event_time_row(kv.first, kv.second);
+            return e.is_ok() && filter.wants_node(e->node);
+          }).count();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["partitions_scanned"] = static_cast<double>(
+      analytics::event_partition_keys(ctx, plan).size());
+}
+BENCHMARK(BM_Fig1_BladeQuery)->Arg(0)->Arg(1)
+    ->ArgName("by_location_schema");
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Fig 3 — end-to-end architecture: frontend JSON -> analytics server ->
+// (query engine | big data unit) -> backend -> JSON response.
+//
+// Measures whole-round-trip latency for each query class, showing the
+// simple/complex split the architecture is built around, plus the
+// long-poll session overhead.
+#include "bench_util.hpp"
+
+#include "cassalite/cql.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+struct ServerStack {
+  LoadedStack stack;
+  server::AnalyticsServer server;
+
+  ServerStack()
+      : stack(cluster_opts(4), engine_opts(4), mixed_scenario(1.0, 4)),
+        server(stack.cluster, stack.engine) {
+    HPCLA_CHECK(model::load_eventtypes(stack.cluster).is_ok());
+  }
+};
+
+ServerStack& fixture() {
+  static ServerStack s;
+  return s;
+}
+
+const char* kSimpleSynopsis =
+    R"({"op":"synopsis","window":{"begin":1489449600,"end":1489456800}})";
+const char* kSimpleEvents =
+    R"({"op":"events","limit":100,
+        "context":{"window":{"begin":1489449600,"end":1489453200},
+                   "types":["MCE"]}})";
+const char* kComplexHeatmap =
+    R"({"op":"heatmap",
+        "context":{"window":{"begin":1489449600,"end":1489456800},
+                   "types":["MCE"]}})";
+const char* kComplexWordCount =
+    R"({"op":"word_count","top_k":10,
+        "context":{"window":{"begin":1489449600,"end":1489456800},
+                   "types":["LustreError"]}})";
+
+void run_query(benchmark::State& state, const char* query) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    auto response = f.server.handle_text(query);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Fig3_SimpleSynopsis(benchmark::State& state) {
+  run_query(state, kSimpleSynopsis);
+}
+BENCHMARK(BM_Fig3_SimpleSynopsis);
+
+void BM_Fig3_SimpleEventSlice(benchmark::State& state) {
+  run_query(state, kSimpleEvents);
+}
+BENCHMARK(BM_Fig3_SimpleEventSlice);
+
+void BM_Fig3_ComplexHeatmap(benchmark::State& state) {
+  run_query(state, kComplexHeatmap);
+}
+BENCHMARK(BM_Fig3_ComplexHeatmap);
+
+void BM_Fig3_ComplexWordCount(benchmark::State& state) {
+  run_query(state, kComplexWordCount);
+}
+BENCHMARK(BM_Fig3_ComplexWordCount);
+
+/// The CQL path: parse + schema validation + partition read.
+void BM_Fig3_CqlSelect(benchmark::State& state) {
+  auto& f = fixture();
+  const std::string query =
+      R"({"op":"cql","query":"SELECT * FROM event_by_time )"
+      R"(WHERE hour = 413736 AND type = 'MCE' LIMIT 100"})";
+  for (auto _ : state) {
+    auto response = f.server.handle_text(query);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_CqlSelect);
+
+/// CQL parse cost alone.
+void BM_Fig3_CqlParseOnly(benchmark::State& state) {
+  const std::string_view stmt =
+      "SELECT node, message FROM event_by_time WHERE hour = 413736 AND "
+      "type = 'MCE' AND ts >= 1489449600 AND ts < 1489453200 ORDER BY ts "
+      "DESC LIMIT 100";
+  for (auto _ : state) {
+    auto parsed = cassalite::parse_cql(stmt);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_CqlParseOnly);
+
+/// Long-poll session overhead on top of direct dispatch.
+void BM_Fig3_AsyncSessionRoundTrip(benchmark::State& state) {
+  auto& f = fixture();
+  server::AsyncSession session(f.server);
+  auto request = Json::parse(kSimpleSynopsis);
+  HPCLA_CHECK(request.is_ok());
+  for (auto _ : state) {
+    const auto ticket = session.submit(request.value());
+    auto response = session.wait(ticket);
+    HPCLA_CHECK(response.is_ok());
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_Fig3_AsyncSessionRoundTrip);
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

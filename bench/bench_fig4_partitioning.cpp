@@ -1,0 +1,98 @@
+// Fig 4 — (hour, type) partitions mapped over the token ring.
+//
+// "The partitions for events are designed to disperse overheads in both
+//  reading and writing data evenly over to the cluster nodes."
+//
+// Reports the balance (coefficient of variation of rows per node) of the
+// (hour, type) partitioning at the paper's 4-node example and the
+// deployment's 32 nodes, the degenerate type-only partitioning for
+// contrast, and the placement-lookup throughput of the ring itself.
+#include "bench_util.hpp"
+
+#include "common/stats.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+using titanlog::all_event_types;
+using titanlog::event_id;
+
+/// Rows-per-node CV for a keying scheme over a week of events.
+double placement_cv(std::size_t nodes, bool include_hour) {
+  cassalite::TokenRing ring(nodes, 64);
+  std::vector<double> load(nodes, 0.0);
+  // A week of hours x 9 types, weighted by a skewed per-type volume.
+  for (std::int64_t h = 0; h < 24 * 7; ++h) {
+    for (auto t : all_event_types()) {
+      const std::string key =
+          include_hour ? model::event_time_key(413185 + h, t)
+                       : std::string(event_id(t));
+      const double weight =
+          1.0 + 100.0 * titanlog::event_info(t).base_rate_per_node_hour;
+      load[ring.primary(key)] += weight;
+    }
+  }
+  RunningStats stats;
+  for (double v : load) stats.add(v);
+  return stats.cv();
+}
+
+void BM_Fig4_PartitionBalance(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  double cv_hour_type = 0.0;
+  double cv_type_only = 0.0;
+  for (auto _ : state) {
+    cv_hour_type = placement_cv(nodes, /*include_hour=*/true);
+    cv_type_only = placement_cv(nodes, /*include_hour=*/false);
+    benchmark::DoNotOptimize(cv_hour_type);
+  }
+  state.counters["cv_hour_type"] = cv_hour_type;
+  state.counters["cv_type_only"] = cv_type_only;
+}
+BENCHMARK(BM_Fig4_PartitionBalance)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->ArgName("nodes");
+
+/// Raw ring lookup throughput (hash + replica walk).
+void BM_Fig4_ReplicaLookup(benchmark::State& state) {
+  cassalite::TokenRing ring(static_cast<std::size_t>(state.range(0)), 64);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto reps = ring.replicas(
+        model::event_time_key(413185 + i++ % 1000,
+                              titanlog::EventType::kMachineCheck),
+        3);
+    benchmark::DoNotOptimize(reps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig4_ReplicaLookup)->Arg(4)->Arg(32)->ArgName("nodes");
+
+/// Write throughput scaling with node count: the same event volume spread
+/// over more nodes (RF fixed) — the "disperse overheads" claim.
+void BM_Fig4_WriteSpread(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  cassalite::Cluster cluster(cluster_opts(nodes, 3));
+  HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+  titanlog::EventRecord e;
+  e.type = titanlog::EventType::kMemoryEcc;
+  e.message = "EDAC MC0: 1 CE error on DIMM1 (addr 0x0 syndrome 0x0)";
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    e.ts = kT0 + i % (24 * 3600);
+    e.node = static_cast<topo::NodeId>(i % topo::TitanGeometry::kTotalNodes);
+    e.seq = i++;
+    benchmark::DoNotOptimize(cluster.insert(
+        std::string(model::kEventByTime),
+        model::event_time_key(hour_bucket(e.ts), e.type),
+        model::event_time_row(e)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig4_WriteSpread)->Arg(1)->Arg(4)->Arg(16)->Arg(32)
+    ->ArgName("nodes");
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

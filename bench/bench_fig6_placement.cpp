@@ -1,0 +1,76 @@
+// Fig 6 — event occurrences and application placement on the physical
+// system map: the two snapshot queries behind the interactive view, plus
+// the placement rendering and the event->application attribution.
+#include "bench_util.hpp"
+
+#include "analytics/distribution.hpp"
+#include "analytics/queries.hpp"
+#include "server/render.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+LoadedStack& stack() {
+  static LoadedStack s = [] {
+    auto cfg = mixed_scenario(1.0, 6);
+    cfg.jobs->jobs_per_hour = 120;
+    return LoadedStack(cluster_opts(4), engine_opts(4), cfg);
+  }();
+  return s;
+}
+
+/// "Applications running at time t" snapshot (Fig 6 bottom).
+void BM_Fig6_AppsRunningAt(benchmark::State& state) {
+  auto& s = stack();
+  const UnixSeconds t = kT0 + 3600;
+  std::size_t running = 0;
+  for (auto _ : state) {
+    auto jobs = analytics::apps_running_at(s.engine, s.cluster, t);
+    running = jobs.size();
+    benchmark::DoNotOptimize(jobs);
+  }
+  state.counters["running_jobs"] = static_cast<double>(running);
+}
+BENCHMARK(BM_Fig6_AppsRunningAt);
+
+/// "Events at time t" snapshot (Fig 6 top): a one-minute slice.
+void BM_Fig6_EventsAtInstant(benchmark::State& state) {
+  auto& s = stack();
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0 + 3600, kT0 + 3660};
+  for (auto _ : state) {
+    auto events = analytics::fetch_events(s.engine, s.cluster, ctx);
+    benchmark::DoNotOptimize(events);
+  }
+}
+BENCHMARK(BM_Fig6_EventsAtInstant);
+
+/// Full view refresh: snapshot + placement map rendering.
+void BM_Fig6_RenderPlacementMap(benchmark::State& state) {
+  auto& s = stack();
+  const UnixSeconds t = kT0 + 3600;
+  for (auto _ : state) {
+    auto jobs = analytics::apps_running_at(s.engine, s.cluster, t);
+    auto art = server::render_placement_map(jobs);
+    benchmark::DoNotOptimize(art);
+  }
+}
+BENCHMARK(BM_Fig6_RenderPlacementMap);
+
+/// Event->application attribution (which app absorbed each event).
+void BM_Fig6_EventAttribution(benchmark::State& state) {
+  auto& s = stack();
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 2 * 3600};
+  for (auto _ : state) {
+    auto dist = analytics::distribution(s.engine, s.cluster, ctx,
+                                        analytics::GroupBy::kApplication);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_Fig6_EventAttribution);
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

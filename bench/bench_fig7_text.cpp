@@ -1,0 +1,101 @@
+// Fig 7 (bottom) — text analytics over raw Lustre logs: the word-count job
+// that localizes a faulty OST during a storm, its scaling with workers,
+// and the TF-IDF storm-signature variant.
+#include "bench_util.hpp"
+
+#include "analytics/text.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+LoadedStack& stack() {
+  static LoadedStack s(cluster_opts(4), engine_opts(4),
+                       storm_scenario(/*msgs_per_second=*/150.0));
+  return s;
+}
+
+analytics::Context lustre_ctx() {
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 3600};
+  ctx.types = {titanlog::EventType::kLustreError};
+  return ctx;
+}
+
+/// The Fig 7 job: distributed word count over the storm's raw messages.
+void BM_Fig7_WordCountWorkers(benchmark::State& state) {
+  auto& s = stack();
+  sparklite::Engine engine(
+      engine_opts(static_cast<std::size_t>(state.range(0))));
+  const auto ctx = lustre_ctx();
+  std::string top_term;
+  for (auto _ : state) {
+    auto terms = analytics::word_count(engine, s.cluster, ctx, 10);
+    HPCLA_CHECK(!terms.empty());
+    top_term = terms.front().term;
+    benchmark::DoNotOptimize(terms);
+  }
+  state.counters["found_ost0042"] = top_term == "ost0042" ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Fig7_WordCountWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("workers")->UseRealTime();
+
+/// Tokenizer throughput on realistic Lustre payloads.
+void BM_Fig7_Tokenize(benchmark::State& state) {
+  auto& s = stack();
+  // Gather a million-character corpus of real generated messages.
+  std::vector<std::string> messages;
+  for (const auto& e : s.logs.events) {
+    if (e.type == titanlog::EventType::kLustreError) {
+      messages.push_back(e.message);
+      if (messages.size() >= 5000) break;
+    }
+  }
+  std::size_t i = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto& m = messages[i++ % messages.size()];
+    bytes += m.size();
+    benchmark::DoNotOptimize(analytics::tokenize(m));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Fig7_Tokenize);
+
+/// TF-IDF storm signature over 1-minute buckets.
+void BM_Fig7_StormSignature(benchmark::State& state) {
+  auto& s = stack();
+  const auto ctx = lustre_ctx();
+  std::string top_term;
+  for (auto _ : state) {
+    auto terms = analytics::storm_signature(s.engine, s.cluster, ctx, 60, 10);
+    HPCLA_CHECK(!terms.empty());
+    top_term = terms.front().term;
+    benchmark::DoNotOptimize(terms);
+  }
+  state.counters["found_ost0042"] = top_term == "ost0042" ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Fig7_StormSignature);
+
+/// Scaling with storm volume: the "tens of thousands of messages" claim.
+void BM_Fig7_WordCountVolume(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  LoadedStack local(cluster_opts(4), engine_opts(4),
+                    storm_scenario(rate, /*seed=*/20 + state.range(0)));
+  const auto ctx = lustre_ctx();
+  std::size_t events = 0;
+  for (const auto& e : local.logs.events) {
+    events += e.type == titanlog::EventType::kLustreError ? 1 : 0;
+  }
+  for (auto _ : state) {
+    auto terms = analytics::word_count(local.engine, local.cluster, ctx, 10);
+    benchmark::DoNotOptimize(terms);
+  }
+  state.counters["lustre_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_Fig7_WordCountVolume)->Arg(30)->Arg(100)->Arg(300)
+    ->ArgName("storm_msgs_per_s");
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// Fig 7 (top) — transfer entropy between two event types over a selected
+// interval: the full pipeline (series extraction from the store + TE), the
+// raw estimator's scaling with series length and quantization levels, and
+// the lag-profile sweep.
+#include "bench_util.hpp"
+
+#include "analytics/timeseries.hpp"
+#include "analytics/transfer_entropy.hpp"
+#include "common/rng.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+using titanlog::EventType;
+
+LoadedStack& stack() {
+  static LoadedStack s = [] {
+    titanlog::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.window = TimeRange{kT0, kT0 + 6 * 3600};
+    cfg.background_scale = 0.3;
+    titanlog::HotspotSpec net;
+    net.type = EventType::kNetworkError;
+    net.location = topo::Coord{3, 0, -1, -1, -1};
+    net.window = cfg.window;
+    net.rate_per_node_hour = 2.0;
+    net.node_skew = 0.0;
+    cfg.hotspots.push_back(net);
+    titanlog::CausalPairSpec pair;
+    pair.cause = EventType::kNetworkError;
+    pair.effect = EventType::kLustreError;
+    pair.lag_seconds = 30;
+    pair.probability = 0.85;
+    cfg.causal_pairs.push_back(pair);
+    return LoadedStack(cluster_opts(4), engine_opts(4), cfg);
+  }();
+  return s;
+}
+
+/// Whole pipeline: fetch both series from the store, compute TE both ways.
+void BM_Fig7_TePipeline(benchmark::State& state) {
+  auto& s = stack();
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 6 * 3600};
+  double net_margin = 0.0;
+  for (auto _ : state) {
+    auto x = analytics::event_series(s.engine, s.cluster, ctx,
+                                     EventType::kNetworkError, 30);
+    auto y = analytics::event_series(s.engine, s.cluster, ctx,
+                                     EventType::kLustreError, 30);
+    auto r = analytics::transfer_entropy_pair(x, y);
+    net_margin = r.net();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["te_net_margin_bits"] = net_margin;
+}
+BENCHMARK(BM_Fig7_TePipeline);
+
+/// Estimator cost vs series length (synthetic coupled series).
+void BM_Fig7_TeEstimatorLength(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> x(n);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) x[t] = rng.chance(0.3) ? 1.0 : 0.0;
+  for (std::size_t t = 0; t + 1 < n; ++t) y[t + 1] = x[t];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytics::transfer_entropy(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fig7_TeEstimatorLength)
+    ->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)
+    ->ArgName("samples");
+
+/// Ablation: quantization levels (2 = presence/absence .. 8).
+void BM_Fig7_TeQuantization(benchmark::State& state) {
+  const int levels = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const std::size_t n = 1 << 14;
+  std::vector<double> x(n);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = static_cast<double>(rng.next_below(10));
+  }
+  for (std::size_t t = 0; t + 1 < n; ++t) y[t + 1] = x[t];
+  double te = 0.0;
+  for (auto _ : state) {
+    te = analytics::transfer_entropy(x, y, levels);
+    benchmark::DoNotOptimize(te);
+  }
+  state.counters["te_bits"] = te;
+}
+BENCHMARK(BM_Fig7_TeQuantization)->Arg(2)->Arg(3)->Arg(4)->Arg(8)
+    ->ArgName("levels");
+
+/// The lag-profile sweep the Fig 7 plot is made of.
+void BM_Fig7_TeLagProfile(benchmark::State& state) {
+  auto& s = stack();
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 6 * 3600};
+  auto x = analytics::event_series(s.engine, s.cluster, ctx,
+                                   EventType::kNetworkError, 15);
+  auto y = analytics::event_series(s.engine, s.cluster, ctx,
+                                   EventType::kLustreError, 15);
+  std::size_t peak_shift = 0;
+  for (auto _ : state) {
+    auto profile = analytics::transfer_entropy_profile(x, y, 16);
+    peak_shift = static_cast<std::size_t>(
+        std::max_element(profile.begin(), profile.end()) - profile.begin());
+    benchmark::DoNotOptimize(profile);
+  }
+  state.counters["peak_shift_bins"] = static_cast<double>(peak_shift);
+}
+BENCHMARK(BM_Fig7_TeLagProfile);
+
+/// Cross-correlation comparison point (the cheaper linear analogue).
+void BM_Fig7_CrossCorrelation(benchmark::State& state) {
+  auto& s = stack();
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 6 * 3600};
+  auto x = analytics::event_series(s.engine, s.cluster, ctx,
+                                   EventType::kNetworkError, 15);
+  auto y = analytics::event_series(s.engine, s.cluster, ctx,
+                                   EventType::kLustreError, 15);
+  for (auto _ : state) {
+    auto corr = analytics::cross_correlation(x, y, 16);
+    benchmark::DoNotOptimize(corr);
+  }
+}
+BENCHMARK(BM_Fig7_CrossCorrelation);
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

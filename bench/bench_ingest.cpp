@@ -1,0 +1,121 @@
+// §III-D claims — data ingestion:
+//   * batch import "implements parsing and uploading using Apache Spark":
+//     ETL throughput scales with sparklite workers;
+//   * streaming mode coalesces same-type/same-location/same-second events
+//     in 1 s windows: measured end-to-end throughput and coalesce ratio.
+#include "bench_util.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+const std::vector<titanlog::LogLine>& raw_lines() {
+  static const std::vector<titanlog::LogLine> lines = [] {
+    auto cfg = mixed_scenario(1.0, 9);
+    auto logs = titanlog::Generator(cfg).generate();
+    return titanlog::render_all(logs);
+  }();
+  return lines;
+}
+
+/// Full batch ETL (regex parse + upload) vs worker count.
+void BM_Ingest_BatchEtlWorkers(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto& lines = raw_lines();
+  for (auto _ : state) {
+    state.PauseTiming();
+    cassalite::Cluster cluster(cluster_opts(4));
+    sparklite::Engine engine(engine_opts(workers));
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    model::BatchIngestor ingestor(cluster, engine);
+    state.ResumeTiming();
+    auto report = ingestor.ingest_lines(lines);
+    HPCLA_CHECK(report.parse.malformed == 0);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+  state.counters["lines"] = static_cast<double>(lines.size());
+}
+BENCHMARK(BM_Ingest_BatchEtlWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("workers")->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Parse-only stage (the regex cost the Spark parallelization targets).
+void BM_Ingest_ParseOnly(benchmark::State& state) {
+  const auto& lines = raw_lines();
+  titanlog::LogParser parser;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto parsed = parser.parse_line(lines[i++ % lines.size()].text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ingest_ParseOnly);
+
+/// Upload-only stage (pre-parsed records).
+void BM_Ingest_UploadOnly(benchmark::State& state) {
+  auto cfg = mixed_scenario(0.5, 10);
+  auto logs = titanlog::Generator(cfg).generate();
+  for (auto _ : state) {
+    state.PauseTiming();
+    cassalite::Cluster cluster(cluster_opts(4));
+    sparklite::Engine engine(engine_opts(4));
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    model::BatchIngestor ingestor(cluster, engine);
+    state.ResumeTiming();
+    auto report = ingestor.ingest_records(logs.events, logs.jobs);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(logs.events.size()));
+}
+BENCHMARK(BM_Ingest_UploadOnly)->Unit(benchmark::kMillisecond);
+
+/// Streaming ingest end to end with a *concentrated* storm (one failing
+/// cabinet's clients spam the same seconds -> high coalesce ratio) vs
+/// quiet background (ratio ~1). Coalescing pays exactly when a few
+/// components flood the stream — the §III-D design point.
+void BM_Ingest_Streaming(benchmark::State& state) {
+  const bool stormy = state.range(0) == 1;
+  auto cfg = mixed_scenario(0.5, 11);
+  if (stormy) {
+    cfg = titanlog::ScenarioConfig{};
+    cfg.seed = 11;
+    cfg.window = TimeRange{kT0, kT0 + 3600};
+    cfg.background_scale = 0.2;
+    titanlog::LustreStormSpec storm;
+    storm.start = kT0 + 1800;
+    storm.duration_seconds = 120;
+    storm.messages_per_second = 200.0;
+    storm.affected_node_fraction = 0.001;  // ~19 chatty nodes
+    cfg.storms.push_back(storm);
+  }
+  auto logs = titanlog::Generator(cfg).generate();
+  double ratio = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cassalite::Cluster cluster(cluster_opts(4));
+    sparklite::Engine engine(engine_opts(4));
+    buslite::Broker broker;
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    HPCLA_CHECK(broker.create_topic("ev", {.partitions = 8}).is_ok());
+    model::EventPublisher pub(broker, "ev");
+    for (const auto& e : logs.events) HPCLA_CHECK(pub.publish(e).is_ok());
+    model::StreamingIngestor ingestor(cluster, engine, broker, "ev");
+    state.ResumeTiming();
+    auto report = ingestor.process_available();
+    ratio = report.coalesce_ratio();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(logs.events.size()));
+  state.counters["coalesce_ratio"] = ratio;
+  state.counters["messages"] = static_cast<double>(logs.events.size());
+}
+BENCHMARK(BM_Ingest_Streaming)->Arg(0)->Arg(1)
+    ->ArgName("storm")->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// §III-A claim — Spark/Cassandra co-location for data locality:
+// "We selected this configuration to maximize data locality for the
+//  computation performed by the analytic algorithms ... By associating
+//  local partitions with the same local Spark worker, the big data
+//  processing unit performs analytics efficiently."
+//
+// The same heat-map job runs with locality-aware vs locality-blind task
+// placement under a simulated network cost per remote partition fetch.
+// Counters report the local/remote split that drives the gap.
+#include "bench_util.hpp"
+
+#include "analytics/heatmap.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+LoadedStack& stack() {
+  static LoadedStack s(cluster_opts(8), engine_opts(8), mixed_scenario(2.0, 8));
+  return s;
+}
+
+void run_heatmap(benchmark::State& state, bool locality, int penalty_us) {
+  auto& s = stack();
+  sparklite::Engine engine(engine_opts(8, locality, penalty_us));
+  analytics::Context ctx;
+  ctx.window = TimeRange{kT0, kT0 + 2 * 3600};
+  for (auto _ : state) {
+    auto hm = analytics::build_heatmap(engine, s.cluster, ctx);
+    benchmark::DoNotOptimize(hm);
+  }
+  const auto m = engine.metrics();
+  const double tasks = static_cast<double>(m.local_tasks + m.remote_fetches);
+  state.counters["local_fraction"] =
+      tasks > 0 ? static_cast<double>(m.local_tasks) / tasks : 0.0;
+  state.counters["remote_fetches"] = static_cast<double>(m.remote_fetches);
+}
+
+void BM_Locality_Aware(benchmark::State& state) {
+  run_heatmap(state, /*locality=*/true, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Locality_Aware)->Arg(0)->Arg(50)->Arg(200)
+    ->ArgName("remote_penalty_us")->UseRealTime();
+
+void BM_Locality_Blind(benchmark::State& state) {
+  run_heatmap(state, /*locality=*/false, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Locality_Blind)->Arg(0)->Arg(50)->Arg(200)
+    ->ArgName("remote_penalty_us")->UseRealTime();
+
+/// Scan-only variant isolating the storage-access stage.
+void BM_Locality_ScanOnly(benchmark::State& state) {
+  auto& s = stack();
+  const bool locality = state.range(0) == 1;
+  sparklite::Engine engine(engine_opts(8, locality, 100));
+  for (auto _ : state) {
+    auto count = sparklite::scan_table(engine, s.cluster,
+                                       std::string(model::kEventByTime))
+                     .count();
+    benchmark::DoNotOptimize(count);
+  }
+  const auto m = engine.metrics();
+  state.counters["remote_fetches"] = static_cast<double>(m.remote_fetches);
+}
+BENCHMARK(BM_Locality_ScanOnly)->Arg(1)->Arg(0)
+    ->ArgName("locality_aware")->UseRealTime();
+
+}  // namespace
+}  // namespace hpcla::bench
+
+BENCHMARK_MAIN();

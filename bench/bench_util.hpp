@@ -1,0 +1,95 @@
+// Shared scaffolding for the figure-reproduction benches: canned scenarios,
+// loaded-cluster fixtures, and counters helpers. Each bench binary
+// regenerates the content of one paper figure/claim (see DESIGN.md §4 and
+// EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "model/ingest.hpp"
+#include "model/streaming_ingest.hpp"
+#include "model/tables.hpp"
+#include "server/server.hpp"
+#include "titanlog/generator.hpp"
+
+namespace hpcla::bench {
+
+constexpr UnixSeconds kT0 = 1489449600;  // 2017-03-14 00:00:00 UTC
+
+/// Cluster + engine + data model, with a scenario already ingested.
+struct LoadedStack {
+  cassalite::Cluster cluster;
+  sparklite::Engine engine;
+  titanlog::GeneratedLogs logs;
+
+  LoadedStack(cassalite::ClusterOptions copts, sparklite::EngineOptions eopts,
+              const titanlog::ScenarioConfig& cfg)
+      : cluster(copts), engine(eopts) {
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    logs = titanlog::Generator(cfg).generate();
+    model::BatchIngestor ingestor(cluster, engine);
+    auto report = ingestor.ingest_records(logs.events, logs.jobs);
+    HPCLA_CHECK(report.write_failures == 0);
+  }
+};
+
+inline cassalite::ClusterOptions cluster_opts(std::size_t nodes,
+                                              std::size_t rf = 3) {
+  cassalite::ClusterOptions o;
+  o.node_count = nodes;
+  o.replication_factor = rf;
+  return o;
+}
+
+inline sparklite::EngineOptions engine_opts(std::size_t workers,
+                                            bool locality = true,
+                                            int penalty_us = 0) {
+  sparklite::EngineOptions o;
+  o.workers = workers;
+  o.locality_aware = locality;
+  o.remote_fetch_penalty_us = penalty_us;
+  return o;
+}
+
+/// A two-hour mixed scenario: background + one MCE hotspot + job mix.
+/// `scale` multiplies the background volume.
+inline titanlog::ScenarioConfig mixed_scenario(double scale = 1.0,
+                                               std::uint64_t seed = 1) {
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.window = TimeRange{kT0, kT0 + 2 * 3600};
+  cfg.background_scale = scale;
+  titanlog::HotspotSpec hs;
+  hs.type = titanlog::EventType::kMachineCheck;
+  hs.location = topo::Coord{4, 2, -1, -1, -1};
+  hs.window = TimeRange{kT0, kT0 + 3600};
+  hs.rate_per_node_hour = 6.0;
+  cfg.hotspots.push_back(hs);
+  titanlog::JobMixSpec jobs;
+  jobs.users = 10;
+  jobs.apps = 6;
+  jobs.jobs_per_hour = 40;
+  jobs.max_size_log2 = 6;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+/// A storm-heavy Lustre scenario for the text benches.
+inline titanlog::ScenarioConfig storm_scenario(double msgs_per_second,
+                                               std::uint64_t seed = 2) {
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.window = TimeRange{kT0, kT0 + 3600};
+  cfg.background_scale = 1.0;
+  titanlog::LustreStormSpec storm;
+  storm.start = kT0 + 1800;
+  storm.duration_seconds = 300;
+  storm.ost_index = 0x42;
+  storm.messages_per_second = msgs_per_second;
+  cfg.storms.push_back(storm);
+  return cfg;
+}
+
+}  // namespace hpcla::bench

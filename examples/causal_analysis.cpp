@@ -1,0 +1,115 @@
+// Causal analysis between event streams — the paper's Fig 7 (top):
+// "the transfer entropy plot of two events measured within a selected time
+// window ... can provide a causal relationship between the two."
+//
+// We inject a genuine coupling — Gemini network errors trigger Lustre
+// errors ~30 s later on the same node — and show that transfer entropy is
+// strongly directional (TE(net->lustre) >> TE(lustre->net)), that the TE
+// lag profile peaks at the injected delay, and that a control pair of
+// independent streams shows no such structure.
+//
+//   ./build/examples/causal_analysis
+#include <algorithm>
+#include <cstdio>
+
+#include "analytics/timeseries.hpp"
+#include "analytics/transfer_entropy.hpp"
+#include "model/ingest.hpp"
+#include "titanlog/generator.hpp"
+
+using namespace hpcla;
+using titanlog::EventType;
+
+int main() {
+  constexpr UnixSeconds kT0 = 1489449600;
+  constexpr std::int64_t kBin = 15;  // seconds per bin
+  constexpr std::int64_t kLag = 30;  // injected causal delay (2 bins)
+
+  cassalite::ClusterOptions copts;
+  copts.node_count = 4;
+  copts.replication_factor = 2;
+  cassalite::Cluster cluster(copts);
+  sparklite::Engine engine(sparklite::EngineOptions{.workers = 4});
+  HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = 12;
+  cfg.window = TimeRange{kT0, kT0 + 6 * 3600};
+  cfg.background_scale = 0.0;  // isolate the coupling
+  // Network errors across one row of cabinets.
+  titanlog::HotspotSpec net;
+  net.type = EventType::kNetworkError;
+  net.location = topo::Coord{3, 0, -1, -1, -1};
+  net.window = cfg.window;
+  net.rate_per_node_hour = 2.0;
+  net.node_skew = 0.0;
+  cfg.hotspots.push_back(net);
+  // Independent control stream: DVS chatter elsewhere.
+  titanlog::HotspotSpec dvs;
+  dvs.type = EventType::kDvsError;
+  dvs.location = topo::Coord{20, 5, -1, -1, -1};
+  dvs.window = cfg.window;
+  dvs.rate_per_node_hour = 2.0;
+  dvs.node_skew = 0.0;
+  cfg.hotspots.push_back(dvs);
+  // The coupling under study.
+  titanlog::CausalPairSpec pair;
+  pair.cause = EventType::kNetworkError;
+  pair.effect = EventType::kLustreError;
+  pair.lag_seconds = kLag;
+  pair.probability = 0.85;
+  pair.lag_jitter_seconds = 3;
+  cfg.causal_pairs.push_back(pair);
+  auto logs = titanlog::Generator(cfg).generate();
+
+  model::BatchIngestor ingestor(cluster, engine);
+  (void)ingestor.ingest_records(logs.events, logs.jobs);
+
+  analytics::Context ctx;
+  ctx.window = cfg.window;
+  auto net_series = analytics::event_series(engine, cluster, ctx,
+                                            EventType::kNetworkError, kBin);
+  auto lustre_series = analytics::event_series(engine, cluster, ctx,
+                                               EventType::kLustreError, kBin);
+  auto dvs_series = analytics::event_series(engine, cluster, ctx,
+                                            EventType::kDvsError, kBin);
+
+  // Lag profiles in both directions: a history-1 TE estimator only sees
+  // one step ahead, so the coupling appears at shift = lag_bins - 1 of the
+  // forward profile, and nowhere in the reverse profile.
+  auto fwd = analytics::transfer_entropy_profile(net_series, lustre_series, 8);
+  auto rev = analytics::transfer_entropy_profile(lustre_series, net_series, 8);
+  auto ctl = analytics::transfer_entropy_profile(dvs_series, lustre_series, 8);
+  std::printf("TE lag profiles (bits), %llds bins, injected lag = %llds = "
+              "%lld bins:\n",
+              static_cast<long long>(kBin), static_cast<long long>(kLag),
+              static_cast<long long>(kLag / kBin));
+  std::printf("  %-7s %-22s %-22s %s\n", "shift", "TE(net->lustre)",
+              "TE(lustre->net)", "TE(dvs->lustre, control)");
+  for (std::size_t s = 0; s < fwd.size(); ++s) {
+    std::printf("  %-7zu %.4f %-15s %.4f %-15s %.4f\n", s, fwd[s],
+                std::string(static_cast<std::size_t>(fwd[s] * 100), '#')
+                    .c_str(),
+                rev[s],
+                std::string(static_cast<std::size_t>(rev[s] * 100), '#')
+                    .c_str(),
+                ctl[s]);
+  }
+  const double fwd_peak = *std::max_element(fwd.begin(), fwd.end());
+  const double rev_peak = *std::max_element(rev.begin(), rev.end());
+  const auto fwd_peak_shift = static_cast<std::size_t>(
+      std::max_element(fwd.begin(), fwd.end()) - fwd.begin());
+
+  // Cross-correlation agrees on the lag.
+  auto corr = analytics::cross_correlation(net_series, lustre_series, 8);
+  std::printf("\ncross-correlation peak lag: %lld bins\n",
+              static_cast<long long>(analytics::peak_lag(corr, 8)));
+
+  std::printf("\n=> net drives lustre: TE peak %.4f bits at shift %zu "
+              "(lag %lld s); reverse direction peaks at only %.4f bits.\n",
+              fwd_peak, fwd_peak_shift,
+              static_cast<long long>((fwd_peak_shift + 1) *
+                                     static_cast<std::size_t>(kBin)),
+              rev_peak);
+  return 0;
+}

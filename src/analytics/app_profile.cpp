@@ -1,0 +1,89 @@
+#include "analytics/app_profile.hpp"
+
+#include <algorithm>
+
+namespace hpcla::analytics {
+
+using titanlog::EventRecord;
+using titanlog::JobRecord;
+
+Json AppProfile::to_json() const {
+  Json j = Json::object();
+  j["app"] = app;
+  j["runs"] = runs;
+  j["failed_runs"] = failed_runs;
+  j["failure_rate"] = failure_rate();
+  j["node_hours"] = node_hours;
+  Json counts = Json::object();
+  for (const auto& [type, count] : event_counts) {
+    counts[std::string(titanlog::event_id(type))] = count;
+  }
+  j["event_counts"] = std::move(counts);
+  j["events_per_node_hour"] = total_rate();
+  return j;
+}
+
+std::vector<AppProfile> build_app_profiles(sparklite::Engine& engine,
+                                           const cassalite::Cluster& cluster,
+                                           const Context& ctx) {
+  auto jobs = fetch_jobs(engine, cluster, ctx);
+  Context event_ctx;
+  event_ctx.window = ctx.window;
+  event_ctx.location = ctx.location;
+  event_ctx.types = ctx.types;
+  auto events = fetch_events(engine, cluster, event_ctx);
+
+  // Interval index: node -> (start, end, job*) sorted by start.
+  struct Span {
+    UnixSeconds start;
+    UnixSeconds end;
+    const JobRecord* job;
+  };
+  std::map<topo::NodeId, std::vector<Span>> by_node;
+  for (const auto& job : jobs) {
+    for (const auto node : job.nodes) {
+      by_node[node].push_back(Span{job.start, job.end, &job});
+    }
+  }
+  for (auto& [_, spans] : by_node) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+  }
+
+  std::map<std::string, AppProfile> profiles;
+  for (const auto& job : jobs) {
+    auto& p = profiles[job.app_name];
+    p.app = job.app_name;
+    ++p.runs;
+    p.failed_runs += job.failed() ? 1 : 0;
+    // Node-hours clipped to the analysis window.
+    const auto begin = std::max(job.start, ctx.window.begin);
+    const auto end = std::min(job.end, ctx.window.end);
+    if (end > begin) {
+      p.node_hours += static_cast<double>(end - begin) / kSecondsPerHour *
+                      static_cast<double>(job.nodes.size());
+    }
+  }
+  for (const auto& e : events) {
+    const auto it = by_node.find(e.node);
+    if (it == by_node.end()) continue;
+    for (const Span& span : it->second) {
+      if (span.start > e.ts) break;
+      if (e.ts < span.end) {
+        auto& p = profiles[span.job->app_name];
+        p.event_counts[e.type] += e.count;
+        break;  // a node runs one job at a time
+      }
+    }
+  }
+
+  std::vector<AppProfile> out;
+  out.reserve(profiles.size());
+  for (auto& [_, p] : profiles) out.push_back(std::move(p));
+  std::sort(out.begin(), out.end(), [](const AppProfile& a, const AppProfile& b) {
+    return a.total_rate() > b.total_rate();
+  });
+  return out;
+}
+
+}  // namespace hpcla::analytics

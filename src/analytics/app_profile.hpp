@@ -1,0 +1,58 @@
+// Application profiles (paper §V, future work):
+//
+// "Second, the framework will need to develop application profiles in
+//  terms of events occurred during its runs. This will help understand
+//  correlations between application runtime characteristics and variations
+//  observed in the system on account of faults and errors."
+//
+// An AppProfile aggregates, per application name, the events that landed
+// on the application's nodes while it ran — normalized by node-hours so
+// large/long jobs don't dominate — plus run/failure statistics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+struct AppProfile {
+  std::string app;
+  std::int64_t runs = 0;
+  std::int64_t failed_runs = 0;
+  double node_hours = 0.0;
+  /// Events on the app's nodes during its runs, by type.
+  std::map<titanlog::EventType, std::int64_t> event_counts;
+
+  [[nodiscard]] double failure_rate() const noexcept {
+    return runs ? static_cast<double>(failed_runs) / static_cast<double>(runs)
+                : 0.0;
+  }
+  /// Events of one type per node-hour of this application.
+  [[nodiscard]] double rate(titanlog::EventType type) const {
+    const auto it = event_counts.find(type);
+    if (it == event_counts.end() || node_hours <= 0.0) return 0.0;
+    return static_cast<double>(it->second) / node_hours;
+  }
+  /// All-type event rate per node-hour.
+  [[nodiscard]] double total_rate() const {
+    std::int64_t total = 0;
+    for (const auto& [_, c] : event_counts) total += c;
+    return node_hours > 0.0 ? static_cast<double>(total) / node_hours : 0.0;
+  }
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Builds profiles for every application with runs overlapping the
+/// context's window (restricted by the context's app/user filters).
+/// Profiles are keyed by application name and sorted by total event rate,
+/// highest first.
+std::vector<AppProfile> build_app_profiles(sparklite::Engine& engine,
+                                           const cassalite::Cluster& cluster,
+                                           const Context& ctx);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,88 @@
+#include "analytics/assoc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+namespace hpcla::analytics {
+
+using titanlog::EventType;
+using titanlog::kEventTypeCount;
+
+Json AssocRule::to_json() const {
+  Json j = Json::object();
+  j["lhs"] = std::string(titanlog::event_id(lhs));
+  j["rhs"] = std::string(titanlog::event_id(rhs));
+  j["pair_count"] = pair_count;
+  j["support"] = support;
+  j["confidence"] = confidence;
+  j["lift"] = lift;
+  return j;
+}
+
+std::vector<AssocRule> mine_association_rules(
+    const std::vector<titanlog::EventRecord>& events,
+    const AssocConfig& config) {
+  HPCLA_CHECK_MSG(config.bucket_seconds > 0, "bucket_seconds must be > 0");
+
+  // Build baskets: (node, bucket) -> bitmask of present types.
+  std::map<std::pair<topo::NodeId, std::int64_t>, std::uint32_t> baskets;
+  for (const auto& e : events) {
+    const std::int64_t bucket = e.ts / config.bucket_seconds -
+                                (e.ts % config.bucket_seconds < 0 ? 1 : 0);
+    baskets[{e.node, bucket}] |=
+        1u << static_cast<unsigned>(static_cast<std::uint8_t>(e.type));
+  }
+  const auto n = static_cast<double>(baskets.size());
+  if (baskets.empty()) return {};
+
+  // Singleton and pair counts (9 types -> tiny dense tables).
+  std::array<std::int64_t, kEventTypeCount> single{};
+  std::array<std::array<std::int64_t, kEventTypeCount>, kEventTypeCount>
+      pair{};
+  for (const auto& [_, mask] : baskets) {
+    for (std::size_t a = 0; a < kEventTypeCount; ++a) {
+      if (!(mask & (1u << a))) continue;
+      ++single[a];
+      for (std::size_t b = 0; b < kEventTypeCount; ++b) {
+        if (b != a && (mask & (1u << b))) ++pair[a][b];
+      }
+    }
+  }
+
+  std::vector<AssocRule> out;
+  for (std::size_t a = 0; a < kEventTypeCount; ++a) {
+    if (single[a] == 0) continue;
+    for (std::size_t b = 0; b < kEventTypeCount; ++b) {
+      if (a == b || pair[a][b] == 0) continue;
+      AssocRule rule;
+      rule.lhs = static_cast<EventType>(a);
+      rule.rhs = static_cast<EventType>(b);
+      rule.pair_count = pair[a][b];
+      rule.support = static_cast<double>(pair[a][b]) / n;
+      rule.confidence =
+          static_cast<double>(pair[a][b]) / static_cast<double>(single[a]);
+      const double p_rhs = static_cast<double>(single[b]) / n;
+      rule.lift = p_rhs > 0.0 ? rule.confidence / p_rhs : 0.0;
+      if (rule.support >= config.min_support &&
+          rule.confidence >= config.min_confidence) {
+        out.push_back(rule);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const AssocRule& x, const AssocRule& y) {
+    if (x.lift != y.lift) return x.lift > y.lift;
+    if (x.confidence != y.confidence) return x.confidence > y.confidence;
+    return x.pair_count > y.pair_count;
+  });
+  return out;
+}
+
+std::vector<AssocRule> mine_association_rules(sparklite::Engine& engine,
+                                              const cassalite::Cluster& cluster,
+                                              const Context& ctx,
+                                              const AssocConfig& config) {
+  return mine_association_rules(fetch_events(engine, cluster, ctx), config);
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,56 @@
+// Association-rule mining over event co-occurrence (paper §II-A):
+//
+// "The foundation of the analytics framework on such a data model will
+//  support a variety of statistical or data mining techniques, such as
+//  association rules [1], decision trees, cross correlation, Bayesian
+//  network, etc., to be applied to the system log data."
+//
+// Transactions are (node, time-bucket) baskets of the event types observed
+// there; rules A => B are scored with the classic support / confidence /
+// lift measures. High-lift rules surface type pairs that co-occur on the
+// same component far more often than chance — the "persistent behavioral
+// patterns" the introduction promises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+struct AssocConfig {
+  /// Basket granularity: one transaction per (node, bucket).
+  std::int64_t bucket_seconds = 600;
+  /// Minimum fraction of transactions containing {A, B}.
+  double min_support = 0.001;
+  /// Minimum P(B | A).
+  double min_confidence = 0.3;
+};
+
+/// One mined rule A => B.
+struct AssocRule {
+  titanlog::EventType lhs;
+  titanlog::EventType rhs;
+  std::int64_t pair_count = 0;   ///< transactions containing both
+  double support = 0.0;          ///< pair_count / transactions
+  double confidence = 0.0;       ///< pair_count / count(lhs)
+  double lift = 0.0;             ///< confidence / P(rhs)
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Mines rules from an event list. Returns rules passing both thresholds,
+/// sorted by lift (descending), ties by confidence.
+std::vector<AssocRule> mine_association_rules(
+    const std::vector<titanlog::EventRecord>& events, const AssocConfig& config);
+
+/// Convenience: fetch the context's events first.
+std::vector<AssocRule> mine_association_rules(sparklite::Engine& engine,
+                                              const cassalite::Cluster& cluster,
+                                              const Context& ctx,
+                                              const AssocConfig& config = {});
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,162 @@
+#include "analytics/composite.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hpcla::analytics {
+
+using titanlog::EventRecord;
+using titanlog::EventType;
+
+std::string_view match_scope_name(MatchScope s) noexcept {
+  switch (s) {
+    case MatchScope::kNode: return "node";
+    case MatchScope::kBlade: return "blade";
+    case MatchScope::kCabinet: return "cabinet";
+    case MatchScope::kSystem: return "system";
+  }
+  return "?";
+}
+
+Result<MatchScope> match_scope_from_string(std::string_view name) {
+  if (name == "node") return MatchScope::kNode;
+  if (name == "blade") return MatchScope::kBlade;
+  if (name == "cabinet") return MatchScope::kCabinet;
+  if (name == "system") return MatchScope::kSystem;
+  return invalid_argument("unknown match scope '" + std::string(name) + "'");
+}
+
+namespace {
+
+std::int64_t scope_key_of(const EventRecord& e, MatchScope scope) {
+  switch (scope) {
+    case MatchScope::kNode: return e.node;
+    case MatchScope::kBlade: return topo::blade_of(e.node);
+    case MatchScope::kCabinet: return topo::cabinet_of(e.node);
+    case MatchScope::kSystem: return 0;
+  }
+  return 0;
+}
+
+/// In-flight partial match within one scope.
+struct Partial {
+  std::size_t next_step = 1;  ///< index of the step we are waiting for
+  UnixSeconds last_ts = 0;
+  UnixSeconds start_ts = 0;
+  std::vector<std::pair<UnixSeconds, std::int64_t>> step_events;
+};
+
+}  // namespace
+
+std::vector<CompositeMatch> detect_composites(
+    const std::vector<EventRecord>& events, const CompositeRule& rule) {
+  HPCLA_CHECK_MSG(rule.steps.size() >= 2,
+                  "composite rule needs at least two steps");
+  std::vector<CompositeMatch> out;
+  // Active partial matches per scope key (at most a handful each: a new
+  // first-step event only opens a partial when none is already waiting —
+  // greedy earliest-match).
+  std::map<std::int64_t, std::vector<Partial>> active;
+
+  for (const auto& e : events) {
+    const std::int64_t key = scope_key_of(e, rule.scope);
+    auto& partials = active[key];
+
+    // 1) Try to advance the earliest eligible partial waiting on this type.
+    bool consumed = false;
+    for (auto it = partials.begin(); it != partials.end();) {
+      Partial& p = *it;
+      const CompositeStep& want = rule.steps[p.next_step];
+      if (e.ts - p.last_ts > want.max_gap_seconds) {
+        // Expired: drop.
+        it = partials.erase(it);
+        continue;
+      }
+      if (!consumed && e.type == want.type) {
+        p.step_events.emplace_back(e.ts, e.seq);
+        p.last_ts = e.ts;
+        ++p.next_step;
+        consumed = true;
+        if (p.next_step == rule.steps.size()) {
+          CompositeMatch m;
+          m.rule = rule.name;
+          m.scope_key = key;
+          m.last_node = e.node;
+          m.start_ts = p.start_ts;
+          m.end_ts = e.ts;
+          m.step_events = std::move(p.step_events);
+          out.push_back(std::move(m));
+          it = partials.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+
+    // 2) A first-step event opens a new partial (even if it also advanced
+    //    another partial matching the same type elsewhere in the sequence —
+    //    consumed events are not reused, so skip in that case).
+    if (!consumed && e.type == rule.steps.front().type) {
+      Partial p;
+      p.start_ts = e.ts;
+      p.last_ts = e.ts;
+      p.step_events.emplace_back(e.ts, e.seq);
+      partials.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<CompositeMatch> detect_composites(
+    sparklite::Engine& engine, const cassalite::Cluster& cluster,
+    const Context& ctx, const std::vector<CompositeRule>& rules) {
+  // One fetch serves all rules; restrict to the union of referenced types.
+  Context fetch_ctx = ctx;
+  fetch_ctx.types.clear();
+  for (const auto& rule : rules) {
+    for (const auto& step : rule.steps) {
+      if (std::find(fetch_ctx.types.begin(), fetch_ctx.types.end(),
+                    step.type) == fetch_ctx.types.end()) {
+        fetch_ctx.types.push_back(step.type);
+      }
+    }
+  }
+  auto events = fetch_events(engine, cluster, fetch_ctx);
+  std::vector<CompositeMatch> out;
+  for (const auto& rule : rules) {
+    auto matches = detect_composites(events, rule);
+    out.insert(out.end(), std::make_move_iterator(matches.begin()),
+               std::make_move_iterator(matches.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CompositeMatch& a, const CompositeMatch& b) {
+              if (a.end_ts != b.end_ts) return a.end_ts < b.end_ts;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+std::vector<CompositeRule> default_composite_rules() {
+  std::vector<CompositeRule> rules;
+  // GPU memory error escalating to a GPU failure on the same node.
+  rules.push_back(CompositeRule{
+      "gpu_dbe_then_failure",
+      MatchScope::kNode,
+      {{EventType::kGpuMemoryError, 0}, {EventType::kGpuFailure, 600}}});
+  // Network fault followed by filesystem trouble anywhere (the classic
+  // propagation chain of §III-C).
+  rules.push_back(CompositeRule{
+      "network_then_lustre",
+      MatchScope::kNode,
+      {{EventType::kNetworkError, 0}, {EventType::kLustreError, 120}}});
+  // Memory errors escalating to a machine check and then a panic.
+  rules.push_back(CompositeRule{
+      "ecc_mce_panic",
+      MatchScope::kNode,
+      {{EventType::kMemoryEcc, 0},
+       {EventType::kMachineCheck, 1800},
+       {EventType::kKernelPanic, 1800}}});
+  return rules;
+}
+
+}  // namespace hpcla::analytics

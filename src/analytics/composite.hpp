@@ -1,0 +1,72 @@
+// Composite event types (paper §V, future work):
+//
+// "First, new and composite event types will need to be defined for
+//  capturing the complete status of the system. This will involve event
+//  mining techniques rather than text pattern matching."
+//
+// A CompositeRule names a *sequence* of base event types that must occur
+// on the same scope (node / blade / cabinet / anywhere) within bounded
+// gaps — e.g. "GPU DBE followed by GPU failure within 10 minutes on the
+// same node". The detector mines a context's event stream for matches;
+// matches are themselves events (with a location and a time) so they can
+// feed every existing analytic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+/// Scope at which the sequence must stay co-located.
+enum class MatchScope { kNode, kBlade, kCabinet, kSystem };
+
+std::string_view match_scope_name(MatchScope s) noexcept;
+Result<MatchScope> match_scope_from_string(std::string_view name);
+
+/// One step of a composite sequence: the type that must occur next, within
+/// `max_gap_seconds` of the previous step.
+struct CompositeStep {
+  titanlog::EventType type = titanlog::EventType::kMachineCheck;
+  std::int64_t max_gap_seconds = 600;
+};
+
+/// A named composite event definition.
+struct CompositeRule {
+  std::string name;
+  MatchScope scope = MatchScope::kNode;
+  /// At least two steps; the first step's max_gap is ignored.
+  std::vector<CompositeStep> steps;
+};
+
+/// A detected composite occurrence.
+struct CompositeMatch {
+  std::string rule;
+  /// Scope key of the match (node id for kNode, blade index for kBlade...).
+  std::int64_t scope_key = 0;
+  topo::NodeId last_node = topo::kInvalidNode;
+  UnixSeconds start_ts = 0;  ///< first step's timestamp
+  UnixSeconds end_ts = 0;    ///< last step's timestamp
+  /// (ts, seq) of each matched step, in order.
+  std::vector<std::pair<UnixSeconds, std::int64_t>> step_events;
+};
+
+/// Mines a sorted event stream for non-overlapping matches of one rule.
+/// Greedy earliest-match semantics per scope key: a partial match is
+/// extended by the earliest eligible next step; consumed events cannot be
+/// reused by the same rule.
+std::vector<CompositeMatch> detect_composites(
+    const std::vector<titanlog::EventRecord>& events_sorted_by_ts,
+    const CompositeRule& rule);
+
+/// Convenience: fetch the context's events and run several rules.
+std::vector<CompositeMatch> detect_composites(
+    sparklite::Engine& engine, const cassalite::Cluster& cluster,
+    const Context& ctx, const std::vector<CompositeRule>& rules);
+
+/// A starter rule book of operationally meaningful sequences.
+std::vector<CompositeRule> default_composite_rules();
+
+}  // namespace hpcla::analytics

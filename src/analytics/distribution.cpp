@@ -1,0 +1,162 @@
+#include "analytics/distribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hpcla::analytics {
+
+using titanlog::EventRecord;
+using titanlog::JobRecord;
+
+Result<GroupBy> group_by_from_string(std::string_view name) {
+  if (name == "cabinet") return GroupBy::kCabinet;
+  if (name == "cage") return GroupBy::kCage;
+  if (name == "blade") return GroupBy::kBlade;
+  if (name == "node") return GroupBy::kNode;
+  if (name == "type") return GroupBy::kEventType;
+  if (name == "application") return GroupBy::kApplication;
+  if (name == "user") return GroupBy::kUser;
+  return invalid_argument("unknown group_by '" + std::string(name) + "'");
+}
+
+std::string_view group_by_name(GroupBy g) noexcept {
+  switch (g) {
+    case GroupBy::kCabinet: return "cabinet";
+    case GroupBy::kCage: return "cage";
+    case GroupBy::kBlade: return "blade";
+    case GroupBy::kNode: return "node";
+    case GroupBy::kEventType: return "type";
+    case GroupBy::kApplication: return "application";
+    case GroupBy::kUser: return "user";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string location_label(topo::NodeId node, GroupBy group) {
+  topo::Coord c = topo::coord_of(node);
+  switch (group) {
+    case GroupBy::kCabinet:
+      c.cage = c.slot = c.node = -1;
+      break;
+    case GroupBy::kCage:
+      c.slot = c.node = -1;
+      break;
+    case GroupBy::kBlade:
+      c.node = -1;
+      break;
+    default:
+      break;
+  }
+  return topo::format_cname(c);
+}
+
+/// Interval index: node -> jobs sorted by start, for event->app attribution.
+class PlacementIndex {
+ public:
+  explicit PlacementIndex(const std::vector<JobRecord>& jobs) {
+    for (const auto& job : jobs) {
+      for (const auto node : job.nodes) {
+        index_[node].push_back(&job);
+      }
+    }
+    for (auto& [_, v] : index_) {
+      std::sort(v.begin(), v.end(), [](const JobRecord* a, const JobRecord* b) {
+        return a->start < b->start;
+      });
+    }
+  }
+
+  /// Job running on `node` at `ts`, or nullptr.
+  [[nodiscard]] const JobRecord* at(topo::NodeId node, UnixSeconds ts) const {
+    const auto it = index_.find(node);
+    if (it == index_.end()) return nullptr;
+    // Few jobs per node in any window: linear scan is fine and exact.
+    for (const JobRecord* job : it->second) {
+      if (job->start > ts) break;
+      if (ts < job->end) return job;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::map<topo::NodeId, std::vector<const JobRecord*>> index_;
+};
+
+}  // namespace
+
+std::vector<DistributionEntry> distribution(sparklite::Engine& engine,
+                                            const cassalite::Cluster& cluster,
+                                            const Context& ctx,
+                                            GroupBy group) {
+  std::vector<std::pair<std::string, std::int64_t>> counted;
+
+  if (group == GroupBy::kApplication || group == GroupBy::kUser) {
+    // Attribution needs the placements: fetch jobs overlapping the window,
+    // then label each event with the job covering (node, ts).
+    Context job_ctx;
+    job_ctx.window = ctx.window;
+    job_ctx.location = ctx.location;
+    auto jobs_keeper = std::make_shared<std::vector<JobRecord>>(
+        fetch_jobs(engine, cluster, job_ctx));
+    auto index = std::make_shared<PlacementIndex>(*jobs_keeper);
+
+    auto labeled = event_dataset(engine, cluster, ctx)
+                       .map([index, jobs_keeper, group](const EventRecord& e) {
+                         const JobRecord* job = index->at(e.node, e.ts);
+                         std::string label =
+                             job ? (group == GroupBy::kApplication
+                                        ? job->app_name
+                                        : job->user)
+                                 : std::string("(idle)");
+                         return std::make_pair(std::move(label),
+                                               static_cast<std::int64_t>(e.count));
+                       });
+    counted = sparklite::reduce_by_key(
+                  labeled, [](std::int64_t a, std::int64_t b) { return a + b; })
+                  .collect();
+  } else {
+    auto keyed = event_dataset(engine, cluster, ctx)
+                     .map([group](const EventRecord& e) {
+                       std::string label =
+                           group == GroupBy::kEventType
+                               ? std::string(titanlog::event_id(e.type))
+                               : location_label(e.node, group);
+                       return std::make_pair(std::move(label),
+                                             static_cast<std::int64_t>(e.count));
+                     });
+    counted = sparklite::reduce_by_key(
+                  keyed, [](std::int64_t a, std::int64_t b) { return a + b; })
+                  .collect();
+  }
+
+  std::vector<DistributionEntry> out;
+  out.reserve(counted.size());
+  for (auto& [label, count] : counted) {
+    out.push_back(DistributionEntry{std::move(label), count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DistributionEntry& a, const DistributionEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.label < b.label;
+            });
+  return out;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> hourly_distribution(
+    sparklite::Engine& engine, const cassalite::Cluster& cluster,
+    const Context& ctx) {
+  auto keyed = event_dataset(engine, cluster, ctx)
+                   .map([](const EventRecord& e) {
+                     return std::make_pair(hour_bucket(e.ts),
+                                           static_cast<std::int64_t>(e.count));
+                   });
+  auto counted = sparklite::reduce_by_key(
+                     keyed, [](std::int64_t a, std::int64_t b) { return a + b; })
+                     .collect();
+  std::sort(counted.begin(), counted.end());
+  return counted;
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,46 @@
+// Event-occurrence distributions (paper Fig 5 bottom).
+//
+// "users can also get distributions of the event occurrences over
+//  cabinets, blades, nodes, and applications" — grouped counts over a
+// context, computed as a sparklite count-by-key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+enum class GroupBy {
+  kCabinet,
+  kCage,
+  kBlade,
+  kNode,
+  kEventType,
+  kApplication,  ///< the application running on the node at event time
+  kUser,         ///< the user of that application
+};
+
+Result<GroupBy> group_by_from_string(std::string_view name);
+std::string_view group_by_name(GroupBy g) noexcept;
+
+struct DistributionEntry {
+  std::string label;      ///< e.g. "c3-17", "c3-17c1s5", "LAMMPS"
+  std::int64_t count = 0;
+};
+
+/// Grouped occurrence counts over the context, descending by count;
+/// groups with zero occurrences are omitted. For kApplication/kUser,
+/// events on nodes with no running application fall into "(idle)".
+std::vector<DistributionEntry> distribution(sparklite::Engine& engine,
+                                            const cassalite::Cluster& cluster,
+                                            const Context& ctx, GroupBy group);
+
+/// Hourly counts across the window (the temporal-map histogram).
+std::vector<std::pair<std::int64_t, std::int64_t>> hourly_distribution(
+    sparklite::Engine& engine, const cassalite::Cluster& cluster,
+    const Context& ctx);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,247 @@
+#include "analytics/dtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace hpcla::analytics {
+
+namespace {
+
+double gini(std::size_t pos, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitChoice {
+  int feature = -1;
+  double threshold = 0.0;
+  double impurity = 1.0;  ///< weighted child impurity
+};
+
+SplitChoice best_split(const std::vector<Sample>& samples,
+                       const std::vector<std::size_t>& indices,
+                       std::size_t min_leaf) {
+  SplitChoice best;
+  if (indices.empty()) return best;
+  const std::size_t arity = samples[indices.front()].features.size();
+  const std::size_t n = indices.size();
+
+  std::vector<std::size_t> order(indices);
+  for (std::size_t f = 0; f < arity; ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return samples[a].features[f] < samples[b].features[f];
+    });
+    // Prefix positives; candidate thresholds between distinct values.
+    std::size_t pos_left = 0;
+    std::size_t pos_total = 0;
+    for (const auto i : order) pos_total += samples[i].label ? 1 : 0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      pos_left += samples[order[k]].label ? 1 : 0;
+      const double v = samples[order[k]].features[f];
+      const double next = samples[order[k + 1]].features[f];
+      if (v == next) continue;  // no boundary here
+      const std::size_t left = k + 1;
+      const std::size_t right = n - left;
+      if (left < min_leaf || right < min_leaf) continue;
+      const double impurity =
+          (static_cast<double>(left) * gini(pos_left, left) +
+           static_cast<double>(right) * gini(pos_total - pos_left, right)) /
+          static_cast<double>(n);
+      if (impurity < best.impurity) {
+        best.feature = static_cast<int>(f);
+        best.threshold = (v + next) / 2.0;
+        best.impurity = impurity;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(
+    const std::vector<Sample>& samples, std::vector<std::size_t> indices,
+    const DTreeConfig& config, int depth) {
+  auto node = std::make_unique<Node>();
+  std::size_t pos = 0;
+  for (const auto i : indices) pos += samples[i].label ? 1 : 0;
+  node->prob = indices.empty()
+                   ? 0.0
+                   : static_cast<double>(pos) /
+                         static_cast<double>(indices.size());
+
+  const double purity = std::max(node->prob, 1.0 - node->prob);
+  if (depth >= config.max_depth || indices.size() < 2 * config.min_samples_leaf ||
+      purity >= config.purity_stop) {
+    return node;  // leaf
+  }
+  const SplitChoice split =
+      best_split(samples, indices, config.min_samples_leaf);
+  if (split.feature < 0) return node;  // no admissible split
+  // Only split if it actually reduces impurity.
+  if (split.impurity >= gini(pos, indices.size()) - 1e-12) return node;
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (const auto i : indices) {
+    (samples[i].features[static_cast<std::size_t>(split.feature)] <
+             split.threshold
+         ? left
+         : right)
+        .push_back(i);
+  }
+  node->feature = split.feature;
+  node->threshold = split.threshold;
+  node->left = build(samples, std::move(left), config, depth + 1);
+  node->right = build(samples, std::move(right), config, depth + 1);
+  return node;
+}
+
+DecisionTree DecisionTree::train(const std::vector<Sample>& samples,
+                                 std::vector<std::string> feature_names,
+                                 DTreeConfig config) {
+  HPCLA_CHECK_MSG(!samples.empty(), "cannot train on an empty set");
+  for (const auto& s : samples) {
+    HPCLA_CHECK_MSG(s.features.size() == feature_names.size(),
+                    "feature arity mismatch");
+  }
+  DecisionTree tree;
+  tree.feature_names_ = std::move(feature_names);
+  std::vector<std::size_t> indices(samples.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  tree.root_ = build(samples, std::move(indices), config, 0);
+  return tree;
+}
+
+double DecisionTree::predict_prob(const std::vector<double>& features) const {
+  HPCLA_CHECK_MSG(root_ != nullptr, "tree not trained");
+  HPCLA_CHECK_MSG(features.size() == feature_names_.size(),
+                  "feature arity mismatch");
+  const Node* node = root_.get();
+  while (node->feature >= 0) {
+    node = features[static_cast<std::size_t>(node->feature)] < node->threshold
+               ? node->left.get()
+               : node->right.get();
+  }
+  return node->prob;
+}
+
+int DecisionTree::node_depth(const Node& node) {
+  if (node.feature < 0) return 0;
+  return 1 + std::max(node_depth(*node.left), node_depth(*node.right));
+}
+
+std::size_t DecisionTree::node_leaves(const Node& node) {
+  if (node.feature < 0) return 1;
+  return node_leaves(*node.left) + node_leaves(*node.right);
+}
+
+int DecisionTree::depth() const noexcept { return root_ ? node_depth(*root_) : 0; }
+
+std::size_t DecisionTree::leaf_count() const noexcept {
+  return root_ ? node_leaves(*root_) : 0;
+}
+
+void DecisionTree::render_node(const Node& node,
+                               const std::vector<std::string>& names,
+                               int depth, std::string& out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (node.feature < 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%sleaf p(fail)=%.3f\n", indent.c_str(),
+                  node.prob);
+    out += buf;
+    return;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%sif %s < %.4g:\n", indent.c_str(),
+                names[static_cast<std::size_t>(node.feature)].c_str(),
+                node.threshold);
+  out += buf;
+  render_node(*node.left, names, depth + 1, out);
+  std::snprintf(buf, sizeof(buf), "%selse:\n", indent.c_str());
+  out += buf;
+  render_node(*node.right, names, depth + 1, out);
+}
+
+std::string DecisionTree::render() const {
+  std::string out;
+  if (root_) render_node(*root_, feature_names_, 0, out);
+  return out;
+}
+
+DecisionTree::Eval DecisionTree::evaluate(
+    const std::vector<Sample>& samples) const {
+  Eval e;
+  for (const auto& s : samples) {
+    const bool pred = predict(s.features);
+    if (pred && s.label) ++e.tp;
+    else if (pred && !s.label) ++e.fp;
+    else if (!pred && !s.label) ++e.tn;
+    else ++e.fn;
+  }
+  return e;
+}
+
+const std::vector<std::string>& job_failure_feature_names() {
+  static const std::vector<std::string> kNames = {
+      "log2_nodes", "duration_hours", "fatal_events_on_nodes",
+      "nonfatal_events_on_nodes"};
+  return kNames;
+}
+
+std::vector<Sample> job_failure_samples(sparklite::Engine& engine,
+                                        const cassalite::Cluster& cluster,
+                                        const Context& ctx) {
+  auto jobs = fetch_jobs(engine, cluster, ctx);
+  auto events = fetch_events(engine, cluster, ctx);
+
+  // Per-node sorted event timestamps, split fatal / non-fatal.
+  std::map<topo::NodeId, std::vector<UnixSeconds>> fatal;
+  std::map<topo::NodeId, std::vector<UnixSeconds>> nonfatal;
+  for (const auto& e : events) {
+    const bool is_fatal = titanlog::event_info(e.type).severity ==
+                          titanlog::Severity::kFatal ||
+                          e.type == titanlog::EventType::kMachineCheck ||
+                          e.type == titanlog::EventType::kGpuFailure;
+    (is_fatal ? fatal : nonfatal)[e.node].push_back(e.ts);
+  }
+  for (auto& [_, v] : fatal) std::sort(v.begin(), v.end());
+  for (auto& [_, v] : nonfatal) std::sort(v.begin(), v.end());
+
+  const auto count_in = [](const std::map<topo::NodeId,
+                                          std::vector<UnixSeconds>>& index,
+                           topo::NodeId node, UnixSeconds a, UnixSeconds b) {
+    const auto it = index.find(node);
+    if (it == index.end()) return std::ptrdiff_t{0};
+    const auto lo = std::lower_bound(it->second.begin(), it->second.end(), a);
+    const auto hi = std::upper_bound(it->second.begin(), it->second.end(), b);
+    return hi - lo;
+  };
+
+  std::vector<Sample> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    Sample s;
+    std::ptrdiff_t fatal_hits = 0;
+    std::ptrdiff_t nonfatal_hits = 0;
+    for (const auto node : job.nodes) {
+      fatal_hits += count_in(fatal, node, job.start, job.end);
+      nonfatal_hits += count_in(nonfatal, node, job.start, job.end);
+    }
+    s.features = {
+        std::log2(static_cast<double>(std::max<std::size_t>(job.nodes.size(), 1))),
+        static_cast<double>(job.duration()) / kSecondsPerHour,
+        static_cast<double>(fatal_hits),
+        static_cast<double>(nonfatal_hits),
+    };
+    s.label = job.failed();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,110 @@
+// Decision trees (paper §II-A lists them among the data-mining techniques
+// the data model is meant to support; §V asks for "machine learning
+// algorithms" over application/event correlations).
+//
+// A small CART implementation for binary classification over numeric
+// features (Gini impurity, axis-aligned splits), plus the domain adapter
+// the paper motivates: classifying *job failure* from the conditions a job
+// ran under (allocation size, duration, and the events that hit its nodes
+// while it ran).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+/// One labeled observation.
+struct Sample {
+  std::vector<double> features;
+  bool label = false;
+};
+
+struct DTreeConfig {
+  int max_depth = 4;
+  std::size_t min_samples_leaf = 8;
+  /// Stop splitting when a node is at least this pure.
+  double purity_stop = 0.98;
+};
+
+/// Binary CART classifier.
+class DecisionTree {
+ public:
+  /// Trains on `samples` (all with the same feature arity).
+  /// `feature_names` label the columns for render(); must match arity.
+  static DecisionTree train(const std::vector<Sample>& samples,
+                            std::vector<std::string> feature_names,
+                            DTreeConfig config = DTreeConfig());
+
+  /// Probability of the positive class at the matching leaf.
+  [[nodiscard]] double predict_prob(const std::vector<double>& features) const;
+
+  /// Hard decision at 0.5.
+  [[nodiscard]] bool predict(const std::vector<double>& features) const {
+    return predict_prob(features) >= 0.5;
+  }
+
+  [[nodiscard]] int depth() const noexcept;
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+
+  /// Indented text rendering of the learned tree.
+  [[nodiscard]] std::string render() const;
+
+  /// Classification quality on a labeled set.
+  struct Eval {
+    std::int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+    [[nodiscard]] double accuracy() const noexcept {
+      const auto total = tp + fp + tn + fn;
+      return total ? static_cast<double>(tp + tn) / static_cast<double>(total)
+                   : 0.0;
+    }
+    [[nodiscard]] double precision() const noexcept {
+      return tp + fp ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                     : 0.0;
+    }
+    [[nodiscard]] double recall() const noexcept {
+      return tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                     : 0.0;
+    }
+  };
+  [[nodiscard]] Eval evaluate(const std::vector<Sample>& samples) const;
+
+ private:
+  struct Node {
+    // Internal: feature/threshold; leaf: probability.
+    int feature = -1;           ///< -1 = leaf
+    double threshold = 0.0;     ///< goes left when feature value < threshold
+    double prob = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  static std::unique_ptr<Node> build(const std::vector<Sample>& samples,
+                                     std::vector<std::size_t> indices,
+                                     const DTreeConfig& config, int depth);
+  static void render_node(const Node& node,
+                          const std::vector<std::string>& names,
+                          int depth, std::string& out);
+  static int node_depth(const Node& node);
+  static std::size_t node_leaves(const Node& node);
+
+  std::unique_ptr<Node> root_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Feature names of job_failure_samples, in order.
+const std::vector<std::string>& job_failure_feature_names();
+
+/// Builds a labeled dataset from the jobs and events of a context:
+/// features = [log2(nodes), duration_hours, fatal events on the job's
+/// nodes during the run, non-fatal events likewise]; label = job failed.
+std::vector<Sample> job_failure_samples(sparklite::Engine& engine,
+                                        const cassalite::Cluster& cluster,
+                                        const Context& ctx);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,97 @@
+#include "analytics/heatmap.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace hpcla::analytics {
+
+using topo::TitanGeometry;
+
+std::array<std::int64_t, 200> HeatMap::cabinet_counts() const {
+  std::array<std::int64_t, 200> out{};
+  for (std::size_t n = 0; n < node_counts.size(); ++n) {
+    out[static_cast<std::size_t>(
+        topo::cabinet_of(static_cast<topo::NodeId>(n)))] += node_counts[n];
+  }
+  return out;
+}
+
+std::vector<std::int64_t> HeatMap::blade_counts() const {
+  std::vector<std::int64_t> out(
+      static_cast<std::size_t>(TitanGeometry::kTotalNodes /
+                               TitanGeometry::kNodesPerBlade),
+      0);
+  for (std::size_t n = 0; n < node_counts.size(); ++n) {
+    out[static_cast<std::size_t>(
+        topo::blade_of(static_cast<topo::NodeId>(n)))] += node_counts[n];
+  }
+  return out;
+}
+
+std::vector<std::pair<topo::NodeId, std::int64_t>> HeatMap::anomalous_nodes(
+    double k_sigma) const {
+  RunningStats stats;
+  for (auto c : node_counts) stats.add(static_cast<double>(c));
+  const double threshold = stats.mean() + k_sigma * stats.stddev();
+  std::vector<std::pair<topo::NodeId, std::int64_t>> out;
+  for (std::size_t n = 0; n < node_counts.size(); ++n) {
+    if (static_cast<double>(node_counts[n]) > threshold &&
+        node_counts[n] > 0) {
+      out.emplace_back(static_cast<topo::NodeId>(n), node_counts[n]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+namespace {
+
+HeatMap from_counts(std::vector<std::int64_t> counts) {
+  HeatMap hm;
+  hm.node_counts = std::move(counts);
+  for (std::size_t n = 0; n < hm.node_counts.size(); ++n) {
+    hm.total += hm.node_counts[n];
+    if (hm.node_counts[n] > hm.peak) {
+      hm.peak = hm.node_counts[n];
+      hm.peak_node = static_cast<topo::NodeId>(n);
+    }
+  }
+  return hm;
+}
+
+}  // namespace
+
+HeatMap build_heatmap(sparklite::Engine& engine,
+                      const cassalite::Cluster& cluster, const Context& ctx) {
+  engine.set_next_stage_label("heatmap:scan");
+  auto events = event_dataset(engine, cluster, ctx);
+  auto keyed = events.map([](const titanlog::EventRecord& e) {
+    return std::make_pair(static_cast<std::int64_t>(e.node),
+                          static_cast<std::int64_t>(e.count));
+  });
+  auto counts = sparklite::reduce_by_key(
+                    keyed,
+                    [](std::int64_t a, std::int64_t b) { return a + b; })
+                    .collect();
+  std::vector<std::int64_t> per_node(
+      static_cast<std::size_t>(TitanGeometry::kTotalNodes), 0);
+  for (const auto& [node, count] : counts) {
+    per_node[static_cast<std::size_t>(node)] = count;
+  }
+  return from_counts(std::move(per_node));
+}
+
+HeatMap heatmap_from_events(const std::vector<titanlog::EventRecord>& events) {
+  std::vector<std::int64_t> per_node(
+      static_cast<std::size_t>(TitanGeometry::kTotalNodes), 0);
+  for (const auto& e : events) {
+    per_node[static_cast<std::size_t>(e.node)] += e.count;
+  }
+  return from_counts(std::move(per_node));
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,49 @@
+// Heat maps over the physical system map (paper Fig 5).
+//
+// "users can create a heat map representation of the occurrences of an
+//  event type within the interval on the physical system map, which
+//  illustrates whether the event occurrences were unusually higher (or
+//  lower) in some parts of the system" — plus detection of the abnormal
+//  nodes themselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+/// Per-node occurrence counts over a context (the raw heat map), with
+/// aggregation to coarser physical levels.
+struct HeatMap {
+  std::vector<std::int64_t> node_counts;  ///< size = kTotalNodes
+  std::int64_t total = 0;
+  std::int64_t peak = 0;                  ///< max per-node count
+  topo::NodeId peak_node = topo::kInvalidNode;
+
+  /// Counts rolled up to the 200 cabinets.
+  [[nodiscard]] std::array<std::int64_t, 200> cabinet_counts() const;
+
+  /// Counts rolled up to the 4800 blades.
+  [[nodiscard]] std::vector<std::int64_t> blade_counts() const;
+
+  /// Nodes whose count exceeds mean + k_sigma * stddev over nonzero-eligible
+  /// population (all nodes). Returns (node, count) pairs, hottest first —
+  /// the "abnormally high in some compute nodes" detector.
+  [[nodiscard]] std::vector<std::pair<topo::NodeId, std::int64_t>>
+  anomalous_nodes(double k_sigma = 3.0) const;
+};
+
+/// Builds a heat map by running a sparklite count-by-node over the
+/// context's events (the paper computes these "by the big data processing
+/// unit").
+HeatMap build_heatmap(sparklite::Engine& engine,
+                      const cassalite::Cluster& cluster, const Context& ctx);
+
+/// Builds a heat map directly from records (for ground-truth comparison).
+HeatMap heatmap_from_events(const std::vector<titanlog::EventRecord>& events);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,120 @@
+#include "analytics/prediction.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace hpcla::analytics {
+
+using titanlog::EventRecord;
+using titanlog::EventType;
+using titanlog::Severity;
+
+double PredictionReport::mean_lead_seconds() const {
+  double total = 0.0;
+  std::int64_t n = 0;
+  for (const auto& a : alarms) {
+    if (a.hit) {
+      total += static_cast<double>(a.lead_time_seconds);
+      ++n;
+    }
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+namespace {
+
+bool contains_type(const std::vector<EventType>& list, EventType t) {
+  return std::find(list.begin(), list.end(), t) != list.end();
+}
+
+}  // namespace
+
+PredictionReport evaluate_predictor(const std::vector<EventRecord>& events,
+                                    const PredictorConfig& config) {
+  // Resolve the default type sets.
+  std::vector<EventType> precursors = config.precursors;
+  std::vector<EventType> targets = config.targets;
+  if (targets.empty()) {
+    for (const auto& info : titanlog::event_catalog()) {
+      if (info.severity == Severity::kFatal) targets.push_back(info.type);
+    }
+  }
+  if (precursors.empty()) {
+    for (const auto& info : titanlog::event_catalog()) {
+      if (!contains_type(targets, info.type)) precursors.push_back(info.type);
+    }
+  }
+
+  PredictionReport report;
+  struct NodeState {
+    std::deque<std::pair<UnixSeconds, std::int64_t>> window;  ///< (ts, count)
+    std::int64_t windowed = 0;
+    /// Index into report.alarms of the armed alarm, or -1.
+    std::ptrdiff_t armed = -1;
+    UnixSeconds armed_until = 0;
+  };
+  std::map<topo::NodeId, NodeState> nodes;
+
+  for (const auto& e : events) {
+    NodeState& st = nodes[e.node];
+
+    // Expire armed alarms that timed out before this event.
+    if (st.armed >= 0 && e.ts > st.armed_until) {
+      st.armed = -1;
+    }
+
+    if (contains_type(targets, e.type)) {
+      ++report.failures;
+      if (st.armed >= 0) {
+        ++report.failures_predicted;
+        Alarm& alarm = report.alarms[static_cast<std::size_t>(st.armed)];
+        if (!alarm.hit) {
+          alarm.hit = true;
+          alarm.lead_time_seconds = e.ts - alarm.raised_at;
+          ++report.true_positives;
+        }
+        st.armed = -1;  // consumed
+      }
+      // A failure resets the precursor window (the component restarts).
+      st.window.clear();
+      st.windowed = 0;
+      continue;
+    }
+
+    if (!contains_type(precursors, e.type)) continue;
+
+    // Slide the window.
+    st.window.emplace_back(e.ts, e.count);
+    st.windowed += e.count;
+    while (!st.window.empty() &&
+           st.window.front().first < e.ts - config.window_seconds) {
+      st.windowed -= st.window.front().second;
+      st.window.pop_front();
+    }
+
+    if (st.windowed >= config.threshold && st.armed < 0) {
+      Alarm alarm;
+      alarm.node = e.node;
+      alarm.raised_at = e.ts;
+      alarm.precursor_count = st.windowed;
+      st.armed = static_cast<std::ptrdiff_t>(report.alarms.size());
+      st.armed_until = e.ts + config.lead_seconds;
+      report.alarms.push_back(alarm);
+    }
+  }
+
+  for (const auto& a : report.alarms) {
+    report.false_positives += a.hit ? 0 : 1;
+  }
+  return report;
+}
+
+PredictionReport evaluate_predictor(sparklite::Engine& engine,
+                                    const cassalite::Cluster& cluster,
+                                    const Context& ctx,
+                                    const PredictorConfig& config) {
+  return evaluate_predictor(fetch_events(engine, cluster, ctx), config);
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,80 @@
+// Failure prediction from precursor events (paper §IV: "models for failure
+// prediction ... leverage the spatial and temporal correlation between
+// historical failures, or trends of non-fatal events preceding failures";
+// §V lists predictive models as the framework's direction).
+//
+// A deliberately simple, fully evaluated baseline: per node, a sliding
+// window of non-fatal *precursor* counts; when the windowed count crosses
+// a threshold, the node is flagged for `lead_seconds`. Evaluation replays
+// a labeled stream and reports precision/recall/lead time against the
+// actual fatal events — the methodology of the cited prediction papers,
+// runnable on the synthetic workload's injected escalations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+struct PredictorConfig {
+  /// Precursor (non-fatal) types watched; empty = all non-fatal types.
+  std::vector<titanlog::EventType> precursors;
+  /// Fatal types predicted; empty = catalog fatal severity only.
+  std::vector<titanlog::EventType> targets;
+  /// Sliding window over which precursors accumulate.
+  std::int64_t window_seconds = 1800;
+  /// Windowed precursor count (weighted by EventRecord::count) that trips
+  /// an alarm.
+  std::int64_t threshold = 3;
+  /// How long an alarm stays armed; a fatal event within this horizon
+  /// counts as a true positive.
+  std::int64_t lead_seconds = 1800;
+};
+
+/// One raised alarm.
+struct Alarm {
+  topo::NodeId node = topo::kInvalidNode;
+  UnixSeconds raised_at = 0;
+  std::int64_t precursor_count = 0;
+  /// Filled during evaluation.
+  bool hit = false;
+  std::int64_t lead_time_seconds = 0;  ///< raise -> failure, when hit
+};
+
+struct PredictionReport {
+  std::vector<Alarm> alarms;
+  std::int64_t failures = 0;          ///< fatal events in the stream
+  std::int64_t failures_predicted = 0;///< preceded by an armed alarm
+  std::int64_t true_positives = 0;    ///< alarms that hit
+  std::int64_t false_positives = 0;
+
+  [[nodiscard]] double precision() const noexcept {
+    const auto total = true_positives + false_positives;
+    return total ? static_cast<double>(true_positives) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+  [[nodiscard]] double recall() const noexcept {
+    return failures ? static_cast<double>(failures_predicted) /
+                          static_cast<double>(failures)
+                    : 0.0;
+  }
+  /// Mean raise->failure lead among true positives, seconds.
+  [[nodiscard]] double mean_lead_seconds() const;
+};
+
+/// Replays a time-sorted event stream through the predictor and scores it.
+PredictionReport evaluate_predictor(
+    const std::vector<titanlog::EventRecord>& events_sorted_by_ts,
+    const PredictorConfig& config);
+
+/// Convenience: fetch the context's events first.
+PredictionReport evaluate_predictor(sparklite::Engine& engine,
+                                    const cassalite::Cluster& cluster,
+                                    const Context& ctx,
+                                    const PredictorConfig& config);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,85 @@
+#include "analytics/reliability.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hpcla::analytics {
+
+using titanlog::EventRecord;
+using titanlog::EventType;
+using titanlog::JobRecord;
+using titanlog::Severity;
+
+ReliabilityReport reliability_report(sparklite::Engine& engine,
+                                     const cassalite::Cluster& cluster,
+                                     const Context& ctx) {
+  ReliabilityReport report;
+  auto events = fetch_events(engine, cluster, ctx);
+  std::set<topo::NodeId> nodes;
+  std::int64_t total = 0;
+  for (const auto& e : events) {
+    report.counts_by_type[e.type] += e.count;
+    total += e.count;
+    nodes.insert(e.node);
+    if (titanlog::event_info(e.type).severity == Severity::kFatal) {
+      report.fatal_events += e.count;
+    }
+  }
+  report.affected_nodes = static_cast<std::int64_t>(nodes.size());
+
+  const double window_s = static_cast<double>(ctx.window.duration());
+  report.mtbf_seconds = report.fatal_events > 0
+                            ? window_s / static_cast<double>(report.fatal_events)
+                            : window_s;
+  const std::size_t node_pool =
+      ctx.location ? topo::titan().nodes_in(*ctx.location).size()
+                   : static_cast<std::size_t>(topo::TitanGeometry::kTotalNodes);
+  const double node_hours =
+      static_cast<double>(node_pool) * window_s / kSecondsPerHour;
+  report.events_per_node_hour =
+      node_hours > 0.0 ? static_cast<double>(total) / node_hours : 0.0;
+  return report;
+}
+
+AppImpactReport app_impact(sparklite::Engine& engine,
+                           const cassalite::Cluster& cluster,
+                           const Context& ctx) {
+  AppImpactReport report;
+  auto jobs = fetch_jobs(engine, cluster, ctx);
+  // Fatal events over the same window, indexed per node.
+  Context fatal_ctx = ctx;
+  fatal_ctx.types.clear();
+  for (const auto& info : titanlog::event_catalog()) {
+    if (info.severity == Severity::kFatal ||
+        info.type == EventType::kMachineCheck ||
+        info.type == EventType::kGpuFailure) {
+      fatal_ctx.types.push_back(info.type);
+    }
+  }
+  auto events = fetch_events(engine, cluster, fatal_ctx);
+  std::map<topo::NodeId, std::vector<UnixSeconds>> by_node;
+  for (const auto& e : events) by_node[e.node].push_back(e.ts);
+  for (auto& [_, v] : by_node) std::sort(v.begin(), v.end());
+
+  for (const auto& job : jobs) {
+    ++report.jobs;
+    if (job.failed()) ++report.failed_jobs;
+    bool hit = false;
+    for (const auto node : job.nodes) {
+      const auto it = by_node.find(node);
+      if (it == by_node.end()) continue;
+      const auto lo =
+          std::lower_bound(it->second.begin(), it->second.end(), job.start);
+      if (lo != it->second.end() && *lo <= job.end) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      (job.failed() ? report.failed_with_event : report.ok_with_event)++;
+    }
+  }
+  return report;
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,54 @@
+// Reliability statistics over a context: failure counts, rates, MTBF, and
+// application-impact measures (paper §I: "evaluate system reliability
+// characteristics"; §V: application profiles vs fault events).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+struct ReliabilityReport {
+  /// Occurrences per event type in the context.
+  std::map<titanlog::EventType, std::int64_t> counts_by_type;
+  /// Total fatal-severity occurrences.
+  std::int64_t fatal_events = 0;
+  /// Mean time between fatal events over the window, seconds
+  /// (window duration when no fatal events occurred).
+  double mtbf_seconds = 0.0;
+  /// Events per node-hour across the context's nodes.
+  double events_per_node_hour = 0.0;
+  /// Distinct nodes that reported at least one event.
+  std::int64_t affected_nodes = 0;
+};
+
+ReliabilityReport reliability_report(sparklite::Engine& engine,
+                                     const cassalite::Cluster& cluster,
+                                     const Context& ctx);
+
+/// Application-impact: of the jobs overlapping the window, how many failed,
+/// and how strongly failure correlates with fatal events on their nodes —
+/// the correlation the paper's Fig 6 walkthrough motivates.
+struct AppImpactReport {
+  std::int64_t jobs = 0;
+  std::int64_t failed_jobs = 0;
+  std::int64_t failed_with_event = 0;  ///< failed jobs with a fatal event on
+                                       ///< an allocated node during the run
+  std::int64_t ok_with_event = 0;      ///< survived despite such an event
+
+  [[nodiscard]] double failure_rate() const noexcept {
+    return jobs ? static_cast<double>(failed_jobs) / static_cast<double>(jobs)
+                : 0.0;
+  }
+};
+
+AppImpactReport app_impact(sparklite::Engine& engine,
+                           const cassalite::Cluster& cluster,
+                           const Context& ctx);
+
+}  // namespace hpcla::analytics

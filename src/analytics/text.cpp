@@ -1,0 +1,183 @@
+#include "analytics/text.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace hpcla::analytics {
+
+std::vector<std::string> tokenize(std::string_view message) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool has_alpha = false;
+  const auto flush = [&] {
+    if (cur.size() >= 2 && has_alpha) out.push_back(cur);
+    cur.clear();
+    has_alpha = false;
+  };
+  for (char raw : message) {
+    const auto c = static_cast<unsigned char>(raw);
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      cur.push_back(static_cast<char>(c));
+      has_alpha |= !(c >= '0' && c <= '9');
+    } else if (c >= 'A' && c <= 'Z') {
+      cur.push_back(static_cast<char>(c - 'A' + 'a'));
+      has_alpha = true;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+const std::set<std::string>& log_stopwords() {
+  static const std::set<std::string> kStopwords = {
+      "the",    "to",        "of",       "on",        "in",      "was",
+      "is",     "for",       "with",     "and",       "at",      "by",
+      "from",   "error",     "errors",   "failed",    "failure", "operation",
+      "will",   "this",      "that",     "not",       "lustreerror",
+      "atlas",  "node",      "detected", "exception", "wait",    "recovery",
+      "progress", "using",   "service",  "list",      "available",
+      "connection", "lost",  "request",  "client",    "slow",    "reply",
+      "late",   "removing",  "respond",  "responding", "rc",     "status",
+      "misc",   "addr",      "address",  "bank",      "syndrome"};
+  return kStopwords;
+}
+
+namespace {
+
+bool is_counted_term(const std::string& token) {
+  return !log_stopwords().contains(token);
+}
+
+}  // namespace
+
+std::vector<TermCount> word_count(sparklite::Engine& engine,
+                                  const cassalite::Cluster& cluster,
+                                  const Context& ctx, std::size_t top_k) {
+  engine.set_next_stage_label("wordcount:scan+tokenize");
+  auto words = event_dataset(engine, cluster, ctx)
+                   .flat_map([](const titanlog::EventRecord& e) {
+                     std::vector<std::pair<std::string, std::int64_t>> out;
+                     for (auto& token : tokenize(e.message)) {
+                       if (is_counted_term(token)) {
+                         out.emplace_back(std::move(token), e.count);
+                       }
+                     }
+                     return out;
+                   });
+  auto counts = sparklite::reduce_by_key(
+                    words,
+                    [](std::int64_t a, std::int64_t b) { return a + b; })
+                    .collect();
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<TermCount> out;
+  out.reserve(std::min(top_k, counts.size()));
+  for (std::size_t i = 0; i < counts.size() && i < top_k; ++i) {
+    out.push_back(TermCount{std::move(counts[i].first), counts[i].second});
+  }
+  return out;
+}
+
+std::vector<TermCount> word_count_messages(
+    const std::vector<std::string>& messages, std::size_t top_k) {
+  std::unordered_map<std::string, std::int64_t> counts;
+  for (const auto& m : messages) {
+    for (auto& token : tokenize(m)) {
+      if (is_counted_term(token)) counts[std::move(token)] += 1;
+    }
+  }
+  std::vector<TermCount> out;
+  out.reserve(counts.size());
+  for (auto& [term, count] : counts) out.push_back(TermCount{term, count});
+  std::sort(out.begin(), out.end(), [](const TermCount& a, const TermCount& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.term < b.term;
+  });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<TfIdfTerm> tf_idf_top_terms(
+    const std::vector<std::vector<std::string>>& documents,
+    std::size_t top_k) {
+  const std::size_t n_docs = documents.size();
+  if (n_docs == 0) return {};
+  // Document frequency per term.
+  std::unordered_map<std::string, std::int64_t> df;
+  std::vector<std::unordered_map<std::string, std::int64_t>> tf(n_docs);
+  for (std::size_t d = 0; d < n_docs; ++d) {
+    for (const auto& term : documents[d]) {
+      if (!is_counted_term(term)) continue;
+      if (tf[d][term]++ == 0) df[term]++;
+    }
+  }
+  // Best score per term across documents (a term's bubble size).
+  std::unordered_map<std::string, double> best;
+  for (std::size_t d = 0; d < n_docs; ++d) {
+    if (documents[d].empty()) continue;
+    const auto doc_len = static_cast<double>(documents[d].size());
+    for (const auto& [term, count] : tf[d]) {
+      const double tf_v = static_cast<double>(count) / doc_len;
+      const double idf_v =
+          std::log(static_cast<double>(n_docs) /
+                   (1.0 + static_cast<double>(df[term]))) + 1.0;
+      const double score = tf_v * idf_v;
+      auto [it, inserted] = best.try_emplace(term, score);
+      if (!inserted) it->second = std::max(it->second, score);
+    }
+  }
+  std::vector<TfIdfTerm> out;
+  out.reserve(best.size());
+  for (auto& [term, score] : best) out.push_back(TfIdfTerm{term, score});
+  std::sort(out.begin(), out.end(), [](const TfIdfTerm& a, const TfIdfTerm& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.term < b.term;
+  });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<TfIdfTerm> storm_signature(sparklite::Engine& engine,
+                                       const cassalite::Cluster& cluster,
+                                       const Context& ctx,
+                                       std::int64_t bucket_seconds,
+                                       std::size_t top_k) {
+  HPCLA_CHECK_MSG(bucket_seconds > 0, "bucket size must be positive");
+  auto events = fetch_events(engine, cluster, ctx);
+  const auto buckets = static_cast<std::size_t>(
+      (ctx.window.duration() + bucket_seconds - 1) / bucket_seconds);
+  std::vector<std::vector<std::string>> documents(buckets);
+  std::vector<std::size_t> volume(buckets, 0);
+  for (const auto& e : events) {
+    const auto b =
+        static_cast<std::size_t>((e.ts - ctx.window.begin) / bucket_seconds);
+    auto tokens = tokenize(e.message);
+    volume[b] += 1;
+    documents[b].insert(documents[b].end(),
+                        std::make_move_iterator(tokens.begin()),
+                        std::make_move_iterator(tokens.end()));
+  }
+  // Score the highest-volume bucket against the corpus.
+  const auto peak = static_cast<std::size_t>(
+      std::max_element(volume.begin(), volume.end()) - volume.begin());
+  auto all_terms = tf_idf_top_terms(documents, documents.size() * top_k);
+  // Keep only terms present in the peak bucket, preserving score order.
+  std::set<std::string> peak_terms(documents[peak].begin(),
+                                   documents[peak].end());
+  std::vector<TfIdfTerm> out;
+  for (auto& t : all_terms) {
+    if (peak_terms.contains(t.term)) {
+      out.push_back(std::move(t));
+      if (out.size() >= top_k) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,65 @@
+// Text analytics over raw log messages (paper §III-C, Fig 7 bottom).
+//
+// "Once properly filtered, each Lustre event message can be transformed
+//  into a set of words ... Such transformations typically involve word
+//  counts and/or term frequency-inverse document frequency (TF-IDF) of log
+//  messages. Note here a Lustre message is treated as a document. ... We
+//  found that a simple word counts, which is rapidly executed by Spark,
+//  can locate the source of the problem."
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+/// Tokenizes a log message: lowercased maximal [a-z0-9_] runs, length >= 2,
+/// pure decimal numbers dropped (they are addresses/counters, not terms —
+/// alphanumeric ids like "ost0042" survive).
+std::vector<std::string> tokenize(std::string_view message);
+
+/// Boilerplate terms of the log domain excluded from counting ("error",
+/// "failed", "operation", ...), so counts surface *identifiers*.
+const std::set<std::string>& log_stopwords();
+
+struct TermCount {
+  std::string term;
+  std::int64_t count = 0;
+};
+
+/// Distributed word count over a context's event messages: the Fig 7
+/// root-cause idiom. Returns the top_k most frequent non-stopword terms.
+std::vector<TermCount> word_count(sparklite::Engine& engine,
+                                  const cassalite::Cluster& cluster,
+                                  const Context& ctx, std::size_t top_k);
+
+/// Word count over pre-fetched messages (driver-side variant).
+std::vector<TermCount> word_count_messages(
+    const std::vector<std::string>& messages, std::size_t top_k);
+
+struct TfIdfTerm {
+  std::string term;
+  double score = 0.0;
+};
+
+/// TF-IDF with *documents = time buckets* of messages: a term scores high
+/// when it saturates one bucket (a storm window) but is rare across the
+/// corpus — which is precisely how a faulty component's id behaves against
+/// background Lustre chatter.
+std::vector<TfIdfTerm> tf_idf_top_terms(
+    const std::vector<std::vector<std::string>>& documents, std::size_t top_k);
+
+/// Convenience: bucket a context's events into `bucket_seconds` documents
+/// and return the top TF-IDF terms of the highest-volume bucket.
+std::vector<TfIdfTerm> storm_signature(sparklite::Engine& engine,
+                                       const cassalite::Cluster& cluster,
+                                       const Context& ctx,
+                                       std::int64_t bucket_seconds,
+                                       std::size_t top_k);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,83 @@
+#include "analytics/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcla::analytics {
+
+std::vector<double> bin_series(const std::vector<titanlog::EventRecord>& events,
+                               const TimeRange& range,
+                               std::int64_t bin_seconds) {
+  HPCLA_CHECK_MSG(bin_seconds > 0, "bin size must be positive");
+  HPCLA_CHECK_MSG(!range.empty(), "bin range must be non-empty");
+  const auto bins = static_cast<std::size_t>(
+      (range.duration() + bin_seconds - 1) / bin_seconds);
+  std::vector<double> out(bins, 0.0);
+  for (const auto& e : events) {
+    if (!range.contains(e.ts)) continue;
+    const auto idx =
+        static_cast<std::size_t>((e.ts - range.begin) / bin_seconds);
+    out[idx] += static_cast<double>(e.count);
+  }
+  return out;
+}
+
+std::vector<double> event_series(sparklite::Engine& engine,
+                                 const cassalite::Cluster& cluster,
+                                 const Context& ctx, titanlog::EventType type,
+                                 std::int64_t bin_seconds) {
+  Context narrowed = ctx;
+  narrowed.types = {type};
+  auto events = fetch_events(engine, cluster, narrowed);
+  return bin_series(events, ctx.window, bin_seconds);
+}
+
+std::vector<double> cross_correlation(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      std::size_t max_lag) {
+  HPCLA_CHECK_MSG(a.size() == b.size(), "series length mismatch");
+  const std::size_t n = a.size();
+  std::vector<double> out(2 * max_lag + 1, 0.0);
+  if (n == 0) return out;
+
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    var_a += (a[i] - mean_a) * (a[i] - mean_a);
+    var_b += (b[i] - mean_b) * (b[i] - mean_b);
+  }
+  const double denom = std::sqrt(var_a * var_b);
+  if (denom == 0.0) return out;
+
+  for (std::int64_t lag = -static_cast<std::int64_t>(max_lag);
+       lag <= static_cast<std::int64_t>(max_lag); ++lag) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::int64_t u = static_cast<std::int64_t>(t) + lag;
+      if (u < 0 || u >= static_cast<std::int64_t>(n)) continue;
+      acc += (a[t] - mean_a) * (b[static_cast<std::size_t>(u)] - mean_b);
+    }
+    out[static_cast<std::size_t>(lag + static_cast<std::int64_t>(max_lag))] =
+        acc / denom;
+  }
+  return out;
+}
+
+std::int64_t peak_lag(const std::vector<double>& correlation,
+                      std::size_t max_lag) {
+  HPCLA_CHECK_MSG(correlation.size() == 2 * max_lag + 1,
+                  "correlation vector size mismatch");
+  const auto it = std::max_element(correlation.begin(), correlation.end());
+  return static_cast<std::int64_t>(it - correlation.begin()) -
+         static_cast<std::int64_t>(max_lag);
+}
+
+}  // namespace hpcla::analytics

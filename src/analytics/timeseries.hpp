@@ -1,0 +1,40 @@
+// Time-series extraction and correlation between event streams.
+//
+// The data model is "time series friendly" by design (paper §II-A); the
+// temporal map and the event-correlation analytics (paper §III-C,
+// Fig 7 top) work on binned occurrence counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/context.hpp"
+#include "analytics/queries.hpp"
+
+namespace hpcla::analytics {
+
+/// Bins event occurrence counts into fixed windows across `range`.
+/// The last partial bin is included. Counts are weighted by
+/// EventRecord::count (coalesced occurrences).
+std::vector<double> bin_series(const std::vector<titanlog::EventRecord>& events,
+                               const TimeRange& range,
+                               std::int64_t bin_seconds);
+
+/// Convenience: fetch + bin one event type's series over a context window.
+std::vector<double> event_series(sparklite::Engine& engine,
+                                 const cassalite::Cluster& cluster,
+                                 const Context& ctx, titanlog::EventType type,
+                                 std::int64_t bin_seconds);
+
+/// Normalized cross-correlation of two equal-length series at lags
+/// -max_lag..+max_lag (in bins). Positive lag means `a` leads `b`.
+/// result[max_lag + lag] = corr(a[t], b[t+lag]).
+std::vector<double> cross_correlation(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      std::size_t max_lag);
+
+/// Index of the lag with maximum correlation, as a signed lag in bins.
+std::int64_t peak_lag(const std::vector<double>& correlation,
+                      std::size_t max_lag);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,95 @@
+#include "analytics/transfer_entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace hpcla::analytics {
+
+std::vector<int> quantize(const std::vector<double>& series, int levels) {
+  HPCLA_CHECK_MSG(levels >= 2, "quantization needs >= 2 levels");
+  double max_v = 0.0;
+  for (double v : series) max_v = std::max(max_v, v);
+  std::vector<int> out(series.size(), 0);
+  if (max_v <= 0.0) return out;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double frac = std::clamp(series[i] / max_v, 0.0, 1.0);
+    int level = static_cast<int>(frac * levels);
+    out[i] = std::min(level, levels - 1);
+  }
+  return out;
+}
+
+double transfer_entropy_symbols(const std::vector<int>& x,
+                                const std::vector<int>& y, int levels) {
+  HPCLA_CHECK_MSG(x.size() == y.size(), "series length mismatch");
+  if (x.size() < 2) return 0.0;
+  const std::size_t n = x.size() - 1;  // transitions
+
+  // Joint counts over (y_next, y_now, x_now) and marginals.
+  std::map<std::tuple<int, int, int>, double> p_yyx;
+  std::map<std::pair<int, int>, double> p_yy;   // (y_next, y_now)
+  std::map<std::pair<int, int>, double> p_yx;   // (y_now, x_now)
+  std::map<int, double> p_y;                    // y_now
+  for (std::size_t t = 0; t < n; ++t) {
+    const int yn = y[t + 1];
+    const int yc = y[t];
+    const int xc = x[t];
+    p_yyx[{yn, yc, xc}] += 1.0;
+    p_yy[{yn, yc}] += 1.0;
+    p_yx[{yc, xc}] += 1.0;
+    p_y[yc] += 1.0;
+  }
+  const double total = static_cast<double>(n);
+  double te = 0.0;
+  for (const auto& [key, c_yyx] : p_yyx) {
+    const auto [yn, yc, xc] = key;
+    const double joint = c_yyx / total;
+    const double cond_full = c_yyx / p_yx[{yc, xc}];        // p(yn | yc, xc)
+    const double cond_hist = p_yy[{yn, yc}] / p_y[yc];      // p(yn | yc)
+    if (cond_full > 0.0 && cond_hist > 0.0) {
+      te += joint * std::log2(cond_full / cond_hist);
+    }
+  }
+  (void)levels;
+  return std::max(te, 0.0);  // clamp tiny negative round-off
+}
+
+double transfer_entropy(const std::vector<double>& x,
+                        const std::vector<double>& y, int levels) {
+  return transfer_entropy_symbols(quantize(x, levels), quantize(y, levels),
+                                  levels);
+}
+
+TransferEntropyResult transfer_entropy_pair(const std::vector<double>& x,
+                                            const std::vector<double>& y,
+                                            int levels) {
+  TransferEntropyResult r;
+  r.te_xy = transfer_entropy(x, y, levels);
+  r.te_yx = transfer_entropy(y, x, levels);
+  return r;
+}
+
+std::vector<double> transfer_entropy_profile(const std::vector<double>& x,
+                                             const std::vector<double>& y,
+                                             std::size_t max_shift,
+                                             int levels) {
+  std::vector<double> out;
+  out.reserve(max_shift + 1);
+  const auto xs = quantize(x, levels);
+  const auto ys = quantize(y, levels);
+  for (std::size_t s = 0; s <= max_shift; ++s) {
+    if (s >= xs.size()) {
+      out.push_back(0.0);
+      continue;
+    }
+    // Delay x by s: pair x[t - s] with y[t].
+    std::vector<int> xd(xs.begin(), xs.end() - static_cast<std::ptrdiff_t>(s));
+    std::vector<int> yd(ys.begin() + static_cast<std::ptrdiff_t>(s), ys.end());
+    out.push_back(transfer_entropy_symbols(xd, yd, levels));
+  }
+  return out;
+}
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,54 @@
+// Transfer entropy between event time series (paper Fig 7 top).
+//
+// "the investigation of correlation between two event occurrences within a
+//  selected time interval, which can provide a causal relationship between
+//  the two, is also processed by the big data processing unit. Fig 7 (Top)
+//  shows the transfer entropy plot of two events measured within a
+//  selected time window."
+//
+// TE(X->Y) = sum p(y_{t+1}, y_t, x_t) log2[ p(y_{t+1}|y_t, x_t) /
+//                                           p(y_{t+1}|y_t) ]
+// estimated with the plug-in estimator over quantized series (history
+// length 1). TE is directional: for a genuine X-drives-Y coupling,
+// TE(X->Y) >> TE(Y->X).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hpcla::analytics {
+
+/// Quantizes a series into `levels` symbols by equal-width bucketing over
+/// [0, max]; with levels == 2 this is presence/absence.
+std::vector<int> quantize(const std::vector<double>& series, int levels);
+
+/// Transfer entropy TE(X->Y) in bits over pre-quantized symbol series.
+/// Series must be the same length (>= 2 samples).
+double transfer_entropy_symbols(const std::vector<int>& x,
+                                const std::vector<int>& y, int levels);
+
+/// Transfer entropy between raw binned series (quantizes internally).
+double transfer_entropy(const std::vector<double>& x,
+                        const std::vector<double>& y, int levels = 2);
+
+/// Both directions at once — the decision pair the Fig 7 plot shows.
+struct TransferEntropyResult {
+  double te_xy = 0.0;  ///< TE(X -> Y)
+  double te_yx = 0.0;  ///< TE(Y -> X)
+  /// Net directionality: positive = X drives Y.
+  [[nodiscard]] double net() const noexcept { return te_xy - te_yx; }
+};
+TransferEntropyResult transfer_entropy_pair(const std::vector<double>& x,
+                                            const std::vector<double>& y,
+                                            int levels = 2);
+
+/// TE(X->Y) profile with X shifted by 0..max_shift bins — peaks at the
+/// true coupling lag (in bins). profile[s] uses x delayed by s bins.
+std::vector<double> transfer_entropy_profile(const std::vector<double>& x,
+                                             const std::vector<double>& y,
+                                             std::size_t max_shift,
+                                             int levels = 2);
+
+}  // namespace hpcla::analytics

@@ -1,0 +1,196 @@
+#include "buslite/broker.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace hpcla::buslite {
+
+Status Broker::create_topic(const std::string& name, TopicConfig config) {
+  if (config.partitions <= 0) {
+    return invalid_argument("topic '" + name + "' needs >= 1 partition");
+  }
+  std::lock_guard lock(mu_);
+  if (topics_.contains(name)) {
+    return already_exists("topic '" + name + "' already exists");
+  }
+  Topic t;
+  t.config = config;
+  t.partitions.resize(static_cast<std::size_t>(config.partitions));
+  topics_.emplace(name, std::move(t));
+  return Status::ok();
+}
+
+bool Broker::has_topic(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return topics_.contains(name);
+}
+
+Result<int> Broker::partition_count(const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
+  return it->second.config.partitions;
+}
+
+Result<std::pair<int, std::int64_t>> Broker::produce(const std::string& topic,
+                                                     std::string key,
+                                                     std::string value,
+                                                     UnixMillis timestamp) {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
+  Topic& t = it->second;
+
+  const std::size_t pcount = t.partitions.size();
+  std::size_t pidx;
+  if (key.empty()) {
+    pidx = t.round_robin++ % pcount;
+  } else {
+    pidx = murmur3_64(key) % pcount;
+  }
+  Partition& p = t.partitions[pidx];
+
+  Message m;
+  m.key = std::move(key);
+  m.value = std::move(value);
+  m.timestamp = timestamp;
+  m.offset = p.next_offset++;
+  p.messages.push_back(std::move(m));
+
+  // Retention: trim oldest beyond the cap.
+  const std::size_t cap = t.config.retention_messages;
+  if (cap != 0) {
+    while (p.messages.size() > cap) {
+      p.messages.pop_front();
+      ++p.base_offset;
+    }
+  }
+  return std::make_pair(static_cast<int>(pidx), p.next_offset - 1);
+}
+
+Result<std::vector<Message>> Broker::fetch(const std::string& topic,
+                                           int partition, std::int64_t offset,
+                                           std::size_t max_messages) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
+  const Topic& t = it->second;
+  if (partition < 0 ||
+      static_cast<std::size_t>(partition) >= t.partitions.size()) {
+    return invalid_argument("partition " + std::to_string(partition) +
+                            " out of range for '" + topic + "'");
+  }
+  const Partition& p = t.partitions[static_cast<std::size_t>(partition)];
+  std::vector<Message> out;
+  const std::int64_t start = std::max(offset, p.base_offset);
+  if (start >= p.next_offset) return out;
+  const std::size_t idx = static_cast<std::size_t>(start - p.base_offset);
+  const std::size_t n =
+      std::min(max_messages, p.messages.size() - idx);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(p.messages[idx + i]);
+  return out;
+}
+
+Result<std::int64_t> Broker::end_offset(const std::string& topic,
+                                        int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
+  const Topic& t = it->second;
+  if (partition < 0 ||
+      static_cast<std::size_t>(partition) >= t.partitions.size()) {
+    return invalid_argument("bad partition");
+  }
+  return t.partitions[static_cast<std::size_t>(partition)].next_offset;
+}
+
+Result<std::int64_t> Broker::begin_offset(const std::string& topic,
+                                          int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
+  const Topic& t = it->second;
+  if (partition < 0 ||
+      static_cast<std::size_t>(partition) >= t.partitions.size()) {
+    return invalid_argument("bad partition");
+  }
+  return t.partitions[static_cast<std::size_t>(partition)].base_offset;
+}
+
+Result<std::int64_t> Broker::committed(const std::string& group,
+                                       const std::string& topic,
+                                       int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it =
+      commits_.find(group + "|" + topic + "|" + std::to_string(partition));
+  if (it == commits_.end()) {
+    return not_found("no commit for group '" + group + "'");
+  }
+  return it->second;
+}
+
+Status Broker::commit(const std::string& group, const std::string& topic,
+                      int partition, std::int64_t offset) {
+  std::lock_guard lock(mu_);
+  if (!topics_.contains(topic)) return not_found("no topic '" + topic + "'");
+  commits_[group + "|" + topic + "|" + std::to_string(partition)] = offset;
+  return Status::ok();
+}
+
+const Broker::Topic* Broker::find_topic(const std::string& name) const {
+  const auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------- Consumer
+
+Consumer::Consumer(Broker& broker, std::string group, std::string topic,
+                   std::size_t member_index, std::size_t member_count)
+    : broker_(&broker), group_(std::move(group)), topic_(std::move(topic)) {
+  HPCLA_CHECK_MSG(member_count >= 1 && member_index < member_count,
+                  "bad consumer-group member index");
+  const auto pcount = broker_->partition_count(topic_);
+  HPCLA_CHECK_MSG(pcount.is_ok(), "consumer on unknown topic");
+  for (int p = 0; p < pcount.value(); ++p) {
+    if (static_cast<std::size_t>(p) % member_count != member_index) continue;
+    owned_.push_back(p);
+    const auto committed = broker_->committed(group_, topic_, p);
+    positions_.push_back(committed.is_ok() ? committed.value() : 0);
+  }
+}
+
+std::vector<Message> Consumer::poll(std::size_t max_messages) {
+  std::vector<Message> out;
+  if (owned_.empty() || max_messages == 0) return out;
+  // Round-robin over owned partitions, draining fairly until the budget is
+  // spent or every partition is exhausted.
+  std::size_t idle_rounds = 0;
+  while (out.size() < max_messages && idle_rounds < owned_.size()) {
+    const std::size_t slot = next_slot_;
+    next_slot_ = (next_slot_ + 1) % owned_.size();
+    const std::size_t budget =
+        std::max<std::size_t>(1, (max_messages - out.size()) / owned_.size());
+    auto batch =
+        broker_->fetch(topic_, owned_[slot], positions_[slot], budget);
+    if (!batch.is_ok() || batch->empty()) {
+      ++idle_rounds;
+      continue;
+    }
+    idle_rounds = 0;
+    positions_[slot] = batch->back().offset + 1;
+    consumed_ += batch->size();
+    out.insert(out.end(), std::make_move_iterator(batch->begin()),
+               std::make_move_iterator(batch->end()));
+  }
+  return out;
+}
+
+void Consumer::commit() {
+  for (std::size_t slot = 0; slot < owned_.size(); ++slot) {
+    (void)broker_->commit(group_, topic_, owned_[slot], positions_[slot]);
+  }
+}
+
+}  // namespace hpcla::buslite

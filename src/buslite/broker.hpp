@@ -1,0 +1,162 @@
+// buslite: a minimal Kafka-shaped message bus.
+//
+// The paper's streaming path (§III-D) publishes each parsed event
+// occurrence to a Kafka topic; the analytics framework subscribes and
+// feeds a Spark Streaming micro-batch pipeline. buslite reproduces the
+// contract that pipeline depends on: named topics, hashed partitioning by
+// key, per-partition total order, durable offsets per consumer group, and
+// retention trimming.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::buslite {
+
+/// One record on the bus. `value` is an opaque payload — the ingestion
+/// layer serializes event occurrences as JSON.
+struct Message {
+  std::string key;
+  std::string value;
+  UnixMillis timestamp = 0;
+  std::int64_t offset = -1;  ///< assigned by the broker on append
+};
+
+struct TopicConfig {
+  int partitions = 4;
+  /// Maximum messages retained per partition (oldest trimmed first);
+  /// 0 = unlimited.
+  std::size_t retention_messages = 0;
+};
+
+/// In-process broker. All methods are thread-safe.
+class Broker {
+ public:
+  /// Creates a topic; rejects duplicates and non-positive partition counts.
+  Status create_topic(const std::string& name, TopicConfig config = {});
+
+  [[nodiscard]] bool has_topic(const std::string& name) const;
+  [[nodiscard]] Result<int> partition_count(const std::string& topic) const;
+
+  /// Appends a message; the partition is chosen by hashing `key`
+  /// (empty keys round-robin). Returns (partition, offset).
+  Result<std::pair<int, std::int64_t>> produce(const std::string& topic,
+                                               std::string key,
+                                               std::string value,
+                                               UnixMillis timestamp);
+
+  /// Reads up to `max_messages` starting at `offset` from one partition.
+  /// Reading at or past the end returns an empty batch (not an error).
+  /// Offsets below the retention floor clamp forward to the oldest
+  /// retained message.
+  Result<std::vector<Message>> fetch(const std::string& topic, int partition,
+                                     std::int64_t offset,
+                                     std::size_t max_messages) const;
+
+  /// Next offset to be assigned in a partition (== current size since
+  /// offsets are dense before retention trimming).
+  Result<std::int64_t> end_offset(const std::string& topic,
+                                  int partition) const;
+  /// Oldest retained offset.
+  Result<std::int64_t> begin_offset(const std::string& topic,
+                                    int partition) const;
+
+  // ---------------------------------------------------- consumer groups
+
+  /// Durable committed offset for (group, topic, partition); kNotFound if
+  /// the group never committed.
+  Result<std::int64_t> committed(const std::string& group,
+                                 const std::string& topic,
+                                 int partition) const;
+
+  Status commit(const std::string& group, const std::string& topic,
+                int partition, std::int64_t offset);
+
+ private:
+  struct Partition {
+    std::deque<Message> messages;
+    std::int64_t base_offset = 0;  ///< offset of messages.front()
+    std::int64_t next_offset = 0;
+  };
+  struct Topic {
+    TopicConfig config;
+    std::vector<Partition> partitions;
+    std::uint64_t round_robin = 0;
+  };
+
+  const Topic* find_topic(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Topic> topics_;
+  std::map<std::string, std::int64_t> commits_;  ///< "group|topic|part" -> offset
+};
+
+/// Convenience producer bound to one topic.
+class Producer {
+ public:
+  Producer(Broker& broker, std::string topic)
+      : broker_(&broker), topic_(std::move(topic)) {}
+
+  Status send(std::string key, std::string value, UnixMillis timestamp) {
+    auto r = broker_->produce(topic_, std::move(key), std::move(value),
+                              timestamp);
+    return r.status();
+  }
+
+ private:
+  Broker* broker_;
+  std::string topic_;
+};
+
+/// Consumer bound to (group, topic): tracks per-partition positions,
+/// resuming from committed offsets. poll() round-robins partitions.
+///
+/// Group membership uses static assignment: member `member_index` of
+/// `member_count` owns the partitions p with p % member_count ==
+/// member_index, so a group's members consume disjoint partition sets
+/// whose union covers the topic (Kafka's consumer-group contract).
+class Consumer {
+ public:
+  /// Single-member consumer owning every partition.
+  Consumer(Broker& broker, std::string group, std::string topic)
+      : Consumer(broker, std::move(group), std::move(topic), 0, 1) {}
+
+  /// Group member `member_index` (0-based) of `member_count`.
+  Consumer(Broker& broker, std::string group, std::string topic,
+           std::size_t member_index, std::size_t member_count);
+
+  /// Fetches up to `max_messages` across owned partitions (per-partition
+  /// order preserved; cross-partition interleaving round-robin).
+  std::vector<Message> poll(std::size_t max_messages);
+
+  /// Commits everything handed out by poll() so far.
+  void commit();
+
+  /// Total messages consumed by this instance.
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+
+  /// Partitions this member owns.
+  [[nodiscard]] const std::vector<int>& assignment() const noexcept {
+    return owned_;
+  }
+
+ private:
+  Broker* broker_;
+  std::string group_;
+  std::string topic_;
+  std::vector<int> owned_;              ///< partition indices
+  std::vector<std::int64_t> positions_; ///< parallel to owned_
+  std::size_t next_slot_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace hpcla::buslite

@@ -1,0 +1,40 @@
+#include "cassalite/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace hpcla::cassalite {
+
+BloomFilter::BloomFilter(std::size_t expected_items, int bits_per_item) {
+  expected_items = std::max<std::size_t>(expected_items, 1);
+  bits_per_item = std::max(bits_per_item, 1);
+  const std::size_t bits = expected_items * static_cast<std::size_t>(bits_per_item);
+  words_.assign((bits + 63) / 64, 0);
+  // Optimal k = bits_per_item * ln 2.
+  hashes_ = std::max(1, static_cast<int>(std::round(bits_per_item * 0.6931)));
+}
+
+void BloomFilter::insert(std::string_view key) noexcept {
+  const std::uint64_t h1 = murmur3_64(key, 0x6ea2d67c);
+  const std::uint64_t h2 = murmur3_64(key, 0x19c5a4e1) | 1;
+  const std::size_t bits = words_.size() * 64;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bits;
+    words_[bit / 64] |= 1ull << (bit % 64);
+  }
+}
+
+bool BloomFilter::may_contain(std::string_view key) const noexcept {
+  const std::uint64_t h1 = murmur3_64(key, 0x6ea2d67c);
+  const std::uint64_t h2 = murmur3_64(key, 0x19c5a4e1) | 1;
+  const std::size_t bits = words_.size() * 64;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bits;
+    if (!(words_[bit / 64] & (1ull << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,33 @@
+// Bloom filter over partition keys, attached to each SSTable so reads skip
+// runs that cannot contain the requested partition (as Cassandra does).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hpcla::cassalite {
+
+/// Classic k-hash Bloom filter with double hashing (Kirsch–Mitzenmacher).
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at roughly `bits_per_item` bits
+  /// each (10 bits/item ≈ 1% false-positive rate).
+  explicit BloomFilter(std::size_t expected_items, int bits_per_item = 10);
+
+  void insert(std::string_view key) noexcept;
+
+  /// False means definitely absent; true means probably present.
+  [[nodiscard]] bool may_contain(std::string_view key) const noexcept;
+
+  [[nodiscard]] std::size_t bit_count() const noexcept {
+    return words_.size() * 64;
+  }
+  [[nodiscard]] int hash_count() const noexcept { return hashes_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  int hashes_;
+};
+
+}  // namespace hpcla::cassalite

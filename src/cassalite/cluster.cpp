@@ -1,0 +1,301 @@
+#include "cassalite/cluster.hpp"
+
+#include <algorithm>
+
+namespace hpcla::cassalite {
+
+std::string_view consistency_name(Consistency c) noexcept {
+  switch (c) {
+    case Consistency::kOne: return "ONE";
+    case Consistency::kQuorum: return "QUORUM";
+    case Consistency::kAll: return "ALL";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options),
+      ring_(options.node_count, options.vnodes, options.ring_seed) {
+  HPCLA_CHECK_MSG(options.node_count >= 1, "cluster needs at least one node");
+  options_.replication_factor =
+      std::min(std::max<std::size_t>(options_.replication_factor, 1),
+               options_.node_count);
+  if (options_.racks > 0) {
+    rack_of_.resize(options_.node_count);
+    for (std::size_t i = 0; i < options_.node_count; ++i) {
+      rack_of_[i] = static_cast<int>(i % options_.racks);
+    }
+  }
+  nodes_.reserve(options_.node_count);
+  for (std::size_t i = 0; i < options_.node_count; ++i) {
+    nodes_.push_back(std::make_unique<StorageEngine>(options_.storage));
+  }
+  alive_ = std::make_unique<std::atomic<bool>[]>(options_.node_count);
+  for (std::size_t i = 0; i < options_.node_count; ++i) {
+    alive_[i].store(true, std::memory_order_relaxed);
+  }
+}
+
+Status Cluster::create_table(TableSchema schema) {
+  std::lock_guard lock(ddl_mu_);
+  for (const auto& s : schemas_) {
+    if (s.name == schema.name) {
+      return already_exists("table '" + schema.name + "' already exists");
+    }
+  }
+  schemas_.push_back(std::move(schema));
+  return Status::ok();
+}
+
+Result<TableSchema> Cluster::schema(const std::string& table) const {
+  std::lock_guard lock(ddl_mu_);
+  for (const auto& s : schemas_) {
+    if (s.name == table) return s;
+  }
+  return not_found("no such table '" + table + "'");
+}
+
+std::vector<TableSchema> Cluster::schemas() const {
+  std::lock_guard lock(ddl_mu_);
+  return schemas_;
+}
+
+Status Cluster::insert(const std::string& table,
+                       const std::string& partition_key, Row row,
+                       Consistency consistency) {
+  row.write_ts = write_clock_.fetch_add(1, std::memory_order_relaxed);
+  const auto replicas = replicas_of(partition_key);
+  const std::size_t needed = required_acks(consistency, replicas.size());
+
+  WriteCommand cmd{table, partition_key, std::move(row)};
+  std::size_t acks = 0;
+  std::vector<NodeIndex> down;
+  for (NodeIndex r : replicas) {
+    if (alive_[r].load(std::memory_order_acquire)) {
+      nodes_[r]->apply(cmd);
+      ++acks;
+    } else {
+      down.push_back(r);
+    }
+  }
+  if (acks < needed) {
+    writes_unavailable_.fetch_add(1, std::memory_order_relaxed);
+    return unavailable("write to '" + partition_key + "' got " +
+                       std::to_string(acks) + "/" + std::to_string(needed) +
+                       " acks at " + std::string(consistency_name(consistency)));
+  }
+  // Success: queue hints so down replicas converge when they return.
+  if (!down.empty()) {
+    std::lock_guard lock(hints_mu_);
+    for (NodeIndex r : down) {
+      hints_.push_back(Hint{r, cmd});
+      hints_stored_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  writes_ok_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Result<ReadResult> Cluster::select(const ReadQuery& query,
+                                   Consistency consistency) const {
+  const auto replicas = replicas_of(query.partition_key);
+  const std::size_t needed = required_acks(consistency, replicas.size());
+
+  // Read the *full* slice (no limit/reverse) from each replica so
+  // reconciliation sees comparable row sets; limit is applied afterwards.
+  ReadQuery full = query;
+  full.limit = 0;
+  full.reverse = false;
+
+  std::vector<NodeIndex> contacted;
+  std::vector<ReadResult> results;
+  for (NodeIndex r : replicas) {
+    if (!alive_[r].load(std::memory_order_acquire)) continue;
+    results.push_back(nodes_[r]->read(full));
+    contacted.push_back(r);
+    if (contacted.size() >= needed) break;
+  }
+  if (contacted.size() < needed) {
+    reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
+    return unavailable("read of '" + query.partition_key + "' reached " +
+                       std::to_string(contacted.size()) + "/" +
+                       std::to_string(needed) + " replicas at " +
+                       std::string(consistency_name(consistency)));
+  }
+
+  // Reconcile: per clustering key, the newest write wins.
+  ReadResult merged;
+  if (results.size() == 1) {
+    merged = std::move(results.front());
+  } else {
+    std::vector<Row> all;
+    for (auto& r : results) {
+      all.insert(all.end(), std::make_move_iterator(r.rows.begin()),
+                 std::make_move_iterator(r.rows.end()));
+    }
+    std::stable_sort(all.begin(), all.end(), [](const Row& a, const Row& b) {
+      const auto c = a.key.compare(b.key);
+      if (c != std::strong_ordering::equal) {
+        return c == std::strong_ordering::less;
+      }
+      return a.write_ts < b.write_ts;
+    });
+    for (auto& row : all) {
+      if (!merged.rows.empty() && merged.rows.back().key == row.key) {
+        merged.rows.back() = std::move(row);
+      } else {
+        merged.rows.push_back(std::move(row));
+      }
+    }
+    // Read repair: any contacted replica whose view differed from the
+    // merged result gets the merged rows re-applied.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].rows.size() != merged.rows.size()) {
+        for (const auto& row : merged.rows) {
+          nodes_[contacted[i]]->apply(
+              WriteCommand{query.table, query.partition_key, row});
+        }
+        read_repairs_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (query.reverse) std::reverse(merged.rows.begin(), merged.rows.end());
+  if (query.limit != 0 && merged.rows.size() > query.limit) {
+    merged.rows.resize(query.limit);
+    merged.truncated = true;
+  }
+  reads_ok_.fetch_add(1, std::memory_order_relaxed);
+  return merged;
+}
+
+Result<Cluster::Page> Cluster::select_page(
+    const ReadQuery& query, std::size_t page_size,
+    const std::optional<ClusteringKey>& resume_after,
+    Consistency consistency) const {
+  HPCLA_CHECK_MSG(page_size >= 1, "page_size must be >= 1");
+  ReadQuery paged = query;
+  paged.reverse = false;
+  // Fetch one extra row to learn whether another page exists.
+  paged.limit = page_size + 1;
+  if (resume_after) {
+    // Exclusive lower bound: appending a null part yields the smallest key
+    // strictly greater than resume_after (prefixes sort first).
+    ClusteringKey after = *resume_after;
+    after.parts.emplace_back();
+    if (!paged.slice.lower ||
+        paged.slice.lower->compare(after) == std::strong_ordering::less) {
+      paged.slice.lower = std::move(after);
+    }
+  }
+  auto result = select(paged, consistency);
+  if (!result.is_ok()) return result.status();
+  Page page;
+  page.rows = std::move(result->rows);
+  if (page.rows.size() > page_size) {
+    page.rows.resize(page_size);
+    page.next = page.rows.back().key;
+  }
+  return page;
+}
+
+void Cluster::kill_node(NodeIndex node) {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  alive_[node].store(false, std::memory_order_release);
+}
+
+std::size_t Cluster::revive_node(NodeIndex node) {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  alive_[node].store(true, std::memory_order_release);
+  // Replay and drop this node's hints.
+  std::vector<Hint> to_replay;
+  {
+    std::lock_guard lock(hints_mu_);
+    auto keep = hints_.begin();
+    for (auto& h : hints_) {
+      if (h.target == node) {
+        to_replay.push_back(std::move(h));
+      } else {
+        *keep++ = std::move(h);
+      }
+    }
+    hints_.erase(keep, hints_.end());
+  }
+  for (const auto& h : to_replay) {
+    nodes_[node]->apply(h.cmd);
+    hints_replayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return to_replay.size();
+}
+
+void Cluster::kill_rack(int rack) {
+  HPCLA_CHECK_MSG(!rack_of_.empty(), "cluster has no rack configuration");
+  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+    if (rack_of_[n] == rack) kill_node(n);
+  }
+}
+
+std::size_t Cluster::crash_node(NodeIndex node) {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  return nodes_[node]->crash_and_recover();
+}
+
+bool Cluster::is_alive(NodeIndex node) const {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  return alive_[node].load(std::memory_order_acquire);
+}
+
+std::size_t Cluster::live_node_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    n += alive_[i].load(std::memory_order_acquire) ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t Cluster::pending_hints() const {
+  std::lock_guard lock(hints_mu_);
+  return hints_.size();
+}
+
+const StorageEngine& Cluster::engine(NodeIndex node) const {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  return *nodes_[node];
+}
+
+std::vector<std::string> Cluster::primary_partition_keys(
+    NodeIndex node, const std::string& table) const {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  std::vector<std::string> out;
+  for (auto& key : nodes_[node]->partition_keys(table)) {
+    if (ring_.primary(key) == node) out.push_back(std::move(key));
+  }
+  return out;
+}
+
+std::vector<std::string> Cluster::all_partition_keys(
+    const std::string& table) const {
+  std::vector<std::string> all;
+  for (const auto& node : nodes_) {
+    auto keys = node->partition_keys(table);
+    all.insert(all.end(), std::make_move_iterator(keys.begin()),
+               std::make_move_iterator(keys.end()));
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+ClusterMetrics Cluster::metrics() const {
+  ClusterMetrics m;
+  m.writes_ok = writes_ok_.load(std::memory_order_relaxed);
+  m.writes_unavailable = writes_unavailable_.load(std::memory_order_relaxed);
+  m.reads_ok = reads_ok_.load(std::memory_order_relaxed);
+  m.reads_unavailable = reads_unavailable_.load(std::memory_order_relaxed);
+  m.hints_stored = hints_stored_.load(std::memory_order_relaxed);
+  m.hints_replayed = hints_replayed_.load(std::memory_order_relaxed);
+  m.read_repairs = read_repairs_.load(std::memory_order_relaxed);
+  return m;
+}
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,199 @@
+// The simulated cassalite cluster: N nodes (each a StorageEngine), a token
+// ring for placement, replication with tunable consistency, hinted handoff
+// for writes to down nodes, and read repair. This is the paper's
+// "32 VM Cassandra cluster" scaled to an in-process simulation — identical
+// data paths, node boundaries enforced by the ring, failures injectable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cassalite/ring.hpp"
+#include "cassalite/schema.hpp"
+#include "cassalite/storage_engine.hpp"
+
+namespace hpcla::cassalite {
+
+/// Cassandra-style tunable consistency for reads and writes.
+enum class Consistency : std::uint8_t { kOne, kQuorum, kAll };
+
+std::string_view consistency_name(Consistency c) noexcept;
+
+/// Number of replica acknowledgements required at replication factor rf.
+constexpr std::size_t required_acks(Consistency c, std::size_t rf) noexcept {
+  switch (c) {
+    case Consistency::kOne: return 1;
+    case Consistency::kQuorum: return rf / 2 + 1;
+    case Consistency::kAll: return rf;
+  }
+  return rf;
+}
+
+struct ClusterOptions {
+  std::size_t node_count = 4;
+  std::size_t replication_factor = 3;
+  std::size_t vnodes = 64;
+  std::uint64_t ring_seed = 0xCA55A17E;
+  /// Number of failure domains ("racks"); node i lives in rack i % racks.
+  /// 0 disables rack awareness (SimpleStrategy placement).
+  std::size_t racks = 0;
+  StorageOptions storage;
+};
+
+/// Coordinator-level counters (atomics; safe to read anytime).
+struct ClusterMetrics {
+  std::uint64_t writes_ok = 0;
+  std::uint64_t writes_unavailable = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t reads_unavailable = 0;
+  std::uint64_t hints_stored = 0;
+  std::uint64_t hints_replayed = 0;
+  std::uint64_t read_repairs = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  // ------------------------------------------------------------------ DDL
+
+  /// Registers a table. Duplicate names are rejected.
+  Status create_table(TableSchema schema);
+
+  /// Schema lookup.
+  [[nodiscard]] Result<TableSchema> schema(const std::string& table) const;
+
+  /// All registered schemas, in creation order.
+  [[nodiscard]] std::vector<TableSchema> schemas() const;
+
+  // ----------------------------------------------------------------- data
+
+  /// Coordinator write: assigns a write timestamp, routes to the replica
+  /// set, stores hints for down replicas. Fails with UNAVAILABLE when
+  /// fewer than required_acks replicas are alive.
+  Status insert(const std::string& table, const std::string& partition_key,
+                Row row, Consistency consistency = Consistency::kQuorum);
+
+  /// Coordinator read: queries the required number of live replicas,
+  /// reconciles last-write-wins, and repairs stale replicas it touched.
+  /// Logically const: read repair only rewrites replica-internal state.
+  [[nodiscard]] Result<ReadResult> select(
+      const ReadQuery& query,
+      Consistency consistency = Consistency::kOne) const;
+
+  /// One page of a large partition (Cassandra-style paging): ascending
+  /// clustering order, at most `page_size` rows, starting strictly after
+  /// `resume_after` (nullopt = from the slice start). `query.limit` and
+  /// `query.reverse` are ignored. The returned `next` token is set iff
+  /// more rows remain; feed it back to continue.
+  struct Page {
+    std::vector<Row> rows;
+    std::optional<ClusteringKey> next;
+  };
+  [[nodiscard]] Result<Page> select_page(
+      const ReadQuery& query, std::size_t page_size,
+      const std::optional<ClusteringKey>& resume_after = std::nullopt,
+      Consistency consistency = Consistency::kOne) const;
+
+  // ------------------------------------------------------------- topology
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t replication_factor() const noexcept {
+    return options_.replication_factor;
+  }
+  [[nodiscard]] const TokenRing& ring() const noexcept { return ring_; }
+
+  /// Replica set for a partition key (primary first); rack-aware when the
+  /// cluster was configured with failure domains.
+  [[nodiscard]] std::vector<NodeIndex> replicas_of(
+      const std::string& partition_key) const {
+    if (!rack_of_.empty()) {
+      return ring_.replicas_rack_aware(partition_key,
+                                       options_.replication_factor, rack_of_);
+    }
+    return ring_.replicas(partition_key, options_.replication_factor);
+  }
+
+  /// Rack of a node (-1 when rack awareness is disabled).
+  [[nodiscard]] int rack_of(NodeIndex node) const {
+    HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+    return rack_of_.empty() ? -1 : rack_of_[node];
+  }
+
+  /// Kills every node of one rack (fault-injection convenience).
+  void kill_rack(int rack);
+
+  // ------------------------------------------------------ fault injection
+
+  /// Marks a node down: it stops acking writes and serving reads; writes
+  /// destined for it are stored as hints on the coordinator.
+  void kill_node(NodeIndex node);
+
+  /// Brings a node back and replays its hinted mutations.
+  /// Returns the number of hints replayed.
+  std::size_t revive_node(NodeIndex node);
+
+  /// Simulates a process crash on a node: its memtables are lost and
+  /// recovered from the commit log (the node stays "up" throughout).
+  /// Returns the number of replayed mutations.
+  std::size_t crash_node(NodeIndex node);
+
+  [[nodiscard]] bool is_alive(NodeIndex node) const;
+  [[nodiscard]] std::size_t live_node_count() const;
+  [[nodiscard]] std::size_t pending_hints() const;
+
+  // --------------------------------------------- scan / locality support
+
+  /// Direct access to a node's engine — sparklite workers use this to scan
+  /// partitions resident on "their" node (data locality, paper §III-A).
+  [[nodiscard]] const StorageEngine& engine(NodeIndex node) const;
+
+  /// Partition keys of `table` whose *primary* replica is `node`.
+  [[nodiscard]] std::vector<std::string> primary_partition_keys(
+      NodeIndex node, const std::string& table) const;
+
+  /// All partition keys of `table` across the cluster (deduplicated).
+  [[nodiscard]] std::vector<std::string> all_partition_keys(
+      const std::string& table) const;
+
+  [[nodiscard]] ClusterMetrics metrics() const;
+
+ private:
+  struct Hint {
+    NodeIndex target;
+    WriteCommand cmd;
+  };
+
+  ClusterOptions options_;
+  TokenRing ring_;
+  std::vector<int> rack_of_;  ///< empty = rack-blind
+  std::vector<std::unique_ptr<StorageEngine>> nodes_;
+  std::unique_ptr<std::atomic<bool>[]> alive_;
+
+  mutable std::mutex ddl_mu_;
+  std::vector<TableSchema> schemas_;
+
+  mutable std::mutex hints_mu_;
+  std::vector<Hint> hints_;
+
+  std::atomic<std::int64_t> write_clock_{1};
+
+  // metrics
+  mutable std::atomic<std::uint64_t> writes_ok_{0};
+  mutable std::atomic<std::uint64_t> writes_unavailable_{0};
+  mutable std::atomic<std::uint64_t> reads_ok_{0};
+  mutable std::atomic<std::uint64_t> reads_unavailable_{0};
+  mutable std::atomic<std::uint64_t> hints_stored_{0};
+  mutable std::atomic<std::uint64_t> hints_replayed_{0};
+  mutable std::atomic<std::uint64_t> read_repairs_{0};
+};
+
+}  // namespace hpcla::cassalite

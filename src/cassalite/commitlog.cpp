@@ -1,0 +1,25 @@
+#include "cassalite/commitlog.hpp"
+
+namespace hpcla::cassalite {
+
+std::uint64_t CommitLog::append(WriteCommand cmd) {
+  const std::uint64_t lsn = next_lsn_++;
+  entries_.push_back(Entry{lsn, std::move(cmd)});
+  return lsn;
+}
+
+std::vector<WriteCommand> CommitLog::replay(std::uint64_t after_lsn) const {
+  std::vector<WriteCommand> out;
+  for (const auto& e : entries_) {
+    if (e.lsn > after_lsn) out.push_back(e.cmd);
+  }
+  return out;
+}
+
+void CommitLog::truncate(std::uint64_t up_to_lsn) {
+  while (!entries_.empty() && entries_.front().lsn <= up_to_lsn) {
+    entries_.pop_front();
+  }
+}
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,40 @@
+// Per-node commit log: every mutation is appended before it touches the
+// memtable, so a node that "crashes" (loses its memtable in fault-injection
+// tests) can replay back to its pre-crash state. Segments are recycled once
+// the memtables they cover have been flushed to SSTables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cassalite/schema.hpp"
+
+namespace hpcla::cassalite {
+
+/// Append-only mutation journal. Not internally synchronized — the owning
+/// StorageEngine serializes access.
+class CommitLog {
+ public:
+  /// Appends a mutation; returns its log sequence number (LSN).
+  std::uint64_t append(WriteCommand cmd);
+
+  /// All entries with LSN > `after_lsn`, oldest first (crash replay).
+  [[nodiscard]] std::vector<WriteCommand> replay(std::uint64_t after_lsn) const;
+
+  /// Discards entries with LSN <= `up_to_lsn` (their data reached SSTables).
+  void truncate(std::uint64_t up_to_lsn);
+
+  [[nodiscard]] std::uint64_t last_lsn() const noexcept { return next_lsn_ - 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t lsn;
+    WriteCommand cmd;
+  };
+  std::deque<Entry> entries_;
+  std::uint64_t next_lsn_ = 1;
+};
+
+}  // namespace hpcla::cassalite

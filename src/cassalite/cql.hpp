@@ -1,0 +1,93 @@
+// A small CQL dialect over cassalite.
+//
+// Paper §III: "The analytics server translates data query requests received
+// from the frontend and relays them to the backend database server in the
+// form of Cassandra Query Language (CQL) queries." This module is that
+// surface: textual SELECT/INSERT statements parsed and executed against a
+// Cluster, honoring each table's declared partition/clustering columns.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   SELECT <col[, col...] | * | COUNT(*)> FROM <table>
+//     WHERE <pk-col> = <lit> [AND <pk-col> = <lit>]...
+//     [AND <first-ck-col> <op> <lit>]...          -- op in {=, <, <=, >, >=}
+//     [ORDER BY <first-ck-col> [ASC|DESC]]
+//     [LIMIT <n>]
+//
+//   INSERT INTO <table> (col[, col...]) VALUES (lit[, lit...])
+//
+// Literals: 64-bit integers, doubles, 'single-quoted strings' ('' escapes
+// a quote), true/false/null.
+//
+// The partition key is assembled from the WHERE equalities on the table's
+// partition columns (joined with '|', matching the data model's key
+// format); every partition column must be constrained. Range predicates
+// are allowed only on the *first* clustering column, like real CQL.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cassalite/cluster.hpp"
+#include "common/json.hpp"
+
+namespace hpcla::cassalite {
+
+/// A parsed SELECT.
+struct CqlSelect {
+  std::string table;
+  /// Selected column names; empty = * .
+  std::vector<std::string> columns;
+  bool count_only = false;  ///< SELECT COUNT(*)
+  /// (column, literal) equality constraints on partition columns.
+  std::vector<std::pair<std::string, Value>> partition_eq;
+  /// Constraints on the first clustering column.
+  std::optional<Value> ck_eq;
+  std::optional<Value> ck_lower;        ///< inclusive unless ck_lower_strict
+  bool ck_lower_strict = false;
+  std::optional<Value> ck_upper;        ///< exclusive unless ck_upper_inclusive
+  bool ck_upper_inclusive = false;
+  bool order_desc = false;
+  std::size_t limit = 0;  ///< 0 = none
+};
+
+/// A parsed INSERT.
+struct CqlInsert {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> values;  ///< column -> literal
+};
+
+/// A parsed statement.
+struct CqlStatement {
+  std::optional<CqlSelect> select;
+  std::optional<CqlInsert> insert;
+};
+
+/// Parses one statement (a trailing ';' is allowed).
+Result<CqlStatement> parse_cql(std::string_view text);
+
+/// Result of execution: SELECT yields rows (as JSON objects keyed by
+/// column name, with clustering columns materialized from the key);
+/// COUNT(*) and INSERT yield `count`.
+struct CqlResult {
+  Json rows = Json::array();
+  std::int64_t count = 0;
+  bool is_rows = false;
+
+  [[nodiscard]] Json to_json() const {
+    Json j = Json::object();
+    if (is_rows) {
+      j["rows"] = rows;
+    }
+    j["count"] = count;
+    return j;
+  }
+};
+
+/// Parses + executes against a cluster.
+Result<CqlResult> execute_cql(Cluster& cluster, std::string_view text,
+                              Consistency consistency = Consistency::kOne);
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,108 @@
+#include "cassalite/gossip.hpp"
+
+namespace hpcla::cassalite {
+
+Gossiper::Gossiper(GossipOptions options)
+    : options_(options), rng_(options.seed) {
+  HPCLA_CHECK_MSG(options_.node_count >= 2, "gossip needs >= 2 nodes");
+  options_.fanout = std::max<std::size_t>(1, options_.fanout);
+  dead_.assign(options_.node_count, false);
+  views_.assign(options_.node_count,
+                std::vector<View>(options_.node_count));
+}
+
+void Gossiper::kill(std::size_t node) {
+  HPCLA_CHECK_MSG(node < options_.node_count, "node out of range");
+  dead_[node] = true;
+}
+
+void Gossiper::revive(std::size_t node) {
+  HPCLA_CHECK_MSG(node < options_.node_count, "node out of range");
+  dead_[node] = false;
+  // Generation bump: restart with a heartbeat far ahead of anything peers
+  // saw, so the resurrection propagates as fresh news.
+  auto& self = views_[node][node];
+  self.heartbeat += 1000;
+  self.seen_at_round = round_;
+}
+
+bool Gossiper::is_dead(std::size_t node) const {
+  HPCLA_CHECK_MSG(node < options_.node_count, "node out of range");
+  return dead_[node];
+}
+
+void Gossiper::merge(std::size_t a, std::size_t b) {
+  for (std::size_t t = 0; t < options_.node_count; ++t) {
+    View& va = views_[a][t];
+    View& vb = views_[b][t];
+    if (va.heartbeat < vb.heartbeat) {
+      va.heartbeat = vb.heartbeat;
+      va.seen_at_round = round_;
+    } else if (vb.heartbeat < va.heartbeat) {
+      vb.heartbeat = va.heartbeat;
+      vb.seen_at_round = round_;
+    }
+  }
+}
+
+void Gossiper::step() {
+  ++round_;
+  // 1) Live nodes beat their own hearts.
+  for (std::size_t n = 0; n < options_.node_count; ++n) {
+    if (dead_[n]) continue;
+    auto& self = views_[n][n];
+    ++self.heartbeat;
+    self.seen_at_round = round_;
+  }
+  // 2) Each live node gossips with `fanout` random peers.
+  for (std::size_t n = 0; n < options_.node_count; ++n) {
+    if (dead_[n]) continue;
+    for (std::size_t f = 0; f < options_.fanout; ++f) {
+      std::size_t peer = rng_.next_below(options_.node_count - 1);
+      if (peer >= n) ++peer;  // uniform over peers != n
+      if (dead_[peer]) continue;  // connection refused
+      merge(n, peer);
+    }
+  }
+}
+
+bool Gossiper::suspects(std::size_t observer, std::size_t target) const {
+  HPCLA_CHECK_MSG(observer < options_.node_count, "observer out of range");
+  HPCLA_CHECK_MSG(target < options_.node_count, "target out of range");
+  if (observer == target) return false;
+  const View& v = views_[observer][target];
+  if (v.heartbeat == 0) {
+    // Never heard of it: suspicious once the grace window passes.
+    return round_ > options_.suspect_after_rounds;
+  }
+  return round_ - v.seen_at_round > options_.suspect_after_rounds;
+}
+
+std::size_t Gossiper::suspicion_count(std::size_t target) const {
+  std::size_t n = 0;
+  for (std::size_t o = 0; o < options_.node_count; ++o) {
+    if (o == target || dead_[o]) continue;
+    n += suspects(o, target) ? 1 : 0;
+  }
+  return n;
+}
+
+std::int64_t Gossiper::known_heartbeat(std::size_t observer,
+                                       std::size_t target) const {
+  HPCLA_CHECK_MSG(observer < options_.node_count, "observer out of range");
+  HPCLA_CHECK_MSG(target < options_.node_count, "target out of range");
+  return views_[observer][target].heartbeat;
+}
+
+bool Gossiper::converged() const {
+  for (std::size_t o = 0; o < options_.node_count; ++o) {
+    if (dead_[o]) continue;
+    for (std::size_t t = 0; t < options_.node_count; ++t) {
+      if (dead_[t] || o == t) continue;
+      if (suspects(o, t)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,93 @@
+// Gossip membership and failure detection.
+//
+// Cassandra's "masterless ring design ... gives an identical role to each
+// node" (paper §II-A): liveness is decided by peer-to-peer gossip, not a
+// master. This module simulates that protocol in rounds: every round each
+// live node picks fanout random peers and exchanges heartbeat vectors
+// (taking the elementwise max); a node whose heartbeat a peer hasn't seen
+// advance for `suspect_after_rounds` rounds is *suspected* by that peer.
+//
+// The simulation is deterministic (seeded peer selection) so the classic
+// gossip properties are testable: rumor spread in O(log N) rounds, and
+// unanimous suspicion of a dead node within a bounded window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::cassalite {
+
+struct GossipOptions {
+  std::size_t node_count = 8;
+  /// Peers contacted by each node per round.
+  std::size_t fanout = 2;
+  /// A peer is suspected after its heartbeat stalls for this many rounds.
+  std::int64_t suspect_after_rounds = 6;
+  std::uint64_t seed = 0x90551F;
+};
+
+/// Round-driven gossip simulator.
+class Gossiper {
+ public:
+  explicit Gossiper(GossipOptions options);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return options_.node_count;
+  }
+  [[nodiscard]] std::int64_t round() const noexcept { return round_; }
+
+  /// Marks a node dead: it stops heartbeating and gossiping (its state is
+  /// still gossiped *about* by others).
+  void kill(std::size_t node);
+
+  /// Brings a node back: it resumes heartbeating with a bumped generation
+  /// so peers immediately learn it returned.
+  void revive(std::size_t node);
+
+  [[nodiscard]] bool is_dead(std::size_t node) const;
+
+  /// Advances one gossip round: live nodes bump their own heartbeat, then
+  /// exchange vectors with `fanout` random peers (bidirectional merge,
+  /// like real gossip's SYN/ACK).
+  void step();
+
+  /// Runs `n` rounds.
+  void run(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) step();
+  }
+
+  /// Does `observer` currently suspect `target` of being down?
+  /// (A node never suspects itself; dead observers hold stale views.)
+  [[nodiscard]] bool suspects(std::size_t observer, std::size_t target) const;
+
+  /// Number of live nodes that suspect `target`.
+  [[nodiscard]] std::size_t suspicion_count(std::size_t target) const;
+
+  /// Heartbeat of `target` as known by `observer` (test introspection).
+  [[nodiscard]] std::int64_t known_heartbeat(std::size_t observer,
+                                             std::size_t target) const;
+
+  /// True when every live node knows every live node's current-round
+  /// heartbeat within the suspicion window (cluster view converged).
+  [[nodiscard]] bool converged() const;
+
+ private:
+  struct View {
+    std::int64_t heartbeat = 0;       ///< highest heartbeat seen
+    std::int64_t seen_at_round = 0;   ///< round when it last advanced
+  };
+
+  void merge(std::size_t a, std::size_t b);
+
+  GossipOptions options_;
+  Rng rng_;
+  std::int64_t round_ = 0;
+  std::vector<bool> dead_;
+  /// views_[observer][target]
+  std::vector<std::vector<View>> views_;
+};
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,49 @@
+// In-memory write buffer: the first stop of every mutation on a node.
+// Rows are kept sorted per partition; when the accounted size crosses the
+// flush threshold, the storage engine freezes the memtable into an SSTable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cassalite/schema.hpp"
+#include "cassalite/value.hpp"
+
+namespace hpcla::cassalite {
+
+/// One table's memtable on one node. Not internally synchronized — the
+/// owning StorageEngine serializes access.
+class Memtable {
+ public:
+  /// Inserts or overwrites (same clustering key, last-write-wins by
+  /// write_ts) a row. Returns bytes added to the accounting.
+  std::size_t put(const std::string& partition_key, Row row);
+
+  /// Rows of one partition admitted by the slice, ascending clustering
+  /// order. Appends to `out`.
+  void read(const std::string& partition_key, const ClusteringSlice& slice,
+            std::vector<Row>& out) const;
+
+  /// All partition keys present (sorted).
+  [[nodiscard]] std::vector<std::string> partition_keys() const;
+
+  [[nodiscard]] std::size_t partition_count() const noexcept {
+    return partitions_.size();
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  /// Hands the sorted partition map to the flusher and resets.
+  [[nodiscard]] std::map<std::string, std::vector<Row>> drain();
+
+ private:
+  // partition key -> rows sorted by clustering key
+  std::map<std::string, std::vector<Row>> partitions_;
+  std::size_t rows_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace hpcla::cassalite

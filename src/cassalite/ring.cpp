@@ -1,0 +1,103 @@
+#include "cassalite/ring.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace hpcla::cassalite {
+
+TokenRing::TokenRing(std::size_t node_count, std::size_t vnodes,
+                     std::uint64_t seed)
+    : node_count_(node_count), vnodes_(vnodes) {
+  HPCLA_CHECK_MSG(node_count >= 1, "ring requires at least one node");
+  HPCLA_CHECK_MSG(vnodes >= 1, "ring requires at least one vnode per node");
+  Rng rng(seed);
+  entries_.reserve(node_count * vnodes);
+  for (NodeIndex n = 0; n < node_count; ++n) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      entries_.push_back(Entry{static_cast<Token>(rng.next_u64()), n});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.token < b.token; });
+  // Colliding tokens are astronomically unlikely with 64-bit tokens but
+  // would make ownership ambiguous; nudge duplicates apart deterministically.
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].token == entries_[i - 1].token) {
+      ++entries_[i].token;
+    }
+  }
+}
+
+NodeIndex TokenRing::primary(std::string_view partition_key) const {
+  return replicas(partition_key, 1).front();
+}
+
+std::vector<NodeIndex> TokenRing::replicas(std::string_view partition_key,
+                                           std::size_t rf) const {
+  return replicas_for_token(token_for_key(partition_key), rf);
+}
+
+std::vector<NodeIndex> TokenRing::replicas_rack_aware(
+    std::string_view partition_key, std::size_t rf,
+    const std::vector<int>& rack_of) const {
+  HPCLA_CHECK_MSG(rack_of.size() == node_count_,
+                  "rack_of must cover every node");
+  rf = std::min(std::max<std::size_t>(rf, 1), node_count_);
+  const Token t = token_for_key(partition_key);
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), t,
+      [](const Entry& e, Token tok) { return e.token < tok; });
+  const std::size_t start = it == entries_.end()
+                                ? 0
+                                : static_cast<std::size_t>(it - entries_.begin());
+
+  std::vector<NodeIndex> out;
+  std::vector<int> racks_used;
+  // Pass 1: distinct nodes in distinct racks.
+  for (std::size_t step = 0; step < entries_.size() && out.size() < rf;
+       ++step) {
+    const NodeIndex node = entries_[(start + step) % entries_.size()].node;
+    if (std::find(out.begin(), out.end(), node) != out.end()) continue;
+    const int rack = rack_of[node];
+    if (std::find(racks_used.begin(), racks_used.end(), rack) !=
+        racks_used.end()) {
+      continue;
+    }
+    out.push_back(node);
+    racks_used.push_back(rack);
+  }
+  // Pass 2: fill the remainder with distinct nodes, rack-blind.
+  for (std::size_t step = 0; step < entries_.size() && out.size() < rf;
+       ++step) {
+    const NodeIndex node = entries_[(start + step) % entries_.size()].node;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeIndex> TokenRing::replicas_for_token(Token t,
+                                                     std::size_t rf) const {
+  rf = std::min(std::max<std::size_t>(rf, 1), node_count_);
+  std::vector<NodeIndex> out;
+  out.reserve(rf);
+  // First vnode with token >= t, wrapping.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), t,
+      [](const Entry& e, Token tok) { return e.token < tok; });
+  std::size_t idx = it == entries_.end()
+                        ? 0
+                        : static_cast<std::size_t>(it - entries_.begin());
+  for (std::size_t step = 0; step < entries_.size() && out.size() < rf;
+       ++step) {
+    const NodeIndex node = entries_[(idx + step) % entries_.size()].node;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,67 @@
+// Consistent-hash token ring with virtual nodes — cassalite's masterless
+// placement layer (paper §II-A: "a hashing-based distributed database...
+// a partition is associated with a hash key and mapped to one or more
+// nodes"; Fig 4 shows (hour, type) partitions mapped over 4 nodes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::cassalite {
+
+/// Index of a node within a cluster.
+using NodeIndex = std::size_t;
+
+/// Token ring: each node owns `vnodes` pseudo-random tokens; a partition
+/// key is owned by the node whose token is the first at or after the key's
+/// token (clockwise), and replicated on the next RF-1 *distinct* nodes.
+/// Immutable after construction.
+class TokenRing {
+ public:
+  /// Builds a ring for `node_count` nodes with `vnodes` tokens each,
+  /// deterministically derived from `seed`.
+  TokenRing(std::size_t node_count, std::size_t vnodes = 64,
+            std::uint64_t seed = 0xCA55A17E);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+  [[nodiscard]] std::size_t vnodes_per_node() const noexcept { return vnodes_; }
+
+  /// The primary owner of a partition key.
+  [[nodiscard]] NodeIndex primary(std::string_view partition_key) const;
+
+  /// The replica set (primary first, then clockwise distinct successors).
+  /// `rf` is clamped to the node count.
+  [[nodiscard]] std::vector<NodeIndex> replicas(std::string_view partition_key,
+                                                std::size_t rf) const;
+
+  /// Same as replicas() but starting from a precomputed token.
+  [[nodiscard]] std::vector<NodeIndex> replicas_for_token(Token t,
+                                                          std::size_t rf) const;
+
+  /// Rack-aware replica selection (NetworkTopologyStrategy-style): walks
+  /// the ring clockwise preferring nodes whose rack (`rack_of(node)`) has
+  /// not supplied a replica yet, then fills any remainder with distinct
+  /// nodes regardless of rack. With rf <= rack count, replicas land on
+  /// rf distinct racks, so the loss of one whole rack never removes more
+  /// than one replica of any partition.
+  [[nodiscard]] std::vector<NodeIndex> replicas_rack_aware(
+      std::string_view partition_key, std::size_t rf,
+      const std::vector<int>& rack_of) const;
+
+ private:
+  struct Entry {
+    Token token;
+    NodeIndex node;
+  };
+
+  std::size_t node_count_;
+  std::size_t vnodes_;
+  std::vector<Entry> entries_;  ///< sorted by token
+};
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,73 @@
+#include "cassalite/sstable.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hpcla::cassalite {
+
+SSTable::SSTable(std::uint64_t generation,
+                 std::vector<Partition> sorted_partitions)
+    : generation_(generation),
+      partitions_(std::move(sorted_partitions)),
+      bloom_(std::max<std::size_t>(partitions_.size(), 8)) {
+  for (const auto& p : partitions_) {
+    rows_ += p.rows.size();
+    bloom_.insert(p.key);
+  }
+}
+
+bool SSTable::read(const std::string& partition_key,
+                   const ClusteringSlice& slice, std::vector<Row>& out) const {
+  if (!bloom_.may_contain(partition_key)) return false;
+  const auto it = std::lower_bound(
+      partitions_.begin(), partitions_.end(), partition_key,
+      [](const Partition& p, const std::string& k) { return p.key < k; });
+  if (it == partitions_.end() || it->key != partition_key) return true;
+  const auto& rows = it->rows;
+  auto begin = rows.begin();
+  auto end = rows.end();
+  if (slice.lower) {
+    begin = std::lower_bound(begin, end, *slice.lower,
+                             [](const Row& r, const ClusteringKey& k) {
+                               return r.key.compare(k) == std::strong_ordering::less;
+                             });
+  }
+  if (slice.upper) {
+    end = std::lower_bound(begin, end, *slice.upper,
+                           [](const Row& r, const ClusteringKey& k) {
+                             return r.key.compare(k) == std::strong_ordering::less;
+                           });
+  }
+  out.insert(out.end(), begin, end);
+  return true;
+}
+
+SSTablePtr compact(std::uint64_t new_generation,
+                   const std::vector<SSTablePtr>& inputs) {
+  // partition key -> clustering key -> newest row. std::map keeps both
+  // levels sorted, which is exactly the SSTable layout invariant.
+  std::map<std::string, std::map<ClusteringKey, Row>> merged;
+  for (const auto& table : inputs) {
+    for (const auto& part : table->partitions()) {
+      auto& rows = merged[part.key];
+      for (const auto& row : part.rows) {
+        auto [it, inserted] = rows.try_emplace(row.key, row);
+        if (!inserted && row.write_ts >= it->second.write_ts) {
+          it->second = row;
+        }
+      }
+    }
+  }
+  std::vector<SSTable::Partition> partitions;
+  partitions.reserve(merged.size());
+  for (auto& [key, rows] : merged) {
+    SSTable::Partition p;
+    p.key = key;
+    p.rows.reserve(rows.size());
+    for (auto& [_, row] : rows) p.rows.push_back(std::move(row));
+    partitions.push_back(std::move(p));
+  }
+  return std::make_shared<const SSTable>(new_generation, std::move(partitions));
+}
+
+}  // namespace hpcla::cassalite

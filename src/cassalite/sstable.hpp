@@ -1,0 +1,64 @@
+// Immutable sorted run produced by flushing a memtable: sorted partitions,
+// each with clustering-sorted rows, fronted by a Bloom filter on partition
+// keys. Mirrors Cassandra's on-disk SSTable at the data-structure level
+// (the simulated cluster keeps runs in memory; persistence semantics —
+// immutability, merge-on-read, compaction — are what the analytics stack
+// depends on, not the medium).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cassalite/bloom.hpp"
+#include "cassalite/schema.hpp"
+#include "cassalite/value.hpp"
+
+namespace hpcla::cassalite {
+
+/// Immutable after construction; safe to share across threads.
+class SSTable {
+ public:
+  struct Partition {
+    std::string key;
+    std::vector<Row> rows;  ///< ascending clustering order
+  };
+
+  /// Builds from a sorted partition map (as produced by Memtable::drain or
+  /// compaction). Generation numbers increase monotonically per table.
+  SSTable(std::uint64_t generation,
+          std::vector<Partition> sorted_partitions);
+
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] std::size_t partition_count() const noexcept {
+    return partitions_.size();
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
+
+  /// Appends slice-admitted rows of the partition to `out`. Consults the
+  /// Bloom filter first; `bloom_rejections` metric is the caller's concern.
+  /// Returns false if the Bloom filter rejected (definite miss).
+  bool read(const std::string& partition_key, const ClusteringSlice& slice,
+            std::vector<Row>& out) const;
+
+  /// All partitions (for compaction and full scans).
+  [[nodiscard]] const std::vector<Partition>& partitions() const noexcept {
+    return partitions_;
+  }
+
+ private:
+  std::uint64_t generation_;
+  std::vector<Partition> partitions_;  ///< sorted by key
+  std::size_t rows_ = 0;
+  BloomFilter bloom_;
+};
+
+using SSTablePtr = std::shared_ptr<const SSTable>;
+
+/// Merges several runs into one (size-tiered compaction step): partitions
+/// unioned, rows with equal clustering keys reconciled last-write-wins.
+SSTablePtr compact(std::uint64_t new_generation,
+                   const std::vector<SSTablePtr>& inputs);
+
+}  // namespace hpcla::cassalite

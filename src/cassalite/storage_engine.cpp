@@ -1,0 +1,167 @@
+#include "cassalite/storage_engine.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hpcla::cassalite {
+
+StorageEngine::StorageEngine(StorageOptions options) : options_(options) {}
+
+void StorageEngine::apply(const WriteCommand& cmd) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t lsn = log_.append(cmd);
+  apply_locked(cmd, lsn);
+  ++metrics_.writes;
+}
+
+void StorageEngine::apply_locked(const WriteCommand& cmd, std::uint64_t lsn) {
+  TableStore& store = tables_[cmd.table];
+  store.memtable.put(cmd.partition_key, cmd.row);
+  store.applied_lsn = std::max(store.applied_lsn, lsn);
+  maybe_flush_locked(cmd.table, store);
+}
+
+void StorageEngine::maybe_flush_locked(const std::string& table,
+                                       TableStore& store) {
+  if (store.memtable.memory_bytes() >= options_.memtable_flush_bytes) {
+    flush_locked(table, store);
+  }
+}
+
+void StorageEngine::flush_locked(const std::string& /*table*/,
+                                 TableStore& store) {
+  if (store.memtable.empty()) return;
+  auto drained = store.memtable.drain();
+  std::vector<SSTable::Partition> partitions;
+  partitions.reserve(drained.size());
+  for (auto& [key, rows] : drained) {
+    partitions.push_back(SSTable::Partition{key, std::move(rows)});
+  }
+  store.sstables.push_back(std::make_shared<const SSTable>(
+      store.next_generation++, std::move(partitions)));
+  store.flushed_lsn = store.applied_lsn;
+  ++metrics_.memtable_flushes;
+  maybe_compact_locked(store);
+
+  // Commit-log entries at or below the minimum flushed LSN across tables
+  // are durable in SSTables and can be recycled.
+  std::uint64_t min_unflushed = log_.last_lsn();
+  for (const auto& [_, t] : tables_) {
+    if (t.applied_lsn > t.flushed_lsn) {
+      // This table still has memtable-only data covering (flushed, applied].
+      min_unflushed = std::min(min_unflushed, t.flushed_lsn);
+    }
+  }
+  log_.truncate(min_unflushed);
+}
+
+void StorageEngine::maybe_compact_locked(TableStore& store) {
+  if (store.sstables.size() < options_.compaction_threshold) return;
+  SSTablePtr merged = compact(store.next_generation++, store.sstables);
+  store.sstables.clear();
+  store.sstables.push_back(std::move(merged));
+  ++metrics_.compactions;
+}
+
+ReadResult StorageEngine::read(const ReadQuery& q) const {
+  std::lock_guard lock(mu_);
+  ++metrics_.reads;
+  ReadResult result;
+  const auto it = tables_.find(q.table);
+  if (it == tables_.end()) return result;
+  const TableStore& store = it->second;
+
+  // Gather candidates from every run, then reconcile by clustering key.
+  std::vector<Row> candidates;
+  store.memtable.read(q.partition_key, q.slice, candidates);
+  for (const auto& sst : store.sstables) {
+    ++metrics_.sstables_read;
+    if (!sst->read(q.partition_key, q.slice, candidates)) {
+      ++metrics_.bloom_rejections;
+    }
+  }
+  if (candidates.empty()) return result;
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Row& a, const Row& b) {
+                     const auto c = a.key.compare(b.key);
+                     if (c != std::strong_ordering::equal) {
+                       return c == std::strong_ordering::less;
+                     }
+                     return a.write_ts < b.write_ts;
+                   });
+  // Keep the newest version of each clustering key.
+  std::vector<Row> merged;
+  merged.reserve(candidates.size());
+  for (auto& row : candidates) {
+    if (!merged.empty() && merged.back().key == row.key) {
+      merged.back() = std::move(row);
+    } else {
+      merged.push_back(std::move(row));
+    }
+  }
+
+  if (q.reverse) std::reverse(merged.begin(), merged.end());
+  if (q.limit != 0 && merged.size() > q.limit) {
+    merged.resize(q.limit);
+    result.truncated = true;
+  }
+  result.rows = std::move(merged);
+  return result;
+}
+
+std::vector<std::string> StorageEngine::partition_keys(
+    const std::string& table) const {
+  std::lock_guard lock(mu_);
+  std::set<std::string> keys;
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return {};
+  for (const auto& k : it->second.memtable.partition_keys()) keys.insert(k);
+  for (const auto& sst : it->second.sstables) {
+    for (const auto& p : sst->partitions()) keys.insert(p.key);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+std::uint64_t StorageEngine::approximate_rows(const std::string& table) const {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return 0;
+  std::uint64_t total = it->second.memtable.row_count();
+  for (const auto& sst : it->second.sstables) total += sst->row_count();
+  return total;
+}
+
+std::size_t StorageEngine::crash_and_recover() {
+  std::lock_guard lock(mu_);
+  // Lose all memtables; SSTables survive (they are "on disk").
+  for (auto& [_, store] : tables_) {
+    (void)store.memtable.drain();
+    store.applied_lsn = store.flushed_lsn;
+  }
+  // Replay everything newer than the oldest flushed point. Replaying a
+  // mutation that already reached an SSTable is harmless: reconciliation
+  // is last-write-wins on identical write_ts.
+  std::uint64_t min_flushed = log_.last_lsn();
+  for (const auto& [_, store] : tables_) {
+    min_flushed = std::min(min_flushed, store.flushed_lsn);
+  }
+  const auto entries = log_.replay(min_flushed);
+  std::uint64_t lsn = min_flushed;
+  for (const auto& cmd : entries) {
+    apply_locked(cmd, ++lsn);
+  }
+  return entries.size();
+}
+
+StorageMetrics StorageEngine::metrics() const {
+  std::lock_guard lock(mu_);
+  return metrics_;
+}
+
+void StorageEngine::flush_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, store] : tables_) flush_locked(name, store);
+}
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,162 @@
+#include "cassalite/value.hpp"
+
+#include <cmath>
+
+namespace hpcla::cassalite {
+namespace {
+
+/// Type rank for cross-type ordering: null < bool < numeric < text.
+int type_rank(const Value& v) noexcept {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_int() || v.is_double()) return 2;
+  return 3;
+}
+
+std::strong_ordering order_doubles(double a, double b) noexcept {
+  // Values never hold NaN (the double constructor rejects it), so
+  // partial_ordering collapses to strong.
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace
+
+double Value::checked_double(double v) {
+  HPCLA_CHECK_MSG(!std::isnan(v), "NaN is not a valid cell value");
+  return v;
+}
+
+bool Value::as_bool() const {
+  HPCLA_CHECK_MSG(is_bool(), "Value::as_bool on non-bool");
+  return std::get<bool>(rep_);
+}
+
+std::int64_t Value::as_int() const {
+  HPCLA_CHECK_MSG(is_int(), "Value::as_int on non-int");
+  return std::get<std::int64_t>(rep_);
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(rep_));
+  HPCLA_CHECK_MSG(is_double(), "Value::as_double on non-numeric");
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::as_text() const {
+  HPCLA_CHECK_MSG(is_text(), "Value::as_text on non-text");
+  return std::get<std::string>(rep_);
+}
+
+std::strong_ordering Value::compare(const Value& o) const noexcept {
+  const int ra = type_rank(*this);
+  const int rb = type_rank(o);
+  if (ra != rb) return ra <=> rb;
+  switch (ra) {
+    case 0:
+      return std::strong_ordering::equal;
+    case 1:
+      return std::get<bool>(rep_) <=> std::get<bool>(o.rep_);
+    case 2: {
+      // Exact int-int comparison; otherwise compare as doubles.
+      if (is_int() && o.is_int()) {
+        return std::get<std::int64_t>(rep_) <=> std::get<std::int64_t>(o.rep_);
+      }
+      return order_doubles(as_double(), o.as_double());
+    }
+    default:
+      return std::get<std::string>(rep_).compare(std::get<std::string>(o.rep_)) <=> 0;
+  }
+}
+
+Json Value::to_json() const {
+  if (is_null()) return Json(nullptr);
+  if (is_bool()) return Json(std::get<bool>(rep_));
+  if (is_int()) return Json(std::get<std::int64_t>(rep_));
+  if (is_double()) return Json(std::get<double>(rep_));
+  return Json(std::get<std::string>(rep_));
+}
+
+Result<Value> Value::from_json(const Json& j) {
+  if (j.is_null()) return Value();
+  if (j.is_bool()) return Value(j.as_bool());
+  if (j.is_int()) return Value(j.as_int());
+  if (j.is_double()) {
+    const double d = j.as_double();
+    if (std::isnan(d)) return invalid_argument("NaN is not a valid cell value");
+    return Value(d);
+  }
+  if (j.is_string()) return Value(j.as_string());
+  return invalid_argument("cell values must be JSON scalars");
+}
+
+std::size_t Value::memory_bytes() const noexcept {
+  std::size_t base = sizeof(Value);
+  if (is_text()) base += std::get<std::string>(rep_).capacity();
+  return base;
+}
+
+std::string Value::to_string() const {
+  if (is_text()) return "\"" + std::get<std::string>(rep_) + "\"";
+  return to_json().dump();
+}
+
+std::strong_ordering ClusteringKey::compare(const ClusteringKey& o) const noexcept {
+  const std::size_t n = std::min(parts.size(), o.parts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = parts[i].compare(o.parts[i]);
+    if (c != std::strong_ordering::equal) return c;
+  }
+  return parts.size() <=> o.parts.size();
+}
+
+std::size_t ClusteringKey::memory_bytes() const noexcept {
+  std::size_t total = sizeof(ClusteringKey);
+  for (const auto& p : parts) total += p.memory_bytes();
+  return total;
+}
+
+Json ClusteringKey::to_json() const {
+  Json arr = Json::array();
+  for (const auto& p : parts) arr.push_back(p.to_json());
+  return arr;
+}
+
+std::string ClusteringKey::to_string() const { return to_json().dump(); }
+
+const Value* Row::find(std::string_view name) const noexcept {
+  for (const auto& c : cells) {
+    if (c.name == name) return &c.value;
+  }
+  return nullptr;
+}
+
+void Row::set(std::string name, Value v) {
+  for (auto& c : cells) {
+    if (c.name == name) {
+      c.value = std::move(v);
+      return;
+    }
+  }
+  cells.push_back(Cell{std::move(name), std::move(v)});
+}
+
+std::size_t Row::memory_bytes() const noexcept {
+  std::size_t total = sizeof(Row) + key.memory_bytes();
+  for (const auto& c : cells) {
+    total += c.name.capacity() + c.value.memory_bytes();
+  }
+  return total;
+}
+
+Json Row::to_json() const {
+  Json j = Json::object();
+  j["key"] = key.to_json();
+  Json cols = Json::object();
+  for (const auto& c : cells) cols[c.name] = c.value.to_json();
+  j["columns"] = std::move(cols);
+  return j;
+}
+
+}  // namespace hpcla::cassalite

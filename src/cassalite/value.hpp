@@ -1,0 +1,138 @@
+// Cell values and composite clustering keys for the cassalite column store.
+//
+// Cassandra models a partition as a wide row: rows sorted by a clustering
+// key, each row holding named cells. HPC log schemas are deliberately
+// flexible (paper §II-A "Flexibility"), so cells are dynamically typed and
+// any row may carry columns other rows in the same table lack (the paper's
+// "Other Info" column family).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::cassalite {
+
+/// Dynamically typed cell: null, bool, int64, double, or text.
+class Value {
+ public:
+  Value() noexcept : rep_(std::monostate{}) {}
+  Value(bool b) noexcept : rep_(b) {}                           // NOLINT
+  Value(int v) noexcept : rep_(static_cast<std::int64_t>(v)) {} // NOLINT
+  Value(std::int64_t v) noexcept : rep_(v) {}                   // NOLINT
+  /// NaN is rejected (throws): cell ordering must stay total.
+  Value(double v) : rep_(checked_double(v)) {}                  // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}                // NOLINT
+  Value(std::string s) noexcept : rep_(std::move(s)) {}         // NOLINT
+  Value(std::string_view s) : rep_(std::string(s)) {}           // NOLINT
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(rep_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(rep_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(rep_);
+  }
+  [[nodiscard]] bool is_double() const noexcept {
+    return std::holds_alternative<double>(rep_);
+  }
+  [[nodiscard]] bool is_text() const noexcept {
+    return std::holds_alternative<std::string>(rep_);
+  }
+
+  /// Typed accessors; HPCLA_CHECK on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  ///< int promotes to double
+  [[nodiscard]] const std::string& as_text() const;
+
+  /// Total order: by type rank (null < bool < numeric < text), numerics
+  /// compared cross-type so int 2 < double 2.5. This makes mixed-type
+  /// clustering keys well defined.
+  [[nodiscard]] std::strong_ordering compare(const Value& o) const noexcept;
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.compare(b) == std::strong_ordering::equal;
+  }
+  friend bool operator<(const Value& a, const Value& b) noexcept {
+    return a.compare(b) == std::strong_ordering::less;
+  }
+
+  /// JSON representation (null/bool/int/double/string).
+  [[nodiscard]] Json to_json() const;
+
+  /// Value from a JSON scalar; arrays/objects are rejected.
+  static Result<Value> from_json(const Json& j);
+
+  /// Approximate in-memory footprint in bytes (memtable accounting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Diagnostic rendering, e.g. `42`, `"text"`, `null`.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static double checked_double(double v);
+
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> rep_;
+};
+
+/// Composite clustering key: lexicographic over its parts. Event tables
+/// cluster by (timestamp, seq); application tables by (name, jobid) etc.
+struct ClusteringKey {
+  std::vector<Value> parts;
+
+  [[nodiscard]] std::strong_ordering compare(const ClusteringKey& o) const noexcept;
+
+  friend bool operator==(const ClusteringKey& a, const ClusteringKey& b) noexcept {
+    return a.compare(b) == std::strong_ordering::equal;
+  }
+  friend bool operator<(const ClusteringKey& a, const ClusteringKey& b) noexcept {
+    return a.compare(b) == std::strong_ordering::less;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience builders.
+  static ClusteringKey of(std::initializer_list<Value> parts) {
+    return ClusteringKey{std::vector<Value>(parts)};
+  }
+};
+
+/// One named cell.
+struct Cell {
+  std::string name;
+  Value value;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// A stored row: clustering key + cells + the write timestamp used for
+/// last-write-wins reconciliation across replicas and compaction.
+struct Row {
+  ClusteringKey key;
+  std::vector<Cell> cells;
+  std::int64_t write_ts = 0;  ///< microseconds, assigned by the coordinator
+
+  /// Cell value by name; nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view name) const noexcept;
+
+  /// Sets or overwrites a cell.
+  void set(std::string name, Value v);
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  [[nodiscard]] Json to_json() const;
+
+  friend bool operator==(const Row&, const Row&) = default;
+};
+
+}  // namespace hpcla::cassalite

@@ -1,0 +1,114 @@
+#include "common/clock.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace hpcla {
+namespace {
+
+// Days-from-civil / civil-from-days after Howard Hinnant's public-domain
+// chrono algorithms; exact over the whole int64 range we care about.
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;                    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);         // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                              // [0, 11]
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+CivilTime to_civil(UnixSeconds ts) noexcept {
+  std::int64_t days = ts / kSecondsPerDay;
+  std::int64_t secs = ts % kSecondsPerDay;
+  if (secs < 0) {
+    secs += kSecondsPerDay;
+    --days;
+  }
+  CivilTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(secs / 3600);
+  ct.minute = static_cast<int>((secs % 3600) / 60);
+  ct.second = static_cast<int>(secs % 60);
+  return ct;
+}
+
+UnixSeconds from_civil(const CivilTime& ct) noexcept {
+  return days_from_civil(ct.year, ct.month, ct.day) * kSecondsPerDay +
+         ct.hour * 3600 + ct.minute * 60 + ct.second;
+}
+
+std::string format_timestamp(UnixSeconds ts) {
+  const CivilTime ct = to_civil(ts);
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%04d-%02d-%02d %02d:%02d:%02d",
+                ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf.data();
+}
+
+std::string format_iso8601(UnixSeconds ts) {
+  const CivilTime ct = to_civil(ts);
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf.data();
+}
+
+Result<UnixSeconds> parse_timestamp(std::string_view text) {
+  // Accept "YYYY-MM-DD HH:MM:SS" and "YYYY-MM-DDTHH:MM:SS" with optional Z.
+  if (text.size() >= 1 && text.back() == 'Z') text.remove_suffix(1);
+  if (text.size() != 19) {
+    return invalid_argument("timestamp must be 19 chars: '" +
+                            std::string(text) + "'");
+  }
+  auto digit = [&](size_t i) -> int {
+    char c = text[i];
+    return (c >= '0' && c <= '9') ? c - '0' : -1;
+  };
+  auto num2 = [&](size_t i) { return digit(i) * 10 + digit(i + 1); };
+  auto num4 = [&](size_t i) {
+    return digit(i) * 1000 + digit(i + 1) * 100 + digit(i + 2) * 10 +
+           digit(i + 3);
+  };
+  const char sep = text[10];
+  if (text[4] != '-' || text[7] != '-' || (sep != ' ' && sep != 'T') ||
+      text[13] != ':' || text[16] != ':') {
+    return invalid_argument("bad timestamp separators: '" + std::string(text) +
+                            "'");
+  }
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u, 17u, 18u}) {
+    if (digit(i) < 0) {
+      return invalid_argument("bad timestamp digit: '" + std::string(text) + "'");
+    }
+  }
+  CivilTime ct;
+  ct.year = num4(0);
+  ct.month = num2(5);
+  ct.day = num2(8);
+  ct.hour = num2(11);
+  ct.minute = num2(14);
+  ct.second = num2(17);
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 || ct.day > 31 ||
+      ct.hour > 23 || ct.minute > 59 || ct.second > 59) {
+    return invalid_argument("timestamp field out of range: '" +
+                            std::string(text) + "'");
+  }
+  return from_civil(ct);
+}
+
+}  // namespace hpcla

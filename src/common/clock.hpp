@@ -1,0 +1,112 @@
+// Time vocabulary for the log-analytics data model.
+//
+// All log timestamps are UnixSeconds (UTC). The data model partitions events
+// by *hour bucket* (paper §II-B: "all events of a certain type generated at
+// a certain hour are stored in the same partition"), so hour bucketing and
+// formatted-timestamp round trips live here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hpcla {
+
+/// Seconds since the Unix epoch, UTC. Signed so differences are natural.
+using UnixSeconds = std::int64_t;
+
+/// Milliseconds since the Unix epoch, for sub-second streaming timestamps.
+using UnixMillis = std::int64_t;
+
+constexpr std::int64_t kSecondsPerHour = 3600;
+constexpr std::int64_t kSecondsPerDay = 86400;
+
+/// Hour bucket containing `ts` (floor division, correct for negatives).
+constexpr std::int64_t hour_bucket(UnixSeconds ts) noexcept {
+  std::int64_t q = ts / kSecondsPerHour;
+  if (ts % kSecondsPerHour < 0) --q;
+  return q;
+}
+
+/// First second of hour bucket `bucket`.
+constexpr UnixSeconds hour_bucket_start(std::int64_t bucket) noexcept {
+  return bucket * kSecondsPerHour;
+}
+
+/// Calendar components of a UTC timestamp (proleptic Gregorian).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;   ///< 1..12
+  int day = 1;     ///< 1..31
+  int hour = 0;    ///< 0..23
+  int minute = 0;  ///< 0..59
+  int second = 0;  ///< 0..59
+};
+
+/// Converts a Unix timestamp to calendar fields (UTC, no leap seconds).
+CivilTime to_civil(UnixSeconds ts) noexcept;
+
+/// Converts calendar fields to a Unix timestamp. Fields are not validated;
+/// out-of-range values are normalized the way timegm would.
+UnixSeconds from_civil(const CivilTime& ct) noexcept;
+
+/// Formats as "YYYY-MM-DD HH:MM:SS" — the syslog-like format used by the
+/// synthetic Titan log lines.
+std::string format_timestamp(UnixSeconds ts);
+
+/// Formats as "YYYY-MM-DDTHH:MM:SSZ" for JSON payloads.
+std::string format_iso8601(UnixSeconds ts);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" or "YYYY-MM-DDTHH:MM:SS[Z]".
+Result<UnixSeconds> parse_timestamp(std::string_view text);
+
+/// Half-open time interval [begin, end) in seconds. The frontend's
+/// "temporal map" selections translate into these.
+struct TimeRange {
+  UnixSeconds begin = 0;
+  UnixSeconds end = 0;
+
+  [[nodiscard]] constexpr bool contains(UnixSeconds ts) const noexcept {
+    return ts >= begin && ts < end;
+  }
+  [[nodiscard]] constexpr std::int64_t duration() const noexcept {
+    return end - begin;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return end <= begin; }
+
+  /// First hour bucket overlapping the range.
+  [[nodiscard]] std::int64_t first_hour() const noexcept {
+    return hour_bucket(begin);
+  }
+  /// Last hour bucket overlapping the range (inclusive).
+  [[nodiscard]] std::int64_t last_hour() const noexcept {
+    return empty() ? hour_bucket(begin) : hour_bucket(end - 1);
+  }
+
+  friend constexpr bool operator==(const TimeRange&, const TimeRange&) = default;
+};
+
+/// Monotonic wall-clock used for measuring latencies inside the simulated
+/// cluster (never used as data timestamps).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds elapsed since construction or last reset.
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_).count();
+  }
+  [[nodiscard]] std::int64_t elapsed_micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_).count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hpcla

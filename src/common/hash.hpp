@@ -1,0 +1,41 @@
+// Hashing for the cassalite token ring and general-purpose maps.
+//
+// Cassandra's Murmur3Partitioner hashes partition keys with MurmurHash3
+// x64/128 and takes the low 64 bits as the ring token; we reproduce that so
+// partition placement behaves like the paper's backend (Fig 4).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpcla {
+
+/// MurmurHash3 x64/128, low 64 bits. Deterministic across platforms.
+std::uint64_t murmur3_64(std::string_view data, std::uint64_t seed = 0) noexcept;
+
+/// FNV-1a 64-bit; cheap hash for short strings in non-ring contexts.
+constexpr std::uint64_t fnv1a_64(std::string_view data) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Ring token: signed like Cassandra's murmur3 token space [-2^63, 2^63).
+using Token = std::int64_t;
+
+/// Token for a partition key.
+inline Token token_for_key(std::string_view key) noexcept {
+  return static_cast<Token>(murmur3_64(key));
+}
+
+/// Mix for composing multiple hash values (boost::hash_combine style,
+/// 64-bit variant).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t v) noexcept {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace hpcla

@@ -1,0 +1,139 @@
+// Minimal JSON value / parser / serializer.
+//
+// The paper's frontend↔server protocol is JSON ("Every interaction with the
+// frontend is translated into a query in JSON format"; "Query results are
+// sent in JSON object format to avoid data format conversion at the
+// frontend"), so JSON is a first-class substrate here, not a convenience.
+//
+// Object member order is preserved (insertion order) so serialized query
+// results are deterministic and diffable in tests.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hpcla {
+
+class Json;
+
+/// Insertion-ordered string→Json map used for JSON objects.
+class JsonObject {
+ public:
+  using Entry = std::pair<std::string, Json>;
+
+  /// Inserts or overwrites a member. Returns a reference to the value.
+  Json& set(std::string key, Json value);
+  /// Pointer to the member value or nullptr.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  [[nodiscard]] Json* find(std::string_view key) noexcept;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+  [[nodiscard]] auto begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() noexcept { return entries_.end(); }
+
+  friend bool operator==(const JsonObject&, const JsonObject&);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// A JSON document node: null, bool, integer, double, string, array, object.
+/// Integers are kept distinct from doubles so 64-bit timestamps and counts
+/// round-trip exactly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+
+  Json() noexcept : rep_(nullptr) {}
+  Json(std::nullptr_t) noexcept : rep_(nullptr) {}           // NOLINT
+  Json(bool b) noexcept : rep_(b) {}                          // NOLINT
+  Json(int v) noexcept : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(unsigned v) noexcept : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(std::int64_t v) noexcept : rep_(v) {}                  // NOLINT
+  Json(std::uint64_t v) noexcept : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(long long v) noexcept : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(unsigned long long v) noexcept : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(double v) noexcept : rep_(v) {}                        // NOLINT
+  Json(const char* s) : rep_(std::string(s)) {}               // NOLINT
+  Json(std::string s) noexcept : rep_(std::move(s)) {}        // NOLINT
+  Json(std::string_view s) : rep_(std::string(s)) {}          // NOLINT
+  Json(Array a) noexcept : rep_(std::move(a)) {}              // NOLINT
+  Json(JsonObject o) noexcept : rep_(std::move(o)) {}         // NOLINT
+
+  /// Factory for an empty object / array (reads better than Json(JsonObject{})).
+  static Json object() { return Json(JsonObject{}); }
+  static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(rep_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(rep_); }
+  [[nodiscard]] bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(rep_); }
+  [[nodiscard]] bool is_double() const noexcept { return std::holds_alternative<double>(rep_); }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(rep_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(rep_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<JsonObject>(rep_); }
+
+  /// Typed accessors; HPCLA_CHECK on type mismatch (programmer error —
+  /// use the `get_*` lookups below for data-dependent access).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Numeric value as double (works for both int and double nodes).
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object member access; converts this node to an object if null.
+  Json& operator[](std::string_view key);
+  /// Const lookup: member value or a shared null node.
+  const Json& operator[](std::string_view key) const;
+
+  /// Appends to an array node (converts from null).
+  void push_back(Json v);
+
+  /// Fallible field lookups for query parsing: missing/mistyped fields
+  /// return a Status rather than asserting.
+  [[nodiscard]] Result<std::int64_t> get_int(std::string_view key) const;
+  [[nodiscard]] Result<double> get_double(std::string_view key) const;
+  [[nodiscard]] Result<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] Result<bool> get_bool(std::string_view key) const;
+
+  /// Serializes to a compact single-line document.
+  [[nodiscard]] std::string dump() const;
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string pretty() const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static Result<Json> parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b) { return a.rep_ == b.rep_; }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               JsonObject>
+      rep_;
+};
+
+/// Escapes a string for embedding in a JSON document (adds quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace hpcla

@@ -1,0 +1,46 @@
+// Diagnostic logging for the framework itself (not the HPC logs being
+// analyzed — those are data). Thread-safe, leveled, off by default above
+// WARN so benches are not polluted.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hpcla {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+/// Writes one formatted line to stderr under a global mutex.
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Stream-style one-shot logger: LogMessage(LogLevel::kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) detail::log_line(level_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hpcla
+
+#define HPCLA_LOG(level) ::hpcla::LogMessage(::hpcla::LogLevel::level)

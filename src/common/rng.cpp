@@ -1,0 +1,71 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+
+namespace hpcla {
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction.
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  double u1;
+  do { u1 = uniform(); } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mu + sigma * z;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  if (n == 0) return 0;
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+  }
+  const double u = uniform();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::size_t>(it - zipf_cdf_.begin());
+}
+
+std::size_t Rng::weighted_pick(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::hex_string(std::size_t len) noexcept {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(len, '0');
+  for (auto& c : out) c = kDigits[next_below(16)];
+  return out;
+}
+
+}  // namespace hpcla

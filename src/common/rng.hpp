@@ -1,0 +1,114 @@
+// Deterministic random-number generation for the synthetic workload
+// generators. Every experiment is seeded so tables/figures reproduce
+// bit-identically run to run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcla {
+
+/// xoshiro256** PRNG with SplitMix64 seeding. Small, fast, and — unlike
+/// std::mt19937 — cheap to fork per partition for parallel generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // SplitMix64 expansion of the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free-enough bound for simulation use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with rate lambda (mean 1/lambda). Used for inter-arrival
+  /// times of background log events.
+  double exponential(double lambda) noexcept {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -std::log(u) / lambda;
+  }
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64 — fine for workload synthesis).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Standard normal via Box–Muller.
+  double normal(double mu = 0.0, double sigma = 1.0) noexcept;
+
+  /// Zipf-distributed rank in [0, n) with exponent s: models the heavy skew
+  /// of event types and application popularity in real HPC logs.
+  std::size_t zipf(std::size_t n, double s) noexcept;
+
+  /// Pareto-distributed value with scale xm and shape alpha; used for job
+  /// durations (heavy-tailed in production traces).
+  double pareto(double xm, double alpha) noexcept {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Picks an index according to a weight vector (weights need not sum to 1).
+  std::size_t weighted_pick(const std::vector<double>& weights) noexcept;
+
+  /// Derives an independent child generator; `salt` distinguishes children.
+  Rng fork(std::uint64_t salt) noexcept {
+    return Rng(next_u64() ^ (salt * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull));
+  }
+
+  /// Random lowercase hex string of `len` chars (for fabricated NIDs,
+  /// addresses, and Lustre object ids in log text).
+  std::string hex_string(std::size_t len) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  // Zipf sampling caches the harmonic normalizer per (n, s).
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace hpcla

@@ -1,0 +1,47 @@
+#include "common/status.hpp"
+
+namespace hpcla {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(status_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& extra) {
+  std::string msg = "HPCLA_CHECK failed: ";
+  msg += expr;
+  msg += " at ";
+  msg += file;
+  msg += ":";
+  msg += std::to_string(line);
+  if (!extra.empty()) {
+    msg += " — ";
+    msg += extra;
+  }
+  throw BadResultAccess(msg);
+}
+
+}  // namespace detail
+}  // namespace hpcla

@@ -1,0 +1,188 @@
+// Lightweight error-handling vocabulary used across all hpcla modules.
+//
+// We deliberately avoid exceptions on hot paths (ingest, query execution):
+// fallible operations return a Status or a Result<T>, following the
+// "what cannot be checked at compile time should be checkable at run time"
+// guideline. Exceptions are still used for programmer errors (CHECK-style
+// invariant violations) where unwinding is never expected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hpcla {
+
+/// Error category, loosely modeled after gRPC/absl canonical codes but
+/// trimmed to what a log-analytics pipeline actually produces.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed query, bad schema, unparsable input
+  kNotFound,          ///< unknown table, key, topic, node, ...
+  kAlreadyExists,     ///< DDL collision, duplicate registration
+  kFailedPrecondition,///< operation not valid in current state
+  kUnavailable,       ///< not enough live replicas for the consistency level
+  kTimeout,           ///< operation exceeded its deadline
+  kResourceExhausted, ///< queue/capacity limits hit
+  kCorruption,        ///< storage-layer integrity violation
+  kInternal,          ///< bug: invariant broken
+};
+
+/// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// Value-semantic status: either OK or a (code, message) pair.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "CODE_NAME: message" for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Convenience factories mirroring the canonical codes.
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status timeout(std::string msg) {
+  return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status corruption(std::string msg) {
+  return {StatusCode::kCorruption, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Thrown only by CHECK-style macros and Result::value() on misuse;
+/// never part of the normal control flow.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Result<T>: either a value or an error Status. A minimal `expected`
+/// (we target C++20, std::expected is C++23).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from an error status: `return not_found("x");`
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).is_ok()) {
+      throw BadResultAccess("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(rep_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// The contained status; OK when a value is present.
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(rep_);
+  }
+
+  /// Access the value; throws BadResultAccess if this holds an error.
+  [[nodiscard]] T& value() & {
+    ensure_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] const T& value() const& {
+    ensure_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    ensure_ok();
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Value if present, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void ensure_ok() const {
+    if (!is_ok()) {
+      throw BadResultAccess("Result accessed while holding error: " +
+                            std::get<Status>(rep_).to_string());
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& extra);
+}  // namespace detail
+
+}  // namespace hpcla
+
+/// Invariant check: aborts the operation with an exception carrying
+/// file:line. For programmer errors only, not data-dependent failures.
+#define HPCLA_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hpcla::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                  \
+  } while (0)
+
+#define HPCLA_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hpcla::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (0)
+
+/// Propagates a non-OK Status from an expression producing a Status.
+#define HPCLA_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::hpcla::Status _s = (expr);               \
+    if (!_s.is_ok()) return _s;                \
+  } while (0)

@@ -1,0 +1,42 @@
+// Small string utilities shared by log parsing and the query layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcla {
+
+/// Splits on a single-character delimiter. Empty fields are preserved:
+/// split("a,,b", ',') -> {"a", "", "b"}. Views alias `text`.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Splits on any run of whitespace; empty tokens are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace (space, tab, CR, LF).
+std::string_view trim(std::string_view text) noexcept;
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with / ends with the given prefix/suffix.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Joins the elements with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+/// Parses a base-10 signed integer from the whole of `text`.
+/// Returns false on any non-digit content or overflow.
+bool parse_int(std::string_view text, long long& out) noexcept;
+
+/// Formats a double with `digits` significant digits (for report tables).
+std::string format_double(double v, int digits = 4);
+
+/// Formats counts with thousands separators: 1234567 -> "1,234,567".
+std::string format_count(long long v);
+
+}  // namespace hpcla

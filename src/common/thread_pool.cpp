@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+namespace hpcla {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    HPCLA_CHECK_MSG(!stop_, "ThreadPool::enqueue after shutdown");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  // Shared by value-captured shared_ptr: pooled helpers may briefly outlive
+  // this call's stack frame after the last index completes.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n;
+    const std::function<void(std::size_t)>* fn;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+  };
+  auto st = std::make_shared<State>();
+  st->n = n;
+  st->fn = &fn;  // `fn` outlives all uses: wait below covers every call
+
+  auto body = [st] {
+    while (true) {
+      const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= st->n) break;
+      try {
+        (*st->fn)(i);
+      } catch (...) {
+        std::lock_guard lock(st->error_mu);
+        if (!st->first_error) st->first_error = std::current_exception();
+      }
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->n) {
+        std::lock_guard lock(st->done_mu);
+        st->done_cv.notify_all();
+      }
+    }
+  };
+
+  // One pooled helper per worker; the caller runs the same loop so progress
+  // is guaranteed even when every pool thread is busy elsewhere.
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) post(body);
+  body();
+
+  std::unique_lock lock(st->done_mu);
+  st->done_cv.wait(
+      lock, [&] { return st->done.load(std::memory_order_acquire) >= n; });
+
+  if (st->first_error) std::rethrow_exception(st->first_error);
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+}  // namespace hpcla

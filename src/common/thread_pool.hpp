@@ -1,0 +1,75 @@
+// Fixed-size worker pool used by the sparklite executor and the cassalite
+// cluster's per-node I/O threads.
+//
+// Design per CP.* guidelines: the pool owns its threads (RAII join on
+// destruction), tasks are type-erased move-only callables, and waiting is
+// expressed through futures or the bulk parallel_for helper — callers never
+// touch the mutex/cv machinery.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hpcla {
+
+/// A bounded team of worker threads draining a shared FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues a task; returns a future for its result. Exceptions thrown by
+  /// the task are delivered through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() mutable { (*task)(); });
+    return fut;
+  }
+
+  /// Enqueues fire-and-forget work (used for async replication writes).
+  void post(std::function<void()> fn) { enqueue(std::move(fn)); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// The calling thread participates, so this is safe to invoke from within
+  /// a pooled task without deadlock as long as indices are independent.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hpcla

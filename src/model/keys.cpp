@@ -1,0 +1,64 @@
+#include "model/keys.hpp"
+
+#include "common/strings.hpp"
+
+namespace hpcla::model {
+
+std::string event_time_key(std::int64_t hour, titanlog::EventType type) {
+  return std::to_string(hour) + "|" + std::string(titanlog::event_id(type));
+}
+
+std::string event_location_key(std::int64_t hour, topo::NodeId node) {
+  return std::to_string(hour) + "|" + std::to_string(node);
+}
+
+std::string synopsis_key(std::int64_t hour) { return std::to_string(hour); }
+
+std::string app_time_key(std::int64_t hour) { return std::to_string(hour); }
+
+std::string app_user_key(std::string_view user) { return std::string(user); }
+
+std::string app_app_key(std::string_view app) { return std::string(app); }
+
+std::string app_location_key(std::int64_t hour, topo::NodeId node) {
+  return std::to_string(hour) + "|" + std::to_string(node);
+}
+
+std::string nodeinfo_key(topo::NodeId node) { return std::to_string(node); }
+
+std::string eventtype_key(titanlog::EventType type) {
+  return std::string(titanlog::event_id(type));
+}
+
+Result<EventTimeKey> parse_event_time_key(std::string_view key) {
+  const auto bar = key.find('|');
+  if (bar == std::string_view::npos) {
+    return invalid_argument("bad event_by_time key '" + std::string(key) + "'");
+  }
+  long long hour = 0;
+  if (!parse_int(key.substr(0, bar), hour)) {
+    return invalid_argument("bad hour in key '" + std::string(key) + "'");
+  }
+  auto type = titanlog::event_type_from_id(key.substr(bar + 1));
+  if (!type.is_ok()) return type.status();
+  return EventTimeKey{hour, type.value()};
+}
+
+Result<EventLocationKey> parse_event_location_key(std::string_view key) {
+  const auto bar = key.find('|');
+  if (bar == std::string_view::npos) {
+    return invalid_argument("bad event_by_location key '" + std::string(key) +
+                            "'");
+  }
+  long long hour = 0;
+  long long node = 0;
+  if (!parse_int(key.substr(0, bar), hour) ||
+      !parse_int(key.substr(bar + 1), node) || node < 0 ||
+      node >= topo::TitanGeometry::kTotalNodes) {
+    return invalid_argument("bad event_by_location key '" + std::string(key) +
+                            "'");
+  }
+  return EventLocationKey{hour, static_cast<topo::NodeId>(node)};
+}
+
+}  // namespace hpcla::model

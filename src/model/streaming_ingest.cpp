@@ -1,0 +1,86 @@
+#include "model/streaming_ingest.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace hpcla::model {
+
+using titanlog::EventRecord;
+
+StreamingIngestor::StreamingIngestor(cassalite::Cluster& cluster,
+                                     sparklite::Engine& engine,
+                                     buslite::Broker& broker,
+                                     const std::string& topic,
+                                     const std::string& group,
+                                     IngestOptions options)
+    : StreamingIngestor(cluster, engine, broker, topic, 0, 1, group,
+                        options) {}
+
+StreamingIngestor::StreamingIngestor(cassalite::Cluster& cluster,
+                                     sparklite::Engine& engine,
+                                     buslite::Broker& broker,
+                                     const std::string& topic,
+                                     std::size_t member_index,
+                                     std::size_t member_count,
+                                     const std::string& group,
+                                     IngestOptions options)
+    : writer_(cluster, engine, options),
+      stream_(broker, group, topic, member_index, member_count,
+              sparklite::StreamOptions{.window_ms = 1000, .max_poll = 4096}) {}
+
+void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
+                                     StreamingReport& report) {
+  ++report.batches;
+  // Coalesce within the window: same (type, node, second) -> one event with
+  // summed count. The first message's payload and lowest seq are kept.
+  std::map<std::tuple<titanlog::EventType, topo::NodeId, UnixSeconds>,
+           EventRecord>
+      coalesced;
+  for (const auto& msg : batch.messages) {
+    ++report.messages_in;
+    auto json = Json::parse(msg.value);
+    if (!json.is_ok()) {
+      ++report.decode_failures;
+      continue;
+    }
+    auto event = EventRecord::from_json(json.value());
+    if (!event.is_ok()) {
+      ++report.decode_failures;
+      continue;
+    }
+    EventRecord e = std::move(event.value());
+    const auto key = std::make_tuple(e.type, e.node, e.ts);
+    auto [it, inserted] = coalesced.try_emplace(key, e);
+    if (!inserted) {
+      it->second.count += e.count;
+      it->second.seq = std::min(it->second.seq, e.seq);
+    }
+  }
+  std::map<std::pair<std::int64_t, titanlog::EventType>, SynopsisDelta> deltas;
+  IngestReport ingest;
+  for (const auto& [_, e] : coalesced) {
+    if (writer_.write_event(e, ingest) == 2) {
+      ++report.events_written;
+    }
+    accumulate_synopsis(deltas, e);
+  }
+  writer_.apply_synopsis(deltas, ingest);
+  report.write_failures += ingest.write_failures;
+  report.synopsis_rows += ingest.synopsis_rows;
+}
+
+StreamingReport StreamingIngestor::process_available() {
+  StreamingReport report;
+  stream_.process_available([this, &report](const sparklite::MicroBatch& b) {
+    handle_batch(b, report);
+  });
+  totals_.batches += report.batches;
+  totals_.messages_in += report.messages_in;
+  totals_.decode_failures += report.decode_failures;
+  totals_.events_written += report.events_written;
+  totals_.write_failures += report.write_failures;
+  totals_.synopsis_rows += report.synopsis_rows;
+  return report;
+}
+
+}  // namespace hpcla::model

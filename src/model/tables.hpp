@@ -1,0 +1,55 @@
+// DDL for the data model and reference-data loading (nodeinfos,
+// eventtypes). Also the row codecs: EventRecord/JobRecord <-> cassalite
+// rows for every table that stores them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cassalite/cluster.hpp"
+#include "model/keys.hpp"
+#include "titanlog/record.hpp"
+#include "topo/machine.hpp"
+
+namespace hpcla::model {
+
+/// Creates all tables of the data model on the cluster.
+Status create_data_model(cassalite::Cluster& cluster);
+
+/// Loads one row per node slot into `nodeinfos` (19,200 rows).
+Status load_nodeinfos(cassalite::Cluster& cluster,
+                      cassalite::Consistency consistency =
+                          cassalite::Consistency::kQuorum);
+
+/// Loads the event catalog into `eventtypes`.
+Status load_eventtypes(cassalite::Cluster& cluster);
+
+// ---------------------------------------------------------------- codecs
+
+/// Row stored in event_by_time: clustering (ts, seq); cells node/message/
+/// count. (The type is implicit in the partition key.)
+cassalite::Row event_time_row(const titanlog::EventRecord& e);
+
+/// Row stored in event_by_location: clustering (ts, seq); cells type/
+/// message/count. (The node is implicit in the partition key.)
+cassalite::Row event_location_row(const titanlog::EventRecord& e);
+
+/// Decodes an event from either event table; `key` tells the codec which
+/// fields are implicit in the partition key.
+Result<titanlog::EventRecord> decode_event_time_row(
+    const std::string& partition_key, const cassalite::Row& row);
+Result<titanlog::EventRecord> decode_event_location_row(
+    const std::string& partition_key, const cassalite::Row& row);
+
+/// Full application row: clustering (start, apid); cells app/user/nids/
+/// end/exit. Used by application_by_time/_by_user/_by_app.
+cassalite::Row app_row(const titanlog::JobRecord& job);
+
+/// Decodes a JobRecord from a full application row.
+Result<titanlog::JobRecord> decode_app_row(const cassalite::Row& row);
+
+/// Slim placement row for application_by_location: clustering (start,
+/// apid); cells app/user/end/exit (node implicit in the key, no nid list).
+cassalite::Row app_location_row(const titanlog::JobRecord& job);
+
+}  // namespace hpcla::model

@@ -1,0 +1,149 @@
+#include "rowstore/rowstore.hpp"
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace hpcla::rowstore {
+
+bool value_matches(const Value& v, ColumnDef::Kind kind) noexcept {
+  if (v.is_null()) return true;
+  switch (kind) {
+    case ColumnDef::Kind::kInt: return v.is_int();
+    case ColumnDef::Kind::kDouble: return v.is_double() || v.is_int();
+    case ColumnDef::Kind::kText: return v.is_text();
+    case ColumnDef::Kind::kBool: return v.is_bool();
+  }
+  return false;
+}
+
+RowStore::RowStore(RowStoreOptions options) : options_(options) {}
+
+void RowStore::commit_point() const {
+  ++commits_;
+  if (options_.commit_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.commit_delay_us));
+  }
+}
+
+Status RowStore::create_table(const std::string& name,
+                              std::vector<ColumnDef> columns,
+                              std::size_t key_columns) {
+  if (columns.empty() || key_columns == 0 || key_columns > columns.size()) {
+    return invalid_argument("table '" + name + "' needs 1..N key columns");
+  }
+  std::set<std::string> names;
+  for (const auto& c : columns) {
+    if (!names.insert(c.name).second) {
+      return invalid_argument("duplicate column '" + c.name + "'");
+    }
+  }
+  std::lock_guard lock(mu_);
+  if (tables_.contains(name)) {
+    return already_exists("table '" + name + "' already exists");
+  }
+  Table t;
+  t.columns = std::move(columns);
+  t.key_columns = key_columns;
+  tables_.emplace(name, std::move(t));
+  commit_point();
+  return Status::ok();
+}
+
+Status RowStore::validate(const Table& t,
+                          const std::vector<Value>& values) const {
+  if (values.size() != t.columns.size()) {
+    return invalid_argument("row arity " + std::to_string(values.size()) +
+                            " != schema arity " +
+                            std::to_string(t.columns.size()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!value_matches(values[i], t.columns[i].kind)) {
+      return invalid_argument("type mismatch in column '" +
+                              t.columns[i].name + "'");
+    }
+  }
+  return Status::ok();
+}
+
+Status RowStore::insert(const std::string& table, std::vector<Value> values) {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return not_found("no table '" + table + "'");
+  Table& t = it->second;
+  HPCLA_RETURN_IF_ERROR(validate(t, values));
+  std::vector<Value> key(values.begin(),
+                         values.begin() + static_cast<std::ptrdiff_t>(t.key_columns));
+  auto [_, inserted] = t.rows.try_emplace(std::move(key), std::move(values));
+  if (!inserted) {
+    return already_exists("duplicate primary key in '" + table + "'");
+  }
+  commit_point();
+  return Status::ok();
+}
+
+Result<std::vector<Value>> RowStore::get(const std::string& table,
+                                         const std::vector<Value>& key) const {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return not_found("no table '" + table + "'");
+  const auto row = it->second.rows.find(key);
+  if (row == it->second.rows.end()) return not_found("key not found");
+  return row->second;
+}
+
+Result<std::vector<std::vector<Value>>> RowStore::scan(
+    const std::string& table, const std::vector<Value>& lo,
+    const std::vector<Value>& hi) const {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return not_found("no table '" + table + "'");
+  std::vector<std::vector<Value>> out;
+  auto begin = lo.empty() ? it->second.rows.begin()
+                          : it->second.rows.lower_bound(lo);
+  auto end = hi.empty() ? it->second.rows.end()
+                        : it->second.rows.lower_bound(hi);
+  for (; begin != end; ++begin) out.push_back(begin->second);
+  return out;
+}
+
+Result<std::uint64_t> RowStore::add_column(const std::string& table,
+                                           ColumnDef column,
+                                           Value default_value) {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return not_found("no table '" + table + "'");
+  Table& t = it->second;
+  for (const auto& c : t.columns) {
+    if (c.name == column.name) {
+      return already_exists("column '" + column.name + "' already exists");
+    }
+  }
+  if (!value_matches(default_value, column.kind)) {
+    return invalid_argument("default value type mismatch");
+  }
+  t.columns.push_back(std::move(column));
+  // The expensive part the paper complains about: every row is rewritten.
+  std::uint64_t rewritten = 0;
+  for (auto& [_, row] : t.rows) {
+    row.push_back(default_value);
+    ++rewritten;
+  }
+  commit_point();
+  return rewritten;
+}
+
+Result<std::uint64_t> RowStore::row_count(const std::string& table) const {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return not_found("no table '" + table + "'");
+  return static_cast<std::uint64_t>(it->second.rows.size());
+}
+
+std::uint64_t RowStore::commits() const {
+  std::lock_guard lock(mu_);
+  return commits_;
+}
+
+}  // namespace hpcla::rowstore

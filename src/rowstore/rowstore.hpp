@@ -1,0 +1,97 @@
+// rowstore: the RDBMS baseline the paper rejected (§II-A).
+//
+// "First, a schema of a relational database, once created, is very
+//  difficult to modify, whereas the format of HPC logs tend to change
+//  periodically. Second, due to its support for the ACID properties and
+//  two-phase commit protocols, it does not scale."
+//
+// This baseline makes both objections measurable:
+//   * rigid schema: inserts must match the declared column list exactly;
+//     adding a column is an O(table) rewrite (add_column),
+//   * serialized ACID commits: one global lock orders every transaction,
+//     with an optional synchronous-commit delay, so write throughput stays
+//     flat as writer threads are added — the bench_rdbms_baseline
+//     experiment contrasts this with cassalite's per-node scaling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cassalite/value.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::rowstore {
+
+using cassalite::Value;
+
+/// Declared column: name + fixed type.
+struct ColumnDef {
+  enum class Kind : std::uint8_t { kInt, kDouble, kText, kBool };
+  std::string name;
+  Kind kind = Kind::kInt;
+};
+
+/// True if `v` conforms to the declared kind (nulls are allowed anywhere).
+bool value_matches(const Value& v, ColumnDef::Kind kind) noexcept;
+
+struct RowStoreOptions {
+  /// Simulated synchronous-commit cost per transaction, microseconds.
+  int commit_delay_us = 0;
+};
+
+/// Single-node ACID row store with a global transaction lock.
+class RowStore {
+ public:
+  explicit RowStore(RowStoreOptions options = RowStoreOptions());
+
+  /// Creates a table whose first `key_columns` columns form the primary
+  /// key. Duplicate names or empty keys are rejected.
+  Status create_table(const std::string& name, std::vector<ColumnDef> columns,
+                      std::size_t key_columns);
+
+  /// Inserts one row; the value list must match the schema arity and
+  /// types exactly (the "rigid schema" property). Duplicate primary keys
+  /// are rejected (uniqueness constraint).
+  Status insert(const std::string& table, std::vector<Value> values);
+
+  /// Point lookup by primary key.
+  [[nodiscard]] Result<std::vector<Value>> get(
+      const std::string& table, const std::vector<Value>& key) const;
+
+  /// Range scan over primary keys in [lo, hi) (lexicographic).
+  [[nodiscard]] Result<std::vector<std::vector<Value>>> scan(
+      const std::string& table, const std::vector<Value>& lo,
+      const std::vector<Value>& hi) const;
+
+  /// ALTER TABLE ADD COLUMN: appends a column with a default, rewriting
+  /// every stored row. Returns the number of rows rewritten.
+  Result<std::uint64_t> add_column(const std::string& table, ColumnDef column,
+                                   Value default_value);
+
+  [[nodiscard]] Result<std::uint64_t> row_count(const std::string& table) const;
+
+  /// Total committed transactions (inserts + schema changes).
+  [[nodiscard]] std::uint64_t commits() const;
+
+ private:
+  struct Table {
+    std::vector<ColumnDef> columns;
+    std::size_t key_columns = 0;
+    // Primary-key index: composite key -> full row.
+    std::map<std::vector<Value>, std::vector<Value>> rows;
+  };
+
+  void commit_point() const;
+
+  Status validate(const Table& t, const std::vector<Value>& values) const;
+
+  RowStoreOptions options_;
+  mutable std::mutex mu_;  ///< the global transaction lock
+  std::map<std::string, Table> tables_;
+  mutable std::uint64_t commits_ = 0;
+};
+
+}  // namespace hpcla::rowstore

@@ -1,0 +1,681 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "analytics/app_profile.hpp"
+#include "analytics/assoc.hpp"
+#include "analytics/composite.hpp"
+#include "analytics/distribution.hpp"
+#include "analytics/heatmap.hpp"
+#include "analytics/prediction.hpp"
+#include "analytics/queries.hpp"
+#include "analytics/reliability.hpp"
+#include "cassalite/cql.hpp"
+#include "analytics/text.hpp"
+#include "analytics/timeseries.hpp"
+#include "analytics/transfer_entropy.hpp"
+#include "model/keys.hpp"
+#include "server/render.hpp"
+#include "titanlog/events.hpp"
+#include "topo/machine.hpp"
+
+namespace hpcla::server {
+
+using analytics::Context;
+
+Result<QueryPath> classify_query(std::string_view op) {
+  static const std::map<std::string_view, QueryPath> kOps = {
+      {"cql", QueryPath::kSimple},
+      {"nodeinfo", QueryPath::kSimple},
+      {"eventtypes", QueryPath::kSimple},
+      {"synopsis", QueryPath::kSimple},
+      {"events", QueryPath::kSimple},
+      {"jobs", QueryPath::kSimple},
+      {"heatmap", QueryPath::kComplex},
+      {"distribution", QueryPath::kComplex},
+      {"hourly", QueryPath::kComplex},
+      {"timeseries", QueryPath::kComplex},
+      {"cross_correlation", QueryPath::kComplex},
+      {"transfer_entropy", QueryPath::kComplex},
+      {"word_count", QueryPath::kComplex},
+      {"storm_signature", QueryPath::kComplex},
+      {"apps_running", QueryPath::kComplex},
+      {"reliability", QueryPath::kComplex},
+      {"app_impact", QueryPath::kComplex},
+      {"render_heatmap", QueryPath::kComplex},
+      {"render_placement", QueryPath::kComplex},
+      {"association_rules", QueryPath::kComplex},
+      {"composite_events", QueryPath::kComplex},
+      {"app_profiles", QueryPath::kComplex},
+      {"predict_failures", QueryPath::kComplex},
+  };
+  const auto it = kOps.find(op);
+  if (it == kOps.end()) {
+    return not_found("unknown op '" + std::string(op) + "'");
+  }
+  return it->second;
+}
+
+Json AnalyticsServer::handle(const Json& request) {
+  Json response = Json::object();
+  auto op = request.get_string("op");
+  if (!op.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response["status"] = "error";
+    response["error"] = op.status().to_string();
+    return response;
+  }
+  auto path = classify_query(op.value());
+  if (!path.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response["status"] = "error";
+    response["error"] = path.status().to_string();
+    return response;
+  }
+  auto result = dispatch(op.value(), request);
+  if (!result.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response["status"] = "error";
+    response["error"] = result.status().to_string();
+    return response;
+  }
+  (path.value() == QueryPath::kSimple ? simple_ : complex_)
+      .fetch_add(1, std::memory_order_relaxed);
+  response["status"] = "ok";
+  response["path"] =
+      path.value() == QueryPath::kSimple ? "simple" : "complex";
+  response["result"] = std::move(result.value());
+  return response;
+}
+
+std::string AnalyticsServer::handle_text(std::string_view request) {
+  auto parsed = Json::parse(request);
+  if (!parsed.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Json response = Json::object();
+    response["status"] = "error";
+    response["error"] = parsed.status().to_string();
+    return response.dump();
+  }
+  return handle(parsed.value()).dump();
+}
+
+ServerMetrics AnalyticsServer::metrics() const {
+  ServerMetrics m;
+  m.simple_queries = simple_.load(std::memory_order_relaxed);
+  m.complex_queries = complex_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  return m;
+}
+
+Result<Json> AnalyticsServer::dispatch(std::string_view op,
+                                       const Json& request) {
+  if (op == "cql") return op_cql(request);
+  if (op == "nodeinfo") return op_nodeinfo(request);
+  if (op == "eventtypes") return op_eventtypes(request);
+  if (op == "synopsis") return op_synopsis(request);
+  if (op == "events") return op_events(request);
+  if (op == "jobs") return op_jobs(request);
+  if (op == "heatmap") return op_heatmap(request);
+  if (op == "distribution") return op_distribution(request);
+  if (op == "hourly") return op_hourly(request);
+  if (op == "timeseries") return op_timeseries(request);
+  if (op == "cross_correlation") return op_cross_correlation(request);
+  if (op == "transfer_entropy") return op_transfer_entropy(request);
+  if (op == "word_count") return op_word_count(request);
+  if (op == "storm_signature") return op_storm_signature(request);
+  if (op == "apps_running") return op_apps_running(request);
+  if (op == "reliability") return op_reliability(request);
+  if (op == "app_impact") return op_app_impact(request);
+  if (op == "render_heatmap") return op_render_heatmap(request);
+  if (op == "render_placement") return op_render_placement(request);
+  if (op == "association_rules") return op_association_rules(request);
+  if (op == "composite_events") return op_composite_events(request);
+  if (op == "app_profiles") return op_app_profiles(request);
+  if (op == "predict_failures") return op_predict_failures(request);
+  return not_found("unhandled op '" + std::string(op) + "'");
+}
+
+Result<Context> AnalyticsServer::context_of(const Json& request) const {
+  const Json& ctx = request["context"];
+  if (ctx.is_null()) return invalid_argument("missing 'context'");
+  return Context::from_json(ctx);
+}
+
+// ------------------------------------------------------------- simple ops
+
+Result<Json> AnalyticsServer::op_cql(const Json& request) {
+  auto query = request.get_string("query");
+  if (!query.is_ok()) return query.status();
+  auto result = cassalite::execute_cql(*cluster_, query.value());
+  if (!result.is_ok()) return result.status();
+  return result->to_json();
+}
+
+Result<Json> AnalyticsServer::op_nodeinfo(const Json& request) {
+  topo::NodeId node = topo::kInvalidNode;
+  if (request.as_object().contains("node")) {
+    auto nid = request.get_int("node");
+    if (!nid.is_ok()) return nid.status();
+    if (nid.value() < 0 || nid.value() >= topo::TitanGeometry::kTotalNodes) {
+      return invalid_argument("node id out of range");
+    }
+    node = static_cast<topo::NodeId>(nid.value());
+  } else {
+    auto cname = request.get_string("cname");
+    if (!cname.is_ok()) return invalid_argument("need 'node' or 'cname'");
+    auto coord = topo::parse_cname(cname.value());
+    if (!coord.is_ok()) return coord.status();
+    if (coord->level() != topo::LocationLevel::kNode) {
+      return invalid_argument("'cname' must be node-level");
+    }
+    node = topo::node_id(coord.value());
+  }
+  // Served from the nodeinfos table (falling back to the in-memory machine
+  // would hide ingestion gaps from operators).
+  cassalite::ReadQuery q;
+  q.table = std::string(model::kNodeInfos);
+  q.partition_key = model::nodeinfo_key(node);
+  auto r = cluster_->select(q);
+  if (!r.is_ok()) return r.status();
+  if (r->rows.empty()) {
+    return not_found("nodeinfos row for nid " + std::to_string(node) +
+                     " not loaded");
+  }
+  Json row = Json::object();
+  row["nid"] = node;
+  for (const auto& cell : r->rows.front().cells) {
+    row[cell.name] = cell.value.to_json();
+  }
+  return row;
+}
+
+Result<Json> AnalyticsServer::op_eventtypes(const Json&) {
+  Json arr = Json::array();
+  for (const auto& info : titanlog::event_catalog()) {
+    arr.push_back(info.to_json());
+  }
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_synopsis(const Json& request) {
+  auto begin = request["window"].get_int("begin");
+  if (!begin.is_ok()) return begin.status();
+  auto end = request["window"].get_int("end");
+  if (!end.is_ok()) return end.status();
+  auto entries =
+      analytics::fetch_synopsis(*cluster_, TimeRange{begin.value(), end.value()});
+  Json arr = Json::array();
+  for (const auto& e : entries) {
+    Json row = Json::object();
+    row["hour"] = e.hour;
+    row["type"] = std::string(titanlog::event_id(e.type));
+    row["count"] = e.count;
+    row["first_ts"] = e.first_ts;
+    row["last_ts"] = e.last_ts;
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_events(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  const std::int64_t limit = request.get_int("limit").value_or(1000);
+  if (limit <= 0) return invalid_argument("'limit' must be positive");
+  auto events = analytics::raw_log_view(*engine_, *cluster_, ctx.value(),
+                                        static_cast<std::size_t>(limit));
+  Json arr = Json::array();
+  for (const auto& e : events) arr.push_back(e.to_json());
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_jobs(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto jobs = analytics::fetch_jobs(*engine_, *cluster_, ctx.value());
+  Json arr = Json::array();
+  for (const auto& j : jobs) arr.push_back(j.to_json());
+  return arr;
+}
+
+// ------------------------------------------------------------ complex ops
+
+Result<Json> AnalyticsServer::op_heatmap(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto hm = analytics::build_heatmap(*engine_, *cluster_, ctx.value());
+  Json out = Json::object();
+  out["total"] = hm.total;
+  out["peak"] = hm.peak;
+  out["peak_node"] = hm.peak_node;
+  if (hm.peak_node != topo::kInvalidNode) {
+    out["peak_cname"] = topo::cname_of(hm.peak_node);
+  }
+  Json cabinets = Json::array();
+  for (auto c : hm.cabinet_counts()) cabinets.push_back(c);
+  out["cabinets"] = std::move(cabinets);
+  const double k_sigma = request.get_double("k_sigma").value_or(3.0);
+  Json anomalous = Json::array();
+  for (const auto& [node, count] : hm.anomalous_nodes(k_sigma)) {
+    Json row = Json::object();
+    row["node"] = node;
+    row["cname"] = topo::cname_of(node);
+    row["count"] = count;
+    anomalous.push_back(std::move(row));
+  }
+  out["anomalous_nodes"] = std::move(anomalous);
+  // Nonzero node counts (sparse form — 19,200 dense entries would bloat
+  // every response).
+  Json nodes = Json::array();
+  for (std::size_t n = 0; n < hm.node_counts.size(); ++n) {
+    if (hm.node_counts[n] != 0) {
+      Json row = Json::object();
+      row["node"] = n;
+      row["count"] = hm.node_counts[n];
+      nodes.push_back(std::move(row));
+    }
+  }
+  out["nonzero_nodes"] = std::move(nodes);
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_distribution(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto group_name = request.get_string("group_by");
+  if (!group_name.is_ok()) return group_name.status();
+  auto group = analytics::group_by_from_string(group_name.value());
+  if (!group.is_ok()) return group.status();
+  auto dist =
+      analytics::distribution(*engine_, *cluster_, ctx.value(), group.value());
+  Json arr = Json::array();
+  for (const auto& entry : dist) {
+    Json row = Json::object();
+    row["label"] = entry.label;
+    row["count"] = entry.count;
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_hourly(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto hourly = analytics::hourly_distribution(*engine_, *cluster_, ctx.value());
+  Json arr = Json::array();
+  for (const auto& [hour, count] : hourly) {
+    Json row = Json::object();
+    row["hour"] = hour;
+    row["count"] = count;
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+namespace {
+
+Result<titanlog::EventType> type_field(const Json& request, const char* key) {
+  auto id = request.get_string(key);
+  if (!id.is_ok()) return id.status();
+  return titanlog::event_type_from_id(id.value());
+}
+
+Json series_json(const std::vector<double>& series) {
+  Json arr = Json::array();
+  for (double v : series) arr.push_back(v);
+  return arr;
+}
+
+}  // namespace
+
+Result<Json> AnalyticsServer::op_timeseries(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto type = type_field(request, "type");
+  if (!type.is_ok()) return type.status();
+  const std::int64_t bin = request.get_int("bin_seconds").value_or(60);
+  if (bin <= 0) return invalid_argument("'bin_seconds' must be positive");
+  auto series = analytics::event_series(*engine_, *cluster_, ctx.value(),
+                                        type.value(), bin);
+  Json out = Json::object();
+  out["bin_seconds"] = bin;
+  out["series"] = series_json(series);
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_cross_correlation(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto type_a = type_field(request, "type_a");
+  if (!type_a.is_ok()) return type_a.status();
+  auto type_b = type_field(request, "type_b");
+  if (!type_b.is_ok()) return type_b.status();
+  const std::int64_t bin = request.get_int("bin_seconds").value_or(60);
+  const std::int64_t max_lag = request.get_int("max_lag").value_or(10);
+  if (bin <= 0 || max_lag < 0) return invalid_argument("bad bin/max_lag");
+  auto a = analytics::event_series(*engine_, *cluster_, ctx.value(),
+                                   type_a.value(), bin);
+  auto b = analytics::event_series(*engine_, *cluster_, ctx.value(),
+                                   type_b.value(), bin);
+  auto corr = analytics::cross_correlation(
+      a, b, static_cast<std::size_t>(max_lag));
+  Json out = Json::object();
+  out["bin_seconds"] = bin;
+  out["max_lag"] = max_lag;
+  out["correlation"] = series_json(corr);
+  out["peak_lag"] =
+      analytics::peak_lag(corr, static_cast<std::size_t>(max_lag));
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_transfer_entropy(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto type_a = type_field(request, "type_a");
+  if (!type_a.is_ok()) return type_a.status();
+  auto type_b = type_field(request, "type_b");
+  if (!type_b.is_ok()) return type_b.status();
+  const std::int64_t bin = request.get_int("bin_seconds").value_or(60);
+  const std::int64_t levels = request.get_int("levels").value_or(2);
+  const std::int64_t max_shift = request.get_int("max_shift").value_or(0);
+  if (bin <= 0 || levels < 2 || max_shift < 0) {
+    return invalid_argument("bad bin/levels/max_shift");
+  }
+  auto a = analytics::event_series(*engine_, *cluster_, ctx.value(),
+                                   type_a.value(), bin);
+  auto b = analytics::event_series(*engine_, *cluster_, ctx.value(),
+                                   type_b.value(), bin);
+  auto pair = analytics::transfer_entropy_pair(a, b, static_cast<int>(levels));
+  Json out = Json::object();
+  out["bin_seconds"] = bin;
+  out["levels"] = levels;
+  out["te_xy"] = pair.te_xy;
+  out["te_yx"] = pair.te_yx;
+  out["net"] = pair.net();
+  if (max_shift > 0) {
+    out["profile_xy"] = series_json(analytics::transfer_entropy_profile(
+        a, b, static_cast<std::size_t>(max_shift), static_cast<int>(levels)));
+  }
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_word_count(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  const std::int64_t top_k = request.get_int("top_k").value_or(20);
+  if (top_k <= 0) return invalid_argument("'top_k' must be positive");
+  auto terms = analytics::word_count(*engine_, *cluster_, ctx.value(),
+                                     static_cast<std::size_t>(top_k));
+  Json arr = Json::array();
+  for (const auto& t : terms) {
+    Json row = Json::object();
+    row["term"] = t.term;
+    row["count"] = t.count;
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_storm_signature(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  const std::int64_t bucket = request.get_int("bucket_seconds").value_or(60);
+  const std::int64_t top_k = request.get_int("top_k").value_or(10);
+  if (bucket <= 0 || top_k <= 0) return invalid_argument("bad bucket/top_k");
+  auto terms = analytics::storm_signature(*engine_, *cluster_, ctx.value(),
+                                          bucket,
+                                          static_cast<std::size_t>(top_k));
+  Json arr = Json::array();
+  for (const auto& t : terms) {
+    Json row = Json::object();
+    row["term"] = t.term;
+    row["score"] = t.score;
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_apps_running(const Json& request) {
+  auto t = request.get_int("t");
+  if (!t.is_ok()) return t.status();
+  auto jobs = analytics::apps_running_at(*engine_, *cluster_, t.value());
+  Json arr = Json::array();
+  for (const auto& j : jobs) arr.push_back(j.to_json());
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_reliability(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto report = analytics::reliability_report(*engine_, *cluster_, ctx.value());
+  Json out = Json::object();
+  Json counts = Json::object();
+  for (const auto& [type, count] : report.counts_by_type) {
+    counts[std::string(titanlog::event_id(type))] = count;
+  }
+  out["counts_by_type"] = std::move(counts);
+  out["fatal_events"] = report.fatal_events;
+  out["mtbf_seconds"] = report.mtbf_seconds;
+  out["events_per_node_hour"] = report.events_per_node_hour;
+  out["affected_nodes"] = report.affected_nodes;
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_app_impact(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto report = analytics::app_impact(*engine_, *cluster_, ctx.value());
+  Json out = Json::object();
+  out["jobs"] = report.jobs;
+  out["failed_jobs"] = report.failed_jobs;
+  out["failed_with_event"] = report.failed_with_event;
+  out["ok_with_event"] = report.ok_with_event;
+  out["failure_rate"] = report.failure_rate();
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_render_heatmap(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto hm = analytics::build_heatmap(*engine_, *cluster_, ctx.value());
+  Json out = Json::object();
+  out["map"] = render_cabinet_heatmap(hm);
+  if (request.as_object().contains("cabinet")) {
+    auto cab = request.get_int("cabinet");
+    if (!cab.is_ok()) return cab.status();
+    if (cab.value() < 0 || cab.value() >= topo::TitanGeometry::kCabinets) {
+      return invalid_argument("cabinet index out of range");
+    }
+    out["cabinet_detail"] =
+        render_cabinet_detail(hm, static_cast<int>(cab.value()));
+  }
+  if (request.as_object().contains("ppm_path")) {
+    auto path = request.get_string("ppm_path");
+    if (!path.is_ok()) return path.status();
+    HPCLA_RETURN_IF_ERROR(write_heatmap_ppm(hm, path.value()));
+    out["ppm_path"] = path.value();
+  }
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_render_placement(const Json& request) {
+  auto t = request.get_int("t");
+  if (!t.is_ok()) return t.status();
+  auto jobs = analytics::apps_running_at(*engine_, *cluster_, t.value());
+  Json out = Json::object();
+  out["map"] = render_placement_map(jobs);
+  out["jobs"] = static_cast<std::int64_t>(jobs.size());
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_association_rules(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  analytics::AssocConfig config;
+  config.bucket_seconds = request.get_int("bucket_seconds").value_or(600);
+  config.min_support = request.get_double("min_support").value_or(0.001);
+  config.min_confidence = request.get_double("min_confidence").value_or(0.3);
+  if (config.bucket_seconds <= 0 || config.min_support < 0.0 ||
+      config.min_confidence < 0.0) {
+    return invalid_argument("bad association-rule thresholds");
+  }
+  auto rules =
+      analytics::mine_association_rules(*engine_, *cluster_, ctx.value(),
+                                        config);
+  Json arr = Json::array();
+  for (const auto& r : rules) arr.push_back(r.to_json());
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_composite_events(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  // Rules: the named defaults, or inline definitions.
+  std::vector<analytics::CompositeRule> rules;
+  const Json& spec = request["rules"];
+  if (spec.is_null()) {
+    rules = analytics::default_composite_rules();
+  } else {
+    if (!spec.is_array()) return invalid_argument("'rules' must be an array");
+    for (const auto& r : spec.as_array()) {
+      analytics::CompositeRule rule;
+      auto name = r.get_string("name");
+      if (!name.is_ok()) return name.status();
+      rule.name = name.value();
+      auto scope = r.get_string("scope");
+      if (scope.is_ok()) {
+        auto parsed = analytics::match_scope_from_string(scope.value());
+        if (!parsed.is_ok()) return parsed.status();
+        rule.scope = parsed.value();
+      }
+      const Json& steps = r["steps"];
+      if (!steps.is_array() || steps.as_array().size() < 2) {
+        return invalid_argument("rule '" + rule.name +
+                                "' needs >= 2 steps");
+      }
+      for (const auto& s : steps.as_array()) {
+        analytics::CompositeStep step;
+        auto type = type_field(s, "type");
+        if (!type.is_ok()) return type.status();
+        step.type = type.value();
+        step.max_gap_seconds = s.get_int("max_gap_seconds").value_or(600);
+        rule.steps.push_back(step);
+      }
+      rules.push_back(std::move(rule));
+    }
+  }
+  auto matches = analytics::detect_composites(*engine_, *cluster_,
+                                              ctx.value(), rules);
+  Json arr = Json::array();
+  for (const auto& m : matches) {
+    Json row = Json::object();
+    row["rule"] = m.rule;
+    row["scope_key"] = m.scope_key;
+    row["last_node"] = m.last_node;
+    row["cname"] = topo::cname_of(m.last_node);
+    row["start_ts"] = m.start_ts;
+    row["end_ts"] = m.end_ts;
+    row["steps"] = static_cast<std::int64_t>(m.step_events.size());
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_app_profiles(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto profiles = analytics::build_app_profiles(*engine_, *cluster_,
+                                                ctx.value());
+  Json arr = Json::array();
+  for (const auto& p : profiles) arr.push_back(p.to_json());
+  return arr;
+}
+
+Result<Json> AnalyticsServer::op_predict_failures(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  analytics::PredictorConfig config;
+  config.window_seconds = request.get_int("window_seconds").value_or(1800);
+  config.threshold = request.get_int("threshold").value_or(3);
+  config.lead_seconds = request.get_int("lead_seconds").value_or(1800);
+  if (config.window_seconds <= 0 || config.threshold <= 0 ||
+      config.lead_seconds <= 0) {
+    return invalid_argument("window/threshold/lead must be positive");
+  }
+  const Json& precursors = request["precursors"];
+  if (precursors.is_array()) {
+    for (const auto& t : precursors.as_array()) {
+      if (!t.is_string()) return invalid_argument("precursor must be string");
+      auto parsed = titanlog::event_type_from_id(t.as_string());
+      if (!parsed.is_ok()) return parsed.status();
+      config.precursors.push_back(parsed.value());
+    }
+  }
+  const Json& targets = request["targets"];
+  if (targets.is_array()) {
+    for (const auto& t : targets.as_array()) {
+      if (!t.is_string()) return invalid_argument("target must be string");
+      auto parsed = titanlog::event_type_from_id(t.as_string());
+      if (!parsed.is_ok()) return parsed.status();
+      config.targets.push_back(parsed.value());
+    }
+  }
+  auto report = analytics::evaluate_predictor(*engine_, *cluster_,
+                                              ctx.value(), config);
+  Json out = Json::object();
+  out["alarms"] = static_cast<std::int64_t>(report.alarms.size());
+  out["failures"] = report.failures;
+  out["failures_predicted"] = report.failures_predicted;
+  out["true_positives"] = report.true_positives;
+  out["false_positives"] = report.false_positives;
+  out["precision"] = report.precision();
+  out["recall"] = report.recall();
+  out["mean_lead_seconds"] = report.mean_lead_seconds();
+  return out;
+}
+
+// ------------------------------------------------------------ AsyncSession
+
+std::uint64_t AsyncSession::submit(Json request) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  auto server = server_;
+  pending_.emplace(ticket, pool_.submit([server, request = std::move(request)] {
+                     return server->handle(request);
+                   }));
+  return ticket;
+}
+
+Result<Json> AsyncSession::poll(std::uint64_t ticket) {
+  std::lock_guard lock(mu_);
+  const auto it = pending_.find(ticket);
+  if (it == pending_.end()) {
+    return not_found("unknown ticket " + std::to_string(ticket));
+  }
+  if (it->second.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return unavailable("ticket " + std::to_string(ticket) + " still running");
+  }
+  Json response = it->second.get();
+  pending_.erase(it);
+  return response;
+}
+
+Result<Json> AsyncSession::wait(std::uint64_t ticket) {
+  std::future<Json> fut;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end()) {
+      return not_found("unknown ticket " + std::to_string(ticket));
+    }
+    fut = std::move(it->second);
+    pending_.erase(it);
+  }
+  return fut.get();
+}
+
+}  // namespace hpcla::server

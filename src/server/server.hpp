@@ -1,0 +1,136 @@
+// The analytics server (paper §III, Fig 3).
+//
+// "The analytics server consists of a web server, a query processing
+//  engine, and a big data processing engine. The user queries are received
+//  by the web server, translated by the query engine, and either forwarded
+//  to the backend database, or the big data processing unit depending on
+//  the type of a user query. Simple queries are directly handled by the
+//  query engine, and complex queries are passed to the big data processing
+//  unit."
+//
+// AnalyticsServer::handle() is the request entry point: a JSON query in,
+// a JSON response out. The classifier routes lookups/slices (simple) to
+// direct cassalite reads and analytics (complex) to sparklite jobs.
+// AsyncSession reproduces the Tornado long-polling shape: submit returns a
+// ticket, poll retrieves the response when ready.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analytics/context.hpp"
+#include "cassalite/cluster.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "sparklite/engine.hpp"
+
+namespace hpcla::server {
+
+/// Routing decision for a query op.
+enum class QueryPath { kSimple, kComplex };
+
+/// Classifies an op name; kNotFound for unknown ops.
+Result<QueryPath> classify_query(std::string_view op);
+
+struct ServerMetrics {
+  std::uint64_t simple_queries = 0;
+  std::uint64_t complex_queries = 0;
+  std::uint64_t errors = 0;
+};
+
+class AnalyticsServer {
+ public:
+  AnalyticsServer(cassalite::Cluster& cluster, sparklite::Engine& engine)
+      : cluster_(&cluster), engine_(&engine) {}
+
+  /// Handles one frontend query synchronously.
+  ///
+  /// Request envelope:  {"op": "<name>", ...op-specific fields}
+  /// Response envelope: {"status":"ok","path":"simple|complex",
+  ///                     "result":...} or {"status":"error","error":"..."}
+  ///
+  /// Ops (see README for the full schema):
+  ///   simple:  nodeinfo, eventtypes, synopsis, events, jobs
+  ///   complex: heatmap, distribution, hourly, timeseries,
+  ///            cross_correlation, transfer_entropy, word_count,
+  ///            storm_signature, apps_running, reliability, app_impact,
+  ///            render_heatmap, render_placement, composite_events,
+  ///            app_profiles, predict_failures, association_rules
+  [[nodiscard]] Json handle(const Json& request);
+
+  /// Convenience: parse a JSON request string, handle, serialize response.
+  [[nodiscard]] std::string handle_text(std::string_view request);
+
+  [[nodiscard]] ServerMetrics metrics() const;
+
+ private:
+  Result<Json> dispatch(std::string_view op, const Json& request);
+
+  // simple path
+  Result<Json> op_cql(const Json& request);
+  Result<Json> op_nodeinfo(const Json& request);
+  Result<Json> op_eventtypes(const Json& request);
+  Result<Json> op_synopsis(const Json& request);
+  Result<Json> op_events(const Json& request);
+  Result<Json> op_jobs(const Json& request);
+
+  // complex path (big data processing unit)
+  Result<Json> op_heatmap(const Json& request);
+  Result<Json> op_distribution(const Json& request);
+  Result<Json> op_hourly(const Json& request);
+  Result<Json> op_timeseries(const Json& request);
+  Result<Json> op_cross_correlation(const Json& request);
+  Result<Json> op_transfer_entropy(const Json& request);
+  Result<Json> op_word_count(const Json& request);
+  Result<Json> op_storm_signature(const Json& request);
+  Result<Json> op_apps_running(const Json& request);
+  Result<Json> op_reliability(const Json& request);
+  Result<Json> op_app_impact(const Json& request);
+  Result<Json> op_render_heatmap(const Json& request);
+  Result<Json> op_render_placement(const Json& request);
+  Result<Json> op_association_rules(const Json& request);
+  Result<Json> op_composite_events(const Json& request);
+  Result<Json> op_app_profiles(const Json& request);
+  Result<Json> op_predict_failures(const Json& request);
+
+  Result<analytics::Context> context_of(const Json& request) const;
+
+  cassalite::Cluster* cluster_;
+  sparklite::Engine* engine_;
+  mutable std::atomic<std::uint64_t> simple_{0};
+  mutable std::atomic<std::uint64_t> complex_{0};
+  mutable std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Long-poll session: queries run on a small worker pool; the client
+/// polls with the ticket until the response is ready (paper §III-A:
+/// Tornado non-blocking long polling).
+class AsyncSession {
+ public:
+  explicit AsyncSession(AnalyticsServer& server, std::size_t workers = 2)
+      : server_(&server), pool_(workers) {}
+
+  /// Enqueues a query; returns a ticket.
+  std::uint64_t submit(Json request);
+
+  /// Non-blocking poll: response if ready, kUnavailable if still running,
+  /// kNotFound for unknown tickets. A delivered ticket is forgotten.
+  Result<Json> poll(std::uint64_t ticket);
+
+  /// Blocking wait for a ticket.
+  Result<Json> wait(std::uint64_t ticket);
+
+ private:
+  AnalyticsServer* server_;
+  ThreadPool pool_;
+  std::mutex mu_;
+  std::map<std::uint64_t, std::future<Json>> pending_;
+  std::uint64_t next_ticket_ = 1;
+};
+
+}  // namespace hpcla::server

@@ -1,0 +1,57 @@
+// Dataset sources backed by cassalite tables.
+//
+// Each cassalite partition becomes one sparklite partition whose preferred
+// node is the partition's primary replica — the co-location contract of
+// paper §III-A ("by associating local partitions with the same local Spark
+// worker, the big data processing unit performs analytics efficiently").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cassalite/cluster.hpp"
+#include "sparklite/dataset.hpp"
+
+namespace hpcla::sparklite {
+
+/// Scans the given partitions of a table into a Dataset of rows.
+/// When `partition_keys` is empty, all partitions of the table are scanned.
+inline Dataset<std::pair<std::string, cassalite::Row>> scan_table_keyed(
+    Engine& engine, const cassalite::Cluster& cluster,
+    const std::string& table, std::vector<std::string> partition_keys = {}) {
+  if (partition_keys.empty()) {
+    partition_keys = cluster.all_partition_keys(table);
+  }
+  using Out = std::pair<std::string, cassalite::Row>;
+  std::vector<Dataset<Out>::Partition> parts;
+  parts.reserve(partition_keys.size());
+  for (auto& key : partition_keys) {
+    const auto primary = cluster.ring().primary(key);
+    parts.push_back(Dataset<Out>::Partition{
+        [&cluster, table, key](const TaskContext&) {
+          cassalite::ReadQuery q;
+          q.table = table;
+          q.partition_key = key;
+          auto result = cluster.engine(cluster.ring().primary(key)).read(q);
+          std::vector<Out> out;
+          out.reserve(result.rows.size());
+          for (auto& row : result.rows) out.emplace_back(key, std::move(row));
+          return out;
+        },
+        static_cast<int>(primary)});
+  }
+  return Dataset<Out>(engine, std::move(parts));
+}
+
+/// Row-only variant of scan_table_keyed.
+inline Dataset<cassalite::Row> scan_table(
+    Engine& engine, const cassalite::Cluster& cluster,
+    const std::string& table, std::vector<std::string> partition_keys = {}) {
+  return scan_table_keyed(engine, cluster, table, std::move(partition_keys))
+      .map([](const std::pair<std::string, cassalite::Row>& kv) {
+        return kv.second;
+      });
+}
+
+}  // namespace hpcla::sparklite

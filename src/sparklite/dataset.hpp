@@ -1,0 +1,400 @@
+// Dataset<T>: sparklite's lazy, partitioned, immutable collection — the RDD
+// of this reproduction. Narrow transformations (map/filter/flatMap) compose
+// lazily inside a partition; wide transformations (reduceByKey/groupByKey/
+// join) materialize through a hash shuffle; actions (collect/count/reduce)
+// trigger execution on the Engine's worker pool.
+//
+// Like an uncached RDD, a Dataset recomputes its lineage on every action;
+// cache() pins the partition contents in memory.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sparklite/engine.hpp"
+
+namespace hpcla::sparklite {
+
+template <typename T>
+class Dataset {
+ public:
+  /// Computes the partition's rows. Invoked once per action (lazy lineage).
+  using Compute = std::function<std::vector<T>(const TaskContext&)>;
+
+  struct Partition {
+    Compute compute;
+    /// Node whose co-located worker should run this task; -1 = anywhere.
+    int preferred_node = -1;
+  };
+
+  Dataset(Engine& engine, std::vector<Partition> partitions)
+      : engine_(&engine),
+        partitions_(std::make_shared<const std::vector<Partition>>(
+            std::move(partitions))) {}
+
+  /// Distributes an in-memory vector over `num_partitions` slices.
+  static Dataset parallelize(Engine& engine, std::vector<T> data,
+                             std::size_t num_partitions = 0) {
+    if (num_partitions == 0) num_partitions = engine.workers();
+    num_partitions = std::max<std::size_t>(num_partitions, 1);
+    auto shared = std::make_shared<const std::vector<T>>(std::move(data));
+    const std::size_t n = shared->size();
+    const std::size_t chunks = std::min(num_partitions, std::max<std::size_t>(n, 1));
+    std::vector<Partition> parts;
+    parts.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = n * c / chunks;
+      const std::size_t end = n * (c + 1) / chunks;
+      parts.push_back(Partition{
+          [shared, begin, end](const TaskContext&) {
+            return std::vector<T>(shared->begin() + static_cast<std::ptrdiff_t>(begin),
+                                  shared->begin() + static_cast<std::ptrdiff_t>(end));
+          },
+          -1});
+    }
+    return Dataset(engine, std::move(parts));
+  }
+
+  [[nodiscard]] std::size_t partition_count() const noexcept {
+    return partitions_->size();
+  }
+  [[nodiscard]] Engine& engine() const noexcept { return *engine_; }
+
+  // -------------------------------------------------------------- narrow
+
+  /// Element-wise transform.
+  template <typename F>
+  auto map(F f) const {
+    using R = std::invoke_result_t<F, const T&>;
+    return transform_partitions<R>([f](std::vector<T> in, const TaskContext&) {
+      std::vector<R> out;
+      out.reserve(in.size());
+      for (auto& v : in) out.push_back(f(v));
+      return out;
+    });
+  }
+
+  /// Keeps elements where the predicate holds.
+  template <typename F>
+  Dataset<T> filter(F pred) const {
+    return transform_partitions<T>(
+        [pred](std::vector<T> in, const TaskContext&) {
+          std::vector<T> out;
+          for (auto& v : in) {
+            if (pred(v)) out.push_back(std::move(v));
+          }
+          return out;
+        });
+  }
+
+  /// One-to-many transform; F returns a container of R.
+  template <typename F>
+  auto flat_map(F f) const {
+    using Container = std::invoke_result_t<F, const T&>;
+    using R = typename Container::value_type;
+    return transform_partitions<R>([f](std::vector<T> in, const TaskContext&) {
+      std::vector<R> out;
+      for (auto& v : in) {
+        auto sub = f(v);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+      }
+      return out;
+    });
+  }
+
+  /// Whole-partition transform: F(vector<T>) -> vector<R>.
+  template <typename F>
+  auto map_partitions(F f) const {
+    using R = typename std::invoke_result_t<F, std::vector<T>>::value_type;
+    return transform_partitions<R>(
+        [f](std::vector<T> in, const TaskContext&) { return f(std::move(in)); });
+  }
+
+  /// Whole-partition transform with task context:
+  /// F(vector<T>, const TaskContext&) -> vector<R>. Use when per-partition
+  /// output must be salted by the partition index (unique id assignment).
+  template <typename F>
+  auto map_partitions_indexed(F f) const {
+    using R = typename std::invoke_result_t<F, std::vector<T>,
+                                            const TaskContext&>::value_type;
+    return transform_partitions<R>(
+        [f](std::vector<T> in, const TaskContext& ctx) {
+          return f(std::move(in), ctx);
+        });
+  }
+
+  /// Pairs each element with a derived key.
+  template <typename F>
+  auto key_by(F f) const {
+    return map([f](const T& v) { return std::make_pair(f(v), v); });
+  }
+
+  /// Concatenates two datasets' partition lists (no data movement).
+  Dataset<T> union_with(const Dataset<T>& other) const {
+    std::vector<Partition> parts(*partitions_);
+    parts.insert(parts.end(), other.partitions_->begin(),
+                 other.partitions_->end());
+    return Dataset(*engine_, std::move(parts));
+  }
+
+  /// Rebalances into `n` even partitions (materializes once).
+  Dataset<T> repartition(std::size_t n) const {
+    return parallelize(*engine_, collect(), n);
+  }
+
+  // -------------------------------------------------------------- actions
+
+  /// Materializes every partition and concatenates in partition order.
+  [[nodiscard]] std::vector<T> collect() const {
+    auto per_part = collect_partitions();
+    std::size_t total = 0;
+    for (const auto& p : per_part) total += p.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& p : per_part) {
+      out.insert(out.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+    }
+    return out;
+  }
+
+  /// Materializes partitions individually (shuffle input, cache()).
+  [[nodiscard]] std::vector<std::vector<T>> collect_partitions() const {
+    const auto& parts = *partitions_;
+    std::vector<std::vector<T>> results(parts.size());
+    engine_->run_stage(parts.size(), preferred_nodes(),
+                       [&](const TaskContext& ctx) {
+                         results[ctx.task_index] =
+                             parts[ctx.task_index].compute(ctx);
+                       });
+    return results;
+  }
+
+  /// Number of elements.
+  [[nodiscard]] std::size_t count() const {
+    const auto& parts = *partitions_;
+    std::vector<std::size_t> counts(parts.size(), 0);
+    engine_->run_stage(parts.size(), preferred_nodes(),
+                       [&](const TaskContext& ctx) {
+                         counts[ctx.task_index] =
+                             parts[ctx.task_index].compute(ctx).size();
+                       });
+    std::size_t total = 0;
+    for (auto c : counts) total += c;
+    return total;
+  }
+
+  /// Folds all elements with an associative combiner, starting from `init`
+  /// in each partition and across partitions.
+  template <typename F>
+  [[nodiscard]] T reduce(F combine, T init) const {
+    const auto& parts = *partitions_;
+    std::vector<T> partials(parts.size(), init);
+    engine_->run_stage(parts.size(), preferred_nodes(),
+                       [&](const TaskContext& ctx) {
+                         T acc = init;
+                         for (auto& v : parts[ctx.task_index].compute(ctx)) {
+                           acc = combine(std::move(acc), v);
+                         }
+                         partials[ctx.task_index] = std::move(acc);
+                       });
+    T acc = init;
+    for (auto& p : partials) acc = combine(std::move(acc), p);
+    return acc;
+  }
+
+  /// First `n` elements in partition order.
+  [[nodiscard]] std::vector<T> take(std::size_t n) const {
+    auto all = collect();
+    if (all.size() > n) all.resize(n);
+    return all;
+  }
+
+  /// The `n` largest elements under `cmp` (cmp = "less than"), descending.
+  template <typename Cmp>
+  [[nodiscard]] std::vector<T> top(std::size_t n, Cmp cmp) const {
+    auto all = collect();
+    const std::size_t k = std::min(n, all.size());
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                      all.end(), [&](const T& a, const T& b) { return cmp(b, a); });
+    all.resize(k);
+    return all;
+  }
+
+  /// Materializes the lineage once; the returned dataset serves all future
+  /// actions from memory (preserving partitioning and locality hints).
+  [[nodiscard]] Dataset<T> cache() const {
+    auto data = std::make_shared<const std::vector<std::vector<T>>>(
+        collect_partitions());
+    std::vector<Partition> parts;
+    parts.reserve(data->size());
+    for (std::size_t i = 0; i < data->size(); ++i) {
+      parts.push_back(Partition{
+          [data, i](const TaskContext&) { return (*data)[i]; },
+          (*partitions_)[i].preferred_node});
+    }
+    return Dataset(*engine_, std::move(parts));
+  }
+
+  /// Preferred node of each partition (scheduler input).
+  [[nodiscard]] std::vector<int> preferred_nodes() const {
+    std::vector<int> out;
+    out.reserve(partitions_->size());
+    for (const auto& p : *partitions_) out.push_back(p.preferred_node);
+    return out;
+  }
+
+ private:
+  template <typename R, typename F>
+  Dataset<R> transform_partitions(F f) const {
+    std::vector<typename Dataset<R>::Partition> parts;
+    parts.reserve(partitions_->size());
+    auto upstream = partitions_;  // keep lineage alive
+    for (std::size_t i = 0; i < upstream->size(); ++i) {
+      parts.push_back(typename Dataset<R>::Partition{
+          [upstream, i, f](const TaskContext& ctx) {
+            return f((*upstream)[i].compute(ctx), ctx);
+          },
+          (*upstream)[i].preferred_node});
+    }
+    return Dataset<R>(*engine_, std::move(parts));
+  }
+
+  Engine* engine_;
+  std::shared_ptr<const std::vector<Partition>> partitions_;
+};
+
+// ------------------------------------------------------------ wide (KV) ops
+
+namespace detail {
+
+/// Hash shuffle: materializes a pair dataset into `num_partitions` buckets
+/// keyed by std::hash<K>, optionally pre-combining map-side.
+template <typename K, typename V, typename Combine>
+std::vector<std::vector<std::pair<K, V>>> shuffle_combine(
+    const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
+    Combine combine) {
+  auto per_part = ds.collect_partitions();
+  std::vector<std::vector<std::pair<K, V>>> buckets(num_partitions);
+  std::uint64_t moved = 0;
+  // Map-side combine within each upstream partition, then scatter.
+  for (auto& part : per_part) {
+    std::unordered_map<K, V> local;
+    for (auto& [k, v] : part) {
+      auto [it, inserted] = local.try_emplace(k, v);
+      if (!inserted) it->second = combine(std::move(it->second), v);
+    }
+    for (auto& [k, v] : local) {
+      buckets[std::hash<K>{}(k) % num_partitions].emplace_back(k, std::move(v));
+    }
+    moved += local.size();
+  }
+  ds.engine().record_shuffle(moved);
+  return buckets;
+}
+
+}  // namespace detail
+
+/// reduceByKey: combines all values sharing a key with an associative op.
+/// Output partitions are sorted by key for deterministic results.
+template <typename K, typename V, typename Combine>
+Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
+                                       Combine combine,
+                                       std::size_t num_partitions = 0) {
+  if (num_partitions == 0) num_partitions = std::max<std::size_t>(ds.partition_count(), 1);
+  auto buckets = detail::shuffle_combine(ds, num_partitions, combine);
+  std::vector<typename Dataset<std::pair<K, V>>::Partition> parts;
+  parts.reserve(buckets.size());
+  for (auto& bucket : buckets) {
+    // Reduce-side combine across upstream partitions.
+    std::unordered_map<K, V> merged;
+    for (auto& [k, v] : bucket) {
+      auto [it, inserted] = merged.try_emplace(k, v);
+      if (!inserted) it->second = combine(std::move(it->second), v);
+    }
+    std::vector<std::pair<K, V>> rows(merged.begin(), merged.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    auto shared = std::make_shared<const std::vector<std::pair<K, V>>>(
+        std::move(rows));
+    parts.push_back({[shared](const TaskContext&) { return *shared; }, -1});
+  }
+  return Dataset<std::pair<K, V>>(ds.engine(), std::move(parts));
+}
+
+/// groupByKey: gathers all values per key (no combine). Value order follows
+/// upstream partition order.
+template <typename K, typename V>
+Dataset<std::pair<K, std::vector<V>>> group_by_key(
+    const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions = 0) {
+  auto grouped = ds.map([](const std::pair<K, V>& kv) {
+    return std::make_pair(kv.first, std::vector<V>{kv.second});
+  });
+  return reduce_by_key(
+      grouped,
+      [](std::vector<V> a, const std::vector<V>& b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      },
+      num_partitions);
+}
+
+/// countByKey: occurrences per key — the Spark word-count idiom the paper
+/// uses to localize Lustre faults (Fig 7).
+template <typename K, typename V>
+Dataset<std::pair<K, std::int64_t>> count_by_key(
+    const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions = 0) {
+  auto ones = ds.map([](const std::pair<K, V>& kv) {
+    return std::make_pair(kv.first, std::int64_t{1});
+  });
+  return reduce_by_key(
+      ones, [](std::int64_t a, std::int64_t b) { return a + b; },
+      num_partitions);
+}
+
+/// Inner hash join on key: (K,V1) ⋈ (K,V2) -> (K, (V1, V2)) per matching
+/// value combination.
+template <typename K, typename V1, typename V2>
+Dataset<std::pair<K, std::pair<V1, V2>>> join(
+    const Dataset<std::pair<K, V1>>& left,
+    const Dataset<std::pair<K, V2>>& right, std::size_t num_partitions = 0) {
+  if (num_partitions == 0) {
+    num_partitions = std::max<std::size_t>(left.partition_count(), 1);
+  }
+  auto lg = group_by_key(left, num_partitions).collect();
+  auto rg = group_by_key(right, num_partitions).collect();
+  std::unordered_map<K, std::vector<V2>> rmap;
+  for (auto& [k, vs] : rg) rmap.emplace(std::move(k), std::move(vs));
+  std::vector<std::pair<K, std::pair<V1, V2>>> out;
+  for (auto& [k, lvs] : lg) {
+    auto it = rmap.find(k);
+    if (it == rmap.end()) continue;
+    for (auto& lv : lvs) {
+      for (auto& rv : it->second) {
+        out.emplace_back(k, std::make_pair(lv, rv));
+      }
+    }
+  }
+  return Dataset<std::pair<K, std::pair<V1, V2>>>::parallelize(
+      left.engine(), std::move(out), num_partitions);
+}
+
+/// Total sort by a derived key (materializes once).
+template <typename T, typename F>
+Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
+                   std::size_t num_partitions = 0) {
+  auto all = ds.collect();
+  std::stable_sort(all.begin(), all.end(), [&](const T& a, const T& b) {
+    return key_fn(a) < key_fn(b);
+  });
+  return Dataset<T>::parallelize(
+      ds.engine(), std::move(all),
+      num_partitions ? num_partitions : ds.partition_count());
+}
+
+}  // namespace hpcla::sparklite

@@ -1,0 +1,78 @@
+#include "titanlog/events.hpp"
+
+namespace hpcla::titanlog {
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    case Severity::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+std::string_view log_source_name(LogSource s) noexcept {
+  switch (s) {
+    case LogSource::kConsole: return "console";
+    case LogSource::kNetwatch: return "netwatch";
+    case LogSource::kJob: return "job";
+  }
+  return "?";
+}
+
+Json EventTypeInfo::to_json() const {
+  Json j = Json::object();
+  j["id"] = std::string(id);
+  j["description"] = std::string(description);
+  j["source"] = std::string(log_source_name(source));
+  j["severity"] = std::string(severity_name(severity));
+  j["base_rate_per_node_hour"] = base_rate_per_node_hour;
+  return j;
+}
+
+const std::array<EventTypeInfo, kEventTypeCount>& event_catalog() {
+  static const std::array<EventTypeInfo, kEventTypeCount> kCatalog = {{
+      {EventType::kMachineCheck, "MCE",
+       "CPU machine check exception", LogSource::kConsole, Severity::kError,
+       0.004},
+      {EventType::kMemoryEcc, "MemEcc",
+       "correctable DRAM ECC error", LogSource::kConsole, Severity::kWarning,
+       0.02},
+      {EventType::kGpuFailure, "GPUXid",
+       "GPU XID fault", LogSource::kConsole, Severity::kError, 0.002},
+      {EventType::kGpuMemoryError, "GPUDbe",
+       "GPU double-bit GDDR5 ECC error", LogSource::kConsole, Severity::kError,
+       0.001},
+      {EventType::kLustreError, "LustreError",
+       "Lustre filesystem error", LogSource::kConsole, Severity::kError,
+       0.01},
+      {EventType::kDvsError, "DVS",
+       "Cray DVS service error", LogSource::kConsole, Severity::kWarning,
+       0.003},
+      {EventType::kNetworkError, "HWERR",
+       "Gemini HSN link/lane failure", LogSource::kNetwatch, Severity::kError,
+       0.0015},
+      {EventType::kKernelPanic, "KernelPanic",
+       "node kernel panic", LogSource::kConsole, Severity::kFatal, 0.0002},
+      {EventType::kAppAbort, "AppAbort",
+       "application abort reported by ALPS", LogSource::kJob, Severity::kError,
+       0.0},  // derived from the job workload, not a background process
+  }};
+  return kCatalog;
+}
+
+const EventTypeInfo& event_info(EventType type) {
+  return event_catalog()[static_cast<std::size_t>(type)];
+}
+
+std::string_view event_id(EventType type) { return event_info(type).id; }
+
+Result<EventType> event_type_from_id(std::string_view id) {
+  for (const auto& info : event_catalog()) {
+    if (info.id == id) return info.type;
+  }
+  return not_found("unknown event type id '" + std::string(id) + "'");
+}
+
+}  // namespace hpcla::titanlog

@@ -1,0 +1,82 @@
+// Event taxonomy for Titan system logs.
+//
+// Paper §II-B: "The data model is designed to capture various system events
+// including machine check exceptions, memory errors, GPU failures, GPU
+// memory errors, Lustre file system errors, data virtualization service
+// errors, network errors, application aborts, kernel panics, etc."
+//
+// Each type carries the metadata the `eventtypes` table stores: a stable
+// id string (used in partition keys), the log stream it appears in, a
+// severity, and a default background rate used by the synthetic generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::titanlog {
+
+enum class EventType : std::uint8_t {
+  kMachineCheck = 0,   ///< CPU machine check exception (MCE)
+  kMemoryEcc,          ///< correctable DRAM ECC error
+  kGpuFailure,         ///< GPU XID fault (off the bus, hang, ...)
+  kGpuMemoryError,     ///< GPU GDDR5 double-bit ECC error
+  kLustreError,        ///< Lustre filesystem client/server error
+  kDvsError,           ///< Cray Data Virtualization Service error
+  kNetworkError,       ///< Gemini HSN link/lane failure
+  kKernelPanic,        ///< node kernel panic
+  kAppAbort,           ///< application abort reported by ALPS
+};
+
+constexpr std::size_t kEventTypeCount = 9;
+
+/// All event types, in enum order.
+constexpr std::array<EventType, kEventTypeCount> all_event_types() {
+  return {EventType::kMachineCheck, EventType::kMemoryEcc,
+          EventType::kGpuFailure,   EventType::kGpuMemoryError,
+          EventType::kLustreError,  EventType::kDvsError,
+          EventType::kNetworkError, EventType::kKernelPanic,
+          EventType::kAppAbort};
+}
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning, kError, kFatal };
+
+std::string_view severity_name(Severity s) noexcept;
+
+/// The log stream an event type is reported on.
+enum class LogSource : std::uint8_t { kConsole = 0, kNetwatch, kJob };
+
+std::string_view log_source_name(LogSource s) noexcept;
+
+/// One row of the `eventtypes` table.
+struct EventTypeInfo {
+  EventType type;
+  std::string_view id;           ///< stable id used in partition keys, e.g. "MCE"
+  std::string_view description;
+  LogSource source;
+  Severity severity;
+  /// Default background rate for the synthetic generator, events per
+  /// node-hour. Calibrated to make a Titan-day produce a realistic skew:
+  /// correctable memory errors dominate, panics are rare.
+  double base_rate_per_node_hour;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Static catalog of all event types.
+const std::array<EventTypeInfo, kEventTypeCount>& event_catalog();
+
+/// Metadata for one type.
+const EventTypeInfo& event_info(EventType type);
+
+/// Stable id string, e.g. "MCE", "LustreError".
+std::string_view event_id(EventType type);
+
+/// Reverse lookup by id string.
+Result<EventType> event_type_from_id(std::string_view id);
+
+}  // namespace hpcla::titanlog

@@ -1,0 +1,349 @@
+#include "titanlog/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+namespace hpcla::titanlog {
+
+namespace {
+
+using topo::TitanGeometry;
+
+constexpr std::array<const char*, 12> kAppNames = {
+    "LAMMPS", "NAMD",   "VASP", "GROMACS", "S3D",    "CAM",
+    "GTC",    "XGC",    "Chroma", "AMBER", "QMCPACK", "HACC"};
+
+std::string hexfmt(const char* fmt, unsigned v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+bool is_fatal_for_jobs(EventType t) {
+  return t == EventType::kKernelPanic || t == EventType::kGpuFailure ||
+         t == EventType::kMachineCheck;
+}
+
+}  // namespace
+
+LogLine render_event(const EventRecord& record) {
+  LogLine line;
+  line.ts = record.ts;
+  line.source = event_info(record.type).source;
+  line.text = format_timestamp(record.ts) + " " + topo::cname_of(record.node) +
+              " " + record.message;
+  return line;
+}
+
+LogLine render_job(const JobRecord& record) {
+  LogLine line;
+  line.ts = record.end;
+  line.source = LogSource::kJob;
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "%s apsched: apid=%lld user=%s app=%s nids=%s start=%lld "
+                "end=%lld exit=%d",
+                format_timestamp(record.end).c_str(),
+                static_cast<long long>(record.apid), record.user.c_str(),
+                record.app_name.c_str(),
+                format_nid_ranges(record.nodes).c_str(),
+                static_cast<long long>(record.start),
+                static_cast<long long>(record.end), record.exit_code);
+  line.text = head;
+  return line;
+}
+
+std::vector<LogLine> render_all(const GeneratedLogs& logs) {
+  std::vector<LogLine> out;
+  out.reserve(logs.events.size() + logs.jobs.size());
+  for (const auto& e : logs.events) out.push_back(render_event(e));
+  for (const auto& j : logs.jobs) out.push_back(render_job(j));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LogLine& a, const LogLine& b) { return a.ts < b.ts; });
+  return out;
+}
+
+Generator::Generator(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+std::string Generator::make_message(EventType type) {
+  switch (type) {
+    case EventType::kMachineCheck:
+      return "MCE: Machine Check Exception bank " +
+             std::to_string(rng_.uniform_int(0, 5)) + " status 0x" +
+             rng_.hex_string(16) + " misc 0x" + rng_.hex_string(8);
+    case EventType::kMemoryEcc:
+      return "EDAC MC" + std::to_string(rng_.uniform_int(0, 3)) +
+             ": 1 CE error on DIMM" + std::to_string(rng_.uniform_int(0, 7)) +
+             " (addr 0x" + rng_.hex_string(10) + " syndrome 0x" +
+             rng_.hex_string(2) + ")";
+    case EventType::kGpuFailure: {
+      static constexpr std::array<const char*, 3> kXids = {
+          "Xid 79: GPU has fallen off the bus",
+          "Xid 62: internal micro-controller halt",
+          "Xid 13: graphics engine exception"};
+      return std::string("GPU ") + kXids[rng_.next_below(kXids.size())];
+    }
+    case EventType::kGpuMemoryError:
+      return "GPU Xid 48: double-bit ECC error detected at address 0x" +
+             rng_.hex_string(8);
+    case EventType::kLustreError: {
+      const unsigned ost = static_cast<unsigned>(rng_.uniform_int(0, 199));
+      switch (rng_.next_below(3)) {
+        case 0:
+          return "LustreError: 11-0: atlas-" + hexfmt("OST%04x", ost) +
+                 "-osc-ffff" + rng_.hex_string(8) +
+                 ": operation ost_write to node 10.36." +
+                 std::to_string(rng_.uniform_int(0, 255)) + "." +
+                 std::to_string(rng_.uniform_int(1, 254)) +
+                 "@o2ib failed: rc = -110";
+        case 1:
+          return "LustreError: 166-1: atlas-MDT0000: Connection to MDS was "
+                 "lost; in progress operations will wait for recovery";
+        default:
+          return "LustreError: atlas-" + hexfmt("OST%04x", ost) +
+                 ": slow reply to ping, " +
+                 std::to_string(rng_.uniform_int(5, 120)) + "s late";
+      }
+    }
+    case EventType::kDvsError:
+      return rng_.chance(0.5)
+                 ? "DVS: verify_filesystem: file system /lus/atlas failed to "
+                   "respond"
+                 : "DVS: file_node_down: removing server from list of "
+                   "available servers";
+    case EventType::kNetworkError:
+      return "HWERR: Gemini LCB lane failure lcb 0" +
+             std::to_string(rng_.uniform_int(0, 7)) +
+             (rng_.chance(0.7) ? ", recovered" : ", link inactive");
+    case EventType::kKernelPanic:
+      return "Kernel panic - not syncing: Fatal exception in interrupt";
+    case EventType::kAppAbort:
+      return "apsched: application abort: node failure detected";
+  }
+  return "unknown event";
+}
+
+std::string Generator::make_storm_message(int ost_index) {
+  const unsigned ost = static_cast<unsigned>(ost_index);
+  switch (rng_.next_below(3)) {
+    case 0:
+      return "LustreError: 137-5: atlas-" + hexfmt("OST%04x", ost) +
+             ": not responding to connection request from client; the ost "
+             "is not available";
+    case 1:
+      return "LustreError: 11-0: atlas-" + hexfmt("OST%04x", ost) +
+             "-osc-ffff" + rng_.hex_string(8) +
+             ": operation ost_read failed: rc = -107";
+    default:
+      return "LustreError: atlas-" + hexfmt("OST%04x", ost) +
+             ": Connection to " + hexfmt("OST%04x", ost) +
+             " was lost; in progress operations will wait for recovery";
+  }
+}
+
+void Generator::generate_background(GeneratedLogs& out) {
+  if (config_.background_scale <= 0.0) return;
+  const double hours =
+      static_cast<double>(config_.window.duration()) / kSecondsPerHour;
+  const auto nodes = static_cast<double>(TitanGeometry::kTotalNodes);
+  for (const auto& info : event_catalog()) {
+    const double rate =
+        info.base_rate_per_node_hour * config_.background_scale;
+    if (rate <= 0.0) continue;
+    const std::uint64_t n = rng_.poisson(rate * nodes * hours);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EventRecord e;
+      e.ts = config_.window.begin +
+             static_cast<UnixSeconds>(
+                 rng_.next_below(static_cast<std::uint64_t>(
+                     std::max<std::int64_t>(config_.window.duration(), 1))));
+      e.type = info.type;
+      e.node = static_cast<topo::NodeId>(
+          rng_.next_below(TitanGeometry::kTotalNodes));
+      e.message = make_message(info.type);
+      out.events.push_back(std::move(e));
+    }
+  }
+}
+
+void Generator::generate_hotspots(GeneratedLogs& out) {
+  for (const auto& spec : config_.hotspots) {
+    const auto nodes = topo::titan().nodes_in(spec.location);
+    if (nodes.empty() || spec.window.empty()) continue;
+    const double hours =
+        static_cast<double>(spec.window.duration()) / kSecondsPerHour;
+    const std::uint64_t n = rng_.poisson(spec.rate_per_node_hour *
+                                         static_cast<double>(nodes.size()) *
+                                         hours);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EventRecord e;
+      e.ts = spec.window.begin +
+             static_cast<UnixSeconds>(rng_.next_below(
+                 static_cast<std::uint64_t>(spec.window.duration())));
+      e.type = spec.type;
+      e.node = spec.node_skew > 0.0
+                   ? nodes[rng_.zipf(nodes.size(), spec.node_skew)]
+                   : nodes[rng_.next_below(nodes.size())];
+      e.message = make_message(spec.type);
+      out.events.push_back(std::move(e));
+    }
+  }
+}
+
+void Generator::generate_storms(GeneratedLogs& out) {
+  for (const auto& spec : config_.storms) {
+    // Pick the affected node subset once per storm.
+    const auto total = TitanGeometry::kTotalNodes;
+    std::vector<topo::NodeId> affected;
+    for (topo::NodeId n = 0; n < total; ++n) {
+      if (rng_.chance(spec.affected_node_fraction)) affected.push_back(n);
+    }
+    if (affected.empty()) affected.push_back(0);
+    const std::uint64_t n = rng_.poisson(
+        spec.messages_per_second * static_cast<double>(spec.duration_seconds));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EventRecord e;
+      e.ts = spec.start + static_cast<UnixSeconds>(rng_.next_below(
+                              static_cast<std::uint64_t>(
+                                  std::max<std::int64_t>(spec.duration_seconds, 1))));
+      e.type = EventType::kLustreError;
+      e.node = affected[rng_.next_below(affected.size())];
+      e.message = make_storm_message(spec.ost_index);
+      out.events.push_back(std::move(e));
+    }
+  }
+}
+
+void Generator::generate_causal_effects(GeneratedLogs& out) {
+  if (config_.causal_pairs.empty()) return;
+  // Pairs are processed in order, each seeing everything generated so far —
+  // including effects of earlier pairs, so chains like ECC -> MCE -> panic
+  // compose. A pair never sees its own effects (snapshot taken per pair),
+  // which keeps self-referential specs finite.
+  for (const auto& spec : config_.causal_pairs) {
+    const std::size_t snapshot = out.events.size();
+    for (std::size_t i = 0; i < snapshot; ++i) {
+      const EventRecord& cause = out.events[i];
+      if (cause.type != spec.cause) continue;
+      if (!rng_.chance(spec.probability)) continue;
+      EventRecord effect;
+      const std::int64_t jitter =
+          spec.lag_jitter_seconds > 0
+              ? rng_.uniform_int(-spec.lag_jitter_seconds,
+                                 spec.lag_jitter_seconds)
+              : 0;
+      effect.ts = cause.ts + spec.lag_seconds + jitter;
+      if (!config_.window.contains(effect.ts)) continue;
+      effect.type = spec.effect;
+      effect.node = cause.node;
+      effect.message = make_message(spec.effect);
+      out.events.push_back(std::move(effect));
+    }
+  }
+}
+
+void Generator::generate_jobs(GeneratedLogs& out) {
+  if (!config_.jobs) return;
+  const JobMixSpec& mix = *config_.jobs;
+
+  // Index fatal events per node for failure correlation.
+  std::map<topo::NodeId, std::vector<UnixSeconds>> fatal_by_node;
+  for (const auto& e : out.events) {
+    if (is_fatal_for_jobs(e.type)) fatal_by_node[e.node].push_back(e.ts);
+  }
+  for (auto& [_, v] : fatal_by_node) std::sort(v.begin(), v.end());
+
+  const double hours =
+      static_cast<double>(config_.window.duration()) / kSecondsPerHour;
+  const std::uint64_t job_count = rng_.poisson(mix.jobs_per_hour * hours);
+  std::int64_t apid = 5000000;
+
+  for (std::uint64_t j = 0; j < job_count; ++j) {
+    JobRecord job;
+    job.apid = apid++;
+    job.app_name = kAppNames[rng_.zipf(
+        std::min<std::size_t>(kAppNames.size(),
+                              static_cast<std::size_t>(mix.apps)),
+        1.1)];
+    job.user = "usr" + std::to_string(1 + rng_.zipf(
+                                              static_cast<std::size_t>(mix.users),
+                                              1.05));
+    job.start = config_.window.begin +
+                static_cast<UnixSeconds>(rng_.next_below(
+                    static_cast<std::uint64_t>(config_.window.duration())));
+    const double duration_s = std::min(
+        rng_.pareto(mix.mean_duration_hours * 1800.0, 1.5), 86400.0 * 2);
+    job.end = job.start + static_cast<UnixSeconds>(std::max(duration_s, 60.0));
+    if (job.end > config_.window.end) job.end = config_.window.end;
+
+    // Size: 2^k nodes, zipf-skewed toward small.
+    const int k = static_cast<int>(
+        rng_.zipf(static_cast<std::size_t>(mix.max_size_log2) + 1, 1.3));
+    const int size = 1 << k;
+    const int max_start = TitanGeometry::kTotalNodes - size;
+    const auto first = static_cast<topo::NodeId>(
+        rng_.next_below(static_cast<std::uint64_t>(max_start + 1)));
+    job.nodes.reserve(static_cast<std::size_t>(size));
+    for (int n = 0; n < size; ++n) {
+      job.nodes.push_back(first + n);
+    }
+
+    // Failure: does a fatal event land on an allocated node mid-run?
+    UnixSeconds hit_ts = 0;
+    bool hit = false;
+    for (const auto node : job.nodes) {
+      const auto it = fatal_by_node.find(node);
+      if (it == fatal_by_node.end()) continue;
+      const auto lo = std::lower_bound(it->second.begin(), it->second.end(),
+                                       job.start);
+      if (lo != it->second.end() && *lo < job.end) {
+        if (!hit || *lo < hit_ts) hit_ts = *lo;
+        hit = true;
+      }
+    }
+    if (hit && rng_.chance(mix.failure_prob_on_fatal_event)) {
+      job.end = std::max(hit_ts, job.start + 1);
+      job.exit_code = 137;  // SIGKILL'd by ALPS after node failure
+      EventRecord abort;
+      abort.ts = job.end;
+      abort.type = EventType::kAppAbort;
+      abort.node = job.nodes[rng_.next_below(job.nodes.size())];
+      abort.message = "apsched: apid " + std::to_string(job.apid) +
+                      " killed: node failure";
+      out.events.push_back(std::move(abort));
+    } else if (rng_.chance(mix.base_failure_prob)) {
+      job.exit_code = static_cast<int>(rng_.uniform_int(1, 2));
+    }
+    out.jobs.push_back(std::move(job));
+  }
+}
+
+void Generator::finalize(GeneratedLogs& out) {
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const EventRecord& a, const EventRecord& b) {
+                     return a.ts < b.ts;
+                   });
+  std::int64_t seq = 0;
+  for (auto& e : out.events) e.seq = seq++;
+  std::stable_sort(out.jobs.begin(), out.jobs.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.start < b.start;
+                   });
+}
+
+GeneratedLogs Generator::generate() {
+  HPCLA_CHECK_MSG(!config_.window.empty(), "scenario window must be non-empty");
+  GeneratedLogs out;
+  generate_background(out);
+  generate_hotspots(out);
+  generate_storms(out);
+  generate_causal_effects(out);
+  generate_jobs(out);
+  finalize(out);
+  return out;
+}
+
+}  // namespace hpcla::titanlog

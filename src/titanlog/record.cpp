@@ -1,0 +1,129 @@
+#include "titanlog/record.hpp"
+
+#include "common/strings.hpp"
+
+namespace hpcla::titanlog {
+
+Json EventRecord::to_json() const {
+  Json j = Json::object();
+  j["ts"] = ts;
+  j["type"] = std::string(event_id(type));
+  j["node"] = node;
+  j["cname"] = topo::cname_of(node);
+  j["message"] = message;
+  j["count"] = count;
+  j["seq"] = seq;
+  return j;
+}
+
+Result<EventRecord> EventRecord::from_json(const Json& j) {
+  EventRecord r;
+  auto ts = j.get_int("ts");
+  if (!ts.is_ok()) return ts.status();
+  r.ts = ts.value();
+  auto type_id = j.get_string("type");
+  if (!type_id.is_ok()) return type_id.status();
+  auto type = event_type_from_id(type_id.value());
+  if (!type.is_ok()) return type.status();
+  r.type = type.value();
+  auto node = j.get_int("node");
+  if (!node.is_ok()) return node.status();
+  if (node.value() < 0 || node.value() >= topo::TitanGeometry::kTotalNodes) {
+    return invalid_argument("node id out of range in event JSON");
+  }
+  r.node = static_cast<topo::NodeId>(node.value());
+  auto msg = j.get_string("message");
+  if (!msg.is_ok()) return msg.status();
+  r.message = std::move(msg.value());
+  r.count = j.get_int("count").value_or(1);
+  r.seq = j.get_int("seq").value_or(0);
+  return r;
+}
+
+Json JobRecord::to_json() const {
+  Json j = Json::object();
+  j["apid"] = apid;
+  j["app"] = app_name;
+  j["user"] = user;
+  j["start"] = start;
+  j["end"] = end;
+  j["nids"] = format_nid_ranges(nodes);
+  j["exit_code"] = exit_code;
+  return j;
+}
+
+Result<JobRecord> JobRecord::from_json(const Json& j) {
+  JobRecord r;
+  auto apid = j.get_int("apid");
+  if (!apid.is_ok()) return apid.status();
+  r.apid = apid.value();
+  auto app = j.get_string("app");
+  if (!app.is_ok()) return app.status();
+  r.app_name = std::move(app.value());
+  auto user = j.get_string("user");
+  if (!user.is_ok()) return user.status();
+  r.user = std::move(user.value());
+  auto start = j.get_int("start");
+  if (!start.is_ok()) return start.status();
+  r.start = start.value();
+  auto end = j.get_int("end");
+  if (!end.is_ok()) return end.status();
+  r.end = end.value();
+  auto nids = j.get_string("nids");
+  if (!nids.is_ok()) return nids.status();
+  auto nodes = parse_nid_ranges(nids.value());
+  if (!nodes.is_ok()) return nodes.status();
+  r.nodes = std::move(nodes.value());
+  auto exit_code = j.get_int("exit_code");
+  if (!exit_code.is_ok()) return exit_code.status();
+  r.exit_code = static_cast<int>(exit_code.value());
+  return r;
+}
+
+std::string format_nid_ranges(const std::vector<topo::NodeId>& nodes) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < nodes.size()) {
+    std::size_t j = i;
+    while (j + 1 < nodes.size() && nodes[j + 1] == nodes[j] + 1) ++j;
+    if (!out.empty()) out.push_back(',');
+    out += std::to_string(nodes[i]);
+    if (j > i) {
+      out.push_back('-');
+      out += std::to_string(nodes[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+Result<std::vector<topo::NodeId>> parse_nid_ranges(std::string_view text) {
+  std::vector<topo::NodeId> out;
+  if (trim(text).empty()) return out;
+  for (const auto part : split(text, ',')) {
+    const auto dash = part.find('-');
+    long long lo = 0;
+    long long hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!parse_int(part, lo)) {
+        return invalid_argument("bad nid '" + std::string(part) + "'");
+      }
+      hi = lo;
+    } else {
+      if (!parse_int(part.substr(0, dash), lo) ||
+          !parse_int(part.substr(dash + 1), hi)) {
+        return invalid_argument("bad nid range '" + std::string(part) + "'");
+      }
+    }
+    if (lo > hi || lo < 0 || hi >= topo::TitanGeometry::kTotalNodes) {
+      return invalid_argument("nid range out of bounds '" + std::string(part) +
+                              "'");
+    }
+    for (long long n = lo; n <= hi; ++n) {
+      out.push_back(static_cast<topo::NodeId>(n));
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcla::titanlog

@@ -1,0 +1,175 @@
+#include "topo/cname.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace hpcla::topo {
+
+using G = TitanGeometry;
+
+std::string_view location_level_name(LocationLevel level) noexcept {
+  switch (level) {
+    case LocationLevel::kSystem: return "system";
+    case LocationLevel::kCabinet: return "cabinet";
+    case LocationLevel::kCage: return "cage";
+    case LocationLevel::kBlade: return "blade";
+    case LocationLevel::kNode: return "node";
+  }
+  return "?";
+}
+
+LocationLevel Coord::level() const noexcept {
+  if (row < 0 || col < 0) return LocationLevel::kSystem;
+  if (cage < 0) return LocationLevel::kCabinet;
+  if (slot < 0) return LocationLevel::kCage;
+  if (node < 0) return LocationLevel::kBlade;
+  return LocationLevel::kNode;
+}
+
+NodeId node_id(const Coord& c) {
+  HPCLA_CHECK_MSG(c.row >= 0 && c.row < G::kRows, "cname row out of range");
+  HPCLA_CHECK_MSG(c.col >= 0 && c.col < G::kCols, "cname col out of range");
+  HPCLA_CHECK_MSG(c.cage >= 0 && c.cage < G::kCagesPerCabinet,
+                  "cname cage out of range");
+  HPCLA_CHECK_MSG(c.slot >= 0 && c.slot < G::kSlotsPerCage,
+                  "cname slot out of range");
+  HPCLA_CHECK_MSG(c.node >= 0 && c.node < G::kNodesPerBlade,
+                  "cname node out of range");
+  return static_cast<NodeId>(
+      ((c.cabinet_index() * G::kCagesPerCabinet + c.cage) * G::kSlotsPerCage +
+       c.slot) * G::kNodesPerBlade + c.node);
+}
+
+Coord coord_of(NodeId id) {
+  HPCLA_CHECK_MSG(id >= 0 && id < G::kTotalNodes, "node id out of range");
+  Coord c;
+  c.node = id % G::kNodesPerBlade;
+  id /= G::kNodesPerBlade;
+  c.slot = id % G::kSlotsPerCage;
+  id /= G::kSlotsPerCage;
+  c.cage = id % G::kCagesPerCabinet;
+  id /= G::kCagesPerCabinet;
+  c.col = id % G::kCols;
+  c.row = id / G::kCols;
+  return c;
+}
+
+int cabinet_of(NodeId id) {
+  HPCLA_CHECK_MSG(id >= 0 && id < G::kTotalNodes, "node id out of range");
+  return id / G::kNodesPerCabinet;
+}
+
+int blade_of(NodeId id) {
+  HPCLA_CHECK_MSG(id >= 0 && id < G::kTotalNodes, "node id out of range");
+  return id / G::kNodesPerBlade;
+}
+
+int gemini_of(NodeId id) {
+  HPCLA_CHECK_MSG(id >= 0 && id < G::kTotalNodes, "node id out of range");
+  return id / 2;  // node pairs (n0,n1) and (n2,n3) each share a router
+}
+
+NodeId gemini_peer(NodeId id) {
+  HPCLA_CHECK_MSG(id >= 0 && id < G::kTotalNodes, "node id out of range");
+  return id ^ 1;
+}
+
+std::string format_cname(const Coord& c) {
+  std::array<char, 48> buf{};
+  switch (c.level()) {
+    case LocationLevel::kSystem:
+      return "system";
+    case LocationLevel::kCabinet:
+      std::snprintf(buf.data(), buf.size(), "c%d-%d", c.col, c.row);
+      break;
+    case LocationLevel::kCage:
+      std::snprintf(buf.data(), buf.size(), "c%d-%dc%d", c.col, c.row, c.cage);
+      break;
+    case LocationLevel::kBlade:
+      std::snprintf(buf.data(), buf.size(), "c%d-%dc%ds%d", c.col, c.row,
+                    c.cage, c.slot);
+      break;
+    case LocationLevel::kNode:
+      std::snprintf(buf.data(), buf.size(), "c%d-%dc%ds%dn%d", c.col, c.row,
+                    c.cage, c.slot, c.node);
+      break;
+  }
+  return buf.data();
+}
+
+std::string cname_of(NodeId id) { return format_cname(coord_of(id)); }
+
+namespace {
+
+/// Parses a decimal int at text[pos...]; advances pos. Returns -1 on error.
+int parse_num(std::string_view text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return -1;
+  int v = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    v = v * 10 + (text[pos] - '0');
+    if (v > 100000) return -1;  // absurd field, bail before overflow
+    ++pos;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Coord> parse_cname(std::string_view text) {
+  const auto bad = [&](const char* why) {
+    return invalid_argument("bad cname '" + std::string(text) + "': " + why);
+  };
+
+  std::size_t pos = 0;
+  Coord c;
+  if (pos >= text.size() || text[pos] != 'c') return bad("must start with 'c'");
+  ++pos;
+  c.col = parse_num(text, pos);
+  if (c.col < 0) return bad("missing column");
+  if (pos >= text.size() || text[pos] != '-') return bad("missing '-'");
+  ++pos;
+  c.row = parse_num(text, pos);
+  if (c.row < 0) return bad("missing row");
+  if (c.col >= G::kCols) return bad("column out of range");
+  if (c.row >= G::kRows) return bad("row out of range");
+  if (pos == text.size()) return c;  // cabinet-level
+
+  if (text[pos] != 'c') return bad("expected 'c' (cage)");
+  ++pos;
+  c.cage = parse_num(text, pos);
+  if (c.cage < 0 || c.cage >= G::kCagesPerCabinet) return bad("bad cage");
+  if (pos == text.size()) return c;  // cage-level
+
+  if (text[pos] != 's') return bad("expected 's' (slot)");
+  ++pos;
+  c.slot = parse_num(text, pos);
+  if (c.slot < 0 || c.slot >= G::kSlotsPerCage) return bad("bad slot");
+  if (pos == text.size()) return c;  // blade-level
+
+  if (text[pos] != 'n') return bad("expected 'n' (node)");
+  ++pos;
+  c.node = parse_num(text, pos);
+  if (c.node < 0 || c.node >= G::kNodesPerBlade) return bad("bad node");
+  if (pos != text.size()) return bad("trailing characters");
+  return c;
+}
+
+bool contains(const Coord& outer, const Coord& inner) noexcept {
+  switch (outer.level()) {
+    case LocationLevel::kSystem:
+      return true;
+    case LocationLevel::kCabinet:
+      return outer.row == inner.row && outer.col == inner.col;
+    case LocationLevel::kCage:
+      return outer.row == inner.row && outer.col == inner.col &&
+             outer.cage == inner.cage;
+    case LocationLevel::kBlade:
+      return outer.row == inner.row && outer.col == inner.col &&
+             outer.cage == inner.cage && outer.slot == inner.slot;
+    case LocationLevel::kNode:
+      return outer == inner;
+  }
+  return false;
+}
+
+}  // namespace hpcla::topo

@@ -1,0 +1,110 @@
+// Cray component names ("cnames") and the Titan machine geometry.
+//
+// Titan (paper §II-B): 200 cabinets in a grid of 25 rows × 8 columns; each
+// cabinet holds 3 cages, each cage 8 blades (slots), each blade 4 nodes,
+// and each pair of nodes shares one Gemini router. 200·3·8·4 = 19,200
+// node slots.
+//
+// A node's cname is "c<col>-<row>c<cage>s<slot>n<node>", e.g. "c3-17c1s5n2"
+// = cabinet at column 3 / row 17, cage 1, slot 5, node 2. Cabinet cnames
+// ("c3-17"), cage cnames ("c3-17c1") and blade cnames ("c3-17c1s5") address
+// the enclosing components; the location hierarchy is exactly what the
+// frontend's physical system map navigates.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hpcla::topo {
+
+/// Machine geometry constants (Titan, per the paper).
+struct TitanGeometry {
+  static constexpr int kRows = 25;
+  static constexpr int kCols = 8;
+  static constexpr int kCabinets = kRows * kCols;          // 200
+  static constexpr int kCagesPerCabinet = 3;
+  static constexpr int kSlotsPerCage = 8;
+  static constexpr int kNodesPerBlade = 4;
+  static constexpr int kNodesPerCabinet =
+      kCagesPerCabinet * kSlotsPerCage * kNodesPerBlade;   // 96
+  static constexpr int kTotalNodes = kCabinets * kNodesPerCabinet;  // 19200
+  static constexpr int kGeminisPerBlade = kNodesPerBlade / 2;       // 2
+};
+
+/// Dense node index in [0, kTotalNodes). The data model stores NodeIds;
+/// cnames appear only in raw log text and rendered output.
+using NodeId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// Granularity of a location selection in a query context.
+enum class LocationLevel : std::uint8_t {
+  kSystem = 0,   ///< whole machine
+  kCabinet,      ///< "c3-17"
+  kCage,         ///< "c3-17c1"
+  kBlade,        ///< "c3-17c1s5"
+  kNode,         ///< "c3-17c1s5n2"
+};
+
+std::string_view location_level_name(LocationLevel level) noexcept;
+
+/// Fully decomposed position of a node (or of a coarser component when the
+/// trailing fields are -1).
+struct Coord {
+  int row = -1;   ///< cabinet row, 0..24
+  int col = -1;   ///< cabinet column, 0..7
+  int cage = -1;  ///< 0..2
+  int slot = -1;  ///< 0..7 (blade within cage)
+  int node = -1;  ///< 0..3 (node within blade)
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+
+  /// Deepest level specified by this coordinate.
+  [[nodiscard]] LocationLevel level() const noexcept;
+
+  /// Cabinet index in [0, 200): row-major over the 25×8 grid.
+  [[nodiscard]] constexpr int cabinet_index() const noexcept {
+    return row * TitanGeometry::kCols + col;
+  }
+};
+
+/// Converts a *node-level* coordinate to its dense id. All five fields must
+/// be in range (checked).
+NodeId node_id(const Coord& c);
+
+/// Inverse of node_id.
+Coord coord_of(NodeId id);
+
+/// Cabinet index in [0, 200) for a node id.
+int cabinet_of(NodeId id);
+
+/// Blade index in [0, 4800) for a node id (cabinet*24 + cage*8 + slot).
+int blade_of(NodeId id);
+
+/// Gemini router index in [0, 9600). Titan's Gemini is shared between a
+/// pair of adjacent nodes on a blade: (n0,n1) share one router, (n2,n3)
+/// the other.
+int gemini_of(NodeId id);
+
+/// The id of the node sharing this node's Gemini router.
+NodeId gemini_peer(NodeId id);
+
+/// Formats the cname at the coordinate's own level:
+/// "c3-17", "c3-17c1", "c3-17c1s5", or "c3-17c1s5n2".
+std::string format_cname(const Coord& c);
+
+/// Convenience: node-level cname for a dense id.
+std::string cname_of(NodeId id);
+
+/// Parses a cname at any level; unspecified trailing fields are -1.
+/// Rejects out-of-range fields and trailing garbage.
+Result<Coord> parse_cname(std::string_view text);
+
+/// True if `outer` (possibly coarse) contains `inner` (node-level coord).
+bool contains(const Coord& outer, const Coord& inner) noexcept;
+
+}  // namespace hpcla::topo

@@ -1,0 +1,120 @@
+#include "topo/machine.hpp"
+
+namespace hpcla::topo {
+
+using G = TitanGeometry;
+
+Json NodeInfo::to_json() const {
+  Json j = Json::object();
+  j["nid"] = id;
+  j["cname"] = cname;
+  j["row"] = coord.row;
+  j["col"] = coord.col;
+  j["cage"] = coord.cage;
+  j["slot"] = coord.slot;
+  j["node"] = coord.node;
+  j["cabinet"] = cabinet;
+  j["blade"] = blade;
+  j["gemini"] = gemini;
+  Json t = Json::object();
+  t["x"] = torus.x;
+  t["y"] = torus.y;
+  t["z"] = torus.z;
+  j["torus"] = std::move(t);
+  j["cpu"] = cpu_model;
+  j["cpu_cores"] = cpu_cores;
+  j["cpu_memory_gb"] = cpu_memory_gb;
+  j["gpu"] = gpu_model;
+  j["gpu_memory_gb"] = gpu_memory_gb;
+  return j;
+}
+
+Machine::Machine() {
+  nodes_.reserve(G::kTotalNodes);
+  for (NodeId id = 0; id < G::kTotalNodes; ++id) {
+    NodeInfo info;
+    info.id = id;
+    info.coord = coord_of(id);
+    info.cname = format_cname(info.coord);
+    info.cabinet = cabinet_of(id);
+    info.blade = blade_of(id);
+    info.gemini = gemini_of(id);
+    // Torus: X spans columns, Y spans rows, Z walks the 48 Geminis within a
+    // cabinet — a deterministic stand-in for Titan's real 25×16×24 torus.
+    info.torus = TorusCoord{info.coord.col, info.coord.row,
+                            info.gemini % (G::kNodesPerCabinet / 2)};
+    info.cpu_model = "AMD Opteron 6274 (16 cores)";
+    info.gpu_model = "NVIDIA K20X (Kepler)";
+    nodes_.push_back(std::move(info));
+  }
+}
+
+const NodeInfo& Machine::node(NodeId id) const {
+  HPCLA_CHECK_MSG(id >= 0 && id < node_count(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Machine::nodes_in(const Coord& where) const {
+  std::vector<NodeId> out;
+  switch (where.level()) {
+    case LocationLevel::kSystem: {
+      out.resize(nodes_.size());
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        out[i] = static_cast<NodeId>(i);
+      }
+      break;
+    }
+    case LocationLevel::kCabinet:
+      return nodes_in_cabinet(where.cabinet_index());
+    case LocationLevel::kCage: {
+      out.reserve(G::kSlotsPerCage * G::kNodesPerBlade);
+      Coord c = where;
+      for (c.slot = 0; c.slot < G::kSlotsPerCage; ++c.slot) {
+        for (c.node = 0; c.node < G::kNodesPerBlade; ++c.node) {
+          out.push_back(node_id(c));
+        }
+      }
+      break;
+    }
+    case LocationLevel::kBlade: {
+      out.reserve(G::kNodesPerBlade);
+      Coord c = where;
+      for (c.node = 0; c.node < G::kNodesPerBlade; ++c.node) {
+        out.push_back(node_id(c));
+      }
+      break;
+    }
+    case LocationLevel::kNode:
+      out.push_back(node_id(where));
+      break;
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> Machine::nodes_at(std::string_view cname) const {
+  if (cname == "system" || cname.empty()) {
+    return nodes_in(Coord{});
+  }
+  auto coord = parse_cname(cname);
+  if (!coord.is_ok()) return coord.status();
+  return nodes_in(coord.value());
+}
+
+std::vector<NodeId> Machine::nodes_in_cabinet(int cabinet) const {
+  HPCLA_CHECK_MSG(cabinet >= 0 && cabinet < G::kCabinets,
+                  "cabinet index out of range");
+  std::vector<NodeId> out;
+  out.reserve(G::kNodesPerCabinet);
+  const NodeId first = static_cast<NodeId>(cabinet) * G::kNodesPerCabinet;
+  for (NodeId id = first; id < first + G::kNodesPerCabinet; ++id) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+const Machine& titan() {
+  static const Machine machine;
+  return machine;
+}
+
+}  // namespace hpcla::topo

@@ -1,0 +1,88 @@
+// The Machine: the `nodeinfos` side of the data model (paper §II-B).
+//
+// "The nodeinfos contains information about the system including the
+//  position of a rack in terms of row and column number, the position of a
+//  compute node in terms of rack, chassis, blade, and module number,
+//  network and routing information, etc."
+//
+// Machine materializes one NodeInfo per node slot: physical position,
+// hardware description (AMD Opteron 6274 + NVIDIA K20X per the paper),
+// Gemini router id and a 3D torus routing coordinate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "topo/cname.hpp"
+
+namespace hpcla::topo {
+
+/// 3D torus coordinate of a Gemini router (Titan's interconnect is a
+/// 3D torus; we derive a deterministic coordinate from physical position).
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend constexpr bool operator==(const TorusCoord&, const TorusCoord&) = default;
+};
+
+/// Static description of one node slot — one row of the `nodeinfos` table.
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  Coord coord;
+  std::string cname;          ///< node-level cname, e.g. "c3-17c1s5n2"
+  int cabinet = 0;            ///< dense cabinet index [0, 200)
+  int blade = 0;              ///< dense blade index [0, 4800)
+  int gemini = 0;             ///< dense Gemini router index [0, 9600)
+  TorusCoord torus;           ///< router position in the 3D torus
+  std::string cpu_model;      ///< "AMD Opteron 6274 (16 cores)"
+  int cpu_cores = 16;
+  int cpu_memory_gb = 32;     ///< DDR3
+  std::string gpu_model;      ///< "NVIDIA K20X (Kepler)"
+  int gpu_memory_gb = 6;      ///< GDDR5
+
+  /// JSON row as served to the frontend.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Whole-machine geometry + per-node metadata. Immutable after
+/// construction; shared read-only across threads.
+class Machine {
+ public:
+  /// Builds the full Titan-shaped machine (19,200 nodes).
+  Machine();
+
+  /// Number of node slots.
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+
+  /// NodeInfo by dense id (checked).
+  [[nodiscard]] const NodeInfo& node(NodeId id) const;
+
+  /// All node infos, ordered by id.
+  [[nodiscard]] const std::vector<NodeInfo>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Node ids contained in a (possibly coarse) location coordinate.
+  [[nodiscard]] std::vector<NodeId> nodes_in(const Coord& where) const;
+
+  /// Resolves a location cname to the node ids it contains.
+  [[nodiscard]] Result<std::vector<NodeId>> nodes_at(std::string_view cname) const;
+
+  /// Ids of all nodes in a cabinet (dense cabinet index).
+  [[nodiscard]] std::vector<NodeId> nodes_in_cabinet(int cabinet) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+};
+
+/// Process-wide machine singleton. The geometry is fixed, so modules share
+/// one instance instead of threading a reference everywhere.
+const Machine& titan();
+
+}  // namespace hpcla::topo

@@ -1,0 +1,162 @@
+// Tests for the CART decision tree and the job-failure classifier adapter.
+#include "analytics/dtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "model/ingest.hpp"
+#include "titanlog/generator.hpp"
+
+namespace hpcla::analytics {
+namespace {
+
+constexpr UnixSeconds kT0 = 1489449600;
+
+Sample sample(std::initializer_list<double> f, bool label) {
+  return Sample{std::vector<double>(f), label};
+}
+
+TEST(DTreeTest, LearnsSingleThreshold) {
+  // label = (x >= 5)
+  std::vector<Sample> data;
+  for (int x = 0; x < 100; ++x) {
+    data.push_back(sample({static_cast<double>(x)}, x >= 50));
+  }
+  DTreeConfig cfg;
+  cfg.min_samples_leaf = 2;
+  auto tree = DecisionTree::train(data, {"x"}, cfg);
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  EXPECT_FALSE(tree.predict({10.0}));
+  EXPECT_TRUE(tree.predict({90.0}));
+  auto eval = tree.evaluate(data);
+  EXPECT_DOUBLE_EQ(eval.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.recall(), 1.0);
+}
+
+TEST(DTreeTest, LearnsAxisAlignedQuadrant) {
+  // label = (x > 0.5 && y > 0.5): needs depth 2.
+  Rng rng(3);
+  std::vector<Sample> data;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    const double y = rng.uniform();
+    data.push_back(sample({x, y}, x > 0.5 && y > 0.5));
+  }
+  DTreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.min_samples_leaf = 4;
+  auto tree = DecisionTree::train(data, {"x", "y"}, cfg);
+  auto eval = tree.evaluate(data);
+  EXPECT_GT(eval.accuracy(), 0.97);
+  EXPECT_TRUE(tree.predict({0.9, 0.9}));
+  EXPECT_FALSE(tree.predict({0.9, 0.1}));
+  EXPECT_FALSE(tree.predict({0.1, 0.9}));
+}
+
+TEST(DTreeTest, RespectsDepthLimit) {
+  Rng rng(7);
+  std::vector<Sample> data;
+  for (int i = 0; i < 500; ++i) {
+    // Noisy labels force the tree to keep splitting if allowed.
+    data.push_back(sample({rng.uniform(), rng.uniform(), rng.uniform()},
+                          rng.chance(0.5)));
+  }
+  DTreeConfig cfg;
+  cfg.max_depth = 2;
+  cfg.min_samples_leaf = 2;
+  auto tree = DecisionTree::train(data, {"a", "b", "c"}, cfg);
+  EXPECT_LE(tree.depth(), 2);
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(DTreeTest, PureNodeBecomesLeaf) {
+  std::vector<Sample> data(50, sample({1.0}, true));
+  auto tree = DecisionTree::train(data, {"x"});
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_DOUBLE_EQ(tree.predict_prob({1.0}), 1.0);
+}
+
+TEST(DTreeTest, ConstantFeatureCannotSplit) {
+  std::vector<Sample> data;
+  for (int i = 0; i < 40; ++i) data.push_back(sample({7.0}, i % 2 == 0));
+  auto tree = DecisionTree::train(data, {"x"});
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_NEAR(tree.predict_prob({7.0}), 0.5, 1e-9);
+}
+
+TEST(DTreeTest, RenderShowsFeatureNames) {
+  std::vector<Sample> data;
+  for (int x = 0; x < 100; ++x) {
+    data.push_back(sample({static_cast<double>(x)}, x >= 50));
+  }
+  DTreeConfig cfg;
+  cfg.min_samples_leaf = 2;
+  auto tree = DecisionTree::train(data, {"fatal_events"}, cfg);
+  const std::string art = tree.render();
+  EXPECT_NE(art.find("if fatal_events <"), std::string::npos);
+  EXPECT_NE(art.find("leaf p(fail)="), std::string::npos);
+}
+
+TEST(DTreeTest, TrainValidationErrors) {
+  EXPECT_ANY_THROW(DecisionTree::train({}, {"x"}));
+  std::vector<Sample> bad{sample({1.0, 2.0}, true)};
+  EXPECT_ANY_THROW(DecisionTree::train(bad, {"x"}));  // arity mismatch
+  auto tree = DecisionTree::train({sample({1.0}, true)}, {"x"});
+  EXPECT_ANY_THROW((void)tree.predict({1.0, 2.0}));
+}
+
+TEST(DTreeTest, JobFailureClassifierOnGeneratedDay) {
+  // End-to-end §V scenario: failures driven by fatal events on a job's
+  // nodes must be learnable from the event features.
+  cassalite::ClusterOptions copts;
+  copts.node_count = 4;
+  cassalite::Cluster cluster(copts);
+  sparklite::Engine engine(sparklite::EngineOptions{.workers = 4});
+  HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = 99;
+  cfg.window = TimeRange{kT0, kT0 + 24 * 3600};
+  cfg.background_scale = 1.0;
+  cfg.jobs = titanlog::JobMixSpec{.users = 20, .apps = 8,
+                                  .jobs_per_hour = 60, .max_size_log2 = 9,
+                                  .base_failure_prob = 0.02};
+  auto logs = titanlog::Generator(cfg).generate();
+  model::BatchIngestor(cluster, engine).ingest_records(logs.events, logs.jobs);
+
+  Context ctx;
+  ctx.window = cfg.window;
+  auto samples = job_failure_samples(engine, cluster, ctx);
+  ASSERT_EQ(samples.size(), logs.jobs.size());
+  std::size_t failures = 0;
+  for (const auto& s : samples) failures += s.label ? 1 : 0;
+  ASSERT_GT(failures, 20u);
+  ASSERT_LT(failures, samples.size() / 2);
+
+  // Split train/test deterministically.
+  std::vector<Sample> train;
+  std::vector<Sample> test;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 4 == 0 ? test : train).push_back(samples[i]);
+  }
+  DTreeConfig tcfg;
+  tcfg.max_depth = 3;
+  tcfg.min_samples_leaf = 10;
+  auto tree = DecisionTree::train(train, job_failure_feature_names(), tcfg);
+  auto eval = tree.evaluate(test);
+
+  // Baseline: predict "never fails".
+  std::size_t test_failures = 0;
+  for (const auto& s : test) test_failures += s.label ? 1 : 0;
+  const double baseline =
+      1.0 - static_cast<double>(test_failures) / static_cast<double>(test.size());
+  EXPECT_GT(eval.accuracy(), baseline);
+  EXPECT_GT(eval.recall(), 0.5);  // catches most event-driven failures
+  // The learned tree splits on the fatal-event feature somewhere.
+  EXPECT_NE(tree.render().find("fatal_events_on_nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcla::analytics

@@ -1,0 +1,278 @@
+#include "buslite/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+namespace hpcla::buslite {
+namespace {
+
+TEST(BrokerTest, TopicLifecycle) {
+  Broker b;
+  EXPECT_FALSE(b.has_topic("events"));
+  EXPECT_TRUE(b.create_topic("events", {.partitions = 3}).is_ok());
+  EXPECT_TRUE(b.has_topic("events"));
+  EXPECT_EQ(b.partition_count("events").value(), 3);
+  EXPECT_EQ(b.create_topic("events").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(b.create_topic("bad", {.partitions = 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(b.partition_count("nope").is_ok());
+}
+
+TEST(BrokerTest, ProduceAssignsDenseOffsetsPerPartition) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 2}).is_ok());
+  std::map<int, std::int64_t> last_offset;
+  for (int i = 0; i < 100; ++i) {
+    auto r = b.produce("t", "key-" + std::to_string(i), "v", i);
+    ASSERT_TRUE(r.is_ok());
+    auto [part, off] = r.value();
+    if (last_offset.contains(part)) {
+      EXPECT_EQ(off, last_offset[part] + 1);
+    } else {
+      EXPECT_EQ(off, 0);
+    }
+    last_offset[part] = off;
+  }
+}
+
+TEST(BrokerTest, SameKeySamePartition) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 8}).is_ok());
+  std::set<int> parts;
+  for (int i = 0; i < 20; ++i) {
+    parts.insert(b.produce("t", "c3-17c1s5n2", "v", i)->first);
+  }
+  EXPECT_EQ(parts.size(), 1u);
+}
+
+TEST(BrokerTest, EmptyKeyRoundRobins) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 4}).is_ok());
+  std::set<int> parts;
+  for (int i = 0; i < 8; ++i) parts.insert(b.produce("t", "", "v", i)->first);
+  EXPECT_EQ(parts.size(), 4u);
+}
+
+TEST(BrokerTest, FetchPreservesOrderAndContent) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 1}).is_ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.produce("t", "k", "msg-" + std::to_string(i), 1000 + i).is_ok());
+  }
+  auto batch = b.fetch("t", 0, 3, 4);
+  ASSERT_TRUE(batch.is_ok());
+  ASSERT_EQ(batch->size(), 4u);
+  EXPECT_EQ((*batch)[0].value, "msg-3");
+  EXPECT_EQ((*batch)[0].offset, 3);
+  EXPECT_EQ((*batch)[3].value, "msg-6");
+  EXPECT_EQ((*batch)[0].timestamp, 1003);
+}
+
+TEST(BrokerTest, FetchPastEndIsEmpty) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 1}).is_ok());
+  EXPECT_TRUE(b.fetch("t", 0, 0, 10)->empty());
+  ASSERT_TRUE(b.produce("t", "k", "v", 0).is_ok());
+  EXPECT_TRUE(b.fetch("t", 0, 1, 10)->empty());
+  EXPECT_TRUE(b.fetch("t", 0, 99, 10)->empty());
+}
+
+TEST(BrokerTest, FetchValidatesTopicAndPartition) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 2}).is_ok());
+  EXPECT_EQ(b.fetch("nope", 0, 0, 1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.fetch("t", 5, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.fetch("t", -1, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BrokerTest, RetentionTrimsOldest) {
+  Broker b;
+  ASSERT_TRUE(
+      b.create_topic("t", {.partitions = 1, .retention_messages = 5}).is_ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(b.produce("t", "k", "m" + std::to_string(i), i).is_ok());
+  }
+  EXPECT_EQ(b.begin_offset("t", 0).value(), 7);
+  EXPECT_EQ(b.end_offset("t", 0).value(), 12);
+  // Fetch below the floor clamps forward.
+  auto batch = b.fetch("t", 0, 0, 100);
+  ASSERT_TRUE(batch.is_ok());
+  ASSERT_EQ(batch->size(), 5u);
+  EXPECT_EQ(batch->front().value, "m7");
+}
+
+TEST(BrokerTest, CommitAndFetchOffsets) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 2}).is_ok());
+  EXPECT_EQ(b.committed("g", "t", 0).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(b.commit("g", "t", 0, 42).is_ok());
+  EXPECT_EQ(b.committed("g", "t", 0).value(), 42);
+  EXPECT_EQ(b.committed("g", "t", 1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.commit("g", "missing", 0, 1).code(), StatusCode::kNotFound);
+  // Groups are independent.
+  EXPECT_TRUE(b.commit("other", "t", 0, 7).is_ok());
+  EXPECT_EQ(b.committed("g", "t", 0).value(), 42);
+}
+
+TEST(ConsumerTest, ConsumesEverythingAcrossPartitions) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 4}).is_ok());
+  std::set<std::string> produced;
+  for (int i = 0; i < 100; ++i) {
+    const std::string v = "m" + std::to_string(i);
+    ASSERT_TRUE(b.produce("t", "key-" + std::to_string(i), v, i).is_ok());
+    produced.insert(v);
+  }
+  Consumer c(b, "g", "t");
+  std::set<std::string> consumed;
+  while (true) {
+    auto batch = c.poll(16);
+    if (batch.empty()) break;
+    for (auto& m : batch) consumed.insert(m.value);
+  }
+  EXPECT_EQ(consumed, produced);
+  EXPECT_EQ(c.consumed(), 100u);
+}
+
+TEST(ConsumerTest, ResumesFromCommittedOffset) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 1}).is_ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.produce("t", "k", "m" + std::to_string(i), i).is_ok());
+  }
+  {
+    Consumer c1(b, "g", "t");
+    auto batch = c1.poll(4);
+    ASSERT_EQ(batch.size(), 4u);
+    c1.commit();
+  }
+  // A new consumer instance in the same group resumes where c1 committed.
+  Consumer c2(b, "g", "t");
+  auto batch = c2.poll(100);
+  ASSERT_EQ(batch.size(), 6u);
+  EXPECT_EQ(batch.front().value, "m4");
+
+  // A different group starts from the beginning.
+  Consumer other(b, "fresh", "t");
+  EXPECT_EQ(other.poll(100).size(), 10u);
+}
+
+TEST(ConsumerTest, PerPartitionOrderPreserved) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 3}).is_ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(b.produce("t", "key-" + std::to_string(i % 5),
+                          std::to_string(i), i).is_ok());
+  }
+  Consumer c(b, "g", "t");
+  std::map<std::string, int> last_by_key;
+  while (true) {
+    auto batch = c.poll(7);
+    if (batch.empty()) break;
+    for (auto& m : batch) {
+      const int v = std::stoi(m.value);
+      if (last_by_key.contains(m.key)) {
+        EXPECT_GT(v, last_by_key[m.key]);
+      }
+      last_by_key[m.key] = v;
+    }
+  }
+  EXPECT_EQ(last_by_key.size(), 5u);
+}
+
+TEST(ConsumerGroupTest, MembersOwnDisjointCoveringPartitions) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 5}).is_ok());
+  Consumer m0(b, "g", "t", 0, 2);
+  Consumer m1(b, "g", "t", 1, 2);
+  std::set<int> all(m0.assignment().begin(), m0.assignment().end());
+  for (int p : m1.assignment()) {
+    EXPECT_TRUE(all.insert(p).second) << "partition " << p << " owned twice";
+  }
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(ConsumerGroupTest, GroupConsumesEachMessageExactlyOnce) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 4}).is_ok());
+  std::set<std::string> produced;
+  for (int i = 0; i < 200; ++i) {
+    const std::string v = "m" + std::to_string(i);
+    ASSERT_TRUE(b.produce("t", "k" + std::to_string(i), v, i).is_ok());
+    produced.insert(v);
+  }
+  Consumer m0(b, "g", "t", 0, 3);
+  Consumer m1(b, "g", "t", 1, 3);
+  Consumer m2(b, "g", "t", 2, 3);
+  std::multiset<std::string> consumed;
+  for (Consumer* m : {&m0, &m1, &m2}) {
+    while (true) {
+      auto batch = m->poll(16);
+      if (batch.empty()) break;
+      for (auto& msg : batch) consumed.insert(msg.value);
+    }
+  }
+  EXPECT_EQ(consumed.size(), produced.size());  // no duplicates
+  EXPECT_EQ(std::set<std::string>(consumed.begin(), consumed.end()), produced);
+}
+
+TEST(ConsumerGroupTest, MemberOffsetsIndependentlyCommitted) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 2}).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(b.produce("t", i % 2 ? "a" : "bb", "m", i).is_ok());
+  }
+  {
+    Consumer m0(b, "g", "t", 0, 2);
+    (void)m0.poll(100);
+    m0.commit();
+  }
+  // Member 1 never consumed; a restarted member 0 sees nothing new while a
+  // restarted member 1 drains its partition from offset 0.
+  Consumer m0b(b, "g", "t", 0, 2);
+  EXPECT_TRUE(m0b.poll(100).empty());
+  Consumer m1(b, "g", "t", 1, 2);
+  EXPECT_FALSE(m1.poll(100).empty());
+}
+
+TEST(ConsumerGroupTest, MoreMembersThanPartitions) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 2}).is_ok());
+  Consumer idle(b, "g", "t", 2, 3);  // no partition maps to member 2
+  EXPECT_TRUE(idle.assignment().empty());
+  ASSERT_TRUE(b.produce("t", "k", "v", 0).is_ok());
+  EXPECT_TRUE(idle.poll(10).empty());
+}
+
+TEST(ConsumerTest, ConcurrentProducersSingleConsumer) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 4}).is_ok());
+  std::vector<std::thread> producers;
+  constexpr int kThreads = 4;
+  constexpr int kEach = 100;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&b, t] {
+      Producer p(b, "t");
+      for (int i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(p.send("k" + std::to_string(t), "v", i).is_ok());
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  Consumer c(b, "g", "t");
+  std::size_t total = 0;
+  while (true) {
+    auto batch = c.poll(32);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads * kEach));
+}
+
+}  // namespace
+}  // namespace hpcla::buslite

@@ -1,0 +1,130 @@
+// Tests for gossip membership: rumor spread, failure suspicion, recovery,
+// and the classic O(log N) convergence property.
+#include "cassalite/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcla::cassalite {
+namespace {
+
+GossipOptions opts(std::size_t nodes, std::uint64_t seed = 1) {
+  GossipOptions o;
+  o.node_count = nodes;
+  o.fanout = 2;
+  o.suspect_after_rounds = 6;
+  o.seed = seed;
+  return o;
+}
+
+TEST(GossipTest, HealthyClusterConverges) {
+  Gossiper g(opts(16));
+  g.run(20);
+  EXPECT_TRUE(g.converged());
+  // Everyone knows a recent heartbeat of everyone.
+  for (std::size_t o = 0; o < 16; ++o) {
+    for (std::size_t t = 0; t < 16; ++t) {
+      EXPECT_FALSE(g.suspects(o, t)) << o << " suspects " << t;
+      if (o != t) {
+        EXPECT_GT(g.known_heartbeat(o, t), 0);
+      }
+    }
+  }
+}
+
+TEST(GossipTest, DeadNodeSuspectedByAllWithinWindow) {
+  Gossiper g(opts(16));
+  g.run(10);
+  ASSERT_TRUE(g.converged());
+  g.kill(5);
+  // Within suspect_after_rounds + a small spread margin, every live node
+  // suspects node 5 — and nobody else.
+  g.run(12);
+  EXPECT_EQ(g.suspicion_count(5), 15u);
+  for (std::size_t t = 0; t < 16; ++t) {
+    if (t == 5) continue;
+    EXPECT_EQ(g.suspicion_count(t), 0u) << "false positive on " << t;
+  }
+}
+
+TEST(GossipTest, RevivedNodeRejoins) {
+  Gossiper g(opts(12));
+  g.run(10);
+  g.kill(3);
+  g.run(12);
+  ASSERT_EQ(g.suspicion_count(3), 11u);
+  g.revive(3);
+  g.run(10);
+  EXPECT_EQ(g.suspicion_count(3), 0u);
+  EXPECT_TRUE(g.converged());
+}
+
+TEST(GossipTest, DeadObserverHoldsStaleView) {
+  Gossiper g(opts(8));
+  g.run(10);
+  g.kill(0);
+  const auto hb_before = g.known_heartbeat(0, 1);
+  g.run(10);
+  // Node 0 learned nothing while dead.
+  EXPECT_EQ(g.known_heartbeat(0, 1), hb_before);
+  // And the live nodes' view of each other kept advancing.
+  EXPECT_GT(g.known_heartbeat(1, 2), hb_before);
+}
+
+TEST(GossipTest, SelfIsNeverSuspected) {
+  Gossiper g(opts(4));
+  g.run(30);
+  for (std::size_t n = 0; n < 4; ++n) EXPECT_FALSE(g.suspects(n, n));
+}
+
+TEST(GossipTest, RumorSpreadIsLogarithmic) {
+  // A freshly revived node's new generation must reach everyone within
+  // c*log2(N) rounds — gossip's signature property. We check the spread of
+  // node 0's resurrection heartbeat.
+  for (std::size_t nodes : {8u, 32u, 128u}) {
+    Gossiper g(opts(nodes, /*seed=*/7));
+    g.run(5);
+    g.kill(0);
+    g.run(8);
+    g.revive(0);
+    const std::int64_t resurrection_hb = g.known_heartbeat(0, 0);
+    // Generous constant: fanout 2, bidirectional merges.
+    std::size_t rounds = 0;
+    const std::size_t budget = 6 * static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(nodes)))) + 6;
+    while (rounds < budget) {
+      g.step();
+      ++rounds;
+      std::size_t informed = 0;
+      for (std::size_t o = 0; o < nodes; ++o) {
+        informed += g.known_heartbeat(o, 0) >= resurrection_hb ? 1 : 0;
+      }
+      if (informed == nodes) break;
+    }
+    std::size_t informed = 0;
+    for (std::size_t o = 0; o < nodes; ++o) {
+      informed += g.known_heartbeat(o, 0) >= resurrection_hb ? 1 : 0;
+    }
+    EXPECT_EQ(informed, nodes) << "spread incomplete for N=" << nodes
+                               << " after " << rounds << " rounds";
+  }
+}
+
+class GossipManyFailuresTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GossipManyFailuresTest, MinoritySuspectedExactly) {
+  const std::size_t kills = GetParam();
+  Gossiper g(opts(16, /*seed=*/kills + 1));
+  g.run(10);
+  for (std::size_t k = 0; k < kills; ++k) g.kill(k);
+  g.run(14);
+  for (std::size_t t = 0; t < 16; ++t) {
+    const std::size_t expected = t < kills ? 16 - kills : 0;
+    EXPECT_EQ(g.suspicion_count(t), expected) << "target " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kills, GossipManyFailuresTest,
+                         ::testing::Values(1, 3, 5, 7));
+
+}  // namespace
+}  // namespace hpcla::cassalite

@@ -1,0 +1,185 @@
+// Model-checking property tests: the cassalite storage engine and cluster
+// must agree with a trivially-correct in-memory reference model under long
+// randomized operation sequences — writes, overwrites, flushes, crashes,
+// node kills/revives — across tuning parameters.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cassalite/cluster.hpp"
+#include "cassalite/storage_engine.hpp"
+#include "common/rng.hpp"
+
+namespace hpcla::cassalite {
+namespace {
+
+/// Reference model: table -> partition -> clustering key -> newest row.
+class ReferenceStore {
+ public:
+  void apply(const WriteCommand& cmd) {
+    auto& slot = data_[cmd.table][cmd.partition_key][cmd.row.key];
+    if (!slot || cmd.row.write_ts >= slot->write_ts) {
+      slot = cmd.row;
+    }
+  }
+
+  [[nodiscard]] std::vector<Row> read(const std::string& table,
+                                      const std::string& pk) const {
+    std::vector<Row> out;
+    const auto t = data_.find(table);
+    if (t == data_.end()) return out;
+    const auto p = t->second.find(pk);
+    if (p == t->second.end()) return out;
+    for (const auto& [_, row] : p->second) {
+      if (row) out.push_back(*row);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::string> partitions(
+      const std::string& table) const {
+    std::vector<std::string> out;
+    const auto t = data_.find(table);
+    if (t == data_.end()) return out;
+    for (const auto& [k, _] : t->second) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string,
+           std::map<std::string, std::map<ClusteringKey, std::optional<Row>>>>
+      data_;
+};
+
+Row random_row(Rng& rng, std::int64_t write_ts) {
+  Row r;
+  r.key = ClusteringKey::of(
+      {Value(static_cast<std::int64_t>(rng.next_below(200))),
+       Value(static_cast<std::int64_t>(rng.next_below(4)))});
+  r.write_ts = write_ts;
+  r.set("v", Value(static_cast<std::int64_t>(rng.next_below(1000000))));
+  if (rng.chance(0.3)) {
+    r.set("extra", Value(rng.hex_string(8)));  // flexible schema noise
+  }
+  return r;
+}
+
+void expect_rows_equal(const std::vector<Row>& got,
+                       const std::vector<Row>& want, const std::string& pk) {
+  ASSERT_EQ(got.size(), want.size()) << "partition " << pk;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].key == want[i].key) << pk << " row " << i;
+    const Value* gv = got[i].find("v");
+    const Value* wv = want[i].find("v");
+    ASSERT_NE(gv, nullptr);
+    ASSERT_NE(wv, nullptr);
+    EXPECT_TRUE(*gv == *wv) << pk << " row " << i;
+  }
+}
+
+class EngineModelCheck
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint64_t>> {};
+
+TEST_P(EngineModelCheck, RandomOpsMatchReference) {
+  const auto [flush_bytes, seed] = GetParam();
+  StorageOptions opts;
+  opts.memtable_flush_bytes = flush_bytes;
+  opts.compaction_threshold = 3;
+  StorageEngine engine(opts);
+  ReferenceStore reference;
+  Rng rng(seed);
+
+  std::int64_t write_ts = 1;
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.90) {
+      WriteCommand cmd;
+      cmd.table = rng.chance(0.7) ? "events" : "apps";
+      cmd.partition_key = "p" + std::to_string(rng.next_below(8));
+      cmd.row = random_row(rng, write_ts++);
+      engine.apply(cmd);
+      reference.apply(cmd);
+    } else if (dice < 0.95) {
+      engine.flush_all();
+    } else {
+      (void)engine.crash_and_recover();
+    }
+  }
+
+  for (const std::string table : {"events", "apps"}) {
+    // The engine must know exactly the reference's partitions...
+    auto got_parts = engine.partition_keys(table);
+    EXPECT_EQ(got_parts, reference.partitions(table)) << table;
+    // ...and serve identical reconciled rows in identical order.
+    for (const auto& pk : reference.partitions(table)) {
+      ReadQuery q;
+      q.table = table;
+      q.partition_key = pk;
+      expect_rows_equal(engine.read(q).rows, reference.read(table, pk), pk);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineModelCheck,
+    ::testing::Values(std::make_pair<std::size_t, std::uint64_t>(1, 1),
+                      std::make_pair<std::size_t, std::uint64_t>(512, 2),
+                      std::make_pair<std::size_t, std::uint64_t>(16384, 3),
+                      std::make_pair<std::size_t, std::uint64_t>(1u << 22, 4)));
+
+class ClusterModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterModelCheck, QuorumSurvivesChurnAndMatchesReference) {
+  // Random writes at QUORUM interleaved with single-node kills/revives:
+  // accepted writes must all be readable afterwards (RF=3, at most one
+  // node down at a time, hints replayed on revive).
+  ClusterOptions opts;
+  opts.node_count = 5;
+  opts.replication_factor = 3;
+  Cluster cluster(opts);
+  ReferenceStore reference;
+  Rng rng(GetParam());
+
+  std::int64_t seq = 0;
+  std::optional<NodeIndex> down;
+  for (int op = 0; op < 1500; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.04 && !down) {
+      down = rng.next_below(5);
+      cluster.kill_node(*down);
+    } else if (dice < 0.08 && down) {
+      cluster.revive_node(*down);
+      down.reset();
+    } else {
+      WriteCommand cmd;
+      cmd.table = "events";
+      cmd.partition_key = "p" + std::to_string(rng.next_below(6));
+      Row row;
+      row.key = ClusteringKey::of({Value(seq), Value(0)});
+      row.set("v", Value(seq));
+      ++seq;
+      cmd.row = row;
+      auto status = cluster.insert(cmd.table, cmd.partition_key, row,
+                                   Consistency::kQuorum);
+      ASSERT_TRUE(status.is_ok()) << status.to_string();
+      cmd.row.write_ts = 0;  // reference ignores write_ts ordering here
+      reference.apply(cmd);
+    }
+  }
+  if (down) cluster.revive_node(*down);
+
+  for (const auto& pk : reference.partitions("events")) {
+    ReadQuery q;
+    q.table = "events";
+    q.partition_key = pk;
+    auto r = cluster.select(q, Consistency::kAll);
+    ASSERT_TRUE(r.is_ok()) << pk;
+    expect_rows_equal(r->rows, reference.read("events", pk), pk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterModelCheck,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace hpcla::cassalite

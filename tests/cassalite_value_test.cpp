@@ -1,0 +1,121 @@
+#include "cassalite/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hpcla::cassalite {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_TRUE(Value(std::int64_t{1} << 40).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("text").is_text());
+  EXPECT_TRUE(Value(std::string("s")).is_text());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(4).as_double(), 4.0);  // int promotes
+  EXPECT_EQ(Value("abc").as_text(), "abc");
+  EXPECT_ANY_THROW((void)Value(1).as_text());
+  EXPECT_ANY_THROW((void)Value("x").as_int());
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // null < bool < numeric < text
+  std::vector<Value> vals{Value("z"), Value(1), Value(), Value(false)};
+  std::sort(vals.begin(), vals.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  EXPECT_TRUE(vals[0].is_null());
+  EXPECT_TRUE(vals[1].is_bool());
+  EXPECT_TRUE(vals[2].is_int());
+  EXPECT_TRUE(vals[3].is_text());
+}
+
+TEST(ValueTest, NumericCrossComparison) {
+  EXPECT_TRUE(Value(2) < Value(2.5));
+  EXPECT_TRUE(Value(2.5) < Value(3));
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_TRUE(Value(-1) < Value(0.5));
+}
+
+TEST(ValueTest, TextOrdering) {
+  EXPECT_TRUE(Value("MCE") < Value("SeaStar"));
+  EXPECT_TRUE(Value("abc") < Value("abd"));
+  EXPECT_EQ(Value("same"), Value("same"));
+}
+
+TEST(ValueTest, JsonRoundTrip) {
+  for (const Value& v : {Value(), Value(true), Value(123), Value(0.25),
+                         Value("lustre OST0042")}) {
+    auto back = Value::from_json(v.to_json());
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(ValueTest, NaNRejectedAtConstruction) {
+  EXPECT_ANY_THROW(Value(std::nan("")));
+  EXPECT_NO_THROW(Value(0.0));
+  EXPECT_NO_THROW(Value(std::numeric_limits<double>::infinity()));
+  Json bad(std::nan(""));
+  EXPECT_FALSE(Value::from_json(bad).is_ok());
+}
+
+TEST(ValueTest, FromJsonRejectsComposite) {
+  EXPECT_FALSE(Value::from_json(Json::array()).is_ok());
+  EXPECT_FALSE(Value::from_json(Json::object()).is_ok());
+}
+
+TEST(ValueTest, MemoryAccountsForText) {
+  EXPECT_GT(Value(std::string(1000, 'x')).memory_bytes(),
+            Value(1).memory_bytes() + 900);
+}
+
+TEST(ClusteringKeyTest, LexicographicCompare) {
+  auto k = [](std::initializer_list<Value> parts) {
+    return ClusteringKey::of(parts);
+  };
+  EXPECT_TRUE(k({1, 2}) < k({1, 3}));
+  EXPECT_TRUE(k({1, 2}) < k({2, 0}));
+  EXPECT_TRUE(k({1}) < k({1, 0}));  // prefix sorts first
+  EXPECT_EQ(k({1, "a"}), k({1, "a"}));
+  EXPECT_TRUE(k({"app", 5}) < k({"app", 6}));
+}
+
+TEST(ClusteringKeyTest, EmptyKeySortsFirst) {
+  EXPECT_TRUE(ClusteringKey{} < ClusteringKey::of({Value(0)}));
+  EXPECT_EQ(ClusteringKey{}, ClusteringKey{});
+}
+
+TEST(RowTest, SetAndFind) {
+  Row r;
+  r.set("type", "MCE");
+  r.set("count", 3);
+  r.set("count", 4);  // overwrite
+  ASSERT_NE(r.find("type"), nullptr);
+  EXPECT_EQ(r.find("type")->as_text(), "MCE");
+  EXPECT_EQ(r.find("count")->as_int(), 4);
+  EXPECT_EQ(r.find("absent"), nullptr);
+  EXPECT_EQ(r.cells.size(), 2u);
+}
+
+TEST(RowTest, ToJson) {
+  Row r;
+  r.key = ClusteringKey::of({Value(1489468866), Value(0)});
+  r.set("msg", "machine check");
+  Json j = r.to_json();
+  EXPECT_EQ(j["key"].as_array().size(), 2u);
+  EXPECT_EQ(j["columns"]["msg"].as_string(), "machine check");
+}
+
+}  // namespace
+}  // namespace hpcla::cassalite

@@ -1,0 +1,114 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcla {
+namespace {
+
+TEST(ClockTest, EpochIsCivilZero) {
+  CivilTime ct = to_civil(0);
+  EXPECT_EQ(ct.year, 1970);
+  EXPECT_EQ(ct.month, 1);
+  EXPECT_EQ(ct.day, 1);
+  EXPECT_EQ(ct.hour, 0);
+  EXPECT_EQ(ct.minute, 0);
+  EXPECT_EQ(ct.second, 0);
+}
+
+TEST(ClockTest, KnownTimestamp) {
+  // 2017-03-14 05:21:06 UTC == 1489468866 (paper-era timestamp).
+  CivilTime ct{2017, 3, 14, 5, 21, 6};
+  EXPECT_EQ(from_civil(ct), 1489468866);
+  CivilTime back = to_civil(1489468866);
+  EXPECT_EQ(back.year, 2017);
+  EXPECT_EQ(back.month, 3);
+  EXPECT_EQ(back.day, 14);
+  EXPECT_EQ(back.hour, 5);
+  EXPECT_EQ(back.minute, 21);
+  EXPECT_EQ(back.second, 6);
+}
+
+TEST(ClockTest, LeapYearFebruary29) {
+  CivilTime ct{2016, 2, 29, 12, 0, 0};
+  UnixSeconds ts = from_civil(ct);
+  CivilTime back = to_civil(ts);
+  EXPECT_EQ(back.month, 2);
+  EXPECT_EQ(back.day, 29);
+}
+
+TEST(ClockTest, FormatTimestamp) {
+  EXPECT_EQ(format_timestamp(1489468866), "2017-03-14 05:21:06");
+  EXPECT_EQ(format_iso8601(1489468866), "2017-03-14T05:21:06Z");
+}
+
+TEST(ClockTest, ParseRoundTrip) {
+  auto r = parse_timestamp("2017-03-14 05:21:06");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 1489468866);
+  auto iso = parse_timestamp("2017-03-14T05:21:06Z");
+  ASSERT_TRUE(iso.is_ok());
+  EXPECT_EQ(iso.value(), 1489468866);
+}
+
+TEST(ClockTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_timestamp("").is_ok());
+  EXPECT_FALSE(parse_timestamp("2017-03-14").is_ok());
+  EXPECT_FALSE(parse_timestamp("2017/03/14 05:21:06").is_ok());
+  EXPECT_FALSE(parse_timestamp("2017-13-14 05:21:06").is_ok());  // month 13
+  EXPECT_FALSE(parse_timestamp("2017-03-14 25:21:06").is_ok());  // hour 25
+  EXPECT_FALSE(parse_timestamp("2017-03-14 05:61:06").is_ok());  // minute 61
+  EXPECT_FALSE(parse_timestamp("2017-03-1x 05:21:06").is_ok());  // bad digit
+}
+
+TEST(ClockTest, HourBucketFloors) {
+  EXPECT_EQ(hour_bucket(0), 0);
+  EXPECT_EQ(hour_bucket(3599), 0);
+  EXPECT_EQ(hour_bucket(3600), 1);
+  EXPECT_EQ(hour_bucket(-1), -1);
+  EXPECT_EQ(hour_bucket(-3600), -1);
+  EXPECT_EQ(hour_bucket(-3601), -2);
+  EXPECT_EQ(hour_bucket_start(hour_bucket(1489468866)) <= 1489468866, true);
+}
+
+TEST(ClockTest, TimeRangeSemantics) {
+  TimeRange r{100, 200};
+  EXPECT_TRUE(r.contains(100));
+  EXPECT_TRUE(r.contains(199));
+  EXPECT_FALSE(r.contains(200));
+  EXPECT_FALSE(r.contains(99));
+  EXPECT_EQ(r.duration(), 100);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((TimeRange{5, 5}).empty());
+}
+
+TEST(ClockTest, TimeRangeHourSpan) {
+  TimeRange r{3600, 7201};  // spans hours 1 and 2
+  EXPECT_EQ(r.first_hour(), 1);
+  EXPECT_EQ(r.last_hour(), 2);
+  TimeRange exact{3600, 7200};  // exactly hour 1
+  EXPECT_EQ(exact.first_hour(), 1);
+  EXPECT_EQ(exact.last_hour(), 1);
+}
+
+class ClockRoundTripTest : public ::testing::TestWithParam<UnixSeconds> {};
+
+TEST_P(ClockRoundTripTest, CivilRoundTrip) {
+  const UnixSeconds ts = GetParam();
+  EXPECT_EQ(from_civil(to_civil(ts)), ts);
+}
+
+TEST_P(ClockRoundTripTest, StringRoundTrip) {
+  const UnixSeconds ts = GetParam();
+  auto parsed = parse_timestamp(format_timestamp(ts));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), ts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClockRoundTripTest,
+    ::testing::Values(0, 1, 59, 3599, 86399, 86400, 951782400 /* 2000-02-29 */,
+                      1489468866, 1483228800 /* 2017-01-01 */,
+                      1500000000, 2000000000, 4102444800 /* 2100-01-01 */));
+
+}  // namespace
+}  // namespace hpcla

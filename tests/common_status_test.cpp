@@ -1,0 +1,100 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcla {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(not_found("missing table").message(), "missing table");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(not_found("key k").to_string(), "NOT_FOUND: key k");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(not_found("a"), not_found("a"));
+  EXPECT_FALSE(not_found("a") == not_found("b"));
+  EXPECT_FALSE(not_found("a") == invalid_argument("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = not_found("gone");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), BadResultAccess);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusThrows) {
+  EXPECT_THROW(Result<int>{Status::ok()}, BadResultAccess);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string(1000, 'x');
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+Status fails_then_propagates(bool fail) {
+  HPCLA_RETURN_IF_ERROR(fail ? timeout("deadline") : Status::ok());
+  return Status::ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(fails_then_propagates(false).is_ok());
+  EXPECT_EQ(fails_then_propagates(true).code(), StatusCode::kTimeout);
+}
+
+TEST(CheckTest, CheckThrowsWithLocation) {
+  try {
+    HPCLA_CHECK_MSG(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const BadResultAccess& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(HPCLA_CHECK(2 + 2 == 4));
+}
+
+TEST(StatusCodeTest, AllNamesDistinct) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_EQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(status_code_name(StatusCode::kCorruption), "CORRUPTION");
+}
+
+}  // namespace
+}  // namespace hpcla

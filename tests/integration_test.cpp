@@ -1,0 +1,278 @@
+// Whole-stack integration: a "day in the life" of the framework.
+//
+// One scenario flows through every layer exactly as deployed:
+//   generator -> raw log lines -> regex ETL (sparklite-parallel) -> the
+//   9-table data model on a replicated cassalite cluster -> analytics ->
+//   the JSON server — while a second copy of the stream arrives via the
+//   buslite/streaming path, and nodes fail and recover mid-flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "analytics/distribution.hpp"
+#include "analytics/heatmap.hpp"
+#include "analytics/queries.hpp"
+#include "analytics/text.hpp"
+#include "model/ingest.hpp"
+#include "model/streaming_ingest.hpp"
+#include "server/server.hpp"
+#include "titanlog/generator.hpp"
+
+namespace hpcla {
+namespace {
+
+using analytics::Context;
+using titanlog::EventType;
+
+constexpr UnixSeconds kT0 = 1489449600;  // 2017-03-14 00:00:00 UTC
+
+titanlog::ScenarioConfig day_scenario() {
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = 777;
+  cfg.window = TimeRange{kT0, kT0 + 6 * 3600};
+  cfg.background_scale = 0.5;
+  // An MCE hotspot (Fig 5), a Lustre storm (Fig 7), a causal pair
+  // (Fig 7 top), and a job mix (Fig 6) — the full menagerie at once.
+  titanlog::HotspotSpec hs;
+  hs.type = EventType::kMachineCheck;
+  hs.location = topo::parse_cname("c3-11").value();
+  hs.window = TimeRange{kT0 + 3600, kT0 + 2 * 3600};
+  hs.rate_per_node_hour = 10.0;
+  cfg.hotspots.push_back(hs);
+  titanlog::LustreStormSpec storm;
+  storm.start = kT0 + 4 * 3600;
+  storm.duration_seconds = 240;
+  storm.ost_index = 0x2A;
+  storm.messages_per_second = 50.0;
+  cfg.storms.push_back(storm);
+  titanlog::CausalPairSpec pair;
+  pair.cause = EventType::kNetworkError;
+  pair.effect = EventType::kDvsError;
+  pair.lag_seconds = 20;
+  pair.probability = 0.9;
+  cfg.causal_pairs.push_back(pair);
+  cfg.jobs = titanlog::JobMixSpec{.users = 12, .apps = 6, .jobs_per_hour = 50,
+                                  .max_size_log2 = 7};
+  return cfg;
+}
+
+TEST(IntegrationTest, FullDayThroughEveryLayer) {
+  // --- Stack ---------------------------------------------------------
+  cassalite::ClusterOptions copts;
+  copts.node_count = 6;
+  copts.replication_factor = 3;
+  cassalite::Cluster cluster(copts);
+  sparklite::Engine engine(sparklite::EngineOptions{.workers = 4});
+  ASSERT_TRUE(model::create_data_model(cluster).is_ok());
+  ASSERT_TRUE(model::load_eventtypes(cluster).is_ok());
+
+  // --- Data ----------------------------------------------------------
+  const auto cfg = day_scenario();
+  auto logs = titanlog::Generator(cfg).generate();
+  auto lines = titanlog::render_all(logs);
+  ASSERT_GT(logs.events.size(), 10000u);
+  ASSERT_GT(logs.jobs.size(), 200u);
+
+  // --- Batch ETL with a mid-flight node failure -----------------------
+  // One replica dies before ingest and is revived after: QUORUM keeps the
+  // pipeline available and hinted handoff converges the stray replica.
+  cluster.kill_node(5);
+  model::BatchIngestor ingestor(cluster, engine);
+  auto report = ingestor.ingest_lines(lines);
+  EXPECT_EQ(report.parse.lines, lines.size());
+  EXPECT_EQ(report.parse.events, logs.events.size());
+  EXPECT_EQ(report.parse.jobs, logs.jobs.size());
+  EXPECT_EQ(report.parse.malformed, 0u);
+  EXPECT_EQ(report.parse.unmatched, 0u);
+  EXPECT_EQ(report.write_failures, 0u);  // QUORUM met with 5/6 nodes
+  const std::size_t hints = cluster.pending_hints();
+  EXPECT_GT(hints, 0u);
+  EXPECT_EQ(cluster.revive_node(5), hints);
+  EXPECT_EQ(cluster.pending_hints(), 0u);
+
+  // --- Ground truth checks through analytics --------------------------
+  Context all;
+  all.window = cfg.window;
+
+  // Every event retrievable, count-exact per type.
+  auto dist = analytics::distribution(engine, cluster, all,
+                                      analytics::GroupBy::kEventType);
+  std::map<std::string, std::int64_t> expected_by_type;
+  for (const auto& e : logs.events) {
+    expected_by_type[std::string(titanlog::event_id(e.type))] += e.count;
+  }
+  ASSERT_EQ(dist.size(), expected_by_type.size());
+  for (const auto& entry : dist) {
+    EXPECT_EQ(entry.count, expected_by_type[entry.label]) << entry.label;
+  }
+
+  // The hotspot cabinet wins the MCE heat map in its hour.
+  Context mce;
+  mce.window = TimeRange{kT0 + 3600, kT0 + 2 * 3600};
+  mce.types = {EventType::kMachineCheck};
+  auto hm = analytics::build_heatmap(engine, cluster, mce);
+  auto cabinets = hm.cabinet_counts();
+  const int hot = (topo::parse_cname("c3-11").value()).cabinet_index();
+  EXPECT_EQ(static_cast<int>(std::max_element(cabinets.begin(),
+                                              cabinets.end()) -
+                             cabinets.begin()),
+            hot);
+
+  // The storm OST dominates word counts in the storm hour.
+  Context storm_ctx;
+  storm_ctx.window = TimeRange{kT0 + 4 * 3600, kT0 + 5 * 3600};
+  storm_ctx.types = {EventType::kLustreError};
+  auto words = analytics::word_count(engine, cluster, storm_ctx, 3);
+  ASSERT_FALSE(words.empty());
+  EXPECT_EQ(words[0].term, "ost002a");
+
+  // --- The streaming path produces consistent table contents ----------
+  // Feed the same events through buslite into a second cluster; totals per
+  // (hour, type) must agree with the batch-loaded cluster.
+  cassalite::Cluster cluster2(copts);
+  ASSERT_TRUE(model::create_data_model(cluster2).is_ok());
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("ev", {.partitions = 8}).is_ok());
+  model::EventPublisher pub(broker, "ev");
+  for (const auto& e : logs.events) ASSERT_TRUE(pub.publish(e).is_ok());
+  model::StreamingIngestor stream(cluster2, engine, broker, "ev");
+  auto sreport = stream.process_available();
+  EXPECT_EQ(sreport.messages_in, logs.events.size());
+  EXPECT_EQ(sreport.decode_failures, 0u);
+
+  auto batch_syn = analytics::fetch_synopsis(cluster, cfg.window);
+  auto stream_syn = analytics::fetch_synopsis(cluster2, cfg.window);
+  std::map<std::pair<std::int64_t, EventType>, std::int64_t> batch_counts;
+  std::map<std::pair<std::int64_t, EventType>, std::int64_t> stream_counts;
+  for (const auto& s : batch_syn) batch_counts[{s.hour, s.type}] = s.count;
+  for (const auto& s : stream_syn) stream_counts[{s.hour, s.type}] = s.count;
+  EXPECT_EQ(batch_counts, stream_counts);
+
+  // --- The server serves the same story in JSON -----------------------
+  server::AnalyticsServer server(cluster, engine);
+  auto response = Json::parse(server.handle_text(
+      R"({"op":"word_count","top_k":1,
+          "context":{"window":{"begin":)" +
+      std::to_string(kT0 + 4 * 3600) + R"(,"end":)" +
+      std::to_string(kT0 + 5 * 3600) +
+      R"(},"types":["LustreError"]}})"));
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(response.value()["status"].as_string(), "ok");
+  EXPECT_EQ(response.value()["result"].as_array().at(0)["term"].as_string(),
+            "ost002a");
+
+  // The dual schemas never disagree: a location-driven query and a
+  // type-driven query over the same context return identical event sets.
+  Context cage;
+  cage.window = TimeRange{kT0 + 3600, kT0 + 2 * 3600};
+  cage.location = topo::parse_cname("c3-11c1").value();
+  auto by_loc_events = analytics::fetch_events(engine, cluster, cage);
+  std::size_t truth = 0;
+  for (const auto& e : logs.events) {
+    if (cage.window.contains(e.ts) && cage.wants_node(e.node)) ++truth;
+  }
+  EXPECT_EQ(by_loc_events.size(), truth);
+}
+
+TEST(IntegrationTest, QueriesRaceLiveStreamingIngestSafely) {
+  // The paper's deployment serves interactive queries while the streaming
+  // pipeline writes. Here: one thread publishes + ingests micro-batches,
+  // two threads hammer the server with simple and complex queries. The
+  // assertions are (a) no crashes/data races, (b) every response is a
+  // valid envelope, (c) the final table state is complete.
+  cassalite::ClusterOptions copts;
+  copts.node_count = 4;
+  copts.replication_factor = 2;
+  cassalite::Cluster cluster(copts);
+  sparklite::Engine engine(sparklite::EngineOptions{.workers = 2});
+  buslite::Broker broker;
+  ASSERT_TRUE(model::create_data_model(cluster).is_ok());
+  ASSERT_TRUE(broker.create_topic("ev", {.partitions = 4}).is_ok());
+  server::AnalyticsServer server(cluster, engine);
+
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.window = TimeRange{kT0, kT0 + 1800};
+  cfg.background_scale = 1.0;
+  auto logs = titanlog::Generator(cfg).generate();
+  ASSERT_GT(logs.events.size(), 300u);
+
+  std::atomic<bool> ingest_done{false};
+  std::thread ingest_thread([&] {
+    model::EventPublisher pub(broker, "ev");
+    model::StreamingIngestor ingestor(cluster, engine, broker, "ev");
+    // Publish in slices, draining between slices.
+    const std::size_t slice = logs.events.size() / 20 + 1;
+    for (std::size_t i = 0; i < logs.events.size(); ++i) {
+      ASSERT_TRUE(pub.publish(logs.events[i]).is_ok());
+      if (i % slice == slice - 1) (void)ingestor.process_available();
+    }
+    (void)ingestor.process_available();
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  const std::string simple_q =
+      R"({"op":"synopsis","window":{"begin":1489449600,"end":1489451400}})";
+  const std::string complex_q =
+      R"({"op":"hourly","context":{"window":{"begin":1489449600,)"
+      R"("end":1489451400}}})";
+  std::atomic<int> responses{0};
+  auto query_loop = [&](const std::string& q) {
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      auto parsed = Json::parse(server.handle_text(q));
+      ASSERT_TRUE(parsed.is_ok());
+      ASSERT_EQ(parsed.value()["status"].as_string(), "ok");
+      responses.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread q1(query_loop, simple_q);
+  std::thread q2(query_loop, complex_q);
+  ingest_thread.join();
+  q1.join();
+  q2.join();
+  EXPECT_GT(responses.load(), 0);
+
+  // Post-race: the tables hold every published event.
+  analytics::Context all;
+  all.window = cfg.window;
+  auto events = analytics::fetch_events(engine, cluster, all);
+  std::int64_t stored = 0;
+  for (const auto& e : events) stored += e.count;
+  EXPECT_EQ(stored, static_cast<std::int64_t>(logs.events.size()));
+}
+
+TEST(IntegrationTest, CrashRecoveryPreservesQueryResults) {
+  cassalite::ClusterOptions copts;
+  copts.node_count = 3;
+  copts.replication_factor = 2;
+  cassalite::Cluster cluster(copts);
+  sparklite::Engine engine(sparklite::EngineOptions{.workers = 2});
+  ASSERT_TRUE(model::create_data_model(cluster).is_ok());
+
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = 88;
+  cfg.window = TimeRange{kT0, kT0 + 3600};
+  cfg.background_scale = 1.0;
+  auto logs = titanlog::Generator(cfg).generate();
+  model::BatchIngestor ingestor(cluster, engine);
+  ASSERT_EQ(ingestor.ingest_records(logs.events, {}).write_failures, 0u);
+
+  Context all;
+  all.window = cfg.window;
+  const auto before = analytics::fetch_events(engine, cluster, all);
+  ASSERT_EQ(before.size(), logs.events.size());
+
+  // Every node crashes (memtables lost) and recovers from its commit log.
+  for (cassalite::NodeIndex n = 0; n < cluster.node_count(); ++n) {
+    cluster.crash_node(n);
+  }
+  const auto after = analytics::fetch_events(engine, cluster, all);
+  EXPECT_EQ(after.size(), before.size());
+  EXPECT_EQ(after, before);
+}
+
+}  // namespace
+}  // namespace hpcla

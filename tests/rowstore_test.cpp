@@ -1,0 +1,140 @@
+#include "rowstore/rowstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hpcla::rowstore {
+namespace {
+
+using K = ColumnDef::Kind;
+
+std::vector<ColumnDef> event_schema() {
+  return {{"ts", K::kInt},
+          {"node", K::kInt},
+          {"type", K::kText},
+          {"message", K::kText}};
+}
+
+TEST(RowStoreTest, CreateTableValidation) {
+  RowStore db;
+  EXPECT_TRUE(db.create_table("events", event_schema(), 2).is_ok());
+  EXPECT_EQ(db.create_table("events", event_schema(), 2).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.create_table("bad", {}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.create_table("bad", event_schema(), 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.create_table("bad", event_schema(), 5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.create_table("bad", {{"a", K::kInt}, {"a", K::kInt}}, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RowStoreTest, InsertAndGet) {
+  RowStore db;
+  ASSERT_TRUE(db.create_table("events", event_schema(), 2).is_ok());
+  ASSERT_TRUE(db.insert("events", {Value(100), Value(7), Value("MCE"),
+                                   Value("bank 4")}).is_ok());
+  auto row = db.get("events", {Value(100), Value(7)});
+  ASSERT_TRUE(row.is_ok());
+  EXPECT_EQ((*row)[2].as_text(), "MCE");
+  EXPECT_FALSE(db.get("events", {Value(100), Value(8)}).is_ok());
+  EXPECT_FALSE(db.get("missing", {Value(1)}).is_ok());
+}
+
+TEST(RowStoreTest, RigidSchemaRejectsMismatches) {
+  RowStore db;
+  ASSERT_TRUE(db.create_table("events", event_schema(), 2).is_ok());
+  // Wrong arity — the flexible "Other Info" columns cassalite allows are
+  // exactly what a rigid schema refuses.
+  EXPECT_EQ(db.insert("events", {Value(1), Value(2), Value("MCE"),
+                                 Value("m"), Value("extra")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.insert("events", {Value(1), Value(2)}).code(),
+            StatusCode::kInvalidArgument);
+  // Wrong type.
+  EXPECT_EQ(db.insert("events", {Value("not-int"), Value(2), Value("MCE"),
+                                 Value("m")}).code(),
+            StatusCode::kInvalidArgument);
+  // Nulls are permitted.
+  EXPECT_TRUE(db.insert("events", {Value(1), Value(2), Value(), Value("m")})
+                  .is_ok());
+}
+
+TEST(RowStoreTest, PrimaryKeyUniqueness) {
+  RowStore db;
+  ASSERT_TRUE(db.create_table("events", event_schema(), 2).is_ok());
+  ASSERT_TRUE(db.insert("events", {Value(1), Value(2), Value("a"), Value("m")})
+                  .is_ok());
+  EXPECT_EQ(db.insert("events", {Value(1), Value(2), Value("b"), Value("m")})
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Different key component succeeds.
+  EXPECT_TRUE(db.insert("events", {Value(1), Value(3), Value("b"), Value("m")})
+                  .is_ok());
+}
+
+TEST(RowStoreTest, RangeScanLexicographic) {
+  RowStore db;
+  ASSERT_TRUE(db.create_table("events", event_schema(), 2).is_ok());
+  for (int ts = 0; ts < 10; ++ts) {
+    ASSERT_TRUE(db.insert("events", {Value(ts), Value(0), Value("t"),
+                                     Value("m")}).is_ok());
+  }
+  auto rows = db.scan("events", {Value(3)}, {Value(7)});
+  ASSERT_TRUE(rows.is_ok());
+  EXPECT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0][0].as_int(), 3);
+  EXPECT_EQ(rows->back()[0].as_int(), 6);
+  // Unbounded scan.
+  EXPECT_EQ(db.scan("events", {}, {})->size(), 10u);
+}
+
+TEST(RowStoreTest, AddColumnRewritesEveryRow) {
+  RowStore db;
+  ASSERT_TRUE(db.create_table("events", event_schema(), 2).is_ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.insert("events", {Value(i), Value(0), Value("t"),
+                                     Value("m")}).is_ok());
+  }
+  auto rewritten = db.add_column("events", {"severity", K::kText},
+                                 Value("unknown"));
+  ASSERT_TRUE(rewritten.is_ok());
+  EXPECT_EQ(rewritten.value(), 100u);
+  auto row = db.get("events", {Value(5), Value(0)});
+  ASSERT_TRUE(row.is_ok());
+  ASSERT_EQ(row->size(), 5u);
+  EXPECT_EQ((*row)[4].as_text(), "unknown");
+  // New inserts must now carry 5 columns.
+  EXPECT_EQ(db.insert("events", {Value(200), Value(0), Value("t"),
+                                 Value("m")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.insert("events", {Value(200), Value(0), Value("t"),
+                                   Value("m"), Value("error")}).is_ok());
+  // Duplicate column rejected.
+  EXPECT_EQ(db.add_column("events", {"severity", K::kText}, Value("x")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RowStoreTest, ConcurrentWritersSerializeCorrectly) {
+  RowStore db;
+  ASSERT_TRUE(db.create_table("t", {{"id", K::kInt}, {"v", K::kInt}}, 1).is_ok());
+  constexpr int kThreads = 4;
+  constexpr int kEach = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, t] {
+      for (int i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(db.insert("t", {Value(t * kEach + i), Value(i)}).is_ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(db.row_count("t").value(),
+            static_cast<std::uint64_t>(kThreads * kEach));
+  EXPECT_GE(db.commits(), static_cast<std::uint64_t>(kThreads * kEach));
+}
+
+}  // namespace
+}  // namespace hpcla::rowstore

@@ -1,0 +1,514 @@
+// Tests for the analytics server: query classification, the JSON protocol
+// for every op, error handling, renderers, and long-poll sessions.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+#include "model/ingest.hpp"
+#include "server/render.hpp"
+#include "server/server.hpp"
+#include "titanlog/generator.hpp"
+
+namespace hpcla::server {
+namespace {
+
+using analytics::Context;
+using cassalite::Cluster;
+using cassalite::ClusterOptions;
+using titanlog::EventType;
+
+constexpr UnixSeconds kT0 = 1489449600;
+
+struct ServerFixture {
+  Cluster cluster;
+  sparklite::Engine engine;
+  AnalyticsServer server;
+  titanlog::GeneratedLogs logs;
+
+  ServerFixture()
+      : cluster(opts()),
+        engine(sparklite::EngineOptions{.workers = 4}),
+        server(cluster, engine) {
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    HPCLA_CHECK(model::load_eventtypes(cluster).is_ok());
+
+    titanlog::ScenarioConfig cfg;
+    cfg.seed = 55;
+    cfg.window = TimeRange{kT0, kT0 + 2 * 3600};
+    cfg.background_scale = 0.3;
+    titanlog::HotspotSpec hs;
+    hs.type = EventType::kMachineCheck;
+    hs.location = topo::Coord{7, 1, -1, -1, -1};
+    hs.window = TimeRange{kT0, kT0 + 3600};
+    hs.rate_per_node_hour = 6.0;
+    cfg.hotspots.push_back(hs);
+    titanlog::LustreStormSpec storm;
+    storm.start = kT0 + 5400;
+    storm.duration_seconds = 120;
+    storm.ost_index = 0x17;
+    storm.messages_per_second = 40;
+    cfg.storms.push_back(storm);
+    cfg.jobs = titanlog::JobMixSpec{.users = 6, .apps = 4, .jobs_per_hour = 30,
+                                    .max_size_log2 = 5};
+    logs = titanlog::Generator(cfg).generate();
+    model::BatchIngestor ingestor(cluster, engine);
+    auto report = ingestor.ingest_records(logs.events, logs.jobs);
+    HPCLA_CHECK(report.write_failures == 0);
+
+    // nodeinfos: load only the rows the tests touch would be cheating —
+    // load the full machine once for the whole suite.
+    HPCLA_CHECK(model::load_nodeinfos(cluster).is_ok());
+  }
+
+  static ClusterOptions opts() {
+    ClusterOptions o;
+    o.node_count = 4;
+    o.replication_factor = 2;
+    return o;
+  }
+
+  Json ok(const std::string& request_text) {
+    auto request = Json::parse(request_text);
+    HPCLA_CHECK(request.is_ok());
+    Json response = server.handle(request.value());
+    EXPECT_EQ(response["status"].as_string(), "ok")
+        << (response["error"].is_string() ? response["error"].as_string()
+                                          : std::string());
+    return response;
+  }
+
+  Json err(const std::string& request_text) {
+    auto request = Json::parse(request_text);
+    HPCLA_CHECK(request.is_ok());
+    Json response = server.handle(request.value());
+    EXPECT_EQ(response["status"].as_string(), "error");
+    return response;
+  }
+};
+
+ServerFixture& fixture() {
+  static ServerFixture f;
+  return f;
+}
+
+std::string ctx_json(const char* extra = "") {
+  return std::string(R"("context":{"window":{"begin":1489449600,"end":1489456800})") +
+         extra + "}";
+}
+
+// ----------------------------------------------------------- classification
+
+TEST(ClassifyTest, KnownOps) {
+  EXPECT_EQ(classify_query("nodeinfo").value(), QueryPath::kSimple);
+  EXPECT_EQ(classify_query("events").value(), QueryPath::kSimple);
+  EXPECT_EQ(classify_query("heatmap").value(), QueryPath::kComplex);
+  EXPECT_EQ(classify_query("transfer_entropy").value(), QueryPath::kComplex);
+  EXPECT_FALSE(classify_query("drop_tables").is_ok());
+}
+
+// -------------------------------------------------------------- simple ops
+
+TEST(ServerTest, NodeInfoByNidAndCname) {
+  auto& f = fixture();
+  auto by_nid = f.ok(R"({"op":"nodeinfo","node":5000})");
+  EXPECT_EQ(by_nid["path"].as_string(), "simple");
+  EXPECT_EQ(by_nid["result"]["cname"].as_string(), topo::cname_of(5000));
+  auto by_cname = f.ok(R"({"op":"nodeinfo","cname":"c3-17c1s5n2"})");
+  EXPECT_EQ(by_cname["result"]["nid"].as_int(),
+            topo::node_id(topo::parse_cname("c3-17c1s5n2").value()));
+  f.err(R"({"op":"nodeinfo","node":99999})");
+  f.err(R"({"op":"nodeinfo","cname":"c3-17"})");  // not node-level
+  f.err(R"({"op":"nodeinfo"})");
+}
+
+TEST(ServerTest, EventTypesCatalog) {
+  auto& f = fixture();
+  auto response = f.ok(R"({"op":"eventtypes"})");
+  EXPECT_EQ(response["result"].as_array().size(), titanlog::kEventTypeCount);
+}
+
+TEST(ServerTest, SynopsisWindow) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"synopsis","window":{"begin":1489449600,"end":1489456800}})");
+  const auto& rows = response["result"].as_array();
+  ASSERT_FALSE(rows.empty());
+  std::int64_t total = 0;
+  for (const auto& row : rows) total += row["count"].as_int();
+  std::int64_t expected = 0;
+  for (const auto& e : f.logs.events) expected += e.count;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ServerTest, EventsTabularMap) {
+  auto& f = fixture();
+  auto response =
+      f.ok(R"({"op":"events","limit":25,)" + ctx_json() + "}");
+  const auto& rows = response["result"].as_array();
+  EXPECT_EQ(rows.size(), 25u);
+  // Newest first.
+  EXPECT_GE(rows.front()["ts"].as_int(), rows.back()["ts"].as_int());
+  f.err(R"({"op":"events","limit":0,)" + ctx_json() + "}");
+  f.err(R"({"op":"events"})");  // missing context
+}
+
+TEST(ServerTest, JobsQuery) {
+  auto& f = fixture();
+  auto response = f.ok(R"({"op":"jobs",)" + ctx_json() + "}");
+  EXPECT_EQ(response["result"].as_array().size(), f.logs.jobs.size());
+}
+
+// ------------------------------------------------------------- complex ops
+
+TEST(ServerTest, HeatmapFindsHotCabinet) {
+  auto& f = fixture();
+  auto response = f.ok(R"({"op":"heatmap",)" + ctx_json(R"(,"types":["MCE"])") + "}");
+  EXPECT_EQ(response["path"].as_string(), "complex");
+  const Json& result = response["result"];
+  EXPECT_GT(result["total"].as_int(), 0);
+  const auto& cabinets = result["cabinets"].as_array();
+  ASSERT_EQ(cabinets.size(), 200u);
+  // Hot cabinet c1-7 (row 7, col 1): index 7*8+1 = 57.
+  std::int64_t best = -1;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < cabinets.size(); ++i) {
+    if (cabinets[i].as_int() > best) {
+      best = cabinets[i].as_int();
+      best_idx = i;
+    }
+  }
+  EXPECT_EQ(best_idx, 57u);
+  EXPECT_FALSE(result["anomalous_nodes"].as_array().empty());
+}
+
+TEST(ServerTest, DistributionByType) {
+  auto& f = fixture();
+  auto response =
+      f.ok(R"({"op":"distribution","group_by":"type",)" + ctx_json() + "}");
+  const auto& rows = response["result"].as_array();
+  ASSERT_FALSE(rows.empty());
+  std::int64_t total = 0;
+  for (const auto& row : rows) total += row["count"].as_int();
+  std::int64_t expected = 0;
+  for (const auto& e : f.logs.events) expected += e.count;
+  EXPECT_EQ(total, expected);
+  f.err(R"({"op":"distribution","group_by":"bogus",)" + ctx_json() + "}");
+}
+
+TEST(ServerTest, TimeseriesAndHourly) {
+  auto& f = fixture();
+  auto ts = f.ok(R"({"op":"timeseries","type":"MCE","bin_seconds":600,)" +
+                 ctx_json() + "}");
+  EXPECT_EQ(ts["result"]["series"].as_array().size(), 12u);  // 2h / 10min
+  auto hourly = f.ok(R"({"op":"hourly",)" + ctx_json() + "}");
+  EXPECT_EQ(hourly["result"].as_array().size(), 2u);
+}
+
+TEST(ServerTest, WordCountSurfacesStormOst) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"word_count","top_k":5,)" +
+      ctx_json(R"(,"types":["LustreError"])") + "}");
+  const auto& rows = response["result"].as_array();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0]["term"].as_string(), "ost0017");
+}
+
+TEST(ServerTest, StormSignature) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"storm_signature","bucket_seconds":60,"top_k":5,)" +
+      ctx_json(R"(,"types":["LustreError"])") + "}");
+  const auto& rows = response["result"].as_array();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0]["term"].as_string(), "ost0017");
+}
+
+TEST(ServerTest, TransferEntropyOp) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"transfer_entropy","type_a":"HWERR","type_b":"LustreError",)"
+      R"("bin_seconds":60,"max_shift":4,)" + ctx_json() + "}");
+  const Json& result = response["result"];
+  EXPECT_TRUE(result["te_xy"].is_number());
+  EXPECT_TRUE(result["te_yx"].is_number());
+  EXPECT_EQ(result["profile_xy"].as_array().size(), 5u);
+  f.err(R"({"op":"transfer_entropy","type_a":"Nope","type_b":"MCE",)" +
+        ctx_json() + "}");
+}
+
+TEST(ServerTest, CrossCorrelationOp) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"cross_correlation","type_a":"MCE","type_b":"MemEcc",)"
+      R"("bin_seconds":300,"max_lag":5,)" + ctx_json() + "}");
+  EXPECT_EQ(response["result"]["correlation"].as_array().size(), 11u);
+  EXPECT_TRUE(response["result"]["peak_lag"].is_int());
+}
+
+TEST(ServerTest, AppsRunningAndPlacement) {
+  auto& f = fixture();
+  auto running = f.ok(R"({"op":"apps_running","t":1489453200})");
+  std::size_t expected = 0;
+  for (const auto& j : f.logs.jobs) {
+    if (j.start <= 1489453200 && 1489453200 < j.end) ++expected;
+  }
+  EXPECT_EQ(running["result"].as_array().size(), expected);
+
+  auto placement = f.ok(R"({"op":"render_placement","t":1489453200})");
+  EXPECT_EQ(placement["result"]["jobs"].as_int(),
+            static_cast<std::int64_t>(expected));
+  EXPECT_NE(placement["result"]["map"].as_string().find("r00 |"),
+            std::string::npos);
+}
+
+TEST(ServerTest, ReliabilityAndImpact) {
+  auto& f = fixture();
+  auto rel = f.ok(R"({"op":"reliability",)" + ctx_json() + "}");
+  EXPECT_GT(rel["result"]["events_per_node_hour"].as_double(), 0.0);
+  auto impact = f.ok(R"({"op":"app_impact",)" + ctx_json() + "}");
+  EXPECT_EQ(impact["result"]["jobs"].as_int(),
+            static_cast<std::int64_t>(f.logs.jobs.size()));
+}
+
+TEST(ServerTest, RenderHeatmapWithPpm) {
+  auto& f = fixture();
+  const std::string ppm = "/tmp/hpcla_test_heatmap.ppm";
+  auto response = f.ok(R"({"op":"render_heatmap","cabinet":57,"ppm_path":")" +
+                       ppm + R"(",)" + ctx_json(R"(,"types":["MCE"])") + "}");
+  const std::string& map = response["result"]["map"].as_string();
+  EXPECT_NE(map.find("r24 |"), std::string::npos);
+  EXPECT_NE(response["result"]["cabinet_detail"].as_string().find("c2n3"),
+            std::string::npos);
+  // PPM was written with the right header.
+  std::ifstream in(ppm, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+}
+
+TEST(ServerTest, CqlOpRoundTrip) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"cql","query":"SELECT COUNT(*) FROM event_by_time )"
+      R"(WHERE hour = 413736 AND type = 'MCE'"})");
+  EXPECT_EQ(response["path"].as_string(), "simple");
+  EXPECT_GT(response["result"]["count"].as_int(), 0);
+  auto rows = f.ok(
+      R"({"op":"cql","query":"SELECT node FROM event_by_time )"
+      R"(WHERE hour = 413736 AND type = 'MCE' LIMIT 3"})");
+  EXPECT_EQ(rows["result"]["rows"].as_array().size(), 3u);
+  f.err(R"({"op":"cql","query":"DROP TABLE event_by_time"})");
+  f.err(R"({"op":"cql"})");
+}
+
+TEST(ServerTest, CompositeEventsOp) {
+  auto& f = fixture();
+  // Default rule book runs clean.
+  auto defaults = f.ok(R"({"op":"composite_events",)" + ctx_json() + "}");
+  EXPECT_TRUE(defaults["result"].is_array());
+  // Inline rule definition.
+  auto inline_rule = f.ok(
+      R"({"op":"composite_events","rules":[
+            {"name":"ecc_then_mce","scope":"node",
+             "steps":[{"type":"MemEcc"},
+                      {"type":"MCE","max_gap_seconds":3600}]}],)" +
+      ctx_json() + "}");
+  EXPECT_TRUE(inline_rule["result"].is_array());
+  // Validation errors.
+  f.err(R"({"op":"composite_events","rules":[{"name":"x","steps":[]}],)" +
+        ctx_json() + "}");
+  f.err(R"({"op":"composite_events","rules":[
+             {"name":"x","steps":[{"type":"Bogus"},{"type":"MCE"}]}],)" +
+        ctx_json() + "}");
+}
+
+TEST(ServerTest, AssociationRulesOp) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"association_rules","bucket_seconds":600,
+          "min_support":0.0,"min_confidence":0.0,)" + ctx_json() + "}");
+  EXPECT_TRUE(response["result"].is_array());
+  for (const auto& row : response["result"].as_array()) {
+    EXPECT_TRUE(row["lift"].is_number());
+    EXPECT_GT(row["pair_count"].as_int(), 0);
+  }
+  f.err(R"({"op":"association_rules","bucket_seconds":0,)" + ctx_json() + "}");
+}
+
+TEST(ServerTest, AppProfilesOp) {
+  auto& f = fixture();
+  auto response = f.ok(R"({"op":"app_profiles",)" + ctx_json() + "}");
+  const auto& rows = response["result"].as_array();
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row["app"].is_string());
+    EXPECT_GT(row["runs"].as_int(), 0);
+    EXPECT_TRUE(row["events_per_node_hour"].is_number());
+  }
+}
+
+TEST(ServerTest, PredictFailuresOp) {
+  auto& f = fixture();
+  auto response = f.ok(
+      R"({"op":"predict_failures","threshold":3,"window_seconds":1800,
+          "precursors":["MemEcc"],"targets":["KernelPanic"],)" +
+      ctx_json() + "}");
+  const Json& result = response["result"];
+  EXPECT_TRUE(result["precision"].is_number());
+  EXPECT_TRUE(result["recall"].is_number());
+  EXPECT_GE(result["failures"].as_int(), 0);
+  f.err(R"({"op":"predict_failures","threshold":0,)" + ctx_json() + "}");
+  f.err(R"({"op":"predict_failures","precursors":["Nope"],)" + ctx_json() +
+        "}");
+}
+
+// ------------------------------------------------------------------ errors
+
+TEST(ServerTest, ErrorEnvelopes) {
+  auto& f = fixture();
+  auto no_op = f.err(R"({"hello":1})");
+  EXPECT_NE(no_op["error"].as_string().find("op"), std::string::npos);
+  f.err(R"({"op":"launch_missiles"})");
+  auto before = f.server.metrics().errors;
+  (void)f.server.handle_text("this is not json");
+  EXPECT_EQ(f.server.metrics().errors, before + 1);
+}
+
+TEST(ServerTest, HandleTextRoundTrip) {
+  auto& f = fixture();
+  auto text = f.server.handle_text(R"({"op":"eventtypes"})");
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value()["status"].as_string(), "ok");
+}
+
+TEST(ServerTest, MetricsSplitByPath) {
+  auto& f = fixture();
+  const auto before = f.server.metrics();
+  f.ok(R"({"op":"eventtypes"})");
+  f.ok(R"({"op":"hourly",)" + ctx_json() + "}");
+  const auto after = f.server.metrics();
+  EXPECT_EQ(after.simple_queries, before.simple_queries + 1);
+  EXPECT_EQ(after.complex_queries, before.complex_queries + 1);
+}
+
+// ----------------------------------------------------------- async session
+
+TEST(AsyncSessionTest, SubmitPollWait) {
+  auto& f = fixture();
+  AsyncSession session(f.server);
+  auto heavy = Json::parse(R"({"op":"hourly",)" + ctx_json() + "}");
+  ASSERT_TRUE(heavy.is_ok());
+  const auto t1 = session.submit(heavy.value());
+  const auto t2 = session.submit(Json::parse(R"({"op":"eventtypes"})").value());
+  auto r1 = session.wait(t1);
+  ASSERT_TRUE(r1.is_ok());
+  EXPECT_EQ(r1.value()["status"].as_string(), "ok");
+  auto r2 = session.wait(t2);
+  ASSERT_TRUE(r2.is_ok());
+  // Delivered tickets are forgotten.
+  EXPECT_EQ(session.poll(t1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(session.poll(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AsyncSessionTest, PollEventuallyReady) {
+  auto& f = fixture();
+  AsyncSession session(f.server);
+  const auto ticket =
+      session.submit(Json::parse(R"({"op":"eventtypes"})").value());
+  // Poll until ready (bounded), yielding so the worker can run.
+  Result<Json> r = unavailable("pending");
+  for (int i = 0; i < 10000 && !r.is_ok(); ++i) {
+    r = session.poll(ticket);
+    if (!r.is_ok()) {
+      ASSERT_EQ(r.status().code(), StatusCode::kUnavailable);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()["status"].as_string(), "ok");
+}
+
+// -------------------------------------------------------------- renderers
+
+TEST(RenderTest, PpmPixelsEncodeHeat) {
+  // One maximally hot node (nid 0 -> pixel (0,0)) on a cold machine.
+  analytics::HeatMap hm;
+  hm.node_counts.assign(static_cast<std::size_t>(topo::TitanGeometry::kTotalNodes), 0);
+  hm.node_counts[0] = 100;
+  hm.total = 100;
+  hm.peak = 100;
+  hm.peak_node = 0;
+  const std::string path = "/tmp/hpcla_pixel_test.ppm";
+  ASSERT_TRUE(write_heatmap_ppm(hm, path).is_ok());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 71);   // 8 cabinets * 8 slots + 7 gutters
+  EXPECT_EQ(h, 324);  // 25 rows * 12 node-rows + 24 gutters
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after the header
+  std::vector<unsigned char> pixels(static_cast<std::size_t>(w * h * 3));
+  in.read(reinterpret_cast<char*>(pixels.data()),
+          static_cast<std::streamsize>(pixels.size()));
+  ASSERT_TRUE(in.good());
+  // Hot node at (0,0): full white-hot ramp (r=g=b=255).
+  EXPECT_EQ(pixels[0], 255);
+  EXPECT_EQ(pixels[1], 255);
+  EXPECT_EQ(pixels[2], 255);
+  // A neighboring cold node pixel (x=1, y=0 -> slot 1): dark base.
+  EXPECT_EQ(pixels[3], 40);
+  EXPECT_EQ(pixels[4], 40);
+  // A gutter pixel (x=8, y=0) keeps the background color (20).
+  EXPECT_EQ(pixels[8 * 3], 20);
+}
+
+TEST(RenderTest, TemporalMap) {
+  std::vector<double> series{0, 1, 5, 2, 0};
+  auto art = render_temporal_map(series, kT0, 60);
+  EXPECT_NE(art.find("bin=60s"), std::string::npos);
+  EXPECT_NE(art.find("2017-03-14"), std::string::npos);
+  EXPECT_NE(art.find("peak_bin_count=5"), std::string::npos);
+}
+
+TEST(RenderTest, WordBubbles) {
+  std::vector<analytics::TermCount> terms{{"ost0042", 100}, {"mds", 10}};
+  auto art = render_word_bubbles(terms);
+  EXPECT_NE(art.find("ost0042"), std::string::npos);
+  // Dominant term gets the longest bubble.
+  EXPECT_NE(art.find(std::string(40, 'o')), std::string::npos);
+}
+
+TEST(RenderTest, PlacementMapLegend) {
+  titanlog::JobRecord big;
+  big.apid = 1;
+  big.app_name = "HACC";
+  big.user = "usr9";
+  big.start = 0;
+  big.end = 100;
+  for (topo::NodeId n = 0; n < 192; ++n) big.nodes.push_back(n);  // 2 cabinets
+  titanlog::JobRecord small;
+  small.apid = 2;
+  small.app_name = "VASP";
+  small.user = "usr3";
+  small.start = 0;
+  small.end = 100;
+  small.nodes = {500};
+  auto art = render_placement_map({small, big});
+  // Big job is 'A' (sorted by size), occupies cabinets 0 and 1.
+  EXPECT_NE(art.find("A: apid=1"), std::string::npos);
+  EXPECT_NE(art.find("B: apid=2"), std::string::npos);
+  EXPECT_NE(art.find("r00 | A  A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcla::server

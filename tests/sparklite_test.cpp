@@ -1,0 +1,513 @@
+// Tests for the sparklite engine, Dataset transformations/actions, shuffle
+// operations, streaming micro-batches, and the cassalite source adapter.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "cassalite/cluster.hpp"
+#include "sparklite/cassalite_source.hpp"
+#include "sparklite/dataset.hpp"
+#include "sparklite/engine.hpp"
+#include "sparklite/streaming.hpp"
+
+namespace hpcla::sparklite {
+namespace {
+
+Engine::Options opts(std::size_t workers, bool locality = true) {
+  Engine::Options o;
+  o.workers = workers;
+  o.locality_aware = locality;
+  return o;
+}
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+// ----------------------------------------------------------------- dataset
+
+TEST(DatasetTest, ParallelizeAndCollectPreservesOrder) {
+  Engine e(opts(4));
+  auto ds = Dataset<int>::parallelize(e, iota_vec(100), 7);
+  EXPECT_EQ(ds.partition_count(), 7u);
+  EXPECT_EQ(ds.collect(), iota_vec(100));
+}
+
+TEST(DatasetTest, ParallelizeEmptyAndSingleton) {
+  Engine e(opts(2));
+  auto empty = Dataset<int>::parallelize(e, {}, 4);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_TRUE(empty.collect().empty());
+  auto one = Dataset<int>::parallelize(e, {42}, 4);
+  EXPECT_EQ(one.count(), 1u);
+}
+
+TEST(DatasetTest, MapFilterChain) {
+  Engine e(opts(4));
+  auto ds = Dataset<int>::parallelize(e, iota_vec(10), 3);
+  auto result = ds.map([](const int& v) { return v * 2; })
+                    .filter([](const int& v) { return v % 3 == 0; })
+                    .collect();
+  EXPECT_EQ(result, (std::vector<int>{0, 6, 12, 18}));
+}
+
+TEST(DatasetTest, MapChangesType) {
+  Engine e(opts(2));
+  auto ds = Dataset<int>::parallelize(e, {1, 2, 3}, 2);
+  auto strs = ds.map([](const int& v) { return std::to_string(v); }).collect();
+  EXPECT_EQ(strs, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(DatasetTest, FlatMap) {
+  Engine e(opts(2));
+  auto ds = Dataset<std::string>::parallelize(e, {"a b", "c", ""}, 2);
+  auto words = ds.flat_map([](const std::string& line) {
+                   std::vector<std::string> out;
+                   std::string cur;
+                   for (char c : line) {
+                     if (c == ' ') {
+                       if (!cur.empty()) out.push_back(cur);
+                       cur.clear();
+                     } else {
+                       cur.push_back(c);
+                     }
+                   }
+                   if (!cur.empty()) out.push_back(cur);
+                   return out;
+                 }).collect();
+  EXPECT_EQ(words, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DatasetTest, MapPartitions) {
+  Engine e(opts(2));
+  auto ds = Dataset<int>::parallelize(e, iota_vec(10), 5);
+  // Sum per partition -> exactly 5 values.
+  auto sums = ds.map_partitions([](std::vector<int> in) {
+                  int s = 0;
+                  for (int v : in) s += v;
+                  return std::vector<int>{s};
+                }).collect();
+  EXPECT_EQ(sums.size(), 5u);
+  EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), 0), 45);
+}
+
+TEST(DatasetTest, CountAndReduce) {
+  Engine e(opts(4));
+  auto ds = Dataset<int>::parallelize(e, iota_vec(101), 8);
+  EXPECT_EQ(ds.count(), 101u);
+  EXPECT_EQ(ds.reduce([](int a, int b) { return a + b; }, 0), 5050);
+}
+
+TEST(DatasetTest, TakeAndTop) {
+  Engine e(opts(2));
+  auto ds = Dataset<int>::parallelize(e, {5, 1, 9, 3, 7}, 2);
+  EXPECT_EQ(ds.take(2), (std::vector<int>{5, 1}));
+  EXPECT_EQ(ds.take(99).size(), 5u);
+  auto top2 = ds.top(2, [](int a, int b) { return a < b; });
+  EXPECT_EQ(top2, (std::vector<int>{9, 7}));
+}
+
+TEST(DatasetTest, UnionConcatenatesPartitions) {
+  Engine e(opts(2));
+  auto a = Dataset<int>::parallelize(e, {1, 2}, 1);
+  auto b = Dataset<int>::parallelize(e, {3}, 1);
+  auto u = a.union_with(b);
+  EXPECT_EQ(u.partition_count(), 2u);
+  EXPECT_EQ(u.collect(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DatasetTest, RepartitionPreservesContent) {
+  Engine e(opts(4));
+  auto ds = Dataset<int>::parallelize(e, iota_vec(20), 2).repartition(6);
+  EXPECT_EQ(ds.partition_count(), 6u);
+  EXPECT_EQ(ds.collect(), iota_vec(20));
+}
+
+TEST(DatasetTest, LazyLineageRecomputes) {
+  Engine e(opts(2));
+  std::atomic<int> computes{0};
+  std::vector<Dataset<int>::Partition> parts;
+  parts.push_back({[&computes](const TaskContext&) {
+                     computes++;
+                     return std::vector<int>{1, 2, 3};
+                   },
+                   -1});
+  Dataset<int> ds(e, std::move(parts));
+  (void)ds.count();
+  (void)ds.count();
+  EXPECT_EQ(computes.load(), 2);  // uncached lineage re-executes
+  auto cached = ds.cache();
+  EXPECT_EQ(computes.load(), 3);  // cache materialized once
+  (void)cached.count();
+  (void)cached.collect();
+  EXPECT_EQ(computes.load(), 3);  // served from memory
+}
+
+TEST(DatasetTest, KeyBy) {
+  Engine e(opts(2));
+  auto ds = Dataset<int>::parallelize(e, {1, 2, 3, 4}, 2);
+  auto keyed = ds.key_by([](const int& v) { return v % 2; }).collect();
+  EXPECT_EQ(keyed[0], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(keyed[1], (std::pair<int, int>{0, 2}));
+}
+
+// ----------------------------------------------------------------- shuffle
+
+TEST(ShuffleTest, ReduceByKeySumsValues) {
+  Engine e(opts(4));
+  std::vector<std::pair<std::string, int>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.emplace_back("k" + std::to_string(i % 5), 1);
+  }
+  auto ds = Dataset<std::pair<std::string, int>>::parallelize(e, data, 8);
+  auto reduced =
+      reduce_by_key(ds, [](int a, int b) { return a + b; }, 4).collect();
+  ASSERT_EQ(reduced.size(), 5u);
+  for (const auto& [k, v] : reduced) EXPECT_EQ(v, 20) << k;
+  EXPECT_GE(e.metrics().shuffles, 1u);
+}
+
+TEST(ShuffleTest, ReduceByKeyDeterministicOrdering) {
+  Engine e(opts(4));
+  std::vector<std::pair<std::string, int>> data{
+      {"b", 1}, {"a", 2}, {"c", 3}, {"a", 4}};
+  auto ds = Dataset<std::pair<std::string, int>>::parallelize(e, data, 2);
+  auto r1 = reduce_by_key(ds, [](int a, int b) { return a + b; }, 3).collect();
+  auto r2 = reduce_by_key(ds, [](int a, int b) { return a + b; }, 3).collect();
+  EXPECT_EQ(r1, r2);
+  // Within each output partition keys are sorted; verify totals.
+  std::map<std::string, int> totals(r1.begin(), r1.end());
+  EXPECT_EQ(totals["a"], 6);
+  EXPECT_EQ(totals["b"], 1);
+  EXPECT_EQ(totals["c"], 3);
+}
+
+TEST(ShuffleTest, GroupByKeyGathersAll) {
+  Engine e(opts(2));
+  std::vector<std::pair<int, std::string>> data{
+      {1, "a"}, {2, "b"}, {1, "c"}, {1, "d"}};
+  auto ds = Dataset<std::pair<int, std::string>>::parallelize(e, data, 2);
+  auto grouped = group_by_key(ds, 2).collect();
+  std::map<int, std::size_t> sizes;
+  for (const auto& [k, vs] : grouped) sizes[k] = vs.size();
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(ShuffleTest, CountByKey) {
+  Engine e(opts(2));
+  std::vector<std::pair<std::string, int>> data{
+      {"mce", 0}, {"lustre", 0}, {"mce", 0}};
+  auto ds = Dataset<std::pair<std::string, int>>::parallelize(e, data, 2);
+  auto counts = count_by_key(ds).collect();
+  std::map<std::string, std::int64_t> m(counts.begin(), counts.end());
+  EXPECT_EQ(m["mce"], 2);
+  EXPECT_EQ(m["lustre"], 1);
+}
+
+TEST(ShuffleTest, JoinMatchesKeys) {
+  Engine e(opts(2));
+  using SP = std::pair<std::string, int>;
+  auto left = Dataset<SP>::parallelize(e, {{"a", 1}, {"b", 2}, {"a", 3}}, 2);
+  auto right = Dataset<std::pair<std::string, std::string>>::parallelize(
+      e, {{"a", "x"}, {"c", "y"}}, 2);
+  auto joined = join(left, right).collect();
+  ASSERT_EQ(joined.size(), 2u);  // ("a",1,"x") and ("a",3,"x")
+  for (const auto& [k, lr] : joined) {
+    EXPECT_EQ(k, "a");
+    EXPECT_EQ(lr.second, "x");
+  }
+}
+
+TEST(ShuffleTest, SortBy) {
+  Engine e(opts(2));
+  auto ds = Dataset<int>::parallelize(e, {5, 3, 9, 1}, 2);
+  auto sorted = sort_by(ds, [](const int& v) { return v; }).collect();
+  EXPECT_EQ(sorted, (std::vector<int>{1, 3, 5, 9}));
+  auto desc = sort_by(ds, [](const int& v) { return -v; }).collect();
+  EXPECT_EQ(desc, (std::vector<int>{9, 5, 3, 1}));
+}
+
+TEST(ShuffleTest, WideOpsOnEmptyDatasets) {
+  Engine e(opts(2));
+  auto empty = Dataset<std::pair<std::string, int>>::parallelize(e, {}, 3);
+  EXPECT_TRUE(reduce_by_key(empty, [](int a, int b) { return a + b; })
+                  .collect().empty());
+  EXPECT_TRUE(group_by_key(empty).collect().empty());
+  EXPECT_TRUE(count_by_key(empty).collect().empty());
+  auto right = Dataset<std::pair<std::string, int>>::parallelize(
+      e, {{"a", 1}}, 1);
+  EXPECT_TRUE(join(empty, right).collect().empty());
+  EXPECT_TRUE(join(right, empty).collect().empty());
+}
+
+TEST(ShuffleTest, JoinWithNoMatchingKeys) {
+  Engine e(opts(2));
+  auto left = Dataset<std::pair<std::string, int>>::parallelize(
+      e, {{"a", 1}, {"b", 2}}, 2);
+  auto right = Dataset<std::pair<std::string, int>>::parallelize(
+      e, {{"c", 3}}, 1);
+  EXPECT_TRUE(join(left, right).collect().empty());
+}
+
+TEST(ShuffleTest, SortByEmptyAndSingleton) {
+  Engine e(opts(2));
+  auto empty = Dataset<int>::parallelize(e, {}, 2);
+  EXPECT_TRUE(sort_by(empty, [](const int& v) { return v; }).collect().empty());
+  auto one = Dataset<int>::parallelize(e, {42}, 2);
+  EXPECT_EQ(sort_by(one, [](const int& v) { return v; }).collect(),
+            std::vector<int>{42});
+}
+
+TEST(ShuffleTest, ReduceByKeyStableUnderDuplicateHeavyKeys) {
+  // A single dominant key must not lose counts through map-side combine.
+  Engine e(opts(4));
+  std::vector<std::pair<std::string, std::int64_t>> data;
+  for (int i = 0; i < 10000; ++i) data.emplace_back("hot", 1);
+  data.emplace_back("cold", 1);
+  auto ds = Dataset<std::pair<std::string, std::int64_t>>::parallelize(
+      e, data, 16);
+  auto counts = reduce_by_key(
+                    ds, [](std::int64_t a, std::int64_t b) { return a + b; })
+                    .collect();
+  std::map<std::string, std::int64_t> m(counts.begin(), counts.end());
+  EXPECT_EQ(m["hot"], 10000);
+  EXPECT_EQ(m["cold"], 1);
+}
+
+// ------------------------------------------------------ engine / locality
+
+TEST(EngineTest, MetricsCountStagesAndTasks) {
+  Engine e(opts(2));
+  auto ds = Dataset<int>::parallelize(e, iota_vec(10), 5);
+  (void)ds.collect();
+  auto m = e.metrics();
+  EXPECT_EQ(m.stages, 1u);
+  EXPECT_EQ(m.tasks, 5u);
+}
+
+TEST(EngineTest, LocalityAwareSchedulingHitsLocal) {
+  Engine e(opts(4, /*locality=*/true));
+  std::vector<Dataset<int>::Partition> parts;
+  for (int p = 0; p < 8; ++p) {
+    parts.push_back({[](const TaskContext&) { return std::vector<int>{1}; },
+                     p % 4});  // preferred nodes 0..3
+  }
+  Dataset<int> ds(e, std::move(parts));
+  (void)ds.collect();
+  auto m = e.metrics();
+  EXPECT_EQ(m.local_tasks, 8u);
+  EXPECT_EQ(m.remote_fetches, 0u);
+}
+
+TEST(EngineTest, NonLocalSchedulingFetchesRemotely) {
+  Engine e(opts(4, /*locality=*/false));
+  std::vector<Dataset<int>::Partition> parts;
+  for (int p = 0; p < 16; ++p) {
+    // Preferred node deliberately misaligned with round-robin assignment.
+    parts.push_back({[](const TaskContext&) { return std::vector<int>{1}; },
+                     (p + 1) % 4});
+  }
+  Dataset<int> ds(e, std::move(parts));
+  (void)ds.collect();
+  auto m = e.metrics();
+  EXPECT_EQ(m.remote_fetches, 16u);
+}
+
+TEST(EngineTest, TaskContextReportsAssignment) {
+  Engine e(opts(3, true));
+  std::vector<int> assigned(6, -1);
+  std::vector<Dataset<int>::Partition> parts;
+  for (int p = 0; p < 6; ++p) {
+    parts.push_back({[&assigned, p](const TaskContext& ctx) {
+                       assigned[static_cast<std::size_t>(p)] = ctx.assigned_worker;
+                       return std::vector<int>{};
+                     },
+                     p});
+  }
+  (void)Dataset<int>(e, std::move(parts)).collect();
+  for (int p = 0; p < 6; ++p) EXPECT_EQ(assigned[static_cast<std::size_t>(p)], p % 3);
+}
+
+TEST(EngineTest, StageHistoryRecordsLabelsAndCounts) {
+  Engine e(opts(2));
+  e.set_next_stage_label("first-job");
+  auto ds = Dataset<int>::parallelize(e, iota_vec(20), 5);
+  (void)ds.collect();
+  (void)ds.count();  // unlabeled stage
+  auto history = e.stage_history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].label, "first-job");
+  EXPECT_EQ(history[0].tasks, 5u);
+  EXPECT_EQ(history[0].local_tasks + history[0].remote_fetches, 5u);
+  EXPECT_GE(history[0].seconds, 0.0);
+  EXPECT_EQ(history[1].label, "stage-2");
+  auto art = e.render_history();
+  EXPECT_NE(art.find("first-job"), std::string::npos);
+  EXPECT_NE(art.find("stage-2"), std::string::npos);
+}
+
+TEST(EngineTest, StageHistoryBounded) {
+  Engine e(opts(1));
+  auto ds = Dataset<int>::parallelize(e, {1}, 1);
+  for (int i = 0; i < 300; ++i) (void)ds.count();
+  EXPECT_EQ(e.stage_history().size(), 256u);
+  // Oldest evicted: first retained stage is stage-45.
+  EXPECT_EQ(e.stage_history().front().label, "stage-45");
+}
+
+// --------------------------------------------------------------- streaming
+
+TEST(StreamingTest, WindowsSplitOnEventTime) {
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 2}).is_ok());
+  // Messages across 3 distinct seconds, out of order.
+  const std::vector<std::pair<UnixMillis, std::string>> msgs{
+      {2500, "c"}, {1200, "a"}, {1900, "b"}, {3100, "d"}, {2600, "e"}};
+  for (const auto& [ts, v] : msgs) {
+    ASSERT_TRUE(broker.produce("events", v, v, ts).is_ok());
+  }
+  MicroBatchStream stream(broker, "g", "events");
+  std::vector<MicroBatch> seen;
+  const std::size_t batches =
+      stream.process_available([&](const MicroBatch& b) { seen.push_back(b); });
+  ASSERT_EQ(batches, 3u);
+  EXPECT_EQ(seen[0].window_start, 1000);
+  EXPECT_EQ(seen[0].messages.size(), 2u);
+  EXPECT_EQ(seen[0].messages[0].value, "a");  // sorted by ts within window
+  EXPECT_EQ(seen[1].window_start, 2000);
+  EXPECT_EQ(seen[1].messages.size(), 2u);
+  EXPECT_EQ(seen[2].window_start, 3000);
+  EXPECT_EQ(stream.messages_processed(), 5u);
+}
+
+TEST(StreamingTest, SecondProcessSeesOnlyNewMessages) {
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 1}).is_ok());
+  ASSERT_TRUE(broker.produce("events", "k", "first", 1000).is_ok());
+  MicroBatchStream stream(broker, "g", "events");
+  EXPECT_EQ(stream.process_available([](const MicroBatch&) {}), 1u);
+  EXPECT_EQ(stream.process_available([](const MicroBatch&) {}), 0u);
+  ASSERT_TRUE(broker.produce("events", "k", "second", 5000).is_ok());
+  std::size_t count = 0;
+  stream.process_available([&](const MicroBatch& b) {
+    count += b.messages.size();
+    EXPECT_EQ(b.messages[0].value, "second");
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(StreamingTest, CommittedOffsetsSurviveRestart) {
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 1}).is_ok());
+  ASSERT_TRUE(broker.produce("events", "k", "v1", 1000).is_ok());
+  {
+    MicroBatchStream s1(broker, "g", "events");
+    s1.process_available([](const MicroBatch&) {});
+  }
+  ASSERT_TRUE(broker.produce("events", "k", "v2", 2000).is_ok());
+  MicroBatchStream s2(broker, "g", "events");
+  std::vector<std::string> seen;
+  s2.process_available([&](const MicroBatch& b) {
+    for (const auto& m : b.messages) seen.push_back(m.value);
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"v2"}));
+}
+
+// --------------------------------------------------------- cassalite source
+
+TEST(CassaliteSourceTest, ScanReadsAllPartitionsWithLocality) {
+  cassalite::ClusterOptions copts;
+  copts.node_count = 4;
+  copts.replication_factor = 2;
+  cassalite::Cluster cluster(copts);
+  for (int p = 0; p < 12; ++p) {
+    for (int r = 0; r < 5; ++r) {
+      cassalite::Row row;
+      row.key = cassalite::ClusteringKey::of(
+          {cassalite::Value(r), cassalite::Value(0)});
+      row.set("v", p * 100 + r);
+      ASSERT_TRUE(cluster.insert("t", "pk-" + std::to_string(p), row).is_ok());
+    }
+  }
+  Engine e(opts(4, true));
+  auto ds = scan_table(e, cluster, "t");
+  EXPECT_EQ(ds.partition_count(), 12u);
+  EXPECT_EQ(ds.count(), 60u);
+  auto m = e.metrics();
+  EXPECT_EQ(m.local_tasks, 12u);  // co-located workers == node count
+  EXPECT_EQ(m.remote_fetches, 0u);
+}
+
+TEST(CassaliteSourceTest, KeyedScanCarriesPartitionKey) {
+  cassalite::ClusterOptions copts;
+  copts.node_count = 2;
+  cassalite::Cluster cluster(copts);
+  cassalite::Row row;
+  row.key = cassalite::ClusteringKey::of({cassalite::Value(1)});
+  row.set("v", 7);
+  ASSERT_TRUE(cluster.insert("t", "the-key", row).is_ok());
+  Engine e(opts(2));
+  auto pairs = scan_table_keyed(e, cluster, "t").collect();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, "the-key");
+  EXPECT_EQ(pairs[0].second.find("v")->as_int(), 7);
+}
+
+TEST(CassaliteSourceTest, ExplicitPartitionListRestrictsScan) {
+  cassalite::Cluster cluster;
+  for (int p = 0; p < 6; ++p) {
+    cassalite::Row row;
+    row.key = cassalite::ClusteringKey::of({cassalite::Value(p)});
+    row.set("v", p);
+    ASSERT_TRUE(cluster.insert("t", "pk-" + std::to_string(p), row).is_ok());
+  }
+  Engine e(opts(2));
+  auto ds = scan_table(e, cluster, "t", {"pk-1", "pk-3"});
+  EXPECT_EQ(ds.count(), 2u);
+}
+
+// Property sweep: word count (the paper's Fig 7 idiom) is correct for any
+// worker count and partitioning.
+struct WordCountParam {
+  std::size_t workers;
+  std::size_t partitions;
+};
+
+class WordCountPropertyTest
+    : public ::testing::TestWithParam<WordCountParam> {};
+
+TEST_P(WordCountPropertyTest, CountsIndependentOfParallelism) {
+  const auto p = GetParam();
+  Engine e(opts(p.workers));
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i) {
+    lines.push_back("ost" + std::to_string(i % 7) + " error");
+  }
+  auto ds = Dataset<std::string>::parallelize(e, lines, p.partitions);
+  auto words = ds.map([](const std::string& line) {
+    return std::make_pair(line.substr(0, line.find(' ')), 1);
+  });
+  auto counts = count_by_key(words).collect();
+  ASSERT_EQ(counts.size(), 7u);
+  std::int64_t total = 0;
+  for (const auto& [word, n] : counts) {
+    EXPECT_GE(n, 28);
+    EXPECT_LE(n, 29);
+    total += n;
+  }
+  EXPECT_EQ(total, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WordCountPropertyTest,
+    ::testing::Values(WordCountParam{1, 1}, WordCountParam{1, 8},
+                      WordCountParam{2, 3}, WordCountParam{4, 4},
+                      WordCountParam{8, 16}, WordCountParam{4, 1}));
+
+}  // namespace
+}  // namespace hpcla::sparklite

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/cname.hpp"
+#include "topo/machine.hpp"
+
+namespace hpcla::topo {
+namespace {
+
+using G = TitanGeometry;
+
+TEST(GeometryTest, TitanShape) {
+  EXPECT_EQ(G::kCabinets, 200);
+  EXPECT_EQ(G::kNodesPerCabinet, 96);
+  EXPECT_EQ(G::kTotalNodes, 19200);
+}
+
+TEST(CnameTest, NodeIdRoundTripExhaustive) {
+  // Property: node_id and coord_of are exact inverses over the machine.
+  for (NodeId id = 0; id < G::kTotalNodes; ++id) {
+    EXPECT_EQ(node_id(coord_of(id)), id);
+  }
+}
+
+TEST(CnameTest, NodeIdsAreDenseAndOrdered) {
+  EXPECT_EQ(node_id(Coord{0, 0, 0, 0, 0}), 0);
+  EXPECT_EQ(node_id(Coord{0, 0, 0, 0, 1}), 1);
+  EXPECT_EQ(node_id(Coord{0, 0, 0, 1, 0}), 4);
+  EXPECT_EQ(node_id(Coord{0, 0, 1, 0, 0}), 32);
+  EXPECT_EQ(node_id(Coord{0, 1, 0, 0, 0}), 96);
+  EXPECT_EQ(node_id(Coord{1, 0, 0, 0, 0}), 96 * 8);
+  EXPECT_EQ(node_id(Coord{24, 7, 2, 7, 3}), G::kTotalNodes - 1);
+}
+
+TEST(CnameTest, FormatLevels) {
+  EXPECT_EQ(format_cname(Coord{}), "system");
+  EXPECT_EQ(format_cname(Coord{17, 3, -1, -1, -1}), "c3-17");
+  EXPECT_EQ(format_cname(Coord{17, 3, 1, -1, -1}), "c3-17c1");
+  EXPECT_EQ(format_cname(Coord{17, 3, 1, 5, -1}), "c3-17c1s5");
+  EXPECT_EQ(format_cname(Coord{17, 3, 1, 5, 2}), "c3-17c1s5n2");
+}
+
+TEST(CnameTest, ParseLevels) {
+  auto cab = parse_cname("c3-17");
+  ASSERT_TRUE(cab.is_ok());
+  EXPECT_EQ(cab->level(), LocationLevel::kCabinet);
+  EXPECT_EQ(cab->col, 3);
+  EXPECT_EQ(cab->row, 17);
+
+  auto cage = parse_cname("c3-17c2");
+  ASSERT_TRUE(cage.is_ok());
+  EXPECT_EQ(cage->level(), LocationLevel::kCage);
+  EXPECT_EQ(cage->cage, 2);
+
+  auto blade = parse_cname("c3-17c2s7");
+  ASSERT_TRUE(blade.is_ok());
+  EXPECT_EQ(blade->level(), LocationLevel::kBlade);
+  EXPECT_EQ(blade->slot, 7);
+
+  auto node = parse_cname("c3-17c2s7n3");
+  ASSERT_TRUE(node.is_ok());
+  EXPECT_EQ(node->level(), LocationLevel::kNode);
+  EXPECT_EQ(node->node, 3);
+}
+
+TEST(CnameTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_cname("").is_ok());
+  EXPECT_FALSE(parse_cname("x3-17").is_ok());
+  EXPECT_FALSE(parse_cname("c3").is_ok());
+  EXPECT_FALSE(parse_cname("c3-").is_ok());
+  EXPECT_FALSE(parse_cname("c8-17").is_ok());       // col 8 out of range
+  EXPECT_FALSE(parse_cname("c3-25").is_ok());       // row 25 out of range
+  EXPECT_FALSE(parse_cname("c3-17c3").is_ok());     // cage 3 out of range
+  EXPECT_FALSE(parse_cname("c3-17c1s8").is_ok());   // slot 8 out of range
+  EXPECT_FALSE(parse_cname("c3-17c1s5n4").is_ok()); // node 4 out of range
+  EXPECT_FALSE(parse_cname("c3-17c1s5n2x").is_ok());// trailing garbage
+  EXPECT_FALSE(parse_cname("c3-17s5").is_ok());     // slot without cage
+}
+
+class CnameRoundTripTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(CnameRoundTripTest, FormatParseRoundTrip) {
+  const NodeId id = GetParam();
+  auto parsed = parse_cname(cname_of(id));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(node_id(parsed.value()), id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, CnameRoundTripTest,
+                         ::testing::Values(0, 1, 95, 96, 767, 768, 9599, 9600,
+                                           19199));
+
+TEST(CnameTest, ComponentIndices) {
+  // First node of the second cabinet.
+  EXPECT_EQ(cabinet_of(96), 1);
+  EXPECT_EQ(blade_of(96), 24);
+  EXPECT_EQ(gemini_of(96), 48);
+  // Gemini pairing: (0,1) share, (2,3) share, never across.
+  EXPECT_EQ(gemini_of(0), gemini_of(1));
+  EXPECT_NE(gemini_of(1), gemini_of(2));
+  EXPECT_EQ(gemini_of(2), gemini_of(3));
+  EXPECT_EQ(gemini_peer(0), 1);
+  EXPECT_EQ(gemini_peer(1), 0);
+  EXPECT_EQ(gemini_peer(2), 3);
+}
+
+TEST(CnameTest, ContainsHierarchy) {
+  const Coord node{17, 3, 1, 5, 2};
+  EXPECT_TRUE(contains(Coord{}, node));                       // system
+  EXPECT_TRUE(contains(Coord{17, 3, -1, -1, -1}, node));      // cabinet
+  EXPECT_TRUE(contains(Coord{17, 3, 1, -1, -1}, node));       // cage
+  EXPECT_TRUE(contains(Coord{17, 3, 1, 5, -1}, node));        // blade
+  EXPECT_TRUE(contains(node, node));                          // itself
+  EXPECT_FALSE(contains(Coord{17, 4, -1, -1, -1}, node));     // other cabinet
+  EXPECT_FALSE(contains(Coord{17, 3, 2, -1, -1}, node));      // other cage
+  EXPECT_FALSE(contains(Coord{17, 3, 1, 6, -1}, node));       // other blade
+}
+
+TEST(MachineTest, BuildsAllNodes) {
+  const Machine& m = titan();
+  EXPECT_EQ(m.node_count(), 19200);
+  EXPECT_EQ(m.node(0).cname, "c0-0c0s0n0");
+  EXPECT_EQ(m.node(19199).cname, "c7-24c2s7n3");
+}
+
+TEST(MachineTest, NodeInfoFields) {
+  const NodeInfo& n = titan().node(5000);
+  EXPECT_EQ(n.id, 5000);
+  EXPECT_EQ(n.cabinet, cabinet_of(5000));
+  EXPECT_EQ(n.blade, blade_of(5000));
+  EXPECT_EQ(n.gemini, gemini_of(5000));
+  EXPECT_EQ(n.cpu_cores, 16);
+  EXPECT_EQ(n.cpu_memory_gb, 32);
+  EXPECT_EQ(n.gpu_memory_gb, 6);
+  EXPECT_NE(n.cpu_model.find("Opteron"), std::string::npos);
+  EXPECT_NE(n.gpu_model.find("K20X"), std::string::npos);
+}
+
+TEST(MachineTest, NodeInfoJson) {
+  Json j = titan().node(0).to_json();
+  EXPECT_EQ(j["nid"].as_int(), 0);
+  EXPECT_EQ(j["cname"].as_string(), "c0-0c0s0n0");
+  EXPECT_EQ(j["torus"]["x"].as_int(), 0);
+  EXPECT_EQ(j["gpu_memory_gb"].as_int(), 6);
+}
+
+TEST(MachineTest, NodesInCabinet) {
+  auto ids = titan().nodes_in_cabinet(3);
+  ASSERT_EQ(ids.size(), 96u);
+  for (NodeId id : ids) EXPECT_EQ(cabinet_of(id), 3);
+  EXPECT_EQ(ids.front(), 3 * 96);
+}
+
+TEST(MachineTest, NodesInHierarchy) {
+  const Machine& m = titan();
+  EXPECT_EQ(m.nodes_in(Coord{}).size(), 19200u);
+  EXPECT_EQ(m.nodes_in(Coord{4, 2, -1, -1, -1}).size(), 96u);
+  EXPECT_EQ(m.nodes_in(Coord{4, 2, 1, -1, -1}).size(), 32u);
+  EXPECT_EQ(m.nodes_in(Coord{4, 2, 1, 3, -1}).size(), 4u);
+  EXPECT_EQ(m.nodes_in(Coord{4, 2, 1, 3, 2}).size(), 1u);
+}
+
+TEST(MachineTest, NodesInCoverWholeMachineWithoutOverlap) {
+  // Property: cabinets partition the machine.
+  std::set<NodeId> seen;
+  for (int cab = 0; cab < G::kCabinets; ++cab) {
+    for (NodeId id : titan().nodes_in_cabinet(cab)) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate node " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(G::kTotalNodes));
+}
+
+TEST(MachineTest, NodesAtCname) {
+  const Machine& m = titan();
+  auto blade = m.nodes_at("c3-17c1s5");
+  ASSERT_TRUE(blade.is_ok());
+  EXPECT_EQ(blade->size(), 4u);
+  auto all = m.nodes_at("system");
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all->size(), 19200u);
+  EXPECT_FALSE(m.nodes_at("c99-0").is_ok());
+}
+
+TEST(MachineTest, TorusCoordsDistinctPerCabinetGeminis) {
+  // Within a cabinet, the 48 Geminis get distinct Z coordinates.
+  const Machine& m = titan();
+  std::set<int> zs;
+  for (NodeId id = 0; id < G::kNodesPerCabinet; id += 2) {
+    zs.insert(m.node(id).torus.z);
+  }
+  EXPECT_EQ(zs.size(), 48u);
+}
+
+}  // namespace
+}  // namespace hpcla::topo
