@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_schemas.dir/bench_fig1_schemas.cpp.o"
+  "CMakeFiles/bench_fig1_schemas.dir/bench_fig1_schemas.cpp.o.d"
+  "bench_fig1_schemas"
+  "bench_fig1_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_appschemas.dir/bench_fig2_appschemas.cpp.o"
+  "CMakeFiles/bench_fig2_appschemas.dir/bench_fig2_appschemas.cpp.o.d"
+  "bench_fig2_appschemas"
+  "bench_fig2_appschemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_appschemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

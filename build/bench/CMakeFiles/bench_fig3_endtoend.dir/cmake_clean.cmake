@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_endtoend.dir/bench_fig3_endtoend.cpp.o"
+  "CMakeFiles/bench_fig3_endtoend.dir/bench_fig3_endtoend.cpp.o.d"
+  "bench_fig3_endtoend"
+  "bench_fig3_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

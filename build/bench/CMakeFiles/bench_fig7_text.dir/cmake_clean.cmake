@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_text.dir/bench_fig7_text.cpp.o"
+  "CMakeFiles/bench_fig7_text.dir/bench_fig7_text.cpp.o.d"
+  "bench_fig7_text"
+  "bench_fig7_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

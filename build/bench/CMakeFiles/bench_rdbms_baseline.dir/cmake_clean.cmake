@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rdbms_baseline.dir/bench_rdbms_baseline.cpp.o"
+  "CMakeFiles/bench_rdbms_baseline.dir/bench_rdbms_baseline.cpp.o.d"
+  "bench_rdbms_baseline"
+  "bench_rdbms_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdbms_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

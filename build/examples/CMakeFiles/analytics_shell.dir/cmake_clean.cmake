@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_shell.dir/analytics_shell.cpp.o"
+  "CMakeFiles/analytics_shell.dir/analytics_shell.cpp.o.d"
+  "analytics_shell"
+  "analytics_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_impact.dir/app_impact.cpp.o"
+  "CMakeFiles/app_impact.dir/app_impact.cpp.o.d"
+  "app_impact"
+  "app_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

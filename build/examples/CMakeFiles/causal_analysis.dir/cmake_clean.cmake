@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_analysis.dir/causal_analysis.cpp.o"
+  "CMakeFiles/causal_analysis.dir/causal_analysis.cpp.o.d"
+  "causal_analysis"
+  "causal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mce_heatmap.dir/mce_heatmap.cpp.o"
+  "CMakeFiles/mce_heatmap.dir/mce_heatmap.cpp.o.d"
+  "mce_heatmap"
+  "mce_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mce_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_cause_lustre.dir/root_cause_lustre.cpp.o"
+  "CMakeFiles/root_cause_lustre.dir/root_cause_lustre.cpp.o.d"
+  "root_cause_lustre"
+  "root_cause_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_cause_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/app_profile.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/app_profile.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/app_profile.cpp.o.d"
+  "/root/repo/src/analytics/assoc.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/assoc.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/assoc.cpp.o.d"
+  "/root/repo/src/analytics/composite.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/composite.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/composite.cpp.o.d"
+  "/root/repo/src/analytics/context.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/context.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/context.cpp.o.d"
+  "/root/repo/src/analytics/distribution.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/distribution.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/distribution.cpp.o.d"
+  "/root/repo/src/analytics/dtree.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/dtree.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/dtree.cpp.o.d"
+  "/root/repo/src/analytics/heatmap.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/heatmap.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/heatmap.cpp.o.d"
+  "/root/repo/src/analytics/prediction.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/prediction.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/prediction.cpp.o.d"
+  "/root/repo/src/analytics/queries.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/queries.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/queries.cpp.o.d"
+  "/root/repo/src/analytics/reliability.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/reliability.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/reliability.cpp.o.d"
+  "/root/repo/src/analytics/text.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/text.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/text.cpp.o.d"
+  "/root/repo/src/analytics/timeseries.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/timeseries.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/timeseries.cpp.o.d"
+  "/root/repo/src/analytics/transfer_entropy.cpp" "src/CMakeFiles/hpcla_analytics.dir/analytics/transfer_entropy.cpp.o" "gcc" "src/CMakeFiles/hpcla_analytics.dir/analytics/transfer_entropy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpcla_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_titanlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_cassalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_buslite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_analytics.dir/analytics/app_profile.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/app_profile.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/assoc.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/assoc.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/composite.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/composite.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/context.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/context.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/distribution.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/distribution.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/dtree.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/dtree.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/heatmap.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/heatmap.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/prediction.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/prediction.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/queries.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/queries.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/reliability.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/reliability.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/text.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/text.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/timeseries.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/timeseries.cpp.o.d"
+  "CMakeFiles/hpcla_analytics.dir/analytics/transfer_entropy.cpp.o"
+  "CMakeFiles/hpcla_analytics.dir/analytics/transfer_entropy.cpp.o.d"
+  "libhpcla_analytics.a"
+  "libhpcla_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

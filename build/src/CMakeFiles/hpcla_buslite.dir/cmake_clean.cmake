@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_buslite.dir/buslite/broker.cpp.o"
+  "CMakeFiles/hpcla_buslite.dir/buslite/broker.cpp.o.d"
+  "libhpcla_buslite.a"
+  "libhpcla_buslite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_buslite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cassalite/bloom.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/bloom.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/bloom.cpp.o.d"
+  "/root/repo/src/cassalite/cluster.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/cluster.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/cluster.cpp.o.d"
+  "/root/repo/src/cassalite/commitlog.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/commitlog.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/commitlog.cpp.o.d"
+  "/root/repo/src/cassalite/cql.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/cql.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/cql.cpp.o.d"
+  "/root/repo/src/cassalite/gossip.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/gossip.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/gossip.cpp.o.d"
+  "/root/repo/src/cassalite/memtable.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/memtable.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/memtable.cpp.o.d"
+  "/root/repo/src/cassalite/ring.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/ring.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/ring.cpp.o.d"
+  "/root/repo/src/cassalite/sstable.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/sstable.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/sstable.cpp.o.d"
+  "/root/repo/src/cassalite/storage_engine.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/storage_engine.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/storage_engine.cpp.o.d"
+  "/root/repo/src/cassalite/value.cpp" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/value.cpp.o" "gcc" "src/CMakeFiles/hpcla_cassalite.dir/cassalite/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpcla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/bloom.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/bloom.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/cluster.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/cluster.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/commitlog.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/commitlog.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/cql.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/cql.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/gossip.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/gossip.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/memtable.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/memtable.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/ring.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/ring.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/sstable.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/sstable.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/storage_engine.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/storage_engine.cpp.o.d"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/value.cpp.o"
+  "CMakeFiles/hpcla_cassalite.dir/cassalite/value.cpp.o.d"
+  "libhpcla_cassalite.a"
+  "libhpcla_cassalite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_cassalite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcla_cassalite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/CMakeFiles/hpcla_common.dir/common/clock.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/clock.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/hpcla_common.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/hpcla_common.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/hpcla_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/hpcla_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/hpcla_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/hpcla_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/hpcla_common.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/hpcla_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hpcla_common.dir/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

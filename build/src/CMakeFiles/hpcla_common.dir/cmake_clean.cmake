@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_common.dir/common/clock.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/clock.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/hash.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/hash.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/json.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/json.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/logging.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/stats.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/status.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/strings.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/hpcla_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/hpcla_common.dir/common/thread_pool.cpp.o.d"
+  "libhpcla_common.a"
+  "libhpcla_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

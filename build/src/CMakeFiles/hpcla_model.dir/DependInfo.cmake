@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/ingest.cpp" "src/CMakeFiles/hpcla_model.dir/model/ingest.cpp.o" "gcc" "src/CMakeFiles/hpcla_model.dir/model/ingest.cpp.o.d"
+  "/root/repo/src/model/keys.cpp" "src/CMakeFiles/hpcla_model.dir/model/keys.cpp.o" "gcc" "src/CMakeFiles/hpcla_model.dir/model/keys.cpp.o.d"
+  "/root/repo/src/model/streaming_ingest.cpp" "src/CMakeFiles/hpcla_model.dir/model/streaming_ingest.cpp.o" "gcc" "src/CMakeFiles/hpcla_model.dir/model/streaming_ingest.cpp.o.d"
+  "/root/repo/src/model/tables.cpp" "src/CMakeFiles/hpcla_model.dir/model/tables.cpp.o" "gcc" "src/CMakeFiles/hpcla_model.dir/model/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpcla_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_titanlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_cassalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_buslite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_model.dir/model/ingest.cpp.o"
+  "CMakeFiles/hpcla_model.dir/model/ingest.cpp.o.d"
+  "CMakeFiles/hpcla_model.dir/model/keys.cpp.o"
+  "CMakeFiles/hpcla_model.dir/model/keys.cpp.o.d"
+  "CMakeFiles/hpcla_model.dir/model/streaming_ingest.cpp.o"
+  "CMakeFiles/hpcla_model.dir/model/streaming_ingest.cpp.o.d"
+  "CMakeFiles/hpcla_model.dir/model/tables.cpp.o"
+  "CMakeFiles/hpcla_model.dir/model/tables.cpp.o.d"
+  "libhpcla_model.a"
+  "libhpcla_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

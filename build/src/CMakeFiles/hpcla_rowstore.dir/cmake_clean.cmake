@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_rowstore.dir/rowstore/rowstore.cpp.o"
+  "CMakeFiles/hpcla_rowstore.dir/rowstore/rowstore.cpp.o.d"
+  "libhpcla_rowstore.a"
+  "libhpcla_rowstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_rowstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

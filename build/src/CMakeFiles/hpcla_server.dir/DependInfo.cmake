@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/render.cpp" "src/CMakeFiles/hpcla_server.dir/server/render.cpp.o" "gcc" "src/CMakeFiles/hpcla_server.dir/server/render.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/CMakeFiles/hpcla_server.dir/server/server.cpp.o" "gcc" "src/CMakeFiles/hpcla_server.dir/server/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpcla_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_titanlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_cassalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_buslite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_server.dir/server/render.cpp.o"
+  "CMakeFiles/hpcla_server.dir/server/render.cpp.o.d"
+  "CMakeFiles/hpcla_server.dir/server/server.cpp.o"
+  "CMakeFiles/hpcla_server.dir/server/server.cpp.o.d"
+  "libhpcla_server.a"
+  "libhpcla_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/titanlog/events.cpp" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/events.cpp.o" "gcc" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/events.cpp.o.d"
+  "/root/repo/src/titanlog/generator.cpp" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/generator.cpp.o" "gcc" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/generator.cpp.o.d"
+  "/root/repo/src/titanlog/parser.cpp" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/parser.cpp.o" "gcc" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/parser.cpp.o.d"
+  "/root/repo/src/titanlog/record.cpp" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/record.cpp.o" "gcc" "src/CMakeFiles/hpcla_titanlog.dir/titanlog/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpcla_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpcla_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/events.cpp.o"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/events.cpp.o.d"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/generator.cpp.o"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/generator.cpp.o.d"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/parser.cpp.o"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/parser.cpp.o.d"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/record.cpp.o"
+  "CMakeFiles/hpcla_titanlog.dir/titanlog/record.cpp.o.d"
+  "libhpcla_titanlog.a"
+  "libhpcla_titanlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_titanlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcla_topo.dir/topo/cname.cpp.o"
+  "CMakeFiles/hpcla_topo.dir/topo/cname.cpp.o.d"
+  "CMakeFiles/hpcla_topo.dir/topo/machine.cpp.o"
+  "CMakeFiles/hpcla_topo.dir/topo/machine.cpp.o.d"
+  "libhpcla_topo.a"
+  "libhpcla_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcla_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_dtree_test.dir/analytics_dtree_test.cpp.o"
+  "CMakeFiles/analytics_dtree_test.dir/analytics_dtree_test.cpp.o.d"
+  "analytics_dtree_test"
+  "analytics_dtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_dtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

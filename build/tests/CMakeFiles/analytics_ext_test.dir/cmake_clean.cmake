@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_ext_test.dir/analytics_ext_test.cpp.o"
+  "CMakeFiles/analytics_ext_test.dir/analytics_ext_test.cpp.o.d"
+  "analytics_ext_test"
+  "analytics_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

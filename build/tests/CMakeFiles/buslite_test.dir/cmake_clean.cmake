@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buslite_test.dir/buslite_test.cpp.o"
+  "CMakeFiles/buslite_test.dir/buslite_test.cpp.o.d"
+  "buslite_test"
+  "buslite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buslite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassalite_cluster_test.dir/cassalite_cluster_test.cpp.o"
+  "CMakeFiles/cassalite_cluster_test.dir/cassalite_cluster_test.cpp.o.d"
+  "cassalite_cluster_test"
+  "cassalite_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassalite_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

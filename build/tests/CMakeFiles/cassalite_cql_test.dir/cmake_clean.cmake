@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassalite_cql_test.dir/cassalite_cql_test.cpp.o"
+  "CMakeFiles/cassalite_cql_test.dir/cassalite_cql_test.cpp.o.d"
+  "cassalite_cql_test"
+  "cassalite_cql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassalite_cql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassalite_gossip_test.dir/cassalite_gossip_test.cpp.o"
+  "CMakeFiles/cassalite_gossip_test.dir/cassalite_gossip_test.cpp.o.d"
+  "cassalite_gossip_test"
+  "cassalite_gossip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassalite_gossip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

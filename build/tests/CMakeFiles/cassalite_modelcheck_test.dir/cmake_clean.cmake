@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassalite_modelcheck_test.dir/cassalite_modelcheck_test.cpp.o"
+  "CMakeFiles/cassalite_modelcheck_test.dir/cassalite_modelcheck_test.cpp.o.d"
+  "cassalite_modelcheck_test"
+  "cassalite_modelcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassalite_modelcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassalite_storage_test.dir/cassalite_storage_test.cpp.o"
+  "CMakeFiles/cassalite_storage_test.dir/cassalite_storage_test.cpp.o.d"
+  "cassalite_storage_test"
+  "cassalite_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassalite_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

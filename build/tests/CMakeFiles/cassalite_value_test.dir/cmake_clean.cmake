@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassalite_value_test.dir/cassalite_value_test.cpp.o"
+  "CMakeFiles/cassalite_value_test.dir/cassalite_value_test.cpp.o.d"
+  "cassalite_value_test"
+  "cassalite_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassalite_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparklite_test.dir/sparklite_test.cpp.o"
+  "CMakeFiles/sparklite_test.dir/sparklite_test.cpp.o.d"
+  "sparklite_test"
+  "sparklite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparklite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

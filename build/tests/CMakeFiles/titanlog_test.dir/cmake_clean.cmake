@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titanlog_test.dir/titanlog_test.cpp.o"
+  "CMakeFiles/titanlog_test.dir/titanlog_test.cpp.o.d"
+  "titanlog_test"
+  "titanlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titanlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
