@@ -155,4 +155,4 @@ BENCHMARK(BM_Ablation_CrashRecovery)->Arg(1000)->Arg(10000)->Arg(20000)
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

@@ -1,0 +1,271 @@
+// Concurrent read-path bench: aggregate read throughput at 1/2/4/8 reader
+// threads with a background writer hammering the same node. Under the old
+// single-mutex StorageEngine this curve was flat (every reader serialized
+// on the writer); the snapshot read path should scale near-linearly until
+// the hardware runs out of cores. Also measures the batch scan
+// (scan_partitions) against per-key reads and the Cluster::parallel_read
+// fan-out, and writes the machine-readable summary (BENCH_concurrent_read
+// .json, or --json <path>) used to track the perf trajectory.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cassalite/cluster.hpp"
+#include "cassalite/storage_engine.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+constexpr std::size_t kPartitions = 64;
+constexpr int kRowsPerPartition = 128;
+constexpr double kMeasureSeconds = 0.6;
+
+std::string pkey(std::size_t p) { return "pk-" + std::to_string(p); }
+
+cassalite::Row make_row(std::int64_t seq, std::int64_t write_ts) {
+  cassalite::Row r;
+  r.key = cassalite::ClusteringKey::of({cassalite::Value(seq)});
+  r.set("v", seq);
+  r.set("msg", "synthetic log event payload for sizing");
+  r.write_ts = write_ts;
+  return r;
+}
+
+void preload(cassalite::StorageEngine& engine) {
+  std::int64_t ts = 0;
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    for (int s = 0; s < kRowsPerPartition; ++s) {
+      engine.apply(cassalite::WriteCommand{"events", pkey(p),
+                                           make_row(s, ++ts)});
+    }
+  }
+  engine.flush_all();
+}
+
+struct ThroughputResult {
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t writer_ops = 0;
+};
+
+/// `readers` threads read random partitions while one writer appends.
+ThroughputResult run_readers(cassalite::StorageEngine& engine,
+                             std::size_t readers) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_reads{0};
+  std::atomic<std::uint64_t> writer_ops{0};
+
+  std::thread writer([&] {
+    Rng rng(7);
+    std::int64_t ts = 1'000'000;
+    // A bounded ring of hot clustering keys: the engine keeps flushing and
+    // compacting under the readers, but partition sizes stay bounded so
+    // per-read work is comparable across reader counts.
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto p = rng.next_below(kPartitions);
+      const auto hot = static_cast<std::int64_t>(rng.next_below(64));
+      engine.apply(cassalite::WriteCommand{
+          "events", pkey(p), make_row(kRowsPerPartition + hot, ++ts)});
+      writer_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<PercentileTracker> latencies(readers);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        cassalite::ReadQuery q;
+        q.table = "events";
+        q.partition_key = pkey(rng.next_below(kPartitions));
+        if (ops % 16 == 0) {
+          Stopwatch lat;
+          benchmark::DoNotOptimize(engine.read(q));
+          latencies[t].add(static_cast<double>(lat.elapsed_micros()));
+        } else {
+          benchmark::DoNotOptimize(engine.read(q));
+        }
+        ++ops;
+      }
+      total_reads.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(kMeasureSeconds * 1e3)));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  writer.join();
+  const double elapsed = watch.elapsed_seconds();
+
+  // PercentileTracker has no merge: report the mean of per-thread p50s and
+  // the worst per-thread p99.
+  ThroughputResult r;
+  r.ops_per_sec = static_cast<double>(total_reads.load()) / elapsed;
+  double p50 = 0, p99 = 0;
+  for (auto& lat : latencies) {
+    p50 += lat.percentile(0.5);
+    p99 = std::max(p99, lat.percentile(0.99));
+  }
+  r.p50_us = readers ? p50 / static_cast<double>(readers) : 0.0;
+  r.p99_us = p99;
+  r.writer_ops = writer_ops.load();
+  return r;
+}
+
+/// Batch scan vs per-key reads, single thread (snapshot amortization).
+void bench_scan(cassalite::StorageEngine& engine, BenchJsonWriter& out) {
+  std::vector<std::string> keys;
+  for (std::size_t p = 0; p < kPartitions; ++p) keys.push_back(pkey(p));
+
+  constexpr int kRounds = 200;
+  Stopwatch per_key;
+  std::size_t rows_per_key = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    for (const auto& key : keys) {
+      cassalite::ReadQuery q;
+      q.table = "events";
+      q.partition_key = key;
+      rows_per_key += engine.read(q).rows.size();
+    }
+  }
+  const double per_key_s = per_key.elapsed_seconds();
+
+  Stopwatch batched;
+  std::size_t rows_batched = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    engine.scan_partitions(
+        "events", keys, {},
+        [&](const std::string&, std::vector<cassalite::Row> rows) {
+          rows_batched += rows.size();
+        });
+  }
+  const double batched_s = batched.elapsed_seconds();
+  HPCLA_CHECK(rows_batched == rows_per_key);
+
+  const double n = static_cast<double>(kRounds) * kPartitions;
+  BenchResultRow row;
+  row.name = "scan_partitions_vs_per_key";
+  row.ops_per_sec = n / batched_s;
+  row.p50_us = batched_s / n * 1e6;
+  row.p99_us = row.p50_us;
+  row.extra["per_key_ops_per_sec"] = n / per_key_s;
+  row.extra["batch_speedup"] = per_key_s / batched_s;
+  out.add(row);
+  std::printf("scan_partitions: %.0f partitions/s batched vs %.0f per-key "
+              "(%.2fx)\n",
+              n / batched_s, n / per_key_s, per_key_s / batched_s);
+}
+
+/// Multi-partition coordinator reads fanned across a pool.
+void bench_parallel_read(BenchJsonWriter& out) {
+  cassalite::ClusterOptions copts;
+  copts.node_count = 4;
+  copts.replication_factor = 3;
+  cassalite::Cluster cluster(copts);
+  std::vector<std::string> keys;
+  std::int64_t ts = 0;
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    keys.push_back(pkey(p));
+    for (int s = 0; s < kRowsPerPartition; ++s) {
+      HPCLA_CHECK(
+          cluster.insert("events", pkey(p), make_row(s, ++ts)).is_ok());
+    }
+  }
+
+  constexpr int kRounds = 100;
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{8}}) {
+    ThreadPool pool(pool_size);
+    Stopwatch watch;
+    std::size_t rows = 0;
+    for (int i = 0; i < kRounds; ++i) {
+      for (const auto& result :
+           cluster.parallel_read(pool, "events", keys, {})) {
+        rows += result.value().rows.size();
+      }
+    }
+    const double s = watch.elapsed_seconds();
+    HPCLA_CHECK(rows == static_cast<std::size_t>(kRounds) * kPartitions *
+                            kRowsPerPartition);
+    const double queries = static_cast<double>(kRounds);
+    BenchResultRow row;
+    row.name = "parallel_read/pool:" + std::to_string(pool_size);
+    row.ops_per_sec = queries * kPartitions / s;
+    row.p50_us = s / queries * 1e6;  // per multi-partition query
+    row.p99_us = row.p50_us;
+    row.extra["keys_per_query"] = static_cast<double>(kPartitions);
+    out.add(row);
+    std::printf("parallel_read pool=%zu: %.0f keys/s (%.3f ms per %zu-key "
+                "query)\n",
+                pool_size, queries * kPartitions / s, s / queries * 1e3,
+                kPartitions);
+  }
+}
+
+int run(int argc, char** argv) {
+  const std::string path = consume_json_flag(argc, argv);
+  BenchJsonWriter writer("concurrent_read", path);
+
+  cassalite::StorageOptions opts;
+  opts.memtable_flush_bytes = 1u << 20;  // background writer forces flushes
+  opts.compaction_threshold = 4;
+  cassalite::StorageEngine engine(opts);
+  preload(engine);
+
+  double one_thread = 0.0;
+  double four_threads = 0.0;
+  for (const std::size_t readers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    const auto r = run_readers(engine, readers);
+    if (readers == 1) one_thread = r.ops_per_sec;
+    if (readers == 4) four_threads = r.ops_per_sec;
+    BenchResultRow row;
+    row.name = "read_throughput/threads:" + std::to_string(readers);
+    row.ops_per_sec = r.ops_per_sec;
+    row.p50_us = r.p50_us;
+    row.p99_us = r.p99_us;
+    row.extra["writer_ops_per_sec"] =
+        static_cast<double>(r.writer_ops) / kMeasureSeconds;
+    writer.add(row);
+    std::printf(
+        "readers=%zu: %.0f reads/s (p50 %.1f us, p99 %.1f us), writer %.0f "
+        "ops/s\n",
+        readers, r.ops_per_sec, r.p50_us, r.p99_us,
+        static_cast<double>(r.writer_ops) / kMeasureSeconds);
+  }
+  const double speedup = one_thread > 0 ? four_threads / one_thread : 0.0;
+  writer.root_extra()["speedup_4_vs_1"] = speedup;
+  std::printf("4-thread vs 1-thread aggregate read speedup: %.2fx\n", speedup);
+
+  bench_scan(engine, writer);
+  bench_parallel_read(writer);
+
+  const auto m = engine.metrics();
+  writer.root_extra()["snapshot_reads"] = m.snapshot_reads;
+  writer.root_extra()["compaction_stall_us"] = m.compaction_stall_us;
+  writer.root_extra()["compactions"] = m.compactions;
+  writer.write();
+  std::printf("summary written (snapshot_reads=%llu, compactions=%llu, "
+              "compaction_stall_us=%llu)\n",
+              static_cast<unsigned long long>(m.snapshot_reads),
+              static_cast<unsigned long long>(m.compactions),
+              static_cast<unsigned long long>(m.compaction_stall_us));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpcla::bench
+
+int main(int argc, char** argv) { return hpcla::bench::run(argc, argv); }

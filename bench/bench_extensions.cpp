@@ -102,4 +102,4 @@ BENCHMARK(BM_Ext_Prediction)->Arg(1)->Arg(3)->Arg(8)->ArgName("threshold");
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

@@ -120,4 +120,4 @@ BENCHMARK(BM_Fig1_BladeQuery)->Arg(0)->Arg(1)
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

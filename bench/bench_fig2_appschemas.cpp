@@ -111,4 +111,4 @@ BENCHMARK(BM_Fig2_UserQueryViaScan);
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

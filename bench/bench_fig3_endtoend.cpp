@@ -117,4 +117,4 @@ BENCHMARK(BM_Fig3_AsyncSessionRoundTrip);
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

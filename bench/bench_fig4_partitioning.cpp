@@ -95,4 +95,4 @@ BENCHMARK(BM_Fig4_WriteSpread)->Arg(1)->Arg(4)->Arg(16)->Arg(32)
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

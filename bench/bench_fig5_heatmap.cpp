@@ -134,4 +134,4 @@ BENCHMARK(BM_Fig5_HourlyHistogram);
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

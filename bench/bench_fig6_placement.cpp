@@ -73,4 +73,4 @@ BENCHMARK(BM_Fig6_EventAttribution);
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

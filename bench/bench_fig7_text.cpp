@@ -98,4 +98,4 @@ BENCHMARK(BM_Fig7_WordCountVolume)->Arg(30)->Arg(100)->Arg(300)
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

@@ -133,4 +133,4 @@ BENCHMARK(BM_Fig7_CrossCorrelation);
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

@@ -118,4 +118,4 @@ BENCHMARK(BM_Ingest_Streaming)->Arg(0)->Arg(1)
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

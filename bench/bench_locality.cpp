@@ -67,4 +67,4 @@ BENCHMARK(BM_Locality_ScanOnly)->Arg(1)->Arg(0)
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

@@ -148,4 +148,4 @@ BENCHMARK(BM_Cassalite_NewColumn);
 }  // namespace
 }  // namespace hpcla::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }

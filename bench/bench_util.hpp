@@ -1,13 +1,21 @@
 // Shared scaffolding for the figure-reproduction benches: canned scenarios,
-// loaded-cluster fixtures, and counters helpers. Each bench binary
-// regenerates the content of one paper figure/claim (see DESIGN.md §4 and
-// EXPERIMENTS.md for the mapping).
+// loaded-cluster fixtures, counters helpers, and the machine-readable JSON
+// summary every bench binary emits (BENCH_<name>.json, overridable with
+// `--json <path>`) so the perf trajectory can be tracked across PRs. Each
+// bench binary regenerates the content of one paper figure/claim (see
+// DESIGN.md §4 and EXPERIMENTS.md for the mapping).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/json.hpp"
 #include "model/ingest.hpp"
 #include "model/streaming_ingest.hpp"
 #include "model/tables.hpp"
@@ -74,6 +82,149 @@ inline titanlog::ScenarioConfig mixed_scenario(double scale = 1.0,
   jobs.max_size_log2 = 6;
   cfg.jobs = jobs;
   return cfg;
+}
+
+// --------------------------------------------------------- JSON summaries
+
+/// One summarized result row: throughput plus latency percentiles in µs.
+/// Google-benchmark runs report only a mean per-iteration time, so for
+/// those p50 == p99 == the mean; hand-rolled benches fill real percentiles.
+struct BenchResultRow {
+  std::string name;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  Json extra = Json::object();  ///< user counters, config, derived ratios
+};
+
+/// Accumulates rows and writes `{"bench": ..., "results": [...]}`.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  void add(BenchResultRow row) { rows_.push_back(std::move(row)); }
+
+  /// Top-level members beside "results" (e.g. acceptance-check verdicts).
+  Json& root_extra() { return root_extra_; }
+
+  void write() const {
+    Json j = Json::object();
+    j["bench"] = bench_name_;
+    Json results = Json::array();
+    for (const auto& row : rows_) {
+      Json r = Json::object();
+      r["name"] = row.name;
+      r["ops_per_sec"] = row.ops_per_sec;
+      r["p50_us"] = row.p50_us;
+      r["p99_us"] = row.p99_us;
+      if (row.extra.is_object() && !row.extra.as_object().empty()) {
+        r["extra"] = row.extra;
+      }
+      results.push_back(std::move(r));
+    }
+    j["results"] = std::move(results);
+    if (root_extra_.is_object()) {
+      for (const auto& [key, value] : root_extra_.as_object()) {
+        j[key] = value;
+      }
+    }
+    std::ofstream out(path_);
+    out << j.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write bench summary to %s\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<BenchResultRow> rows_;
+  Json root_extra_ = Json::object();
+};
+
+/// Bench name from argv[0]: basename with any "bench_" prefix stripped.
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string name = argv0 ? argv0 : "bench";
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+/// Pulls `--json <path>` (or `--json=<path>`) out of argv before
+/// benchmark::Initialize sees it; returns the output path (default
+/// BENCH_<name>.json in the working directory).
+inline std::string consume_json_flag(int& argc, char** argv) {
+  std::string path = "BENCH_" + bench_name_from_argv0(argv[0]) + ".json";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+/// Console reporter that also translates every run into the JSON summary.
+/// (A separate *file* reporter would force --benchmark_out; wrapping the
+/// display reporter keeps the binaries flag-free.)
+class JsonSummaryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonSummaryReporter(BenchJsonWriter* writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchResultRow row;
+      row.name = run.benchmark_name();
+      const double per_iter_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      row.ops_per_sec = per_iter_s > 0 ? 1.0 / per_iter_s : 0.0;
+      row.p50_us = per_iter_s * 1e6;  // mean; google-benchmark has no
+      row.p99_us = per_iter_s * 1e6;  // per-iteration samples
+      for (const auto& [name, counter] : run.counters) {
+        row.extra[name] = counter.value;
+      }
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        row.ops_per_sec = it->second.value;
+      }
+      writer_->add(std::move(row));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    writer_->write();
+  }
+
+ private:
+  BenchJsonWriter* writer_;
+};
+
+/// Shared main for google-benchmark binaries: console output as usual plus
+/// the JSON summary file.
+inline int bench_main(int argc, char** argv) {
+  const std::string name = bench_name_from_argv0(argv[0]);
+  const std::string path = consume_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJsonWriter writer(name, path);
+  JsonSummaryReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
 }
 
 /// A storm-heavy Lustre scenario for the text benches.

@@ -1,6 +1,9 @@
 #include "cassalite/cluster.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.hpp"
 
 namespace hpcla::cassalite {
 
@@ -197,6 +200,68 @@ Result<Cluster::Page> Cluster::select_page(
     page.next = page.rows.back().key;
   }
   return page;
+}
+
+std::vector<Result<ReadResult>> Cluster::parallel_read(
+    ThreadPool& pool, const std::string& table,
+    const std::vector<std::string>& partition_keys,
+    const ClusteringSlice& slice, Consistency consistency) const {
+  std::vector<Result<ReadResult>> results(partition_keys.size(),
+                                          Result<ReadResult>(ReadResult{}));
+  if (partition_keys.empty()) return results;
+
+  if (consistency == Consistency::kOne) {
+    // Group keys by the replica a ONE read would contact (first live), so
+    // each node's whole batch is served against a single snapshot.
+    std::map<NodeIndex, std::vector<std::size_t>> by_node;
+    for (std::size_t i = 0; i < partition_keys.size(); ++i) {
+      bool placed = false;
+      for (NodeIndex r : replicas_of(partition_keys[i])) {
+        if (alive_[r].load(std::memory_order_acquire)) {
+          by_node[r].push_back(i);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
+        results[i] = unavailable("read of '" + partition_keys[i] +
+                                 "' reached 0/1 replicas at ONE");
+      }
+    }
+    std::vector<std::pair<NodeIndex, std::vector<std::size_t>>> groups(
+        by_node.begin(), by_node.end());
+    pool.parallel_for(groups.size(), [&](std::size_t g) {
+      const auto& [node, indices] = groups[g];
+      std::vector<std::string> batch;
+      batch.reserve(indices.size());
+      for (std::size_t i : indices) batch.push_back(partition_keys[i]);
+      std::size_t cursor = 0;
+      nodes_[node]->scan_partitions(
+          table, batch, slice,
+          [&](const std::string&, std::vector<Row> rows) {
+            ReadResult r;
+            r.rows = std::move(rows);
+            results[indices[cursor++]] = std::move(r);
+            reads_ok_.fetch_add(1, std::memory_order_relaxed);
+          });
+    });
+    return results;
+  }
+
+  // QUORUM/ALL need cross-replica reconciliation: fan out per-key
+  // coordinator selects, chunked to amortize pool dispatch.
+  pool.parallel_for(
+      partition_keys.size(),
+      [&](std::size_t i) {
+        ReadQuery q;
+        q.table = table;
+        q.partition_key = partition_keys[i];
+        q.slice = slice;
+        results[i] = select(q, consistency);
+      },
+      /*grain=*/8);
+  return results;
 }
 
 void Cluster::kill_node(NodeIndex node) {

@@ -18,6 +18,10 @@
 #include "cassalite/schema.hpp"
 #include "cassalite/storage_engine.hpp"
 
+namespace hpcla {
+class ThreadPool;
+}
+
 namespace hpcla::cassalite {
 
 /// Cassandra-style tunable consistency for reads and writes.
@@ -99,6 +103,18 @@ class Cluster {
   [[nodiscard]] Result<Page> select_page(
       const ReadQuery& query, std::size_t page_size,
       const std::optional<ClusteringKey>& resume_after = std::nullopt,
+      Consistency consistency = Consistency::kOne) const;
+
+  /// Multi-partition read fanned across `pool`; results align with
+  /// `partition_keys` by index. At Consistency::kOne, keys are grouped by
+  /// their first live replica and each node's batch is served against a
+  /// single storage snapshot (StorageEngine::scan_partitions) — one task
+  /// drives a whole node-local batch instead of issuing per-key reads.
+  /// Higher consistency levels fan out per-key quorum selects instead.
+  [[nodiscard]] std::vector<Result<ReadResult>> parallel_read(
+      ThreadPool& pool, const std::string& table,
+      const std::vector<std::string>& partition_keys,
+      const ClusteringSlice& slice = {},
       Consistency consistency = Consistency::kOne) const;
 
   // ------------------------------------------------------------- topology

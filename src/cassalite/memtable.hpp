@@ -14,7 +14,8 @@
 namespace hpcla::cassalite {
 
 /// One table's memtable on one node. Not internally synchronized — the
-/// owning StorageEngine serializes access.
+/// owning StorageEngine serializes writers and lets concurrent readers in
+/// under a shared lock (const methods touch no mutable state).
 class Memtable {
  public:
   /// Inserts or overwrites (same clustering key, last-write-wins by
@@ -35,6 +36,13 @@ class Memtable {
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
   [[nodiscard]] std::size_t memory_bytes() const noexcept { return bytes_; }
   [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  /// Copy of the full sorted content. Flush uses this to build the SSTable
+  /// and *publish it* before drain(), so a reader that checks the memtable
+  /// first can only see a row twice (reconciled), never miss it.
+  [[nodiscard]] std::map<std::string, std::vector<Row>> contents() const {
+    return partitions_;
+  }
 
   /// Hands the sorted partition map to the flusher and resets.
   [[nodiscard]] std::map<std::string, std::vector<Row>> drain();

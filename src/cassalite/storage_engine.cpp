@@ -2,49 +2,94 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
+
+#include "common/clock.hpp"
 
 namespace hpcla::cassalite {
 
 StorageEngine::StorageEngine(StorageOptions options) : options_(options) {}
 
+const StorageEngine::TableStore* StorageEngine::find_table(
+    const std::string& table) const {
+  std::shared_lock lock(map_mu_);
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+StorageEngine::TableStore& StorageEngine::table_for_write(
+    const std::string& table) {
+  {
+    std::shared_lock lock(map_mu_);
+    const auto it = tables_.find(table);
+    if (it != tables_.end()) return it->second;
+  }
+  std::unique_lock lock(map_mu_);
+  return tables_[table];
+}
+
 void StorageEngine::apply(const WriteCommand& cmd) {
-  std::lock_guard lock(mu_);
-  const std::uint64_t lsn = log_.append(cmd);
-  apply_locked(cmd, lsn);
-  ++metrics_.writes;
+  std::vector<CompactionJob> jobs;
+  {
+    std::lock_guard writer(writer_mu_);
+    const std::uint64_t lsn = log_.append(cmd);
+    apply_one_locked(cmd, lsn, jobs);
+  }
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  for (auto& job : jobs) run_compaction(std::move(job));
 }
 
-void StorageEngine::apply_locked(const WriteCommand& cmd, std::uint64_t lsn) {
-  TableStore& store = tables_[cmd.table];
-  store.memtable.put(cmd.partition_key, cmd.row);
+void StorageEngine::apply_one_locked(const WriteCommand& cmd,
+                                     std::uint64_t lsn,
+                                     std::vector<CompactionJob>& jobs) {
+  TableStore& store = table_for_write(cmd.table);
+  {
+    std::unique_lock mem(store.mem_mu);
+    store.memtable.put(cmd.partition_key, cmd.row);
+  }
   store.applied_lsn = std::max(store.applied_lsn, lsn);
-  maybe_flush_locked(cmd.table, store);
-}
-
-void StorageEngine::maybe_flush_locked(const std::string& table,
-                                       TableStore& store) {
   if (store.memtable.memory_bytes() >= options_.memtable_flush_bytes) {
-    flush_locked(table, store);
+    flush_store_locked(store);
+    if (auto job = maybe_begin_compaction_locked(store)) {
+      jobs.push_back(std::move(*job));
+    }
   }
 }
 
-void StorageEngine::flush_locked(const std::string& /*table*/,
-                                 TableStore& store) {
+void StorageEngine::flush_store_locked(TableStore& store) {
   if (store.memtable.empty()) return;
-  auto drained = store.memtable.drain();
+  // Writers are excluded by writer_mu_, so a shared lock is enough for a
+  // consistent copy even while readers stream through.
+  std::map<std::string, std::vector<Row>> frozen;
+  {
+    std::shared_lock mem(store.mem_mu);
+    frozen = store.memtable.contents();
+  }
   std::vector<SSTable::Partition> partitions;
-  partitions.reserve(drained.size());
-  for (auto& [key, rows] : drained) {
+  partitions.reserve(frozen.size());
+  for (auto& [key, rows] : frozen) {
     partitions.push_back(SSTable::Partition{key, std::move(rows)});
   }
-  store.sstables.push_back(std::make_shared<const SSTable>(
-      store.next_generation++, std::move(partitions)));
+  auto sst = std::make_shared<const SSTable>(store.next_generation++,
+                                             std::move(partitions));
+
+  // Publish BEFORE drain: a reader checks the memtable first, so between
+  // publish and drain it sees the rows twice (reconciled) — never zero.
+  const SnapshotPtr old = store.snapshot.load(std::memory_order_relaxed);
+  auto next = std::make_shared<TableSnapshot>();
+  next->sstables = old->sstables;
+  next->sstables.push_back(std::move(sst));
+  store.snapshot.store(std::move(next), std::memory_order_release);
+  {
+    std::unique_lock mem(store.mem_mu);
+    (void)store.memtable.drain();
+  }
   store.flushed_lsn = store.applied_lsn;
-  ++metrics_.memtable_flushes;
-  maybe_compact_locked(store);
+  counters_.memtable_flushes.fetch_add(1, std::memory_order_relaxed);
 
   // Commit-log entries at or below the minimum flushed LSN across tables
-  // are durable in SSTables and can be recycled.
+  // are durable in SSTables and can be recycled. (Holding writer_mu_ makes
+  // iterating tables_ safe: only writers insert.)
   std::uint64_t min_unflushed = log_.last_lsn();
   for (const auto& [_, t] : tables_) {
     if (t.applied_lsn > t.flushed_lsn) {
@@ -55,33 +100,50 @@ void StorageEngine::flush_locked(const std::string& /*table*/,
   log_.truncate(min_unflushed);
 }
 
-void StorageEngine::maybe_compact_locked(TableStore& store) {
-  if (store.sstables.size() < options_.compaction_threshold) return;
-  SSTablePtr merged = compact(store.next_generation++, store.sstables);
-  store.sstables.clear();
-  store.sstables.push_back(std::move(merged));
-  ++metrics_.compactions;
+std::optional<StorageEngine::CompactionJob>
+StorageEngine::maybe_begin_compaction_locked(TableStore& store) {
+  const SnapshotPtr snap = store.snapshot.load(std::memory_order_relaxed);
+  if (snap->sstables.size() < options_.compaction_threshold ||
+      store.compacting) {
+    return std::nullopt;
+  }
+  store.compacting = true;
+  CompactionJob job;
+  job.store = &store;
+  job.inputs = snap->sstables;
+  job.generation = store.next_generation++;
+  return job;
 }
 
-ReadResult StorageEngine::read(const ReadQuery& q) const {
-  std::lock_guard lock(mu_);
-  ++metrics_.reads;
-  ReadResult result;
-  const auto it = tables_.find(q.table);
-  if (it == tables_.end()) return result;
-  const TableStore& store = it->second;
+void StorageEngine::run_compaction(CompactionJob job) {
+  // The heavy merge runs with no lock held: readers keep reading the old
+  // snapshot, writers keep appending new SSTables behind our inputs.
+  SSTablePtr merged = compact(job.generation, job.inputs);
 
-  // Gather candidates from every run, then reconcile by clustering key.
-  std::vector<Row> candidates;
-  store.memtable.read(q.partition_key, q.slice, candidates);
-  for (const auto& sst : store.sstables) {
-    ++metrics_.sstables_read;
-    if (!sst->read(q.partition_key, q.slice, candidates)) {
-      ++metrics_.bloom_rejections;
-    }
+  Stopwatch publish_watch;
+  {
+    std::lock_guard writer(writer_mu_);
+    // Our inputs are a stable prefix of the current list: only flushes
+    // append (behind them) and only one compaction per table is in flight.
+    const SnapshotPtr cur = job.store->snapshot.load(std::memory_order_relaxed);
+    auto next = std::make_shared<TableSnapshot>();
+    next->sstables.reserve(cur->sstables.size() - job.inputs.size() + 1);
+    next->sstables.push_back(std::move(merged));
+    next->sstables.insert(
+        next->sstables.end(),
+        cur->sstables.begin() +
+            static_cast<std::ptrdiff_t>(job.inputs.size()),
+        cur->sstables.end());
+    job.store->snapshot.store(std::move(next), std::memory_order_release);
+    job.store->compacting = false;
   }
-  if (candidates.empty()) return result;
+  counters_.compactions.fetch_add(1, std::memory_order_relaxed);
+  counters_.compaction_stall_us.fetch_add(
+      static_cast<std::uint64_t>(publish_watch.elapsed_micros()),
+      std::memory_order_relaxed);
+}
 
+void StorageEngine::reconcile(std::vector<Row>& candidates) {
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const Row& a, const Row& b) {
                      const auto c = a.key.compare(b.key);
@@ -91,77 +153,200 @@ ReadResult StorageEngine::read(const ReadQuery& q) const {
                      return a.write_ts < b.write_ts;
                    });
   // Keep the newest version of each clustering key.
-  std::vector<Row> merged;
-  merged.reserve(candidates.size());
-  for (auto& row : candidates) {
-    if (!merged.empty() && merged.back().key == row.key) {
-      merged.back() = std::move(row);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (out != 0 && candidates[out - 1].key == candidates[i].key) {
+      candidates[out - 1] = std::move(candidates[i]);
     } else {
-      merged.push_back(std::move(row));
+      if (out != i) candidates[out] = std::move(candidates[i]);
+      ++out;
     }
   }
+  candidates.resize(out);
+}
 
-  if (q.reverse) std::reverse(merged.begin(), merged.end());
-  if (q.limit != 0 && merged.size() > q.limit) {
-    merged.resize(q.limit);
+ReadResult StorageEngine::read(const ReadQuery& q) const {
+  counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  ReadResult result;
+  const TableStore* store = find_table(q.table);
+  if (store == nullptr) return result;
+  counters_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+
+  // Memtable BEFORE snapshot: flush publishes before draining, so this
+  // order can only duplicate rows across the two sources, never lose them.
+  std::vector<Row> candidates;
+  {
+    std::shared_lock mem(store->mem_mu);
+    store->memtable.read(q.partition_key, q.slice, candidates);
+  }
+  const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+  for (const auto& sst : snap->sstables) {
+    counters_.sstables_read.fetch_add(1, std::memory_order_relaxed);
+    if (!sst->read(q.partition_key, q.slice, candidates)) {
+      counters_.bloom_rejections.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (candidates.empty()) return result;
+  reconcile(candidates);
+
+  if (q.reverse) std::reverse(candidates.begin(), candidates.end());
+  if (q.limit != 0 && candidates.size() > q.limit) {
+    candidates.resize(q.limit);
     result.truncated = true;
   }
-  result.rows = std::move(merged);
+  result.rows = std::move(candidates);
   return result;
+}
+
+void StorageEngine::scan_partitions(
+    const std::string& table, const std::vector<std::string>& keys,
+    const ClusteringSlice& slice,
+    const std::function<void(const std::string& key, std::vector<Row> rows)>&
+        fn) const {
+  const TableStore* store = find_table(table);
+  if (store == nullptr) {
+    for (const auto& key : keys) fn(key, {});
+    return;
+  }
+  counters_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::string> scan_keys = keys;
+  if (scan_keys.empty()) {
+    // Whole-table scan: union of live and flushed keys. The memtable is
+    // listed before the snapshot (same ordering argument as read()); a
+    // newer snapshot in the data pass only adds duplicates, which
+    // reconcile away.
+    std::set<std::string> all;
+    {
+      std::shared_lock mem(store->mem_mu);
+      auto live = store->memtable.partition_keys();
+      all.insert(std::make_move_iterator(live.begin()),
+                 std::make_move_iterator(live.end()));
+    }
+    const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+    for (const auto& sst : snap->sstables) {
+      for (const auto& p : sst->partitions()) all.insert(p.key);
+    }
+    scan_keys.assign(all.begin(), all.end());
+  }
+
+  counters_.reads.fetch_add(scan_keys.size(), std::memory_order_relaxed);
+  // Process in chunks: one shared-lock + snapshot acquisition covers a
+  // whole chunk (amortized synchronization) while the merge stays
+  // cache-hot. Memtable-before-snapshot order per chunk, as in read().
+  constexpr std::size_t kChunk = 16;
+  std::vector<std::vector<Row>> mem_rows(std::min(kChunk, scan_keys.size()));
+  for (std::size_t begin = 0; begin < scan_keys.size(); begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, scan_keys.size());
+    {
+      std::shared_lock mem(store->mem_mu);
+      for (std::size_t k = begin; k < end; ++k) {
+        mem_rows[k - begin].clear();
+        store->memtable.read(scan_keys[k], slice, mem_rows[k - begin]);
+      }
+    }
+    const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::string& key = scan_keys[k];
+      std::vector<Row> candidates = std::move(mem_rows[k - begin]);
+      for (const auto& sst : snap->sstables) {
+        counters_.sstables_read.fetch_add(1, std::memory_order_relaxed);
+        if (!sst->read(key, slice, candidates)) {
+          counters_.bloom_rejections.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      reconcile(candidates);
+      fn(key, std::move(candidates));
+    }
+  }
 }
 
 std::vector<std::string> StorageEngine::partition_keys(
     const std::string& table) const {
-  std::lock_guard lock(mu_);
+  const TableStore* store = find_table(table);
+  if (store == nullptr) return {};
   std::set<std::string> keys;
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return {};
-  for (const auto& k : it->second.memtable.partition_keys()) keys.insert(k);
-  for (const auto& sst : it->second.sstables) {
+  {
+    std::shared_lock mem(store->mem_mu);
+    for (auto& k : store->memtable.partition_keys()) keys.insert(std::move(k));
+  }
+  const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+  for (const auto& sst : snap->sstables) {
     for (const auto& p : sst->partitions()) keys.insert(p.key);
   }
   return {keys.begin(), keys.end()};
 }
 
 std::uint64_t StorageEngine::approximate_rows(const std::string& table) const {
-  std::lock_guard lock(mu_);
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return 0;
-  std::uint64_t total = it->second.memtable.row_count();
-  for (const auto& sst : it->second.sstables) total += sst->row_count();
+  const TableStore* store = find_table(table);
+  if (store == nullptr) return 0;
+  std::uint64_t total = 0;
+  {
+    std::shared_lock mem(store->mem_mu);
+    total += store->memtable.row_count();
+  }
+  const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+  for (const auto& sst : snap->sstables) total += sst->row_count();
   return total;
 }
 
 std::size_t StorageEngine::crash_and_recover() {
-  std::lock_guard lock(mu_);
-  // Lose all memtables; SSTables survive (they are "on disk").
-  for (auto& [_, store] : tables_) {
-    (void)store.memtable.drain();
-    store.applied_lsn = store.flushed_lsn;
+  std::vector<CompactionJob> jobs;
+  std::size_t replayed = 0;
+  {
+    std::lock_guard writer(writer_mu_);
+    // Lose all memtables; SSTables survive (they are "on disk").
+    for (auto& [_, store] : tables_) {
+      std::unique_lock mem(store.mem_mu);
+      (void)store.memtable.drain();
+      store.applied_lsn = store.flushed_lsn;
+    }
+    // Replay everything newer than the oldest flushed point. Replaying a
+    // mutation that already reached an SSTable is harmless: reconciliation
+    // is last-write-wins on identical write_ts.
+    std::uint64_t min_flushed = log_.last_lsn();
+    for (const auto& [_, store] : tables_) {
+      min_flushed = std::min(min_flushed, store.flushed_lsn);
+    }
+    const auto entries = log_.replay(min_flushed);
+    std::uint64_t lsn = min_flushed;
+    for (const auto& cmd : entries) {
+      apply_one_locked(cmd, ++lsn, jobs);
+    }
+    replayed = entries.size();
   }
-  // Replay everything newer than the oldest flushed point. Replaying a
-  // mutation that already reached an SSTable is harmless: reconciliation
-  // is last-write-wins on identical write_ts.
-  std::uint64_t min_flushed = log_.last_lsn();
-  for (const auto& [_, store] : tables_) {
-    min_flushed = std::min(min_flushed, store.flushed_lsn);
-  }
-  const auto entries = log_.replay(min_flushed);
-  std::uint64_t lsn = min_flushed;
-  for (const auto& cmd : entries) {
-    apply_locked(cmd, ++lsn);
-  }
-  return entries.size();
+  for (auto& job : jobs) run_compaction(std::move(job));
+  return replayed;
 }
 
 StorageMetrics StorageEngine::metrics() const {
-  std::lock_guard lock(mu_);
-  return metrics_;
+  StorageMetrics m;
+  m.writes = counters_.writes.load(std::memory_order_relaxed);
+  m.reads = counters_.reads.load(std::memory_order_relaxed);
+  m.memtable_flushes =
+      counters_.memtable_flushes.load(std::memory_order_relaxed);
+  m.compactions = counters_.compactions.load(std::memory_order_relaxed);
+  m.sstables_read = counters_.sstables_read.load(std::memory_order_relaxed);
+  m.bloom_rejections =
+      counters_.bloom_rejections.load(std::memory_order_relaxed);
+  m.snapshot_reads = counters_.snapshot_reads.load(std::memory_order_relaxed);
+  m.compaction_stall_us =
+      counters_.compaction_stall_us.load(std::memory_order_relaxed);
+  return m;
 }
 
 void StorageEngine::flush_all() {
-  std::lock_guard lock(mu_);
-  for (auto& [name, store] : tables_) flush_locked(name, store);
+  std::vector<CompactionJob> jobs;
+  {
+    std::lock_guard writer(writer_mu_);
+    for (auto& [_, store] : tables_) {
+      flush_store_locked(store);
+      if (auto job = maybe_begin_compaction_locked(store)) {
+        jobs.push_back(std::move(*job));
+      }
+    }
+  }
+  for (auto& job : jobs) run_compaction(std::move(job));
 }
 
 }  // namespace hpcla::cassalite

@@ -1,13 +1,33 @@
 // Per-node storage engine: commit log -> memtable -> SSTables, with
 // size-tiered compaction and merge-on-read. One instance per simulated
-// cluster node; all methods are thread-safe (single internal mutex — a
-// node is one "machine", contention across nodes is what we scale).
+// cluster node.
+//
+// Concurrency model (see DESIGN.md §"Storage concurrency"):
+//   * Reads are snapshot-based and run without the writer lock. Each table
+//     publishes its immutable SSTable list as a shared_ptr<const
+//     TableSnapshot> swapped atomically on flush/compaction; the live
+//     memtable is read under a brief shared lock. A read therefore costs
+//     one shared-lock acquisition plus one atomic load, then proceeds
+//     entirely against immutable structures.
+//   * Writes (`apply`), flush, compaction publish, and crash recovery are
+//     serialized by one writer-exclusive mutex per engine.
+//   * Flush publishes the new SSTable *before* draining the memtable, and
+//     readers consult the memtable *before* loading the snapshot — so a
+//     concurrent reader can observe a row twice (reconciled last-write-wins)
+//     but never miss it.
+//   * Compaction merges its input runs outside every lock and re-enters the
+//     writer lock only to swap the snapshot, so a long compaction stalls
+//     neither readers nor writers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,7 +46,8 @@ struct StorageOptions {
   std::size_t compaction_threshold = 8;
 };
 
-/// Storage-level counters (monotonic; read without locking the engine).
+/// Plain snapshot of the storage-level counters, safe to copy around.
+/// The engine maintains these as relaxed atomics; `metrics()` never locks.
 struct StorageMetrics {
   std::uint64_t writes = 0;
   std::uint64_t reads = 0;
@@ -34,6 +55,12 @@ struct StorageMetrics {
   std::uint64_t compactions = 0;
   std::uint64_t sstables_read = 0;
   std::uint64_t bloom_rejections = 0;
+  /// Snapshot acquisitions serving reads: one per read(), one per
+  /// scan_partitions() batch (a batch amortizes the acquisition).
+  std::uint64_t snapshot_reads = 0;
+  /// Wall time the compaction publish step held the writer lock — the only
+  /// part of compaction that can stall writers (readers are never stalled).
+  std::uint64_t compaction_stall_us = 0;
 };
 
 class StorageEngine {
@@ -45,7 +72,21 @@ class StorageEngine {
 
   /// Reads a partition slice, merging memtable and all SSTables
   /// (last-write-wins per clustering key), honoring limit/reverse.
+  /// Lock-free against the snapshot; safe under concurrent writers.
   [[nodiscard]] ReadResult read(const ReadQuery& q) const;
+
+  /// Batch scan: reads several partitions of one table against a *single*
+  /// snapshot acquisition and invokes `fn(key, rows)` per requested key
+  /// (rows slice-filtered, reconciled, ascending clustering order; keys
+  /// with no rows are still reported, with an empty vector). An empty
+  /// `keys` scans every partition currently on this node. This is the
+  /// sparklite node-local scan path: one task drives a whole partition
+  /// batch instead of paying per-key synchronization.
+  void scan_partitions(
+      const std::string& table, const std::vector<std::string>& keys,
+      const ClusteringSlice& slice,
+      const std::function<void(const std::string& key, std::vector<Row> rows)>&
+          fn) const;
 
   /// Partition keys of a table currently stored on this node (union of
   /// memtable and SSTables) — the scan entry point for sparklite locality.
@@ -67,26 +108,73 @@ class StorageEngine {
   void flush_all();
 
  private:
-  struct TableStore {
-    Memtable memtable;
+  /// Immutable view of one table's on-"disk" state. Shared with readers;
+  /// never mutated after publication.
+  struct TableSnapshot {
     std::vector<SSTablePtr> sstables;
+  };
+  using SnapshotPtr = std::shared_ptr<const TableSnapshot>;
+
+  struct TableStore {
+    /// Guards the live memtable only: writers unique, readers shared.
+    mutable std::shared_mutex mem_mu;
+    Memtable memtable;
+    /// Published SSTable list; swapped (release) on flush/compaction and
+    /// loaded (acquire) by readers. Non-snapshot fields below are written
+    /// only under the engine writer mutex.
+    std::atomic<SnapshotPtr> snapshot{std::make_shared<TableSnapshot>()};
     std::uint64_t next_generation = 1;
     /// LSN of the newest mutation already covered by the SSTables.
     std::uint64_t flushed_lsn = 0;
     /// LSN of the newest mutation applied to the memtable.
     std::uint64_t applied_lsn = 0;
+    /// True while a compaction for this table is merging out-of-lock.
+    bool compacting = false;
   };
 
-  void apply_locked(const WriteCommand& cmd, std::uint64_t lsn);
-  void maybe_flush_locked(const std::string& table, TableStore& store);
-  void flush_locked(const std::string& table, TableStore& store);
-  void maybe_compact_locked(TableStore& store);
+  /// A compaction prepared under the writer lock and executed outside it.
+  struct CompactionJob {
+    TableStore* store = nullptr;
+    std::vector<SSTablePtr> inputs;  ///< prefix of the snapshot at grab time
+    std::uint64_t generation = 0;
+  };
 
-  mutable std::mutex mu_;
+  /// Relaxed atomic counters behind the StorageMetrics snapshot.
+  struct Counters {
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> memtable_flushes{0};
+    std::atomic<std::uint64_t> compactions{0};
+    std::atomic<std::uint64_t> sstables_read{0};
+    std::atomic<std::uint64_t> bloom_rejections{0};
+    std::atomic<std::uint64_t> snapshot_reads{0};
+    std::atomic<std::uint64_t> compaction_stall_us{0};
+  };
+
+  /// Read-side table lookup (shared map lock; pointer stays valid because
+  /// tables are never erased and std::map nodes are stable).
+  const TableStore* find_table(const std::string& table) const;
+  /// Write-side lookup-or-create (caller holds the writer mutex).
+  TableStore& table_for_write(const std::string& table);
+
+  void apply_one_locked(const WriteCommand& cmd, std::uint64_t lsn,
+                        std::vector<CompactionJob>& jobs);
+  void flush_store_locked(TableStore& store);
+  std::optional<CompactionJob> maybe_begin_compaction_locked(TableStore& store);
+  void run_compaction(CompactionJob job);
+
+  /// LWW-reconciles candidate rows in place (sort by key then write_ts,
+  /// keep the newest version of each clustering key).
+  static void reconcile(std::vector<Row>& candidates);
+
+  /// Serializes apply/flush/compaction-publish/recovery.
+  mutable std::mutex writer_mu_;
   StorageOptions options_;
   CommitLog log_;
+  /// Guards the table map structure (insertions vs. reader lookups).
+  mutable std::shared_mutex map_mu_;
   std::map<std::string, TableStore> tables_;
-  mutable StorageMetrics metrics_;
+  mutable Counters counters_;
 };
 
 }  // namespace hpcla::cassalite

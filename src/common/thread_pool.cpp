@@ -51,10 +51,12 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (n == 0) return;
-  if (n == 1) {
-    fn(0);
+  grain = std::max<std::size_t>(grain, 1);
+  if (n <= grain) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
@@ -64,6 +66,7 @@ void ThreadPool::parallel_for(std::size_t n,
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::size_t n;
+    std::size_t grain;
     const std::function<void(std::size_t)>* fn;
     std::mutex done_mu;
     std::condition_variable done_cv;
@@ -72,19 +75,26 @@ void ThreadPool::parallel_for(std::size_t n,
   };
   auto st = std::make_shared<State>();
   st->n = n;
+  st->grain = grain;
   st->fn = &fn;  // `fn` outlives all uses: wait below covers every call
 
   auto body = [st] {
     while (true) {
-      const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= st->n) break;
-      try {
-        (*st->fn)(i);
-      } catch (...) {
-        std::lock_guard lock(st->error_mu);
-        if (!st->first_error) st->first_error = std::current_exception();
+      const std::size_t begin =
+          st->next.fetch_add(st->grain, std::memory_order_relaxed);
+      if (begin >= st->n) break;
+      const std::size_t end = std::min(begin + st->grain, st->n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*st->fn)(i);
+        } catch (...) {
+          std::lock_guard lock(st->error_mu);
+          if (!st->first_error) st->first_error = std::current_exception();
+        }
       }
-      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->n) {
+      const std::size_t batch = end - begin;
+      if (st->done.fetch_add(batch, std::memory_order_acq_rel) + batch ==
+          st->n) {
         std::lock_guard lock(st->done_mu);
         st->done_cv.notify_all();
       }
@@ -93,7 +103,8 @@ void ThreadPool::parallel_for(std::size_t n,
 
   // One pooled helper per worker; the caller runs the same loop so progress
   // is guaranteed even when every pool thread is busy elsewhere.
-  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min(threads_.size(), chunks - 1);
   for (std::size_t h = 0; h < helpers; ++h) post(body);
   body();
 

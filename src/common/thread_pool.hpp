@@ -54,7 +54,11 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// The calling thread participates, so this is safe to invoke from within
   /// a pooled task without deadlock as long as indices are independent.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// `grain` > 1 hands out indices in contiguous chunks of that size,
+  /// amortizing the claim overhead when the body is cheap (multi-partition
+  /// read fan-out claims dozens of keys per chunk).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();

@@ -434,13 +434,39 @@ TEST(CassaliteSourceTest, ScanReadsAllPartitionsWithLocality) {
       ASSERT_TRUE(cluster.insert("t", "pk-" + std::to_string(p), row).is_ok());
     }
   }
+  // Keys batch into one sparklite partition per primary node.
+  std::set<cassalite::NodeIndex> primaries;
+  for (int p = 0; p < 12; ++p) {
+    primaries.insert(cluster.ring().primary("pk-" + std::to_string(p)));
+  }
   Engine e(opts(4, true));
   auto ds = scan_table(e, cluster, "t");
-  EXPECT_EQ(ds.partition_count(), 12u);
+  EXPECT_EQ(ds.partition_count(), primaries.size());
   EXPECT_EQ(ds.count(), 60u);
   auto m = e.metrics();
-  EXPECT_EQ(m.local_tasks, 12u);  // co-located workers == node count
+  EXPECT_EQ(m.local_tasks, primaries.size());  // co-located workers == nodes
   EXPECT_EQ(m.remote_fetches, 0u);
+}
+
+TEST(CassaliteSourceTest, MaxKeysPerTaskSplitsNodeBatches) {
+  cassalite::ClusterOptions copts;
+  copts.node_count = 2;
+  copts.replication_factor = 1;
+  cassalite::Cluster cluster(copts);
+  for (int p = 0; p < 16; ++p) {
+    cassalite::Row row;
+    row.key = cassalite::ClusteringKey::of({cassalite::Value(p)});
+    row.set("v", p);
+    ASSERT_TRUE(cluster.insert("t", "pk-" + std::to_string(p), row).is_ok());
+  }
+  Engine e(opts(4, true));
+  auto whole = scan_table(e, cluster, "t");
+  auto split = scan_table(e, cluster, "t", {}, /*max_keys_per_task=*/3);
+  EXPECT_GT(split.partition_count(), whole.partition_count());
+  EXPECT_EQ(split.count(), 16u);
+  EXPECT_EQ(whole.count(), 16u);
+  // Splitting preserves locality: every chunk keeps its node preference.
+  EXPECT_EQ(e.metrics().remote_fetches, 0u);
 }
 
 TEST(CassaliteSourceTest, KeyedScanCarriesPartitionKey) {
