@@ -3,9 +3,17 @@
 //     ETL throughput scales with sparklite workers;
 //   * streaming mode coalesces same-type/same-location/same-second events
 //     in 1 s windows: measured end-to-end throughput and coalesce ratio.
+#include <thread>
+
 #include "bench_util.hpp"
 
 namespace hpcla::bench {
+
+/// Set from --partitions / --threads in main() (shared bench_util parser)
+/// so the broker-sharding experiments run without recompiling.
+long g_partitions = 8;
+long g_threads = 4;
+
 namespace {
 
 const std::vector<titanlog::LogLine>& raw_lines() {
@@ -98,7 +106,9 @@ void BM_Ingest_Streaming(benchmark::State& state) {
     sparklite::Engine engine(engine_opts(4));
     buslite::Broker broker;
     HPCLA_CHECK(model::create_data_model(cluster).is_ok());
-    HPCLA_CHECK(broker.create_topic("ev", {.partitions = 8}).is_ok());
+    HPCLA_CHECK(broker.create_topic(
+                          "ev", {.partitions = static_cast<int>(g_partitions)})
+                    .is_ok());
     model::EventPublisher pub(broker, "ev");
     for (const auto& e : logs.events) HPCLA_CHECK(pub.publish(e).is_ok());
     model::StreamingIngestor ingestor(cluster, engine, broker, "ev");
@@ -111,11 +121,51 @@ void BM_Ingest_Streaming(benchmark::State& state) {
                           static_cast<std::int64_t>(logs.events.size()));
   state.counters["coalesce_ratio"] = ratio;
   state.counters["messages"] = static_cast<double>(logs.events.size());
+  state.counters["partitions"] = static_cast<double>(g_partitions);
 }
 BENCHMARK(BM_Ingest_Streaming)->Arg(0)->Arg(1)
     ->ArgName("storm")->UseRealTime()->Unit(benchmark::kMillisecond);
 
+/// Publish side in isolation: --threads producers pushing pre-rendered
+/// event messages onto a --partitions topic. The broker-sharding knob the
+/// bench_streaming scaling curve measures, on the batch fixture.
+void BM_Ingest_StreamingPublish(benchmark::State& state) {
+  auto cfg = mixed_scenario(0.5, 12);
+  auto logs = titanlog::Generator(cfg).generate();
+  const auto threads = static_cast<std::size_t>(g_threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    buslite::Broker broker;
+    HPCLA_CHECK(broker.create_topic(
+                          "ev", {.partitions = static_cast<int>(g_partitions)})
+                    .is_ok());
+    state.ResumeTiming();
+    std::vector<std::thread> pubs;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pubs.emplace_back([&, t] {
+        model::EventPublisher pub(broker, "ev");
+        for (std::size_t i = t; i < logs.events.size(); i += threads) {
+          HPCLA_CHECK(pub.publish(logs.events[i]).is_ok());
+        }
+      });
+    }
+    for (auto& p : pubs) p.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(logs.events.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["partitions"] = static_cast<double>(g_partitions);
+}
+BENCHMARK(BM_Ingest_StreamingPublish)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace hpcla::bench
 
-int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) {
+  hpcla::bench::g_partitions =
+      hpcla::bench::consume_long_flag(argc, argv, "partitions", 8);
+  hpcla::bench::g_threads =
+      hpcla::bench::consume_long_flag(argc, argv, "threads", 4);
+  return hpcla::bench::bench_main(argc, argv);
+}

@@ -1,0 +1,253 @@
+// Streaming-ingestion bench (§III-D hot path): N producer threads hammer
+// one buslite topic while the consumer side drains it through the
+// micro-batch pipeline into cassalite.
+//
+// Two measurements:
+//   * produce_throughput/threads:N — aggregate produce ops/s at 1/2/4/8
+//     concurrent producers. Under the old single-mutex Broker this curve
+//     was flat-to-negative (every producer serialized on one lock); the
+//     sharded broker should scale with cores until the hardware runs out.
+//   * e2e — generator events published by --threads producers, drained by
+//     --members consumer-group StreamingIngestors into a 4-node cluster:
+//     end-to-end ingest ops/s plus the coalesce ratio and broker counters.
+//
+// Flags: --threads N (e2e producers, default 4), --partitions P (topic
+// partitions, default 8), --members M (consumer-group size, default 2),
+// --json <path>. Writes BENCH_streaming.json for the trend checker.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+constexpr double kMeasureSeconds = 0.4;
+
+struct ProduceResult {
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// Lock acquisitions that found the partition mutex held.
+  double contention = 0.0;
+};
+
+/// `threads` producers append to one topic for kMeasureSeconds. Keys are
+/// spread so concurrent producers mostly hit different partitions — the
+/// case the sharded broker is built for.
+ProduceResult run_producers(int partitions, std::size_t threads) {
+  buslite::Broker broker;
+  HPCLA_CHECK(
+      broker.create_topic("ev", {.partitions = partitions}).is_ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<PercentileTracker> latencies(threads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // 64 distinct keys per thread, disjoint across threads.
+      std::vector<std::string> keys;
+      keys.reserve(64);
+      for (int k = 0; k < 64; ++k) {
+        keys.push_back("c" + std::to_string(t) + "-" + std::to_string(k));
+      }
+      const std::string payload(96, 'x');  // ~ a JSON event occurrence
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto& key = keys[ops % keys.size()];
+        if (ops % 64 == 0) {
+          Stopwatch lat;
+          HPCLA_CHECK(broker
+                          .produce("ev", key, payload,
+                                   static_cast<UnixMillis>(ops))
+                          .is_ok());
+          latencies[t].add(static_cast<double>(lat.elapsed_micros()));
+        } else {
+          HPCLA_CHECK(broker
+                          .produce("ev", key, payload,
+                                   static_cast<UnixMillis>(ops))
+                          .is_ok());
+        }
+        ++ops;
+      }
+      total.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(kMeasureSeconds * 1e3)));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double elapsed = watch.elapsed_seconds();
+
+  ProduceResult r;
+  r.ops_per_sec = static_cast<double>(total.load()) / elapsed;
+  double p50 = 0, p99 = 0;
+  for (auto& lat : latencies) {
+    p50 += lat.percentile(0.5);
+    p99 = std::max(p99, lat.percentile(0.99));
+  }
+  r.p50_us = threads ? p50 / static_cast<double>(threads) : 0.0;
+  r.p99_us = p99;
+  r.contention = static_cast<double>(broker.metrics().produce_contention);
+  return r;
+}
+
+/// Generator -> broker (parallel publish) -> micro-batch -> cassalite.
+void bench_end_to_end(int partitions, std::size_t threads,
+                      std::size_t members, BenchJsonWriter& out) {
+  // A concentrated Lustre storm: a few chatty nodes spamming the same
+  // seconds, the coalescing design point of §III-D.
+  titanlog::ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.window = TimeRange{kT0, kT0 + 3600};
+  cfg.background_scale = 0.4;
+  titanlog::LustreStormSpec storm;
+  storm.start = kT0 + 1800;
+  storm.duration_seconds = 180;
+  storm.messages_per_second = 300.0;
+  storm.affected_node_fraction = 0.001;
+  cfg.storms.push_back(storm);
+  auto logs = titanlog::Generator(cfg).generate();
+  const auto n_events = logs.events.size();
+
+  cassalite::Cluster cluster(cluster_opts(4));
+  sparklite::Engine engine(engine_opts(4));
+  buslite::Broker broker;
+  HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+  HPCLA_CHECK(
+      broker.create_topic("ev", {.partitions = partitions}).is_ok());
+
+  // Publish with `threads` concurrent producers (disjoint event slices;
+  // per-key order within a slice is preserved, which is all the pipeline
+  // needs — coalescing keys on (type, node, second)).
+  Stopwatch publish_watch;
+  {
+    std::vector<std::thread> pubs;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pubs.emplace_back([&, t] {
+        model::EventPublisher pub(broker, "ev");
+        for (std::size_t i = t; i < n_events; i += threads) {
+          HPCLA_CHECK(pub.publish(logs.events[i]).is_ok());
+        }
+      });
+    }
+    for (auto& p : pubs) p.join();
+  }
+  const double publish_s = publish_watch.elapsed_seconds();
+
+  // Drain with `members` group members, one thread each.
+  std::vector<std::unique_ptr<model::StreamingIngestor>> ingestors;
+  for (std::size_t m = 0; m < members; ++m) {
+    ingestors.push_back(std::make_unique<model::StreamingIngestor>(
+        cluster, engine, broker, "ev", m, members));
+  }
+  Stopwatch drain_watch;
+  {
+    std::vector<std::thread> drains;
+    for (auto& ing : ingestors) {
+      drains.emplace_back([&ing] { (void)ing->process_available(); });
+    }
+    for (auto& d : drains) d.join();
+  }
+  const double drain_s = drain_watch.elapsed_seconds();
+
+  model::StreamingReport totals;
+  for (const auto& ing : ingestors) {
+    const auto& t = ing->totals();
+    totals.batches += t.batches;
+    totals.messages_in += t.messages_in;
+    totals.decode_failures += t.decode_failures;
+    totals.events_written += t.events_written;
+    totals.write_failures += t.write_failures;
+    totals.synopsis_rows += t.synopsis_rows;
+  }
+  HPCLA_CHECK(totals.messages_in == n_events);
+  HPCLA_CHECK(totals.write_failures == 0);
+
+  const double e2e_s = publish_s + drain_s;
+  const double n = static_cast<double>(n_events);
+
+  BenchResultRow pub_row;
+  pub_row.name = "e2e_publish/threads:" + std::to_string(threads);
+  pub_row.ops_per_sec = n / publish_s;
+  pub_row.p50_us = publish_s / n * 1e6;
+  pub_row.p99_us = pub_row.p50_us;
+  pub_row.extra["events"] = n;
+  out.add(pub_row);
+
+  BenchResultRow drain_row;
+  drain_row.name = "e2e_ingest/members:" + std::to_string(members);
+  drain_row.ops_per_sec = n / drain_s;
+  drain_row.p50_us = drain_s / n * 1e6;
+  drain_row.p99_us = drain_row.p50_us;
+  drain_row.extra["batches"] = static_cast<double>(totals.batches);
+  drain_row.extra["coalesce_ratio"] =
+      totals.events_written
+          ? static_cast<double>(totals.messages_in - totals.decode_failures) /
+                static_cast<double>(totals.events_written)
+          : 0.0;
+  out.add(drain_row);
+
+  out.root_extra()["end_to_end_ops_per_sec"] = n / e2e_s;
+  const auto bm = broker.metrics();
+  out.root_extra()["e2e_produce_contention"] =
+      static_cast<double>(bm.produce_contention);
+  out.root_extra()["e2e_messages_trimmed"] =
+      static_cast<double>(bm.messages_trimmed);
+  std::printf(
+      "e2e: %zu events, publish %.0f ev/s (%zu threads), ingest %.0f ev/s "
+      "(%zu members), end-to-end %.0f ev/s\n",
+      n_events, n / publish_s, threads, n / drain_s, members, n / e2e_s);
+}
+
+int run(int argc, char** argv) {
+  const std::string path = consume_json_flag(argc, argv);
+  const int partitions =
+      static_cast<int>(consume_long_flag(argc, argv, "partitions", 8));
+  const auto threads =
+      static_cast<std::size_t>(consume_long_flag(argc, argv, "threads", 4));
+  const auto members =
+      static_cast<std::size_t>(consume_long_flag(argc, argv, "members", 2));
+  BenchJsonWriter writer("streaming", path);
+  writer.root_extra()["partitions"] = partitions;
+  writer.root_extra()["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+
+  double one_thread = 0.0;
+  double eight_threads = 0.0;
+  for (const std::size_t t :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const auto r = run_producers(partitions, t);
+    if (t == 1) one_thread = r.ops_per_sec;
+    if (t == 8) eight_threads = r.ops_per_sec;
+    BenchResultRow row;
+    row.name = "produce_throughput/threads:" + std::to_string(t);
+    row.ops_per_sec = r.ops_per_sec;
+    row.p50_us = r.p50_us;
+    row.p99_us = r.p99_us;
+    row.extra["produce_contention"] = r.contention;
+    writer.add(row);
+    std::printf("producers=%zu: %.0f produce/s (p50 %.2f us, p99 %.2f us)\n",
+                t, r.ops_per_sec, r.p50_us, r.p99_us);
+  }
+  const double scaling = one_thread > 0 ? eight_threads / one_thread : 0.0;
+  writer.root_extra()["produce_scaling_8_vs_1"] = scaling;
+  std::printf("8-producer vs 1-producer aggregate produce scaling: %.2fx\n",
+              scaling);
+
+  bench_end_to_end(partitions, threads, members, writer);
+
+  writer.write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpcla::bench
+
+int main(int argc, char** argv) { return hpcla::bench::run(argc, argv); }

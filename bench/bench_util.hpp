@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -152,6 +153,29 @@ inline std::string bench_name_from_argv0(const char* argv0) {
   }
   if (name.rfind("bench_", 0) == 0) name = name.substr(6);
   return name;
+}
+
+/// Pulls `--<name> <n>` (or `--<name>=<n>`) out of argv before
+/// benchmark::Initialize sees it; returns `def` when absent. Shared by the
+/// ingestion benches for --threads / --partitions so sharding experiments
+/// run without recompiling.
+inline long consume_long_flag(int& argc, char** argv, const std::string& name,
+                              long def) {
+  const std::string flag = "--" + name;
+  const std::string eq = flag + "=";
+  long value = def;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i] && i + 1 < argc) {
+      value = std::atol(argv[++i]);
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      value = std::atol(argv[i] + eq.size());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
 }
 
 /// Pulls `--json <path>` (or `--json=<path>`) out of argv before

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json summaries against committed baselines.
+
+Each bench binary writes a summary like
+
+    {"bench": "streaming",
+     "results": [{"name": "produce_throughput/threads:4",
+                  "ops_per_sec": 123456.0, ...}, ...],
+     ...}
+
+and `bench/baselines/` holds a committed copy of a known-good run. This
+script diffs `ops_per_sec` per result name and flags drops beyond the
+threshold (default 20%). Absolute numbers vary wildly across machines, so
+the committed baseline is only a tripwire for *relative* collapses (a
+lock reintroduced on a hot path, a sort gone quadratic) — which is why CI
+runs it in report-only mode by default; pass --strict to make
+regressions fail the build.
+
+Usage:
+    python3 bench/check_trend.py BENCH_streaming.json [BENCH_ingest.json ...]
+    python3 bench/check_trend.py --strict --threshold 0.3 BENCH_*.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_results(path):
+    """Returns {result_name: ops_per_sec} from one bench summary."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for row in data.get("results", []):
+        name = row.get("name")
+        ops = row.get("ops_per_sec")
+        if name is not None and isinstance(ops, (int, float)) and ops > 0:
+            out[name] = float(ops)
+    return out
+
+
+def compare(current_path, baseline_path, threshold):
+    """Prints a per-result diff; returns the list of regressed names."""
+    current = load_results(current_path)
+    baseline = load_results(baseline_path)
+    regressions = []
+    for name, base_ops in sorted(baseline.items()):
+        cur_ops = current.get(name)
+        if cur_ops is None:
+            print(f"  MISSING  {name} (in baseline, not in current run)")
+            regressions.append(name)
+            continue
+        delta = (cur_ops - base_ops) / base_ops
+        tag = "ok"
+        if delta < -threshold:
+            tag = "REGRESSED"
+            regressions.append(name)
+        elif delta > threshold:
+            tag = "improved"
+        print(
+            f"  {tag:>9}  {name}: {cur_ops:,.0f} ops/s "
+            f"(baseline {base_ops:,.0f}, {delta:+.1%})"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  new      {name}: {current[name]:,.0f} ops/s (no baseline)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json summaries")
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), "baselines"),
+        help="directory holding committed baseline summaries",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative ops/s drop treated as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any result regressed",
+    )
+    args = parser.parse_args()
+
+    all_regressions = []
+    for path in args.files:
+        baseline = os.path.join(args.baseline_dir, os.path.basename(path))
+        print(f"{path}:")
+        if not os.path.exists(path):
+            print("  (current summary missing — bench did not run?)")
+            all_regressions.append(path)
+            continue
+        if not os.path.exists(baseline):
+            print(f"  (no baseline at {baseline} — skipping)")
+            continue
+        all_regressions.extend(compare(path, baseline, args.threshold))
+
+    if all_regressions:
+        print(
+            f"\n{len(all_regressions)} result(s) regressed more than "
+            f"{args.threshold:.0%} vs baseline."
+        )
+        if args.strict:
+            return 1
+        print("(report-only mode; pass --strict to fail the build)")
+    else:
+        print("\nNo regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,126 +6,248 @@
 
 namespace hpcla::buslite {
 
+Broker::Broker() {
+  retired_.push_back(std::make_unique<TopicMap>());
+  topics_.store(retired_.back().get(), std::memory_order_release);
+}
+
+Broker::Partition::Partition() {
+  auto first = std::make_shared<Chunk>(0);
+  tail = first;
+  head.store(std::move(first), std::memory_order_relaxed);
+}
+
+Broker::Partition::~Partition() {
+  // Unlink the chunk chain iteratively: letting shared_ptr destructors
+  // cascade would recurse once per chunk and can blow the stack on a
+  // long-lived partition.
+  auto c = head.exchange(nullptr, std::memory_order_relaxed);
+  tail.reset();
+  while (c) {
+    auto next = c->next.exchange(nullptr, std::memory_order_relaxed);
+    c = std::move(next);
+  }
+}
+
+Broker::Topic::Topic(TopicConfig c) : config(c) {
+  partitions.reserve(static_cast<std::size_t>(config.partitions));
+  for (int p = 0; p < config.partitions; ++p) {
+    partitions.push_back(std::make_unique<Partition>());
+  }
+}
+
+Broker::Topic* Broker::find_topic(const TopicMap& map,
+                                  const std::string& name) {
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+Broker::CommitShard& Broker::commit_shard(const std::string& key) const {
+  return commit_shards_[murmur3_64(key) % kCommitShards];
+}
+
 Status Broker::create_topic(const std::string& name, TopicConfig config) {
   if (config.partitions <= 0) {
     return invalid_argument("topic '" + name + "' needs >= 1 partition");
   }
-  std::lock_guard lock(mu_);
-  if (topics_.contains(name)) {
+  std::lock_guard lock(create_mu_);
+  const TopicMap* current = topic_map();
+  if (current->contains(name)) {
     return already_exists("topic '" + name + "' already exists");
   }
-  Topic t;
-  t.config = config;
-  t.partitions.resize(static_cast<std::size_t>(config.partitions));
-  topics_.emplace(name, std::move(t));
+  // RCU publish: copy the (small) map of shared topic handles, insert, and
+  // swap the snapshot pointer. Concurrent lookups keep using the old map,
+  // which retired_ keeps alive.
+  auto next = std::make_unique<TopicMap>(*current);
+  next->emplace(name, std::make_shared<Topic>(config));
+  topics_.store(next.get(), std::memory_order_release);
+  retired_.push_back(std::move(next));
   return Status::ok();
 }
 
 bool Broker::has_topic(const std::string& name) const {
-  std::lock_guard lock(mu_);
-  return topics_.contains(name);
+  return topic_map()->contains(name);
 }
 
 Result<int> Broker::partition_count(const std::string& topic) const {
-  std::lock_guard lock(mu_);
-  const auto it = topics_.find(topic);
-  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
-  return it->second.config.partitions;
+  auto map = topic_map();
+  const Topic* t = find_topic(*map, topic);
+  if (t == nullptr) return not_found("no topic '" + topic + "'");
+  return t->config.partitions;
 }
 
 Result<std::pair<int, std::int64_t>> Broker::produce(const std::string& topic,
                                                      std::string key,
                                                      std::string value,
                                                      UnixMillis timestamp) {
-  std::lock_guard lock(mu_);
-  const auto it = topics_.find(topic);
-  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
-  Topic& t = it->second;
+  auto map = topic_map();
+  Topic* t = find_topic(*map, topic);
+  if (t == nullptr) return not_found("no topic '" + topic + "'");
 
-  const std::size_t pcount = t.partitions.size();
+  const std::size_t pcount = t->partitions.size();
   std::size_t pidx;
   if (key.empty()) {
-    pidx = t.round_robin++ % pcount;
+    pidx = t->round_robin.fetch_add(1, std::memory_order_relaxed) % pcount;
   } else {
     pidx = murmur3_64(key) % pcount;
   }
-  Partition& p = t.partitions[pidx];
+  Partition& p = *t->partitions[pidx];
 
-  Message m;
-  m.key = std::move(key);
-  m.value = std::move(value);
-  m.timestamp = timestamp;
-  m.offset = p.next_offset++;
-  p.messages.push_back(std::move(m));
+  std::unique_lock lock(p.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    p.contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
 
-  // Retention: trim oldest beyond the cap.
-  const std::size_t cap = t.config.retention_messages;
+  // Only producers (under p.mu) advance published_next, so a relaxed load
+  // here sees the latest value.
+  const std::int64_t off = p.published_next.load(std::memory_order_relaxed);
+  Chunk* tail = p.tail.get();
+  if (off >= tail->base + static_cast<std::int64_t>(kChunkMessages)) {
+    auto grown = std::make_shared<Chunk>(
+        tail->base + static_cast<std::int64_t>(kChunkMessages));
+    // Link before any offset in the new chunk is published, so readers
+    // that see the tail can always walk to the covering chunk.
+    tail->next.store(grown, std::memory_order_release);
+    p.tail = grown;
+    tail = grown.get();
+  }
+  Message& slot = tail->slots[static_cast<std::size_t>(off - tail->base)];
+  slot.key = std::move(key);
+  slot.value = std::move(value);
+  slot.timestamp = timestamp;
+  slot.offset = off;
+  // Publish-before-read: the slot write above happens-before this release
+  // store, which fetch() acquire-loads.
+  p.published_next.store(off + 1, std::memory_order_release);
+
+  // Retention: advance the floor and unlink fully-trimmed head chunks.
+  // In-flight fetches that already grabbed the old head keep the chain
+  // alive through their shared_ptr.
+  const std::size_t cap = t->config.retention_messages;
   if (cap != 0) {
-    while (p.messages.size() > cap) {
-      p.messages.pop_front();
-      ++p.base_offset;
+    const std::int64_t base = p.published_base.load(std::memory_order_relaxed);
+    const std::int64_t new_base = off + 1 - static_cast<std::int64_t>(cap);
+    if (new_base > base) {
+      p.trimmed.fetch_add(static_cast<std::uint64_t>(new_base - base),
+                          std::memory_order_relaxed);
+      p.published_base.store(new_base, std::memory_order_release);
+      auto head = p.head.load(std::memory_order_relaxed);
+      while (head->base + static_cast<std::int64_t>(kChunkMessages) <=
+             new_base) {
+        auto next = head->next.load(std::memory_order_relaxed);
+        p.head.store(next, std::memory_order_release);
+        head = std::move(next);
+      }
     }
   }
-  return std::make_pair(static_cast<int>(pidx), p.next_offset - 1);
+  p.produces.fetch_add(1, std::memory_order_relaxed);
+  return std::make_pair(static_cast<int>(pidx), off);
 }
 
 Result<std::vector<Message>> Broker::fetch(const std::string& topic,
                                            int partition, std::int64_t offset,
                                            std::size_t max_messages) const {
-  std::lock_guard lock(mu_);
-  const auto it = topics_.find(topic);
-  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
-  const Topic& t = it->second;
+  auto map = topic_map();
+  const Topic* t = find_topic(*map, topic);
+  if (t == nullptr) return not_found("no topic '" + topic + "'");
   if (partition < 0 ||
-      static_cast<std::size_t>(partition) >= t.partitions.size()) {
+      static_cast<std::size_t>(partition) >= t->partitions.size()) {
     return invalid_argument("partition " + std::to_string(partition) +
                             " out of range for '" + topic + "'");
   }
-  const Partition& p = t.partitions[static_cast<std::size_t>(partition)];
+  const Partition& p = *t->partitions[static_cast<std::size_t>(partition)];
+  p.fetches.fetch_add(1, std::memory_order_relaxed);
+
   std::vector<Message> out;
-  const std::int64_t start = std::max(offset, p.base_offset);
-  if (start >= p.next_offset) return out;
-  const std::size_t idx = static_cast<std::size_t>(start - p.base_offset);
-  const std::size_t n =
-      std::min(max_messages, p.messages.size() - idx);
+  const std::int64_t tail = p.published_next.load(std::memory_order_acquire);
+  const std::int64_t base = p.published_base.load(std::memory_order_acquire);
+  std::int64_t start = std::max(offset, base);
+  if (start >= tail) return out;
+
+  ChunkPtr chunk = p.head.load(std::memory_order_acquire);
+  // A trim may have advanced past our base load; clamp forward to the
+  // oldest chunk still linked (keeps the returned batch dense).
+  if (chunk == nullptr) return out;
+  start = std::max(start, chunk->base);
+  if (start >= tail) return out;
+  while (chunk != nullptr &&
+         start >= chunk->base + static_cast<std::int64_t>(kChunkMessages)) {
+    chunk = chunk->next.load(std::memory_order_acquire);
+  }
+
+  const std::size_t n = std::min(
+      max_messages, static_cast<std::size_t>(tail - start));
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) out.push_back(p.messages[idx + i]);
+  while (out.size() < n && chunk != nullptr) {
+    const auto idx = static_cast<std::size_t>(start - chunk->base);
+    if (idx >= kChunkMessages) {
+      chunk = chunk->next.load(std::memory_order_acquire);
+      continue;
+    }
+    out.push_back(chunk->slots[idx]);
+    ++start;
+  }
+  p.fetched_messages.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
 
 Result<std::int64_t> Broker::end_offset(const std::string& topic,
                                         int partition) const {
-  std::lock_guard lock(mu_);
-  const auto it = topics_.find(topic);
-  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
-  const Topic& t = it->second;
+  auto map = topic_map();
+  const Topic* t = find_topic(*map, topic);
+  if (t == nullptr) return not_found("no topic '" + topic + "'");
   if (partition < 0 ||
-      static_cast<std::size_t>(partition) >= t.partitions.size()) {
+      static_cast<std::size_t>(partition) >= t->partitions.size()) {
     return invalid_argument("bad partition");
   }
-  return t.partitions[static_cast<std::size_t>(partition)].next_offset;
+  return t->partitions[static_cast<std::size_t>(partition)]
+      ->published_next.load(std::memory_order_acquire);
 }
 
 Result<std::int64_t> Broker::begin_offset(const std::string& topic,
                                           int partition) const {
-  std::lock_guard lock(mu_);
-  const auto it = topics_.find(topic);
-  if (it == topics_.end()) return not_found("no topic '" + topic + "'");
-  const Topic& t = it->second;
+  auto map = topic_map();
+  const Topic* t = find_topic(*map, topic);
+  if (t == nullptr) return not_found("no topic '" + topic + "'");
   if (partition < 0 ||
-      static_cast<std::size_t>(partition) >= t.partitions.size()) {
+      static_cast<std::size_t>(partition) >= t->partitions.size()) {
     return invalid_argument("bad partition");
   }
-  return t.partitions[static_cast<std::size_t>(partition)].base_offset;
+  return t->partitions[static_cast<std::size_t>(partition)]
+      ->published_base.load(std::memory_order_acquire);
+}
+
+BrokerMetrics Broker::metrics() const noexcept {
+  // Sum the per-partition counters. Topics are never deleted, so the
+  // current snapshot covers every partition that ever counted anything.
+  BrokerMetrics m;
+  const TopicMap* map = topic_map();
+  for (const auto& [_, t] : *map) {
+    for (const auto& p : t->partitions) {
+      m.produces += p->produces.load(std::memory_order_relaxed);
+      m.fetches += p->fetches.load(std::memory_order_relaxed);
+      m.messages_fetched += p->fetched_messages.load(std::memory_order_relaxed);
+      m.messages_trimmed += p->trimmed.load(std::memory_order_relaxed);
+      m.produce_contention += p->contention.load(std::memory_order_relaxed);
+    }
+  }
+  for (const auto& shard : commit_shards_) {
+    std::lock_guard lock(shard.mu);
+    m.commits += shard.commits;
+  }
+  return m;
 }
 
 Result<std::int64_t> Broker::committed(const std::string& group,
                                        const std::string& topic,
                                        int partition) const {
-  std::lock_guard lock(mu_);
-  const auto it =
-      commits_.find(group + "|" + topic + "|" + std::to_string(partition));
-  if (it == commits_.end()) {
+  const std::string key =
+      group + "|" + topic + "|" + std::to_string(partition);
+  CommitShard& shard = commit_shard(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.offsets.find(key);
+  if (it == shard.offsets.end()) {
     return not_found("no commit for group '" + group + "'");
   }
   return it->second;
@@ -133,15 +255,16 @@ Result<std::int64_t> Broker::committed(const std::string& group,
 
 Status Broker::commit(const std::string& group, const std::string& topic,
                       int partition, std::int64_t offset) {
-  std::lock_guard lock(mu_);
-  if (!topics_.contains(topic)) return not_found("no topic '" + topic + "'");
-  commits_[group + "|" + topic + "|" + std::to_string(partition)] = offset;
+  if (!has_topic(topic)) return not_found("no topic '" + topic + "'");
+  const std::string key =
+      group + "|" + topic + "|" + std::to_string(partition);
+  CommitShard& shard = commit_shard(key);
+  {
+    std::lock_guard lock(shard.mu);
+    shard.offsets[key] = offset;
+    ++shard.commits;
+  }
   return Status::ok();
-}
-
-const Broker::Topic* Broker::find_topic(const std::string& name) const {
-  const auto it = topics_.find(name);
-  return it == topics_.end() ? nullptr : &it->second;
 }
 
 // ---------------------------------------------------------------- Consumer
@@ -180,16 +303,34 @@ std::vector<Message> Consumer::poll(std::size_t max_messages) {
     }
     idle_rounds = 0;
     positions_[slot] = batch->back().offset + 1;
-    consumed_ += batch->size();
+    consumed_.fetch_add(batch->size(), std::memory_order_relaxed);
     out.insert(out.end(), std::make_move_iterator(batch->begin()),
                std::make_move_iterator(batch->end()));
   }
   return out;
 }
 
+std::vector<Message> Consumer::poll_one(std::size_t owned_index,
+                                        std::size_t max_messages) {
+  HPCLA_CHECK_MSG(owned_index < owned_.size(), "poll_one index out of range");
+  auto batch = broker_->fetch(topic_, owned_[owned_index],
+                              positions_[owned_index], max_messages);
+  if (!batch.is_ok() || batch->empty()) return {};
+  positions_[owned_index] = batch->back().offset + 1;
+  consumed_.fetch_add(batch->size(), std::memory_order_relaxed);
+  return std::move(batch).value();
+}
+
 void Consumer::commit() {
   for (std::size_t slot = 0; slot < owned_.size(); ++slot) {
     (void)broker_->commit(group_, topic_, owned_[slot], positions_[slot]);
+  }
+}
+
+void Consumer::seek_to_committed() {
+  for (std::size_t slot = 0; slot < owned_.size(); ++slot) {
+    const auto committed = broker_->committed(group_, topic_, owned_[slot]);
+    if (committed.is_ok()) positions_[slot] = committed.value();
   }
 }
 

@@ -6,14 +6,28 @@
 // contract that pipeline depends on: named topics, hashed partitioning by
 // key, per-partition total order, durable offsets per consumer group, and
 // retention trimming.
+//
+// Concurrency model (see DESIGN.md §8):
+//   * The topic map is an RCU-style atomic snapshot: lookups (produce,
+//     fetch, offsets) are one acquire-load; create_topic copies and
+//     republishes under a creation mutex.
+//   * Each partition is an append-only chunked log. Producers serialize on
+//     a *per-partition* mutex only — concurrent producers to different
+//     partitions never contend. The slot is written before the tail offset
+//     is published (release store), so fetch reads everything below the
+//     published tail lock-free — the same publish-before-drain pattern as
+//     the cassalite TableSnapshot.
+//   * Retention advances an atomic base offset and unlinks whole chunks;
+//     in-flight fetches keep their chunk chain alive via shared_ptr.
+//   * Consumer-group commits live in a striped map (per-shard mutexes).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,9 +52,24 @@ struct TopicConfig {
   std::size_t retention_messages = 0;
 };
 
+/// Plain snapshot of the broker counters, safe to copy around. The broker
+/// maintains these as relaxed atomics; `metrics()` never locks.
+struct BrokerMetrics {
+  std::uint64_t produces = 0;
+  std::uint64_t fetches = 0;           ///< fetch() calls (including empty)
+  std::uint64_t messages_fetched = 0;
+  std::uint64_t messages_trimmed = 0;  ///< retention evictions
+  std::uint64_t commits = 0;
+  /// Produce lock acquisitions that found the partition lock already held
+  /// — the contention the per-partition sharding is meant to eliminate.
+  std::uint64_t produce_contention = 0;
+};
+
 /// In-process broker. All methods are thread-safe.
 class Broker {
  public:
+  Broker();
+
   /// Creates a topic; rejects duplicates and non-positive partition counts.
   Status create_topic(const std::string& name, TopicConfig config = {});
 
@@ -57,7 +86,7 @@ class Broker {
   /// Reads up to `max_messages` starting at `offset` from one partition.
   /// Reading at or past the end returns an empty batch (not an error).
   /// Offsets below the retention floor clamp forward to the oldest
-  /// retained message.
+  /// retained message. Lock-free against the published tail.
   Result<std::vector<Message>> fetch(const std::string& topic, int partition,
                                      std::int64_t offset,
                                      std::size_t max_messages) const;
@@ -69,6 +98,8 @@ class Broker {
   /// Oldest retained offset.
   Result<std::int64_t> begin_offset(const std::string& topic,
                                     int partition) const;
+
+  [[nodiscard]] BrokerMetrics metrics() const noexcept;
 
   // ---------------------------------------------------- consumer groups
 
@@ -82,22 +113,85 @@ class Broker {
                 int partition, std::int64_t offset);
 
  private:
+  /// Messages per chunk of a partition log. Dense: chunk k spans offsets
+  /// [k*kChunkMessages, (k+1)*kChunkMessages).
+  static constexpr std::size_t kChunkMessages = 256;
+  static constexpr std::size_t kCommitShards = 16;
+
+  /// One fixed-size segment of a partition log. Slots are written exactly
+  /// once (by the producer holding the partition lock, before the tail
+  /// covering them is published) and immutable afterwards.
+  struct Chunk {
+    explicit Chunk(std::int64_t base_offset) : base(base_offset) {}
+    const std::int64_t base;  ///< offset of slots[0]
+    std::array<Message, kChunkMessages> slots;
+    std::atomic<std::shared_ptr<Chunk>> next{nullptr};
+  };
+  using ChunkPtr = std::shared_ptr<Chunk>;
+
   struct Partition {
-    std::deque<Message> messages;
-    std::int64_t base_offset = 0;  ///< offset of messages.front()
-    std::int64_t next_offset = 0;
+    Partition();
+    ~Partition();
+    /// Serializes producers and retention trimming for this partition only.
+    std::mutex mu;
+    /// Oldest retained chunk; readers acquire-load and walk `next`.
+    std::atomic<ChunkPtr> head;
+    /// Chunk receiving appends (guarded by mu).
+    ChunkPtr tail;
+    /// First offset not yet produced; release-stored after the slot write.
+    std::atomic<std::int64_t> published_next{0};
+    /// Oldest retained offset; advanced by retention trimming.
+    std::atomic<std::int64_t> published_base{0};
+    // Counters live with their partition so concurrent producers never
+    // bounce one shared metrics cache line; metrics() sums them up.
+    std::atomic<std::uint64_t> produces{0};
+    std::atomic<std::uint64_t> trimmed{0};
+    std::atomic<std::uint64_t> contention{0};
+    /// Consumer-side counters on their own line: fetch runs lock-free and
+    /// must not invalidate the producers' hot line.
+    alignas(64) mutable std::atomic<std::uint64_t> fetches{0};
+    mutable std::atomic<std::uint64_t> fetched_messages{0};
   };
+
+  /// Immutable after construction except for the per-partition state above
+  /// and the round-robin counter, so the RCU topic-map snapshot can share
+  /// Topic objects freely.
   struct Topic {
-    TopicConfig config;
-    std::vector<Partition> partitions;
-    std::uint64_t round_robin = 0;
+    explicit Topic(TopicConfig c);
+    const TopicConfig config;
+    std::vector<std::unique_ptr<Partition>> partitions;
+    std::atomic<std::uint64_t> round_robin{0};
+  };
+  using TopicMap = std::map<std::string, std::shared_ptr<Topic>>;
+
+  struct CommitShard {
+    mutable std::mutex mu;
+    std::map<std::string, std::int64_t> offsets;  ///< "group|topic|part"
+    std::uint64_t commits = 0;                    ///< guarded by mu
   };
 
-  const Topic* find_topic(const std::string& name) const;
+  [[nodiscard]] const TopicMap* topic_map() const {
+    return topics_.load(std::memory_order_acquire);
+  }
+  /// nullptr when the topic does not exist. The returned pointer stays
+  /// valid as long as the caller holds the map snapshot (Topics are
+  /// shared_ptr-owned by every snapshot that contains them). Non-const:
+  /// Topic's mutable state is all its own synchronized members.
+  static Topic* find_topic(const TopicMap& map, const std::string& name);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Topic> topics_;
-  std::map<std::string, std::int64_t> commits_;  ///< "group|topic|part" -> offset
+  CommitShard& commit_shard(const std::string& key) const;
+
+  /// Serializes topic creation (map copy + republish) only.
+  std::mutex create_mu_;
+  /// Current snapshot as a plain atomic pointer: hot-path lookups are one
+  /// acquire load with no refcount traffic (std::atomic<std::shared_ptr>
+  /// takes an internal lock per access, which stalls every producer when
+  /// the holder is preempted). Topics are never deleted, so superseded
+  /// snapshots are parked in retired_ (guarded by create_mu_) and every
+  /// published pointer stays valid for the broker's lifetime.
+  std::atomic<const TopicMap*> topics_{nullptr};
+  std::vector<std::unique_ptr<const TopicMap>> retired_;
+  mutable std::array<CommitShard, kCommitShards> commit_shards_;
 };
 
 /// Convenience producer bound to one topic.
@@ -138,11 +232,28 @@ class Consumer {
   /// order preserved; cross-partition interleaving round-robin).
   std::vector<Message> poll(std::size_t max_messages);
 
-  /// Commits everything handed out by poll() so far.
+  /// Fetches up to `max_messages` from the single owned partition at
+  /// `owned_index` (an index into assignment(), not a partition id),
+  /// advancing only that partition's position. Distinct owned_index values
+  /// may be polled from different threads concurrently — the parallel
+  /// drain path of sparklite::MicroBatchStream.
+  std::vector<Message> poll_one(std::size_t owned_index,
+                                std::size_t max_messages);
+
+  /// Commits everything handed out by poll()/poll_one() so far.
   void commit();
 
+  /// Re-reads the group's committed offsets and rewinds/advances this
+  /// instance's positions to them — how a restarted or rebalanced member
+  /// resumes from progress another instance committed after this one was
+  /// constructed. Partitions the group never committed keep their current
+  /// position.
+  void seek_to_committed();
+
   /// Total messages consumed by this instance.
-  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] std::uint64_t consumed() const noexcept {
+    return consumed_.load(std::memory_order_relaxed);
+  }
 
   /// Partitions this member owns.
   [[nodiscard]] const std::vector<int>& assignment() const noexcept {
@@ -156,7 +267,7 @@ class Consumer {
   std::vector<int> owned_;              ///< partition indices
   std::vector<std::int64_t> positions_; ///< parallel to owned_
   std::size_t next_slot_ = 0;
-  std::uint64_t consumed_ = 0;
+  std::atomic<std::uint64_t> consumed_{0};
 };
 
 }  // namespace hpcla::buslite

@@ -1,18 +1,36 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <deque>
 
 namespace hpcla {
 
+namespace {
+/// Which pool (if any) the current thread is a worker of, and its index.
+/// Lets enqueue() route a worker's own submissions to its own deque.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+}  // namespace
+
+struct ThreadPool::Worker {
+  std::mutex mu;
+  std::deque<std::function<void()>> tasks;
+};
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
   {
     std::lock_guard lock(mu_);
     stop_ = true;
@@ -22,31 +40,78 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> fn) {
+  HPCLA_CHECK_MSG(!stopping_.load(std::memory_order_acquire),
+                  "ThreadPool::enqueue after shutdown");
+  const std::size_t target =
+      tl_pool == this
+          ? tl_index
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
   {
-    std::lock_guard lock(mu_);
-    HPCLA_CHECK_MSG(!stop_, "ThreadPool::enqueue after shutdown");
-    queue_.push_back(std::move(fn));
+    std::lock_guard lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  pending_.fetch_add(1);  // seq_cst: pairs with the sleeper's pending_ check
+  if (sleepers_.load() > 0) {
+    // Touch mu_ so a worker between its predicate check and the actual
+    // sleep cannot miss this notification.
+    { std::lock_guard lock(mu_); }
+    cv_.notify_one();
+  }
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::take_task(std::size_t me, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t q = (me + k) % n;
+    Worker& w = *queues_[q];
+    {
+      std::lock_guard lock(w.mu);
+      if (w.tasks.empty()) continue;
+      if (q == me) {
+        // Own deque drains FIFO from the front (submission order).
+        out = std::move(w.tasks.front());
+        w.tasks.pop_front();
+      } else {
+        // Thieves take from the back: no contention with the owner's end,
+        // and the freshest task is the least likely to be cache-hot on
+        // the victim.
+        out = std::move(w.tasks.back());
+        w.tasks.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Order matters for wait_idle: the task must be counted active before
+    // it stops being counted pending, so (pending, active) never reads
+    // (0, 0) while it is in flight.
+    active_.fetch_add(1);
+    pending_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t me) {
+  tl_pool = this;
+  tl_index = me;
+  std::function<void()> task;
   while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    if (take_task(me, task)) {
+      task();
+      task = nullptr;
+      if (active_.fetch_sub(1) == 1 && pending_.load() == 0) {
+        std::lock_guard lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
     }
-    task();
-    {
-      std::lock_guard lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+    std::unique_lock lock(mu_);
+    sleepers_.fetch_add(1);
+    cv_.wait(lock, [this] { return stop_ || pending_.load() > 0; });
+    sleepers_.fetch_sub(1);
+    if (stop_ && pending_.load() == 0) return;
+    // pending_ > 0: some deque has work (a racing sibling may still beat
+    // us to it — then we just come back around).
   }
 }
 
@@ -102,7 +167,9 @@ void ThreadPool::parallel_for(std::size_t n,
   };
 
   // One pooled helper per worker; the caller runs the same loop so progress
-  // is guaranteed even when every pool thread is busy elsewhere.
+  // is guaranteed even when every pool thread is busy elsewhere. Helpers
+  // land on one deque when called from a worker thread — stealing spreads
+  // them.
   const std::size_t chunks = (n + grain - 1) / grain;
   const std::size_t helpers = std::min(threads_.size(), chunks - 1);
   for (std::size_t h = 0; h < helpers; ++h) post(body);
@@ -117,7 +184,8 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock,
+                [this] { return pending_.load() == 0 && active_.load() == 0; });
 }
 
 }  // namespace hpcla

@@ -5,11 +5,19 @@
 // destruction), tasks are type-erased move-only callables, and waiting is
 // expressed through futures or the bulk parallel_for helper — callers never
 // touch the mutex/cv machinery.
+//
+// Scheduling is work-stealing (DESIGN.md §8): each worker owns a deque.
+// Tasks enqueued from a pool thread go to that worker's own deque; external
+// submissions round-robin across deques. A worker drains its own deque
+// FIFO from the front and, when empty, steals from the back of a sibling's
+// deque — so one worker stuck on a long task never strands the work queued
+// behind it, and concurrent submitters don't contend on one queue mutex.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -22,7 +30,8 @@
 
 namespace hpcla {
 
-/// A bounded team of worker threads draining a shared FIFO task queue.
+/// A bounded team of worker threads over per-worker task deques with work
+/// stealing.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -63,16 +72,34 @@ class ThreadPool {
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
 
- private:
-  void enqueue(std::function<void()> fn);
-  void worker_loop();
+  /// Tasks executed by a worker other than the one whose deque they were
+  /// queued on (observability; asserted by the steal tests).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
 
+ private:
+  struct Worker;  // per-worker deque + its mutex (defined in the .cpp)
+
+  void enqueue(std::function<void()> fn);
+  void worker_loop(std::size_t index);
+  /// Pops from our own deque front, else steals from a sibling's back.
+  bool take_task(std::size_t index, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  /// Guards only the sleep/wake transitions (and stop_); tasks never move
+  /// through it. pending_/sleepers_ are seq_cst so an enqueuer and a
+  /// worker about to sleep cannot miss each other.
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::atomic<std::size_t> pending_{0};   ///< queued, not yet claimed
+  std::atomic<std::size_t> active_{0};    ///< claimed, still running
+  std::atomic<std::size_t> sleepers_{0};  ///< workers blocked on cv_
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> next_queue_{0};  ///< external round-robin
+  std::atomic<bool> stopping_{false};
+  bool stop_ = false;  ///< guarded by mu_
   std::vector<std::thread> threads_;
 };
 

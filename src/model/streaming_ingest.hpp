@@ -92,6 +92,7 @@ class StreamingIngestor {
                     StreamingReport& report);
 
   BatchIngestor writer_;
+  sparklite::Engine* engine_;  ///< for chunk-parallel message decoding
   sparklite::MicroBatchStream stream_;
   StreamingReport totals_;
 };

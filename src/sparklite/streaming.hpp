@@ -9,14 +9,18 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "buslite/broker.hpp"
 #include "common/clock.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hpcla::sparklite {
 
@@ -32,6 +36,10 @@ struct StreamOptions {
   std::int64_t window_ms = 1000;
   /// Max messages pulled from the bus per poll round.
   std::size_t max_poll = 4096;
+  /// When set, owned partitions are drained in parallel on this pool (one
+  /// poll loop per partition). Handlers still run sequentially on the
+  /// calling thread, in ascending window order.
+  ThreadPool* pool = nullptr;
 };
 
 /// Pull-driven micro-batch stream over a buslite topic.
@@ -56,27 +64,86 @@ class MicroBatchStream {
   /// Drains everything currently on the topic, groups it into event-time
   /// windows, and invokes the handler once per window in ascending window
   /// order. Commits consumer offsets afterwards. Returns batches delivered.
+  ///
+  /// Messages within a window are ordered by (timestamp, key) — ties on
+  /// both keep bus-partition offset order, which for non-empty keys is the
+  /// produce order (one key always maps to one partition). Each partition
+  /// is drained as an independent run and the per-window runs are k-way
+  /// merged, so the common case (runs already time-ordered) skips the full
+  /// per-window sort.
   std::size_t process_available(const Handler& handler) {
-    std::map<UnixMillis, MicroBatch> windows;
-    while (true) {
-      auto msgs = consumer_.poll(options_.max_poll);
-      if (msgs.empty()) break;
-      for (auto& m : msgs) {
-        const UnixMillis w = align(m.timestamp);
-        auto& batch = windows[w];
-        batch.window_start = w;
-        batch.messages.push_back(std::move(m));
+    // Phase 1: drain every owned partition into its own run, preserving
+    // the broker's per-partition total order. Runs are independent, so
+    // with a pool they drain in parallel.
+    const std::size_t n_owned = consumer_.assignment().size();
+    std::vector<std::vector<buslite::Message>> runs(n_owned);
+    auto drain_one = [this, &runs](std::size_t i) {
+      auto& run = runs[i];
+      while (true) {
+        auto msgs = consumer_.poll_one(i, options_.max_poll);
+        if (msgs.empty()) break;
+        run.insert(run.end(), std::make_move_iterator(msgs.begin()),
+                   std::make_move_iterator(msgs.end()));
+      }
+    };
+    if (options_.pool != nullptr && n_owned > 1) {
+      options_.pool->parallel_for(n_owned, drain_one);
+    } else {
+      for (std::size_t i = 0; i < n_owned; ++i) drain_one(i);
+    }
+
+    // Phase 2: split each run into per-window sub-runs, remembering
+    // whether the sub-run arrived already (ts, key)-ordered.
+    struct SubRun {
+      std::vector<buslite::Message> messages;
+      bool ordered = true;
+    };
+    std::map<UnixMillis, std::vector<SubRun>> windows;
+    for (auto& run : runs) {
+      std::map<UnixMillis, SubRun> by_window;
+      for (auto& m : run) {
+        SubRun& sub = by_window[align(m.timestamp)];
+        if (!sub.messages.empty() && less(m, sub.messages.back())) {
+          sub.ordered = false;
+        }
+        sub.messages.push_back(std::move(m));
+      }
+      for (auto& [w, sub] : by_window) {
+        windows[w].push_back(std::move(sub));
       }
     }
-    for (auto& [_, batch] : windows) {
-      // Stable order within a window: by timestamp, then key.
-      std::stable_sort(batch.messages.begin(), batch.messages.end(),
-                       [](const buslite::Message& a, const buslite::Message& b) {
-                         if (a.timestamp != b.timestamp) {
-                           return a.timestamp < b.timestamp;
-                         }
-                         return a.key < b.key;
-                       });
+
+    // Phase 3: per window, k-way merge the (now sorted) sub-runs. Ties
+    // across sub-runs go to the lower partition index; ties within a
+    // sub-run keep offset order (the sort below is stable).
+    for (auto& [w, subs] : windows) {
+      for (auto& sub : subs) {
+        if (!sub.ordered) {
+          std::stable_sort(
+              sub.messages.begin(), sub.messages.end(),
+              [](const buslite::Message& a, const buslite::Message& b) {
+                return less(a, b);
+              });
+        }
+      }
+      MicroBatch batch;
+      batch.window_start = w;
+      std::size_t total = 0;
+      for (const auto& sub : subs) total += sub.messages.size();
+      batch.messages.reserve(total);
+      std::vector<std::size_t> pos(subs.size(), 0);
+      for (std::size_t out = 0; out < total; ++out) {
+        std::size_t best = subs.size();
+        for (std::size_t i = 0; i < subs.size(); ++i) {
+          if (pos[i] >= subs[i].messages.size()) continue;
+          if (best == subs.size() ||
+              less(subs[i].messages[pos[i]], subs[best].messages[pos[best]])) {
+            best = i;
+          }
+        }
+        batch.messages.push_back(std::move(subs[best].messages[pos[best]]));
+        ++pos[best];
+      }
       handler(batch);
       ++batches_;
       messages_ += batch.messages.size();
@@ -93,6 +160,13 @@ class MicroBatchStream {
   }
 
  private:
+  /// Window delivery order: by timestamp, then key.
+  [[nodiscard]] static bool less(const buslite::Message& a,
+                                 const buslite::Message& b) noexcept {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.key < b.key;
+  }
+
   [[nodiscard]] UnixMillis align(UnixMillis ts) const noexcept {
     UnixMillis w = ts / options_.window_ms;
     if (ts % options_.window_ms < 0) --w;

@@ -162,6 +162,33 @@ TEST(ConsumerTest, ResumesFromCommittedOffset) {
   EXPECT_EQ(other.poll(100).size(), 10u);
 }
 
+TEST(ConsumerTest, SeekToCommittedRewindsToGroupProgress) {
+  Broker b;
+  ASSERT_TRUE(b.create_topic("t", {.partitions = 1}).is_ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.produce("t", "k", "m" + std::to_string(i), i).is_ok());
+  }
+  Consumer c1(b, "g", "t");
+  ASSERT_EQ(c1.poll(100).size(), 10u);  // read ahead, nothing committed
+  {
+    // A second instance of the same group commits progress at offset 4.
+    Consumer c2(b, "g", "t");
+    ASSERT_EQ(c2.poll(4).size(), 4u);
+    c2.commit();
+  }
+  // c1 rewinds to the group's committed offset and replays from there.
+  c1.seek_to_committed();
+  auto replay = c1.poll(100);
+  ASSERT_EQ(replay.size(), 6u);
+  EXPECT_EQ(replay.front().value, "m4");
+
+  // A group with no commits keeps its current position.
+  Consumer fresh(b, "never-committed", "t");
+  ASSERT_EQ(fresh.poll(3).size(), 3u);
+  fresh.seek_to_committed();
+  EXPECT_EQ(fresh.poll(100).front().value, "m3");
+}
+
 TEST(ConsumerTest, PerPartitionOrderPreserved) {
   Broker b;
   ASSERT_TRUE(b.create_topic("t", {.partitions = 3}).is_ok());

@@ -363,6 +363,23 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPoolTest, StealsFromBlockedWorkersQueue) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Park one worker on the gate. External posts round-robin across the two
+  // deques, so roughly half of the following tasks land on the parked
+  // worker's deque — the free worker must steal them to finish.
+  pool.post([gate] { gate.wait(); });
+  std::atomic<int> done{0};
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) pool.post([&done] { done++; });
+  while (done.load() < kTasks) std::this_thread::yield();
+  EXPECT_GT(pool.steals(), 0u);
+  release.set_value();
+  pool.wait_idle();
+}
+
 TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

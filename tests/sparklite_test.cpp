@@ -401,6 +401,37 @@ TEST(StreamingTest, SecondProcessSeesOnlyNewMessages) {
   EXPECT_EQ(count, 1u);
 }
 
+TEST(StreamingTest, PooledDrainMatchesSequential) {
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 4}).is_ok());
+  // Many keys over several windows, timestamps deliberately out of order
+  // within each partition so the merge's sorted-run fast path is skipped.
+  for (int i = 0; i < 200; ++i) {
+    const UnixMillis ts = 1000 + ((i * 37) % 5) * 1000 + (i * 13) % 997;
+    ASSERT_TRUE(broker.produce("events", "node-" + std::to_string(i % 23),
+                               "v" + std::to_string(i), ts)
+                    .is_ok());
+  }
+  using Delivered = std::vector<std::pair<UnixMillis, std::vector<std::string>>>;
+  auto drain = [&broker](const std::string& group, StreamOptions options) {
+    MicroBatchStream stream(broker, group, "events", options);
+    Delivered out;
+    stream.process_available([&out](const MicroBatch& b) {
+      std::vector<std::string> values;
+      for (const auto& m : b.messages) values.push_back(m.value);
+      out.emplace_back(b.window_start, std::move(values));
+    });
+    return out;
+  };
+  ThreadPool pool(4);
+  const Delivered sequential =
+      drain("seq", {.window_ms = 1000, .max_poll = 64, .pool = nullptr});
+  const Delivered pooled =
+      drain("par", {.window_ms = 1000, .max_poll = 64, .pool = &pool});
+  ASSERT_EQ(sequential.size(), 5u);
+  EXPECT_EQ(pooled, sequential);
+}
+
 TEST(StreamingTest, CommittedOffsetsSurviveRestart) {
   buslite::Broker broker;
   ASSERT_TRUE(broker.create_topic("events", {.partitions = 1}).is_ok());
