@@ -1,0 +1,190 @@
+// Shuffle bench (§III-C wide operations): measures the two-stage
+// partitioned shuffle behind reduce_by_key at increasing worker counts.
+//
+// Two workloads, both ending in a reduce_by_key:
+//   * wordcount/workers:N — string-keyed, wide key space (~800 distinct
+//     terms), the word_count() shape: heavy map-side combine tables plus
+//     per-bucket string merges on the reduce side.
+//   * distribution/workers:N — int64-keyed, narrow key space (200
+//     cabinets), the distribution() shape: tiny combine tables, the
+//     reduce side dominated by bucket concatenation.
+// Under the old driver-side merge both curves were flat in N (map stage
+// parallel, merge serial); with the partitioned shuffle the reduce side
+// is a pool stage too, so throughput should rise with workers until the
+// hardware runs out. The JSON records hardware_threads so the trend
+// checker can tell "no scaling" from "no cores".
+//
+// A third sweep holds workers at --threads and varies the downstream
+// bucket count (distribution/partitions:P) to expose the
+// skew-vs-per-bucket-overhead tradeoff documented in README perf tuning.
+//
+// Flags: --threads N (max workers / sweep cap, default 8), --partitions P
+// (upstream + downstream partitions for the worker sweeps, default 8),
+// --json <path>. Writes BENCH_shuffle.json for the trend checker.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "sparklite/dataset.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+constexpr int kIters = 6;
+
+template <typename K>
+using Keyed = std::vector<std::pair<K, std::int64_t>>;
+
+/// ~800 distinct "terms" with a skewed frequency profile, like tokenized
+/// console logs: a few hot words plus a long tail.
+Keyed<std::string> wordcount_input(std::size_t n) {
+  Keyed<std::string> data;
+  data.reserve(n);
+  std::uint64_t x = 0x243f6a8885a308d3ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto r = static_cast<std::size_t>(x >> 33);
+    // Half the stream from 16 hot terms, the rest spread over 800.
+    const std::size_t term = (r % 2 == 0) ? (r / 2) % 16 : (r / 2) % 800;
+    data.emplace_back("term" + std::to_string(term), 1);
+  }
+  return data;
+}
+
+/// 200 distinct int64 keys (cabinet ids), near-uniform.
+Keyed<std::int64_t> distribution_input(std::size_t n) {
+  Keyed<std::int64_t> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.emplace_back(static_cast<std::int64_t>((i * 37) % 200), 1);
+  }
+  return data;
+}
+
+struct ShuffleResult {
+  double records_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double skew = 0.0;
+  double map_ms = 0.0;
+  double reduce_ms = 0.0;
+};
+
+/// Runs reduce_by_key over `data` kIters times on a fresh engine with
+/// `workers` workers; returns aggregate records/s plus the last shuffle's
+/// skew and stage timings from the engine's shuffle history.
+template <typename K>
+ShuffleResult run_reduce(std::size_t workers, const Keyed<K>& data,
+                         std::size_t partitions, std::size_t buckets) {
+  sparklite::Engine engine(engine_opts(workers));
+  PercentileTracker lat;
+  std::size_t keys = 0;
+  Stopwatch total;
+  for (int it = 0; it < kIters; ++it) {
+    Stopwatch one;
+    auto ds = sparklite::Dataset<std::pair<K, std::int64_t>>::parallelize(
+        engine, data, partitions);
+    auto reduced = sparklite::reduce_by_key(
+        ds, [](std::int64_t a, std::int64_t b) { return a + b; }, buckets);
+    keys = reduced.collect().size();
+    lat.add(static_cast<double>(one.elapsed_micros()));
+  }
+  const double elapsed = total.elapsed_seconds();
+  HPCLA_CHECK(keys > 0);
+
+  ShuffleResult r;
+  r.records_per_sec =
+      static_cast<double>(data.size()) * kIters / elapsed;
+  r.p50_us = lat.percentile(0.5);
+  r.p99_us = lat.percentile(0.99);
+  const auto history = engine.shuffle_history();
+  if (!history.empty()) {
+    const auto& rec = *history.back();
+    r.skew = rec.skew;
+    r.map_ms = rec.map_seconds * 1e3;
+    r.reduce_ms = static_cast<double>(rec.reduce_us.load()) / 1e3;
+  }
+  return r;
+}
+
+template <typename K>
+double sweep_workers(const char* workload, const Keyed<K>& data,
+                     std::size_t partitions, std::size_t max_workers,
+                     BenchJsonWriter& out) {
+  double one_worker = 0.0;
+  double best = 0.0;
+  for (std::size_t w = 1; w <= max_workers; w *= 2) {
+    const auto r = run_reduce(w, data, partitions, partitions);
+    if (w == 1) one_worker = r.records_per_sec;
+    best = std::max(best, r.records_per_sec);
+    BenchResultRow row;
+    row.name = std::string(workload) + "/workers:" + std::to_string(w);
+    row.ops_per_sec = r.records_per_sec;
+    row.p50_us = r.p50_us;
+    row.p99_us = r.p99_us;
+    row.extra["skew"] = r.skew;
+    row.extra["map_ms"] = r.map_ms;
+    row.extra["reduce_ms"] = r.reduce_ms;
+    out.add(row);
+    std::printf(
+        "%s workers=%zu: %.0f records/s (p50 %.0f us, skew %.2f, "
+        "map %.2f ms, reduce %.2f ms)\n",
+        workload, w, r.records_per_sec, r.p50_us, r.skew, r.map_ms,
+        r.reduce_ms);
+  }
+  return one_worker > 0 ? best / one_worker : 0.0;
+}
+
+int run(int argc, char** argv) {
+  const std::string path = consume_json_flag(argc, argv);
+  const auto max_workers =
+      static_cast<std::size_t>(consume_long_flag(argc, argv, "threads", 8));
+  const auto partitions =
+      static_cast<std::size_t>(consume_long_flag(argc, argv, "partitions", 8));
+  BenchJsonWriter writer("shuffle", path);
+  writer.root_extra()["partitions"] = static_cast<double>(partitions);
+  writer.root_extra()["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+
+  const auto words = wordcount_input(120000);
+  const auto cabinets = distribution_input(240000);
+
+  const double wc_scaling =
+      sweep_workers("wordcount", words, partitions, max_workers, writer);
+  const double dist_scaling =
+      sweep_workers("distribution", cabinets, partitions, max_workers, writer);
+  writer.root_extra()["wordcount_scaling_best_vs_1"] = wc_scaling;
+  writer.root_extra()["distribution_scaling_best_vs_1"] = dist_scaling;
+  std::printf("scaling best-vs-1-worker: wordcount %.2fx, distribution %.2fx\n",
+              wc_scaling, dist_scaling);
+
+  // Bucket-count sweep at the full worker count: too few downstream
+  // buckets starves the reduce stage, too many pays per-bucket overhead.
+  for (const std::size_t buckets : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{16}}) {
+    const auto r = run_reduce(max_workers, cabinets, partitions, buckets);
+    BenchResultRow row;
+    row.name = "distribution/partitions:" + std::to_string(buckets);
+    row.ops_per_sec = r.records_per_sec;
+    row.p50_us = r.p50_us;
+    row.p99_us = r.p99_us;
+    row.extra["skew"] = r.skew;
+    row.extra["reduce_ms"] = r.reduce_ms;
+    writer.add(row);
+    std::printf("distribution buckets=%zu: %.0f records/s (skew %.2f)\n",
+                buckets, r.records_per_sec, r.skew);
+  }
+
+  writer.write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpcla::bench
+
+int main(int argc, char** argv) { return hpcla::bench::run(argc, argv); }

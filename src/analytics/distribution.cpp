@@ -102,6 +102,7 @@ std::vector<DistributionEntry> distribution(sparklite::Engine& engine,
         fetch_jobs(engine, cluster, job_ctx));
     auto index = std::make_shared<PlacementIndex>(*jobs_keeper);
 
+    engine.set_next_stage_label("distribution:attribute+combine");
     auto labeled = event_dataset(engine, cluster, ctx)
                        .map([index, jobs_keeper, group](const EventRecord& e) {
                          const JobRecord* job = index->at(e.node, e.ts);
@@ -113,10 +114,12 @@ std::vector<DistributionEntry> distribution(sparklite::Engine& engine,
                          return std::make_pair(std::move(label),
                                                static_cast<std::int64_t>(e.count));
                        });
-    counted = sparklite::reduce_by_key(
-                  labeled, [](std::int64_t a, std::int64_t b) { return a + b; })
-                  .collect();
+    auto reduced = sparklite::reduce_by_key(
+        labeled, [](std::int64_t a, std::int64_t b) { return a + b; });
+    engine.set_next_stage_label("distribution:merge");
+    counted = reduced.collect();
   } else {
+    engine.set_next_stage_label("distribution:scan+combine");
     auto keyed = event_dataset(engine, cluster, ctx)
                      .map([group](const EventRecord& e) {
                        std::string label =
@@ -126,9 +129,10 @@ std::vector<DistributionEntry> distribution(sparklite::Engine& engine,
                        return std::make_pair(std::move(label),
                                              static_cast<std::int64_t>(e.count));
                      });
-    counted = sparklite::reduce_by_key(
-                  keyed, [](std::int64_t a, std::int64_t b) { return a + b; })
-                  .collect();
+    auto reduced = sparklite::reduce_by_key(
+        keyed, [](std::int64_t a, std::int64_t b) { return a + b; });
+    engine.set_next_stage_label("distribution:merge");
+    counted = reduced.collect();
   }
 
   std::vector<DistributionEntry> out;
@@ -147,14 +151,16 @@ std::vector<DistributionEntry> distribution(sparklite::Engine& engine,
 std::vector<std::pair<std::int64_t, std::int64_t>> hourly_distribution(
     sparklite::Engine& engine, const cassalite::Cluster& cluster,
     const Context& ctx) {
+  engine.set_next_stage_label("hourly:scan+combine");
   auto keyed = event_dataset(engine, cluster, ctx)
                    .map([](const EventRecord& e) {
                      return std::make_pair(hour_bucket(e.ts),
                                            static_cast<std::int64_t>(e.count));
                    });
-  auto counted = sparklite::reduce_by_key(
-                     keyed, [](std::int64_t a, std::int64_t b) { return a + b; })
-                     .collect();
+  auto reduced = sparklite::reduce_by_key(
+      keyed, [](std::int64_t a, std::int64_t b) { return a + b; });
+  engine.set_next_stage_label("hourly:merge");
+  auto counted = reduced.collect();
   std::sort(counted.begin(), counted.end());
   return counted;
 }

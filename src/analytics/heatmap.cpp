@@ -67,16 +67,19 @@ HeatMap from_counts(std::vector<std::int64_t> counts) {
 
 HeatMap build_heatmap(sparklite::Engine& engine,
                       const cassalite::Cluster& cluster, const Context& ctx) {
-  engine.set_next_stage_label("heatmap:scan");
+  // The shuffle map stage fuses the scan, the per-node keying, and the
+  // map-side combine into one pool stage; the collect() below runs the
+  // per-bucket merges as a second stage.
+  engine.set_next_stage_label("heatmap:scan+combine");
   auto events = event_dataset(engine, cluster, ctx);
   auto keyed = events.map([](const titanlog::EventRecord& e) {
     return std::make_pair(static_cast<std::int64_t>(e.node),
                           static_cast<std::int64_t>(e.count));
   });
-  auto counts = sparklite::reduce_by_key(
-                    keyed,
-                    [](std::int64_t a, std::int64_t b) { return a + b; })
-                    .collect();
+  auto reduced = sparklite::reduce_by_key(
+      keyed, [](std::int64_t a, std::int64_t b) { return a + b; });
+  engine.set_next_stage_label("heatmap:merge");
+  auto counts = reduced.collect();
   std::vector<std::int64_t> per_node(
       static_cast<std::size_t>(TitanGeometry::kTotalNodes), 0);
   for (const auto& [node, count] : counts) {

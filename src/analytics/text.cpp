@@ -57,7 +57,9 @@ bool is_counted_term(const std::string& token) {
 std::vector<TermCount> word_count(sparklite::Engine& engine,
                                   const cassalite::Cluster& cluster,
                                   const Context& ctx, std::size_t top_k) {
-  engine.set_next_stage_label("wordcount:scan+tokenize");
+  // Scan + tokenize + map-side combine fuse into the shuffle's map stage;
+  // the per-bucket term merges parallelize on the collect() stage.
+  engine.set_next_stage_label("wordcount:scan+tokenize+combine");
   auto words = event_dataset(engine, cluster, ctx)
                    .flat_map([](const titanlog::EventRecord& e) {
                      std::vector<std::pair<std::string, std::int64_t>> out;
@@ -68,10 +70,10 @@ std::vector<TermCount> word_count(sparklite::Engine& engine,
                      }
                      return out;
                    });
-  auto counts = sparklite::reduce_by_key(
-                    words,
-                    [](std::int64_t a, std::int64_t b) { return a + b; })
-                    .collect();
+  auto reduced = sparklite::reduce_by_key(
+      words, [](std::int64_t a, std::int64_t b) { return a + b; });
+  engine.set_next_stage_label("wordcount:merge");
+  auto counts = reduced.collect();
   std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;

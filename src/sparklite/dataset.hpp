@@ -1,8 +1,18 @@
 // Dataset<T>: sparklite's lazy, partitioned, immutable collection — the RDD
 // of this reproduction. Narrow transformations (map/filter/flatMap) compose
 // lazily inside a partition; wide transformations (reduceByKey/groupByKey/
-// join) materialize through a hash shuffle; actions (collect/count/reduce)
-// trigger execution on the Engine's worker pool.
+// join/sortBy) go through a two-stage parallel shuffle; actions
+// (collect/count/reduce) trigger execution on the Engine's worker pool.
+//
+// The shuffle (DESIGN.md §9) is genuinely parallel on both sides. Map side:
+// one pool task per upstream partition fuses compute + map-side combine +
+// scatter, writing into its own row of an [upstream][downstream] bucket
+// matrix — rows are disjoint, so no locks. Reduce side: the shuffled
+// dataset's partitions are *lazy*; each one k-way merges its bucket column
+// (sub-buckets visited in upstream order, keeping results deterministic and
+// non-commutative combines correct) when an action's stage runs it, so the
+// merge parallelizes across buckets and cache()/lineage semantics are
+// preserved. Output buckets are sorted by key regardless of thread count.
 //
 // Like an uncached RDD, a Dataset recomputes its lineage on every action;
 // cache() pins the partition contents in memory.
@@ -11,6 +21,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -175,6 +186,19 @@ class Dataset {
     return results;
   }
 
+  /// Runs one pool stage applying `fn(ctx, rows)` to each partition's
+  /// materialized rows — the map side of shuffles fuses compute +
+  /// combine + scatter through this hook instead of staging whole
+  /// partition vectors through collect_partitions().
+  template <typename Fn>
+  void for_each_partition(Fn&& fn) const {
+    const auto& parts = *partitions_;
+    engine_->run_stage(parts.size(), preferred_nodes(),
+                       [&](const TaskContext& ctx) {
+                         fn(ctx, parts[ctx.task_index].compute(ctx));
+                       });
+  }
+
   /// Number of elements.
   [[nodiscard]] std::size_t count() const {
     const auto& parts = *partitions_;
@@ -208,11 +232,24 @@ class Dataset {
     return acc;
   }
 
-  /// First `n` elements in partition order.
+  /// First `n` elements in partition order. Computes partitions one at a
+  /// time on the calling thread and stops as soon as `n` elements are
+  /// gathered — a take(10) over a wide lineage no longer materializes
+  /// every partition the way collect() would.
   [[nodiscard]] std::vector<T> take(std::size_t n) const {
-    auto all = collect();
-    if (all.size() > n) all.resize(n);
-    return all;
+    std::vector<T> out;
+    if (n == 0) return out;
+    const auto& parts = *partitions_;
+    for (std::size_t i = 0; i < parts.size() && out.size() < n; ++i) {
+      TaskContext ctx;
+      ctx.task_index = i;
+      auto rows = parts[i].compute(ctx);
+      for (auto& v : rows) {
+        out.push_back(std::move(v));
+        if (out.size() == n) break;
+      }
+    }
+    return out;
   }
 
   /// The `n` largest elements under `cmp` (cmp = "less than"), descending.
@@ -273,75 +310,182 @@ class Dataset {
 
 namespace detail {
 
-/// Hash shuffle: materializes a pair dataset into `num_partitions` buckets
-/// keyed by std::hash<K>, optionally pre-combining map-side.
+/// The shuffle's intermediate representation: matrix[u][d] holds the rows
+/// upstream partition u scattered toward downstream bucket d. Each map task
+/// writes only its own row, so the map stage needs no locks; each lazy
+/// reduce partition reads only its own column, visiting sub-buckets in
+/// upstream order so merges are deterministic.
+template <typename Row>
+using BucketMatrix = std::vector<std::vector<std::vector<Row>>>;
+
+template <typename Row>
+std::vector<std::uint64_t> bucket_record_counts(const BucketMatrix<Row>& m,
+                                                std::size_t buckets) {
+  std::vector<std::uint64_t> counts(buckets, 0);
+  for (const auto& row : m) {
+    for (std::size_t d = 0; d < row.size(); ++d) counts[d] += row[d].size();
+  }
+  return counts;
+}
+
+/// A completed map stage: the bucket matrix plus the engine's shuffle
+/// record (the lazy reduce side adds its merge time to the record).
+template <typename Row>
+struct ShuffleStage {
+  std::shared_ptr<BucketMatrix<Row>> matrix;
+  std::shared_ptr<ShuffleRecord> record;
+};
+
+/// Map stage of a combining hash shuffle: per upstream partition, combine
+/// values sharing a key, then scatter the combined entries into the bucket
+/// matrix by std::hash<K>. Runs as one pool stage; rows are disjoint.
 template <typename K, typename V, typename Combine>
-std::vector<std::vector<std::pair<K, V>>> shuffle_combine(
+ShuffleStage<std::pair<K, V>> shuffle_combine_stage(
     const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
-    Combine combine) {
-  auto per_part = ds.collect_partitions();
-  std::vector<std::vector<std::pair<K, V>>> buckets(num_partitions);
-  std::uint64_t moved = 0;
-  // Map-side combine within each upstream partition, then scatter.
-  for (auto& part : per_part) {
+    Combine combine, const char* label) {
+  using KV = std::pair<K, V>;
+  auto matrix = std::make_shared<BucketMatrix<KV>>(
+      ds.partition_count(), std::vector<std::vector<KV>>(num_partitions));
+  Stopwatch map_watch;
+  ds.for_each_partition([&](const TaskContext& ctx, std::vector<KV> rows) {
     std::unordered_map<K, V> local;
-    for (auto& [k, v] : part) {
+    for (auto& [k, v] : rows) {
       auto [it, inserted] = local.try_emplace(k, v);
       if (!inserted) it->second = combine(std::move(it->second), v);
     }
+    auto& row = (*matrix)[ctx.task_index];
     for (auto& [k, v] : local) {
-      buckets[std::hash<K>{}(k) % num_partitions].emplace_back(k, std::move(v));
+      row[std::hash<K>{}(k) % num_partitions].emplace_back(k, std::move(v));
     }
-    moved += local.size();
+  });
+  auto record = ds.engine().record_shuffle_detail(
+      label, ds.partition_count(), map_watch.elapsed_seconds(),
+      bucket_record_counts(*matrix, num_partitions));
+  return {std::move(matrix), std::move(record)};
+}
+
+/// Map stage of a grouping shuffle: like shuffle_combine_stage but gathers
+/// all values per key into one vector (value order = encounter order within
+/// the upstream partition), so group_by_key and join scatter one entry per
+/// (partition, key) instead of one vector per element.
+template <typename K, typename V>
+ShuffleStage<std::pair<K, std::vector<V>>> shuffle_group_stage(
+    const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
+    const char* label) {
+  using Entry = std::pair<K, std::vector<V>>;
+  auto matrix = std::make_shared<BucketMatrix<Entry>>(
+      ds.partition_count(), std::vector<std::vector<Entry>>(num_partitions));
+  Stopwatch map_watch;
+  ds.for_each_partition(
+      [&](const TaskContext& ctx, std::vector<std::pair<K, V>> rows) {
+        std::unordered_map<K, std::vector<V>> local;
+        for (auto& [k, v] : rows) local[k].push_back(std::move(v));
+        auto& row = (*matrix)[ctx.task_index];
+        for (auto& [k, vs] : local) {
+          row[std::hash<K>{}(k) % num_partitions].emplace_back(k,
+                                                               std::move(vs));
+        }
+      });
+  auto record = ds.engine().record_shuffle_detail(
+      label, ds.partition_count(), map_watch.elapsed_seconds(),
+      bucket_record_counts(*matrix, num_partitions));
+  return {std::move(matrix), std::move(record)};
+}
+
+/// Merges one bucket column of grouped entries in upstream order into
+/// key -> concatenated values (the reduce side of grouping shuffles).
+template <typename K, typename V>
+std::unordered_map<K, std::vector<V>> merge_group_column(
+    const BucketMatrix<std::pair<K, std::vector<V>>>& matrix, std::size_t d) {
+  std::unordered_map<K, std::vector<V>> merged;
+  for (const auto& row : matrix) {
+    for (const auto& [k, vs] : row[d]) {
+      auto& dst = merged[k];
+      dst.insert(dst.end(), vs.begin(), vs.end());
+    }
   }
-  ds.engine().record_shuffle(moved);
-  return buckets;
+  return merged;
 }
 
 }  // namespace detail
 
 /// reduceByKey: combines all values sharing a key with an associative op.
-/// Output partitions are sorted by key for deterministic results.
+/// Two-stage parallel shuffle; output partitions are lazy and sorted by key
+/// for deterministic results at any worker count.
 template <typename K, typename V, typename Combine>
 Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
                                        Combine combine,
                                        std::size_t num_partitions = 0) {
-  if (num_partitions == 0) num_partitions = std::max<std::size_t>(ds.partition_count(), 1);
-  auto buckets = detail::shuffle_combine(ds, num_partitions, combine);
-  std::vector<typename Dataset<std::pair<K, V>>::Partition> parts;
-  parts.reserve(buckets.size());
-  for (auto& bucket : buckets) {
-    // Reduce-side combine across upstream partitions.
-    std::unordered_map<K, V> merged;
-    for (auto& [k, v] : bucket) {
-      auto [it, inserted] = merged.try_emplace(k, v);
-      if (!inserted) it->second = combine(std::move(it->second), v);
-    }
-    std::vector<std::pair<K, V>> rows(merged.begin(), merged.end());
-    std::sort(rows.begin(), rows.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    auto shared = std::make_shared<const std::vector<std::pair<K, V>>>(
-        std::move(rows));
-    parts.push_back({[shared](const TaskContext&) { return *shared; }, -1});
+  using KV = std::pair<K, V>;
+  if (num_partitions == 0) {
+    num_partitions = std::max<std::size_t>(ds.partition_count(), 1);
   }
-  return Dataset<std::pair<K, V>>(ds.engine(), std::move(parts));
+  auto shuffle = detail::shuffle_combine_stage<K, V, Combine>(
+      ds, num_partitions, combine, "reduce_by_key");
+  Engine* engine = &ds.engine();
+  std::vector<typename Dataset<KV>::Partition> parts;
+  parts.reserve(num_partitions);
+  for (std::size_t d = 0; d < num_partitions; ++d) {
+    parts.push_back(
+        {[matrix = shuffle.matrix, rec = shuffle.record, engine, combine,
+          d](const TaskContext&) {
+           Stopwatch watch;
+           // Reduce-side combine across upstream sub-buckets, in upstream
+           // order (matters for non-commutative combines like group).
+           std::unordered_map<K, V> merged;
+           for (const auto& row : *matrix) {
+             for (const auto& [k, v] : row[d]) {
+               auto [it, inserted] = merged.try_emplace(k, v);
+               if (!inserted) it->second = combine(std::move(it->second), v);
+             }
+           }
+           std::vector<KV> rows(merged.begin(), merged.end());
+           std::sort(rows.begin(), rows.end(), [](const auto& a,
+                                                  const auto& b) {
+             return a.first < b.first;
+           });
+           engine->add_shuffle_reduce_us(
+               *rec, static_cast<std::uint64_t>(watch.elapsed_micros()));
+           return rows;
+         },
+         -1});
+  }
+  return Dataset<KV>(ds.engine(), std::move(parts));
 }
 
 /// groupByKey: gathers all values per key (no combine). Value order follows
-/// upstream partition order.
+/// upstream partition order; within a partition, encounter order.
 template <typename K, typename V>
 Dataset<std::pair<K, std::vector<V>>> group_by_key(
     const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions = 0) {
-  auto grouped = ds.map([](const std::pair<K, V>& kv) {
-    return std::make_pair(kv.first, std::vector<V>{kv.second});
-  });
-  return reduce_by_key(
-      grouped,
-      [](std::vector<V> a, const std::vector<V>& b) {
-        a.insert(a.end(), b.begin(), b.end());
-        return a;
-      },
-      num_partitions);
+  using Entry = std::pair<K, std::vector<V>>;
+  if (num_partitions == 0) {
+    num_partitions = std::max<std::size_t>(ds.partition_count(), 1);
+  }
+  auto shuffle =
+      detail::shuffle_group_stage<K, V>(ds, num_partitions, "group_by_key");
+  Engine* engine = &ds.engine();
+  std::vector<typename Dataset<Entry>::Partition> parts;
+  parts.reserve(num_partitions);
+  for (std::size_t d = 0; d < num_partitions; ++d) {
+    parts.push_back(
+        {[matrix = shuffle.matrix, rec = shuffle.record, engine,
+          d](const TaskContext&) {
+           Stopwatch watch;
+           auto merged = detail::merge_group_column<K, V>(*matrix, d);
+           std::vector<Entry> rows(std::make_move_iterator(merged.begin()),
+                                   std::make_move_iterator(merged.end()));
+           std::sort(rows.begin(), rows.end(), [](const auto& a,
+                                                  const auto& b) {
+             return a.first < b.first;
+           });
+           engine->add_shuffle_reduce_us(
+               *rec, static_cast<std::uint64_t>(watch.elapsed_micros()));
+           return rows;
+         },
+         -1});
+  }
+  return Dataset<Entry>(ds.engine(), std::move(parts));
 }
 
 /// countByKey: occurrences per key — the Spark word-count idiom the paper
@@ -358,43 +502,154 @@ Dataset<std::pair<K, std::int64_t>> count_by_key(
 }
 
 /// Inner hash join on key: (K,V1) ⋈ (K,V2) -> (K, (V1, V2)) per matching
-/// value combination.
+/// value combination. Co-partitioned: both sides shuffle into aligned
+/// bucket matrices (same hash, same bucket count), and each output
+/// partition hash-joins one bucket pair — the per-bucket joins run in
+/// parallel on the action's stage, with no driver-side
+/// group_by_key().collect() round trip.
 template <typename K, typename V1, typename V2>
 Dataset<std::pair<K, std::pair<V1, V2>>> join(
     const Dataset<std::pair<K, V1>>& left,
     const Dataset<std::pair<K, V2>>& right, std::size_t num_partitions = 0) {
+  using Out = std::pair<K, std::pair<V1, V2>>;
   if (num_partitions == 0) {
     num_partitions = std::max<std::size_t>(left.partition_count(), 1);
   }
-  auto lg = group_by_key(left, num_partitions).collect();
-  auto rg = group_by_key(right, num_partitions).collect();
-  std::unordered_map<K, std::vector<V2>> rmap;
-  for (auto& [k, vs] : rg) rmap.emplace(std::move(k), std::move(vs));
-  std::vector<std::pair<K, std::pair<V1, V2>>> out;
-  for (auto& [k, lvs] : lg) {
-    auto it = rmap.find(k);
-    if (it == rmap.end()) continue;
-    for (auto& lv : lvs) {
-      for (auto& rv : it->second) {
-        out.emplace_back(k, std::make_pair(lv, rv));
-      }
-    }
+  auto lshuffle =
+      detail::shuffle_group_stage<K, V1>(left, num_partitions, "join:left");
+  auto rshuffle =
+      detail::shuffle_group_stage<K, V2>(right, num_partitions, "join:right");
+  Engine* engine = &left.engine();
+  std::vector<typename Dataset<Out>::Partition> parts;
+  parts.reserve(num_partitions);
+  for (std::size_t d = 0; d < num_partitions; ++d) {
+    parts.push_back(
+        {[lmatrix = lshuffle.matrix, rmatrix = rshuffle.matrix,
+          rec = lshuffle.record, engine, d](const TaskContext&) {
+           Stopwatch watch;
+           auto rmap = detail::merge_group_column<K, V2>(*rmatrix, d);
+           std::vector<Out> out;
+           if (!rmap.empty()) {
+             auto lmap = detail::merge_group_column<K, V1>(*lmatrix, d);
+             // Deterministic output: left keys in sorted order, values in
+             // upstream encounter order on both sides.
+             std::vector<std::pair<K, std::vector<V1>>> lrows(
+                 std::make_move_iterator(lmap.begin()),
+                 std::make_move_iterator(lmap.end()));
+             std::sort(lrows.begin(), lrows.end(), [](const auto& a,
+                                                      const auto& b) {
+               return a.first < b.first;
+             });
+             for (auto& [k, lvs] : lrows) {
+               auto it = rmap.find(k);
+               if (it == rmap.end()) continue;
+               for (auto& lv : lvs) {
+                 for (auto& rv : it->second) {
+                   out.emplace_back(k, std::make_pair(lv, rv));
+                 }
+               }
+             }
+           }
+           engine->add_shuffle_reduce_us(
+               *rec, static_cast<std::uint64_t>(watch.elapsed_micros()));
+           return out;
+         },
+         -1});
   }
-  return Dataset<std::pair<K, std::pair<V1, V2>>>::parallelize(
-      left.engine(), std::move(out), num_partitions);
+  return Dataset<Out>(left.engine(), std::move(parts));
 }
 
-/// Total sort by a derived key (materializes once).
+/// Total sort by a derived key: sample-based range-partitioned parallel
+/// sort. A map stage materializes each upstream partition and samples its
+/// keys; the driver picks quantile splitters from the pooled sample; a
+/// scatter stage range-partitions each upstream partition into the bucket
+/// matrix; each lazy output partition concatenates its range's sub-runs in
+/// upstream order (keeping equal keys stable, exactly like the sequential
+/// stable_sort) and sorts it. Concatenating the output partitions yields
+/// the totally sorted sequence.
 template <typename T, typename F>
 Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
                    std::size_t num_partitions = 0) {
-  auto all = ds.collect();
-  std::stable_sort(all.begin(), all.end(), [&](const T& a, const T& b) {
-    return key_fn(a) < key_fn(b);
+  using Key = std::decay_t<std::invoke_result_t<F, const T&>>;
+  const std::size_t buckets =
+      num_partitions ? num_partitions
+                     : std::max<std::size_t>(ds.partition_count(), 1);
+  const std::size_t upstream = ds.partition_count();
+  Engine* engine = &ds.engine();
+  constexpr std::size_t kSamplesPerPartition = 32;
+
+  // Stage 1: materialize + sample (evenly spaced keys per partition).
+  auto staged = std::make_shared<std::vector<std::vector<T>>>(upstream);
+  std::vector<std::vector<Key>> samples(upstream);
+  Stopwatch map_watch;
+  ds.for_each_partition([&](const TaskContext& ctx, std::vector<T> rows) {
+    const std::size_t n = rows.size();
+    const std::size_t take = std::min(kSamplesPerPartition, n);
+    auto& s = samples[ctx.task_index];
+    s.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      s.push_back(key_fn(rows[i * n / take]));
+    }
+    (*staged)[ctx.task_index] = std::move(rows);
   });
-  return Dataset<T>::parallelize(
-      ds.engine(), std::move(all),
-      num_partitions ? num_partitions : ds.partition_count());
+
+  // Driver: splitters at even quantiles of the pooled sorted sample.
+  std::vector<Key> pooled;
+  for (auto& s : samples) {
+    pooled.insert(pooled.end(), std::make_move_iterator(s.begin()),
+                  std::make_move_iterator(s.end()));
+  }
+  std::sort(pooled.begin(), pooled.end());
+  std::vector<Key> splitters;
+  if (buckets > 1 && !pooled.empty()) {
+    splitters.reserve(buckets - 1);
+    for (std::size_t b = 1; b < buckets; ++b) {
+      splitters.push_back(
+          pooled[std::min(pooled.size() - 1, b * pooled.size() / buckets)]);
+    }
+  }
+
+  // Stage 2: range-scatter each staged partition into its matrix row.
+  // Equal keys always land in the same bucket, so stability is decided
+  // within one bucket.
+  auto matrix = std::make_shared<detail::BucketMatrix<T>>(
+      upstream, std::vector<std::vector<T>>(buckets));
+  engine->run_stage(upstream, {}, [&](const TaskContext& ctx) {
+    auto& row = (*matrix)[ctx.task_index];
+    for (auto& v : (*staged)[ctx.task_index]) {
+      const auto d = static_cast<std::size_t>(
+          std::upper_bound(splitters.begin(), splitters.end(), key_fn(v)) -
+          splitters.begin());
+      row[d].push_back(std::move(v));
+    }
+  });
+  auto rec = engine->record_shuffle_detail(
+      "sort_by", upstream, map_watch.elapsed_seconds(),
+      detail::bucket_record_counts(*matrix, buckets));
+
+  // Lazy output partitions: bucket d holds the d-th key range.
+  std::vector<typename Dataset<T>::Partition> parts;
+  parts.reserve(buckets);
+  for (std::size_t d = 0; d < buckets; ++d) {
+    parts.push_back({[matrix, rec, engine, key_fn, d](const TaskContext&) {
+                       Stopwatch watch;
+                       std::vector<T> rows;
+                       for (const auto& row : *matrix) {
+                         rows.insert(rows.end(), row[d].begin(),
+                                     row[d].end());
+                       }
+                       std::stable_sort(rows.begin(), rows.end(),
+                                        [&](const T& a, const T& b) {
+                                          return key_fn(a) < key_fn(b);
+                                        });
+                       engine->add_shuffle_reduce_us(
+                           *rec,
+                           static_cast<std::uint64_t>(watch.elapsed_micros()));
+                       return rows;
+                     },
+                     -1});
+  }
+  return Dataset<T>(ds.engine(), std::move(parts));
 }
 
 }  // namespace hpcla::sparklite

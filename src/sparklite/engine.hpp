@@ -10,12 +10,23 @@
 // non-local node. Because the simulation is in-process, the penalty is the
 // *model* of the network — the counters (local hits / remote fetches) are
 // the ground truth the locality benches report.
+//
+// Observability is off the hot path (DESIGN.md §9): the next-stage label is
+// an atomic pointer slot and completed stages publish into a fixed ring of
+// per-slot spinlocked records, so concurrent jobs sharing one Engine never
+// serialize on a history mutex. Wide operations additionally record a
+// ShuffleRecord (map wall time, per-bucket record counts, skew) through
+// record_shuffle_detail; the lazy reduce side accumulates its merge time
+// into the same record as actions execute.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,6 +53,8 @@ struct EngineMetrics {
   std::uint64_t remote_fetches = 0;
   std::uint64_t shuffles = 0;
   std::uint64_t shuffle_records = 0;
+  std::uint64_t shuffle_map_us = 0;     ///< wall time of map-side stages
+  std::uint64_t shuffle_reduce_us = 0;  ///< accumulated lazy merge time
 };
 
 /// One completed stage, as shown by the job-history view (the textual
@@ -52,6 +65,23 @@ struct StageRecord {
   std::uint64_t local_tasks = 0;
   std::uint64_t remote_fetches = 0;
   double seconds = 0.0;       ///< wall time of the stage
+};
+
+/// One wide operation's shuffle, recorded by the dataset layer: where the
+/// records went (per-bucket counts, skew) and where the time went (map
+/// stage wall time vs reduce-side merge time).
+struct ShuffleRecord {
+  std::string label;            ///< operation name (reduce_by_key, join, ...)
+  std::size_t map_tasks = 0;    ///< upstream partitions combined+scattered
+  std::size_t buckets = 0;      ///< downstream partitions
+  std::uint64_t records = 0;    ///< rows scattered after map-side combine
+  std::uint64_t max_bucket = 0; ///< largest bucket's record count
+  double mean_bucket = 0.0;
+  double skew = 1.0;            ///< max/mean bucket records; 1.0 = balanced
+  double map_seconds = 0.0;
+  /// Reduce-side merge wall time, summed over lazy bucket evaluations
+  /// (recomputation of an uncached shuffled dataset adds to it).
+  std::atomic<std::uint64_t> reduce_us{0};
 };
 
 /// Scheduling configuration for an Engine.
@@ -75,18 +105,25 @@ class Engine {
   explicit Engine(Options options = Options())
       : options_(options), pool_(std::max<std::size_t>(options.workers, 1)) {}
 
+  ~Engine() { delete next_label_.load(std::memory_order_acquire); }
+
   [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   /// Runs one stage: `compute(ctx)` for each of n partitions, in parallel.
   /// `preferred` gives each partition's preferred node (-1 = anywhere).
   /// Results are delivered through the callback, indexed by partition.
+  /// Safe to call from multiple driver threads concurrently.
   template <typename ComputeFn>
   void run_stage(std::size_t n, const std::vector<int>& preferred,
                  ComputeFn&& compute) {
     const std::uint64_t stage_no =
-        stages_.fetch_add(1, std::memory_order_relaxed) + 1;
+        stages_.fetch_add(1, std::memory_order_acq_rel) + 1;
     tasks_.fetch_add(n, std::memory_order_relaxed);
+    // Consume the pending label at stage start: the stage that begins next
+    // owns it, even if a longer concurrent stage finishes after us.
+    std::unique_ptr<std::string> label(
+        next_label_.exchange(nullptr, std::memory_order_acq_rel));
     const std::size_t w = workers();
     std::atomic<std::uint64_t> stage_local{0};
     std::atomic<std::uint64_t> stage_remote{0};
@@ -118,29 +155,42 @@ class Engine {
       }
       compute(ctx);
     });
-    record_stage(stage_no, n, stage_local.load(), stage_remote.load(),
+    record_stage(stage_no, label ? std::move(*label) : std::string(), n,
+                 stage_local.load(), stage_remote.load(),
                  watch.elapsed_seconds());
   }
 
   /// Labels the *next* stage in the job history (consumed once). Useful
-  /// observability: analytics jobs tag their scans and shuffles.
+  /// observability: analytics jobs tag their scans and shuffles. Lock-free:
+  /// the label parks in an atomic pointer slot until a stage claims it.
   void set_next_stage_label(std::string label) {
-    std::lock_guard lock(history_mu_);
-    next_label_ = std::move(label);
+    delete next_label_.exchange(new std::string(std::move(label)),
+                                std::memory_order_acq_rel);
   }
 
   /// Completed stages, oldest first (bounded to the last kHistoryLimit).
+  /// Concurrent with running stages; stages still in flight (or overwritten
+  /// mid-read) are simply absent from the snapshot.
   [[nodiscard]] std::vector<StageRecord> stage_history() const {
-    std::lock_guard lock(history_mu_);
-    return history_;
+    const std::uint64_t end = stages_.load(std::memory_order_acquire);
+    const std::uint64_t start = end > kHistoryLimit ? end - kHistoryLimit : 0;
+    std::vector<StageRecord> out;
+    out.reserve(static_cast<std::size_t>(end - start));
+    for (std::uint64_t i = start; i < end; ++i) {
+      auto& slot = history_[i % kHistoryLimit];
+      slot.acquire();
+      std::shared_ptr<const SeqRecord> rec = slot.rec;
+      slot.release();
+      if (rec && rec->seq == i) out.push_back(rec->rec);
+    }
+    return out;
   }
 
-  /// Text rendering of the stage table (the Spark-UI stand-in).
+  /// Text rendering of the stage + shuffle tables (the Spark-UI stand-in).
   [[nodiscard]] std::string render_history() const {
-    std::lock_guard lock(history_mu_);
     std::string out =
         "stage                          tasks  local  remote   wall_ms\n";
-    for (const auto& s : history_) {
+    for (const auto& s : stage_history()) {
       char line[160];
       std::snprintf(line, sizeof(line), "%-30s %5zu  %5llu  %6llu  %8.3f\n",
                     s.label.c_str(), s.tasks,
@@ -149,13 +199,83 @@ class Engine {
                     s.seconds * 1e3);
       out += line;
     }
+    const auto shuffles = shuffle_history();
+    if (!shuffles.empty()) {
+      out +=
+          "shuffle                count  maps  buckets     records   skew"
+          "    map_ms  reduce_ms\n";
+      for (const auto& sh : shuffles) {
+        char line[200];
+        std::snprintf(
+            line, sizeof(line),
+            "%-28s %5zu  %7zu  %10llu  %5.2f  %8.3f  %9.3f\n",
+            sh->label.c_str(), sh->map_tasks, sh->buckets,
+            static_cast<unsigned long long>(sh->records), sh->skew,
+            sh->map_seconds * 1e3,
+            static_cast<double>(
+                sh->reduce_us.load(std::memory_order_relaxed)) /
+                1e3);
+        out += line;
+      }
+    }
     return out;
   }
 
-  /// Bookkeeping hook for wide (shuffle) operations.
+  /// Bookkeeping hook for wide (shuffle) operations (counters only).
   void record_shuffle(std::uint64_t records) noexcept {
     shuffles_.fetch_add(1, std::memory_order_relaxed);
     shuffle_records_.fetch_add(records, std::memory_order_relaxed);
+  }
+
+  /// Full shuffle bookkeeping: counters plus a ShuffleRecord carrying the
+  /// map-stage wall time and per-bucket record counts (skew = max/mean).
+  /// Returns the record so the lazy reduce side can add its merge time.
+  std::shared_ptr<ShuffleRecord> record_shuffle_detail(
+      std::string label, std::size_t map_tasks, double map_seconds,
+      const std::vector<std::uint64_t>& bucket_records) {
+    auto rec = std::make_shared<ShuffleRecord>();
+    rec->label = std::move(label);
+    rec->map_tasks = map_tasks;
+    rec->buckets = bucket_records.size();
+    for (auto c : bucket_records) {
+      rec->records += c;
+      rec->max_bucket = std::max(rec->max_bucket, c);
+    }
+    rec->mean_bucket =
+        rec->buckets ? static_cast<double>(rec->records) /
+                           static_cast<double>(rec->buckets)
+                     : 0.0;
+    rec->skew = rec->mean_bucket > 0.0
+                    ? static_cast<double>(rec->max_bucket) / rec->mean_bucket
+                    : 1.0;
+    rec->map_seconds = map_seconds;
+    record_shuffle(rec->records);
+    shuffle_map_us_.fetch_add(
+        static_cast<std::uint64_t>(map_seconds * 1e6),
+        std::memory_order_relaxed);
+    std::lock_guard lock(shuffle_mu_);
+    shuffle_history_.push_back(rec);
+    if (shuffle_history_.size() > kShuffleHistoryLimit) {
+      shuffle_history_.erase(
+          shuffle_history_.begin(),
+          shuffle_history_.begin() +
+              static_cast<std::ptrdiff_t>(shuffle_history_.size() -
+                                          kShuffleHistoryLimit));
+    }
+    return rec;
+  }
+
+  /// Adds reduce-side merge time to `rec` and the engine totals.
+  void add_shuffle_reduce_us(ShuffleRecord& rec, std::uint64_t us) noexcept {
+    rec.reduce_us.fetch_add(us, std::memory_order_relaxed);
+    shuffle_reduce_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  /// Recorded shuffles, oldest first (bounded to kShuffleHistoryLimit).
+  [[nodiscard]] std::vector<std::shared_ptr<const ShuffleRecord>>
+  shuffle_history() const {
+    std::lock_guard lock(shuffle_mu_);
+    return {shuffle_history_.begin(), shuffle_history_.end()};
   }
 
   [[nodiscard]] EngineMetrics metrics() const {
@@ -166,6 +286,8 @@ class Engine {
     m.remote_fetches = remote_fetches_.load(std::memory_order_relaxed);
     m.shuffles = shuffles_.load(std::memory_order_relaxed);
     m.shuffle_records = shuffle_records_.load(std::memory_order_relaxed);
+    m.shuffle_map_us = shuffle_map_us_.load(std::memory_order_relaxed);
+    m.shuffle_reduce_us = shuffle_reduce_us_.load(std::memory_order_relaxed);
     return m;
   }
 
@@ -174,39 +296,61 @@ class Engine {
 
  private:
   static constexpr std::size_t kHistoryLimit = 256;
+  static constexpr std::size_t kShuffleHistoryLimit = 64;
 
-  void record_stage(std::uint64_t stage_no, std::size_t tasks,
-                    std::uint64_t local, std::uint64_t remote,
-                    double seconds) {
-    std::lock_guard lock(history_mu_);
+  /// A stage record stamped with its ring sequence so readers can tell a
+  /// slot's current occupant from a lagging or newer overwrite.
+  struct SeqRecord {
+    std::uint64_t seq = 0;  ///< stage_no - 1
     StageRecord rec;
-    rec.label = next_label_.empty() ? "stage-" + std::to_string(stage_no)
-                                    : std::move(next_label_);
-    next_label_.clear();
-    rec.tasks = tasks;
-    rec.local_tasks = local;
-    rec.remote_fetches = remote;
-    rec.seconds = seconds;
-    history_.push_back(std::move(rec));
-    if (history_.size() > kHistoryLimit) {
-      history_.erase(history_.begin(),
-                     history_.begin() +
-                         static_cast<std::ptrdiff_t>(history_.size() -
-                                                     kHistoryLimit));
+  };
+
+  /// One ring slot: a spinlock guarding only a shared_ptr swap/copy, so
+  /// concurrent stages contend per slot (different stages -> different
+  /// slots), never on a whole-history mutex.
+  struct HistorySlot {
+    void acquire() const noexcept {
+      while (lock.test_and_set(std::memory_order_acquire)) {}
     }
+    void release() const noexcept { lock.clear(std::memory_order_release); }
+    mutable std::atomic_flag lock;  // default-constructed clear (C++20)
+    std::shared_ptr<const SeqRecord> rec;
+  };
+
+  void record_stage(std::uint64_t stage_no, std::string label,
+                    std::size_t tasks, std::uint64_t local,
+                    std::uint64_t remote, double seconds) {
+    // Build the record (string formatting, allocation) before touching the
+    // slot; the critical section is a pointer swap.
+    auto rec = std::make_shared<SeqRecord>();
+    rec->seq = stage_no - 1;
+    rec->rec.label =
+        label.empty() ? "stage-" + std::to_string(stage_no) : std::move(label);
+    rec->rec.tasks = tasks;
+    rec->rec.local_tasks = local;
+    rec->rec.remote_fetches = remote;
+    rec->rec.seconds = seconds;
+    auto& slot = history_[rec->seq % kHistoryLimit];
+    slot.acquire();
+    // Only move forward: a slow stage must not clobber a newer lap's record.
+    if (!slot.rec || slot.rec->seq <= rec->seq) slot.rec = std::move(rec);
+    slot.release();
   }
 
   Options options_;
   ThreadPool pool_;
-  mutable std::mutex history_mu_;
-  std::string next_label_;
-  std::vector<StageRecord> history_;
+  std::atomic<std::string*> next_label_{nullptr};
+  mutable std::array<HistorySlot, kHistoryLimit> history_;
+  mutable std::mutex shuffle_mu_;  ///< shuffle list only; one lock per wide op
+  std::vector<std::shared_ptr<ShuffleRecord>> shuffle_history_;
   std::atomic<std::uint64_t> stages_{0};
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::uint64_t> local_tasks_{0};
   std::atomic<std::uint64_t> remote_fetches_{0};
   std::atomic<std::uint64_t> shuffles_{0};
   std::atomic<std::uint64_t> shuffle_records_{0};
+  std::atomic<std::uint64_t> shuffle_map_us_{0};
+  std::atomic<std::uint64_t> shuffle_reduce_us_{0};
 };
 
 }  // namespace hpcla::sparklite

@@ -1,0 +1,316 @@
+// Equivalence tests for the two-stage parallel shuffle (DESIGN.md §9):
+// every wide operation must produce results identical to the sequential
+// seed semantics — deterministic (sorted-by-key buckets, stable sorts) —
+// for any worker count and any partition count, including empty, skewed,
+// and single-key inputs. Also covers the shuffle observability surface
+// (ShuffleRecord counts, skew, render_history) and take()'s early exit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sparklite/dataset.hpp"
+#include "sparklite/engine.hpp"
+
+namespace hpcla::sparklite {
+namespace {
+
+Engine::Options opts(std::size_t workers) {
+  Engine::Options o;
+  o.workers = workers;
+  return o;
+}
+
+using KV = std::pair<std::string, std::int64_t>;
+
+/// Reference semantics: sequential driver-side reduce, sorted by key.
+std::vector<KV> reference_reduce(const std::vector<KV>& data) {
+  std::map<std::string, std::int64_t> totals;
+  for (const auto& [k, v] : data) totals[k] += v;
+  return {totals.begin(), totals.end()};
+}
+
+std::vector<KV> test_input(const char* shape) {
+  std::vector<KV> data;
+  const std::string s(shape);
+  if (s == "empty") return data;
+  if (s == "single_key") {
+    for (int i = 0; i < 57; ++i) data.emplace_back("only", 1);
+    return data;
+  }
+  if (s == "skewed") {
+    // One dominant key plus a thin tail — the skew-metric design point.
+    for (int i = 0; i < 4000; ++i) data.emplace_back("hot", 1);
+    for (int i = 0; i < 40; ++i) {
+      data.emplace_back("cold-" + std::to_string(i % 8), 1);
+    }
+    return data;
+  }
+  // mixed: many keys, deterministic pseudo-random multiplicity.
+  for (int i = 0; i < 1000; ++i) {
+    data.emplace_back("k" + std::to_string((i * 7919) % 131),
+                      static_cast<std::int64_t>(i % 5 + 1));
+  }
+  return data;
+}
+
+class ShuffleEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShuffleEquivalenceTest, ReduceByKeyMatchesReferenceAcrossPartitions) {
+  const auto data = test_input(GetParam());
+  const auto expected = reference_reduce(data);
+  for (std::size_t parts = 1; parts <= 8; ++parts) {
+    for (const std::size_t buckets : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{3}, std::size_t{8}}) {
+      Engine e(opts(4));
+      auto ds = Dataset<KV>::parallelize(e, data, parts);
+      auto got = reduce_by_key(
+                     ds, [](std::int64_t a, std::int64_t b) { return a + b; },
+                     buckets)
+                     .collect();
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << GetParam() << " parts=" << parts
+                               << " buckets=" << buckets;
+    }
+  }
+}
+
+TEST_P(ShuffleEquivalenceTest, ResultsByteIdenticalAcrossWorkerCounts) {
+  // Same partitioning, different parallelism: collect() must be
+  // byte-identical (bucket layout and per-bucket order are functions of
+  // the data, not the thread count).
+  const auto data = test_input(GetParam());
+  std::vector<std::vector<KV>> runs;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Engine e(opts(workers));
+    auto ds = Dataset<KV>::parallelize(e, data, 5);
+    runs.push_back(
+        reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; },
+                      4)
+            .collect());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST_P(ShuffleEquivalenceTest, GroupByKeyGathersEveryValueInUpstreamOrder) {
+  const auto data = test_input(GetParam());
+  for (std::size_t parts = 1; parts <= 8; parts += 2) {
+    Engine e(opts(4));
+    auto ds = Dataset<KV>::parallelize(e, data, parts);
+    auto grouped = group_by_key(ds, 4).collect();
+    // Per key: value count and sum match; values from earlier elements of
+    // the input appear before later ones when both land in one partition.
+    std::map<std::string, std::int64_t> sums;
+    std::size_t total = 0;
+    for (const auto& [k, vs] : grouped) {
+      for (auto v : vs) sums[k] += v;
+      total += vs.size();
+    }
+    EXPECT_EQ(total, data.size());
+    EXPECT_EQ(std::vector<KV>(sums.begin(), sums.end()),
+              reference_reduce(data));
+    // parts == 1 preserves the full input order per key.
+    if (parts == 1) {
+      std::unordered_map<std::string, std::vector<std::int64_t>> expected;
+      for (const auto& [k, v] : data) expected[k].push_back(v);
+      for (const auto& [k, vs] : grouped) EXPECT_EQ(vs, expected[k]) << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShuffleEquivalenceTest,
+                         ::testing::Values("mixed", "empty", "single_key",
+                                           "skewed"));
+
+TEST(ShuffleJoinTest, CoPartitionedJoinMatchesReferenceAcrossPartitions) {
+  std::vector<KV> left;
+  std::vector<std::pair<std::string, std::string>> right;
+  for (int i = 0; i < 300; ++i) {
+    left.emplace_back("k" + std::to_string(i % 17), i);
+  }
+  for (int i = 0; i < 40; ++i) {
+    right.emplace_back("k" + std::to_string(i % 23),
+                       "r" + std::to_string(i));
+  }
+  // Reference: nested loops over the raw inputs.
+  using Out = std::pair<std::string, std::pair<std::int64_t, std::string>>;
+  std::vector<Out> expected;
+  for (const auto& [lk, lv] : left) {
+    for (const auto& [rk, rv] : right) {
+      if (lk == rk) expected.emplace_back(lk, std::make_pair(lv, rv));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t lparts = 1; lparts <= 8; lparts += 3) {
+    for (const std::size_t buckets : {std::size_t{1}, std::size_t{4}}) {
+      Engine e(opts(4));
+      auto lds = Dataset<KV>::parallelize(e, left, lparts);
+      auto rds = Dataset<std::pair<std::string, std::string>>::parallelize(
+          e, right, 3);
+      auto got = join(lds, rds, buckets).collect();
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "lparts=" << lparts
+                               << " buckets=" << buckets;
+    }
+  }
+}
+
+TEST(ShuffleJoinTest, JoinIsDeterministicWithoutSorting) {
+  // Two identical runs produce the identical byte sequence: bucket order,
+  // sorted keys within a bucket, upstream value order.
+  std::vector<KV> left{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}};
+  std::vector<KV> right{{"a", 10}, {"a", 11}, {"c", 12}};
+  Engine e1(opts(4));
+  Engine e2(opts(1));
+  auto run = [&](Engine& e) {
+    auto l = Dataset<KV>::parallelize(e, left, 2);
+    auto r = Dataset<KV>::parallelize(e, right, 2);
+    return join(l, r, 3).collect();
+  };
+  EXPECT_EQ(run(e1), run(e2));
+}
+
+TEST(ShuffleSortTest, RangePartitionedSortMatchesStableSort) {
+  std::vector<int> data;
+  for (int i = 0; i < 2000; ++i) data.push_back((i * 7919) % 257);
+  for (std::size_t parts = 1; parts <= 8; parts += 2) {
+    for (const std::size_t buckets : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{8}}) {
+      Engine e(opts(4));
+      auto ds = Dataset<int>::parallelize(e, data, parts);
+      auto got = sort_by(ds, [](const int& v) { return v; }, buckets);
+      EXPECT_EQ(got.partition_count(), buckets);
+      auto expected = data;
+      std::stable_sort(expected.begin(), expected.end());
+      EXPECT_EQ(got.collect(), expected) << "parts=" << parts
+                                         << " buckets=" << buckets;
+    }
+  }
+}
+
+TEST(ShuffleSortTest, SortIsStableForEqualKeys) {
+  // Sort pairs by first only: seconds must keep input order per key, and
+  // the result must match the sequential stable_sort exactly.
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 500; ++i) data.emplace_back(i % 7, i);
+  Engine e(opts(4));
+  auto ds = Dataset<std::pair<int, int>>::parallelize(e, data, 6);
+  auto got =
+      sort_by(ds, [](const std::pair<int, int>& v) { return v.first; }, 4)
+          .collect();
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ShuffleSortTest, AllEqualKeysAndTinyInputs) {
+  Engine e(opts(2));
+  auto same = Dataset<int>::parallelize(e, std::vector<int>(100, 7), 4);
+  EXPECT_EQ(sort_by(same, [](const int& v) { return v; }, 4).collect(),
+            std::vector<int>(100, 7));
+  auto empty = Dataset<int>::parallelize(e, {}, 4);
+  EXPECT_TRUE(
+      sort_by(empty, [](const int& v) { return v; }, 4).collect().empty());
+  auto one = Dataset<int>::parallelize(e, {42}, 4);
+  EXPECT_EQ(sort_by(one, [](const int& v) { return v; }, 4).collect(),
+            std::vector<int>{42});
+}
+
+// ------------------------------------------------------ shuffle metrics
+
+TEST(ShuffleMetricsTest, RecordsBucketsCountsAndSkew) {
+  Engine e(opts(4));
+  auto data = test_input("skewed");
+  auto ds = Dataset<KV>::parallelize(e, data, 4);
+  auto reduced = reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 8);
+  auto history = e.shuffle_history();
+  ASSERT_EQ(history.size(), 1u);
+  const auto& rec = *history[0];
+  EXPECT_EQ(rec.label, "reduce_by_key");
+  EXPECT_EQ(rec.map_tasks, 4u);
+  EXPECT_EQ(rec.buckets, 8u);
+  // Map-side combine collapses each partition to its distinct keys:
+  // 9 keys spread over 4 upstream partitions bounds the scattered records.
+  EXPECT_GE(rec.records, 9u);
+  EXPECT_LE(rec.records, 4u * 9u);
+  EXPECT_GE(rec.max_bucket, 1u);
+  // One dominant key out of 9 over 8 buckets: visibly skewed.
+  EXPECT_GT(rec.skew, 1.0);
+  // Reduce time accumulates when the lazy merge actually runs.
+  EXPECT_EQ(rec.reduce_us.load(), 0u);
+  (void)reduced.collect();
+  EXPECT_EQ(e.metrics().shuffles, 1u);
+  EXPECT_EQ(e.metrics().shuffle_records, rec.records);
+}
+
+TEST(ShuffleMetricsTest, RenderHistoryShowsShuffleTable) {
+  Engine e(opts(2));
+  auto ds = Dataset<KV>::parallelize(e, test_input("mixed"), 3);
+  (void)reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; })
+      .collect();
+  const auto art = e.render_history();
+  EXPECT_NE(art.find("shuffle"), std::string::npos);
+  EXPECT_NE(art.find("reduce_by_key"), std::string::npos);
+  EXPECT_NE(art.find("skew"), std::string::npos);
+}
+
+TEST(ShuffleMetricsTest, JoinAndSortRecordShuffles) {
+  Engine e(opts(2));
+  auto l = Dataset<KV>::parallelize(e, {{"a", 1}}, 1);
+  auto r = Dataset<KV>::parallelize(e, {{"a", 2}}, 1);
+  (void)join(l, r).collect();
+  auto ints = Dataset<int>::parallelize(e, {3, 1, 2}, 2);
+  (void)sort_by(ints, [](const int& v) { return v; }).collect();
+  std::vector<std::string> labels;
+  for (const auto& rec : e.shuffle_history()) labels.push_back(rec->label);
+  EXPECT_EQ(labels, (std::vector<std::string>{"join:left", "join:right",
+                                              "sort_by"}));
+}
+
+// ------------------------------------------------------------- take()
+
+TEST(TakeTest, StopsComputingOnceSatisfied) {
+  Engine e(opts(2));
+  std::atomic<int> computes{0};
+  std::vector<Dataset<int>::Partition> parts;
+  for (int p = 0; p < 8; ++p) {
+    parts.push_back({[&computes, p](const TaskContext&) {
+                       computes++;
+                       return std::vector<int>{p * 2, p * 2 + 1};
+                     },
+                     -1});
+  }
+  Dataset<int> ds(e, std::move(parts));
+  EXPECT_EQ(ds.take(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(computes.load(), 2);  // partitions 0 and 1 only
+  computes = 0;
+  EXPECT_TRUE(ds.take(0).empty());
+  EXPECT_EQ(computes.load(), 0);
+  EXPECT_EQ(ds.take(100).size(), 16u);  // fewer than asked: whole dataset
+}
+
+TEST(TakeTest, TakeOverShuffledLineage) {
+  Engine e(opts(4));
+  auto ds = Dataset<KV>::parallelize(e, test_input("mixed"), 6);
+  auto reduced = reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 8);
+  auto first = reduced.take(5);
+  EXPECT_EQ(first.size(), 5u);
+  // take() preserves partition order: the same elements lead collect().
+  auto all = reduced.collect();
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), all.begin()));
+}
+
+}  // namespace
+}  // namespace hpcla::sparklite
