@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/faultsim.hpp"
+#include "common/hash.hpp"
 #include "common/thread_pool.hpp"
 
 namespace hpcla::cassalite {
+namespace {
+
+constexpr std::uint64_t kBackoffChannel = fnv1a_64("cassalite.backoff");
+
+/// LWW merge of full-slice row sets from several replicas: per clustering
+/// key the newest write wins. Consumes `results`.
+ReadResult merge_lww(std::vector<ReadResult>& results) {
+  ReadResult merged;
+  std::vector<Row> all;
+  for (auto& r : results) {
+    all.insert(all.end(), std::make_move_iterator(r.rows.begin()),
+               std::make_move_iterator(r.rows.end()));
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Row& a, const Row& b) {
+    const auto c = a.key.compare(b.key);
+    if (c != std::strong_ordering::equal) {
+      return c == std::strong_ordering::less;
+    }
+    return a.write_ts < b.write_ts;
+  });
+  for (auto& row : all) {
+    if (!merged.rows.empty() && merged.rows.back().key == row.key) {
+      merged.rows.back() = std::move(row);
+    } else {
+      merged.rows.push_back(std::move(row));
+    }
+  }
+  return merged;
+}
+
+}  // namespace
 
 std::string_view consistency_name(Consistency c) noexcept {
   switch (c) {
@@ -37,6 +70,7 @@ Cluster::Cluster(ClusterOptions options)
   for (std::size_t i = 0; i < options_.node_count; ++i) {
     alive_[i].store(true, std::memory_order_relaxed);
   }
+  hint_shards_ = std::make_unique<HintShard[]>(options_.node_count);
 }
 
 Status Cluster::create_table(TableSchema schema) {
@@ -63,6 +97,70 @@ std::vector<TableSchema> Cluster::schemas() const {
   return schemas_;
 }
 
+// ------------------------------------------------------------ fault wiring
+
+void Cluster::set_fault_injector(FaultInjector* injector) {
+  HPCLA_CHECK_MSG(injector == nullptr ||
+                      injector->node_count() >= nodes_.size(),
+                  "fault injector covers fewer nodes than the cluster");
+  injector_ = injector;
+  if (clock_ == nullptr && injector != nullptr) clock_ = injector->clock();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->set_fault_injector(injector, i);
+  }
+}
+
+void Cluster::set_clock(SimClock* clock) { clock_ = clock; }
+
+void Cluster::set_suspicion_source(std::function<bool(NodeIndex)> suspected) {
+  suspected_ = std::move(suspected);
+}
+
+bool Cluster::replica_up(NodeIndex node) const {
+  if (!alive_[node].load(std::memory_order_acquire)) return false;
+  return injector_ == nullptr || !injector_->is_down(node);
+}
+
+std::int64_t Cluster::now_ms() const noexcept {
+  return clock_ != nullptr ? clock_->now_ms() : 0;
+}
+
+std::vector<NodeIndex> Cluster::order_replicas(
+    const std::vector<NodeIndex>& replicas) const {
+  std::vector<NodeIndex> order;
+  order.reserve(replicas.size());
+  for (NodeIndex r : replicas) {
+    if (replica_up(r)) order.push_back(r);
+  }
+  if (suspected_) {
+    // Suspected-but-up nodes go last: they are likelier to be slow or about
+    // to fail, so healthy replicas absorb the load first.
+    std::stable_partition(order.begin(), order.end(),
+                          [&](NodeIndex r) { return !suspected_(r); });
+  }
+  return order;
+}
+
+std::vector<NodeIndex> Cluster::read_order_of(
+    const std::string& partition_key) const {
+  return order_replicas(replicas_of(partition_key));
+}
+
+std::int64_t Cluster::backoff_ms(std::uint64_t salt, std::int64_t prev) const {
+  // Decorrelated jitter (Exponential-Backoff-And-Jitter style): uniform in
+  // [base, prev*3], capped. The "random" draw is a hash of the op identity,
+  // so schedules replay deterministically.
+  const std::int64_t base = std::max<std::int64_t>(options_.retry_backoff_base_ms, 1);
+  const std::int64_t cap = std::max(options_.retry_backoff_max_ms, base);
+  const std::int64_t hi = std::max(base, prev * 3);
+  const std::uint64_t h = hash_combine(hash_combine(kBackoffChannel, salt),
+                                       static_cast<std::uint64_t>(prev));
+  const auto span = static_cast<std::uint64_t>(hi - base + 1);
+  return std::min(cap, base + static_cast<std::int64_t>(h % span));
+}
+
+// ------------------------------------------------------------------- write
+
 Status Cluster::insert(const std::string& table,
                        const std::string& partition_key, Row row,
                        Consistency consistency) {
@@ -71,15 +169,50 @@ Status Cluster::insert(const std::string& table,
   const std::size_t needed = required_acks(consistency, replicas.size());
 
   WriteCommand cmd{table, partition_key, std::move(row)};
+  const std::uint64_t op_salt =
+      hash_combine(fnv1a_64(partition_key),
+                   static_cast<std::uint64_t>(cmd.row.write_ts));
   std::size_t acks = 0;
-  std::vector<NodeIndex> down;
   for (NodeIndex r : replicas) {
-    if (alive_[r].load(std::memory_order_acquire)) {
-      nodes_[r]->apply(cmd);
-      ++acks;
-    } else {
-      down.push_back(r);
+    if (!replica_up(r)) {
+      // Down replica: hint immediately so it converges on return.
+      store_hint(r, cmd);
+      continue;
     }
+    // Bounded retry against a transiently failing replica; every attempt
+    // and backoff consumes virtual latency against the write deadline.
+    std::int64_t elapsed = 0;
+    std::int64_t prev_backoff = options_.retry_backoff_base_ms;
+    bool applied = false;
+    for (std::size_t attempt = 0; attempt <= options_.max_replica_retries;
+         ++attempt) {
+      if (injector_ != nullptr) elapsed += injector_->replica_latency_ms(r);
+      if (nodes_[r]->try_apply(cmd)) {
+        applied = true;
+        break;
+      }
+      if (attempt == options_.max_replica_retries) break;
+      const std::int64_t b =
+          backoff_ms(hash_combine(op_salt, hash_combine(r, attempt)),
+                     prev_backoff);
+      prev_backoff = b;
+      elapsed += b;
+      write_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!applied) {
+      // Retries exhausted: hint so the write still converges — even when
+      // the overall write comes back UNAVAILABLE, replicas that *did*
+      // accept it hold real data, so the miss must be repaired eventually.
+      store_hint(r, cmd);
+      continue;
+    }
+    if (elapsed > options_.write_timeout_ms) {
+      // Applied, but the ack is too late to count toward the consistency
+      // level. No hint needed: the data is on the replica.
+      replica_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ++acks;
   }
   if (acks < needed) {
     writes_unavailable_.fetch_add(1, std::memory_order_relaxed);
@@ -87,78 +220,186 @@ Status Cluster::insert(const std::string& table,
                        std::to_string(acks) + "/" + std::to_string(needed) +
                        " acks at " + std::string(consistency_name(consistency)));
   }
-  // Success: queue hints so down replicas converge when they return.
-  if (!down.empty()) {
-    std::lock_guard lock(hints_mu_);
-    for (NodeIndex r : down) {
-      hints_.push_back(Hint{r, cmd});
-      hints_stored_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
   writes_ok_.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
 }
 
-Result<ReadResult> Cluster::select(const ReadQuery& query,
-                                   Consistency consistency) const {
+// -------------------------------------------------------------------- read
+
+Cluster::ReplicaTry Cluster::run_read_try(NodeIndex replica,
+                                          std::int64_t start,
+                                          std::uint64_t salt) const {
+  ReplicaTry t;
+  t.replica = replica;
+  t.start = start;
+  std::int64_t elapsed = 0;
+  std::int64_t prev_backoff = options_.retry_backoff_base_ms;
+  bool ok = false;
+  for (std::size_t attempt = 0; attempt <= options_.max_replica_retries;
+       ++attempt) {
+    if (injector_ != nullptr) elapsed += injector_->replica_latency_ms(replica);
+    if (injector_ != nullptr && injector_->fail_read(replica)) {
+      if (attempt == options_.max_replica_retries) break;
+      const std::int64_t b =
+          backoff_ms(hash_combine(salt, attempt), prev_backoff);
+      prev_backoff = b;
+      elapsed += b;
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ok = true;
+    break;
+  }
+  if (ok && elapsed <= options_.read_timeout_ms) {
+    t.usable = true;
+    t.end = start + elapsed;
+  } else {
+    t.usable = false;
+    t.timed_out = ok;  // responded, but past the soft deadline
+    if (t.timed_out) {
+      replica_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The coordinator learns of the failure at the response (error) or at
+    // deadline expiry (timeout), whichever is sooner.
+    t.end = start + std::min(elapsed, options_.read_timeout_ms);
+  }
+  return t;
+}
+
+Result<ReadTrace> Cluster::select_traced(const ReadQuery& query,
+                                         Consistency consistency) const {
   const auto replicas = replicas_of(query.partition_key);
   const std::size_t needed = required_acks(consistency, replicas.size());
+  const auto candidates = order_replicas(replicas);
 
-  // Read the *full* slice (no limit/reverse) from each replica so
-  // reconciliation sees comparable row sets; limit is applied afterwards.
-  ReadQuery full = query;
-  full.limit = 0;
-  full.reverse = false;
-
-  std::vector<NodeIndex> contacted;
-  std::vector<ReadResult> results;
-  for (NodeIndex r : replicas) {
-    if (!alive_[r].load(std::memory_order_acquire)) continue;
-    results.push_back(nodes_[r]->read(full));
-    contacted.push_back(r);
-    if (contacted.size() >= needed) break;
-  }
-  if (contacted.size() < needed) {
+  if (candidates.size() < needed) {
     reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
     return unavailable("read of '" + query.partition_key + "' reached " +
-                       std::to_string(contacted.size()) + "/" +
+                       std::to_string(candidates.size()) + "/" +
                        std::to_string(needed) + " replicas at " +
                        std::string(consistency_name(consistency)));
   }
 
-  // Reconcile: per clustering key, the newest write wins.
+  // --- virtual-time coordination: launch tries, replace failures, and
+  // speculate past slow replicas, all against the deterministic injector.
+  const std::uint64_t op_salt = fnv1a_64(query.partition_key);
+  std::vector<ReplicaTry> tries;
+  std::size_t next = 0;
+  for (; next < needed; ++next) {
+    tries.push_back(run_read_try(candidates[next], 0,
+                                 hash_combine(op_salt, candidates[next])));
+  }
+  bool speculated = false;
+  std::size_t replacements = 0;
+  while (next < candidates.size()) {
+    std::vector<std::int64_t> usable_ends;
+    std::vector<std::int64_t> failure_ends;
+    for (const auto& t : tries) {
+      (t.usable ? usable_ends : failure_ends).push_back(t.end);
+    }
+    std::sort(usable_ends.begin(), usable_ends.end());
+    std::sort(failure_ends.begin(), failure_ends.end());
+    if (usable_ends.size() < needed) {
+      // A failed try frees its slot: retry on the next-best replica at the
+      // moment the coordinator learned of the failure.
+      if (replacements >= failure_ends.size()) break;  // unreachable guard
+      const std::int64_t at = failure_ends[replacements++];
+      tries.push_back(run_read_try(candidates[next], at,
+                                   hash_combine(op_salt, candidates[next])));
+      ++next;
+      continue;
+    }
+    if (options_.speculative_retry && !speculated &&
+        usable_ends[needed - 1] > options_.speculative_delay_ms) {
+      // The level won't be met by the speculation deadline: hedge with one
+      // extra replica instead of waiting out the slow one.
+      speculated = true;
+      speculative_reads_.fetch_add(1, std::memory_order_relaxed);
+      tries.push_back(run_read_try(candidates[next],
+                                   options_.speculative_delay_ms,
+                                   hash_combine(op_salt, candidates[next])));
+      ++next;
+      continue;
+    }
+    break;
+  }
+
+  std::vector<const ReplicaTry*> usable;
+  bool any_timeout = false;
+  for (const auto& t : tries) {
+    if (t.usable) usable.push_back(&t);
+    any_timeout = any_timeout || t.timed_out;
+  }
+  if (usable.size() < needed) {
+    reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
+    const std::string detail =
+        "read of '" + query.partition_key + "' completed " +
+        std::to_string(usable.size()) + "/" + std::to_string(needed) +
+        " replicas at " + std::string(consistency_name(consistency));
+    if (any_timeout) return timeout(detail + " before the deadline");
+    return unavailable(detail);
+  }
+  // The read completes when the needed-th fastest usable response arrives.
+  std::sort(usable.begin(), usable.end(),
+            [](const ReplicaTry* a, const ReplicaTry* b) {
+              return a->end < b->end;
+            });
+  usable.resize(needed);
+
+  // Read the *full* slice (no limit/reverse) from each contributing replica
+  // so reconciliation sees comparable row sets; limit applies afterwards.
+  ReadQuery full = query;
+  full.limit = 0;
+  full.reverse = false;
+  std::vector<ReadResult> results;
+  std::vector<NodeIndex> contacted;
+  results.reserve(usable.size());
+  for (const ReplicaTry* t : usable) {
+    results.push_back(nodes_[t->replica]->read(full));
+    contacted.push_back(t->replica);
+  }
+
+  ReadTrace trace;
+  trace.latency_ms = usable.back()->end;
+  trace.replicas_contacted = tries.size();
+  trace.speculated = speculated;
+
   ReadResult merged;
   if (results.size() == 1) {
     merged = std::move(results.front());
   } else {
-    std::vector<Row> all;
-    for (auto& r : results) {
-      all.insert(all.end(), std::make_move_iterator(r.rows.begin()),
-                 std::make_move_iterator(r.rows.end()));
-    }
-    std::stable_sort(all.begin(), all.end(), [](const Row& a, const Row& b) {
-      const auto c = a.key.compare(b.key);
-      if (c != std::strong_ordering::equal) {
-        return c == std::strong_ordering::less;
-      }
-      return a.write_ts < b.write_ts;
-    });
-    for (auto& row : all) {
-      if (!merged.rows.empty() && merged.rows.back().key == row.key) {
-        merged.rows.back() = std::move(row);
-      } else {
-        merged.rows.push_back(std::move(row));
-      }
-    }
-    // Read repair: any contacted replica whose view differed from the
-    // merged result gets the merged rows re-applied.
+    // Digest exchange: the fastest replica ships data, the rest ship
+    // digests. Identical digests prove identical full row sets, so the
+    // merge and repair passes are skipped entirely.
+    std::vector<std::uint64_t> digests(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
-      if (results[i].rows.size() != merged.rows.size()) {
+      digests[i] = rows_digest(results[i].rows);
+    }
+    const bool all_match = std::all_of(
+        digests.begin(), digests.end(),
+        [&](std::uint64_t d) { return d == digests.front(); });
+    if (!all_match) {
+      digest_mismatches_.fetch_add(1, std::memory_order_relaxed);
+      trace.digest_matched = false;
+    }
+    if (all_match && options_.digest_reads) {
+      merged = std::move(results.front());
+    } else {
+      merged = merge_lww(results);
+      // Read repair: replicas whose digest differs from the merged state
+      // get the merged rows re-applied (anti-entropy; bypasses injection).
+      const std::uint64_t want = rows_digest(merged.rows);
+      for (std::size_t i = 0; i < contacted.size(); ++i) {
+        if (digests[i] == want) continue;
         for (const auto& row : merged.rows) {
           nodes_[contacted[i]]->apply(
               WriteCommand{query.table, query.partition_key, row});
         }
         read_repairs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!all_match && injector_ != nullptr) {
+        // Mismatch costs one extra exchange to pull full data.
+        trace.latency_ms += injector_->options().base_latency_ms;
       }
     }
   }
@@ -169,7 +410,15 @@ Result<ReadResult> Cluster::select(const ReadQuery& query,
     merged.truncated = true;
   }
   reads_ok_.fetch_add(1, std::memory_order_relaxed);
-  return merged;
+  trace.result = std::move(merged);
+  return trace;
+}
+
+Result<ReadResult> Cluster::select(const ReadQuery& query,
+                                   Consistency consistency) const {
+  auto traced = select_traced(query, consistency);
+  if (!traced.is_ok()) return traced.status();
+  return std::move(traced->result);
 }
 
 Result<Cluster::Page> Cluster::select_page(
@@ -211,28 +460,45 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
   if (partition_keys.empty()) return results;
 
   if (consistency == Consistency::kOne) {
-    // Group keys by the replica a ONE read would contact (first live), so
-    // each node's whole batch is served against a single snapshot.
+    // Group keys by the replica a ONE read would contact first (up +
+    // unsuspected preferred), so each node's whole batch is served against
+    // a single snapshot.
     std::map<NodeIndex, std::vector<std::size_t>> by_node;
     for (std::size_t i = 0; i < partition_keys.size(); ++i) {
-      bool placed = false;
-      for (NodeIndex r : replicas_of(partition_keys[i])) {
-        if (alive_[r].load(std::memory_order_acquire)) {
-          by_node[r].push_back(i);
-          placed = true;
-          break;
-        }
-      }
-      if (!placed) {
+      const auto order = read_order_of(partition_keys[i]);
+      if (order.empty()) {
         reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
         results[i] = unavailable("read of '" + partition_keys[i] +
                                  "' reached 0/1 replicas at ONE");
+      } else {
+        by_node[order.front()].push_back(i);
       }
     }
     std::vector<std::pair<NodeIndex, std::vector<std::size_t>>> groups(
         by_node.begin(), by_node.end());
     pool.parallel_for(groups.size(), [&](std::size_t g) {
       const auto& [node, indices] = groups[g];
+      // One fault decision per node batch: on transient error or timeout,
+      // each key falls back to the resilient per-key path (retry on the
+      // remaining replicas).
+      if (injector_ != nullptr) {
+        bool failed = injector_->fail_read(node);
+        if (!failed &&
+            injector_->replica_latency_ms(node) > options_.read_timeout_ms) {
+          replica_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          failed = true;
+        }
+        if (failed) {
+          for (std::size_t i : indices) {
+            ReadQuery q;
+            q.table = table;
+            q.partition_key = partition_keys[i];
+            q.slice = slice;
+            results[i] = select(q, Consistency::kOne);
+          }
+          return;
+        }
+      }
       std::vector<std::string> batch;
       batch.reserve(indices.size());
       for (std::size_t i : indices) batch.push_back(partition_keys[i]);
@@ -249,20 +515,183 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
     return results;
   }
 
-  // QUORUM/ALL need cross-replica reconciliation: fan out per-key
-  // coordinator selects, chunked to amortize pool dispatch.
-  pool.parallel_for(
-      partition_keys.size(),
-      [&](std::size_t i) {
-        ReadQuery q;
-        q.table = table;
-        q.partition_key = partition_keys[i];
-        q.slice = slice;
-        results[i] = select(q, consistency);
-      },
-      /*grain=*/8);
+  // QUORUM/ALL batched digest scan: every key plans its first `needed`
+  // preferred replicas; each node then serves *all* of its planned keys
+  // against one snapshot. Keys whose digests agree across the quorum
+  // complete right there; mismatches and per-node faults fall back to the
+  // per-key resilient select (merge + repair + retry + speculation).
+  if (!options_.digest_reads) {
+    pool.parallel_for(
+        partition_keys.size(),
+        [&](std::size_t i) {
+          ReadQuery q;
+          q.table = table;
+          q.partition_key = partition_keys[i];
+          q.slice = slice;
+          results[i] = select(q, consistency);
+        },
+        /*grain=*/8);
+    return results;
+  }
+
+  std::vector<std::vector<NodeIndex>> plan(partition_keys.size());
+  std::map<NodeIndex, std::vector<std::size_t>> by_node;
+  for (std::size_t i = 0; i < partition_keys.size(); ++i) {
+    const auto replicas = replicas_of(partition_keys[i]);
+    const std::size_t needed = required_acks(consistency, replicas.size());
+    auto order = order_replicas(replicas);
+    if (order.size() < needed) {
+      reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
+      results[i] = unavailable(
+          "read of '" + partition_keys[i] + "' reached " +
+          std::to_string(order.size()) + "/" + std::to_string(needed) +
+          " replicas at " + std::string(consistency_name(consistency)));
+      continue;
+    }
+    order.resize(needed);
+    for (NodeIndex r : order) by_node[r].push_back(i);
+    plan[i] = std::move(order);
+  }
+
+  std::vector<std::pair<NodeIndex, std::vector<std::size_t>>> groups(
+      by_node.begin(), by_node.end());
+  std::map<NodeIndex, std::size_t> group_of;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_of[groups[g].first] = g;
+  }
+  std::vector<std::vector<std::vector<Row>>> node_rows(groups.size());
+  std::vector<char> node_failed(groups.size(), 0);
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    const auto& [node, indices] = groups[g];
+    if (injector_ != nullptr) {
+      bool failed = injector_->fail_read(node);
+      if (!failed &&
+          injector_->replica_latency_ms(node) > options_.read_timeout_ms) {
+        replica_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        failed = true;
+      }
+      if (failed) {
+        node_failed[g] = 1;
+        return;
+      }
+    }
+    std::vector<std::string> batch;
+    batch.reserve(indices.size());
+    for (std::size_t i : indices) batch.push_back(partition_keys[i]);
+    node_rows[g].resize(indices.size());
+    std::size_t cursor = 0;
+    nodes_[node]->scan_partitions(table, batch, slice,
+                                  [&](const std::string&, std::vector<Row> rows) {
+                                    node_rows[g][cursor++] = std::move(rows);
+                                  });
+  });
+
+  // Assemble per key; collect fallbacks for a second resilient pass.
+  std::vector<std::size_t> fallback;
+  for (std::size_t i = 0; i < partition_keys.size(); ++i) {
+    if (plan[i].empty()) continue;  // already resolved (unavailable)
+    bool degraded = false;
+    std::vector<std::vector<Row>*> cells;
+    for (NodeIndex r : plan[i]) {
+      const std::size_t g = group_of.at(r);
+      if (node_failed[g] != 0) {
+        degraded = true;
+        break;
+      }
+      const auto& indices = groups[g].second;
+      const auto it =
+          std::lower_bound(indices.begin(), indices.end(), i);
+      cells.push_back(
+          &node_rows[g][static_cast<std::size_t>(it - indices.begin())]);
+    }
+    if (!degraded) {
+      const std::uint64_t want = rows_digest(*cells.front());
+      for (std::size_t c = 1; c < cells.size() && !degraded; ++c) {
+        if (rows_digest(*cells[c]) != want) {
+          digest_mismatches_.fetch_add(1, std::memory_order_relaxed);
+          degraded = true;
+        }
+      }
+    }
+    if (degraded) {
+      fallback.push_back(i);
+      continue;
+    }
+    ReadResult r;
+    r.rows = std::move(*cells.front());
+    results[i] = std::move(r);
+    reads_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!fallback.empty()) {
+    pool.parallel_for(
+        fallback.size(),
+        [&](std::size_t f) {
+          ReadQuery q;
+          q.table = table;
+          q.partition_key = partition_keys[fallback[f]];
+          q.slice = slice;
+          results[fallback[f]] = select(q, consistency);
+        },
+        /*grain=*/8);
+  }
   return results;
 }
+
+// ------------------------------------------------------------------- hints
+
+void Cluster::store_hint(NodeIndex node, const WriteCommand& cmd) {
+  const std::int64_t now = now_ms();
+  HintShard& shard = hint_shards_[node];
+  std::lock_guard lock(shard.mu);
+  // Expire from the front first (FIFO order = oldest first), then make
+  // room: the freshest hint always wins over the stalest.
+  while (!shard.q.empty() && options_.hint_ttl_ms > 0 &&
+         shard.q.front().stored_at_ms + options_.hint_ttl_ms <= now) {
+    shard.q.pop_front();
+    hints_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (options_.max_hints_per_node > 0 &&
+      shard.q.size() >= options_.max_hints_per_node) {
+    shard.q.pop_front();
+    hints_overflowed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.q.push_back(Hint{cmd, now});
+  hints_stored_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Cluster::replay_hints(NodeIndex node) {
+  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  std::deque<Hint> pending;
+  {
+    std::lock_guard lock(hint_shards_[node].mu);
+    pending.swap(hint_shards_[node].q);
+  }
+  const std::int64_t now = now_ms();
+  std::size_t replayed = 0;
+  for (const auto& h : pending) {
+    if (options_.hint_ttl_ms > 0 &&
+        h.stored_at_ms + options_.hint_ttl_ms <= now) {
+      hints_expired_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Replay applies directly (anti-entropy): injected transient faults
+    // model the request path, not local recovery writes.
+    nodes_[node]->apply(h.cmd);
+    hints_replayed_.fetch_add(1, std::memory_order_relaxed);
+    ++replayed;
+  }
+  return replayed;
+}
+
+std::size_t Cluster::replay_all_hints() {
+  std::size_t total = 0;
+  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+    if (replica_up(n)) total += replay_hints(n);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- topology
 
 void Cluster::kill_node(NodeIndex node) {
   HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
@@ -272,25 +701,7 @@ void Cluster::kill_node(NodeIndex node) {
 std::size_t Cluster::revive_node(NodeIndex node) {
   HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
   alive_[node].store(true, std::memory_order_release);
-  // Replay and drop this node's hints.
-  std::vector<Hint> to_replay;
-  {
-    std::lock_guard lock(hints_mu_);
-    auto keep = hints_.begin();
-    for (auto& h : hints_) {
-      if (h.target == node) {
-        to_replay.push_back(std::move(h));
-      } else {
-        *keep++ = std::move(h);
-      }
-    }
-    hints_.erase(keep, hints_.end());
-  }
-  for (const auto& h : to_replay) {
-    nodes_[node]->apply(h.cmd);
-    hints_replayed_.fetch_add(1, std::memory_order_relaxed);
-  }
-  return to_replay.size();
+  return replay_hints(node);
 }
 
 void Cluster::kill_rack(int rack) {
@@ -319,8 +730,12 @@ std::size_t Cluster::live_node_count() const {
 }
 
 std::size_t Cluster::pending_hints() const {
-  std::lock_guard lock(hints_mu_);
-  return hints_.size();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::lock_guard lock(hint_shards_[i].mu);
+    n += hint_shards_[i].q.size();
+  }
+  return n;
 }
 
 const StorageEngine& Cluster::engine(NodeIndex node) const {
@@ -360,6 +775,13 @@ ClusterMetrics Cluster::metrics() const {
   m.hints_stored = hints_stored_.load(std::memory_order_relaxed);
   m.hints_replayed = hints_replayed_.load(std::memory_order_relaxed);
   m.read_repairs = read_repairs_.load(std::memory_order_relaxed);
+  m.read_retries = read_retries_.load(std::memory_order_relaxed);
+  m.write_retries = write_retries_.load(std::memory_order_relaxed);
+  m.speculative_reads = speculative_reads_.load(std::memory_order_relaxed);
+  m.replica_timeouts = replica_timeouts_.load(std::memory_order_relaxed);
+  m.digest_mismatches = digest_mismatches_.load(std::memory_order_relaxed);
+  m.hints_expired = hints_expired_.load(std::memory_order_relaxed);
+  m.hints_overflowed = hints_overflowed_.load(std::memory_order_relaxed);
   return m;
 }
 

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,6 +22,8 @@
 
 namespace hpcla {
 class ThreadPool;
+class FaultInjector;
+class SimClock;
 }
 
 namespace hpcla::cassalite {
@@ -48,6 +52,30 @@ struct ClusterOptions {
   /// 0 disables rack awareness (SimpleStrategy placement).
   std::size_t racks = 0;
   StorageOptions storage;
+
+  // --- resilience knobs (virtual milliseconds; see DESIGN.md §10) ---
+
+  /// Soft per-replica deadline: a replica answering slower than this is
+  /// counted as timed out and does not contribute to the consistency level.
+  std::int64_t read_timeout_ms = 1000;
+  std::int64_t write_timeout_ms = 1000;
+  /// Launch one speculative read on the next-best replica when the
+  /// consistency level has not been met after this long.
+  std::int64_t speculative_delay_ms = 50;
+  bool speculative_retry = true;
+  /// Transient replica errors are retried on the same replica up to this
+  /// many times, with exponential backoff + decorrelated jitter.
+  std::size_t max_replica_retries = 2;
+  std::int64_t retry_backoff_base_ms = 4;
+  std::int64_t retry_backoff_max_ms = 64;
+  /// At QUORUM/ALL, ship one data response plus digests; fall back to full
+  /// reads + repair only on digest mismatch.
+  bool digest_reads = true;
+  /// Hinted-handoff bounds, enforced per target node (sharded queues).
+  /// The default absorbs a full batch-ingest day with one replica down;
+  /// oldest hints are dropped first once the bound is hit.
+  std::size_t max_hints_per_node = 65536;
+  std::int64_t hint_ttl_ms = 600000;  // 10 virtual minutes
 };
 
 /// Coordinator-level counters (atomics; safe to read anytime).
@@ -59,6 +87,24 @@ struct ClusterMetrics {
   std::uint64_t hints_stored = 0;
   std::uint64_t hints_replayed = 0;
   std::uint64_t read_repairs = 0;
+  // resilience counters
+  std::uint64_t read_retries = 0;
+  std::uint64_t write_retries = 0;
+  std::uint64_t speculative_reads = 0;
+  std::uint64_t replica_timeouts = 0;
+  std::uint64_t digest_mismatches = 0;
+  std::uint64_t hints_expired = 0;
+  std::uint64_t hints_overflowed = 0;
+};
+
+/// Per-read coordinator trace: how the read completed under faults.
+/// Latencies are virtual (fault-injected); 0 without an injector.
+struct ReadTrace {
+  ReadResult result;
+  std::int64_t latency_ms = 0;
+  std::size_t replicas_contacted = 0;
+  bool speculated = false;
+  bool digest_matched = true;
 };
 
 class Cluster {
@@ -88,6 +134,13 @@ class Cluster {
   /// reconciles last-write-wins, and repairs stale replicas it touched.
   /// Logically const: read repair only rewrites replica-internal state.
   [[nodiscard]] Result<ReadResult> select(
+      const ReadQuery& query,
+      Consistency consistency = Consistency::kOne) const;
+
+  /// `select` plus a coordinator trace (virtual latency, speculation,
+  /// digest outcome) — the observability hook for the chaos harness and
+  /// the speculative-retry latency tests.
+  [[nodiscard]] Result<ReadTrace> select_traced(
       const ReadQuery& query,
       Consistency consistency = Consistency::kOne) const;
 
@@ -149,6 +202,27 @@ class Cluster {
 
   // ------------------------------------------------------ fault injection
 
+  /// Attaches a fault injector: its crash windows extend node liveness,
+  /// its error rates drive transient read/write failures, its latencies
+  /// drive timeouts and speculation. Also forwards to every node's
+  /// StorageEngine and (when no clock was set) adopts the injector's
+  /// SimClock for hint TTLs. Wire up before traffic starts.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Virtual clock for hint TTL accounting (nullptr = TTLs never fire).
+  void set_clock(SimClock* clock);
+
+  /// Suspicion oracle consulted when ordering replicas for reads: suspected
+  /// nodes are tried last. Typically wraps Gossiper::suspects from the
+  /// coordinator's viewpoint. Must be safe to call concurrently; wire up
+  /// before traffic starts.
+  void set_suspicion_source(std::function<bool(NodeIndex)> suspected);
+
+  /// Replica read order for a key: up replicas only, unsuspected before
+  /// suspected, ring order otherwise (introspection for ordering tests).
+  [[nodiscard]] std::vector<NodeIndex> read_order_of(
+      const std::string& partition_key) const;
+
   /// Marks a node down: it stops acking writes and serving reads; writes
   /// destined for it are stored as hints on the coordinator.
   void kill_node(NodeIndex node);
@@ -156,6 +230,14 @@ class Cluster {
   /// Brings a node back and replays its hinted mutations.
   /// Returns the number of hints replayed.
   std::size_t revive_node(NodeIndex node);
+
+  /// Replays (and drops) the hint queue of one node, skipping TTL-expired
+  /// entries. Safe to call anytime; a no-op for an empty queue. Returns
+  /// the number of hints applied.
+  std::size_t replay_hints(NodeIndex node);
+
+  /// Replays hints for every node currently up (chaos-heal convenience).
+  std::size_t replay_all_hints();
 
   /// Simulates a process crash on a node: its memtables are lost and
   /// recovered from the commit log (the node stays "up" throughout).
@@ -184,9 +266,46 @@ class Cluster {
 
  private:
   struct Hint {
-    NodeIndex target;
     WriteCommand cmd;
+    std::int64_t stored_at_ms = 0;  ///< SimClock time; TTL anchor
   };
+
+  /// Per-target-node hint queue: its own mutex, FIFO, TTL + size bound.
+  /// Sharding means a write hinting node A never contends with replay or
+  /// writes hinting node B (the old design took one global mutex on every
+  /// operation — ROADMAP open item).
+  struct HintShard {
+    mutable std::mutex mu;
+    std::deque<Hint> q;
+  };
+
+  /// One coordinator attempt against one replica, resolved in virtual
+  /// time. `end` is when the coordinator learns the outcome (response,
+  /// final retry failure, or soft-timeout expiry).
+  struct ReplicaTry {
+    NodeIndex replica = 0;
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    bool usable = false;    ///< responded ok within read_timeout_ms
+    bool timed_out = false;
+  };
+
+  /// Node accepts traffic: marked alive AND not inside an injected crash
+  /// window.
+  [[nodiscard]] bool replica_up(NodeIndex node) const;
+  [[nodiscard]] std::int64_t now_ms() const noexcept;
+  /// Read preference order over an explicit replica set (up replicas only,
+  /// unsuspected first).
+  [[nodiscard]] std::vector<NodeIndex> order_replicas(
+      const std::vector<NodeIndex>& replicas) const;
+  /// Appends to `node`'s hint shard, enforcing TTL + size bound.
+  void store_hint(NodeIndex node, const WriteCommand& cmd);
+  /// Deterministic decorrelated jitter for a retry backoff.
+  [[nodiscard]] std::int64_t backoff_ms(std::uint64_t salt,
+                                        std::int64_t prev) const;
+  /// Simulates one replica read try (retry loop + backoff) in virtual time.
+  [[nodiscard]] ReplicaTry run_read_try(NodeIndex replica, std::int64_t start,
+                                        std::uint64_t salt) const;
 
   ClusterOptions options_;
   TokenRing ring_;
@@ -194,11 +313,15 @@ class Cluster {
   std::vector<std::unique_ptr<StorageEngine>> nodes_;
   std::unique_ptr<std::atomic<bool>[]> alive_;
 
+  // Fault wiring: raw pointers, not owned; set before traffic starts.
+  FaultInjector* injector_ = nullptr;
+  SimClock* clock_ = nullptr;
+  std::function<bool(NodeIndex)> suspected_;
+
   mutable std::mutex ddl_mu_;
   std::vector<TableSchema> schemas_;
 
-  mutable std::mutex hints_mu_;
-  std::vector<Hint> hints_;
+  std::unique_ptr<HintShard[]> hint_shards_;
 
   std::atomic<std::int64_t> write_clock_{1};
 
@@ -210,6 +333,13 @@ class Cluster {
   mutable std::atomic<std::uint64_t> hints_stored_{0};
   mutable std::atomic<std::uint64_t> hints_replayed_{0};
   mutable std::atomic<std::uint64_t> read_repairs_{0};
+  mutable std::atomic<std::uint64_t> read_retries_{0};
+  mutable std::atomic<std::uint64_t> write_retries_{0};
+  mutable std::atomic<std::uint64_t> speculative_reads_{0};
+  mutable std::atomic<std::uint64_t> replica_timeouts_{0};
+  mutable std::atomic<std::uint64_t> digest_mismatches_{0};
+  mutable std::atomic<std::uint64_t> hints_expired_{0};
+  mutable std::atomic<std::uint64_t> hints_overflowed_{0};
 };
 
 }  // namespace hpcla::cassalite

@@ -1,5 +1,7 @@
 #include "cassalite/gossip.hpp"
 
+#include "common/faultsim.hpp"
+
 namespace hpcla::cassalite {
 
 Gossiper::Gossiper(GossipOptions options)
@@ -61,6 +63,7 @@ void Gossiper::step() {
       std::size_t peer = rng_.next_below(options_.node_count - 1);
       if (peer >= n) ++peer;  // uniform over peers != n
       if (dead_[peer]) continue;  // connection refused
+      if (injector_ != nullptr && injector_->drop_gossip()) continue;
       merge(n, peer);
     }
   }

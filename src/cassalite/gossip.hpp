@@ -18,6 +18,10 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
+namespace hpcla {
+class FaultInjector;
+}
+
 namespace hpcla::cassalite {
 
 struct GossipOptions {
@@ -59,6 +63,11 @@ class Gossiper {
     for (std::size_t i = 0; i < n; ++i) step();
   }
 
+  /// Attaches a fault injector: each gossip exchange consults
+  /// `drop_gossip()` and a dropped exchange performs no merge (the rumor
+  /// is lost in flight). Pass nullptr to detach.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Does `observer` currently suspect `target` of being down?
   /// (A node never suspects itself; dead observers hold stale views.)
   [[nodiscard]] bool suspects(std::size_t observer, std::size_t target) const;
@@ -84,6 +93,7 @@ class Gossiper {
 
   GossipOptions options_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;  ///< not owned
   std::int64_t round_ = 0;
   std::vector<bool> dead_;
   /// views_[observer][target]

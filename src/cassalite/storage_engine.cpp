@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/clock.hpp"
+#include "common/faultsim.hpp"
 
 namespace hpcla::cassalite {
 
@@ -37,6 +38,22 @@ void StorageEngine::apply(const WriteCommand& cmd) {
   }
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
   for (auto& job : jobs) run_compaction(std::move(job));
+}
+
+bool StorageEngine::try_apply(const WriteCommand& cmd) {
+  // Fault fires before the commit-log append: a transiently failed write
+  // leaves no trace on this node, exactly like a dropped network mutation.
+  if (injector_ != nullptr && injector_->fail_write(injector_node_)) {
+    return false;
+  }
+  apply(cmd);
+  return true;
+}
+
+void StorageEngine::set_fault_injector(FaultInjector* injector,
+                                       std::size_t node) {
+  injector_ = injector;
+  injector_node_ = node;
 }
 
 void StorageEngine::apply_one_locked(const WriteCommand& cmd,

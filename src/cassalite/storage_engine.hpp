@@ -36,6 +36,10 @@
 #include "cassalite/schema.hpp"
 #include "cassalite/sstable.hpp"
 
+namespace hpcla {
+class FaultInjector;
+}
+
 namespace hpcla::cassalite {
 
 /// Tuning knobs, exposed for the ablation benches.
@@ -69,6 +73,17 @@ class StorageEngine {
 
   /// Applies one mutation: journal, memtable, maybe flush/compact.
   void apply(const WriteCommand& cmd);
+
+  /// Fallible apply: when a fault injector is attached and fires a
+  /// transient write fault for this node, the mutation is rejected
+  /// *before* touching the commit log and false is returned — the
+  /// coordinator retries or hints. Without an injector this is `apply`.
+  [[nodiscard]] bool try_apply(const WriteCommand& cmd);
+
+  /// Attaches a fault injector; `node` is this engine's index in the
+  /// injector's node space. Pass nullptr to detach. Not thread-safe
+  /// against in-flight writes — wire up before traffic starts.
+  void set_fault_injector(FaultInjector* injector, std::size_t node);
 
   /// Reads a partition slice, merging memtable and all SSTables
   /// (last-write-wins per clustering key), honoring limit/reverse.
@@ -170,6 +185,8 @@ class StorageEngine {
   /// Serializes apply/flush/compaction-publish/recovery.
   mutable std::mutex writer_mu_;
   StorageOptions options_;
+  FaultInjector* injector_ = nullptr;  ///< not owned; see set_fault_injector
+  std::size_t injector_node_ = 0;
   CommitLog log_;
   /// Guards the table map structure (insertions vs. reader lookups).
   mutable std::shared_mutex map_mu_;

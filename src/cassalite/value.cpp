@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/hash.hpp"
+
 namespace hpcla::cassalite {
 namespace {
 
@@ -157,6 +159,21 @@ Json Row::to_json() const {
   for (const auto& c : cells) cols[c.name] = c.value.to_json();
   j["columns"] = std::move(cols);
   return j;
+}
+
+std::uint64_t rows_digest(const std::vector<Row>& rows) noexcept {
+  // Seed with the row count so [] and [empty-ish row] never collide.
+  std::uint64_t h = hash_combine(fnv1a_64("cassalite.rows"), rows.size());
+  for (const Row& r : rows) {
+    h = hash_combine(h, fnv1a_64(r.key.to_string()));
+    h = hash_combine(h, static_cast<std::uint64_t>(r.write_ts));
+    h = hash_combine(h, r.cells.size());
+    for (const Cell& c : r.cells) {
+      h = hash_combine(h, fnv1a_64(c.name));
+      h = hash_combine(h, fnv1a_64(c.value.to_string()));
+    }
+  }
+  return h;
 }
 
 }  // namespace hpcla::cassalite

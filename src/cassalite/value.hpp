@@ -135,4 +135,10 @@ struct Row {
   friend bool operator==(const Row&, const Row&) = default;
 };
 
+/// Order-sensitive digest of a row set (keys, cells, write timestamps).
+/// Two replicas hold byte-identical data for a slice iff their digests
+/// match — the coordinator compares these instead of shipping full rows
+/// on the QUORUM/ALL digest-read fast path.
+[[nodiscard]] std::uint64_t rows_digest(const std::vector<Row>& rows) noexcept;
+
 }  // namespace hpcla::cassalite

@@ -1,0 +1,138 @@
+#include "common/faultsim.hpp"
+
+#include "common/hash.hpp"
+
+namespace hpcla {
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix so consecutive op counters
+/// decorrelate into independent Bernoulli trials.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kWriteChannel = fnv1a_64("faultsim.write");
+constexpr std::uint64_t kReadChannel = fnv1a_64("faultsim.read");
+constexpr std::uint64_t kGossipChannel = fnv1a_64("faultsim.gossip");
+constexpr std::uint64_t kPoisonChannel = fnv1a_64("faultsim.poison");
+
+constexpr bool in_window(std::int64_t now, std::int64_t from,
+                         std::int64_t until) noexcept {
+  return from <= now && now < until;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::size_t node_count, FaultOptions options,
+                             SimClock* clock)
+    : node_count_(node_count),
+      options_(options),
+      clock_(clock),
+      nodes_(std::make_unique<NodeFaults[]>(node_count)) {}
+
+void FaultInjector::crash_window(std::size_t node, std::int64_t from_ms,
+                                 std::int64_t until_ms) {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  nodes_[node].down_from.store(from_ms, std::memory_order_release);
+  nodes_[node].down_until.store(until_ms, std::memory_order_release);
+}
+
+void FaultInjector::slow_window(std::size_t node, std::int64_t from_ms,
+                                std::int64_t until_ms) {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  nodes_[node].slow_from.store(from_ms, std::memory_order_release);
+  nodes_[node].slow_until.store(until_ms, std::memory_order_release);
+}
+
+void FaultInjector::heal_node(std::size_t node) {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  nodes_[node].down_from.store(INT64_MAX, std::memory_order_release);
+  nodes_[node].down_until.store(INT64_MIN, std::memory_order_release);
+  nodes_[node].slow_from.store(INT64_MAX, std::memory_order_release);
+  nodes_[node].slow_until.store(INT64_MIN, std::memory_order_release);
+}
+
+void FaultInjector::heal_all() {
+  for (std::size_t n = 0; n < node_count_; ++n) heal_node(n);
+}
+
+bool FaultInjector::is_down(std::size_t node) const {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  return in_window(now_ms(),
+                   nodes_[node].down_from.load(std::memory_order_acquire),
+                   nodes_[node].down_until.load(std::memory_order_acquire));
+}
+
+bool FaultInjector::is_slow(std::size_t node) const {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  return in_window(now_ms(),
+                   nodes_[node].slow_from.load(std::memory_order_acquire),
+                   nodes_[node].slow_until.load(std::memory_order_acquire));
+}
+
+bool FaultInjector::decide(double rate, std::uint64_t channel,
+                           std::uint64_t n) const noexcept {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  std::uint64_t h = mix64(hash_combine(hash_combine(options_.seed, channel), n));
+  // Top 53 bits -> uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+bool FaultInjector::fail_write(std::size_t node) {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  std::uint64_t n =
+      nodes_[node].write_ops.fetch_add(1, std::memory_order_relaxed);
+  bool fail = decide(options_.write_error_rate,
+                     hash_combine(kWriteChannel, node), n);
+  if (fail) write_errors_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+bool FaultInjector::fail_read(std::size_t node) {
+  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  std::uint64_t n =
+      nodes_[node].read_ops.fetch_add(1, std::memory_order_relaxed);
+  bool fail =
+      decide(options_.read_error_rate, hash_combine(kReadChannel, node), n);
+  if (fail) read_errors_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+std::int64_t FaultInjector::replica_latency_ms(std::size_t node) {
+  if (is_slow(node)) {
+    slow_ops_.fetch_add(1, std::memory_order_relaxed);
+    return options_.slow_latency_ms;
+  }
+  return options_.base_latency_ms;
+}
+
+bool FaultInjector::drop_gossip() {
+  std::uint64_t n = gossip_ops_.fetch_add(1, std::memory_order_relaxed);
+  bool drop = decide(options_.gossip_drop_rate, kGossipChannel, n);
+  if (drop) gossip_drops_.fetch_add(1, std::memory_order_relaxed);
+  return drop;
+}
+
+bool FaultInjector::poison_record() {
+  std::uint64_t n = poison_ops_.fetch_add(1, std::memory_order_relaxed);
+  bool poison = decide(options_.poison_rate, kPoisonChannel, n);
+  if (poison) poisoned_records_.fetch_add(1, std::memory_order_relaxed);
+  return poison;
+}
+
+FaultCounts FaultInjector::counts() const {
+  FaultCounts c;
+  c.write_errors = write_errors_.load(std::memory_order_relaxed);
+  c.read_errors = read_errors_.load(std::memory_order_relaxed);
+  c.gossip_drops = gossip_drops_.load(std::memory_order_relaxed);
+  c.poisoned_records = poisoned_records_.load(std::memory_order_relaxed);
+  c.slow_ops = slow_ops_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace hpcla

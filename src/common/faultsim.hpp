@@ -1,0 +1,155 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper's analytics stack runs on infrastructure that is itself part of
+// the system being monitored: the pipeline must keep answering queries while
+// replicas crash, respond slowly, or drop gossip traffic. This module makes
+// those faults *injectable and reproducible*: every per-operation decision
+// (transient error, injected latency, gossip drop, poisoned payload) is a
+// pure function of (seed, channel, op counter), and crash/slow windows are
+// expressed in the virtual time of a SimClock — so a chaos schedule replays
+// bit-identically run to run and no test ever sleeps to "wait out" a fault.
+//
+// Consumers:
+//   * cassalite::Cluster      — down/slow windows, transient read errors,
+//                               per-replica virtual latency
+//   * cassalite::StorageEngine — transient write (commit) failures
+//   * cassalite::Gossiper     — gossip message drops
+//   * model::EventPublisher   — poisoned (corrupted) ingest records
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.hpp"
+
+namespace hpcla {
+
+/// Deterministic virtual clock in milliseconds. Fault windows and hint TTLs
+/// are measured against it; tests advance it explicitly instead of sleeping.
+class SimClock {
+ public:
+  [[nodiscard]] std::int64_t now_ms() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
+  void advance_ms(std::int64_t delta) noexcept {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void reset(std::int64_t t = 0) noexcept {
+    now_.store(t, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_{0};
+};
+
+/// Fault rates and latencies. Rates are per-operation probabilities decided
+/// deterministically from the seed; latencies are virtual milliseconds.
+struct FaultOptions {
+  std::uint64_t seed = 0xFA017CA5ull;
+  /// Probability a replica write (commit) fails transiently.
+  double write_error_rate = 0.0;
+  /// Probability a replica read errors transiently.
+  double read_error_rate = 0.0;
+  /// Probability one gossip exchange is lost in flight.
+  double gossip_drop_rate = 0.0;
+  /// Probability a published ingest record is corrupted.
+  double poison_rate = 0.0;
+  /// Virtual response time of a healthy replica.
+  std::int64_t base_latency_ms = 0;
+  /// Virtual response time of a replica inside a slow window.
+  std::int64_t slow_latency_ms = 0;
+};
+
+/// Cumulative injected-fault counters (what the chaos harness reconciles
+/// against coordinator metrics).
+struct FaultCounts {
+  std::uint64_t write_errors = 0;
+  std::uint64_t read_errors = 0;
+  std::uint64_t gossip_drops = 0;
+  std::uint64_t poisoned_records = 0;
+  std::uint64_t slow_ops = 0;
+};
+
+/// Seeded, thread-safe fault decider. All per-op decisions are hash-based
+/// (seed, channel, per-channel atomic counter), so a single-threaded
+/// schedule is fully deterministic and concurrent use is TSan-clean.
+class FaultInjector {
+ public:
+  FaultInjector(std::size_t node_count, FaultOptions options,
+                SimClock* clock = nullptr);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+  [[nodiscard]] SimClock* clock() const noexcept { return clock_; }
+  [[nodiscard]] const FaultOptions& options() const noexcept {
+    return options_;
+  }
+
+  // ------------------------------------------- virtual-time fault windows
+
+  /// Node is down (crashed, unreachable) during [from_ms, until_ms).
+  /// Setting a new window replaces the previous one.
+  void crash_window(std::size_t node, std::int64_t from_ms,
+                    std::int64_t until_ms);
+
+  /// Node responds with slow_latency_ms during [from_ms, until_ms).
+  void slow_window(std::size_t node, std::int64_t from_ms,
+                   std::int64_t until_ms);
+
+  /// Heals one node: clears its crash and slow windows.
+  void heal_node(std::size_t node);
+
+  /// Heals every node.
+  void heal_all();
+
+  [[nodiscard]] bool is_down(std::size_t node) const;
+  [[nodiscard]] bool is_slow(std::size_t node) const;
+
+  // ----------------------------------------------------- per-op decisions
+
+  /// Does this replica write fail transiently? (consumed by StorageEngine)
+  bool fail_write(std::size_t node);
+  /// Does this replica read error transiently? (consumed by the coordinator)
+  bool fail_read(std::size_t node);
+  /// Virtual response time of one replica operation right now.
+  std::int64_t replica_latency_ms(std::size_t node);
+  /// Is this gossip exchange lost? (consumed by Gossiper::step)
+  bool drop_gossip();
+  /// Is this published ingest record corrupted? (consumed by EventPublisher)
+  bool poison_record();
+
+  [[nodiscard]] FaultCounts counts() const;
+
+ private:
+  /// One crash/slow window pair; INT64_MAX/MIN sentinels mean "no window".
+  struct NodeFaults {
+    std::atomic<std::int64_t> down_from{INT64_MAX};
+    std::atomic<std::int64_t> down_until{INT64_MIN};
+    std::atomic<std::int64_t> slow_from{INT64_MAX};
+    std::atomic<std::int64_t> slow_until{INT64_MIN};
+    std::atomic<std::uint64_t> write_ops{0};
+    std::atomic<std::uint64_t> read_ops{0};
+  };
+
+  [[nodiscard]] std::int64_t now_ms() const noexcept {
+    return clock_ != nullptr ? clock_->now_ms() : 0;
+  }
+  /// Deterministic Bernoulli trial: hash(seed, channel, n) < rate.
+  [[nodiscard]] bool decide(double rate, std::uint64_t channel,
+                            std::uint64_t n) const noexcept;
+
+  std::size_t node_count_;
+  FaultOptions options_;
+  SimClock* clock_;
+  std::unique_ptr<NodeFaults[]> nodes_;
+  std::atomic<std::uint64_t> gossip_ops_{0};
+  std::atomic<std::uint64_t> poison_ops_{0};
+
+  mutable std::atomic<std::uint64_t> write_errors_{0};
+  mutable std::atomic<std::uint64_t> read_errors_{0};
+  mutable std::atomic<std::uint64_t> gossip_drops_{0};
+  mutable std::atomic<std::uint64_t> poisoned_records_{0};
+  mutable std::atomic<std::uint64_t> slow_ops_{0};
+};
+
+}  // namespace hpcla

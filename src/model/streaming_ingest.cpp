@@ -44,10 +44,18 @@ StreamingIngestor::StreamingIngestor(cassalite::Cluster& cluster,
                                      IngestOptions options)
     : writer_(cluster, engine, options),
       engine_(&engine),
+      broker_(&broker),
+      dlq_topic_(dead_letter_topic(topic)),
       stream_(broker, group, topic, member_index, member_count,
               sparklite::StreamOptions{.window_ms = 1000,
                                        .max_poll = 4096,
-                                       .pool = &engine.pool()}) {}
+                                       .pool = &engine.pool()}) {
+  // Several group members share one DLQ; whoever constructs first wins.
+  auto created = broker_->create_topic(dlq_topic_);
+  HPCLA_CHECK_MSG(
+      created.is_ok() || created.code() == StatusCode::kAlreadyExists,
+      "failed to create dead-letter topic");
+}
 
 void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
                                      StreamingReport& report) {
@@ -72,9 +80,18 @@ void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
   std::map<std::tuple<titanlog::EventType, topo::NodeId, UnixSeconds>,
            EventRecord>
       coalesced;
-  for (auto& slot : decoded) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& slot = decoded[i];
     if (!slot) {
       ++report.decode_failures;
+      // Quarantine the raw message on the dead-letter topic: the payload
+      // is preserved byte-for-byte for offline inspection and replay.
+      const auto& msg = batch.messages[i];
+      if (broker_
+              ->produce(dlq_topic_, msg.key, msg.value, msg.timestamp)
+              .is_ok()) {
+        ++report.quarantined;
+      }
       continue;
     }
     EventRecord e = std::move(*slot);
@@ -106,6 +123,7 @@ StreamingReport StreamingIngestor::process_available() {
   totals_.batches += report.batches;
   totals_.messages_in += report.messages_in;
   totals_.decode_failures += report.decode_failures;
+  totals_.quarantined += report.quarantined;
   totals_.events_written += report.events_written;
   totals_.write_failures += report.write_failures;
   totals_.synopsis_rows += report.synopsis_rows;

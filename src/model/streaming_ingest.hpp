@@ -18,11 +18,18 @@
 #include <string>
 
 #include "buslite/broker.hpp"
+#include "common/faultsim.hpp"
 #include "model/ingest.hpp"
 #include "sparklite/streaming.hpp"
 #include "titanlog/record.hpp"
 
 namespace hpcla::model {
+
+/// Dead-letter topic for `topic`: undecodable messages are quarantined
+/// there instead of being silently dropped.
+inline std::string dead_letter_topic(const std::string& topic) {
+  return topic + ".dlq";
+}
 
 /// Publishes parsed event occurrences to the bus. Message key is the
 /// source cname so per-component order is preserved across partitions.
@@ -31,9 +38,19 @@ class EventPublisher {
   EventPublisher(buslite::Broker& broker, std::string topic)
       : broker_(&broker), topic_(std::move(topic)) {}
 
+  /// Attaches a fault injector: records flagged by `poison_record()` are
+  /// published with a corrupted payload (truncated JSON), modelling a
+  /// buggy or garbled upstream producer. Pass nullptr to detach.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   Status publish(const titanlog::EventRecord& e) {
+    std::string payload = e.to_json().dump();
+    if (injector_ != nullptr && injector_->poison_record()) {
+      // Chop mid-way: guaranteed-unparseable JSON, still plausible bytes.
+      payload.resize(payload.size() / 2);
+    }
     auto r = broker_->produce(topic_, topo::cname_of(e.node),
-                              e.to_json().dump(),
+                              std::move(payload),
                               static_cast<UnixMillis>(e.ts) * 1000);
     return r.status();
   }
@@ -41,12 +58,16 @@ class EventPublisher {
  private:
   buslite::Broker* broker_;
   std::string topic_;
+  FaultInjector* injector_ = nullptr;  ///< not owned
 };
 
 struct StreamingReport {
   std::uint64_t batches = 0;
   std::uint64_t messages_in = 0;
   std::uint64_t decode_failures = 0;
+  /// Undecodable messages forwarded to the dead-letter topic (a subset of
+  /// decode_failures; smaller only if the DLQ publish itself failed).
+  std::uint64_t quarantined = 0;
   std::uint64_t events_written = 0;  ///< after coalescing
   std::uint64_t write_failures = 0;
   std::uint64_t synopsis_rows = 0;
@@ -93,6 +114,8 @@ class StreamingIngestor {
 
   BatchIngestor writer_;
   sparklite::Engine* engine_;  ///< for chunk-parallel message decoding
+  buslite::Broker* broker_;    ///< for dead-letter publishing
+  std::string dlq_topic_;
   sparklite::MicroBatchStream stream_;
   StreamingReport totals_;
 };

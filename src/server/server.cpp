@@ -33,6 +33,7 @@ Result<QueryPath> classify_query(std::string_view op) {
       {"synopsis", QueryPath::kSimple},
       {"events", QueryPath::kSimple},
       {"jobs", QueryPath::kSimple},
+      {"metrics", QueryPath::kSimple},
       {"heatmap", QueryPath::kComplex},
       {"distribution", QueryPath::kComplex},
       {"hourly", QueryPath::kComplex},
@@ -118,6 +119,7 @@ Result<Json> AnalyticsServer::dispatch(std::string_view op,
   if (op == "synopsis") return op_synopsis(request);
   if (op == "events") return op_events(request);
   if (op == "jobs") return op_jobs(request);
+  if (op == "metrics") return op_metrics(request);
   if (op == "heatmap") return op_heatmap(request);
   if (op == "distribution") return op_distribution(request);
   if (op == "hourly") return op_hourly(request);
@@ -152,6 +154,39 @@ Result<Json> AnalyticsServer::op_cql(const Json& request) {
   auto result = cassalite::execute_cql(*cluster_, query.value());
   if (!result.is_ok()) return result.status();
   return result->to_json();
+}
+
+Result<Json> AnalyticsServer::op_metrics(const Json&) {
+  const ServerMetrics sm = metrics();
+  const cassalite::ClusterMetrics cm = cluster_->metrics();
+  Json server = Json::object();
+  server["simple_queries"] = Json(static_cast<std::int64_t>(sm.simple_queries));
+  server["complex_queries"] =
+      Json(static_cast<std::int64_t>(sm.complex_queries));
+  server["errors"] = Json(static_cast<std::int64_t>(sm.errors));
+  Json cluster = Json::object();
+  const auto put = [&cluster](const char* k, std::uint64_t v) {
+    cluster[k] = Json(static_cast<std::int64_t>(v));
+  };
+  put("writes_ok", cm.writes_ok);
+  put("writes_unavailable", cm.writes_unavailable);
+  put("reads_ok", cm.reads_ok);
+  put("reads_unavailable", cm.reads_unavailable);
+  put("hints_stored", cm.hints_stored);
+  put("hints_replayed", cm.hints_replayed);
+  put("hints_expired", cm.hints_expired);
+  put("hints_overflowed", cm.hints_overflowed);
+  put("read_repairs", cm.read_repairs);
+  put("read_retries", cm.read_retries);
+  put("write_retries", cm.write_retries);
+  put("speculative_reads", cm.speculative_reads);
+  put("replica_timeouts", cm.replica_timeouts);
+  put("digest_mismatches", cm.digest_mismatches);
+  Json j = Json::object();
+  j["server"] = std::move(server);
+  j["cluster"] = std::move(cluster);
+  j["rendered"] = Json(render_cluster_metrics(cm));
+  return j;
 }
 
 Result<Json> AnalyticsServer::op_nodeinfo(const Json& request) {

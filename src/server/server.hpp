@@ -78,6 +78,7 @@ class AnalyticsServer {
   Result<Json> op_synopsis(const Json& request);
   Result<Json> op_events(const Json& request);
   Result<Json> op_jobs(const Json& request);
+  Result<Json> op_metrics(const Json& request);
 
   // complex path (big data processing unit)
   Result<Json> op_heatmap(const Json& request);

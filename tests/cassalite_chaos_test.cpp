@@ -1,0 +1,443 @@
+// Chaos convergence harness for the resilient coordinator.
+//
+// A seeded random fault schedule — crash windows, slow replicas, transient
+// read/write errors, plus storage crashes — runs interleaved with QUORUM
+// writes and reads on a deterministic virtual clock (no wall-clock sleeps
+// anywhere). Invariants checked:
+//   * every QUORUM-acknowledged write is readable at QUORUM at all times,
+//   * after heal + hint replay, replicas hold byte-identical partitions,
+//   * every surfaced error is an honest UNAVAILABLE or TIMEOUT.
+//
+// The schedule seed comes from the CHAOS_SEED environment variable:
+// unset -> three fixed seeds (CI-reproducible), "random" -> one seed from
+// std::random_device (informational run), any number -> that seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cassalite/cluster.hpp"
+#include "cassalite/gossip.hpp"
+#include "common/faultsim.hpp"
+#include "common/rng.hpp"
+
+namespace hpcla::cassalite {
+namespace {
+
+Row chaos_row(std::int64_t seq, const std::string& value) {
+  Row r;
+  r.key = ClusteringKey::of({Value(seq), Value(0)});
+  r.set("v", Value(value));
+  return r;
+}
+
+bool honest_error(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kTimeout;
+}
+
+/// One full chaos run at `seed`: ~400 virtual seconds of faults + traffic,
+/// then heal, replay, and convergence checks.
+void run_chaos_schedule(std::uint64_t seed) {
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = seed;
+  fopts.write_error_rate = 0.08;
+  fopts.read_error_rate = 0.08;
+  fopts.base_latency_ms = 2;
+  fopts.slow_latency_ms = 40;
+
+  ClusterOptions copts;
+  copts.node_count = 6;
+  copts.replication_factor = 3;
+  copts.read_timeout_ms = 30;  // slow replicas (40 ms) overshoot this
+  copts.write_timeout_ms = 30;
+  copts.speculative_delay_ms = 5;
+
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  Rng rng(seed);
+  const std::vector<std::string> pks = {"pk0", "pk1", "pk2", "pk3",
+                                        "pk4", "pk5", "pk6", "pk7"};
+  // Ground truth: every acknowledged write, per partition.
+  std::map<std::string, std::map<std::int64_t, std::string>> acked;
+  std::int64_t seq = 0;
+  std::uint64_t rejected_writes = 0;
+  std::uint64_t rejected_reads = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const std::int64_t now = clock.now_ms();
+    // --- fault schedule: open/close windows in virtual time -------------
+    if (rng.chance(0.08)) {
+      const std::size_t node = rng.next_below(copts.node_count);
+      const auto dur = static_cast<std::int64_t>(20 + rng.next_below(200));
+      if (rng.chance(0.5)) {
+        injector.crash_window(node, now, now + dur);
+      } else {
+        injector.slow_window(node, now, now + dur);
+      }
+    }
+    if (rng.chance(0.05)) {
+      injector.heal_node(rng.next_below(copts.node_count));
+    }
+    if (rng.chance(0.02)) {
+      // Process crash: memtables lost, recovered from the commit log.
+      (void)cluster.crash_node(rng.next_below(copts.node_count));
+    }
+    if (rng.chance(0.04)) {
+      // Returning nodes drain their hint queues incrementally.
+      const std::size_t node = rng.next_below(copts.node_count);
+      if (!injector.is_down(node)) (void)cluster.replay_hints(node);
+    }
+
+    // --- one write ------------------------------------------------------
+    const std::string& pk = pks[rng.next_below(pks.size())];
+    const std::string value = "v" + std::to_string(seq);
+    const Status st =
+        cluster.insert("t", pk, chaos_row(seq, value), Consistency::kQuorum);
+    if (st.is_ok()) {
+      acked[pk][seq] = value;
+    } else {
+      EXPECT_TRUE(honest_error(st)) << st.to_string();
+      ++rejected_writes;
+    }
+    ++seq;
+
+    // --- periodic QUORUM read-back of everything acknowledged -----------
+    if (step % 7 == 0) {
+      const std::string& rpk = pks[rng.next_below(pks.size())];
+      ReadQuery q;
+      q.table = "t";
+      q.partition_key = rpk;
+      const auto r = cluster.select(q, Consistency::kQuorum);
+      if (r.is_ok()) {
+        std::map<std::int64_t, std::string> got;
+        for (const Row& row : r->rows) {
+          got[row.key.parts[0].as_int()] = row.find("v")->as_text();
+        }
+        for (const auto& [s, v] : acked[rpk]) {
+          const auto it = got.find(s);
+          ASSERT_NE(it, got.end())
+              << "acked write seq=" << s << " lost from '" << rpk << "'";
+          EXPECT_EQ(it->second, v) << "seq=" << s << " in '" << rpk << "'";
+        }
+      } else {
+        EXPECT_TRUE(honest_error(r.status())) << r.status().to_string();
+        ++rejected_reads;
+      }
+    }
+    clock.advance_ms(10);
+  }
+
+  // The schedule must have actually exercised the fault paths.
+  const FaultCounts fc = injector.counts();
+  EXPECT_GT(fc.write_errors + fc.read_errors, 0u);
+  EXPECT_GT(fc.slow_ops, 0u);
+
+  // --- heal + replay ----------------------------------------------------
+  // End the fault epoch entirely: clear crash/slow windows and detach the
+  // injector so transient error rates stop firing during verification.
+  injector.heal_all();
+  cluster.set_fault_injector(nullptr);
+  (void)cluster.replay_all_hints();
+  EXPECT_EQ(cluster.pending_hints(), 0u);
+
+  // --- convergence: byte-identical partitions on every replica ----------
+  for (const auto& pk : pks) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = pk;
+    const auto replicas = cluster.replicas_of(pk);
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    for (NodeIndex r : replicas) {
+      EXPECT_EQ(rows_digest(cluster.engine(r).read(q).rows), want)
+          << "replica " << r << " of '" << pk << "' diverged after heal";
+    }
+    // Zero acknowledged-write loss, now verifiable at ALL.
+    const auto read = cluster.select(q, Consistency::kAll);
+    ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+    std::map<std::int64_t, std::string> got;
+    for (const Row& row : read->rows) {
+      got[row.key.parts[0].as_int()] = row.find("v")->as_text();
+    }
+    for (const auto& [s, v] : acked[pk]) {
+      const auto it = got.find(s);
+      ASSERT_NE(it, got.end()) << "acked seq=" << s << " lost from '" << pk
+                               << "' after heal + replay";
+      EXPECT_EQ(it->second, v);
+    }
+  }
+
+  // The run is only interesting if the coordinator actually had to work.
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GT(m.hints_stored, 0u);
+  EXPECT_GT(m.read_retries + m.write_retries, 0u);
+  std::size_t acked_total = 0;
+  for (const auto& [_, rows] : acked) acked_total += rows.size();
+  std::fprintf(stderr,
+               "[chaos seed=%llu] acked=%zu rejected_writes=%llu "
+               "rejected_reads=%llu retries=%llu/%llu spec=%llu "
+               "timeouts=%llu hints=%llu/%llu mismatches=%llu\n",
+               static_cast<unsigned long long>(seed), acked_total,
+               static_cast<unsigned long long>(rejected_writes),
+               static_cast<unsigned long long>(rejected_reads),
+               static_cast<unsigned long long>(m.read_retries),
+               static_cast<unsigned long long>(m.write_retries),
+               static_cast<unsigned long long>(m.speculative_reads),
+               static_cast<unsigned long long>(m.replica_timeouts),
+               static_cast<unsigned long long>(m.hints_stored),
+               static_cast<unsigned long long>(m.hints_replayed),
+               static_cast<unsigned long long>(m.digest_mismatches));
+}
+
+std::vector<std::uint64_t> chaos_seeds() {
+  const char* env = std::getenv("CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return {1, 2, 3};
+  if (std::string(env) == "random") {
+    std::random_device rd;
+    const std::uint64_t s =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    std::fprintf(stderr, "CHAOS_SEED=random -> seed %llu\n",
+                 static_cast<unsigned long long>(s));
+    return {s};
+  }
+  return {std::strtoull(env, nullptr, 10)};
+}
+
+TEST(ChaosTest, SeededFaultScheduleConvergesWithZeroAckedLoss) {
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    run_chaos_schedule(seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative retry masks a slow replica: p99 read latency with one
+// injected-slow node stays within 2x the no-fault baseline, while without
+// speculation it sits at the slow replica's full latency.
+// ---------------------------------------------------------------------------
+
+std::int64_t p99(std::vector<std::int64_t> v) {
+  HPCLA_CHECK_MSG(!v.empty(), "p99 of empty sample");
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, (v.size() * 99) / 100)];
+}
+
+struct LatencyProbe {
+  std::vector<std::int64_t> latencies;
+  std::uint64_t speculated = 0;
+};
+
+void run_read_latency(bool speculation, bool one_slow_node,
+                      LatencyProbe* probe) {
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = 7;
+  fopts.base_latency_ms = 10;
+  fopts.slow_latency_ms = 400;
+
+  ClusterOptions copts;
+  copts.node_count = 5;
+  copts.replication_factor = 3;
+  copts.speculative_retry = speculation;
+  copts.speculative_delay_ms = 10;
+  copts.read_timeout_ms = 1000;  // slow responses are late, not timed out
+
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  const int kKeys = 100;
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(cluster
+                    .insert("t", "key" + std::to_string(k),
+                            chaos_row(k, "x"), Consistency::kQuorum)
+                    .is_ok())
+        << k;
+  }
+  if (one_slow_node) injector.slow_window(0, 0, INT64_MAX / 2);
+
+  for (int k = 0; k < kKeys; ++k) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = "key" + std::to_string(k);
+    const auto r = cluster.select_traced(q, Consistency::kQuorum);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    probe->latencies.push_back(r->latency_ms);
+    probe->speculated += r->speculated ? 1 : 0;
+  }
+}
+
+TEST(ChaosTest, SpeculativeRetryMasksSlowReplica) {
+  LatencyProbe baseline, hedged, unhedged;
+  run_read_latency(true, false, &baseline);
+  run_read_latency(true, true, &hedged);
+  run_read_latency(false, true, &unhedged);
+
+  const std::int64_t base_p99 = p99(baseline.latencies);
+  const std::int64_t hedged_p99 = p99(hedged.latencies);
+  const std::int64_t unhedged_p99 = p99(unhedged.latencies);
+
+  // No faults: every read completes at the base latency, nothing hedges.
+  EXPECT_EQ(base_p99, 10);
+  EXPECT_EQ(baseline.speculated, 0u);
+
+  // One slow replica: speculation bounds p99 at delay + base latency...
+  EXPECT_LE(hedged_p99, 2 * base_p99);
+  EXPECT_GT(hedged.speculated, 0u);
+  // ...while without speculation the tail pins to the slow replica.
+  EXPECT_EQ(unhedged_p99, 400);
+  EXPECT_GT(unhedged_p99, 2 * base_p99);
+}
+
+// ---------------------------------------------------------------------------
+// Gossip-driven replica ordering: a suspected node is tried last, and a
+// recovered node (generation bump) rejoins the preferred order.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, SuspectedNodeIsDeprioritizedUntilRecovery) {
+  ClusterOptions copts;
+  copts.node_count = 5;
+  copts.replication_factor = 3;
+  Cluster cluster(copts);
+
+  GossipOptions gopts;
+  gopts.node_count = 5;
+  gopts.suspect_after_rounds = 3;
+  Gossiper gossip(gopts);
+  // The coordinator (node 0's viewpoint) consults gossip suspicion.
+  cluster.set_suspicion_source(
+      [&gossip](NodeIndex n) { return gossip.suspects(0, n); });
+
+  const std::string pk = "pk-order";
+  const auto replicas = cluster.replicas_of(pk);
+  gossip.run(6);
+  EXPECT_EQ(cluster.read_order_of(pk), replicas);  // healthy: ring order
+
+  // Kill a replica at the gossip layer only: still "up" for the cluster,
+  // but suspicion pushes it to the back of the read order.
+  const NodeIndex victim = replicas[0];
+  gossip.kill(victim);
+  gossip.run(gopts.suspect_after_rounds + 2);
+  ASSERT_TRUE(gossip.suspects(0, victim));
+  auto order = cluster.read_order_of(pk);
+  ASSERT_EQ(order.size(), replicas.size());
+  EXPECT_EQ(order.back(), victim);
+  // Remaining replicas keep their relative order (stable partition).
+  EXPECT_EQ(order[0], replicas[1]);
+  EXPECT_EQ(order[1], replicas[2]);
+
+  // Recovery: generation bump spreads, suspicion clears, and the node
+  // rejoins the preferred slot.
+  gossip.revive(victim);
+  gossip.run(gopts.suspect_after_rounds);
+  ASSERT_FALSE(gossip.suspects(0, victim));
+  EXPECT_EQ(cluster.read_order_of(pk), replicas);
+}
+
+// ---------------------------------------------------------------------------
+// TSan target: concurrent writers/readers/chaos against the sharded hint
+// queues, retry paths, and metrics counters.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosConcurrencyTest, ConcurrentTrafficUnderFaultsStaysCoherent) {
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = 99;
+  fopts.write_error_rate = 0.05;
+  fopts.read_error_rate = 0.05;
+  fopts.base_latency_ms = 1;
+  fopts.slow_latency_ms = 8;
+
+  ClusterOptions copts;
+  copts.node_count = 5;
+  copts.replication_factor = 3;
+  copts.read_timeout_ms = 50;
+  copts.speculative_delay_ms = 2;
+
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  constexpr int kWriters = 2;
+  constexpr int kOpsPerWriter = 1500;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::int64_t seq = static_cast<std::int64_t>(w) * 1000000 + i;
+        const Status st = cluster.insert(
+            "t", "pk" + std::to_string(i % 4), chaos_row(seq, "x"),
+            Consistency::kQuorum);
+        EXPECT_TRUE(st.is_ok() || honest_error(st)) << st.to_string();
+      }
+    });
+  }
+  threads.emplace_back([&] {  // reader
+    while (!done.load(std::memory_order_acquire)) {
+      for (int p = 0; p < 4; ++p) {
+        ReadQuery q;
+        q.table = "t";
+        q.partition_key = "pk" + std::to_string(p);
+        const auto r = cluster.select(q, Consistency::kQuorum);
+        EXPECT_TRUE(r.is_ok() || honest_error(r.status()))
+            << r.status().to_string();
+      }
+      (void)cluster.pending_hints();
+      (void)cluster.metrics();
+    }
+  });
+  threads.emplace_back([&] {  // chaos: windows, clock, incremental replay
+    std::uint64_t tick = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::size_t node = tick % copts.node_count;
+      const std::int64_t now = clock.now_ms();
+      if (tick % 3 == 0) {
+        injector.crash_window(node, now, now + 20);
+      } else {
+        injector.slow_window(node, now, now + 20);
+      }
+      clock.advance_ms(5);
+      if (tick % 4 == 0) (void)cluster.replay_hints(node);
+      if (tick % 7 == 0) injector.heal_node(node);
+      ++tick;
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  threads[kWriters].join();
+  threads[kWriters + 1].join();
+
+  injector.heal_all();
+  (void)cluster.replay_all_hints();
+  for (int p = 0; p < 4; ++p) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = "pk" + std::to_string(p);
+    const auto r = cluster.select(q, Consistency::kAll);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    const auto replicas = cluster.replicas_of(q.partition_key);
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    for (NodeIndex node : replicas) {
+      EXPECT_EQ(rows_digest(cluster.engine(node).read(q).rows), want)
+          << "replica " << node << " diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcla::cassalite

@@ -9,6 +9,7 @@
 
 #include "cassalite/cluster.hpp"
 #include "cassalite/ring.hpp"
+#include "common/faultsim.hpp"
 
 namespace hpcla::cassalite {
 namespace {
@@ -486,6 +487,150 @@ TEST(ClusterPagingTest, EmptyPartition) {
   ASSERT_TRUE(page.is_ok());
   EXPECT_TRUE(page->rows.empty());
   EXPECT_FALSE(page->next.has_value());
+}
+
+// -------------------------------------------------------------- resilience
+
+TEST(ResilienceTest, HintQueueIsBoundedPerNodeOldestDroppedFirst) {
+  ClusterOptions o = small_cluster();
+  o.max_hints_per_node = 4;
+  Cluster c(o);
+  const auto reps = c.replicas_of("pk");
+  c.kill_node(reps[1]);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(c.insert("t", "pk", event_row(i, 0, "m" + std::to_string(i)),
+                         Consistency::kQuorum)
+                    .is_ok());
+  }
+  EXPECT_EQ(c.pending_hints(), 4u);  // bound held
+  EXPECT_EQ(c.metrics().hints_overflowed, 3u);
+  EXPECT_EQ(c.revive_node(reps[1]), 4u);
+
+  // Only the 4 newest writes were hinted; the revived node misses 0..2
+  // until read repair touches the partition.
+  ReadQuery q;
+  q.table = "t";
+  q.partition_key = "pk";
+  const auto rows = c.engine(reps[1]).read(q).rows;
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().key.parts[0].as_int(), 3);
+}
+
+TEST(ResilienceTest, ExpiredHintsAreDroppedNotReplayed) {
+  SimClock clock;
+  ClusterOptions o = small_cluster();
+  o.hint_ttl_ms = 100;
+  Cluster c(o);
+  c.set_clock(&clock);
+  const auto reps = c.replicas_of("pk");
+  c.kill_node(reps[1]);
+  ASSERT_TRUE(
+      c.insert("t", "pk", event_row(1, 0, "old"), Consistency::kQuorum)
+          .is_ok());
+  clock.advance_ms(150);  // past the TTL
+  ASSERT_TRUE(
+      c.insert("t", "pk", event_row(2, 0, "new"), Consistency::kQuorum)
+          .is_ok());
+  // Replay applies only the fresh hint; the expired one is counted, not
+  // delivered.
+  EXPECT_EQ(c.revive_node(reps[1]), 1u);
+  EXPECT_EQ(c.metrics().hints_expired, 1u);
+  ReadQuery q;
+  q.table = "t";
+  q.partition_key = "pk";
+  const auto rows = c.engine(reps[1]).read(q).rows;
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].find("msg")->as_text(), "new");
+}
+
+TEST(ResilienceTest, TransientWriteErrorsAreRetriedAndCounted) {
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = 21;
+  fopts.write_error_rate = 0.3;
+  fopts.base_latency_ms = 1;
+  ClusterOptions o = small_cluster();
+  FaultInjector injector(o.node_count, fopts, &clock);
+  Cluster c(o);
+  c.set_fault_injector(&injector);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    // At a 30% transient error rate with 2 retries per replica, QUORUM
+    // writes virtually never fail (p(replica lost) ~ 0.027).
+    const Status st = c.insert("t", "pk" + std::to_string(i % 5),
+                               event_row(i, 0, "m"), Consistency::kQuorum);
+    EXPECT_TRUE(st.is_ok() || st.code() == StatusCode::kUnavailable);
+  }
+  const ClusterMetrics m = c.metrics();
+  EXPECT_GT(m.write_retries, 0u);
+  EXPECT_GT(m.writes_ok, 90u);
+  EXPECT_GT(injector.counts().write_errors, 0u);
+}
+
+TEST(ResilienceTest, DigestMismatchTriggersRepairOfStaleReplica) {
+  // Build divergence the honest way: a hint expires, so the revived
+  // replica never hears about the overwrite. A QUORUM-of-digests read then
+  // disagrees, falls back to full reads + LWW merge, and repairs it.
+  SimClock clock;
+  ClusterOptions o = small_cluster();
+  o.hint_ttl_ms = 50;
+  Cluster c(o);
+  c.set_clock(&clock);
+  ASSERT_TRUE(
+      c.insert("t", "pk", event_row(1, 0, "v1"), Consistency::kAll).is_ok());
+  const auto reps = c.replicas_of("pk");
+  c.kill_node(reps[0]);
+  ASSERT_TRUE(
+      c.insert("t", "pk", event_row(1, 0, "v2"), Consistency::kQuorum)
+          .is_ok());
+  clock.advance_ms(100);         // the hint for reps[0] expires
+  EXPECT_EQ(c.revive_node(reps[0]), 0u);
+  EXPECT_EQ(c.metrics().hints_expired, 1u);
+
+  ReadQuery q;
+  q.table = "t";
+  q.partition_key = "pk";
+  // The stale replica really is stale before the coordinated read...
+  ASSERT_EQ(c.engine(reps[0]).read(q).rows[0].find("msg")->as_text(), "v1");
+  const auto r = c.select(q, Consistency::kAll);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->rows[0].find("msg")->as_text(), "v2");
+  EXPECT_GT(c.metrics().digest_mismatches, 0u);
+  EXPECT_GT(c.metrics().read_repairs, 0u);
+  // ...and repaired after it.
+  EXPECT_EQ(c.engine(reps[0]).read(q).rows[0].find("msg")->as_text(), "v2");
+}
+
+TEST(ResilienceTest, TracedReadReportsSpeculationAndLatency) {
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = 4;
+  fopts.base_latency_ms = 5;
+  fopts.slow_latency_ms = 200;
+  ClusterOptions o;
+  o.node_count = 5;
+  o.replication_factor = 3;
+  o.speculative_delay_ms = 5;
+  o.read_timeout_ms = 1000;
+  FaultInjector injector(o.node_count, fopts, &clock);
+  Cluster c(o);
+  c.set_fault_injector(&injector);
+  ASSERT_TRUE(
+      c.insert("t", "pk", event_row(1, 0, "x"), Consistency::kAll).is_ok());
+
+  ReadQuery q;
+  q.table = "t";
+  q.partition_key = "pk";
+  const auto order = c.read_order_of("pk");
+  ASSERT_GE(order.size(), 3u);
+  injector.slow_window(order[0], 0, INT64_MAX / 2);  // first-choice replica
+
+  const auto traced = c.select_traced(q, Consistency::kQuorum);
+  ASSERT_TRUE(traced.is_ok());
+  EXPECT_TRUE(traced->speculated);
+  EXPECT_EQ(traced->latency_ms, 10);  // spec_delay(5) + base(5), not 200
+  EXPECT_EQ(traced->replicas_contacted, 3u);
+  EXPECT_EQ(traced->result.rows.size(), 1u);
+  EXPECT_EQ(c.metrics().speculative_reads, 1u);
 }
 
 class ClusterScaleTest : public ::testing::TestWithParam<std::size_t> {};

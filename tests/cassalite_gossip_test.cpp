@@ -1,8 +1,10 @@
 // Tests for gossip membership: rumor spread, failure suspicion, recovery,
-// and the classic O(log N) convergence property.
+// the classic O(log N) convergence property, and message-drop injection.
 #include "cassalite/gossip.hpp"
 
 #include <gtest/gtest.h>
+
+#include "common/faultsim.hpp"
 
 namespace hpcla::cassalite {
 namespace {
@@ -125,6 +127,91 @@ TEST_P(GossipManyFailuresTest, MinoritySuspectedExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Kills, GossipManyFailuresTest,
                          ::testing::Values(1, 3, 5, 7));
+
+// ----------------------------------------------------------- drop injection
+
+TEST(GossipFaultTest, PartialDropsSlowButDontStopConvergence) {
+  // Rounds for a revived node's resurrection heartbeat to reach everyone,
+  // with an optional injector dropping exchanges in flight.
+  const auto spread_rounds = [](FaultInjector* injector) {
+    Gossiper g(opts(16, /*seed=*/9));
+    if (injector != nullptr) g.set_fault_injector(injector);
+    g.run(5);
+    g.kill(0);
+    g.run(8);
+    g.revive(0);
+    const std::int64_t resurrection_hb = g.known_heartbeat(0, 0);
+    for (std::size_t rounds = 1; rounds <= 200; ++rounds) {
+      g.step();
+      std::size_t informed = 0;
+      for (std::size_t o = 0; o < 16; ++o) {
+        informed += g.known_heartbeat(o, 0) >= resurrection_hb ? 1 : 0;
+      }
+      if (informed == 16) return rounds;
+    }
+    return static_cast<std::size_t>(0);  // never spread
+  };
+
+  const std::size_t clean_rounds = spread_rounds(nullptr);
+  ASSERT_GT(clean_rounds, 0u);
+
+  // 40% of exchanges lost in flight: gossip's redundancy still spreads the
+  // rumor everywhere, just in more rounds.
+  FaultOptions fopts;
+  fopts.seed = 5;
+  fopts.gossip_drop_rate = 0.4;
+  FaultInjector injector(16, fopts);
+  const std::size_t lossy_rounds = spread_rounds(&injector);
+  ASSERT_GT(lossy_rounds, 0u) << "rumor never fully spread under 40% loss";
+  EXPECT_GE(lossy_rounds, clean_rounds);
+  EXPECT_GT(injector.counts().gossip_drops, 0u);
+}
+
+TEST(GossipFaultTest, TotalLossLooksLikeEveryoneDied) {
+  // Drop rate 1.0: no exchange ever merges, so heartbeats never propagate
+  // and after the suspicion window every node suspects every other node —
+  // a full partition is indistinguishable from total failure.
+  FaultOptions fopts;
+  fopts.gossip_drop_rate = 1.0;
+  FaultInjector injector(8, fopts);
+  Gossiper g(opts(8));
+  g.set_fault_injector(&injector);
+  g.run(static_cast<std::size_t>(opts(8).suspect_after_rounds) + 4);
+  EXPECT_FALSE(g.converged());
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(g.suspicion_count(t), 7u) << "target " << t;
+  }
+}
+
+TEST(GossipFaultTest, DropsDelaySuspicionOfARealDeath) {
+  // With lossy links the rumor of a death spreads slower: after the same
+  // number of rounds, fewer nodes suspect the dead node than in the
+  // lossless run (deterministic at these seeds).
+  const auto suspicions_after = [](FaultInjector* injector) {
+    Gossiper g(opts(16, /*seed=*/3));
+    if (injector != nullptr) g.set_fault_injector(injector);
+    g.run(10);
+    g.kill(5);
+    g.run(8);  // suspect_after_rounds + 2: mid-spread, not fully unanimous
+    return g.suspicion_count(5);
+  };
+  FaultOptions fopts;
+  fopts.seed = 17;
+  fopts.gossip_drop_rate = 0.6;
+  FaultInjector injector(16, fopts);
+  const std::size_t lossless = suspicions_after(nullptr);
+  const std::size_t lossy = suspicions_after(&injector);
+  EXPECT_GT(lossless, 0u);
+  EXPECT_LE(lossy, lossless);
+  // Either way the cluster eventually reaches unanimous suspicion.
+  Gossiper g(opts(16, /*seed=*/3));
+  FaultInjector injector2(16, fopts);
+  g.set_fault_injector(&injector2);
+  g.run(10);
+  g.kill(5);
+  g.run(60);
+  EXPECT_EQ(g.suspicion_count(5), 15u);
+}
 
 }  // namespace
 }  // namespace hpcla::cassalite

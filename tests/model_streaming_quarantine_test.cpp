@@ -1,0 +1,189 @@
+// Poison-record quarantine: undecodable bus messages are forwarded to the
+// dead-letter topic byte-for-byte (offline inspection + replay) instead of
+// being silently dropped, and the good records still ingest.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/faultsim.hpp"
+#include "model/ingest.hpp"
+#include "model/keys.hpp"
+#include "model/streaming_ingest.hpp"
+#include "model/tables.hpp"
+
+namespace hpcla::model {
+namespace {
+
+using cassalite::Cluster;
+using cassalite::ClusterOptions;
+using cassalite::ReadQuery;
+using titanlog::EventRecord;
+using titanlog::EventType;
+
+constexpr UnixSeconds kT0 = 1489449600;  // 2017-03-14 00:00:00 UTC
+
+struct Fixture {
+  Cluster cluster{[] {
+    ClusterOptions o;
+    o.node_count = 4;
+    o.replication_factor = 2;
+    return o;
+  }()};
+  sparklite::Engine engine{sparklite::EngineOptions{.workers = 4}};
+
+  Fixture() { HPCLA_CHECK(create_data_model(cluster).is_ok()); }
+};
+
+EventRecord event(UnixSeconds ts, EventType type, topo::NodeId node,
+                  std::int64_t seq) {
+  EventRecord e;
+  e.ts = ts;
+  e.type = type;
+  e.node = node;
+  e.seq = seq;
+  e.message = "m";
+  return e;
+}
+
+/// All messages currently on `topic`, in (partition, offset) order.
+std::vector<buslite::Message> drain_topic(const buslite::Broker& broker,
+                                          const std::string& topic) {
+  std::vector<buslite::Message> out;
+  const auto parts = broker.partition_count(topic);
+  if (!parts.is_ok()) return out;
+  for (int p = 0; p < parts.value(); ++p) {
+    auto fetched = broker.fetch(topic, p, 0, 1u << 20);
+    if (!fetched.is_ok()) continue;
+    for (auto& m : fetched.value()) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+TEST(QuarantineTest, DeadLetterTopicNaming) {
+  EXPECT_EQ(dead_letter_topic("events"), "events.dlq");
+}
+
+TEST(QuarantineTest, HandCorruptedMessagesLandOnDlqByteForByte) {
+  Fixture f;
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 2}).is_ok());
+  // Two distinct corruptions plus one good record.
+  ASSERT_TRUE(broker.produce("events", "c0-0c0s0n0", "not json at all", 1000)
+                  .is_ok());
+  ASSERT_TRUE(
+      broker.produce("events", "c1-0c0s0n1", R"({"ts": 12})", 2000).is_ok());
+  EventPublisher pub(broker, "events");
+  ASSERT_TRUE(pub.publish(event(kT0, EventType::kMachineCheck, 3, 0)).is_ok());
+
+  StreamingIngestor ingestor(f.cluster, f.engine, broker, "events");
+  const auto report = ingestor.process_available();
+  EXPECT_EQ(report.decode_failures, 2u);
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_EQ(report.events_written, 1u);
+
+  // The DLQ preserves key, payload bytes, and timestamp of each reject.
+  const auto dlq = drain_topic(broker, dead_letter_topic("events"));
+  ASSERT_EQ(dlq.size(), 2u);
+  std::set<std::string> payloads;
+  for (const auto& m : dlq) payloads.insert(m.value);
+  EXPECT_EQ(payloads,
+            (std::set<std::string>{"not json at all", R"({"ts": 12})"}));
+  for (const auto& m : dlq) {
+    if (m.value == "not json at all") {
+      EXPECT_EQ(m.key, "c0-0c0s0n0");
+      EXPECT_EQ(m.timestamp, 1000);
+    } else {
+      EXPECT_EQ(m.key, "c1-0c0s0n1");
+      EXPECT_EQ(m.timestamp, 2000);
+    }
+  }
+}
+
+TEST(QuarantineTest, InjectedPoisonQuarantinesButGoodRecordsIngest) {
+  Fixture f;
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 4}).is_ok());
+
+  FaultOptions fopts;
+  fopts.seed = 11;
+  fopts.poison_rate = 0.2;
+  FaultInjector injector(f.cluster.node_count(), fopts);
+
+  EventPublisher pub(broker, "events");
+  pub.set_fault_injector(&injector);
+  constexpr int kRecords = 200;
+  for (int i = 0; i < kRecords; ++i) {
+    // Distinct (node, second) so nothing coalesces: clean arithmetic below.
+    ASSERT_TRUE(
+        pub.publish(event(kT0 + i, EventType::kLustreError, 100 + i, i))
+            .is_ok());
+  }
+  const std::uint64_t poisoned = injector.counts().poisoned_records;
+  ASSERT_GT(poisoned, 0u);
+  ASSERT_LT(poisoned, static_cast<std::uint64_t>(kRecords));
+
+  StreamingIngestor ingestor(f.cluster, f.engine, broker, "events");
+  (void)ingestor.process_available();
+  const auto& totals = ingestor.totals();
+  EXPECT_EQ(totals.messages_in, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(totals.decode_failures, poisoned);
+  EXPECT_EQ(totals.quarantined, poisoned);
+  EXPECT_EQ(totals.events_written,
+            static_cast<std::uint64_t>(kRecords) - poisoned);
+
+  // Every poisoned record is on the DLQ; every clean one is queryable.
+  EXPECT_EQ(drain_topic(broker, dead_letter_topic("events")).size(), poisoned);
+  std::uint64_t rows = 0;
+  for (int i = 0; i < kRecords; ++i) {
+    ReadQuery q;
+    q.table = std::string(kEventByLocation);
+    q.partition_key = event_location_key(hour_bucket(kT0 + i), 100 + i);
+    const auto r = f.cluster.select(q);
+    ASSERT_TRUE(r.is_ok());
+    rows += r->rows.size();
+  }
+  EXPECT_EQ(rows, static_cast<std::uint64_t>(kRecords) - poisoned);
+
+  // Offsets committed: a second poll quarantines nothing new.
+  const auto again = ingestor.process_available();
+  EXPECT_EQ(again.messages_in, 0u);
+  EXPECT_EQ(again.quarantined, 0u);
+}
+
+TEST(QuarantineTest, QuarantinedMessagesAreReplayable) {
+  // The DLQ contract: a fixed upstream can re-publish quarantined payloads.
+  // Simulate with a truncation that is decodable after repair... simplest
+  // honest version: replay the *original* payload once the producer bug is
+  // fixed — here, re-publish the good JSON and verify ingestion catches up.
+  Fixture f;
+  buslite::Broker broker;
+  ASSERT_TRUE(broker.create_topic("events", {.partitions = 1}).is_ok());
+
+  const EventRecord good = event(kT0 + 5, EventType::kGpuMemoryError, 7, 1);
+  std::string payload = good.to_json().dump();
+  std::string truncated = payload.substr(0, payload.size() / 2);
+  ASSERT_TRUE(broker.produce("events", "c0-0c0s0n7", truncated, 5000).is_ok());
+
+  StreamingIngestor ingestor(f.cluster, f.engine, broker, "events");
+  EXPECT_EQ(ingestor.process_available().quarantined, 1u);
+  EXPECT_EQ(ingestor.totals().events_written, 0u);
+
+  // Quarantined bytes match what was sent — the replay source of truth.
+  const auto dlq = drain_topic(broker, dead_letter_topic("events"));
+  ASSERT_EQ(dlq.size(), 1u);
+  EXPECT_EQ(dlq[0].value, truncated);
+
+  // "Fixed producer" replays the full payload onto the main topic.
+  ASSERT_TRUE(broker.produce("events", "c0-0c0s0n7", payload, 5000).is_ok());
+  EXPECT_EQ(ingestor.process_available().events_written, 1u);
+  ReadQuery q;
+  q.table = std::string(kEventByLocation);
+  q.partition_key = event_location_key(hour_bucket(kT0 + 5), 7);
+  const auto r = f.cluster.select(q);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcla::model

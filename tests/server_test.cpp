@@ -395,6 +395,28 @@ TEST(ServerTest, MetricsSplitByPath) {
   EXPECT_EQ(after.complex_queries, before.complex_queries + 1);
 }
 
+TEST(ServerTest, MetricsOpExposesCoordinatorCounters) {
+  auto& f = fixture();
+  EXPECT_EQ(classify_query("metrics").value(), QueryPath::kSimple);
+  f.ok(R"({"op":"eventtypes"})");  // ensure at least one counted query
+  auto response = f.ok(R"({"op":"metrics"})");
+  const Json& result = response["result"];
+  // The fixture's setup ingested data, so write counters are non-zero.
+  EXPECT_GT(result["cluster"]["writes_ok"].as_int(), 0);
+  EXPECT_GE(result["server"]["simple_queries"].as_int(), 1);
+  // Resilience counters exist (zero in a fault-free suite run).
+  EXPECT_TRUE(result["cluster"]["speculative_reads"].is_int());
+  EXPECT_TRUE(result["cluster"]["replica_timeouts"].is_int());
+  EXPECT_TRUE(result["cluster"]["digest_mismatches"].is_int());
+  EXPECT_TRUE(result["cluster"]["hints_expired"].is_int());
+  EXPECT_TRUE(result["cluster"]["hints_overflowed"].is_int());
+  // Rendered scoreboard is human-readable text with both sections.
+  const std::string rendered = result["rendered"].as_string();
+  EXPECT_NE(rendered.find("coordinator"), std::string::npos);
+  EXPECT_NE(rendered.find("hinted handoff"), std::string::npos);
+  EXPECT_NE(rendered.find("writes_ok"), std::string::npos);
+}
+
 // ----------------------------------------------------------- async session
 
 TEST(AsyncSessionTest, SubmitPollWait) {
