@@ -6,7 +6,12 @@
 // long-poll session overhead.
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "cassalite/cql.hpp"
+#include "common/clock.hpp"
+#include "common/telemetry.hpp"
 
 namespace hpcla::bench {
 namespace {
@@ -114,7 +119,57 @@ void BM_Fig3_AsyncSessionRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig3_AsyncSessionRoundTrip);
 
+/// Tracing-overhead probe (acceptance: ≤5% on the complex path). Times the
+/// heatmap query with the tracer off and on; the delta is the cost of the
+/// root span plus every child span the query opens down the stack. Written
+/// as a root-level field of the JSON summary; check_trend.py reports it
+/// informationally.
+Json telemetry_overhead_probe() {
+  auto& f = fixture();
+  auto& tr = telemetry::tracer();
+  constexpr int kWarmup = 5;
+  constexpr int kIters = 20;
+  constexpr int kRounds = 5;
+  const auto mean_query_us = [&f](bool tracing) {
+    telemetry::tracer().set_enabled(tracing);
+    const Stopwatch watch;
+    for (int i = 0; i < kIters; ++i) {
+      auto r = f.server.handle_text(kComplexHeatmap);
+      benchmark::DoNotOptimize(r);
+    }
+    return static_cast<double>(watch.elapsed_micros()) / kIters;
+  };
+  for (int i = 0; i < kWarmup; ++i) {
+    auto r = f.server.handle_text(kComplexHeatmap);
+    benchmark::DoNotOptimize(r);
+  }
+  // Alternate off/on rounds and keep the per-mode minimum: the min is what
+  // the query costs without scheduler noise, which is the signal the ≤5%
+  // budget is about. A single long off-then-on pass conflates tracer cost
+  // with whatever the OS did during the second half.
+  double off_us = std::numeric_limits<double>::max();
+  double on_us = std::numeric_limits<double>::max();
+  for (int round = 0; round < kRounds; ++round) {
+    off_us = std::min(off_us, mean_query_us(false));
+    on_us = std::min(on_us, mean_query_us(true));
+  }
+  tr.set_enabled(true);
+  Json probe = Json::object();
+  probe["query"] = "heatmap";
+  probe["tracing_off_us"] = off_us;
+  probe["tracing_on_us"] = on_us;
+  probe["overhead_pct"] =
+      off_us > 0.0 ? (on_us - off_us) / off_us * 100.0 : 0.0;
+  return probe;
+}
+
 }  // namespace
 }  // namespace hpcla::bench
 
-int main(int argc, char** argv) { return hpcla::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) {
+  return hpcla::bench::bench_main(
+      argc, argv, [](hpcla::bench::BenchJsonWriter& writer) {
+        writer.root_extra()["telemetry_overhead"] =
+            hpcla::bench::telemetry_overhead_probe();
+      });
+}

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -228,18 +229,17 @@ class JsonSummaryReporter : public benchmark::ConsoleReporter {
     }
   }
 
-  void Finalize() override {
-    benchmark::ConsoleReporter::Finalize();
-    writer_->write();
-  }
-
  private:
   BenchJsonWriter* writer_;
 };
 
 /// Shared main for google-benchmark binaries: console output as usual plus
-/// the JSON summary file.
-inline int bench_main(int argc, char** argv) {
+/// the JSON summary file. `post` runs after the benchmarks but before the
+/// summary is written — the hook for bench-specific root-level fields
+/// (acceptance verdicts, overhead probes) computed from a finished run.
+inline int bench_main(
+    int argc, char** argv,
+    const std::function<void(BenchJsonWriter&)>& post = {}) {
   const std::string name = bench_name_from_argv0(argv[0]);
   const std::string path = consume_json_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
@@ -247,6 +247,8 @@ inline int bench_main(int argc, char** argv) {
   BenchJsonWriter writer(name, path);
   JsonSummaryReporter reporter(&writer);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (post) post(writer);
+  writer.write();
   benchmark::Shutdown();
   return 0;
 }

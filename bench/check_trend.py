@@ -40,6 +40,24 @@ def load_results(path):
     return out
 
 
+def report_telemetry_overhead(path):
+    """Prints the tracing-overhead probe some benches embed (informational:
+    the acceptance budget is 5%, but runner jitter makes it advisory)."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("telemetry_overhead")
+    if not isinstance(probe, dict):
+        return
+    pct = probe.get("overhead_pct")
+    if not isinstance(pct, (int, float)):
+        return
+    verdict = "within budget" if pct <= 5.0 else "OVER 5% budget"
+    print(
+        f"  telemetry overhead ({probe.get('query', '?')}): "
+        f"{pct:+.2f}% ({verdict}; informational)"
+    )
+
+
 def compare(current_path, baseline_path, threshold):
     """Prints a per-result diff; returns the list of regressed names."""
     current = load_results(current_path)
@@ -96,6 +114,7 @@ def main():
             print("  (current summary missing — bench did not run?)")
             all_regressions.append(path)
             continue
+        report_telemetry_overhead(path)
         if not os.path.exists(baseline):
             print(f"  (no baseline at {baseline} — skipping)")
             continue

@@ -9,6 +9,16 @@ namespace hpcla::buslite {
 Broker::Broker() {
   retired_.push_back(std::make_unique<TopicMap>());
   topics_.store(retired_.back().get(), std::memory_order_release);
+  telemetry_ = telemetry::registry().register_collector(
+      [this](telemetry::MetricSink& sink) {
+        const BrokerMetrics m = metrics();
+        sink.counter("buslite.produces", m.produces);
+        sink.counter("buslite.fetches", m.fetches);
+        sink.counter("buslite.messages_fetched", m.messages_fetched);
+        sink.counter("buslite.messages_trimmed", m.messages_trimmed);
+        sink.counter("buslite.commits", m.commits);
+        sink.counter("buslite.produce_contention", m.produce_contention);
+      });
 }
 
 Broker::Partition::Partition() {

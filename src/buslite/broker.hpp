@@ -33,6 +33,7 @@
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "common/telemetry.hpp"
 
 namespace hpcla::buslite {
 
@@ -192,6 +193,9 @@ class Broker {
   std::atomic<const TopicMap*> topics_{nullptr};
   std::vector<std::unique_ptr<const TopicMap>> retired_;
   mutable std::array<CommitShard, kCommitShards> commit_shards_;
+  /// Registry collector (captures `this`). Last member so it deregisters
+  /// before anything it reads is torn down.
+  telemetry::CollectorHandle telemetry_;
 };
 
 /// Convenience producer bound to one topic.

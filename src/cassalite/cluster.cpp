@@ -71,6 +71,45 @@ Cluster::Cluster(ClusterOptions options)
     alive_[i].store(true, std::memory_order_relaxed);
   }
   hint_shards_ = std::make_unique<HintShard[]>(options_.node_count);
+  telemetry_ = telemetry::registry().register_collector(
+      [this](telemetry::MetricSink& sink) {
+        const ClusterMetrics m = metrics();
+        sink.counter("cassalite.write.ok", m.writes_ok);
+        sink.counter("cassalite.write.unavailable", m.writes_unavailable);
+        sink.counter("cassalite.write.retries", m.write_retries);
+        sink.counter("cassalite.read.ok", m.reads_ok);
+        sink.counter("cassalite.read.unavailable", m.reads_unavailable);
+        sink.counter("cassalite.read.retries", m.read_retries);
+        sink.counter("cassalite.read.repairs", m.read_repairs);
+        sink.counter("cassalite.read.speculative", m.speculative_reads);
+        sink.counter("cassalite.read.digest_mismatches", m.digest_mismatches);
+        sink.counter("cassalite.replica.timeouts", m.replica_timeouts);
+        sink.counter("cassalite.hints.stored", m.hints_stored);
+        sink.counter("cassalite.hints.replayed", m.hints_replayed);
+        sink.counter("cassalite.hints.expired", m.hints_expired);
+        sink.counter("cassalite.hints.overflowed", m.hints_overflowed);
+        StorageMetrics s;
+        for (const auto& node : nodes_) {
+          const StorageMetrics n = node->metrics();
+          s.writes += n.writes;
+          s.reads += n.reads;
+          s.memtable_flushes += n.memtable_flushes;
+          s.compactions += n.compactions;
+          s.sstables_read += n.sstables_read;
+          s.bloom_rejections += n.bloom_rejections;
+          s.snapshot_reads += n.snapshot_reads;
+          s.compaction_stall_us += n.compaction_stall_us;
+        }
+        sink.counter("cassalite.storage.writes", s.writes);
+        sink.counter("cassalite.storage.reads", s.reads);
+        sink.counter("cassalite.storage.memtable_flushes", s.memtable_flushes);
+        sink.counter("cassalite.storage.compactions", s.compactions);
+        sink.counter("cassalite.storage.sstables_read", s.sstables_read);
+        sink.counter("cassalite.storage.bloom_rejections", s.bloom_rejections);
+        sink.counter("cassalite.storage.snapshot_reads", s.snapshot_reads);
+        sink.counter("cassalite.storage.compaction_stall_us",
+                     s.compaction_stall_us);
+      });
 }
 
 Status Cluster::create_table(TableSchema schema) {
@@ -164,6 +203,9 @@ std::int64_t Cluster::backoff_ms(std::uint64_t salt, std::int64_t prev) const {
 Status Cluster::insert(const std::string& table,
                        const std::string& partition_key, Row row,
                        Consistency consistency) {
+  telemetry::Span span("cassalite.write");
+  span.tag("table", table);
+  span.tag("consistency", consistency_name(consistency));
   row.write_ts = write_clock_.fetch_add(1, std::memory_order_relaxed);
   const auto replicas = replicas_of(partition_key);
   const std::size_t needed = required_acks(consistency, replicas.size());
@@ -245,6 +287,7 @@ Cluster::ReplicaTry Cluster::run_read_try(NodeIndex replica,
       prev_backoff = b;
       elapsed += b;
       read_retries_.fetch_add(1, std::memory_order_relaxed);
+      ++t.retries;
       continue;
     }
     ok = true;
@@ -268,6 +311,9 @@ Cluster::ReplicaTry Cluster::run_read_try(NodeIndex replica,
 
 Result<ReadTrace> Cluster::select_traced(const ReadQuery& query,
                                          Consistency consistency) const {
+  telemetry::Span span("cassalite.read");
+  span.tag("table", query.table);
+  span.tag("consistency", consistency_name(consistency));
   const auto replicas = replicas_of(query.partition_key);
   const std::size_t needed = required_acks(consistency, replicas.size());
   const auto candidates = order_replicas(replicas);
@@ -318,6 +364,7 @@ Result<ReadTrace> Cluster::select_traced(const ReadQuery& query,
       tries.push_back(run_read_try(candidates[next],
                                    options_.speculative_delay_ms,
                                    hash_combine(op_salt, candidates[next])));
+      tries.back().hedged = true;
       ++next;
       continue;
     }
@@ -329,6 +376,23 @@ Result<ReadTrace> Cluster::select_traced(const ReadQuery& query,
   for (const auto& t : tries) {
     if (t.usable) usable.push_back(&t);
     any_timeout = any_timeout || t.timed_out;
+  }
+  if (span.active()) {
+    // Per-replica child spans in virtual time, anchored at the read span's
+    // start — the chaos harness asserts these land in the slow-op log.
+    for (const auto& t : tries) {
+      std::vector<std::pair<std::string, std::string>> tags;
+      tags.emplace_back("replica", std::to_string(t.replica));
+      tags.emplace_back("usable", t.usable ? "true" : "false");
+      if (t.timed_out) tags.emplace_back("timed_out", "true");
+      if (t.hedged) tags.emplace_back("hedged", "true");
+      if (t.retries > 0) {
+        tags.emplace_back("retries", std::to_string(t.retries));
+      }
+      telemetry::emit_span(span.context(), "cassalite.replica",
+                           span.start_us() + t.start * 1000,
+                           (t.end - t.start) * 1000, std::move(tags));
+    }
   }
   if (usable.size() < needed) {
     reads_unavailable_.fetch_add(1, std::memory_order_relaxed);
@@ -410,6 +474,14 @@ Result<ReadTrace> Cluster::select_traced(const ReadQuery& query,
     merged.truncated = true;
   }
   reads_ok_.fetch_add(1, std::memory_order_relaxed);
+  if (span.active()) {
+    span.tag("replicas", static_cast<std::uint64_t>(tries.size()));
+    if (speculated) span.tag("hedged", true);
+    if (!trace.digest_matched) span.tag("digest_mismatch", true);
+    // Virtual latency is the deterministic duration under fault injection;
+    // without an injector the wall clock stands.
+    if (injector_ != nullptr) span.set_duration_us(trace.latency_ms * 1000);
+  }
   trace.result = std::move(merged);
   return trace;
 }
@@ -458,6 +530,12 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
   std::vector<Result<ReadResult>> results(partition_keys.size(),
                                           Result<ReadResult>(ReadResult{}));
   if (partition_keys.empty()) return results;
+  telemetry::Span span("cassalite.parallel_read");
+  span.tag("table", table);
+  span.tag("keys", static_cast<std::uint64_t>(partition_keys.size()));
+  span.tag("consistency", consistency_name(consistency));
+  // Pool tasks run on other threads; hand them this span's context.
+  const telemetry::TraceContext tctx = telemetry::current();
 
   if (consistency == Consistency::kOne) {
     // Group keys by the replica a ONE read would contact first (up +
@@ -477,7 +555,11 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
     std::vector<std::pair<NodeIndex, std::vector<std::size_t>>> groups(
         by_node.begin(), by_node.end());
     pool.parallel_for(groups.size(), [&](std::size_t g) {
+      const telemetry::ScopedContext tguard(tctx);
       const auto& [node, indices] = groups[g];
+      telemetry::Span scan_span("cassalite.scan");
+      scan_span.tag("node", static_cast<std::uint64_t>(node));
+      scan_span.tag("keys", static_cast<std::uint64_t>(indices.size()));
       // One fault decision per node batch: on transient error or timeout,
       // each key falls back to the resilient per-key path (retry on the
       // remaining replicas).
@@ -524,6 +606,7 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
     pool.parallel_for(
         partition_keys.size(),
         [&](std::size_t i) {
+          const telemetry::ScopedContext tguard(tctx);
           ReadQuery q;
           q.table = table;
           q.partition_key = partition_keys[i];
@@ -562,7 +645,11 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
   std::vector<std::vector<std::vector<Row>>> node_rows(groups.size());
   std::vector<char> node_failed(groups.size(), 0);
   pool.parallel_for(groups.size(), [&](std::size_t g) {
+    const telemetry::ScopedContext tguard(tctx);
     const auto& [node, indices] = groups[g];
+    telemetry::Span scan_span("cassalite.scan");
+    scan_span.tag("node", static_cast<std::uint64_t>(node));
+    scan_span.tag("keys", static_cast<std::uint64_t>(indices.size()));
     if (injector_ != nullptr) {
       bool failed = injector_->fail_read(node);
       if (!failed &&
@@ -626,6 +713,7 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
     pool.parallel_for(
         fallback.size(),
         [&](std::size_t f) {
+          const telemetry::ScopedContext tguard(tctx);
           ReadQuery q;
           q.table = table;
           q.partition_key = partition_keys[fallback[f]];

@@ -19,6 +19,7 @@
 #include "cassalite/ring.hpp"
 #include "cassalite/schema.hpp"
 #include "cassalite/storage_engine.hpp"
+#include "common/telemetry.hpp"
 
 namespace hpcla {
 class ThreadPool;
@@ -288,6 +289,8 @@ class Cluster {
     std::int64_t end = 0;
     bool usable = false;    ///< responded ok within read_timeout_ms
     bool timed_out = false;
+    bool hedged = false;    ///< launched as the speculative extra read
+    std::size_t retries = 0;  ///< transient-error retries consumed
   };
 
   /// Node accepts traffic: marked alive AND not inside an injected crash
@@ -340,6 +343,11 @@ class Cluster {
   mutable std::atomic<std::uint64_t> digest_mismatches_{0};
   mutable std::atomic<std::uint64_t> hints_expired_{0};
   mutable std::atomic<std::uint64_t> hints_overflowed_{0};
+
+  // Registry collector exposing the counters above plus the aggregated
+  // per-node StorageMetrics under `cassalite.*` names (DESIGN.md §11).
+  // Last member: it captures `this`, so it must deregister first.
+  telemetry::CollectorHandle telemetry_;
 };
 
 }  // namespace hpcla::cassalite

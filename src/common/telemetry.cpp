@@ -1,0 +1,390 @@
+#include "common/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/faultsim.hpp"
+
+namespace hpcla::telemetry {
+
+// ---------------------------------------------------------- LatencyHistogram
+
+namespace {
+
+/// Stable per-thread stripe assignment (round-robin over thread creation
+/// order, so up to kStripes concurrent recorders never share a stripe).
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t s =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < 4) return static_cast<std::size_t>(v);
+  // Log-linear: power-of-two range [2^k, 2^(k+1)) splits into 4 linear
+  // sub-buckets keyed by the two bits below the leading one.
+  const int k = 63 - std::countl_zero(v);
+  const std::uint64_t sub = (v >> (k - 2)) & 3;
+  return 4 + static_cast<std::size_t>(k - 2) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+double LatencyHistogram::bucket_midpoint(std::size_t idx) noexcept {
+  if (idx < 4) return static_cast<double>(idx);
+  const std::size_t k = 2 + (idx - 4) / 4;
+  const std::uint64_t sub = (idx - 4) % 4;
+  const std::uint64_t width = 1ull << (k - 2);
+  const std::uint64_t lo = (1ull << k) + sub * width;
+  return static_cast<double>(lo) + static_cast<double>(width - 1) * 0.5;
+}
+
+void LatencyHistogram::record(std::uint64_t value_us) noexcept {
+  Stripe& stripe = stripes_[thread_stripe() % kStripes];
+  stripe.counts[bucket_index(value_us)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  stripe.sum.fetch_add(value_us, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value_us < seen &&
+         !min_.compare_exchange_weak(seen, value_us,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value_us > seen &&
+         !max_.compare_exchange_weak(seen, value_us,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  std::array<std::uint64_t, kBuckets> counts{};
+  HistogramSnapshot snap;
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      counts[b] += stripe.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum_us += stripe.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : counts) snap.count += c;
+  if (snap.count == 0) return snap;
+  snap.min_us = min_.load(std::memory_order_relaxed);
+  snap.max_us = max_.load(std::memory_order_relaxed);
+  const auto percentile = [&](double q) {
+    // Nearest-rank on the merged bucket counts, estimated at the bucket
+    // midpoint, clamped to the observed range.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(q * static_cast<double>(snap.count) +
+                                      0.5));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cum += counts[b];
+      if (cum >= rank) {
+        return std::clamp(bucket_midpoint(b),
+                          static_cast<double>(snap.min_us),
+                          static_cast<double>(snap.max_us));
+      }
+    }
+    return static_cast<double>(snap.max_us);
+  };
+  snap.p50_us = percentile(0.50);
+  snap.p95_us = percentile(0.95);
+  snap.p99_us = percentile(0.99);
+  return snap;
+}
+
+// ------------------------------------------------------------ MetricRegistry
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+CollectorHandle MetricRegistry::register_collector(CollectorFn fn) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return CollectorHandle(this, id);
+}
+
+void MetricRegistry::deregister_collector(std::uint64_t id) noexcept {
+  std::lock_guard lock(mu_);
+  collectors_.erase(id);
+}
+
+namespace {
+
+class SnapshotSink final : public MetricSink {
+ public:
+  explicit SnapshotSink(RegistrySnapshot& snap) : snap_(&snap) {}
+  void counter(std::string_view name, std::uint64_t value) override {
+    (*snap_).counters[std::string(name)] += value;
+  }
+  void gauge(std::string_view name, double value) override {
+    (*snap_).gauges[std::string(name)] += value;
+  }
+
+ private:
+  RegistrySnapshot* snap_;
+};
+
+}  // namespace
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  SnapshotSink sink(snap);
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] += c->value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] += static_cast<double>(g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  // Collectors run under mu_, so they must not call back into the registry
+  // — they only read their module's own atomics.
+  for (const auto& [id, fn] : collectors_) fn(sink);
+  return snap;
+}
+
+CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CollectorHandle::~CollectorHandle() { reset(); }
+
+void CollectorHandle::reset() noexcept {
+  if (registry_ != nullptr) registry_->deregister_collector(id_);
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+MetricRegistry& registry() {
+  // Leaked: module collectors deregister during static destruction and
+  // must always find a live registry.
+  static MetricRegistry* r = new MetricRegistry();
+  return *r;
+}
+
+std::string prometheus_text(const RegistrySnapshot& snap) {
+  std::string out;
+  const auto sanitized = [](const std::string& name) {
+    std::string s = name;
+    for (char& c : s) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return s;
+  };
+  const auto number = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = sanitized(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = sanitized(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + number(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = sanitized(name);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "{quantile=\"0.5\"} " + number(h.p50_us) + "\n";
+    out += n + "{quantile=\"0.95\"} " + number(h.p95_us) + "\n";
+    out += n + "{quantile=\"0.99\"} " + number(h.p99_us) + "\n";
+    out += n + "_sum " + std::to_string(h.sum_us) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Tracer
+
+namespace {
+
+thread_local TraceContext tls_context;
+
+}  // namespace
+
+TraceContext current() noexcept { return tls_context; }
+
+std::int64_t Tracer::now_us() const noexcept {
+  if (SimClock* clock = sim_clock_.load(std::memory_order_acquire)) {
+    return clock->now_ms() * 1000;
+  }
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void Tracer::record(SpanRecord rec) {
+  const std::int64_t threshold = slow_threshold_us();
+  std::lock_guard lock(mu_);
+  auto it = traces_.find(rec.trace_id);
+  if (it == traces_.end()) {
+    if (trace_order_.size() >= kMaxTraces) {
+      traces_.erase(trace_order_.front());
+      trace_order_.erase(trace_order_.begin());
+    }
+    trace_order_.push_back(rec.trace_id);
+    it = traces_.emplace(rec.trace_id, std::vector<SpanRecord>{}).first;
+  }
+  auto& spans = it->second;
+  const bool slow = threshold > 0 && rec.duration_us >= threshold;
+  if (spans.size() < kMaxSpansPerTrace) {
+    if (slow) {
+      spans.push_back(rec);
+    } else {
+      spans.push_back(std::move(rec));
+      return;
+    }
+  }
+  if (slow) {
+    slow_.push_back(std::move(rec));
+    std::stable_sort(slow_.begin(), slow_.end(),
+                     [](const SpanRecord& a, const SpanRecord& b) {
+                       return a.duration_us > b.duration_us;
+                     });
+    if (slow_.size() > kSlowLogCapacity) slow_.resize(kSlowLogCapacity);
+  }
+}
+
+std::vector<SpanRecord> Tracer::trace(std::uint64_t trace_id) const {
+  std::lock_guard lock(mu_);
+  const auto it = traces_.find(trace_id);
+  return it == traces_.end() ? std::vector<SpanRecord>{} : it->second;
+}
+
+std::vector<SpanRecord> Tracer::slow_ops() const {
+  std::lock_guard lock(mu_);
+  return slow_;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  traces_.clear();
+  trace_order_.clear();
+  slow_.clear();
+}
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+// --------------------------------------------------------------------- spans
+
+ScopedContext::ScopedContext(TraceContext ctx) noexcept
+    : saved_(tls_context) {
+  tls_context = ctx;
+}
+
+ScopedContext::~ScopedContext() { tls_context = saved_; }
+
+Span::Span(std::string_view name, bool root) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  const TraceContext parent = tls_context;
+  if (!root && !parent.active()) return;
+  rec_.name.assign(name);
+  rec_.trace_id = root ? t.next_trace_id() : parent.trace_id;
+  rec_.parent_id = root ? 0 : parent.span_id;
+  rec_.span_id = t.next_span_id();
+  rec_.start_us = t.now_us();
+  saved_ = parent;
+  tls_context = TraceContext{rec_.trace_id, rec_.span_id};
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  rec_.duration_us = explicit_duration_ >= 0
+                         ? explicit_duration_
+                         : tracer().now_us() - rec_.start_us;
+  tls_context = saved_;
+  tracer().record(std::move(rec_));
+}
+
+void Span::tag(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  rec_.tags.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::tag(std::string_view key, std::uint64_t value) {
+  if (!active_) return;
+  rec_.tags.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::tag(std::string_view key, std::int64_t value) {
+  if (!active_) return;
+  rec_.tags.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::tag(std::string_view key, bool value) {
+  if (!active_) return;
+  rec_.tags.emplace_back(std::string(key), value ? "true" : "false");
+}
+
+void emit_span(const TraceContext& parent, std::string_view name,
+               std::int64_t start_us, std::int64_t duration_us,
+               std::vector<std::pair<std::string, std::string>> tags) {
+  Tracer& t = tracer();
+  if (!t.enabled() || !parent.active()) return;
+  SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.parent_id = parent.span_id;
+  rec.span_id = t.next_span_id();
+  rec.name.assign(name);
+  rec.start_us = start_us;
+  rec.duration_us = duration_us;
+  rec.tags = std::move(tags);
+  t.record(std::move(rec));
+}
+
+}  // namespace hpcla::telemetry

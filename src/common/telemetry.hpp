@@ -1,0 +1,381 @@
+// Unified telemetry: one process-wide metric registry and a span-based
+// tracer joining every layer of the stack (DESIGN.md §11).
+//
+// The paper's analytics server is the chokepoint translating frontend JSON
+// queries into either CQL range reads or Spark jobs — so a slow query must
+// be attributable to coordinator retries vs. shuffle skew vs. micro-batch
+// backlog. Two primitives make that possible:
+//
+//   * MetricRegistry — named lock-free counters, gauges, and striped
+//     log-bucketed latency histograms (p50/p95/p99). Modules that already
+//     keep their own atomic counter structs (ClusterMetrics, BrokerMetrics,
+//     EngineMetrics, StorageMetrics) register a *collector* instead of
+//     migrating their atomics: at snapshot time each live instance
+//     contributes its current values under stable metric names, and
+//     same-named contributions sum. The structs stay the per-instance
+//     views; the registry is the process-wide one.
+//
+//   * Tracer — Dapper-style spans. A root span is opened per server
+//     request; the (trace_id, span_id) context lives in a thread-local and
+//     is carried across pool boundaries with ScopedContext. Spans time
+//     themselves on the tracer clock, which follows a SimClock when one is
+//     installed — chaos-seeded runs produce deterministic traces. Finished
+//     spans land in a bounded in-memory sink keyed by trace id, and spans
+//     over the slow threshold additionally enter a top-K slow-op log.
+//
+// Hot-path cost when no trace is active: one relaxed atomic load plus one
+// thread-local read per Span constructor — cheap enough for the lock-free
+// paths PRs 1–3 built (the overhead budget is ≤5% on bench_fig3_endtoend).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcla {
+class SimClock;
+}
+
+namespace hpcla::telemetry {
+
+// --------------------------------------------------------------- instruments
+
+/// Monotonic lock-free counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time view of one latency histogram. Percentiles are bucket
+/// midpoints, so the relative error is bounded by the bucket width
+/// (≤ ~12.5% with 2 sub-bucket bits).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  [[nodiscard]] double mean_us() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) /
+                                  static_cast<double>(count);
+  }
+};
+
+/// Lock-free latency histogram with HdrHistogram-style log-linear buckets:
+/// values < 4 are exact; above that each power-of-two range splits into 4
+/// linear sub-buckets. Recording is one relaxed fetch_add into one of
+/// kStripes per-thread stripes, so concurrent recorders on different
+/// threads rarely share a cache line.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 256;
+
+  void record(std::uint64_t value_us) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Bucket containing `v` (exposed for the accuracy tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
+  /// Midpoint estimate of bucket `idx`.
+  [[nodiscard]] static double bucket_midpoint(std::size_t idx) noexcept;
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  std::array<Stripe, kStripes> stripes_{};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// ----------------------------------------------------------------- registry
+
+/// Receives one module's metric values during a registry snapshot.
+/// Contributions under the same name sum (several clusters -> one total).
+class MetricSink {
+ public:
+  virtual void counter(std::string_view name, std::uint64_t value) = 0;
+  virtual void gauge(std::string_view name, double value) = 0;
+
+ protected:
+  ~MetricSink() = default;
+};
+
+using CollectorFn = std::function<void(MetricSink&)>;
+
+class MetricRegistry;
+
+/// RAII registration of a collector; deregisters on destruction. Objects
+/// holding one must declare it as their *last* member so the collector is
+/// torn down before anything it reads.
+class CollectorHandle {
+ public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle&& other) noexcept;
+  CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+  CollectorHandle(const CollectorHandle&) = delete;
+  CollectorHandle& operator=(const CollectorHandle&) = delete;
+  ~CollectorHandle();
+
+  void reset() noexcept;
+
+ private:
+  friend class MetricRegistry;
+  CollectorHandle(MetricRegistry* registry, std::uint64_t id) noexcept
+      : registry_(registry), id_(id) {}
+
+  MetricRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Everything the registry knows at one instant: owned instruments merged
+/// with live collector contributions. Maps are name-ordered, so rendering
+/// is deterministic.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Process-wide named-instrument registry. Instrument lookup takes a mutex
+/// once; the returned reference stays valid for the process lifetime, so
+/// hot paths cache it and record lock-free afterwards.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  [[nodiscard]] CollectorHandle register_collector(CollectorFn fn);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+ private:
+  friend class CollectorHandle;
+  void deregister_collector(std::uint64_t id) noexcept;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+  std::map<std::uint64_t, CollectorFn> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+/// The process-wide registry (leaked singleton: collectors deregistering
+/// during static destruction must always find it alive).
+MetricRegistry& registry();
+
+/// Prometheus-style text exposition ('.' becomes '_'; histograms expand to
+/// _count/_sum and quantile-labelled rows).
+std::string prometheus_text(const RegistrySnapshot& snap);
+
+// ------------------------------------------------------------------- tracing
+
+/// Identity a request carries through the stack. trace_id == 0 means "not
+/// inside a trace" — spans constructed then are inert.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+/// One finished span as stored in the trace sink.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Bounded in-memory span sink + slow-op log.
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxTraces = 128;
+  static constexpr std::size_t kMaxSpansPerTrace = 512;
+  static constexpr std::size_t kSlowLogCapacity = 32;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_release);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Installs (or clears, with nullptr) a virtual clock: span timestamps
+  /// then read SimClock milliseconds, so chaos schedules trace identically
+  /// run to run.
+  void set_sim_clock(SimClock* clock) noexcept {
+    sim_clock_.store(clock, std::memory_order_release);
+  }
+
+  void set_slow_threshold_us(std::int64_t us) noexcept {
+    slow_threshold_us_.store(us, std::memory_order_release);
+  }
+  [[nodiscard]] std::int64_t slow_threshold_us() const noexcept {
+    return slow_threshold_us_.load(std::memory_order_acquire);
+  }
+
+  /// Current time on the tracer clock (virtual when a SimClock is set,
+  /// steady wall time otherwise).
+  [[nodiscard]] std::int64_t now_us() const noexcept;
+
+  [[nodiscard]] std::uint64_t next_trace_id() noexcept {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t next_span_id() noexcept {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Stores a finished span (bounded per trace; oldest trace evicted when
+  /// the sink is full) and enters it into the slow-op log when its
+  /// duration is at or over the threshold.
+  void record(SpanRecord rec);
+
+  /// All spans of one trace, in completion order (children before parents).
+  [[nodiscard]] std::vector<SpanRecord> trace(std::uint64_t trace_id) const;
+
+  /// Top-K spans over the slow threshold, slowest first.
+  [[nodiscard]] std::vector<SpanRecord> slow_ops() const;
+
+  /// Drops all stored traces and the slow log (test isolation).
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<SimClock*> sim_clock_{nullptr};
+  std::atomic<std::int64_t> slow_threshold_us_{50'000};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> next_span_{1};
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::vector<SpanRecord>> traces_;
+  std::vector<std::uint64_t> trace_order_;  ///< FIFO for eviction
+  std::vector<SpanRecord> slow_;            ///< kept sorted, slowest first
+};
+
+/// The process-wide tracer (leaked singleton, like registry()).
+Tracer& tracer();
+
+/// This thread's current trace context (zero when not inside a span).
+[[nodiscard]] TraceContext current() noexcept;
+
+/// Installs `ctx` as the thread's current context for the scope — how a
+/// driver's context crosses into ThreadPool tasks: capture current() by
+/// value before submitting, open a ScopedContext inside the task.
+class ScopedContext {
+ public:
+  explicit ScopedContext(TraceContext ctx) noexcept;
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// RAII span. A child Span is inert unless the thread is inside an active
+/// trace; Span::root starts a new trace (inert only when the tracer is
+/// disabled). While alive, the span is the thread's current context; on
+/// destruction it restores its parent and records itself.
+class Span {
+ public:
+  /// Child of the thread's current context.
+  explicit Span(std::string_view name) : Span(name, /*root=*/false) {}
+
+  /// Starts a new trace with this span as the root.
+  [[nodiscard]] static Span root(std::string_view name) {
+    return Span(name, /*root=*/true);
+  }
+
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void tag(std::string_view key, std::string_view value);
+  /// Without this overload a string literal would convert pointer->bool (a
+  /// standard conversion, preferred over the user-defined string_view one)
+  /// and silently record "true"/"false".
+  void tag(std::string_view key, const char* value) {
+    tag(key, std::string_view(value));
+  }
+  void tag(std::string_view key, std::uint64_t value);
+  void tag(std::string_view key, std::int64_t value);
+  void tag(std::string_view key, bool value);
+
+  /// Overrides the measured duration — virtual-time coordinators resolve
+  /// their latency analytically and stamp it here.
+  void set_duration_us(std::int64_t us) noexcept { explicit_duration_ = us; }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept {
+    return rec_.trace_id;
+  }
+  [[nodiscard]] std::int64_t start_us() const noexcept {
+    return rec_.start_us;
+  }
+  [[nodiscard]] TraceContext context() const noexcept {
+    return TraceContext{rec_.trace_id, rec_.span_id};
+  }
+
+ private:
+  Span(std::string_view name, bool root);
+
+  SpanRecord rec_;
+  TraceContext saved_;
+  std::int64_t explicit_duration_ = -1;
+  bool active_ = false;
+};
+
+/// Records an already-finished child span of `parent` with explicit timing
+/// — for per-replica tries resolved analytically in virtual time, where no
+/// RAII scope matches the span's lifetime. No-op when `parent` is inactive
+/// or the tracer is disabled.
+void emit_span(const TraceContext& parent, std::string_view name,
+               std::int64_t start_us, std::int64_t duration_us,
+               std::vector<std::pair<std::string, std::string>> tags = {});
+
+}  // namespace hpcla::telemetry

@@ -5,6 +5,9 @@
 #include <tuple>
 #include <vector>
 
+#include "common/logging.hpp"
+#include "common/telemetry.hpp"
+
 namespace hpcla::model {
 
 using titanlog::EventRecord;
@@ -14,6 +17,26 @@ namespace {
 /// Windows at least this large decode their JSON payloads on the engine
 /// pool; smaller ones aren't worth the fan-out overhead.
 constexpr std::size_t kParallelDecodeThreshold = 512;
+
+/// Process-wide ingest instruments, resolved once. StreamingReport stays
+/// the caller-visible per-run view; these are the registry's totals.
+struct IngestCounters {
+  telemetry::Counter& batches =
+      telemetry::registry().counter("ingest.batches");
+  telemetry::Counter& messages =
+      telemetry::registry().counter("ingest.messages");
+  telemetry::Counter& decode_failures =
+      telemetry::registry().counter("ingest.decode_failures");
+  telemetry::Counter& quarantined =
+      telemetry::registry().counter("ingest.quarantined");
+  telemetry::Counter& events_written =
+      telemetry::registry().counter("ingest.events_written");
+};
+
+IngestCounters& counters() {
+  static IngestCounters c;
+  return c;
+}
 
 std::optional<EventRecord> decode_message(const buslite::Message& msg) {
   auto json = Json::parse(msg.value);
@@ -59,9 +82,14 @@ StreamingIngestor::StreamingIngestor(cassalite::Cluster& cluster,
 
 void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
                                      StreamingReport& report) {
+  telemetry::Span span("ingest.batch");
+  span.tag("window_start", batch.window_start);
+  span.tag("messages", static_cast<std::uint64_t>(batch.messages.size()));
   ++report.batches;
   const std::size_t n = batch.messages.size();
   report.messages_in += n;
+  counters().batches.add(1);
+  counters().messages.add(n);
   // Decode every payload first — the regex/JSON cost dominates, and the
   // messages are independent, so large windows decode on the engine pool.
   // Coalescing below stays sequential in batch order, preserving the
@@ -84,13 +112,20 @@ void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
     auto& slot = decoded[i];
     if (!slot) {
       ++report.decode_failures;
+      counters().decode_failures.add(1);
       // Quarantine the raw message on the dead-letter topic: the payload
       // is preserved byte-for-byte for offline inspection and replay.
       const auto& msg = batch.messages[i];
-      if (broker_
-              ->produce(dlq_topic_, msg.key, msg.value, msg.timestamp)
-              .is_ok()) {
+      const auto produced =
+          broker_->produce(dlq_topic_, msg.key, msg.value, msg.timestamp);
+      if (produced.is_ok()) {
         ++report.quarantined;
+        counters().quarantined.add(1);
+        HPCLA_LOG(kInfo) << "quarantined undecodable record: topic="
+                         << dlq_topic_ << " partition=" << produced->first
+                         << " offset=" << produced->second
+                         << " source_offset=" << msg.offset
+                         << " trace_id=" << telemetry::current().trace_id;
       }
       continue;
     }
@@ -107,6 +142,7 @@ void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
   for (const auto& [_, e] : coalesced) {
     if (writer_.write_event(e, ingest) == 2) {
       ++report.events_written;
+      counters().events_written.add(1);
     }
     accumulate_synopsis(deltas, e);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <map>
 
 namespace hpcla::server {
@@ -245,6 +246,67 @@ std::string render_cluster_metrics(const cassalite::ClusterMetrics& m) {
   line("hints_replayed", m.hints_replayed);
   line("hints_expired", m.hints_expired);
   line("hints_overflowed", m.hints_overflowed);
+  return out;
+}
+
+std::string render_trace(const std::vector<telemetry::SpanRecord>& spans) {
+  if (spans.empty()) return "(empty trace)\n";
+  // Index children by parent, siblings ordered by (start, span_id) — span
+  // ids are allocated monotonically, so ties (virtual-time replica tries
+  // starting at the same instant) keep creation order.
+  std::map<std::uint64_t, std::vector<const telemetry::SpanRecord*>> children;
+  std::map<std::uint64_t, const telemetry::SpanRecord*> by_id;
+  for (const auto& s : spans) by_id[s.span_id] = &s;
+  std::vector<const telemetry::SpanRecord*> roots;
+  for (const auto& s : spans) {
+    if (s.parent_id != 0 && by_id.count(s.parent_id) != 0) {
+      children[s.parent_id].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+  const auto order = [](const telemetry::SpanRecord* a,
+                        const telemetry::SpanRecord* b) {
+    if (a->start_us != b->start_us) return a->start_us < b->start_us;
+    return a->span_id < b->span_id;
+  };
+  for (auto& [_, kids] : children) std::sort(kids.begin(), kids.end(), order);
+  std::sort(roots.begin(), roots.end(), order);
+
+  std::int64_t scale = 1;
+  for (const auto* r : roots) scale = std::max(scale, r->duration_us);
+
+  std::string out;
+  constexpr std::size_t kLabelWidth = 56;
+  constexpr std::size_t kBarWidth = 20;
+  const std::function<void(const telemetry::SpanRecord*, int)> emit =
+      [&](const telemetry::SpanRecord* s, int depth) {
+        std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+        label += s->name;
+        for (const auto& [k, v] : s->tags) {
+          label += ' ';
+          label += k;
+          label += '=';
+          label += v;
+        }
+        if (label.size() > kLabelWidth) {
+          label.resize(kLabelWidth - 3);
+          label += "...";
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %10lld us  ",
+                      static_cast<long long>(s->duration_us));
+        const auto filled = static_cast<std::size_t>(
+            static_cast<double>(std::max<std::int64_t>(s->duration_us, 0)) /
+            static_cast<double>(scale) * static_cast<double>(kBarWidth));
+        out += label;
+        out.append(kLabelWidth - label.size(), ' ');
+        out += buf;
+        out.append(std::min(filled, kBarWidth), '#');
+        out.push_back('\n');
+        for (const auto* kid : children[s->span_id]) emit(kid, depth + 1);
+      };
+  for (const auto* r : roots) emit(r, 0);
   return out;
 }
 

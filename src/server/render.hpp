@@ -13,6 +13,7 @@
 #include "analytics/text.hpp"
 #include "cassalite/cluster.hpp"
 #include "common/status.hpp"
+#include "common/telemetry.hpp"
 #include "titanlog/record.hpp"
 
 namespace hpcla::server {
@@ -51,5 +52,12 @@ std::string render_word_bubbles(
 /// resilience counters (retries, speculation, timeouts, digest mismatches)
 /// as labelled rows — the ops view next to the storage/broker metrics.
 std::string render_cluster_metrics(const cassalite::ClusterMetrics& m);
+
+/// Flame-style text rendering of one trace: spans as an indented tree
+/// (children under their parent, siblings in start order), each row showing
+/// the span name, compact tags, a right-aligned duration, and a bar scaled
+/// to the root span's duration. Orphaned spans (parent evicted or capped)
+/// render as extra roots.
+std::string render_trace(const std::vector<telemetry::SpanRecord>& spans);
 
 }  // namespace hpcla::server

@@ -16,6 +16,7 @@
 #include "analytics/text.hpp"
 #include "analytics/timeseries.hpp"
 #include "analytics/transfer_entropy.hpp"
+#include "common/clock.hpp"
 #include "model/keys.hpp"
 #include "server/render.hpp"
 #include "titanlog/events.hpp"
@@ -34,6 +35,8 @@ Result<QueryPath> classify_query(std::string_view op) {
       {"events", QueryPath::kSimple},
       {"jobs", QueryPath::kSimple},
       {"metrics", QueryPath::kSimple},
+      {"trace", QueryPath::kSimple},
+      {"slowlog", QueryPath::kSimple},
       {"heatmap", QueryPath::kComplex},
       {"distribution", QueryPath::kComplex},
       {"hourly", QueryPath::kComplex},
@@ -75,18 +78,30 @@ Json AnalyticsServer::handle(const Json& request) {
     response["error"] = path.status().to_string();
     return response;
   }
+  const bool simple = path.value() == QueryPath::kSimple;
+  // Root span: everything the query touches downstream (coordinator reads,
+  // sparklite stages, replica tries) becomes a child of this trace.
+  telemetry::Span span = telemetry::Span::root("server." + op.value());
+  span.tag("op", op.value());
+  span.tag("path", simple ? "simple" : "complex");
+  const Stopwatch watch;
   auto result = dispatch(op.value(), request);
+  (simple ? simple_hist_ : complex_hist_)
+      .record(static_cast<std::uint64_t>(watch.elapsed_micros()));
+  if (span.active()) {
+    response["trace_id"] = static_cast<std::int64_t>(span.trace_id());
+  }
   if (!result.is_ok()) {
+    span.tag("status", "error");
     errors_.fetch_add(1, std::memory_order_relaxed);
     response["status"] = "error";
     response["error"] = result.status().to_string();
     return response;
   }
-  (path.value() == QueryPath::kSimple ? simple_ : complex_)
-      .fetch_add(1, std::memory_order_relaxed);
+  span.tag("status", "ok");
+  (simple ? simple_ : complex_).fetch_add(1, std::memory_order_relaxed);
   response["status"] = "ok";
-  response["path"] =
-      path.value() == QueryPath::kSimple ? "simple" : "complex";
+  response["path"] = simple ? "simple" : "complex";
   response["result"] = std::move(result.value());
   return response;
 }
@@ -120,6 +135,8 @@ Result<Json> AnalyticsServer::dispatch(std::string_view op,
   if (op == "events") return op_events(request);
   if (op == "jobs") return op_jobs(request);
   if (op == "metrics") return op_metrics(request);
+  if (op == "trace") return op_trace(request);
+  if (op == "slowlog") return op_slowlog(request);
   if (op == "heatmap") return op_heatmap(request);
   if (op == "distribution") return op_distribution(request);
   if (op == "hourly") return op_hourly(request);
@@ -186,7 +203,85 @@ Result<Json> AnalyticsServer::op_metrics(const Json&) {
   j["server"] = std::move(server);
   j["cluster"] = std::move(cluster);
   j["rendered"] = Json(render_cluster_metrics(cm));
+  // Registry-wide view: every live module's instruments under their stable
+  // names (see README "Telemetry"), plus Prometheus text exposition.
+  const telemetry::RegistrySnapshot snap = telemetry::registry().snapshot();
+  Json reg = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, v] : snap.counters) {
+    counters[name] = Json(static_cast<std::int64_t>(v));
+  }
+  reg["counters"] = std::move(counters);
+  Json gauges = Json::object();
+  for (const auto& [name, v] : snap.gauges) gauges[name] = Json(v);
+  reg["gauges"] = std::move(gauges);
+  Json hists = Json::object();
+  for (const auto& [name, h] : snap.histograms) {
+    Json row = Json::object();
+    row["count"] = Json(static_cast<std::int64_t>(h.count));
+    row["sum_us"] = Json(static_cast<std::int64_t>(h.sum_us));
+    row["min_us"] = Json(static_cast<std::int64_t>(h.min_us));
+    row["max_us"] = Json(static_cast<std::int64_t>(h.max_us));
+    row["p50_us"] = Json(h.p50_us);
+    row["p95_us"] = Json(h.p95_us);
+    row["p99_us"] = Json(h.p99_us);
+    row["mean_us"] = Json(h.mean_us());
+    hists[name] = std::move(row);
+  }
+  reg["histograms"] = std::move(hists);
+  j["registry"] = std::move(reg);
+  j["prometheus"] = Json(telemetry::prometheus_text(snap));
   return j;
+}
+
+namespace {
+
+Json span_json(const telemetry::SpanRecord& s) {
+  Json row = Json::object();
+  row["span_id"] = Json(static_cast<std::int64_t>(s.span_id));
+  row["parent_id"] = Json(static_cast<std::int64_t>(s.parent_id));
+  row["name"] = Json(s.name);
+  row["start_us"] = Json(s.start_us);
+  row["duration_us"] = Json(s.duration_us);
+  Json tags = Json::object();
+  for (const auto& [k, v] : s.tags) tags[k] = Json(v);
+  row["tags"] = std::move(tags);
+  return row;
+}
+
+}  // namespace
+
+Result<Json> AnalyticsServer::op_trace(const Json& request) {
+  auto id = request.get_int("trace_id");
+  if (!id.is_ok()) return id.status();
+  if (id.value() <= 0) return invalid_argument("'trace_id' must be positive");
+  auto spans =
+      telemetry::tracer().trace(static_cast<std::uint64_t>(id.value()));
+  if (spans.empty()) {
+    return not_found("no spans for trace " + std::to_string(id.value()) +
+                     " (evicted or never recorded)");
+  }
+  Json out = Json::object();
+  out["trace_id"] = id.value();
+  Json arr = Json::array();
+  for (const auto& s : spans) arr.push_back(span_json(s));
+  out["spans"] = std::move(arr);
+  out["rendered"] = Json(render_trace(spans));
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_slowlog(const Json&) {
+  const auto spans = telemetry::tracer().slow_ops();
+  Json out = Json::object();
+  out["threshold_us"] = telemetry::tracer().slow_threshold_us();
+  Json arr = Json::array();
+  for (const auto& s : spans) {
+    Json row = span_json(s);
+    row["trace_id"] = Json(static_cast<std::int64_t>(s.trace_id));
+    arr.push_back(std::move(row));
+  }
+  out["spans"] = std::move(arr);
+  return out;
 }
 
 Result<Json> AnalyticsServer::op_nodeinfo(const Json& request) {

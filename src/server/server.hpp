@@ -26,6 +26,7 @@
 #include "analytics/context.hpp"
 #include "cassalite/cluster.hpp"
 #include "common/json.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "sparklite/engine.hpp"
 
@@ -46,7 +47,17 @@ struct ServerMetrics {
 class AnalyticsServer {
  public:
   AnalyticsServer(cassalite::Cluster& cluster, sparklite::Engine& engine)
-      : cluster_(&cluster), engine_(&engine) {}
+      : cluster_(&cluster), engine_(&engine) {
+    telemetry_ = telemetry::registry().register_collector(
+        [this](telemetry::MetricSink& sink) {
+          sink.counter("server.queries.simple",
+                       simple_.load(std::memory_order_relaxed));
+          sink.counter("server.queries.complex",
+                       complex_.load(std::memory_order_relaxed));
+          sink.counter("server.queries.errors",
+                       errors_.load(std::memory_order_relaxed));
+        });
+  }
 
   /// Handles one frontend query synchronously.
   ///
@@ -79,6 +90,8 @@ class AnalyticsServer {
   Result<Json> op_events(const Json& request);
   Result<Json> op_jobs(const Json& request);
   Result<Json> op_metrics(const Json& request);
+  Result<Json> op_trace(const Json& request);
+  Result<Json> op_slowlog(const Json& request);
 
   // complex path (big data processing unit)
   Result<Json> op_heatmap(const Json& request);
@@ -106,6 +119,15 @@ class AnalyticsServer {
   mutable std::atomic<std::uint64_t> simple_{0};
   mutable std::atomic<std::uint64_t> complex_{0};
   mutable std::atomic<std::uint64_t> errors_{0};
+  // Per-path end-to-end latency (registry references cached once; record
+  // is lock-free).
+  telemetry::LatencyHistogram& simple_hist_ =
+      telemetry::registry().histogram("server.query.simple.us");
+  telemetry::LatencyHistogram& complex_hist_ =
+      telemetry::registry().histogram("server.query.complex.us");
+  /// Registry collector (captures `this`); last member so it deregisters
+  /// before the counters it reads.
+  telemetry::CollectorHandle telemetry_;
 };
 
 /// Long-poll session: queries run on a small worker pool; the client

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cassalite/cluster.hpp"
+#include "common/telemetry.hpp"
 #include "sparklite/dataset.hpp"
 
 namespace hpcla::sparklite {
@@ -50,12 +51,19 @@ inline Dataset<std::pair<std::string, cassalite::Row>> scan_table_keyed(
       parts.push_back(Dataset<Out>::Partition{
           [&cluster, table, node = node,
            batch = std::move(batch)](const TaskContext&) {
+            // Child of the sparklite.stage span running this task (the
+            // engine propagates the trace context onto pool threads).
+            telemetry::Span span("cassalite.scan");
+            span.tag("table", table);
+            span.tag("node", static_cast<std::uint64_t>(node));
+            span.tag("keys", static_cast<std::uint64_t>(batch.size()));
             std::vector<Out> out;
             cluster.engine(node).scan_partitions(
                 table, batch, {},
                 [&out](const std::string& key, std::vector<cassalite::Row> rows) {
                   for (auto& row : rows) out.emplace_back(key, std::move(row));
                 });
+            span.tag("rows", static_cast<std::uint64_t>(out.size()));
             return out;
           },
           static_cast<int>(node)});

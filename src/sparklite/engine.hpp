@@ -34,6 +34,7 @@
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 
 namespace hpcla::sparklite {
@@ -103,7 +104,10 @@ class Engine {
   using Options = EngineOptions;
 
   explicit Engine(Options options = Options())
-      : options_(options), pool_(std::max<std::size_t>(options.workers, 1)) {}
+      : options_(options), pool_(std::max<std::size_t>(options.workers, 1)) {
+    telemetry_ = telemetry::registry().register_collector(
+        [this](telemetry::MetricSink& sink) { collect(sink); });
+  }
 
   ~Engine() { delete next_label_.load(std::memory_order_acquire); }
 
@@ -124,11 +128,18 @@ class Engine {
     // owns it, even if a longer concurrent stage finishes after us.
     std::unique_ptr<std::string> label(
         next_label_.exchange(nullptr, std::memory_order_acq_rel));
+    telemetry::Span stage_span("sparklite.stage");
+    if (label) stage_span.tag("label", *label);
+    stage_span.tag("tasks", static_cast<std::uint64_t>(n));
+    // Tasks run on pool threads: hand them the stage span's context so
+    // spans opened inside compute() (e.g. cassalite.scan) parent here.
+    const telemetry::TraceContext tctx = telemetry::current();
     const std::size_t w = workers();
     std::atomic<std::uint64_t> stage_local{0};
     std::atomic<std::uint64_t> stage_remote{0};
     Stopwatch watch;
     pool_.parallel_for(n, [&](std::size_t i) {
+      const telemetry::ScopedContext tguard(tctx);
       TaskContext ctx;
       ctx.task_index = i;
       const int pref =
@@ -155,9 +166,10 @@ class Engine {
       }
       compute(ctx);
     });
+    const double seconds = watch.elapsed_seconds();
+    stage_hist_.record(static_cast<std::uint64_t>(seconds * 1e6));
     record_stage(stage_no, label ? std::move(*label) : std::string(), n,
-                 stage_local.load(), stage_remote.load(),
-                 watch.elapsed_seconds());
+                 stage_local.load(), stage_remote.load(), seconds);
   }
 
   /// Labels the *next* stage in the job history (consumed once). Useful
@@ -250,6 +262,14 @@ class Engine {
                     : 1.0;
     rec->map_seconds = map_seconds;
     record_shuffle(rec->records);
+    const auto map_us = static_cast<std::int64_t>(map_seconds * 1e6);
+    // The map stage just finished: back-date the shuffle span over it.
+    telemetry::emit_span(telemetry::current(), "sparklite.shuffle",
+                         telemetry::tracer().now_us() - map_us, map_us,
+                         {{"label", rec->label},
+                          {"records", std::to_string(rec->records)},
+                          {"buckets", std::to_string(rec->buckets)},
+                          {"skew", std::to_string(rec->skew)}});
     shuffle_map_us_.fetch_add(
         static_cast<std::uint64_t>(map_seconds * 1e6),
         std::memory_order_relaxed);
@@ -295,6 +315,24 @@ class Engine {
   ThreadPool& pool() noexcept { return pool_; }
 
  private:
+  /// Registry collector body: engine counters plus the most recent
+  /// shuffle's skew as a gauge (DESIGN.md §11 naming).
+  void collect(telemetry::MetricSink& sink) const {
+    const EngineMetrics m = metrics();
+    sink.counter("sparklite.stages", m.stages);
+    sink.counter("sparklite.tasks", m.tasks);
+    sink.counter("sparklite.tasks.local", m.local_tasks);
+    sink.counter("sparklite.remote_fetches", m.remote_fetches);
+    sink.counter("sparklite.shuffles", m.shuffles);
+    sink.counter("sparklite.shuffle.records", m.shuffle_records);
+    sink.counter("sparklite.shuffle.map_us", m.shuffle_map_us);
+    sink.counter("sparklite.shuffle.reduce_us", m.shuffle_reduce_us);
+    const auto history = shuffle_history();
+    if (!history.empty()) {
+      sink.gauge("sparklite.shuffle.skew", history.back()->skew);
+    }
+  }
+
   static constexpr std::size_t kHistoryLimit = 256;
   static constexpr std::size_t kShuffleHistoryLimit = 64;
 
@@ -351,6 +389,10 @@ class Engine {
   std::atomic<std::uint64_t> shuffle_records_{0};
   std::atomic<std::uint64_t> shuffle_map_us_{0};
   std::atomic<std::uint64_t> shuffle_reduce_us_{0};
+  telemetry::LatencyHistogram& stage_hist_ =
+      telemetry::registry().histogram("sparklite.stage.us");
+  // Last member: the collector captures `this` and must deregister first.
+  telemetry::CollectorHandle telemetry_;
 };
 
 }  // namespace hpcla::sparklite

@@ -20,6 +20,7 @@
 
 #include "buslite/broker.hpp"
 #include "common/clock.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 
 namespace hpcla::sparklite {
@@ -144,9 +145,17 @@ class MicroBatchStream {
         batch.messages.push_back(std::move(subs[best].messages[pos[best]]));
         ++pos[best];
       }
-      handler(batch);
+      {
+        telemetry::Span span("streaming.window");
+        span.tag("window_start", batch.window_start);
+        span.tag("messages",
+                 static_cast<std::uint64_t>(batch.messages.size()));
+        handler(batch);
+      }
       ++batches_;
       messages_ += batch.messages.size();
+      batches_ctr_.add(1);
+      messages_ctr_.add(batch.messages.size());
     }
     consumer_.commit();
     return windows.size();
@@ -177,6 +186,12 @@ class MicroBatchStream {
   StreamOptions options_;
   std::uint64_t batches_ = 0;
   std::uint64_t messages_ = 0;
+  // Process-wide instruments (the members above are this stream's view;
+  // registry lookups are cached once so the loop records lock-free).
+  telemetry::Counter& batches_ctr_ =
+      telemetry::registry().counter("streaming.batches");
+  telemetry::Counter& messages_ctr_ =
+      telemetry::registry().counter("streaming.messages");
 };
 
 }  // namespace hpcla::sparklite

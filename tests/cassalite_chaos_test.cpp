@@ -27,6 +27,7 @@
 #include "cassalite/gossip.hpp"
 #include "common/faultsim.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace hpcla::cassalite {
 namespace {
@@ -343,6 +344,85 @@ TEST(ChaosTest, SuspectedNodeIsDeprioritizedUntilRecovery) {
   gossip.run(gopts.suspect_after_rounds);
   ASSERT_FALSE(gossip.suspects(0, victim));
   EXPECT_EQ(cluster.read_order_of(pk), replicas);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry under chaos: a seeded slow replica must surface as a timed-out
+// cassalite.replica span in the slow-op log (with deterministic virtual-time
+// duration) and bump the cassalite.replica.timeouts registry counter.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, SlowReplicaSurfacesInSlowLogAndTimeoutCounter) {
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = 11;
+  fopts.base_latency_ms = 2;
+  fopts.slow_latency_ms = 40;
+
+  ClusterOptions copts;
+  copts.node_count = 5;
+  copts.replication_factor = 3;
+  copts.read_timeout_ms = 30;  // the slow replica (40 ms) overshoots this
+  copts.speculative_delay_ms = 5;
+
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  auto& tr = telemetry::tracer();
+  const std::int64_t saved_threshold = tr.slow_threshold_us();
+  tr.set_sim_clock(&clock);
+  tr.set_slow_threshold_us(20'000);  // 20 ms: catches the 30 ms timeouts
+  tr.clear();
+  const std::uint64_t timeouts_before =
+      telemetry::registry().snapshot().counters["cassalite.replica.timeouts"];
+
+  const int kKeys = 20;
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(cluster
+                    .insert("t", "key" + std::to_string(k),
+                            chaos_row(k, "x"), Consistency::kQuorum)
+                    .is_ok())
+        << k;
+  }
+  injector.slow_window(0, 0, INT64_MAX / 2);
+
+  for (int k = 0; k < kKeys; ++k) {
+    // Root span per read: the coordinator's per-replica child spans only
+    // record inside an active trace.
+    telemetry::Span root = telemetry::Span::root("chaos.read");
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = "key" + std::to_string(k);
+    const auto r = cluster.select(q, Consistency::kQuorum);
+    EXPECT_TRUE(r.is_ok() || honest_error(r.status()))
+        << r.status().to_string();
+    clock.advance_ms(1);
+  }
+
+  const std::uint64_t timeouts_after =
+      telemetry::registry().snapshot().counters["cassalite.replica.timeouts"];
+  EXPECT_GT(timeouts_after, timeouts_before)
+      << "the slow replica never hit the read timeout";
+
+  // The timed-out tries surface in the slow-op log with their full
+  // virtual-time duration (capped at the 30 ms read timeout).
+  const auto slow = tr.slow_ops();
+  ASSERT_FALSE(slow.empty());
+  bool found_replica_timeout = false;
+  for (const auto& s : slow) {
+    if (s.name != "cassalite.replica") continue;
+    EXPECT_GE(s.duration_us, 20'000);
+    for (const auto& [k, v] : s.tags) {
+      if (k == "timed_out" && v == "true") found_replica_timeout = true;
+    }
+  }
+  EXPECT_TRUE(found_replica_timeout)
+      << "no timed-out cassalite.replica span in the slow-op log";
+
+  tr.set_sim_clock(nullptr);
+  tr.set_slow_threshold_us(saved_threshold);
+  tr.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,324 @@
+// Tests for the telemetry layer: histogram bucketing and percentile
+// accuracy, lock-free recording under concurrency (TSan target), registry
+// snapshots and collectors, and the span tracer (context propagation,
+// eviction, slow log, virtual clock).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/faultsim.hpp"
+#include "common/telemetry.hpp"
+
+namespace hpcla::telemetry {
+namespace {
+
+// ------------------------------------------------------------- histograms
+
+TEST(LatencyHistogramTest, BucketMidpointRoundTrip) {
+  // Values below 4 are exact; above, the midpoint estimate stays within
+  // the log-linear bound (4 sub-buckets per power of two -> <= 12.5%).
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull}) {
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_midpoint(
+                         LatencyHistogram::bucket_index(v)),
+                     static_cast<double>(v));
+  }
+  for (std::uint64_t v = 4; v < 20'000'000; v = v * 5 / 4 + 1) {
+    const auto idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    const double mid = LatencyHistogram::bucket_midpoint(idx);
+    EXPECT_LE(std::abs(mid - static_cast<double>(v)),
+              0.125 * static_cast<double>(v))
+        << "v=" << v << " idx=" << idx << " mid=" << mid;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100'000; ++v) {
+    const auto idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    prev = idx;
+  }
+}
+
+double exact_percentile(std::vector<std::uint64_t> sorted, double q) {
+  // Nearest-rank, matching the histogram's definition.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(sorted.size()) +
+                                    0.5));
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+TEST(LatencyHistogramTest, PercentilesTrackExactValues) {
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> values;
+  // Deterministic long-tailed distribution: mostly small, a heavy tail.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 20'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG
+    const std::uint64_t v = 10 + (x >> 52) + ((x >> 60) == 0 ? 5000 : 0);
+    values.push_back(v);
+    hist.record(v);
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  std::uint64_t sum = 0;
+  std::uint64_t lo = ~0ull;
+  std::uint64_t hi = 0;
+  for (auto v : values) {
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(snap.sum_us, sum);
+  EXPECT_EQ(snap.min_us, lo);
+  EXPECT_EQ(snap.max_us, hi);
+
+  std::sort(values.begin(), values.end());
+  const auto near = [](double got, double want) {
+    EXPECT_LE(std::abs(got - want), 0.15 * want + 1.0)
+        << "got " << got << " want " << want;
+  };
+  near(snap.p50_us, exact_percentile(values, 0.50));
+  near(snap.p95_us, exact_percentile(values, 0.95));
+  near(snap.p99_us, exact_percentile(values, 0.99));
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  LatencyHistogram hist;
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_us, 0u);
+  EXPECT_EQ(snap.min_us, 0u);
+  EXPECT_EQ(snap.max_us, 0u);
+  EXPECT_DOUBLE_EQ(snap.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean_us(), 0.0);
+}
+
+// ------------------------------------------------ concurrency (TSan target)
+
+TEST(TelemetryConcurrencyTest, CountersAndHistogramsAreExactUnderThreads) {
+  Counter& ctr = registry().counter("test.concurrency.counter");
+  LatencyHistogram& hist = registry().histogram("test.concurrency.hist");
+  const std::uint64_t before_ctr = ctr.value();
+  const std::uint64_t before_hist = hist.snapshot().count;
+
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ctr, &hist, t] {
+      for (int i = 0; i < kOps; ++i) {
+        ctr.add(1);
+        hist.record(static_cast<std::uint64_t>(t * 100 + i % 97));
+        if (i % 4096 == 0) (void)hist.snapshot();  // reader vs writers
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ctr.value() - before_ctr,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(hist.snapshot().count - before_hist,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricRegistryTest, SnapshotMergesInstrumentsAndCollectors) {
+  MetricRegistry& reg = registry();
+  reg.counter("test.registry.counter").add(7);
+  reg.gauge("test.registry.gauge").set(-3);
+  reg.histogram("test.registry.hist").record(42);
+
+  // Two collectors contributing the same name: values sum.
+  CollectorHandle a = reg.register_collector([](MetricSink& sink) {
+    sink.counter("test.registry.collected", 10);
+    sink.gauge("test.registry.collected_gauge", 1.5);
+  });
+  CollectorHandle b = reg.register_collector(
+      [](MetricSink& sink) { sink.counter("test.registry.collected", 5); });
+
+  RegistrySnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.counters.at("test.registry.counter"), 7u);
+  EXPECT_EQ(snap.gauges.at("test.registry.gauge"), -3.0);
+  EXPECT_EQ(snap.histograms.at("test.registry.hist").count, 1u);
+  EXPECT_EQ(snap.counters.at("test.registry.collected"), 15u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.registry.collected_gauge"), 1.5);
+
+  // Deregistration removes the contribution.
+  b.reset();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.registry.collected"), 10u);
+  a.reset();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.count("test.registry.collected"), 0u);
+}
+
+TEST(MetricRegistryTest, InstrumentReferencesAreStable) {
+  Counter& first = registry().counter("test.registry.stable");
+  Counter& second = registry().counter("test.registry.stable");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(MetricRegistryTest, PrometheusTextRendersAllKinds) {
+  registry().counter("test.prom.counter").add(1);
+  registry().gauge("test.prom.gauge").set(2);
+  registry().histogram("test.prom.hist").record(100);
+  const std::string text = prometheus_text(registry().snapshot());
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ tracer
+
+TEST(TracerTest, RootChildAndCrossThreadPropagation) {
+  Tracer& tr = tracer();
+  tr.clear();
+  std::uint64_t tid = 0;
+  std::uint64_t root_span = 0;
+  {
+    Span root = Span::root("test.root");
+    ASSERT_TRUE(root.active());
+    tid = root.trace_id();
+    root_span = root.context().span_id;
+    root.tag("k", "v");
+    {
+      Span child("test.child");
+      ASSERT_TRUE(child.active());
+      EXPECT_EQ(child.trace_id(), tid);
+    }
+    // Cross-thread: capture the context, reinstall it inside the task.
+    const TraceContext ctx = current();
+    std::thread worker([ctx] {
+      EXPECT_FALSE(current().active());  // fresh thread: no context
+      ScopedContext guard(ctx);
+      Span remote("test.remote");
+      EXPECT_TRUE(remote.active());
+    });
+    worker.join();
+  }
+  const auto spans = tr.trace(tid);
+  ASSERT_EQ(spans.size(), 3u);
+  int roots = 0;
+  for (const auto& s : spans) {
+    if (s.name == "test.root") {
+      ++roots;
+      EXPECT_EQ(s.parent_id, 0u);
+      ASSERT_EQ(s.tags.size(), 1u);
+      EXPECT_EQ(s.tags[0].first, "k");
+      EXPECT_EQ(s.tags[0].second, "v");
+    } else {
+      EXPECT_EQ(s.parent_id, root_span) << s.name;
+    }
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(TracerTest, ChildWithoutActiveTraceIsInert) {
+  Span orphan("test.orphan");
+  EXPECT_FALSE(orphan.active());
+  EXPECT_EQ(orphan.trace_id(), 0u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tr = tracer();
+  tr.clear();
+  tr.set_enabled(false);
+  std::uint64_t tid = 0;
+  {
+    Span root = Span::root("test.disabled");
+    EXPECT_FALSE(root.active());
+    tid = root.trace_id();
+  }
+  tr.set_enabled(true);
+  EXPECT_TRUE(tr.trace(tid).empty());
+}
+
+TEST(TracerTest, OldestTraceEvictedWhenSinkFull) {
+  Tracer& tr = tracer();
+  tr.clear();
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  for (std::size_t i = 0; i < Tracer::kMaxTraces + 8; ++i) {
+    Span root = Span::root("test.evict");
+    if (i == 0) first = root.trace_id();
+    last = root.trace_id();
+  }
+  EXPECT_TRUE(tr.trace(first).empty()) << "oldest trace should be evicted";
+  EXPECT_EQ(tr.trace(last).size(), 1u);
+  tr.clear();
+}
+
+TEST(TracerTest, SlowLogKeepsTopKSlowestFirst) {
+  Tracer& tr = tracer();
+  tr.clear();
+  const std::int64_t saved = tr.slow_threshold_us();
+  tr.set_slow_threshold_us(1000);
+  {
+    Span root = Span::root("test.slowlog");
+    const TraceContext ctx = current();
+    emit_span(ctx, "test.fast", 0, 500);    // below threshold: not logged
+    emit_span(ctx, "test.slow_a", 0, 2000);
+    emit_span(ctx, "test.slow_b", 0, 9000);
+    emit_span(ctx, "test.slow_c", 0, 4000);
+  }
+  const auto slow = tr.slow_ops();
+  ASSERT_GE(slow.size(), 3u);
+  EXPECT_EQ(slow[0].name, "test.slow_b");
+  EXPECT_EQ(slow[1].name, "test.slow_c");
+  EXPECT_EQ(slow[2].name, "test.slow_a");
+  for (const auto& s : slow) {
+    EXPECT_GE(s.duration_us, 1000);
+    EXPECT_NE(s.name, "test.fast");
+  }
+  tr.set_slow_threshold_us(saved);
+  tr.clear();
+}
+
+TEST(TracerTest, SimClockMakesTimestampsDeterministic) {
+  Tracer& tr = tracer();
+  tr.clear();
+  SimClock clock;
+  clock.advance_ms(250);
+  tr.set_sim_clock(&clock);
+  std::uint64_t tid = 0;
+  {
+    Span root = Span::root("test.simclock");
+    tid = root.trace_id();
+    EXPECT_EQ(root.start_us(), 250'000);
+    clock.advance_ms(30);
+  }
+  tr.set_sim_clock(nullptr);
+  const auto spans = tr.trace(tid);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_us, 250'000);
+  EXPECT_EQ(spans[0].duration_us, 30'000);
+  tr.clear();
+}
+
+TEST(TracerTest, ExplicitDurationOverridesMeasurement) {
+  Tracer& tr = tracer();
+  tr.clear();
+  std::uint64_t tid = 0;
+  {
+    Span root = Span::root("test.explicit");
+    tid = root.trace_id();
+    root.set_duration_us(123'456);
+  }
+  const auto spans = tr.trace(tid);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].duration_us, 123'456);
+  tr.clear();
+}
+
+}  // namespace
+}  // namespace hpcla::telemetry

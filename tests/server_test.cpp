@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
+#include <set>
 #include <thread>
 
+#include "common/telemetry.hpp"
 #include "model/ingest.hpp"
 #include "server/render.hpp"
 #include "server/server.hpp"
@@ -415,6 +418,110 @@ TEST(ServerTest, MetricsOpExposesCoordinatorCounters) {
   EXPECT_NE(rendered.find("coordinator"), std::string::npos);
   EXPECT_NE(rendered.find("hinted handoff"), std::string::npos);
   EXPECT_NE(rendered.find("writes_ok"), std::string::npos);
+}
+
+// --------------------------------------------------------------- telemetry
+
+TEST(ServerTest, MetricsOpExposesRegistryAndPrometheus) {
+  auto& f = fixture();
+  // At least one query on each path so the latency histograms are fed.
+  f.ok(R"({"op":"eventtypes"})");
+  f.ok(R"({"op":"hourly",)" + ctx_json() + "}");
+  auto response = f.ok(R"({"op":"metrics"})");
+  const Json& reg = response["result"]["registry"];
+  // Stable names across the stack, aggregated from live collectors.
+  EXPECT_GT(reg["counters"]["cassalite.write.ok"].as_int(), 0);
+  EXPECT_TRUE(reg["counters"]["cassalite.read.retries"].is_int());
+  EXPECT_TRUE(reg["counters"]["cassalite.replica.timeouts"].is_int());
+  EXPECT_GT(reg["counters"]["cassalite.storage.writes"].as_int(), 0);
+  EXPECT_GT(reg["counters"]["sparklite.stages"].as_int(), 0);
+  EXPECT_GT(reg["counters"]["sparklite.tasks"].as_int(), 0);
+  EXPECT_GE(reg["counters"]["server.queries.simple"].as_int(), 1);
+  EXPECT_GE(reg["counters"]["server.queries.complex"].as_int(), 1);
+  // Histograms expose count + percentile fields.
+  const Json& hist = reg["histograms"]["server.query.complex.us"];
+  EXPECT_GT(hist["count"].as_int(), 0);
+  EXPECT_GT(hist["p50_us"].as_double(), 0.0);
+  EXPECT_GE(hist["p99_us"].as_double(), hist["p50_us"].as_double());
+  EXPECT_GE(hist["max_us"].as_int(), hist["min_us"].as_int());
+  // Prometheus text exposition covers the same instruments.
+  const std::string prom = response["result"]["prometheus"].as_string();
+  EXPECT_NE(prom.find("cassalite_write_ok"), std::string::npos);
+  EXPECT_NE(prom.find("server_query_complex_us{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(ServerTest, HeatmapQueryProducesCrossLayerTrace) {
+  auto& f = fixture();
+  telemetry::tracer().clear();
+  auto response =
+      f.ok(R"({"op":"heatmap",)" + ctx_json(R"(,"types":["MCE"])") + "}");
+  ASSERT_TRUE(response["trace_id"].is_int());
+  const std::int64_t tid = response["trace_id"].as_int();
+  ASSERT_GT(tid, 0);
+
+  auto trace =
+      f.ok(R"({"op":"trace","trace_id":)" + std::to_string(tid) + "}");
+  const auto& spans = trace["result"]["spans"].as_array();
+  ASSERT_FALSE(spans.empty());
+
+  // The trace must span all three layers, each with measured time.
+  std::map<std::string, std::int64_t> layer_max;
+  std::set<std::int64_t> ids;
+  std::int64_t root_spans = 0;
+  for (const auto& s : spans) {
+    const std::string& name = s["name"].as_string();
+    const std::string layer = name.substr(0, name.find('.'));
+    layer_max[layer] =
+        std::max(layer_max[layer], s["duration_us"].as_int());
+    ids.insert(s["span_id"].as_int());
+    if (s["parent_id"].as_int() == 0) ++root_spans;
+  }
+  EXPECT_GT(layer_max["server"], 0);
+  EXPECT_GT(layer_max["sparklite"], 0);
+  EXPECT_GT(layer_max["cassalite"], 0);
+  // Spans form a single tree: one root, every parent link resolves.
+  EXPECT_EQ(root_spans, 1);
+  for (const auto& s : spans) {
+    const std::int64_t parent = s["parent_id"].as_int();
+    if (parent != 0) {
+      EXPECT_EQ(ids.count(parent), 1u)
+          << "dangling parent for " << s["name"].as_string();
+    }
+  }
+  // Flame-style rendering names the root op.
+  const std::string rendered = trace["result"]["rendered"].as_string();
+  EXPECT_NE(rendered.find("server.heatmap"), std::string::npos);
+  EXPECT_NE(rendered.find("sparklite.stage"), std::string::npos);
+
+  // Unknown trace ids are honest errors.
+  f.err(R"({"op":"trace","trace_id":9999999999})");
+  f.err(R"({"op":"trace"})");
+}
+
+TEST(ServerTest, SlowlogOpSurfacesSlowSpans) {
+  auto& f = fixture();
+  auto& tr = telemetry::tracer();
+  const std::int64_t saved = tr.slow_threshold_us();
+  tr.clear();
+  tr.set_slow_threshold_us(1);  // everything qualifies
+  f.ok(R"({"op":"eventtypes"})");
+  auto response = f.ok(R"({"op":"slowlog"})");
+  tr.set_slow_threshold_us(saved);
+  EXPECT_EQ(response["result"]["threshold_us"].as_int(), 1);
+  const auto& spans = response["result"]["spans"].as_array();
+  ASSERT_FALSE(spans.empty());
+  // Slowest first, and every entry carries its trace id.
+  std::int64_t prev = spans.front()["duration_us"].as_int();
+  bool found_root = false;
+  for (const auto& s : spans) {
+    EXPECT_LE(s["duration_us"].as_int(), prev);
+    prev = s["duration_us"].as_int();
+    EXPECT_GT(s["trace_id"].as_int(), 0);
+    if (s["name"].as_string() == "server.eventtypes") found_root = true;
+  }
+  EXPECT_TRUE(found_root);
+  tr.clear();
 }
 
 // ----------------------------------------------------------- async session
