@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "rowstore/rowstore.hpp"
 
 namespace hpcla::bench {
 namespace {
@@ -214,6 +215,93 @@ void bench_parallel_read(BenchJsonWriter& out) {
   }
 }
 
+/// rowstore point-read scaling: same reader/writer shape as the cassalite
+/// rounds. The RCU snapshot read path keeps readers off the transaction
+/// lock, so the aggregate curve should rise with threads instead of the
+/// flat line (and collapsing p99) the old global-lock reads produced.
+void bench_rowstore_readers(BenchJsonWriter& out) {
+  rowstore::RowStore db;
+  using K = rowstore::ColumnDef::Kind;
+  HPCLA_CHECK(db.create_table("events",
+                              {{"id", K::kInt}, {"v", K::kInt},
+                               {"msg", K::kText}},
+                              1)
+                  .is_ok());
+  constexpr std::int64_t kRows = 8192;
+  for (std::int64_t i = 0; i < kRows; ++i) {
+    HPCLA_CHECK(db.insert("events",
+                          {rowstore::Value(i), rowstore::Value(i * 2),
+                           rowstore::Value("synthetic log event payload")})
+                    .is_ok());
+  }
+
+  std::int64_t next_key = kRows;  // persists across rounds: keys stay unique
+  for (const std::size_t readers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> total_reads{0};
+    std::atomic<std::uint64_t> writer_ops{0};
+    std::thread writer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::int64_t next = next_key++;  // joined before the next round
+        HPCLA_CHECK(db.insert("events",
+                              {rowstore::Value(next), rowstore::Value(next),
+                               rowstore::Value("appended row")})
+                        .is_ok());
+        writer_ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::vector<PercentileTracker> latencies(readers);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < readers; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(300 + t);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          const auto key = static_cast<std::int64_t>(rng.next_below(kRows));
+          if (ops % 16 == 0) {
+            Stopwatch lat;
+            benchmark::DoNotOptimize(db.get("events", {rowstore::Value(key)}));
+            latencies[t].add(static_cast<double>(lat.elapsed_micros()));
+          } else {
+            benchmark::DoNotOptimize(db.get("events", {rowstore::Value(key)}));
+          }
+          ++ops;
+        }
+        total_reads.fetch_add(ops, std::memory_order_relaxed);
+      });
+    }
+    Stopwatch watch;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(kMeasureSeconds * 1e3)));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    writer.join();
+    const double elapsed = watch.elapsed_seconds();
+
+    double p50 = 0, p99 = 0;
+    for (auto& lat : latencies) {
+      p50 += lat.percentile(0.5);
+      p99 = std::max(p99, lat.percentile(0.99));
+    }
+    BenchResultRow row;
+    row.name = "rowstore_read/threads:" + std::to_string(readers);
+    row.ops_per_sec = static_cast<double>(total_reads.load()) / elapsed;
+    row.p50_us = readers ? p50 / static_cast<double>(readers) : 0.0;
+    row.p99_us = p99;
+    row.extra["writer_ops_per_sec"] =
+        static_cast<double>(writer_ops.load()) / elapsed;
+    out.add(row);
+    std::printf(
+        "rowstore readers=%zu: %.0f reads/s (p50 %.1f us, p99 %.1f us), "
+        "writer %.0f ops/s\n",
+        readers, row.ops_per_sec, row.p50_us, row.p99_us,
+        static_cast<double>(writer_ops.load()) / elapsed);
+  }
+  out.root_extra()["rowstore_snapshot_merges"] =
+      static_cast<double>(db.snapshot_merges());
+}
+
 int run(int argc, char** argv) {
   const std::string path = consume_json_flag(argc, argv);
   BenchJsonWriter writer("concurrent_read", path);
@@ -251,6 +339,7 @@ int run(int argc, char** argv) {
 
   bench_scan(engine, writer);
   bench_parallel_read(writer);
+  bench_rowstore_readers(writer);
 
   const auto m = engine.metrics();
   writer.root_extra()["snapshot_reads"] = m.snapshot_reads;

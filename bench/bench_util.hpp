@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hpp"
@@ -110,9 +111,25 @@ class BenchJsonWriter {
   /// Top-level members beside "results" (e.g. acceptance-check verdicts).
   Json& root_extra() { return root_extra_; }
 
+  /// Environment signature stamped into every summary: check_trend.py
+  /// refuses to compare runs whose signatures differ (a 1-core CI box
+  /// gating 8-thread scaling numbers is how perf debt hides).
+  static Json environment_signature() {
+    Json env = Json::object();
+    env["hardware_threads"] =
+        static_cast<std::int64_t>(std::thread::hardware_concurrency());
+#ifdef NDEBUG
+    env["build_type"] = "release";
+#else
+    env["build_type"] = "debug";
+#endif
+    return env;
+  }
+
   void write() const {
     Json j = Json::object();
     j["bench"] = bench_name_;
+    j["environment"] = environment_signature();
     Json results = Json::array();
     for (const auto& row : rows_) {
       Json r = Json::object();

@@ -40,6 +40,26 @@ def load_results(path):
     return out
 
 
+def load_environment(path):
+    """Returns the environment signature dict, or None for pre-signature
+    summaries."""
+    with open(path) as f:
+        data = json.load(f)
+    env = data.get("environment")
+    return env if isinstance(env, dict) else None
+
+
+def environments_comparable(current_env, baseline_env):
+    """Signatures must both exist and match exactly: comparing a 1-core
+    run against an 8-core baseline (or debug against release) measures the
+    machine, not the code."""
+    return (
+        current_env is not None
+        and baseline_env is not None
+        and current_env == baseline_env
+    )
+
+
 def report_telemetry_overhead(path):
     """Prints the tracing-overhead probe some benches embed (informational:
     the acceptance budget is 5%, but runner jitter makes it advisory)."""
@@ -58,8 +78,37 @@ def report_telemetry_overhead(path):
     )
 
 
+def report_cached_path(path):
+    """Prints the cold-vs-warm cached-path probe (acceptance: warm p50 at
+    least 10x faster than cold on the same run)."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("cached_path")
+    if not isinstance(probe, dict):
+        return
+    speedup = probe.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        return
+    verdict = "meets 10x floor" if speedup >= 10.0 else "UNDER 10x floor"
+    print(
+        f"  cached path ({probe.get('query', '?')}): cold p50 "
+        f"{probe.get('cold_p50_us', 0):,.0f} us vs warm p50 "
+        f"{probe.get('warm_p50_us', 0):,.1f} us = {speedup:,.0f}x ({verdict})"
+    )
+
+
 def compare(current_path, baseline_path, threshold):
     """Prints a per-result diff; returns the list of regressed names."""
+    current_env = load_environment(current_path)
+    baseline_env = load_environment(baseline_path)
+    if not environments_comparable(current_env, baseline_env):
+        print(
+            f"  INCOMPARABLE  environment signature mismatch — refusing "
+            f"cross-environment comparison\n"
+            f"                current  {current_env or '(unsigned summary)'}\n"
+            f"                baseline {baseline_env or '(unsigned summary)'}"
+        )
+        return []
     current = load_results(current_path)
     baseline = load_results(baseline_path)
     regressions = []
@@ -115,6 +164,7 @@ def main():
             all_regressions.append(path)
             continue
         report_telemetry_overhead(path)
+        report_cached_path(path)
         if not os.path.exists(baseline):
             print(f"  (no baseline at {baseline} — skipping)")
             continue

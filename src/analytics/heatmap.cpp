@@ -88,6 +88,10 @@ HeatMap build_heatmap(sparklite::Engine& engine,
   return from_counts(std::move(per_node));
 }
 
+HeatMap heatmap_from_counts(std::vector<std::int64_t> node_counts) {
+  return from_counts(std::move(node_counts));
+}
+
 HeatMap heatmap_from_events(const std::vector<titanlog::EventRecord>& events) {
   std::vector<std::int64_t> per_node(
       static_cast<std::size_t>(TitanGeometry::kTotalNodes), 0);

@@ -46,4 +46,9 @@ HeatMap build_heatmap(sparklite::Engine& engine,
 /// Builds a heat map directly from records (for ground-truth comparison).
 HeatMap heatmap_from_events(const std::vector<titanlog::EventRecord>& events);
 
+/// Builds a heat map from a dense per-node count vector — the
+/// materialized-view serving path (model::views::ViewCatalog::
+/// heatmap_counts produces the vector without a scan).
+HeatMap heatmap_from_counts(std::vector<std::int64_t> node_counts);
+
 }  // namespace hpcla::analytics

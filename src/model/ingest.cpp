@@ -58,6 +58,10 @@ std::size_t BatchIngestor::write_event(const EventRecord& e,
     ++report.write_failures;
   }
   if (written == 2) ++report.event_rows;
+  // Incremental view maintenance at the write choke point (batch and
+  // streaming both funnel through here): count fully-written events,
+  // epoch-bump-only for partial writes so covering caches invalidate.
+  if (views_ != nullptr && written > 0) views_->apply(e, written == 2);
   return written;
 }
 

@@ -15,6 +15,7 @@
 
 #include "cassalite/cluster.hpp"
 #include "model/tables.hpp"
+#include "model/views/views.hpp"
 #include "sparklite/dataset.hpp"
 #include "titanlog/parser.hpp"
 
@@ -69,10 +70,17 @@ class BatchIngestor {
                      SynopsisDelta>& deltas,
       IngestReport& report);
 
+  /// Attaches a materialized-view catalog (not owned): every event write
+  /// folds into the covering view tile and bumps its hour epoch (partial
+  /// writes bump the epoch only). Attach before the first ingest — views
+  /// only see events written while attached. Pass nullptr to detach.
+  void set_view_catalog(views::ViewCatalog* views) { views_ = views; }
+
  private:
   cassalite::Cluster* cluster_;
   sparklite::Engine* engine_;
   IngestOptions options_;
+  views::ViewCatalog* views_ = nullptr;  ///< not owned
 };
 
 /// Accumulates an event into a synopsis delta map (helper shared with the

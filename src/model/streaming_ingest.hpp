@@ -108,6 +108,12 @@ class StreamingIngestor {
     return totals_;
   }
 
+  /// Attaches a materialized-view catalog: the micro-batch writer folds
+  /// each coalesced event delta into the views as it lands.
+  void set_view_catalog(views::ViewCatalog* views) {
+    writer_.set_view_catalog(views);
+  }
+
  private:
   void handle_batch(const sparklite::MicroBatch& batch,
                     StreamingReport& report);

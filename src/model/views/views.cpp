@@ -1,0 +1,146 @@
+#include "model/views/views.hpp"
+
+#include <algorithm>
+
+#include "topo/machine.hpp"
+
+namespace hpcla::model::views {
+
+using titanlog::EventRecord;
+
+void ViewCatalog::apply(const EventRecord& e, bool counted) {
+  const std::int64_t hour = hour_bucket(e.ts);
+  {
+    Shard& shard = shard_of(hour);
+    std::lock_guard lock(shard.mu);
+    HourView& hv = shard.hours[hour];
+    ++hv.epoch;
+    if (counted) {
+      Tile& tile = hv.tiles[e.type];
+      tile.node_counts[e.node] += e.count;
+      tile.total += e.count;
+    }
+  }
+  (counted ? applied_ : partial_).fetch_add(1, std::memory_order_relaxed);
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t ViewCatalog::window_epoch(const TimeRange& w) const {
+  if (w.begin >= w.end) return 0;
+  const std::int64_t span = w.last_hour() - w.first_hour() + 1;
+  if (span > kMaxEpochHours) return global_epoch();
+  std::uint64_t sum = 0;
+  for_each_hour(w, [&sum](std::int64_t, const HourView& hv) {
+    sum += hv.epoch;
+  });
+  return sum;
+}
+
+namespace {
+
+bool wants_type(const ViewQuery& q, titanlog::EventType t) noexcept {
+  if (q.types.empty()) return true;
+  for (auto x : q.types) {
+    if (x == t) return true;
+  }
+  return false;
+}
+
+bool wants_node(const ViewQuery& q, topo::NodeId node) {
+  if (!q.location) return true;
+  return topo::contains(*q.location, topo::coord_of(node));
+}
+
+}  // namespace
+
+std::vector<std::int64_t> ViewCatalog::heatmap_counts(
+    const ViewQuery& q) const {
+  std::vector<std::int64_t> per_node(
+      static_cast<std::size_t>(topo::TitanGeometry::kTotalNodes), 0);
+  for_each_hour(q.window, [&](std::int64_t, const HourView& hv) {
+    for (const auto& [type, tile] : hv.tiles) {
+      if (!wants_type(q, type)) continue;
+      for (const auto& [node, count] : tile.node_counts) {
+        if (!wants_node(q, node)) continue;
+        per_node[static_cast<std::size_t>(node)] += count;
+      }
+    }
+  });
+  return per_node;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> ViewCatalog::hourly_counts(
+    const ViewQuery& q) const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  for_each_hour(q.window, [&](std::int64_t hour, const HourView& hv) {
+    std::int64_t sum = 0;
+    for (const auto& [type, tile] : hv.tiles) {
+      if (!wants_type(q, type)) continue;
+      if (!q.location) {
+        sum += tile.total;
+        continue;
+      }
+      for (const auto& [node, count] : tile.node_counts) {
+        if (wants_node(q, node)) sum += count;
+      }
+    }
+    if (sum != 0) out.emplace_back(hour, sum);
+  });
+  // for_each_hour walks hours ascending, so `out` is already sorted.
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> ViewCatalog::type_counts(
+    const ViewQuery& q, std::size_t k) const {
+  std::map<titanlog::EventType, std::int64_t> totals;
+  for_each_hour(q.window, [&](std::int64_t, const HourView& hv) {
+    for (const auto& [type, tile] : hv.tiles) {
+      if (!wants_type(q, type)) continue;
+      if (!q.location) {
+        totals[type] += tile.total;
+        continue;
+      }
+      for (const auto& [node, count] : tile.node_counts) {
+        if (wants_node(q, node)) totals[type] += count;
+      }
+    }
+  });
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(totals.size());
+  for (const auto& [type, count] : totals) {
+    if (count != 0) {
+      out.emplace_back(std::string(titanlog::event_id(type)), count);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<double> ViewCatalog::hour_series(const ViewQuery& q) const {
+  const std::int64_t h0 = q.window.first_hour();
+  const std::int64_t h1 = q.window.last_hour();
+  std::vector<double> out(static_cast<std::size_t>(h1 - h0 + 1), 0.0);
+  for (const auto& [hour, count] : hourly_counts(q)) {
+    out[static_cast<std::size_t>(hour - h0)] =
+        static_cast<double>(count);
+  }
+  return out;
+}
+
+ViewStats ViewCatalog::stats() const {
+  ViewStats s;
+  s.applied = applied_.load(std::memory_order_relaxed);
+  s.partial = partial_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    s.hours += shard.hours.size();
+    for (const auto& [hour, hv] : shard.hours) s.tiles += hv.tiles.size();
+  }
+  return s;
+}
+
+}  // namespace hpcla::model::views

@@ -1,0 +1,181 @@
+// Incrementally-maintained materialized views over the ingest path
+// (DESIGN.md §12). Generalizes the eventsynopsis mechanism: where the
+// synopsis table keeps per-(hour, type) totals for the *simple* query
+// path, the ViewCatalog keeps per-(hour, type) heatmap tiles — sparse
+// node -> count maps — from which the server can answer the repeated
+// complex queries (heat map, per-hour counts, top-K event types,
+// hour-binned time series) without a scan->shuffle->reduce pipeline.
+//
+// Maintenance is incremental: BatchIngestor::write_event() applies every
+// fully-written event to the covering tile, so the batch ETL and the
+// streaming micro-batch path (which funnels its coalesced deltas through
+// write_event) both keep the views current with no extra pass.
+// Invalidation is epoch-based: every write into an hour bumps that hour's
+// epoch counter (even a partially-failed write, which may have left one
+// event table updated), and window_epoch() folds the per-hour epochs of a
+// query window into a fingerprint the server's result cache stores with
+// each entry — if ingest has touched any covered hour since the entry was
+// computed, the fingerprints differ and the entry is invalidated instead
+// of served. Epochs only grow, so a stale fingerprint can never collide
+// with a fresh one.
+//
+// Like the synopsis table, the views assume the event stream is
+// append-only with unique (ts, seq) per partition: re-upserting an
+// identical row is counted again, exactly as apply_synopsis()'s
+// read-modify-write would count it again.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/telemetry.hpp"
+#include "titanlog/events.hpp"
+#include "titanlog/record.hpp"
+#include "topo/cname.hpp"
+
+namespace hpcla::model::views {
+
+/// The view-servable slice of an analytics context: the dimensions the
+/// event tables filter on (users/apps never reach the event scan).
+/// Defined here so the model layer does not depend on analytics.
+struct ViewQuery {
+  TimeRange window;
+  std::vector<titanlog::EventType> types;  ///< empty = all types
+  std::optional<topo::Coord> location;     ///< nullopt = whole system
+};
+
+struct ViewStats {
+  std::uint64_t applied = 0;   ///< events folded into tiles
+  std::uint64_t partial = 0;   ///< epoch-only bumps (partial writes)
+  std::uint64_t hours = 0;     ///< distinct hours with a view
+  std::uint64_t tiles = 0;     ///< (hour, type) tiles
+};
+
+class ViewCatalog {
+ public:
+  ViewCatalog() {
+    telemetry_ = telemetry::registry().register_collector(
+        [this](telemetry::MetricSink& sink) {
+          const ViewStats s = stats();
+          sink.counter("model.views.applied", s.applied);
+          sink.counter("model.views.partial", s.partial);
+          sink.gauge("model.views.hours", static_cast<double>(s.hours));
+          sink.gauge("model.views.tiles", static_cast<double>(s.tiles));
+          sink.counter("model.views.epoch",
+                       global_epoch_.load(std::memory_order_relaxed));
+        });
+  }
+
+  /// True when the window fits the hourly tile grid: non-empty and
+  /// hour-aligned on both ends, so every covered hour lies wholly inside
+  /// the window and tile sums equal the engine's per-event filtering.
+  [[nodiscard]] static bool aligned(const TimeRange& w) noexcept {
+    return w.begin < w.end && w.begin % kHourSeconds == 0 &&
+           w.end % kHourSeconds == 0;
+  }
+
+  /// Folds one ingested event into its (hour, type) tile and bumps the
+  /// hour's epoch. `counted = false` (partial write: only one event table
+  /// took the row) bumps the epoch without touching the counts, so caches
+  /// over the window still invalidate.
+  void apply(const titanlog::EventRecord& e, bool counted = true);
+
+  /// Fingerprint of the window's ingest state: the sum of the covered
+  /// hours' epoch counters (monotonic — any later write into any covered
+  /// hour yields a strictly larger value). Windows spanning more than
+  /// kMaxEpochHours fall back to the global epoch, which any write bumps.
+  [[nodiscard]] std::uint64_t window_epoch(const TimeRange& w) const;
+
+  /// Epoch over all hours (bumped by every apply()).
+  [[nodiscard]] std::uint64_t global_epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  // ------------------------------------------------------------ readers
+  //
+  // All readers filter exactly like the engine path (type membership,
+  // topo::contains for location) and require an aligned() window for
+  // results to match a cold recompute.
+
+  /// Dense per-node occurrence counts (size = topo kTotalNodes), summing
+  /// EventRecord::count — the heat map's input vector.
+  [[nodiscard]] std::vector<std::int64_t> heatmap_counts(
+      const ViewQuery& q) const;
+
+  /// (hour, count) pairs ascending by hour; hours with no matching events
+  /// are omitted (matching the engine's reduce-by-key output).
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>>
+  hourly_counts(const ViewQuery& q) const;
+
+  /// Per-type totals, descending by count then ascending by type label —
+  /// the top-K event types of the window (k = 0 keeps all), shaped like
+  /// distribution(group_by = type).
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> type_counts(
+      const ViewQuery& q, std::size_t k = 0) const;
+
+  /// Dense hour-binned series across the window (one bin per covered
+  /// hour), the timeseries op's shape for bin_seconds = 3600.
+  [[nodiscard]] std::vector<double> hour_series(const ViewQuery& q) const;
+
+  [[nodiscard]] ViewStats stats() const;
+
+  static constexpr std::int64_t kHourSeconds = 3600;
+  /// Above this many covered hours window_epoch() degrades to the global
+  /// epoch (correct, coarser invalidation) instead of walking the span.
+  static constexpr std::int64_t kMaxEpochHours = 4096;
+
+ private:
+  /// One (hour, type) tile: sparse node -> count plus the tile total.
+  struct Tile {
+    std::unordered_map<topo::NodeId, std::int64_t> node_counts;
+    std::int64_t total = 0;
+  };
+  /// All tiles of one hour plus the hour's invalidation epoch.
+  struct HourView {
+    std::uint64_t epoch = 0;
+    std::map<titanlog::EventType, Tile> tiles;
+  };
+  /// Hours are striped over shards so parallel ingest partitions rarely
+  /// contend (they touch different hours or different stripes).
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::int64_t, HourView> hours;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  [[nodiscard]] Shard& shard_of(std::int64_t hour) const noexcept {
+    return shards_[static_cast<std::size_t>(hour) % kShards];
+  }
+
+  /// Calls fn(hour, HourView) under the shard lock for each covered hour
+  /// that has a view.
+  template <typename Fn>
+  void for_each_hour(const TimeRange& w, Fn&& fn) const {
+    const std::int64_t h0 = w.first_hour();
+    const std::int64_t h1 = w.last_hour();
+    for (std::int64_t h = h0; h <= h1; ++h) {
+      Shard& shard = shard_of(h);
+      std::lock_guard lock(shard.mu);
+      const auto it = shard.hours.find(h);
+      if (it != shard.hours.end()) fn(h, it->second);
+    }
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> partial_{0};
+  std::atomic<std::uint64_t> global_epoch_{0};
+  /// Last member: the collector captures `this` and must deregister first.
+  telemetry::CollectorHandle telemetry_;
+};
+
+}  // namespace hpcla::model::views

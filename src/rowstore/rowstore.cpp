@@ -17,14 +17,22 @@ bool value_matches(const Value& v, ColumnDef::Kind kind) noexcept {
   return false;
 }
 
-RowStore::RowStore(RowStoreOptions options) : options_(options) {}
+RowStore::RowStore(RowStoreOptions options) : options_(options) {
+  if (options_.delta_merge_rows == 0) options_.delta_merge_rows = 1;
+}
 
 void RowStore::commit_point() const {
-  ++commits_;
+  commits_.fetch_add(1, std::memory_order_relaxed);
   if (options_.commit_delay_us > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.commit_delay_us));
   }
+}
+
+RowStore::Table* RowStore::find_table(const std::string& name) const {
+  std::shared_lock lock(dir_mu_);
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
 }
 
 Status RowStore::create_table(const std::string& name,
@@ -40,19 +48,24 @@ Status RowStore::create_table(const std::string& name,
     }
   }
   std::lock_guard lock(mu_);
-  if (tables_.contains(name)) {
-    return already_exists("table '" + name + "' already exists");
+  auto base = std::make_shared<TableBase>();
+  base->columns = std::move(columns);
+  base->key_columns = key_columns;
+  auto t = std::make_unique<Table>();
+  t->base = std::move(base);  // no readers until the directory insert
+  {
+    std::lock_guard dir(dir_mu_);
+    if (tables_.contains(name)) {
+      return already_exists("table '" + name + "' already exists");
+    }
+    tables_.emplace(name, std::move(t));
   }
-  Table t;
-  t.columns = std::move(columns);
-  t.key_columns = key_columns;
-  tables_.emplace(name, std::move(t));
   commit_point();
   return Status::ok();
 }
 
-Status RowStore::validate(const Table& t,
-                          const std::vector<Value>& values) const {
+Status RowStore::validate(const TableBase& t,
+                          const std::vector<Value>& values) {
   if (values.size() != t.columns.size()) {
     return invalid_argument("row arity " + std::to_string(values.size()) +
                             " != schema arity " +
@@ -67,44 +80,100 @@ Status RowStore::validate(const Table& t,
   return Status::ok();
 }
 
+void RowStore::publish_merged(Table& t, const BasePtr& old_base) {
+  // Build the merged row map outside the delta lock (delta is only
+  // written under mu_, which we hold), then swap base and drain delta in
+  // one critical section: any reader's shared-lock acquisition sees
+  // either (old base, full delta) or (merged base, empty delta), never a
+  // half-published mix.
+  auto merged = std::make_shared<RowMap>(*old_base->rows);
+  for (auto& [k, v] : t.delta) (*merged)[k] = v;
+  auto next = std::make_shared<TableBase>();
+  next->columns = old_base->columns;
+  next->key_columns = old_base->key_columns;
+  next->rows = std::move(merged);
+  {
+    std::unique_lock delta(t.delta_mu);
+    t.base = std::move(next);
+    t.delta.clear();
+  }
+  merges_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status RowStore::insert(const std::string& table, std::vector<Value> values) {
   std::lock_guard lock(mu_);
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return not_found("no table '" + table + "'");
-  Table& t = it->second;
-  HPCLA_RETURN_IF_ERROR(validate(t, values));
-  std::vector<Value> key(values.begin(),
-                         values.begin() + static_cast<std::ptrdiff_t>(t.key_columns));
-  auto [_, inserted] = t.rows.try_emplace(std::move(key), std::move(values));
-  if (!inserted) {
+  Table* t = find_table(table);
+  if (t == nullptr) return not_found("no table '" + table + "'");
+  const BasePtr base = t->base;  // safe under mu_: only writers mutate it
+  HPCLA_RETURN_IF_ERROR(validate(*base, values));
+  std::vector<Value> key(
+      values.begin(),
+      values.begin() + static_cast<std::ptrdiff_t>(base->key_columns));
+  if (base->rows->contains(key)) {
     return already_exists("duplicate primary key in '" + table + "'");
   }
+  {
+    std::unique_lock delta(t->delta_mu);
+    auto [_, inserted] = t->delta.try_emplace(std::move(key),
+                                              std::move(values));
+    if (!inserted) {
+      return already_exists("duplicate primary key in '" + table + "'");
+    }
+  }
+  if (t->delta.size() >= options_.delta_merge_rows) publish_merged(*t, base);
   commit_point();
   return Status::ok();
 }
 
 Result<std::vector<Value>> RowStore::get(const std::string& table,
                                          const std::vector<Value>& key) const {
-  std::lock_guard lock(mu_);
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return not_found("no table '" + table + "'");
-  const auto row = it->second.rows.find(key);
-  if (row == it->second.rows.end()) return not_found("key not found");
+  const Table* t = find_table(table);
+  if (t == nullptr) return not_found("no table '" + table + "'");
+  // One shared-lock acquisition covers the delta lookup and the base
+  // pointer copy (a consistent pair); the base search runs lock-free
+  // against the immutable snapshot.
+  BasePtr base;
+  {
+    std::shared_lock delta(t->delta_mu);
+    const auto it = t->delta.find(key);
+    if (it != t->delta.end()) return it->second;
+    base = t->base;
+  }
+  const auto row = base->rows->find(key);
+  if (row == base->rows->end()) return not_found("key not found");
   return row->second;
 }
 
 Result<std::vector<std::vector<Value>>> RowStore::scan(
     const std::string& table, const std::vector<Value>& lo,
     const std::vector<Value>& hi) const {
-  std::lock_guard lock(mu_);
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return not_found("no table '" + table + "'");
+  const Table* t = find_table(table);
+  if (t == nullptr) return not_found("no table '" + table + "'");
+  // Copy the delta slice and the base pointer under one shared-lock
+  // acquisition (a consistent, disjoint pair), then interleave the two
+  // sorted sequences outside any lock.
+  RowMap recent;
+  BasePtr base;
+  {
+    std::shared_lock delta(t->delta_mu);
+    auto begin = lo.empty() ? t->delta.begin() : t->delta.lower_bound(lo);
+    auto end = hi.empty() ? t->delta.end() : t->delta.lower_bound(hi);
+    recent.insert(begin, end);
+    base = t->base;
+  }
+  auto begin = lo.empty() ? base->rows->begin() : base->rows->lower_bound(lo);
+  auto end = hi.empty() ? base->rows->end() : base->rows->lower_bound(hi);
   std::vector<std::vector<Value>> out;
-  auto begin = lo.empty() ? it->second.rows.begin()
-                          : it->second.rows.lower_bound(lo);
-  auto end = hi.empty() ? it->second.rows.end()
-                        : it->second.rows.lower_bound(hi);
-  for (; begin != end; ++begin) out.push_back(begin->second);
+  auto d = recent.begin();
+  for (; begin != end; ++begin) {
+    while (d != recent.end() && d->first < begin->first) {
+      out.push_back(d->second);
+      ++d;
+    }
+    if (d != recent.end() && d->first == begin->first) ++d;  // delta wins
+    out.push_back(begin->second);
+  }
+  for (; d != recent.end(); ++d) out.push_back(d->second);
   return out;
 }
 
@@ -112,10 +181,10 @@ Result<std::uint64_t> RowStore::add_column(const std::string& table,
                                            ColumnDef column,
                                            Value default_value) {
   std::lock_guard lock(mu_);
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return not_found("no table '" + table + "'");
-  Table& t = it->second;
-  for (const auto& c : t.columns) {
+  Table* t = find_table(table);
+  if (t == nullptr) return not_found("no table '" + table + "'");
+  BasePtr base = t->base;  // safe under mu_: only writers mutate it
+  for (const auto& c : base->columns) {
     if (c.name == column.name) {
       return already_exists("column '" + column.name + "' already exists");
     }
@@ -123,27 +192,53 @@ Result<std::uint64_t> RowStore::add_column(const std::string& table,
   if (!value_matches(default_value, column.kind)) {
     return invalid_argument("default value type mismatch");
   }
-  t.columns.push_back(std::move(column));
-  // The expensive part the paper complains about: every row is rewritten.
+  // Fold the delta in first so the rewrite covers every row, then publish
+  // one snapshot with the new schema and the widened rows. The expensive
+  // part the paper complains about: every row is copied and rewritten.
+  if (!t->delta.empty()) {
+    publish_merged(*t, base);
+    base = t->base;
+  }
+  auto widened = std::make_shared<RowMap>();
   std::uint64_t rewritten = 0;
-  for (auto& [_, row] : t.rows) {
-    row.push_back(default_value);
+  for (const auto& [k, row] : *base->rows) {
+    auto copy = row;
+    copy.push_back(default_value);
+    widened->emplace(k, std::move(copy));
     ++rewritten;
+  }
+  auto next = std::make_shared<TableBase>();
+  next->columns = base->columns;
+  next->columns.push_back(std::move(column));
+  next->key_columns = base->key_columns;
+  next->rows = std::move(widened);
+  {
+    std::unique_lock delta(t->delta_mu);  // exclude concurrent readers
+    t->base = std::move(next);
   }
   commit_point();
   return rewritten;
 }
 
 Result<std::uint64_t> RowStore::row_count(const std::string& table) const {
-  std::lock_guard lock(mu_);
-  const auto it = tables_.find(table);
-  if (it == tables_.end()) return not_found("no table '" + table + "'");
-  return static_cast<std::uint64_t>(it->second.rows.size());
+  const Table* t = find_table(table);
+  if (t == nullptr) return not_found("no table '" + table + "'");
+  // The (base, delta) pair read under the shared lock is consistent and
+  // disjoint (the membership check is defensive), so the sum is exact.
+  std::uint64_t extra = 0;
+  BasePtr base;
+  {
+    std::shared_lock delta(t->delta_mu);
+    base = t->base;
+    for (const auto& [k, _] : t->delta) {
+      if (!base->rows->contains(k)) ++extra;
+    }
+  }
+  return static_cast<std::uint64_t>(base->rows->size()) + extra;
 }
 
 std::uint64_t RowStore::commits() const {
-  std::lock_guard lock(mu_);
-  return commits_;
+  return commits_.load(std::memory_order_relaxed);
 }
 
 }  // namespace hpcla::rowstore

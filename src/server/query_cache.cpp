@@ -1,0 +1,128 @@
+#include "server/query_cache.hpp"
+
+#include <algorithm>
+
+namespace hpcla::server {
+
+QueryCache::QueryCache(Options options) : options_(options) {
+  options_.shards = std::max<std::size_t>(options_.shards, 1);
+  options_.capacity_per_shard =
+      std::max<std::size_t>(options_.capacity_per_shard, 1);
+  shards_ = std::vector<Shard>(options_.shards);
+}
+
+std::optional<Json> QueryCache::lookup(const std::string& key,
+                                       std::uint64_t epoch) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // Ingest touched a covered hour since this entry was computed: drop
+    // it rather than serve a stale result.
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    staleness_epochs_.fetch_add(
+        epoch > it->second->epoch ? epoch - it->second->epoch : 0,
+        std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void QueryCache::insert(const std::string& key, std::uint64_t epoch,
+                        Json result) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->epoch = epoch;
+    it->second->result = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, epoch, std::move(result)});
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > options_.capacity_per_shard) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+std::size_t QueryCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+QueryCacheStats QueryCache::stats() const {
+  QueryCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.staleness_epochs = staleness_epochs_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+void normalize_to(const Json& j, std::string& out) {
+  if (j.is_object()) {
+    const auto& obj = j.as_object();
+    std::vector<const JsonObject::Entry*> entries;
+    entries.reserve(obj.size());
+    for (const auto& e : obj) entries.push_back(&e);
+    std::sort(entries.begin(), entries.end(),
+              [](const JsonObject::Entry* a, const JsonObject::Entry* b) {
+                return a->first < b->first;
+              });
+    out += '{';
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i) out += ',';
+      out += json_escape(entries[i]->first);
+      out += ':';
+      normalize_to(entries[i]->second, out);
+    }
+    out += '}';
+  } else if (j.is_array()) {
+    out += '[';
+    const auto& arr = j.as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += ',';
+      normalize_to(arr[i], out);
+    }
+    out += ']';
+  } else {
+    out += j.dump();
+  }
+}
+
+}  // namespace
+
+std::string normalized_cache_key(const Json& request) {
+  std::string out;
+  normalize_to(request, out);
+  return out;
+}
+
+}  // namespace hpcla::server

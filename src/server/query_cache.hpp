@@ -1,0 +1,94 @@
+// Bounded, sharded LRU result cache for the analytics server's repeated
+// complex queries (DESIGN.md §12).
+//
+// Entries are keyed by the *normalized* query JSON (objects re-serialized
+// with sorted keys, so field order in the client request doesn't fragment
+// the cache) and carry the view-epoch fingerprint of the query's window
+// at compute time. A lookup whose stored fingerprint no longer matches
+// the current one is a detected invalidation: the entry is dropped and
+// the query recomputes — the cache can serve a result computed before an
+// ingest only until that ingest touches a covered hour.
+//
+// Sharding: keys hash onto independently locked LRU shards, so concurrent
+// queries contend only when they land on the same stripe. Each shard is
+// capacity-bounded; inserts evict from the cold end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace hpcla::server {
+
+struct QueryCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  ///< stale entries dropped on lookup
+  /// Sum of (current - stored) epoch gaps over invalidations: how stale
+  /// the dropped entries were, in ingest events on covered hours.
+  std::uint64_t staleness_epochs = 0;
+  std::uint64_t evictions = 0;      ///< capacity evictions on insert
+};
+
+class QueryCache {
+ public:
+  struct Options {
+    std::size_t shards = 8;
+    std::size_t capacity_per_shard = 64;
+  };
+
+  QueryCache() : QueryCache(Options()) {}
+  explicit QueryCache(Options options);
+
+  /// Returns the cached result if present and its epoch fingerprint still
+  /// matches; refreshes LRU order. A fingerprint mismatch drops the entry
+  /// (counted as an invalidation AND a miss) and returns nullopt.
+  [[nodiscard]] std::optional<Json> lookup(const std::string& key,
+                                           std::uint64_t epoch);
+
+  /// Inserts (or overwrites) the result computed under `epoch`.
+  void insert(const std::string& key, std::uint64_t epoch, Json result);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] QueryCacheStats stats() const;
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch = 0;
+    Json result;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = hottest
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_of(const std::string& key) const noexcept {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  Options options_;
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> staleness_epochs_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Canonical cache key: the request re-serialized with object keys sorted
+/// at every depth (arrays keep order; scalars render as Json::dump()).
+[[nodiscard]] std::string normalized_cache_key(const Json& request);
+
+}  // namespace hpcla::server

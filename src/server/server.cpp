@@ -85,25 +85,65 @@ Json AnalyticsServer::handle(const Json& request) {
   span.tag("op", op.value());
   span.tag("path", simple ? "simple" : "complex");
   const Stopwatch watch;
-  auto result = dispatch(op.value(), request);
+  // Result cache / materialized views (DESIGN.md §12): cacheable complex
+  // ops consult the LRU keyed by normalized request + view epoch, then the
+  // views, before falling back to the engine. The epoch fingerprint is
+  // read BEFORE any compute, so an ingest that completes during the query
+  // bumps the current epoch past what we store — the entry invalidates on
+  // its next lookup instead of being served stale.
+  const char* cache_state = nullptr;
+  std::string cache_key;
+  std::uint64_t epoch = 0;
+  bool store = false;
+  std::optional<Result<Json>> result;
+  if (views_ != nullptr && cacheable_op(op.value())) {
+    auto ctx = context_of(request);
+    if (ctx.is_ok()) {
+      cache_key = normalized_cache_key(request);
+      epoch = views_->window_epoch(ctx->window);
+      if (auto cached = cache_.lookup(cache_key, epoch)) {
+        cache_state = "hit";
+        result.emplace(std::move(*cached));
+      } else if (auto viewed = try_view(op.value(), request, ctx.value())) {
+        cache_state = "view";
+        store = true;
+        view_served_.fetch_add(1, std::memory_order_relaxed);
+        result.emplace(std::move(*viewed));
+      } else {
+        cache_state = "miss";
+        store = true;
+      }
+    }
+  }
+  if (!result.has_value()) result.emplace(dispatch(op.value(), request));
+  if (store && result->is_ok()) {
+    cache_.insert(cache_key, epoch, result->value());
+  }
+  if (cache_state != nullptr) span.tag("cache", cache_state);
   (simple ? simple_hist_ : complex_hist_)
       .record(static_cast<std::uint64_t>(watch.elapsed_micros()));
   if (span.active()) {
     response["trace_id"] = static_cast<std::int64_t>(span.trace_id());
   }
-  if (!result.is_ok()) {
+  if (!result->is_ok()) {
     span.tag("status", "error");
     errors_.fetch_add(1, std::memory_order_relaxed);
     response["status"] = "error";
-    response["error"] = result.status().to_string();
+    response["error"] = result->status().to_string();
     return response;
   }
   span.tag("status", "ok");
   (simple ? simple_ : complex_).fetch_add(1, std::memory_order_relaxed);
   response["status"] = "ok";
   response["path"] = simple ? "simple" : "complex";
-  response["result"] = std::move(result.value());
+  if (cache_state != nullptr) response["cache"] = cache_state;
+  response["result"] = std::move(result->value());
   return response;
+}
+
+bool AnalyticsServer::cacheable_op(std::string_view op) noexcept {
+  return op == "heatmap" || op == "distribution" || op == "hourly" ||
+         op == "timeseries";
 }
 
 std::string AnalyticsServer::handle_text(std::string_view request) {
@@ -373,10 +413,13 @@ Result<Json> AnalyticsServer::op_jobs(const Json& request) {
 
 // ------------------------------------------------------------ complex ops
 
-Result<Json> AnalyticsServer::op_heatmap(const Json& request) {
-  auto ctx = context_of(request);
-  if (!ctx.is_ok()) return ctx.status();
-  auto hm = analytics::build_heatmap(*engine_, *cluster_, ctx.value());
+namespace {
+
+// Shared serializers for the cacheable ops: the engine path and the
+// materialized-view path funnel through the same formatter, so a
+// view-served response is byte-identical to a cold recompute.
+
+Json heatmap_json(const analytics::HeatMap& hm, double k_sigma) {
   Json out = Json::object();
   out["total"] = hm.total;
   out["peak"] = hm.peak;
@@ -387,7 +430,6 @@ Result<Json> AnalyticsServer::op_heatmap(const Json& request) {
   Json cabinets = Json::array();
   for (auto c : hm.cabinet_counts()) cabinets.push_back(c);
   out["cabinets"] = std::move(cabinets);
-  const double k_sigma = request.get_double("k_sigma").value_or(3.0);
   Json anomalous = Json::array();
   for (const auto& [node, count] : hm.anomalous_nodes(k_sigma)) {
     Json row = Json::object();
@@ -412,29 +454,20 @@ Result<Json> AnalyticsServer::op_heatmap(const Json& request) {
   return out;
 }
 
-Result<Json> AnalyticsServer::op_distribution(const Json& request) {
-  auto ctx = context_of(request);
-  if (!ctx.is_ok()) return ctx.status();
-  auto group_name = request.get_string("group_by");
-  if (!group_name.is_ok()) return group_name.status();
-  auto group = analytics::group_by_from_string(group_name.value());
-  if (!group.is_ok()) return group.status();
-  auto dist =
-      analytics::distribution(*engine_, *cluster_, ctx.value(), group.value());
+Json label_count_json(
+    const std::vector<std::pair<std::string, std::int64_t>>& rows) {
   Json arr = Json::array();
-  for (const auto& entry : dist) {
+  for (const auto& [label, count] : rows) {
     Json row = Json::object();
-    row["label"] = entry.label;
-    row["count"] = entry.count;
+    row["label"] = label;
+    row["count"] = count;
     arr.push_back(std::move(row));
   }
   return arr;
 }
 
-Result<Json> AnalyticsServer::op_hourly(const Json& request) {
-  auto ctx = context_of(request);
-  if (!ctx.is_ok()) return ctx.status();
-  auto hourly = analytics::hourly_distribution(*engine_, *cluster_, ctx.value());
+Json hourly_json(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& hourly) {
   Json arr = Json::array();
   for (const auto& [hour, count] : hourly) {
     Json row = Json::object();
@@ -444,8 +477,6 @@ Result<Json> AnalyticsServer::op_hourly(const Json& request) {
   }
   return arr;
 }
-
-namespace {
 
 Result<titanlog::EventType> type_field(const Json& request, const char* key) {
   auto id = request.get_string(key);
@@ -459,7 +490,43 @@ Json series_json(const std::vector<double>& series) {
   return arr;
 }
 
+Json timeseries_json(std::int64_t bin, const std::vector<double>& series) {
+  Json out = Json::object();
+  out["bin_seconds"] = bin;
+  out["series"] = series_json(series);
+  return out;
+}
+
 }  // namespace
+
+Result<Json> AnalyticsServer::op_heatmap(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto hm = analytics::build_heatmap(*engine_, *cluster_, ctx.value());
+  return heatmap_json(hm, request.get_double("k_sigma").value_or(3.0));
+}
+
+Result<Json> AnalyticsServer::op_distribution(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto group_name = request.get_string("group_by");
+  if (!group_name.is_ok()) return group_name.status();
+  auto group = analytics::group_by_from_string(group_name.value());
+  if (!group.is_ok()) return group.status();
+  auto dist =
+      analytics::distribution(*engine_, *cluster_, ctx.value(), group.value());
+  std::vector<std::pair<std::string, std::int64_t>> rows;
+  rows.reserve(dist.size());
+  for (const auto& entry : dist) rows.emplace_back(entry.label, entry.count);
+  return label_count_json(rows);
+}
+
+Result<Json> AnalyticsServer::op_hourly(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  return hourly_json(
+      analytics::hourly_distribution(*engine_, *cluster_, ctx.value()));
+}
 
 Result<Json> AnalyticsServer::op_timeseries(const Json& request) {
   auto ctx = context_of(request);
@@ -468,12 +535,49 @@ Result<Json> AnalyticsServer::op_timeseries(const Json& request) {
   if (!type.is_ok()) return type.status();
   const std::int64_t bin = request.get_int("bin_seconds").value_or(60);
   if (bin <= 0) return invalid_argument("'bin_seconds' must be positive");
-  auto series = analytics::event_series(*engine_, *cluster_, ctx.value(),
-                                        type.value(), bin);
-  Json out = Json::object();
-  out["bin_seconds"] = bin;
-  out["series"] = series_json(series);
-  return out;
+  return timeseries_json(bin,
+                         analytics::event_series(*engine_, *cluster_,
+                                                 ctx.value(), type.value(),
+                                                 bin));
+}
+
+std::optional<Json> AnalyticsServer::try_view(std::string_view op,
+                                              const Json& request,
+                                              const Context& ctx) {
+  using model::views::ViewCatalog;
+  // Views only cover the dimensions the event tables filter on: an
+  // hour-aligned window with no user/app restriction. Anything else falls
+  // through to the engine (and still populates the result cache).
+  if (!ViewCatalog::aligned(ctx.window)) return std::nullopt;
+  if (!ctx.users.empty() || !ctx.apps.empty()) return std::nullopt;
+  model::views::ViewQuery q{ctx.window, ctx.types, ctx.location};
+  if (op == "heatmap") {
+    const auto hm = analytics::heatmap_from_counts(views_->heatmap_counts(q));
+    return heatmap_json(hm, request.get_double("k_sigma").value_or(3.0));
+  }
+  if (op == "hourly") return hourly_json(views_->hourly_counts(q));
+  if (op == "distribution") {
+    // Only the per-type grouping is materialized.
+    if (request.get_string("group_by").value_or("") != "type") {
+      return std::nullopt;
+    }
+    return label_count_json(views_->type_counts(q));
+  }
+  if (op == "timeseries") {
+    // Only the hourly bin matches the tile grid; event_series replaces the
+    // context's type list with the requested type.
+    if (request.get_int("bin_seconds").value_or(60) !=
+        ViewCatalog::kHourSeconds) {
+      return std::nullopt;
+    }
+    auto type = type_field(request, "type");
+    if (!type.is_ok()) return std::nullopt;  // engine path reports the error
+    model::views::ViewQuery tq = q;
+    tq.types = {type.value()};
+    return timeseries_json(ViewCatalog::kHourSeconds,
+                           views_->hour_series(tq));
+  }
+  return std::nullopt;
 }
 
 Result<Json> AnalyticsServer::op_cross_correlation(const Json& request) {

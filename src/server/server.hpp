@@ -11,6 +11,10 @@
 // AnalyticsServer::handle() is the request entry point: a JSON query in,
 // a JSON response out. The classifier routes lookups/slices (simple) to
 // direct cassalite reads and analytics (complex) to sparklite jobs.
+// With a ViewCatalog attached (set_view_catalog), the repeated complex
+// aggregations (heatmap/distribution/hourly/timeseries) are answered from
+// a bounded result cache or the materialized views when possible
+// (DESIGN.md §12); the response carries a "cache":"hit|view|miss" field.
 // AsyncSession reproduces the Tornado long-polling shape: submit returns a
 // ticket, poll retrieves the response when ready.
 #pragma once
@@ -21,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "analytics/context.hpp"
@@ -28,6 +33,8 @@
 #include "common/json.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "model/views/views.hpp"
+#include "server/query_cache.hpp"
 #include "sparklite/engine.hpp"
 
 namespace hpcla::server {
@@ -46,8 +53,9 @@ struct ServerMetrics {
 
 class AnalyticsServer {
  public:
-  AnalyticsServer(cassalite::Cluster& cluster, sparklite::Engine& engine)
-      : cluster_(&cluster), engine_(&engine) {
+  AnalyticsServer(cassalite::Cluster& cluster, sparklite::Engine& engine,
+                  QueryCache::Options cache_options = QueryCache::Options())
+      : cluster_(&cluster), engine_(&engine), cache_(cache_options) {
     telemetry_ = telemetry::registry().register_collector(
         [this](telemetry::MetricSink& sink) {
           sink.counter("server.queries.simple",
@@ -56,8 +64,26 @@ class AnalyticsServer {
                        complex_.load(std::memory_order_relaxed));
           sink.counter("server.queries.errors",
                        errors_.load(std::memory_order_relaxed));
+          sink.counter("server.queries.view_served",
+                       view_served_.load(std::memory_order_relaxed));
+          const QueryCacheStats cs = cache_.stats();
+          sink.counter("server.cache.hits", cs.hits);
+          sink.counter("server.cache.misses", cs.misses);
+          sink.counter("server.cache.invalidations", cs.invalidations);
+          sink.counter("server.cache.staleness_epochs", cs.staleness_epochs);
+          sink.counter("server.cache.evictions", cs.evictions);
+          sink.gauge("server.cache.entries",
+                     static_cast<double>(cache_.size()));
         });
   }
+
+  /// Attaches the materialized-view catalog maintained by the ingestors
+  /// (not owned). Enables the result cache + view serving for the
+  /// cacheable complex ops; pass nullptr to fall back to engine-only.
+  void set_view_catalog(model::views::ViewCatalog* views) { views_ = views; }
+
+  /// The server-side result cache (for inspection in tests/benchmarks).
+  [[nodiscard]] QueryCache& query_cache() noexcept { return cache_; }
 
   /// Handles one frontend query synchronously.
   ///
@@ -114,11 +140,24 @@ class AnalyticsServer {
 
   Result<analytics::Context> context_of(const Json& request) const;
 
+  /// Ops whose results are view-servable and cache-eligible.
+  [[nodiscard]] static bool cacheable_op(std::string_view op) noexcept;
+
+  /// Answers `op` from the materialized views when the context is
+  /// view-covered (aligned window, no user/app dimension, op arguments
+  /// on the hourly grid); nullopt falls through to the engine.
+  [[nodiscard]] std::optional<Json> try_view(std::string_view op,
+                                             const Json& request,
+                                             const analytics::Context& ctx);
+
   cassalite::Cluster* cluster_;
   sparklite::Engine* engine_;
+  model::views::ViewCatalog* views_ = nullptr;  ///< not owned
+  QueryCache cache_;
   mutable std::atomic<std::uint64_t> simple_{0};
   mutable std::atomic<std::uint64_t> complex_{0};
   mutable std::atomic<std::uint64_t> errors_{0};
+  mutable std::atomic<std::uint64_t> view_served_{0};
   // Per-path end-to-end latency (registry references cached once; record
   // is lock-free).
   telemetry::LatencyHistogram& simple_hist_ =

@@ -4,23 +4,30 @@
 // join/sortBy) go through a two-stage parallel shuffle; actions
 // (collect/count/reduce) trigger execution on the Engine's worker pool.
 //
-// The shuffle (DESIGN.md §9) is genuinely parallel on both sides. Map side:
-// one pool task per upstream partition fuses compute + map-side combine +
-// scatter, writing into its own row of an [upstream][downstream] bucket
-// matrix — rows are disjoint, so no locks. Reduce side: the shuffled
-// dataset's partitions are *lazy*; each one k-way merges its bucket column
+// The shuffle (DESIGN.md §9, §12) is genuinely parallel on both sides and
+// fully lazy. A wide op does no work at call time: it parks its map stage
+// as a LazyStage barrier in the output dataset's lineage, and the first
+// action to consume the dataset runs it exactly once (std::call_once) on
+// the driver thread before the action's own stage. Map side: one pool task
+// per upstream partition fuses compute + map-side combine + scatter,
+// writing into its own row of an [upstream][downstream] bucket matrix —
+// rows are disjoint, so no locks. Reduce side: the shuffled dataset's
+// partitions are lazy; each one k-way merges its bucket column
 // (sub-buckets visited in upstream order, keeping results deterministic and
 // non-commutative combines correct) when an action's stage runs it, so the
 // merge parallelizes across buckets and cache()/lineage semantics are
 // preserved. Output buckets are sorted by key regardless of thread count.
 //
 // Like an uncached RDD, a Dataset recomputes its lineage on every action;
-// cache() pins the partition contents in memory.
+// cache() pins the partition contents in memory. The deferred map stage,
+// by contrast, runs once per wide op no matter how many actions follow —
+// the bucket matrix is shared state, not lineage.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -29,6 +36,18 @@
 #include "sparklite/engine.hpp"
 
 namespace hpcla::sparklite {
+
+/// A deferred barrier stage (the map side of a wide op) parked in a
+/// dataset's lineage. The first action to consume the dataset runs it
+/// exactly once — on the driver thread, before the action's own pool
+/// stage — even when multiple threads race actions on a shared dataset.
+/// Shared across the Dataset template so narrow transforms of any element
+/// type inherit their upstream barriers.
+struct LazyStage {
+  std::once_flag once;
+  std::function<void()> run;
+};
+using LazyStagePtr = std::shared_ptr<LazyStage>;
 
 template <typename T>
 class Dataset {
@@ -42,10 +61,12 @@ class Dataset {
     int preferred_node = -1;
   };
 
-  Dataset(Engine& engine, std::vector<Partition> partitions)
+  Dataset(Engine& engine, std::vector<Partition> partitions,
+          std::vector<LazyStagePtr> deps = {})
       : engine_(&engine),
         partitions_(std::make_shared<const std::vector<Partition>>(
-            std::move(partitions))) {}
+            std::move(partitions))),
+        deps_(std::move(deps)) {}
 
   /// Distributes an in-memory vector over `num_partitions` slices.
   static Dataset parallelize(Engine& engine, std::vector<T> data,
@@ -150,7 +171,9 @@ class Dataset {
     std::vector<Partition> parts(*partitions_);
     parts.insert(parts.end(), other.partitions_->begin(),
                  other.partitions_->end());
-    return Dataset(*engine_, std::move(parts));
+    std::vector<LazyStagePtr> deps(deps_);
+    deps.insert(deps.end(), other.deps_.begin(), other.deps_.end());
+    return Dataset(*engine_, std::move(parts), std::move(deps));
   }
 
   /// Rebalances into `n` even partitions (materializes once).
@@ -159,6 +182,15 @@ class Dataset {
   }
 
   // -------------------------------------------------------------- actions
+
+  /// Runs any pending upstream barrier stages (deferred shuffle map sides),
+  /// each exactly once even under concurrent actions. Every action calls
+  /// this before its own stage; wide ops call it on their inputs from
+  /// inside their own deferred stage, so chained shuffles unwind in
+  /// lineage order.
+  void ensure_ready() const {
+    for (const auto& dep : deps_) std::call_once(dep->once, dep->run);
+  }
 
   /// Materializes every partition and concatenates in partition order.
   [[nodiscard]] std::vector<T> collect() const {
@@ -176,6 +208,7 @@ class Dataset {
 
   /// Materializes partitions individually (shuffle input, cache()).
   [[nodiscard]] std::vector<std::vector<T>> collect_partitions() const {
+    ensure_ready();
     const auto& parts = *partitions_;
     std::vector<std::vector<T>> results(parts.size());
     engine_->run_stage(parts.size(), preferred_nodes(),
@@ -192,6 +225,7 @@ class Dataset {
   /// partition vectors through collect_partitions().
   template <typename Fn>
   void for_each_partition(Fn&& fn) const {
+    ensure_ready();
     const auto& parts = *partitions_;
     engine_->run_stage(parts.size(), preferred_nodes(),
                        [&](const TaskContext& ctx) {
@@ -201,6 +235,7 @@ class Dataset {
 
   /// Number of elements.
   [[nodiscard]] std::size_t count() const {
+    ensure_ready();
     const auto& parts = *partitions_;
     std::vector<std::size_t> counts(parts.size(), 0);
     engine_->run_stage(parts.size(), preferred_nodes(),
@@ -217,6 +252,7 @@ class Dataset {
   /// in each partition and across partitions.
   template <typename F>
   [[nodiscard]] T reduce(F combine, T init) const {
+    ensure_ready();
     const auto& parts = *partitions_;
     std::vector<T> partials(parts.size(), init);
     engine_->run_stage(parts.size(), preferred_nodes(),
@@ -239,6 +275,7 @@ class Dataset {
   [[nodiscard]] std::vector<T> take(std::size_t n) const {
     std::vector<T> out;
     if (n == 0) return out;
+    ensure_ready();
     const auto& parts = *partitions_;
     for (std::size_t i = 0; i < parts.size() && out.size() < n; ++i) {
       TaskContext ctx;
@@ -287,6 +324,9 @@ class Dataset {
   }
 
  private:
+  template <typename U>
+  friend class Dataset;
+
   template <typename R, typename F>
   Dataset<R> transform_partitions(F f) const {
     std::vector<typename Dataset<R>::Partition> parts;
@@ -299,11 +339,14 @@ class Dataset {
           },
           (*upstream)[i].preferred_node});
     }
-    return Dataset<R>(*engine_, std::move(parts));
+    // Narrow ops inherit the upstream barriers: the deferred shuffle runs
+    // when any derived dataset is consumed, not just the shuffled one.
+    return Dataset<R>(*engine_, std::move(parts), deps_);
   }
 
   Engine* engine_;
   std::shared_ptr<const std::vector<Partition>> partitions_;
+  std::vector<LazyStagePtr> deps_;
 };
 
 // ------------------------------------------------------------ wide (KV) ops
@@ -407,11 +450,35 @@ std::unordered_map<K, std::vector<V>> merge_group_column(
   return merged;
 }
 
+/// Pins the label parked for the *next* stage at wide-op call time.
+/// The deferred map stage claims it when it eventually runs; without this
+/// the label the caller parks for its own post-shuffle stage (e.g.
+/// "heatmap:merge") would clobber the scan label while the shuffle waits.
+inline std::shared_ptr<std::string> capture_stage_label(Engine& engine) {
+  return std::shared_ptr<std::string>(engine.take_next_label().release());
+}
+
+/// Runs `fn` (the deferred map stage) with `captured` — or `fallback`,
+/// naming the fused scan+combine+scatter stage — as the next stage's
+/// label, then re-parks whatever label the consuming action had set for
+/// its own stage.
+template <typename Fn>
+void run_labeled_stage(Engine& engine,
+                       const std::shared_ptr<std::string>& captured,
+                       const char* fallback, Fn&& fn) {
+  auto pending = engine.take_next_label();
+  engine.set_next_stage_label(captured ? *captured : std::string(fallback));
+  fn();
+  if (pending) engine.set_next_stage_label(std::move(*pending));
+}
+
 }  // namespace detail
 
 /// reduceByKey: combines all values sharing a key with an associative op.
-/// Two-stage parallel shuffle; output partitions are lazy and sorted by key
-/// for deterministic results at any worker count.
+/// Fully lazy two-stage parallel shuffle: the map side is deferred into the
+/// lineage (the consuming action fuses scan + map + combine + scatter into
+/// one pool stage); output partitions merge their bucket column lazily and
+/// are sorted by key for deterministic results at any worker count.
 template <typename K, typename V, typename Combine>
 Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
                                        Combine combine,
@@ -420,20 +487,26 @@ Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
   if (num_partitions == 0) {
     num_partitions = std::max<std::size_t>(ds.partition_count(), 1);
   }
-  auto shuffle = detail::shuffle_combine_stage<K, V, Combine>(
-      ds, num_partitions, combine, "reduce_by_key");
   Engine* engine = &ds.engine();
+  auto captured = detail::capture_stage_label(*engine);
+  auto staged = std::make_shared<detail::ShuffleStage<KV>>();
+  auto barrier = std::make_shared<LazyStage>();
+  barrier->run = [ds, staged, engine, combine, num_partitions, captured] {
+    detail::run_labeled_stage(*engine, captured, "reduce_by_key:fused", [&] {
+      *staged = detail::shuffle_combine_stage<K, V, Combine>(
+          ds, num_partitions, combine, "reduce_by_key");
+    });
+  };
   std::vector<typename Dataset<KV>::Partition> parts;
   parts.reserve(num_partitions);
   for (std::size_t d = 0; d < num_partitions; ++d) {
     parts.push_back(
-        {[matrix = shuffle.matrix, rec = shuffle.record, engine, combine,
-          d](const TaskContext&) {
+        {[staged, engine, combine, d](const TaskContext&) {
            Stopwatch watch;
            // Reduce-side combine across upstream sub-buckets, in upstream
            // order (matters for non-commutative combines like group).
            std::unordered_map<K, V> merged;
-           for (const auto& row : *matrix) {
+           for (const auto& row : *staged->matrix) {
              for (const auto& [k, v] : row[d]) {
                auto [it, inserted] = merged.try_emplace(k, v);
                if (!inserted) it->second = combine(std::move(it->second), v);
@@ -445,12 +518,13 @@ Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
              return a.first < b.first;
            });
            engine->add_shuffle_reduce_us(
-               *rec, static_cast<std::uint64_t>(watch.elapsed_micros()));
+               *staged->record,
+               static_cast<std::uint64_t>(watch.elapsed_micros()));
            return rows;
          },
          -1});
   }
-  return Dataset<KV>(ds.engine(), std::move(parts));
+  return Dataset<KV>(ds.engine(), std::move(parts), {std::move(barrier)});
 }
 
 /// groupByKey: gathers all values per key (no combine). Value order follows
@@ -462,17 +536,23 @@ Dataset<std::pair<K, std::vector<V>>> group_by_key(
   if (num_partitions == 0) {
     num_partitions = std::max<std::size_t>(ds.partition_count(), 1);
   }
-  auto shuffle =
-      detail::shuffle_group_stage<K, V>(ds, num_partitions, "group_by_key");
   Engine* engine = &ds.engine();
+  auto captured = detail::capture_stage_label(*engine);
+  auto staged = std::make_shared<detail::ShuffleStage<Entry>>();
+  auto barrier = std::make_shared<LazyStage>();
+  barrier->run = [ds, staged, engine, num_partitions, captured] {
+    detail::run_labeled_stage(*engine, captured, "group_by_key:fused", [&] {
+      *staged = detail::shuffle_group_stage<K, V>(ds, num_partitions,
+                                                  "group_by_key");
+    });
+  };
   std::vector<typename Dataset<Entry>::Partition> parts;
   parts.reserve(num_partitions);
   for (std::size_t d = 0; d < num_partitions; ++d) {
     parts.push_back(
-        {[matrix = shuffle.matrix, rec = shuffle.record, engine,
-          d](const TaskContext&) {
+        {[staged, engine, d](const TaskContext&) {
            Stopwatch watch;
-           auto merged = detail::merge_group_column<K, V>(*matrix, d);
+           auto merged = detail::merge_group_column<K, V>(*staged->matrix, d);
            std::vector<Entry> rows(std::make_move_iterator(merged.begin()),
                                    std::make_move_iterator(merged.end()));
            std::sort(rows.begin(), rows.end(), [](const auto& a,
@@ -480,12 +560,13 @@ Dataset<std::pair<K, std::vector<V>>> group_by_key(
              return a.first < b.first;
            });
            engine->add_shuffle_reduce_us(
-               *rec, static_cast<std::uint64_t>(watch.elapsed_micros()));
+               *staged->record,
+               static_cast<std::uint64_t>(watch.elapsed_micros()));
            return rows;
          },
          -1});
   }
-  return Dataset<Entry>(ds.engine(), std::move(parts));
+  return Dataset<Entry>(ds.engine(), std::move(parts), {std::move(barrier)});
 }
 
 /// countByKey: occurrences per key — the Spark word-count idiom the paper
@@ -515,22 +596,36 @@ Dataset<std::pair<K, std::pair<V1, V2>>> join(
   if (num_partitions == 0) {
     num_partitions = std::max<std::size_t>(left.partition_count(), 1);
   }
-  auto lshuffle =
-      detail::shuffle_group_stage<K, V1>(left, num_partitions, "join:left");
-  auto rshuffle =
-      detail::shuffle_group_stage<K, V2>(right, num_partitions, "join:right");
   Engine* engine = &left.engine();
+  auto captured = detail::capture_stage_label(*engine);
+  auto lstaged =
+      std::make_shared<detail::ShuffleStage<std::pair<K, std::vector<V1>>>>();
+  auto rstaged =
+      std::make_shared<detail::ShuffleStage<std::pair<K, std::vector<V2>>>>();
+  auto barrier = std::make_shared<LazyStage>();
+  barrier->run = [left, right, lstaged, rstaged, engine, num_partitions,
+                  captured] {
+    detail::run_labeled_stage(*engine, captured, "join:left:fused", [&] {
+      *lstaged = detail::shuffle_group_stage<K, V1>(left, num_partitions,
+                                                    "join:left");
+    });
+    detail::run_labeled_stage(*engine, captured, "join:right:fused", [&] {
+      *rstaged = detail::shuffle_group_stage<K, V2>(right, num_partitions,
+                                                    "join:right");
+    });
+  };
   std::vector<typename Dataset<Out>::Partition> parts;
   parts.reserve(num_partitions);
   for (std::size_t d = 0; d < num_partitions; ++d) {
     parts.push_back(
-        {[lmatrix = lshuffle.matrix, rmatrix = rshuffle.matrix,
-          rec = lshuffle.record, engine, d](const TaskContext&) {
+        {[lstaged, rstaged, engine, d](const TaskContext&) {
            Stopwatch watch;
-           auto rmap = detail::merge_group_column<K, V2>(*rmatrix, d);
+           auto rmap =
+               detail::merge_group_column<K, V2>(*rstaged->matrix, d);
            std::vector<Out> out;
            if (!rmap.empty()) {
-             auto lmap = detail::merge_group_column<K, V1>(*lmatrix, d);
+             auto lmap =
+                 detail::merge_group_column<K, V1>(*lstaged->matrix, d);
              // Deterministic output: left keys in sorted order, values in
              // upstream encounter order on both sides.
              std::vector<std::pair<K, std::vector<V1>>> lrows(
@@ -551,12 +646,13 @@ Dataset<std::pair<K, std::pair<V1, V2>>> join(
              }
            }
            engine->add_shuffle_reduce_us(
-               *rec, static_cast<std::uint64_t>(watch.elapsed_micros()));
+               *lstaged->record,
+               static_cast<std::uint64_t>(watch.elapsed_micros()));
            return out;
          },
          -1});
   }
-  return Dataset<Out>(left.engine(), std::move(parts));
+  return Dataset<Out>(left.engine(), std::move(parts), {std::move(barrier)});
 }
 
 /// Total sort by a derived key: sample-based range-partitioned parallel
@@ -574,67 +670,79 @@ Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
   const std::size_t buckets =
       num_partitions ? num_partitions
                      : std::max<std::size_t>(ds.partition_count(), 1);
-  const std::size_t upstream = ds.partition_count();
   Engine* engine = &ds.engine();
-  constexpr std::size_t kSamplesPerPartition = 32;
+  auto captured = detail::capture_stage_label(*engine);
+  auto staged = std::make_shared<detail::ShuffleStage<T>>();
+  auto barrier = std::make_shared<LazyStage>();
+  barrier->run = [ds, staged, engine, key_fn, buckets, captured] {
+    constexpr std::size_t kSamplesPerPartition = 32;
+    const std::size_t upstream = ds.partition_count();
 
-  // Stage 1: materialize + sample (evenly spaced keys per partition).
-  auto staged = std::make_shared<std::vector<std::vector<T>>>(upstream);
-  std::vector<std::vector<Key>> samples(upstream);
-  Stopwatch map_watch;
-  ds.for_each_partition([&](const TaskContext& ctx, std::vector<T> rows) {
-    const std::size_t n = rows.size();
-    const std::size_t take = std::min(kSamplesPerPartition, n);
-    auto& s = samples[ctx.task_index];
-    s.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      s.push_back(key_fn(rows[i * n / take]));
-    }
-    (*staged)[ctx.task_index] = std::move(rows);
-  });
+    // Stage 1 (fused with the upstream scan): materialize + sample
+    // (evenly spaced keys per partition).
+    auto held = std::make_shared<std::vector<std::vector<T>>>(upstream);
+    std::vector<std::vector<Key>> samples(upstream);
+    Stopwatch map_watch;
+    detail::run_labeled_stage(*engine, captured, "sort_by:fused", [&] {
+      ds.for_each_partition([&](const TaskContext& ctx, std::vector<T> rows) {
+        const std::size_t n = rows.size();
+        const std::size_t take = std::min(kSamplesPerPartition, n);
+        auto& s = samples[ctx.task_index];
+        s.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          s.push_back(key_fn(rows[i * n / take]));
+        }
+        (*held)[ctx.task_index] = std::move(rows);
+      });
+    });
 
-  // Driver: splitters at even quantiles of the pooled sorted sample.
-  std::vector<Key> pooled;
-  for (auto& s : samples) {
-    pooled.insert(pooled.end(), std::make_move_iterator(s.begin()),
-                  std::make_move_iterator(s.end()));
-  }
-  std::sort(pooled.begin(), pooled.end());
-  std::vector<Key> splitters;
-  if (buckets > 1 && !pooled.empty()) {
-    splitters.reserve(buckets - 1);
-    for (std::size_t b = 1; b < buckets; ++b) {
-      splitters.push_back(
-          pooled[std::min(pooled.size() - 1, b * pooled.size() / buckets)]);
+    // Driver: splitters at even quantiles of the pooled sorted sample.
+    std::vector<Key> pooled;
+    for (auto& s : samples) {
+      pooled.insert(pooled.end(), std::make_move_iterator(s.begin()),
+                    std::make_move_iterator(s.end()));
     }
-  }
+    std::sort(pooled.begin(), pooled.end());
+    std::vector<Key> splitters;
+    if (buckets > 1 && !pooled.empty()) {
+      splitters.reserve(buckets - 1);
+      for (std::size_t b = 1; b < buckets; ++b) {
+        splitters.push_back(
+            pooled[std::min(pooled.size() - 1, b * pooled.size() / buckets)]);
+      }
+    }
 
-  // Stage 2: range-scatter each staged partition into its matrix row.
-  // Equal keys always land in the same bucket, so stability is decided
-  // within one bucket.
-  auto matrix = std::make_shared<detail::BucketMatrix<T>>(
-      upstream, std::vector<std::vector<T>>(buckets));
-  engine->run_stage(upstream, {}, [&](const TaskContext& ctx) {
-    auto& row = (*matrix)[ctx.task_index];
-    for (auto& v : (*staged)[ctx.task_index]) {
-      const auto d = static_cast<std::size_t>(
-          std::upper_bound(splitters.begin(), splitters.end(), key_fn(v)) -
-          splitters.begin());
-      row[d].push_back(std::move(v));
-    }
-  });
-  auto rec = engine->record_shuffle_detail(
-      "sort_by", upstream, map_watch.elapsed_seconds(),
-      detail::bucket_record_counts(*matrix, buckets));
+    // Stage 2: range-scatter each held partition into its matrix row.
+    // Equal keys always land in the same bucket, so stability is decided
+    // within one bucket.
+    auto matrix = std::make_shared<detail::BucketMatrix<T>>(
+        upstream, std::vector<std::vector<T>>(buckets));
+    detail::run_labeled_stage(*engine, nullptr, "sort_by:scatter", [&] {
+      engine->run_stage(upstream, {}, [&](const TaskContext& ctx) {
+        auto& row = (*matrix)[ctx.task_index];
+        for (auto& v : (*held)[ctx.task_index]) {
+          const auto d = static_cast<std::size_t>(
+              std::upper_bound(splitters.begin(), splitters.end(),
+                               key_fn(v)) -
+              splitters.begin());
+          row[d].push_back(std::move(v));
+        }
+      });
+    });
+    staged->record = engine->record_shuffle_detail(
+        "sort_by", upstream, map_watch.elapsed_seconds(),
+        detail::bucket_record_counts(*matrix, buckets));
+    staged->matrix = std::move(matrix);
+  };
 
   // Lazy output partitions: bucket d holds the d-th key range.
   std::vector<typename Dataset<T>::Partition> parts;
   parts.reserve(buckets);
   for (std::size_t d = 0; d < buckets; ++d) {
-    parts.push_back({[matrix, rec, engine, key_fn, d](const TaskContext&) {
+    parts.push_back({[staged, engine, key_fn, d](const TaskContext&) {
                        Stopwatch watch;
                        std::vector<T> rows;
-                       for (const auto& row : *matrix) {
+                       for (const auto& row : *staged->matrix) {
                          rows.insert(rows.end(), row[d].begin(),
                                      row[d].end());
                        }
@@ -643,13 +751,13 @@ Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
                                           return key_fn(a) < key_fn(b);
                                         });
                        engine->add_shuffle_reduce_us(
-                           *rec,
+                           *staged->record,
                            static_cast<std::uint64_t>(watch.elapsed_micros()));
                        return rows;
                      },
                      -1});
   }
-  return Dataset<T>(ds.engine(), std::move(parts));
+  return Dataset<T>(ds.engine(), std::move(parts), {std::move(barrier)});
 }
 
 }  // namespace hpcla::sparklite

@@ -180,6 +180,15 @@ class Engine {
                                 std::memory_order_acq_rel);
   }
 
+  /// Claims the parked next-stage label without running a stage. Wide ops
+  /// pin the caller's label at call time so the deferred (lazy) map stage
+  /// can claim it when an action eventually runs it — otherwise the label
+  /// the caller parks for its *own* post-shuffle stage would clobber it.
+  [[nodiscard]] std::unique_ptr<std::string> take_next_label() {
+    return std::unique_ptr<std::string>(
+        next_label_.exchange(nullptr, std::memory_order_acq_rel));
+  }
+
   /// Completed stages, oldest first (bounded to the last kHistoryLimit).
   /// Concurrent with running stages; stages still in flight (or overwritten
   /// mid-read) are simply absent from the snapshot.

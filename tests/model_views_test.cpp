@@ -1,0 +1,175 @@
+// Tests for the incrementally-maintained materialized views (DESIGN.md
+// §12): reader correctness against ground truth, epoch-based invalidation
+// semantics, and partial-write handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytics/heatmap.hpp"
+#include "model/views/views.hpp"
+#include "titanlog/record.hpp"
+#include "topo/machine.hpp"
+
+namespace hpcla::model::views {
+namespace {
+
+using titanlog::EventRecord;
+using titanlog::EventType;
+
+constexpr UnixSeconds kT0 = 1489449600;  // hour-aligned
+
+EventRecord ev(UnixSeconds ts, EventType type, topo::NodeId node,
+               std::int64_t count = 1) {
+  EventRecord e;
+  e.ts = ts;
+  e.type = type;
+  e.node = node;
+  e.count = count;
+  return e;
+}
+
+std::vector<EventRecord> sample_events() {
+  return {
+      ev(kT0 + 10, EventType::kMachineCheck, 100, 2),
+      ev(kT0 + 20, EventType::kMachineCheck, 100),
+      ev(kT0 + 30, EventType::kMachineCheck, 250),
+      ev(kT0 + 40, EventType::kKernelPanic, 250),
+      ev(kT0 + 3600 + 5, EventType::kMachineCheck, 100, 3),
+      ev(kT0 + 3600 + 6, EventType::kNetworkError, 4000),
+  };
+}
+
+TEST(ViewCatalogTest, AlignedRequiresHourBoundaries) {
+  EXPECT_TRUE(ViewCatalog::aligned(TimeRange{kT0, kT0 + 3600}));
+  EXPECT_TRUE(ViewCatalog::aligned(TimeRange{kT0, kT0 + 7200}));
+  EXPECT_FALSE(ViewCatalog::aligned(TimeRange{kT0 + 1, kT0 + 3600}));
+  EXPECT_FALSE(ViewCatalog::aligned(TimeRange{kT0, kT0 + 3599}));
+  EXPECT_FALSE(ViewCatalog::aligned(TimeRange{kT0, kT0}));  // empty
+}
+
+TEST(ViewCatalogTest, HeatmapCountsMatchGroundTruth) {
+  ViewCatalog views;
+  const auto events = sample_events();
+  for (const auto& e : events) views.apply(e);
+
+  const TimeRange window{kT0, kT0 + 7200};
+  ViewQuery q{window, {}, std::nullopt};
+  const auto counts = views.heatmap_counts(q);
+  const auto truth = analytics::heatmap_from_events(events);
+  ASSERT_EQ(counts.size(), truth.node_counts.size());
+  EXPECT_EQ(counts, truth.node_counts);
+  EXPECT_EQ(counts[100], 6);  // 2 + 1 + 3
+  EXPECT_EQ(counts[250], 2);
+}
+
+TEST(ViewCatalogTest, ReadersFilterByTypeAndLocation) {
+  ViewCatalog views;
+  for (const auto& e : sample_events()) views.apply(e);
+  const TimeRange window{kT0, kT0 + 7200};
+
+  ViewQuery by_type{window, {EventType::kMachineCheck}, std::nullopt};
+  const auto counts = views.heatmap_counts(by_type);
+  EXPECT_EQ(counts[100], 6);
+  EXPECT_EQ(counts[250], 1);  // the kernel panic is excluded
+  EXPECT_EQ(counts[4000], 0);
+
+  // Location: restrict to node 100 itself (node-level coord).
+  ViewQuery by_loc{window, {}, topo::coord_of(100)};
+  const auto local = views.heatmap_counts(by_loc);
+  EXPECT_EQ(local[100], 6);
+  EXPECT_EQ(local[250], 0);
+}
+
+TEST(ViewCatalogTest, HourlyCountsAscendingAndSparse) {
+  ViewCatalog views;
+  for (const auto& e : sample_events()) views.apply(e);
+  // Window covers 3 hours but only the first two have events: the empty
+  // hour is omitted, matching the engine's reduce-by-key output.
+  ViewQuery q{TimeRange{kT0, kT0 + 3 * 3600}, {}, std::nullopt};
+  const auto hourly = views.hourly_counts(q);
+  ASSERT_EQ(hourly.size(), 2u);
+  EXPECT_EQ(hourly[0].first, kT0 / 3600);
+  EXPECT_EQ(hourly[0].second, 5);  // 2+1+1+1
+  EXPECT_EQ(hourly[1].first, kT0 / 3600 + 1);
+  EXPECT_EQ(hourly[1].second, 4);  // 3+1
+}
+
+TEST(ViewCatalogTest, TypeCountsRankedAndTruncated) {
+  ViewCatalog views;
+  for (const auto& e : sample_events()) views.apply(e);
+  ViewQuery q{TimeRange{kT0, kT0 + 7200}, {}, std::nullopt};
+  const auto all = views.type_counts(q);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, std::string(titanlog::event_id(
+                              EventType::kMachineCheck)));
+  EXPECT_EQ(all[0].second, 7);
+  // Ties (1 apiece) break ascending by label.
+  EXPECT_LT(all[1].first, all[2].first);
+
+  const auto top1 = views.type_counts(q, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].second, 7);
+}
+
+TEST(ViewCatalogTest, HourSeriesIsDense) {
+  ViewCatalog views;
+  for (const auto& e : sample_events()) views.apply(e);
+  ViewQuery q{TimeRange{kT0, kT0 + 3 * 3600},
+              {EventType::kMachineCheck},
+              std::nullopt};
+  const auto series = views.hour_series(q);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 4.0);
+  EXPECT_DOUBLE_EQ(series[1], 3.0);
+  EXPECT_DOUBLE_EQ(series[2], 0.0);  // dense: the empty hour is a zero bin
+}
+
+TEST(ViewCatalogTest, WindowEpochChangesOnlyForCoveredHours) {
+  ViewCatalog views;
+  const TimeRange window{kT0, kT0 + 3600};
+  const auto e0 = views.window_epoch(window);
+  views.apply(ev(kT0 + 100, EventType::kMachineCheck, 1));
+  const auto e1 = views.window_epoch(window);
+  EXPECT_GT(e1, e0);
+  // Ingest into a different hour leaves this window's fingerprint alone.
+  views.apply(ev(kT0 + 7200 + 100, EventType::kMachineCheck, 1));
+  EXPECT_EQ(views.window_epoch(window), e1);
+  // But the covering wider window sees it.
+  EXPECT_GT(views.window_epoch(TimeRange{kT0, kT0 + 3 * 3600}), e1);
+}
+
+TEST(ViewCatalogTest, PartialWritesBumpEpochWithoutCounting) {
+  ViewCatalog views;
+  const TimeRange window{kT0, kT0 + 3600};
+  const auto e0 = views.window_epoch(window);
+  views.apply(ev(kT0 + 100, EventType::kMachineCheck, 5), /*counted=*/false);
+  EXPECT_GT(views.window_epoch(window), e0);
+  ViewQuery q{window, {}, std::nullopt};
+  EXPECT_EQ(views.heatmap_counts(q)[1], 0);
+  const auto s = views.stats();
+  EXPECT_EQ(s.applied, 0u);
+  EXPECT_EQ(s.partial, 1u);
+}
+
+TEST(ViewCatalogTest, HugeWindowFallsBackToGlobalEpoch) {
+  ViewCatalog views;
+  // A window wider than kMaxEpochHours uses the global epoch: any write
+  // anywhere invalidates, which is coarse but never stale.
+  const TimeRange huge{0, (ViewCatalog::kMaxEpochHours + 10) * 3600};
+  const auto e0 = views.window_epoch(huge);
+  views.apply(ev(kT0 + 100, EventType::kMachineCheck, 1));
+  EXPECT_GT(views.window_epoch(huge), e0);
+  EXPECT_EQ(views.window_epoch(huge), views.global_epoch());
+}
+
+TEST(ViewCatalogTest, StatsCountHoursAndTiles) {
+  ViewCatalog views;
+  for (const auto& e : sample_events()) views.apply(e);
+  const auto s = views.stats();
+  EXPECT_EQ(s.applied, 6u);
+  EXPECT_EQ(s.hours, 2u);
+  EXPECT_EQ(s.tiles, 4u);  // h0: MCE+panic; h1: MCE+network
+}
+
+}  // namespace
+}  // namespace hpcla::model::views

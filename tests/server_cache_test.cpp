@@ -1,0 +1,269 @@
+// Server-side result cache + materialized-view coherence (DESIGN.md §12).
+//
+// The contract under test: with a ViewCatalog attached, a cacheable
+// response — whether served from the views, from the LRU, or recomputed —
+// is byte-identical to a cold engine recompute of the same request, and
+// ingest into a covered window invalidates instead of serving stale.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/ingest.hpp"
+#include "model/views/views.hpp"
+#include "server/query_cache.hpp"
+#include "server/server.hpp"
+#include "titanlog/generator.hpp"
+
+namespace hpcla::server {
+namespace {
+
+using titanlog::EventType;
+
+constexpr UnixSeconds kT0 = 1489449600;
+
+// One cluster/engine, two servers: `hot` has the view catalog + cache,
+// `cold` always runs the engine path. Comparing their "result" payloads
+// for the same request is the coherence oracle.
+struct CacheFixture {
+  cassalite::Cluster cluster;
+  sparklite::Engine engine;
+  model::views::ViewCatalog views;
+  AnalyticsServer hot;
+  AnalyticsServer cold;
+  model::BatchIngestor ingestor;
+
+  CacheFixture()
+      : cluster(opts()),
+        engine(sparklite::EngineOptions{.workers = 4}),
+        hot(cluster, engine),
+        cold(cluster, engine),
+        ingestor(cluster, engine) {
+    HPCLA_CHECK(model::create_data_model(cluster).is_ok());
+    HPCLA_CHECK(model::load_eventtypes(cluster).is_ok());
+    hot.set_view_catalog(&views);
+    ingestor.set_view_catalog(&views);
+
+    titanlog::ScenarioConfig cfg;
+    cfg.seed = 77;
+    cfg.window = TimeRange{kT0, kT0 + 2 * 3600};
+    cfg.background_scale = 0.3;
+    titanlog::HotspotSpec hs;
+    hs.type = EventType::kMachineCheck;
+    hs.location = topo::Coord{7, 1, -1, -1, -1};
+    hs.window = TimeRange{kT0, kT0 + 3600};
+    hs.rate_per_node_hour = 6.0;
+    cfg.hotspots.push_back(hs);
+    auto logs = titanlog::Generator(cfg).generate();
+    auto report = ingestor.ingest_records(logs.events, logs.jobs);
+    HPCLA_CHECK(report.write_failures == 0);
+  }
+
+  static cassalite::ClusterOptions opts() {
+    cassalite::ClusterOptions o;
+    o.node_count = 3;
+    o.replication_factor = 2;
+    return o;
+  }
+
+  Json ask(AnalyticsServer& server, const std::string& request_text) {
+    auto request = Json::parse(request_text);
+    HPCLA_CHECK(request.is_ok());
+    Json response = server.handle(request.value());
+    EXPECT_EQ(response["status"].as_string(), "ok")
+        << (response["error"].is_string() ? response["error"].as_string()
+                                          : std::string());
+    return response;
+  }
+
+  void ingest_one(UnixSeconds ts, EventType type, topo::NodeId node) {
+    titanlog::EventRecord e;
+    e.ts = ts;
+    e.type = type;
+    e.node = node;
+    HPCLA_CHECK(ingestor.ingest_records({e}, {}).write_failures == 0);
+  }
+};
+
+const char* kAlignedWindow =
+    R"("window":{"begin":1489449600,"end":1489456800})";
+
+std::string heatmap_req(const char* window) {
+  return std::string(R"({"op":"heatmap","context":{)") + window + "}}";
+}
+
+TEST(ServerCacheTest, ViewServedMatchesColdRecomputeByteForByte) {
+  CacheFixture fx;
+  const std::vector<std::string> requests = {
+      heatmap_req(kAlignedWindow),
+      std::string(R"({"op":"hourly","context":{)") + kAlignedWindow + "}}",
+      std::string(R"({"op":"distribution","group_by":"type","context":{)") +
+          kAlignedWindow + "}}",
+      std::string(
+          R"({"op":"timeseries","type":"MCE","bin_seconds":3600,"context":{)") +
+          kAlignedWindow + "}}",
+  };
+  for (const auto& req : requests) {
+    Json hot = fx.ask(fx.hot, req);
+    Json cold = fx.ask(fx.cold, req);
+    EXPECT_EQ(hot["cache"].as_string(), "view") << req;
+    EXPECT_TRUE(cold["cache"].is_null());
+    EXPECT_EQ(hot["result"].dump(), cold["result"].dump()) << req;
+  }
+  // Second pass: everything is now an LRU hit, still byte-identical.
+  for (const auto& req : requests) {
+    Json hot = fx.ask(fx.hot, req);
+    EXPECT_EQ(hot["cache"].as_string(), "hit") << req;
+    EXPECT_EQ(hot["result"].dump(), fx.ask(fx.cold, req)["result"].dump());
+  }
+}
+
+TEST(ServerCacheTest, UnalignedOrFilteredQueriesMissThenHit) {
+  CacheFixture fx;
+  // Unaligned window: no view, engine computes, result is cached anyway.
+  const std::string req =
+      R"({"op":"hourly","context":{"window":{"begin":1489449660,"end":1489456800}}})";
+  Json first = fx.ask(fx.hot, req);
+  EXPECT_EQ(first["cache"].as_string(), "miss");
+  Json second = fx.ask(fx.hot, req);
+  EXPECT_EQ(second["cache"].as_string(), "hit");
+  EXPECT_EQ(first["result"].dump(), second["result"].dump());
+
+  // Key normalization: same query with reordered fields hits the same
+  // entry.
+  const std::string reordered =
+      R"({"context":{"window":{"end":1489456800,"begin":1489449660}},"op":"hourly"})";
+  EXPECT_EQ(fx.ask(fx.hot, reordered)["cache"].as_string(), "hit");
+}
+
+TEST(ServerCacheTest, IngestIntoCoveredWindowInvalidates) {
+  CacheFixture fx;
+  const std::string req = heatmap_req(kAlignedWindow);
+  Json before = fx.ask(fx.hot, req);
+  EXPECT_EQ(before["cache"].as_string(), "view");
+  EXPECT_EQ(fx.ask(fx.hot, req)["cache"].as_string(), "hit");
+
+  fx.ingest_one(kT0 + 30, EventType::kKernelPanic, 4242);
+
+  // The cached entry's epoch fingerprint no longer matches: recompute
+  // (served from the now-updated view), byte-identical to cold.
+  Json after = fx.ask(fx.hot, req);
+  EXPECT_EQ(after["cache"].as_string(), "view");
+  EXPECT_NE(after["result"].dump(), before["result"].dump());
+  EXPECT_EQ(after["result"].dump(), fx.ask(fx.cold, req)["result"].dump());
+  EXPECT_GE(fx.hot.query_cache().stats().invalidations, 1u);
+
+  // Ingest OUTSIDE the window leaves the entry valid.
+  Json warmed = fx.ask(fx.hot, req);
+  EXPECT_EQ(warmed["cache"].as_string(), "hit");
+  fx.ingest_one(kT0 + 3 * 3600 + 30, EventType::kKernelPanic, 4242);
+  EXPECT_EQ(fx.ask(fx.hot, req)["cache"].as_string(), "hit");
+}
+
+TEST(ServerCacheTest, SeededChaosNeverServesStale) {
+  CacheFixture fx;
+  std::mt19937 rng(20260809);
+  const std::vector<std::string> requests = {
+      heatmap_req(kAlignedWindow),
+      std::string(R"({"op":"hourly","context":{)") + kAlignedWindow + "}}",
+      std::string(R"({"op":"distribution","group_by":"type","context":{)") +
+          kAlignedWindow + "}}",
+      std::string(
+          R"({"op":"timeseries","type":"KernelPanic","bin_seconds":3600,"context":{)") +
+          kAlignedWindow + "}}",
+  };
+  for (int round = 0; round < 40; ++round) {
+    if (rng() % 2 == 0) {
+      // Random ingest, inside or outside the covered window.
+      const UnixSeconds ts = (rng() % 3 == 0)
+                                 ? kT0 + 5 * 3600 + round
+                                 : kT0 + static_cast<UnixSeconds>(
+                                             rng() % (2 * 3600));
+      fx.ingest_one(ts, EventType::kKernelPanic,
+                    static_cast<topo::NodeId>(rng() % 1000));
+    }
+    const auto& req = requests[rng() % requests.size()];
+    // Whatever path served it (hit / view / miss), the payload must equal
+    // the cold engine recompute of the current data.
+    EXPECT_EQ(fx.ask(fx.hot, req)["result"].dump(),
+              fx.ask(fx.cold, req)["result"].dump())
+        << "round " << round << " req " << req;
+  }
+  const auto cs = fx.hot.query_cache().stats();
+  EXPECT_GT(cs.hits, 0u);
+  EXPECT_GT(cs.invalidations, 0u);
+}
+
+TEST(ServerCacheTest, ConcurrentIngestAndQueriesStayCoherent) {
+  CacheFixture fx;
+  // A writer streams events into the covered window while readers hammer
+  // the cacheable ops. Epochs are read before compute and checked on
+  // lookup, so a hit can only serve a result no ingest has overtaken;
+  // TSan runs this to vet the locking.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 60; ++i) {
+      fx.ingest_one(kT0 + 100 + i, EventType::kMemoryEcc,
+                    static_cast<topo::NodeId>(10 + i));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&fx, &stop, t] {
+      const std::string req =
+          t == 0 ? heatmap_req(kAlignedWindow)
+                 : std::string(R"({"op":"hourly","context":{)") +
+                       kAlignedWindow + "}}";
+      while (!stop.load()) {
+        Json r = fx.ask(fx.hot, req);
+        ASSERT_EQ(r["status"].as_string(), "ok");
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  // Quiescent check: the final cached answers equal cold recomputes.
+  for (const std::string req :
+       {heatmap_req(kAlignedWindow),
+        std::string(R"({"op":"hourly","context":{)") + kAlignedWindow +
+            "}}"}) {
+    EXPECT_EQ(fx.ask(fx.hot, req)["result"].dump(),
+              fx.ask(fx.cold, req)["result"].dump());
+  }
+}
+
+TEST(QueryCacheTest, LruEvictsAndNormalizesKeys) {
+  QueryCache cache(QueryCache::Options{.shards = 1, .capacity_per_shard = 2});
+  Json v = Json::object();
+  v["x"] = 1;
+  cache.insert("a", 1, v);
+  cache.insert("b", 1, v);
+  EXPECT_TRUE(cache.lookup("a", 1).has_value());  // refreshes "a"
+  cache.insert("c", 1, v);                        // evicts "b"
+  EXPECT_TRUE(cache.lookup("a", 1).has_value());
+  EXPECT_FALSE(cache.lookup("b", 1).has_value());
+  EXPECT_TRUE(cache.lookup("c", 1).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // Epoch mismatch drops the entry.
+  EXPECT_FALSE(cache.lookup("a", 5).has_value());
+  EXPECT_FALSE(cache.lookup("a", 1).has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.staleness_epochs, 4u);
+
+  // normalized_cache_key sorts object keys at every depth.
+  auto a = Json::parse(R"({"op":"x","context":{"b":1,"a":[2,1]}})");
+  auto b = Json::parse(R"({"context":{"a":[2,1],"b":1},"op":"x"})");
+  HPCLA_CHECK(a.is_ok() && b.is_ok());
+  EXPECT_EQ(normalized_cache_key(a.value()), normalized_cache_key(b.value()));
+  auto c = Json::parse(R"({"context":{"a":[1,2],"b":1},"op":"x"})");
+  HPCLA_CHECK(c.is_ok());
+  EXPECT_NE(normalized_cache_key(a.value()), normalized_cache_key(c.value()));
+}
+
+}  // namespace
+}  // namespace hpcla::server

@@ -3,7 +3,9 @@
 // seed semantics — deterministic (sorted-by-key buckets, stable sorts) —
 // for any worker count and any partition count, including empty, skewed,
 // and single-key inputs. Also covers the shuffle observability surface
-// (ShuffleRecord counts, skew, render_history) and take()'s early exit.
+// (ShuffleRecord counts, skew, render_history), the lazy-lineage contract
+// (no work and no records until an action; map stage once per wide op;
+// labels pinned across deferral), and take()'s early exit.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -234,6 +236,11 @@ TEST(ShuffleMetricsTest, RecordsBucketsCountsAndSkew) {
   auto ds = Dataset<KV>::parallelize(e, data, 4);
   auto reduced = reduce_by_key(
       ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 8);
+  // The map-side scatter is deferred into the lineage: nothing has run and
+  // nothing has been recorded until an action consumes the dataset.
+  EXPECT_TRUE(e.shuffle_history().empty());
+  EXPECT_EQ(e.metrics().stages, 0u);
+  (void)reduced.collect();
   auto history = e.shuffle_history();
   ASSERT_EQ(history.size(), 1u);
   const auto& rec = *history[0];
@@ -247,11 +254,71 @@ TEST(ShuffleMetricsTest, RecordsBucketsCountsAndSkew) {
   EXPECT_GE(rec.max_bucket, 1u);
   // One dominant key out of 9 over 8 buckets: visibly skewed.
   EXPECT_GT(rec.skew, 1.0);
-  // Reduce time accumulates when the lazy merge actually runs.
-  EXPECT_EQ(rec.reduce_us.load(), 0u);
-  (void)reduced.collect();
   EXPECT_EQ(e.metrics().shuffles, 1u);
   EXPECT_EQ(e.metrics().shuffle_records, rec.records);
+  // The deferred map stage ran exactly once; the action added its merge
+  // stage on top (scan+combine+scatter fused, then the reduce stage).
+  EXPECT_EQ(e.metrics().stages, 2u);
+}
+
+TEST(ShuffleMetricsTest, MapStageRunsOncePerWideOpAcrossActions) {
+  Engine e(opts(4));
+  auto ds = Dataset<KV>::parallelize(e, test_input("mixed"), 4);
+  auto reduced = reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 4);
+  const auto first = reduced.collect();
+  const auto stages_after_first = e.metrics().stages;
+  // Re-running the action recomputes only the lazy reduce side: the bucket
+  // matrix is shared state, so exactly one extra stage per action.
+  EXPECT_EQ(reduced.collect(), first);
+  EXPECT_EQ(e.metrics().stages, stages_after_first + 1);
+  EXPECT_EQ(e.metrics().shuffles, 1u);
+}
+
+TEST(ShuffleMetricsTest, LazyShuffleRunsThroughNarrowTransforms) {
+  // A narrow transform of a shuffled dataset inherits the deferred map
+  // stage; consuming the derived dataset triggers it.
+  Engine e(opts(2));
+  auto ds = Dataset<KV>::parallelize(e, test_input("mixed"), 3);
+  auto doubled =
+      reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; })
+          .map([](const KV& kv) {
+            return std::make_pair(kv.first, kv.second * 2);
+          });
+  EXPECT_TRUE(e.shuffle_history().empty());
+  auto got = doubled.collect();
+  std::sort(got.begin(), got.end());
+  auto expected = reference_reduce(test_input("mixed"));
+  for (auto& [k, v] : expected) v *= 2;
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(e.shuffle_history().size(), 1u);
+}
+
+TEST(ShuffleMetricsTest, StageLabelsSurviveDeferredExecution) {
+  // The caller labels the scan before the wide op and the merge before the
+  // action; the deferred map stage must claim the first label and re-park
+  // the second, so the history shows both in order.
+  Engine e(opts(2));
+  auto ds = Dataset<KV>::parallelize(e, test_input("mixed"), 3);
+  e.set_next_stage_label("job:scan+combine");
+  auto reduced = reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 2);
+  e.set_next_stage_label("job:merge");
+  (void)reduced.collect();
+  std::vector<std::string> labels;
+  for (const auto& s : e.stage_history()) labels.push_back(s.label);
+  EXPECT_EQ(labels, (std::vector<std::string>{"job:scan+combine",
+                                              "job:merge"}));
+}
+
+TEST(ShuffleMetricsTest, UnlabeledFusedStageNamesItself) {
+  Engine e(opts(2));
+  auto ds = Dataset<KV>::parallelize(e, test_input("mixed"), 3);
+  (void)reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; })
+      .collect();
+  const auto history = e.stage_history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].label, "reduce_by_key:fused");
 }
 
 TEST(ShuffleMetricsTest, RenderHistoryShowsShuffleTable) {
