@@ -17,7 +17,7 @@
 #include "cassalite/storage_engine.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
+#include "common/quantile_sketch.hpp"
 #include "common/thread_pool.hpp"
 #include "rowstore/rowstore.hpp"
 
@@ -79,7 +79,7 @@ ThroughputResult run_readers(cassalite::StorageEngine& engine,
     }
   });
 
-  std::vector<PercentileTracker> latencies(readers);
+  std::vector<QuantileSketch> latencies(readers, QuantileSketch(0.005));
   std::vector<std::thread> threads;
   for (std::size_t t = 0; t < readers; ++t) {
     threads.emplace_back([&, t] {
@@ -110,17 +110,14 @@ ThroughputResult run_readers(cassalite::StorageEngine& engine,
   writer.join();
   const double elapsed = watch.elapsed_seconds();
 
-  // PercentileTracker has no merge: report the mean of per-thread p50s and
-  // the worst per-thread p99.
+  // Sketches merge: report true cross-thread percentiles (within the
+  // sketch's rank-error bound) instead of averaged per-thread ones.
   ThroughputResult r;
   r.ops_per_sec = static_cast<double>(total_reads.load()) / elapsed;
-  double p50 = 0, p99 = 0;
-  for (auto& lat : latencies) {
-    p50 += lat.percentile(0.5);
-    p99 = std::max(p99, lat.percentile(0.99));
-  }
-  r.p50_us = readers ? p50 / static_cast<double>(readers) : 0.0;
-  r.p99_us = p99;
+  QuantileSketch all(0.005);
+  for (const auto& lat : latencies) all.merge(lat);
+  r.p50_us = all.count() ? all.quantile(0.5) : 0.0;
+  r.p99_us = all.count() ? all.quantile(0.99) : 0.0;
   r.writer_ops = writer_ops.load();
   return r;
 }
@@ -251,7 +248,7 @@ void bench_rowstore_readers(BenchJsonWriter& out) {
         writer_ops.fetch_add(1, std::memory_order_relaxed);
       }
     });
-    std::vector<PercentileTracker> latencies(readers);
+    std::vector<QuantileSketch> latencies(readers, QuantileSketch(0.005));
     std::vector<std::thread> threads;
     for (std::size_t t = 0; t < readers; ++t) {
       threads.emplace_back([&, t] {
@@ -279,15 +276,14 @@ void bench_rowstore_readers(BenchJsonWriter& out) {
     writer.join();
     const double elapsed = watch.elapsed_seconds();
 
-    double p50 = 0, p99 = 0;
-    for (auto& lat : latencies) {
-      p50 += lat.percentile(0.5);
-      p99 = std::max(p99, lat.percentile(0.99));
-    }
+    QuantileSketch all(0.005);
+    for (const auto& lat : latencies) all.merge(lat);
+    const double p50 = all.count() ? all.quantile(0.5) : 0.0;
+    const double p99 = all.count() ? all.quantile(0.99) : 0.0;
     BenchResultRow row;
     row.name = "rowstore_read/threads:" + std::to_string(readers);
     row.ops_per_sec = static_cast<double>(total_reads.load()) / elapsed;
-    row.p50_us = readers ? p50 / static_cast<double>(readers) : 0.0;
+    row.p50_us = p50;
     row.p99_us = p99;
     row.extra["writer_ops_per_sec"] =
         static_cast<double>(writer_ops.load()) / elapsed;

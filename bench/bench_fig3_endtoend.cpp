@@ -11,7 +11,7 @@
 
 #include "cassalite/cql.hpp"
 #include "common/clock.hpp"
-#include "common/stats.hpp"
+#include "common/quantile_sketch.hpp"
 #include "common/telemetry.hpp"
 #include "model/views/views.hpp"
 
@@ -181,14 +181,14 @@ Json cached_path_probe() {
   constexpr int kIters = 20;
   constexpr int kRounds = 5;
   const auto p50_query_us = [&f] {
-    PercentileTracker lat;
+    QuantileSketch lat(0.005);
     for (int i = 0; i < kIters; ++i) {
       const Stopwatch watch;
       auto r = f.server.handle_text(kComplexHeatmap);
       benchmark::DoNotOptimize(r);
       lat.add(static_cast<double>(watch.elapsed_micros()));
     }
-    return lat.percentile(0.5);
+    return lat.quantile(0.5);
   };
   double cold_us = std::numeric_limits<double>::max();
   double warm_us = std::numeric_limits<double>::max();

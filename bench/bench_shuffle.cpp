@@ -29,7 +29,7 @@
 
 #include "bench_util.hpp"
 #include "common/clock.hpp"
-#include "common/stats.hpp"
+#include "common/quantile_sketch.hpp"
 #include "sparklite/dataset.hpp"
 
 namespace hpcla::bench {
@@ -82,7 +82,7 @@ template <typename K>
 ShuffleResult run_reduce(std::size_t workers, const Keyed<K>& data,
                          std::size_t partitions, std::size_t buckets) {
   sparklite::Engine engine(engine_opts(workers));
-  PercentileTracker lat;
+  QuantileSketch lat(0.005);
   std::size_t keys = 0;
   Stopwatch total;
   for (int it = 0; it < kIters; ++it) {
@@ -100,8 +100,8 @@ ShuffleResult run_reduce(std::size_t workers, const Keyed<K>& data,
   ShuffleResult r;
   r.records_per_sec =
       static_cast<double>(data.size()) * kIters / elapsed;
-  r.p50_us = lat.percentile(0.5);
-  r.p99_us = lat.percentile(0.99);
+  r.p50_us = lat.quantile(0.5);
+  r.p99_us = lat.quantile(0.99);
   const auto history = engine.shuffle_history();
   if (!history.empty()) {
     const auto& rec = *history.back();

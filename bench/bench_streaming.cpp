@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "common/stats.hpp"
+#include "common/quantile_sketch.hpp"
 
 namespace hpcla::bench {
 namespace {
@@ -46,7 +46,7 @@ ProduceResult run_producers(int partitions, std::size_t threads) {
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total{0};
-  std::vector<PercentileTracker> latencies(threads);
+  std::vector<QuantileSketch> latencies(threads, QuantileSketch(0.005));
   std::vector<std::thread> workers;
   for (std::size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
@@ -87,12 +87,13 @@ ProduceResult run_producers(int partitions, std::size_t threads) {
 
   ProduceResult r;
   r.ops_per_sec = static_cast<double>(total.load()) / elapsed;
-  double p50 = 0, p99 = 0;
-  for (auto& lat : latencies) {
-    p50 += lat.percentile(0.5);
-    p99 = std::max(p99, lat.percentile(0.99));
-  }
-  r.p50_us = threads ? p50 / static_cast<double>(threads) : 0.0;
+  // Sketches merge, so these are true cross-thread percentiles (within
+  // the sketch's rank-error bound), not per-thread approximations.
+  QuantileSketch all(0.005);
+  for (const auto& lat : latencies) all.merge(lat);
+  const double p50 = all.count() ? all.quantile(0.5) : 0.0;
+  const double p99 = all.count() ? all.quantile(0.99) : 0.0;
+  r.p50_us = p50;
   r.p99_us = p99;
   r.contention = static_cast<double>(broker.metrics().produce_contention);
   return r;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/telemetry.hpp"
 #include "model/ingest.hpp"
 #include "model/streaming_ingest.hpp"
 #include "model/tables.hpp"
@@ -89,6 +91,21 @@ inline titanlog::ScenarioConfig mixed_scenario(double scale = 1.0,
 
 // --------------------------------------------------------- JSON summaries
 
+/// Process peak resident set in bytes (ru_maxrss is KiB on Linux). Stamped
+/// into every bench summary so memory regressions surface next to latency.
+inline std::int64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+}
+
+/// Total bytes the sparklite shuffle spilled to disk this process (the
+/// SpillManager mirrors its counter into the global telemetry registry).
+inline std::int64_t bytes_spilled() {
+  return static_cast<std::int64_t>(
+      telemetry::registry().counter("sparklite.spill.bytes").value());
+}
+
 /// One summarized result row: throughput plus latency percentiles in µs.
 /// Google-benchmark runs report only a mean per-iteration time, so for
 /// those p50 == p99 == the mean; hand-rolled benches fill real percentiles.
@@ -130,6 +147,8 @@ class BenchJsonWriter {
     Json j = Json::object();
     j["bench"] = bench_name_;
     j["environment"] = environment_signature();
+    j["peak_rss_bytes"] = peak_rss_bytes();
+    j["bytes_spilled"] = bytes_spilled();
     Json results = Json::array();
     for (const auto& row : rows_) {
       Json r = Json::object();

@@ -16,6 +16,18 @@ lock reintroduced on a hot path, a sort gone quadratic) — which is why CI
 runs it in report-only mode by default; pass --strict to make
 regressions fail the build.
 
+Besides ops/s, each summary carries `peak_rss_bytes` and
+`bytes_spilled` (spill-to-disk shuffle traffic), reported next to the
+latency diff so memory regressions are as visible as throughput ones.
+
+An environment-signature mismatch between a summary and its baseline is an
+error (exit code 2): the comparison would measure the machine, not the
+code. Regenerate baselines on the machine that runs the checks, e.g.
+
+    ./build/bench/bench_spill --json bench/baselines/BENCH_spill.json
+
+or pass --ignore-env-mismatch to skip those files (CI report-only mode).
+
 Usage:
     python3 bench/check_trend.py BENCH_streaming.json [BENCH_ingest.json ...]
     python3 bench/check_trend.py --strict --threshold 0.3 BENCH_*.json
@@ -60,6 +72,57 @@ def environments_comparable(current_env, baseline_env):
     )
 
 
+def report_memory(path):
+    """Prints peak RSS and spill traffic stamped into the summary (absent
+    in pre-spill summaries)."""
+    with open(path) as f:
+        data = json.load(f)
+    rss = data.get("peak_rss_bytes")
+    spilled = data.get("bytes_spilled")
+    if isinstance(rss, (int, float)) and rss > 0:
+        print(f"  peak RSS {rss / (1 << 20):,.1f} MiB", end="")
+        if isinstance(spilled, (int, float)):
+            print(f", spilled {spilled / (1 << 20):,.1f} MiB to disk", end="")
+        print()
+
+
+def report_spill_overhead(path):
+    """Prints bench_spill's acceptance probe: spilled sort_by must stay
+    within 3x of the in-memory run on the same data."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("spill_overhead")
+    if not isinstance(probe, dict):
+        return
+    ratio = probe.get("ratio")
+    if not isinstance(ratio, (int, float)):
+        return
+    verdict = "within 3x budget" if ratio <= 3.0 else "OVER 3x budget"
+    print(
+        f"  spill overhead ({probe.get('workload', '?')}): spilled run "
+        f"{ratio:,.2f}x the in-memory run ({verdict})"
+    )
+
+
+def report_extent_compression(path):
+    """Prints the columnar-extent compression probe (acceptance: >= 2x on
+    titanlog data)."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("extent_compression")
+    if not isinstance(probe, dict):
+        return
+    ratio = probe.get("ratio")
+    if not isinstance(ratio, (int, float)):
+        return
+    verdict = "meets 2x floor" if ratio >= 2.0 else "UNDER 2x floor"
+    print(
+        f"  extent compression: {probe.get('raw_bytes', 0):,.0f} raw -> "
+        f"{probe.get('encoded_bytes', 0):,.0f} encoded = {ratio:,.2f}x "
+        f"({verdict})"
+    )
+
+
 def report_telemetry_overhead(path):
     """Prints the tracing-overhead probe some benches embed (informational:
     the acceptance budget is 5%, but runner jitter makes it advisory)."""
@@ -97,18 +160,22 @@ def report_cached_path(path):
     )
 
 
+class EnvMismatch(Exception):
+    """Raised when a summary and its baseline disagree on environment."""
+
+    def __init__(self, current_env, baseline_env):
+        super().__init__("environment signature mismatch")
+        self.current_env = current_env
+        self.baseline_env = baseline_env
+
+
 def compare(current_path, baseline_path, threshold):
-    """Prints a per-result diff; returns the list of regressed names."""
+    """Prints a per-result diff; returns the list of regressed names.
+    Raises EnvMismatch instead of comparing across environments."""
     current_env = load_environment(current_path)
     baseline_env = load_environment(baseline_path)
     if not environments_comparable(current_env, baseline_env):
-        print(
-            f"  INCOMPARABLE  environment signature mismatch — refusing "
-            f"cross-environment comparison\n"
-            f"                current  {current_env or '(unsigned summary)'}\n"
-            f"                baseline {baseline_env or '(unsigned summary)'}"
-        )
-        return []
+        raise EnvMismatch(current_env, baseline_env)
     current = load_results(current_path)
     baseline = load_results(baseline_path)
     regressions = []
@@ -153,9 +220,16 @@ def main():
         action="store_true",
         help="exit non-zero when any result regressed",
     )
+    parser.add_argument(
+        "--ignore-env-mismatch",
+        action="store_true",
+        help="skip (instead of fail on) summaries whose environment "
+        "signature differs from the baseline's",
+    )
     args = parser.parse_args()
 
     all_regressions = []
+    env_mismatches = []
     for path in args.files:
         baseline = os.path.join(args.baseline_dir, os.path.basename(path))
         print(f"{path}:")
@@ -163,12 +237,39 @@ def main():
             print("  (current summary missing — bench did not run?)")
             all_regressions.append(path)
             continue
+        report_memory(path)
         report_telemetry_overhead(path)
         report_cached_path(path)
+        report_spill_overhead(path)
+        report_extent_compression(path)
         if not os.path.exists(baseline):
             print(f"  (no baseline at {baseline} — skipping)")
             continue
-        all_regressions.extend(compare(path, baseline, args.threshold))
+        try:
+            all_regressions.extend(compare(path, baseline, args.threshold))
+        except EnvMismatch as m:
+            print(
+                f"  ENV MISMATCH  current environment does not match the "
+                f"committed baseline\n"
+                f"                current  "
+                f"{m.current_env or '(unsigned summary)'}\n"
+                f"                baseline "
+                f"{m.baseline_env or '(unsigned summary)'}"
+            )
+            env_mismatches.append(path)
+
+    if env_mismatches and not args.ignore_env_mismatch:
+        print(
+            f"\nERROR: {len(env_mismatches)} summarie(s) were measured in a "
+            f"different environment than their baselines; comparing them "
+            f"would measure the machine, not the code.\n"
+            f"Regenerate the baselines on this machine, e.g.\n"
+            f"    ./build/bench/bench_<name> --json "
+            f"bench/baselines/BENCH_<name>.json\n"
+            f"and commit the result — or pass --ignore-env-mismatch to skip "
+            f"these files."
+        )
+        return 2
 
     if all_regressions:
         print(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/quantile_sketch.hpp"
+
 namespace hpcla::analytics {
 
 using titanlog::EventRecord;
@@ -163,6 +165,77 @@ std::vector<std::pair<std::int64_t, std::int64_t>> hourly_distribution(
   auto counted = reduced.collect();
   std::sort(counted.begin(), counted.end());
   return counted;
+}
+
+std::vector<BurstPercentiles> burst_percentiles(
+    sparklite::Engine& engine, const cassalite::Cluster& cluster,
+    const Context& ctx, GroupBy group, double epsilon) {
+  // Attribution groups need the placement index, exactly as distribution().
+  std::shared_ptr<std::vector<JobRecord>> jobs_keeper;
+  std::shared_ptr<PlacementIndex> index;
+  if (group == GroupBy::kApplication || group == GroupBy::kUser) {
+    Context job_ctx;
+    job_ctx.window = ctx.window;
+    job_ctx.location = ctx.location;
+    jobs_keeper = std::make_shared<std::vector<JobRecord>>(
+        fetch_jobs(engine, cluster, job_ctx));
+    index = std::make_shared<PlacementIndex>(*jobs_keeper);
+  }
+  auto label_of = [index, jobs_keeper, group](const EventRecord& e) {
+    if (group == GroupBy::kApplication || group == GroupBy::kUser) {
+      const JobRecord* job = index->at(e.node, e.ts);
+      return job ? (group == GroupBy::kApplication ? job->app_name : job->user)
+                 : std::string("(idle)");
+    }
+    if (group == GroupBy::kEventType) {
+      return std::string(titanlog::event_id(e.type));
+    }
+    return location_label(e.node, group);
+  };
+
+  // Map side folds each partition into one sketch per label; the shuffle
+  // then merges sketches. Raw burst sizes are never buffered anywhere —
+  // per-task residency is O(labels / epsilon), independent of event count.
+  engine.set_next_stage_label("burst:sketch");
+  auto sketched =
+      event_dataset(engine, cluster, ctx)
+          .map_partitions([label_of, epsilon](std::vector<EventRecord> in) {
+            std::map<std::string, QuantileSketch> local;
+            for (const auto& e : in) {
+              auto [it, _] = local.try_emplace(label_of(e),
+                                               QuantileSketch(epsilon));
+              it->second.add(static_cast<double>(e.count));
+            }
+            std::vector<std::pair<std::string, QuantileSketch>> out;
+            out.reserve(local.size());
+            for (auto& [label, sketch] : local) {
+              out.emplace_back(label, std::move(sketch));
+            }
+            return out;
+          });
+  auto reduced = sparklite::reduce_by_key(
+      sketched, [](QuantileSketch a, QuantileSketch b) {
+        a.merge(b);
+        return a;
+      });
+  engine.set_next_stage_label("burst:merge");
+
+  std::vector<BurstPercentiles> out;
+  for (auto& [label, sketch] : reduced.collect()) {
+    BurstPercentiles row;
+    row.label = std::move(label);
+    row.events = sketch.count();
+    row.p50 = sketch.quantile(0.50);
+    row.p95 = sketch.quantile(0.95);
+    row.p99 = sketch.quantile(0.99);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BurstPercentiles& a, const BurstPercentiles& b) {
+              if (a.events != b.events) return a.events > b.events;
+              return a.label < b.label;
+            });
+  return out;
 }
 
 }  // namespace hpcla::analytics

@@ -43,4 +43,23 @@ std::vector<std::pair<std::int64_t, std::int64_t>> hourly_distribution(
     sparklite::Engine& engine, const cassalite::Cluster& cluster,
     const Context& ctx);
 
+/// Per-group quantiles of the coalesced burst size (EventRecord::count):
+/// how bursty each cabinet/node/type is, not just how many events it saw.
+struct BurstPercentiles {
+  std::string label;
+  std::uint64_t events = 0;  ///< records the sketch summarized
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Bounded-memory burst-size percentiles per group, descending by event
+/// count. Each partition folds its records into one GK sketch per label
+/// (common/quantile_sketch.hpp) and the shuffle merges sketches, so no
+/// stage ever buffers raw samples; results carry the sketch's ±epsilon
+/// rank-error guarantee.
+std::vector<BurstPercentiles> burst_percentiles(
+    sparklite::Engine& engine, const cassalite::Cluster& cluster,
+    const Context& ctx, GroupBy group, double epsilon = 0.02);
+
 }  // namespace hpcla::analytics

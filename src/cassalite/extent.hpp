@@ -1,0 +1,98 @@
+// Columnar extent encoding for SSTable partitions (DESIGN.md §13.2), the
+// DataSeries idea applied to cassalite: instead of vectors of boxed Rows, a
+// partition is stored as row groups of per-column typed arrays —
+// zigzag-delta varints for integers, bit-exact raw doubles, dictionaries
+// for repetitive text (with a raw fallback for high-cardinality columns),
+// bitpacked bools — compressed with the shared LZ4-style block codec.
+// Decoding is lazy per read slice: each group keeps its first/last
+// clustering key uncompressed, so a slice read touches only the groups its
+// range intersects and a full scan streams group by group.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cassalite/schema.hpp"
+#include "cassalite/value.hpp"
+
+namespace hpcla::cassalite {
+
+/// Encoding knobs (StorageOptions carries them per engine).
+struct ExtentOptions {
+  /// Rows per compressed group — the lazy-decode granularity. Smaller
+  /// groups prune harder on narrow slices; larger groups compress better.
+  std::size_t rows_per_group = 1024;
+};
+
+/// One partition's rows, columnar-encoded. Immutable after encode();
+/// decode-side counters are relaxed atomics, safe for concurrent readers.
+class ColumnarExtent {
+ public:
+  ColumnarExtent() = default;
+  // The decode counter is atomic, so moves are spelled out (encode()
+  // returns by value; extents are immutable once published).
+  ColumnarExtent(ColumnarExtent&& o) noexcept
+      : groups_(std::move(o.groups_)),
+        rows_(o.rows_),
+        raw_bytes_(o.raw_bytes_),
+        encoded_bytes_(o.encoded_bytes_),
+        decoded_groups_(o.decoded_groups_.load(std::memory_order_relaxed)) {}
+  ColumnarExtent& operator=(ColumnarExtent&& o) noexcept {
+    groups_ = std::move(o.groups_);
+    rows_ = o.rows_;
+    raw_bytes_ = o.raw_bytes_;
+    encoded_bytes_ = o.encoded_bytes_;
+    decoded_groups_.store(o.decoded_groups_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Encodes rows (ascending clustering order, as SSTables store them).
+  static ColumnarExtent encode(const std::vector<Row>& rows,
+                               const ExtentOptions& opts);
+
+  /// Appends slice-admitted rows to `out` in ascending clustering order,
+  /// decoding only the groups whose [first, last] key range intersects the
+  /// slice.
+  void read(const ClusteringSlice& slice, std::vector<Row>& out) const;
+
+  /// Decodes everything (compaction, full scans).
+  [[nodiscard]] std::vector<Row> decode_all() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return groups_.size();
+  }
+  /// Approximate boxed-Row footprint of the input (compression numerator).
+  [[nodiscard]] std::size_t raw_bytes() const noexcept { return raw_bytes_; }
+  /// Resident encoded footprint (compression denominator).
+  [[nodiscard]] std::size_t encoded_bytes() const noexcept {
+    return encoded_bytes_;
+  }
+  /// Groups decompressed so far — tests assert slice reads prune groups.
+  [[nodiscard]] std::uint64_t decoded_groups() const noexcept {
+    return decoded_groups_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Group {
+    ClusteringKey first;  ///< kept decoded for slice pruning
+    ClusteringKey last;
+    std::uint32_t rows = 0;
+    std::uint32_t raw_size = 0;  ///< pre-compression body bytes
+    std::string body;            ///< block-compressed column streams
+  };
+
+  static Group encode_group(const Row* rows, std::size_t n);
+  std::vector<Row> decode_group(const Group& g) const;
+
+  std::vector<Group> groups_;
+  std::size_t rows_ = 0;
+  std::size_t raw_bytes_ = 0;
+  std::size_t encoded_bytes_ = 0;
+  mutable std::atomic<std::uint64_t> decoded_groups_{0};
+};
+
+}  // namespace hpcla::cassalite

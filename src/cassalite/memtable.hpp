@@ -37,10 +37,14 @@ class Memtable {
   [[nodiscard]] std::size_t memory_bytes() const noexcept { return bytes_; }
   [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
 
-  /// Copy of the full sorted content. Flush uses this to build the SSTable
-  /// and *publish it* before drain(), so a reader that checks the memtable
-  /// first can only see a row twice (reconciled), never miss it.
-  [[nodiscard]] std::map<std::string, std::vector<Row>> contents() const {
+  /// Direct view of the sorted content. Flush reads this under the shared
+  /// memtable lock (the engine writer mutex excludes mutation) to build
+  /// the SSTable and *publish it* before drain(), so a reader that checks
+  /// the memtable first can only see a row twice (reconciled), never miss
+  /// it. Copying rows straight into SSTable partitions from this view
+  /// replaces the old clone-the-whole-map flush path.
+  [[nodiscard]] const std::map<std::string, std::vector<Row>>& partitions()
+      const noexcept {
     return partitions_;
   }
 

@@ -6,13 +6,25 @@
 namespace hpcla::cassalite {
 
 SSTable::SSTable(std::uint64_t generation,
-                 std::vector<Partition> sorted_partitions)
+                 std::vector<Partition> sorted_partitions,
+                 const ExtentOptions* extent_opts)
     : generation_(generation),
-      partitions_(std::move(sorted_partitions)),
-      bloom_(std::max<std::size_t>(partitions_.size(), 8)) {
-  for (const auto& p : partitions_) {
+      columnar_(extent_opts != nullptr),
+      bloom_(std::max<std::size_t>(sorted_partitions.size(), 8)) {
+  partitions_.reserve(sorted_partitions.size());
+  for (auto& p : sorted_partitions) {
     rows_ += p.rows.size();
     bloom_.insert(p.key);
+    Stored s;
+    s.key = std::move(p.key);
+    if (columnar_) {
+      s.extent = ColumnarExtent::encode(p.rows, *extent_opts);
+      raw_bytes_ += s.extent.raw_bytes();
+      encoded_bytes_ += s.extent.encoded_bytes();
+    } else {
+      s.rows = std::move(p.rows);
+    }
+    partitions_.push_back(std::move(s));
   }
 }
 
@@ -21,8 +33,12 @@ bool SSTable::read(const std::string& partition_key,
   if (!bloom_.may_contain(partition_key)) return false;
   const auto it = std::lower_bound(
       partitions_.begin(), partitions_.end(), partition_key,
-      [](const Partition& p, const std::string& k) { return p.key < k; });
+      [](const Stored& p, const std::string& k) { return p.key < k; });
   if (it == partitions_.end() || it->key != partition_key) return true;
+  if (columnar_) {
+    it->extent.read(slice, out);
+    return true;
+  }
   const auto& rows = it->rows;
   auto begin = rows.begin();
   auto end = rows.end();
@@ -42,21 +58,30 @@ bool SSTable::read(const std::string& partition_key,
   return true;
 }
 
+std::vector<std::string> SSTable::partition_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(partitions_.size());
+  for (const auto& p : partitions_) keys.push_back(p.key);
+  return keys;
+}
+
 SSTablePtr compact(std::uint64_t new_generation,
-                   const std::vector<SSTablePtr>& inputs) {
+                   const std::vector<SSTablePtr>& inputs,
+                   const ExtentOptions* extent_opts) {
   // partition key -> clustering key -> newest row. std::map keeps both
   // levels sorted, which is exactly the SSTable layout invariant.
   std::map<std::string, std::map<ClusteringKey, Row>> merged;
   for (const auto& table : inputs) {
-    for (const auto& part : table->partitions()) {
-      auto& rows = merged[part.key];
-      for (const auto& row : part.rows) {
+    table->for_each_partition([&](const std::string& key,
+                                  const std::vector<Row>& part_rows) {
+      auto& rows = merged[key];
+      for (const auto& row : part_rows) {
         auto [it, inserted] = rows.try_emplace(row.key, row);
         if (!inserted && row.write_ts >= it->second.write_ts) {
           it->second = row;
         }
       }
-    }
+    });
   }
   std::vector<SSTable::Partition> partitions;
   partitions.reserve(merged.size());
@@ -67,7 +92,8 @@ SSTablePtr compact(std::uint64_t new_generation,
     for (auto& [_, row] : rows) p.rows.push_back(std::move(row));
     partitions.push_back(std::move(p));
   }
-  return std::make_shared<const SSTable>(new_generation, std::move(partitions));
+  return std::make_shared<const SSTable>(new_generation, std::move(partitions),
+                                         extent_opts);
 }
 
 }  // namespace hpcla::cassalite

@@ -4,6 +4,10 @@
 // (the simulated cluster keeps runs in memory; persistence semantics —
 // immutability, merge-on-read, compaction — are what the analytics stack
 // depends on, not the medium).
+//
+// Partitions are stored either as plain Row vectors or — when the engine
+// enables columnar extents — as compressed ColumnarExtent column streams
+// decoded lazily per read slice (DESIGN.md §13.2).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "cassalite/bloom.hpp"
+#include "cassalite/extent.hpp"
 #include "cassalite/schema.hpp"
 #include "cassalite/value.hpp"
 
@@ -27,14 +32,25 @@ class SSTable {
 
   /// Builds from a sorted partition map (as produced by Memtable::drain or
   /// compaction). Generation numbers increase monotonically per table.
-  SSTable(std::uint64_t generation,
-          std::vector<Partition> sorted_partitions);
+  /// With `extent_opts`, partitions are columnar-encoded and the row
+  /// vectors are dropped; reads decode lazily per slice.
+  SSTable(std::uint64_t generation, std::vector<Partition> sorted_partitions,
+          const ExtentOptions* extent_opts = nullptr);
 
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
   [[nodiscard]] std::size_t partition_count() const noexcept {
     return partitions_.size();
   }
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
+  [[nodiscard]] bool columnar() const noexcept { return columnar_; }
+
+  /// Compression accounting (columnar tables only; zero otherwise).
+  [[nodiscard]] std::size_t extent_raw_bytes() const noexcept {
+    return raw_bytes_;
+  }
+  [[nodiscard]] std::size_t extent_encoded_bytes() const noexcept {
+    return encoded_bytes_;
+  }
 
   /// Appends slice-admitted rows of the partition to `out`. Consults the
   /// Bloom filter first; `bloom_rejections` metric is the caller's concern.
@@ -42,15 +58,37 @@ class SSTable {
   bool read(const std::string& partition_key, const ClusteringSlice& slice,
             std::vector<Row>& out) const;
 
-  /// All partitions (for compaction and full scans).
-  [[nodiscard]] const std::vector<Partition>& partitions() const noexcept {
-    return partitions_;
+  /// Partition keys in ascending order (metadata only — never decodes).
+  [[nodiscard]] std::vector<std::string> partition_keys() const;
+
+  /// Streams partitions in key order for compaction and full scans:
+  /// `fn(const std::string& key, const std::vector<Row>& rows)`. Columnar
+  /// partitions are decoded one at a time, so residency stays bounded by
+  /// the largest single partition rather than the whole table.
+  template <typename Fn>
+  void for_each_partition(Fn&& fn) const {
+    for (const auto& p : partitions_) {
+      if (columnar_) {
+        fn(p.key, p.extent.decode_all());
+      } else {
+        fn(p.key, p.rows);
+      }
+    }
   }
 
  private:
+  struct Stored {
+    std::string key;
+    std::vector<Row> rows;  ///< empty when columnar
+    ColumnarExtent extent;
+  };
+
   std::uint64_t generation_;
-  std::vector<Partition> partitions_;  ///< sorted by key
+  std::vector<Stored> partitions_;  ///< sorted by key
   std::size_t rows_ = 0;
+  bool columnar_ = false;
+  std::size_t raw_bytes_ = 0;
+  std::size_t encoded_bytes_ = 0;
   BloomFilter bloom_;
 };
 
@@ -58,7 +96,9 @@ using SSTablePtr = std::shared_ptr<const SSTable>;
 
 /// Merges several runs into one (size-tiered compaction step): partitions
 /// unioned, rows with equal clustering keys reconciled last-write-wins.
+/// `extent_opts` propagates the output encoding as in the constructor.
 SSTablePtr compact(std::uint64_t new_generation,
-                   const std::vector<SSTablePtr>& inputs);
+                   const std::vector<SSTablePtr>& inputs,
+                   const ExtentOptions* extent_opts = nullptr);
 
 }  // namespace hpcla::cassalite

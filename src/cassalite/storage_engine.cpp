@@ -1,6 +1,7 @@
 #include "cassalite/storage_engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <utility>
 
@@ -9,7 +10,15 @@
 
 namespace hpcla::cassalite {
 
-StorageEngine::StorageEngine(StorageOptions options) : options_(options) {}
+bool StorageOptions::columnar_extents_default() noexcept {
+  const char* e = std::getenv("HPCLA_COLUMNAR_EXTENTS");
+  return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
+
+StorageEngine::StorageEngine(StorageOptions options) : options_(options) {
+  extent_opts_.rows_per_group =
+      std::max<std::size_t>(options_.extent_rows_per_group, 1);
+}
 
 const StorageEngine::TableStore* StorageEngine::find_table(
     const std::string& table) const {
@@ -76,19 +85,19 @@ void StorageEngine::apply_one_locked(const WriteCommand& cmd,
 void StorageEngine::flush_store_locked(TableStore& store) {
   if (store.memtable.empty()) return;
   // Writers are excluded by writer_mu_, so a shared lock is enough for a
-  // consistent copy even while readers stream through.
-  std::map<std::string, std::vector<Row>> frozen;
+  // consistent copy even while readers stream through. Rows are copied
+  // straight into SSTable partitions (one copy, not map-clone + move).
+  std::vector<SSTable::Partition> partitions;
   {
     std::shared_lock mem(store.mem_mu);
-    frozen = store.memtable.contents();
+    const auto& frozen = store.memtable.partitions();
+    partitions.reserve(frozen.size());
+    for (const auto& [key, rows] : frozen) {
+      partitions.push_back(SSTable::Partition{key, rows});
+    }
   }
-  std::vector<SSTable::Partition> partitions;
-  partitions.reserve(frozen.size());
-  for (auto& [key, rows] : frozen) {
-    partitions.push_back(SSTable::Partition{key, std::move(rows)});
-  }
-  auto sst = std::make_shared<const SSTable>(store.next_generation++,
-                                             std::move(partitions));
+  auto sst = std::make_shared<const SSTable>(
+      store.next_generation++, std::move(partitions), extent_opts());
 
   // Publish BEFORE drain: a reader checks the memtable first, so between
   // publish and drain it sees the rows twice (reconciled) — never zero.
@@ -135,7 +144,7 @@ StorageEngine::maybe_begin_compaction_locked(TableStore& store) {
 void StorageEngine::run_compaction(CompactionJob job) {
   // The heavy merge runs with no lock held: readers keep reading the old
   // snapshot, writers keep appending new SSTables behind our inputs.
-  SSTablePtr merged = compact(job.generation, job.inputs);
+  SSTablePtr merged = compact(job.generation, job.inputs, extent_opts());
 
   Stopwatch publish_watch;
   {
@@ -242,7 +251,7 @@ void StorageEngine::scan_partitions(
     }
     const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
     for (const auto& sst : snap->sstables) {
-      for (const auto& p : sst->partitions()) all.insert(p.key);
+      for (auto& k : sst->partition_keys()) all.insert(std::move(k));
     }
     scan_keys.assign(all.begin(), all.end());
   }
@@ -289,7 +298,7 @@ std::vector<std::string> StorageEngine::partition_keys(
   }
   const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
   for (const auto& sst : snap->sstables) {
-    for (const auto& p : sst->partitions()) keys.insert(p.key);
+    for (auto& k : sst->partition_keys()) keys.insert(std::move(k));
   }
   return {keys.begin(), keys.end()};
 }
@@ -349,6 +358,19 @@ StorageMetrics StorageEngine::metrics() const {
   m.snapshot_reads = counters_.snapshot_reads.load(std::memory_order_relaxed);
   m.compaction_stall_us =
       counters_.compaction_stall_us.load(std::memory_order_relaxed);
+  // Extent accounting reflects the currently published SSTables (it shrinks
+  // when compaction supersedes runs). Tables are never erased and map nodes
+  // are stable, so a shared map lock plus acquire snapshot loads suffice.
+  {
+    std::shared_lock map(map_mu_);
+    for (const auto& [_, store] : tables_) {
+      const SnapshotPtr snap = store.snapshot.load(std::memory_order_acquire);
+      for (const auto& sst : snap->sstables) {
+        m.extent_raw_bytes += sst->extent_raw_bytes();
+        m.extent_encoded_bytes += sst->extent_encoded_bytes();
+      }
+    }
+  }
   return m;
 }
 

@@ -44,10 +44,19 @@ namespace hpcla::cassalite {
 
 /// Tuning knobs, exposed for the ablation benches.
 struct StorageOptions {
+  /// True when HPCLA_COLUMNAR_EXTENTS is set to anything but "0".
+  static bool columnar_extents_default() noexcept;
+
   /// Memtable flush threshold in bytes.
   std::size_t memtable_flush_bytes = 8u << 20;  // 8 MiB
   /// Compact when a table accumulates this many SSTables.
   std::size_t compaction_threshold = 8;
+  /// Store SSTable partitions as compressed columnar extents decoded
+  /// lazily per read slice (DESIGN.md §13.2) instead of plain Row vectors.
+  bool columnar_extents = columnar_extents_default();
+  /// Rows per extent group when columnar_extents is on — the lazy-decode
+  /// and compression granularity.
+  std::size_t extent_rows_per_group = 1024;
 };
 
 /// Plain snapshot of the storage-level counters, safe to copy around.
@@ -65,6 +74,11 @@ struct StorageMetrics {
   /// Wall time the compaction publish step held the writer lock — the only
   /// part of compaction that can stall writers (readers are never stalled).
   std::uint64_t compaction_stall_us = 0;
+  /// Resident extent compression accounting across currently published
+  /// SSTables (zero unless columnar_extents is on): boxed-Row footprint of
+  /// the encoded data vs. the encoded bytes actually held.
+  std::uint64_t extent_raw_bytes = 0;
+  std::uint64_t extent_encoded_bytes = 0;
 };
 
 class StorageEngine {
@@ -172,6 +186,12 @@ class StorageEngine {
   /// Write-side lookup-or-create (caller holds the writer mutex).
   TableStore& table_for_write(const std::string& table);
 
+  /// nullptr when columnar extents are off; otherwise the shared encoding
+  /// options handed to every SSTable build (flush and compaction alike).
+  [[nodiscard]] const ExtentOptions* extent_opts() const noexcept {
+    return options_.columnar_extents ? &extent_opts_ : nullptr;
+  }
+
   void apply_one_locked(const WriteCommand& cmd, std::uint64_t lsn,
                         std::vector<CompactionJob>& jobs);
   void flush_store_locked(TableStore& store);
@@ -185,6 +205,7 @@ class StorageEngine {
   /// Serializes apply/flush/compaction-publish/recovery.
   mutable std::mutex writer_mu_;
   StorageOptions options_;
+  ExtentOptions extent_opts_;
   FaultInjector* injector_ = nullptr;  ///< not owned; see set_fault_injector
   std::size_t injector_node_ = 0;
   CommitLog log_;

@@ -1,0 +1,147 @@
+#include "common/block_codec.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace hpcla::codec {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 0xffff;
+constexpr std::size_t kHashBits = 13;  // 8K-entry table
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+inline std::uint32_t read32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::size_t hash32(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Writes a token-nibble length: lengths >= 15 continue in 255-bytes plus a
+/// final byte < 255 (matching the LZ4 sequence layout).
+inline void put_length(std::string& out, std::size_t len) {
+  len -= 15;
+  while (len >= 255) {
+    out.push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out.push_back(static_cast<char>(len));
+}
+
+inline bool get_length(const char*& p, const char* end, std::size_t& len) {
+  while (true) {
+    if (p >= end) return false;
+    const auto byte = static_cast<std::uint8_t>(*p++);
+    len += byte;
+    if (byte != 255) return true;
+  }
+}
+
+void emit_sequence(std::string& out, const char* lit, std::size_t lit_len,
+                   std::size_t offset, std::size_t match_len) {
+  const std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  // match_len == 0 marks the trailing literal-only sequence.
+  const std::size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const std::size_t match_nibble = match_code < 15 ? match_code : 15;
+  out.push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_len >= 15) put_length(out, lit_len);
+  out.append(lit, lit_len);
+  if (match_len == 0) return;
+  out.push_back(static_cast<char>(offset & 0xff));
+  out.push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_code >= 15) put_length(out, match_code);
+}
+
+}  // namespace
+
+std::string block_compress(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 16);
+  const char* base = in.data();
+  const std::size_t n = in.size();
+  // Matches must not start within the last 12 bytes (keeps the decoder's
+  // unconditional copies in-bounds, same rule LZ4 uses).
+  if (n < kMinMatch + 12) {
+    emit_sequence(out, base, n, 0, 0);
+    return out;
+  }
+  const std::size_t match_limit = n - 12;
+  std::vector<std::uint32_t> table(kHashSize, 0xffffffffu);
+  std::size_t anchor = 0;  // start of pending literals
+  std::size_t pos = 0;
+  while (pos < match_limit) {
+    const std::uint32_t seq = read32(base + pos);
+    const std::size_t h = hash32(seq);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand == 0xffffffffu || pos - cand > kMaxOffset ||
+        read32(base + cand) != seq) {
+      ++pos;
+      continue;
+    }
+    std::size_t match_len = kMinMatch;
+    // Extend, stopping early enough to leave a >= 5-byte literal tail.
+    const std::size_t extend_limit = n - 5;
+    while (pos + match_len < extend_limit &&
+           base[cand + match_len] == base[pos + match_len]) {
+      ++match_len;
+    }
+    emit_sequence(out, base + anchor, pos - anchor, pos - cand, match_len);
+    pos += match_len;
+    anchor = pos;
+  }
+  emit_sequence(out, base + anchor, n - anchor, 0, 0);
+  return out;
+}
+
+bool block_decompress(std::string_view in, std::size_t raw_size,
+                      std::string& out) {
+  out.clear();
+  out.reserve(raw_size);
+  const char* p = in.data();
+  const char* end = p + in.size();
+  while (p < end) {
+    const auto token = static_cast<std::uint8_t>(*p++);
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15 && !get_length(p, end, lit_len)) return false;
+    if (static_cast<std::size_t>(end - p) < lit_len) return false;
+    out.append(p, lit_len);
+    p += lit_len;
+    if (p >= end) break;  // final literal-only sequence
+    if (end - p < 2) return false;
+    const std::size_t offset = static_cast<std::uint8_t>(p[0]) |
+                               (static_cast<std::size_t>(
+                                    static_cast<std::uint8_t>(p[1]))
+                                << 8);
+    p += 2;
+    if (offset == 0 || offset > out.size()) return false;
+    std::size_t match_len = token & 0x0f;
+    if (match_len == 15 && !get_length(p, end, match_len)) return false;
+    match_len += kMinMatch;
+    if (out.size() + match_len > raw_size) return false;
+    // Offsets < match_len intentionally replicate the just-written bytes
+    // (run-length encoding via self-overlap): copying in chunks of at most
+    // `offset` keeps every chunk's source fully written before it is read.
+    const std::size_t dst = out.size();
+    const std::size_t src = dst - offset;
+    out.resize(dst + match_len);
+    char* o = out.data();
+    if (offset >= 8) {
+      std::size_t copied = 0;
+      while (copied < match_len) {
+        const std::size_t chunk = std::min(offset, match_len - copied);
+        std::memcpy(o + dst + copied, o + src + copied, chunk);
+        copied += chunk;
+      }
+    } else {
+      for (std::size_t i = 0; i < match_len; ++i) o[dst + i] = o[src + i];
+    }
+  }
+  return out.size() == raw_size;
+}
+
+}  // namespace hpcla::codec

@@ -1,0 +1,65 @@
+// Block compression + varint primitives shared by the spill tier and the
+// columnar SSTable extents (DESIGN.md §13).
+//
+// The compressor is an LZ4-shaped byte LZ: greedy hash-table matching over
+// a 64 KiB window, sequences of [token][literals][offset][match-ext]. It is
+// not the LZ4 bitstream (no frame format, no checksums) but shares its
+// virtues: single-pass compression, allocation-free decompression into a
+// pre-sized buffer, and byte-identical roundtrips for any input. HPC log
+// data — repeated cnames, event ids, message templates — compresses 3-10x,
+// which is what makes spilled shuffle runs and on-"disk" extents cheaper
+// than the boxed rows they replace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpcla::codec {
+
+// ------------------------------------------------------------------ varints
+
+/// LEB128 append.
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// LEB128 read; returns the advanced pointer or nullptr on truncation.
+inline const char* get_varint(const char* p, const char* end,
+                              std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64 && p < end; shift += 7) {
+    const auto byte = static_cast<std::uint8_t>(*p++);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return p;
+  }
+  return nullptr;
+}
+
+/// Signed <-> unsigned mapping that keeps small magnitudes short.
+inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// ------------------------------------------------------------- block codec
+
+/// Compresses `in` into an LZ4-style sequence stream. Always succeeds;
+/// incompressible input degrades to ~1.004x expansion (pure literals).
+std::string block_compress(std::string_view in);
+
+/// Decompresses a block_compress() output. `raw_size` is the original
+/// length (stored out-of-band by every caller); returns false on corrupt
+/// input or a size mismatch.
+bool block_decompress(std::string_view in, std::size_t raw_size,
+                      std::string& out);
+
+}  // namespace hpcla::codec

@@ -11,6 +11,7 @@ double PercentileTracker::percentile(double q) const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
+    ++sort_passes_;
   }
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::size_t>(

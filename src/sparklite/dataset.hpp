@@ -10,13 +10,16 @@
 // action to consume the dataset runs it exactly once (std::call_once) on
 // the driver thread before the action's own stage. Map side: one pool task
 // per upstream partition fuses compute + map-side combine + scatter,
-// writing into its own row of an [upstream][downstream] bucket matrix —
-// rows are disjoint, so no locks. Reduce side: the shuffled dataset's
-// partitions are lazy; each one k-way merges its bucket column
-// (sub-buckets visited in upstream order, keeping results deterministic and
-// non-commutative combines correct) when an action's stage runs it, so the
-// merge parallelizes across buckets and cache()/lineage semantics are
-// preserved. Output buckets are sorted by key regardless of thread count.
+// writing into its own lane of a spill-aware ScatterSink (spill.hpp) —
+// lanes are disjoint, so no locks, and lanes over the engine's spill
+// budget stream to compressed run files so shuffle residency stays
+// bounded. Reduce side: the shuffled dataset's partitions are lazy; each
+// one merges its bucket (resident cells + replayed runs, visited in
+// upstream order, keeping results deterministic and non-commutative
+// combines correct) when an action's stage runs it, so the merge
+// parallelizes across buckets and cache()/lineage semantics are preserved.
+// Output buckets are sorted by key regardless of thread count, and results
+// are byte-identical whether or not the shuffle spilled.
 //
 // Like an uncached RDD, a Dataset recomputes its lineage on every action;
 // cache() pins the partition contents in memory. The deferred map stage,
@@ -353,42 +356,26 @@ class Dataset {
 
 namespace detail {
 
-/// The shuffle's intermediate representation: matrix[u][d] holds the rows
-/// upstream partition u scattered toward downstream bucket d. Each map task
-/// writes only its own row, so the map stage needs no locks; each lazy
-/// reduce partition reads only its own column, visiting sub-buckets in
-/// upstream order so merges are deterministic.
-template <typename Row>
-using BucketMatrix = std::vector<std::vector<std::vector<Row>>>;
-
-template <typename Row>
-std::vector<std::uint64_t> bucket_record_counts(const BucketMatrix<Row>& m,
-                                                std::size_t buckets) {
-  std::vector<std::uint64_t> counts(buckets, 0);
-  for (const auto& row : m) {
-    for (std::size_t d = 0; d < row.size(); ++d) counts[d] += row[d].size();
-  }
-  return counts;
-}
-
-/// A completed map stage: the bucket matrix plus the engine's shuffle
-/// record (the lazy reduce side adds its merge time to the record).
+/// A completed map stage: the scatter sink (in-RAM cells + spilled runs,
+/// see spill.hpp) plus the engine's shuffle record (the lazy reduce side
+/// adds its merge time to the record).
 template <typename Row>
 struct ShuffleStage {
-  std::shared_ptr<BucketMatrix<Row>> matrix;
+  std::shared_ptr<spill::ScatterSink<Row>> sink;
   std::shared_ptr<ShuffleRecord> record;
 };
 
 /// Map stage of a combining hash shuffle: per upstream partition, combine
-/// values sharing a key, then scatter the combined entries into the bucket
-/// matrix by std::hash<K>. Runs as one pool stage; rows are disjoint.
+/// values sharing a key, then scatter the combined entries into the sink
+/// by std::hash<K>. Runs as one pool stage; lanes are disjoint. Lanes over
+/// the engine's spill budget stream to compressed run files.
 template <typename K, typename V, typename Combine>
 ShuffleStage<std::pair<K, V>> shuffle_combine_stage(
     const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
     Combine combine, const char* label) {
   using KV = std::pair<K, V>;
-  auto matrix = std::make_shared<BucketMatrix<KV>>(
-      ds.partition_count(), std::vector<std::vector<KV>>(num_partitions));
+  auto sink = std::make_shared<spill::ScatterSink<KV>>(
+      ds.engine().spill(), ds.partition_count(), num_partitions);
   Stopwatch map_watch;
   ds.for_each_partition([&](const TaskContext& ctx, std::vector<KV> rows) {
     std::unordered_map<K, V> local;
@@ -396,15 +383,16 @@ ShuffleStage<std::pair<K, V>> shuffle_combine_stage(
       auto [it, inserted] = local.try_emplace(k, v);
       if (!inserted) it->second = combine(std::move(it->second), v);
     }
-    auto& row = (*matrix)[ctx.task_index];
     for (auto& [k, v] : local) {
-      row[std::hash<K>{}(k) % num_partitions].emplace_back(k, std::move(v));
+      sink->emit(ctx.task_index, std::hash<K>{}(k) % num_partitions,
+                 KV(k, std::move(v)));
     }
   });
   auto record = ds.engine().record_shuffle_detail(
       label, ds.partition_count(), map_watch.elapsed_seconds(),
-      bucket_record_counts(*matrix, num_partitions));
-  return {std::move(matrix), std::move(record)};
+      sink->bucket_record_counts(), sink->spilled_bytes(),
+      sink->spill_file_count());
+  return {std::move(sink), std::move(record)};
 }
 
 /// Map stage of a grouping shuffle: like shuffle_combine_stage but gathers
@@ -416,37 +404,38 @@ ShuffleStage<std::pair<K, std::vector<V>>> shuffle_group_stage(
     const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
     const char* label) {
   using Entry = std::pair<K, std::vector<V>>;
-  auto matrix = std::make_shared<BucketMatrix<Entry>>(
-      ds.partition_count(), std::vector<std::vector<Entry>>(num_partitions));
+  auto sink = std::make_shared<spill::ScatterSink<Entry>>(
+      ds.engine().spill(), ds.partition_count(), num_partitions);
   Stopwatch map_watch;
   ds.for_each_partition(
       [&](const TaskContext& ctx, std::vector<std::pair<K, V>> rows) {
         std::unordered_map<K, std::vector<V>> local;
         for (auto& [k, v] : rows) local[k].push_back(std::move(v));
-        auto& row = (*matrix)[ctx.task_index];
         for (auto& [k, vs] : local) {
-          row[std::hash<K>{}(k) % num_partitions].emplace_back(k,
-                                                               std::move(vs));
+          sink->emit(ctx.task_index, std::hash<K>{}(k) % num_partitions,
+                     Entry(k, std::move(vs)));
         }
       });
   auto record = ds.engine().record_shuffle_detail(
       label, ds.partition_count(), map_watch.elapsed_seconds(),
-      bucket_record_counts(*matrix, num_partitions));
-  return {std::move(matrix), std::move(record)};
+      sink->bucket_record_counts(), sink->spilled_bytes(),
+      sink->spill_file_count());
+  return {std::move(sink), std::move(record)};
 }
 
-/// Merges one bucket column of grouped entries in upstream order into
-/// key -> concatenated values (the reduce side of grouping shuffles).
+/// Merges one bucket of grouped entries in lane (= upstream) order into
+/// key -> concatenated values (the reduce side of grouping shuffles),
+/// streaming spilled runs back block-by-block.
 template <typename K, typename V>
 std::unordered_map<K, std::vector<V>> merge_group_column(
-    const BucketMatrix<std::pair<K, std::vector<V>>>& matrix, std::size_t d) {
+    const spill::ScatterSink<std::pair<K, std::vector<V>>>& sink,
+    std::size_t d) {
   std::unordered_map<K, std::vector<V>> merged;
-  for (const auto& row : matrix) {
-    for (const auto& [k, vs] : row[d]) {
-      auto& dst = merged[k];
-      dst.insert(dst.end(), vs.begin(), vs.end());
-    }
-  }
+  sink.for_each_row(d, [&](std::pair<K, std::vector<V>> row) {
+    auto& dst = merged[row.first];
+    dst.insert(dst.end(), std::make_move_iterator(row.second.begin()),
+               std::make_move_iterator(row.second.end()));
+  });
   return merged;
 }
 
@@ -504,14 +493,17 @@ Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
         {[staged, engine, combine, d](const TaskContext&) {
            Stopwatch watch;
            // Reduce-side combine across upstream sub-buckets, in upstream
-           // order (matters for non-commutative combines like group).
+           // order (matters for non-commutative combines like group);
+           // spilled runs stream back in the same order.
            std::unordered_map<K, V> merged;
-           for (const auto& row : *staged->matrix) {
-             for (const auto& [k, v] : row[d]) {
-               auto [it, inserted] = merged.try_emplace(k, v);
-               if (!inserted) it->second = combine(std::move(it->second), v);
+           staged->sink->for_each_row(d, [&](KV row) {
+             auto [it, inserted] =
+                 merged.try_emplace(row.first, std::move(row.second));
+             if (!inserted) {
+               it->second =
+                   combine(std::move(it->second), std::move(row.second));
              }
-           }
+           });
            std::vector<KV> rows(merged.begin(), merged.end());
            std::sort(rows.begin(), rows.end(), [](const auto& a,
                                                   const auto& b) {
@@ -552,7 +544,7 @@ Dataset<std::pair<K, std::vector<V>>> group_by_key(
     parts.push_back(
         {[staged, engine, d](const TaskContext&) {
            Stopwatch watch;
-           auto merged = detail::merge_group_column<K, V>(*staged->matrix, d);
+           auto merged = detail::merge_group_column<K, V>(*staged->sink, d);
            std::vector<Entry> rows(std::make_move_iterator(merged.begin()),
                                    std::make_move_iterator(merged.end()));
            std::sort(rows.begin(), rows.end(), [](const auto& a,
@@ -621,11 +613,11 @@ Dataset<std::pair<K, std::pair<V1, V2>>> join(
         {[lstaged, rstaged, engine, d](const TaskContext&) {
            Stopwatch watch;
            auto rmap =
-               detail::merge_group_column<K, V2>(*rstaged->matrix, d);
+               detail::merge_group_column<K, V2>(*rstaged->sink, d);
            std::vector<Out> out;
            if (!rmap.empty()) {
              auto lmap =
-                 detail::merge_group_column<K, V1>(*lstaged->matrix, d);
+                 detail::merge_group_column<K, V1>(*lstaged->sink, d);
              // Deterministic output: left keys in sorted order, values in
              // upstream encounter order on both sides.
              std::vector<std::pair<K, std::vector<V1>>> lrows(
@@ -656,12 +648,16 @@ Dataset<std::pair<K, std::pair<V1, V2>>> join(
 }
 
 /// Total sort by a derived key: sample-based range-partitioned parallel
-/// sort. A map stage materializes each upstream partition and samples its
-/// keys; the driver picks quantile splitters from the pooled sample; a
-/// scatter stage range-partitions each upstream partition into the bucket
-/// matrix; each lazy output partition concatenates its range's sub-runs in
-/// upstream order (keeping equal keys stable, exactly like the sequential
-/// stable_sort) and sorts it. Concatenating the output partitions yields
+/// sort, external when the spill budget is set. A map stage materializes
+/// each upstream partition into a hold sink (lanes over budget stream to
+/// compressed runs instead of staying resident) and samples its keys; the
+/// driver picks quantile splitters from the pooled sample; a scatter stage
+/// replays each held lane and range-partitions it into the output sink,
+/// whose over-budget lanes spill *sorted* runs; each lazy output partition
+/// then either concatenates + stable_sorts its range (nothing spilled —
+/// byte-identical to the old path) or k-way merges its sorted runs and
+/// resident cells with a stable ordinal tie-break, which reproduces the
+/// same byte-identical output. Concatenating the output partitions yields
 /// the totally sorted sequence.
 template <typename T, typename F>
 Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
@@ -677,10 +673,15 @@ Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
   barrier->run = [ds, staged, engine, key_fn, buckets, captured] {
     constexpr std::size_t kSamplesPerPartition = 32;
     const std::size_t upstream = ds.partition_count();
+    auto less = [key_fn](const T& a, const T& b) {
+      return key_fn(a) < key_fn(b);
+    };
 
-    // Stage 1 (fused with the upstream scan): materialize + sample
-    // (evenly spaced keys per partition).
-    auto held = std::make_shared<std::vector<std::vector<T>>>(upstream);
+    // Stage 1 (fused with the upstream scan): sample evenly spaced keys,
+    // then stash the partition in the single-bucket hold sink — rows keep
+    // their encounter order whether resident or spilled.
+    auto hold = std::make_shared<spill::ScatterSink<T>>(engine->spill(),
+                                                        upstream, 1);
     std::vector<std::vector<Key>> samples(upstream);
     Stopwatch map_watch;
     detail::run_labeled_stage(*engine, captured, "sort_by:fused", [&] {
@@ -692,7 +693,7 @@ Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
         for (std::size_t i = 0; i < take; ++i) {
           s.push_back(key_fn(rows[i * n / take]));
         }
-        (*held)[ctx.task_index] = std::move(rows);
+        for (auto& v : rows) hold->emit(ctx.task_index, 0, std::move(v));
       });
     });
 
@@ -712,27 +713,29 @@ Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
       }
     }
 
-    // Stage 2: range-scatter each held partition into its matrix row.
-    // Equal keys always land in the same bucket, so stability is decided
-    // within one bucket.
-    auto matrix = std::make_shared<detail::BucketMatrix<T>>(
-        upstream, std::vector<std::vector<T>>(buckets));
+    // Stage 2: replay each held lane and range-scatter into the output
+    // sink (presorted spills). Equal keys always land in the same bucket,
+    // so stability is decided within one bucket.
+    auto sink = std::make_shared<spill::ScatterSink<T>>(
+        engine->spill(), upstream, buckets,
+        typename spill::ScatterSink<T>::Less(less));
     detail::run_labeled_stage(*engine, nullptr, "sort_by:scatter", [&] {
       engine->run_stage(upstream, {}, [&](const TaskContext& ctx) {
-        auto& row = (*matrix)[ctx.task_index];
-        for (auto& v : (*held)[ctx.task_index]) {
+        hold->for_each_lane_row(ctx.task_index, [&](T v) {
           const auto d = static_cast<std::size_t>(
               std::upper_bound(splitters.begin(), splitters.end(),
                                key_fn(v)) -
               splitters.begin());
-          row[d].push_back(std::move(v));
-        }
+          sink->emit(ctx.task_index, d, std::move(v));
+        });
       });
     });
+    hold.reset();  // free held runs/cells before the reduce side runs
     staged->record = engine->record_shuffle_detail(
         "sort_by", upstream, map_watch.elapsed_seconds(),
-        detail::bucket_record_counts(*matrix, buckets));
-    staged->matrix = std::move(matrix);
+        sink->bucket_record_counts(), sink->spilled_bytes(),
+        sink->spill_file_count());
+    staged->sink = std::move(sink);
   };
 
   // Lazy output partitions: bucket d holds the d-th key range.
@@ -741,15 +744,17 @@ Dataset<T> sort_by(const Dataset<T>& ds, F key_fn,
   for (std::size_t d = 0; d < buckets; ++d) {
     parts.push_back({[staged, engine, key_fn, d](const TaskContext&) {
                        Stopwatch watch;
-                       std::vector<T> rows;
-                       for (const auto& row : *staged->matrix) {
-                         rows.insert(rows.end(), row[d].begin(),
-                                     row[d].end());
+                       std::uint64_t passes = 0;
+                       std::vector<T> rows = staged->sink->merge_sorted(
+                           d,
+                           [&](const T& a, const T& b) {
+                             return key_fn(a) < key_fn(b);
+                           },
+                           &passes);
+                       if (passes > 0) {
+                         staged->record->merge_passes.fetch_add(
+                             passes, std::memory_order_relaxed);
                        }
-                       std::stable_sort(rows.begin(), rows.end(),
-                                        [&](const T& a, const T& b) {
-                                          return key_fn(a) < key_fn(b);
-                                        });
                        engine->add_shuffle_reduce_us(
                            *staged->record,
                            static_cast<std::uint64_t>(watch.elapsed_micros()));

@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "common/status.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "sparklite/spill.hpp"
 
 namespace hpcla::sparklite {
 
@@ -56,6 +58,9 @@ struct EngineMetrics {
   std::uint64_t shuffle_records = 0;
   std::uint64_t shuffle_map_us = 0;     ///< wall time of map-side stages
   std::uint64_t shuffle_reduce_us = 0;  ///< accumulated lazy merge time
+  std::uint64_t bytes_spilled = 0;      ///< compressed bytes written to runs
+  std::uint64_t spill_files = 0;        ///< run files created
+  std::uint64_t merge_passes = 0;       ///< intermediate external-merge passes
 };
 
 /// One completed stage, as shown by the job-history view (the textual
@@ -80,9 +85,13 @@ struct ShuffleRecord {
   double mean_bucket = 0.0;
   double skew = 1.0;            ///< max/mean bucket records; 1.0 = balanced
   double map_seconds = 0.0;
+  std::uint64_t bytes_spilled = 0;  ///< compressed run bytes this shuffle wrote
+  std::uint64_t spill_files = 0;    ///< run files this shuffle created
   /// Reduce-side merge wall time, summed over lazy bucket evaluations
   /// (recomputation of an uncached shuffled dataset adds to it).
   std::atomic<std::uint64_t> reduce_us{0};
+  /// Intermediate external-merge passes run by lazy sorted buckets.
+  std::atomic<std::uint64_t> merge_passes{0};
 };
 
 /// Scheduling configuration for an Engine.
@@ -95,6 +104,16 @@ struct EngineOptions {
   /// Simulated cost of a non-local partition fetch, in microseconds.
   /// 0 disables the sleep; counters are maintained either way.
   int remote_fetch_penalty_us = 0;
+  /// Shuffle spill budget in bytes, split evenly across a shuffle's map
+  /// lanes. nullopt inherits HPCLA_SPILL_BUDGET_BYTES (unset/0 = spilling
+  /// off); an explicit value overrides the env — 0 forces the pure
+  /// in-memory shuffle regardless of environment.
+  std::optional<std::size_t> shuffle_spill_bytes;
+  /// Directory for spill run files; empty = HPCLA_SPILL_DIR, else the
+  /// system temp dir. Created lazily, removed with the engine.
+  std::string spill_dir;
+  /// Max run files merged per external-merge pass in spilled sort_by.
+  std::size_t spill_merge_fan_in = 16;
 };
 
 /// The sparklite "cluster": a pool of workers, each notionally co-located
@@ -104,7 +123,10 @@ class Engine {
   using Options = EngineOptions;
 
   explicit Engine(Options options = Options())
-      : options_(options), pool_(std::max<std::size_t>(options.workers, 1)) {
+      : options_(options),
+        pool_(std::max<std::size_t>(options.workers, 1)),
+        spill_(options.shuffle_spill_bytes, options.spill_dir,
+               options.spill_merge_fan_in) {
     telemetry_ = telemetry::registry().register_collector(
         [this](telemetry::MetricSink& sink) { collect(sink); });
   }
@@ -224,18 +246,23 @@ class Engine {
     if (!shuffles.empty()) {
       out +=
           "shuffle                count  maps  buckets     records   skew"
-          "    map_ms  reduce_ms\n";
+          "    map_ms  reduce_ms  spill_kb  runs  merges\n";
       for (const auto& sh : shuffles) {
-        char line[200];
+        char line[240];
         std::snprintf(
             line, sizeof(line),
-            "%-28s %5zu  %7zu  %10llu  %5.2f  %8.3f  %9.3f\n",
+            "%-28s %5zu  %7zu  %10llu  %5.2f  %8.3f  %9.3f  %8llu  %4llu"
+            "  %6llu\n",
             sh->label.c_str(), sh->map_tasks, sh->buckets,
             static_cast<unsigned long long>(sh->records), sh->skew,
             sh->map_seconds * 1e3,
             static_cast<double>(
                 sh->reduce_us.load(std::memory_order_relaxed)) /
-                1e3);
+                1e3,
+            static_cast<unsigned long long>(sh->bytes_spilled / 1024),
+            static_cast<unsigned long long>(sh->spill_files),
+            static_cast<unsigned long long>(
+                sh->merge_passes.load(std::memory_order_relaxed)));
         out += line;
       }
     }
@@ -249,11 +276,13 @@ class Engine {
   }
 
   /// Full shuffle bookkeeping: counters plus a ShuffleRecord carrying the
-  /// map-stage wall time and per-bucket record counts (skew = max/mean).
-  /// Returns the record so the lazy reduce side can add its merge time.
+  /// map-stage wall time, per-bucket record counts (skew = max/mean), and
+  /// the map side's spill volume. Returns the record so the lazy reduce
+  /// side can add its merge time and external-merge passes.
   std::shared_ptr<ShuffleRecord> record_shuffle_detail(
       std::string label, std::size_t map_tasks, double map_seconds,
-      const std::vector<std::uint64_t>& bucket_records) {
+      const std::vector<std::uint64_t>& bucket_records,
+      std::uint64_t bytes_spilled = 0, std::uint64_t spill_files = 0) {
     auto rec = std::make_shared<ShuffleRecord>();
     rec->label = std::move(label);
     rec->map_tasks = map_tasks;
@@ -270,6 +299,8 @@ class Engine {
                     ? static_cast<double>(rec->max_bucket) / rec->mean_bucket
                     : 1.0;
     rec->map_seconds = map_seconds;
+    rec->bytes_spilled = bytes_spilled;
+    rec->spill_files = spill_files;
     record_shuffle(rec->records);
     const auto map_us = static_cast<std::int64_t>(map_seconds * 1e6);
     // The map stage just finished: back-date the shuffle span over it.
@@ -278,7 +309,9 @@ class Engine {
                          {{"label", rec->label},
                           {"records", std::to_string(rec->records)},
                           {"buckets", std::to_string(rec->buckets)},
-                          {"skew", std::to_string(rec->skew)}});
+                          {"skew", std::to_string(rec->skew)},
+                          {"bytes_spilled", std::to_string(bytes_spilled)},
+                          {"spill_files", std::to_string(spill_files)}});
     shuffle_map_us_.fetch_add(
         static_cast<std::uint64_t>(map_seconds * 1e6),
         std::memory_order_relaxed);
@@ -317,11 +350,19 @@ class Engine {
     m.shuffle_records = shuffle_records_.load(std::memory_order_relaxed);
     m.shuffle_map_us = shuffle_map_us_.load(std::memory_order_relaxed);
     m.shuffle_reduce_us = shuffle_reduce_us_.load(std::memory_order_relaxed);
+    m.bytes_spilled = spill_.bytes_spilled();
+    m.spill_files = spill_.spill_files();
+    m.merge_passes = spill_.merge_passes();
     return m;
   }
 
   /// Direct pool access (streaming and tests).
   ThreadPool& pool() noexcept { return pool_; }
+
+  /// Spill configuration + accounting for this engine's shuffles. (The
+  /// manager mirrors its counters onto the global `sparklite.spill.*`
+  /// registry counters itself, so collect() below must not re-report them.)
+  spill::SpillManager& spill() noexcept { return spill_; }
 
  private:
   /// Registry collector body: engine counters plus the most recent
@@ -386,6 +427,7 @@ class Engine {
 
   Options options_;
   ThreadPool pool_;
+  spill::SpillManager spill_;
   std::atomic<std::string*> next_label_{nullptr};
   mutable std::array<HistorySlot, kHistoryLimit> history_;
   mutable std::mutex shuffle_mu_;  ///< shuffle list only; one lock per wide op

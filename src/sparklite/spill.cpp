@@ -1,0 +1,77 @@
+#include "sparklite/spill.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "common/telemetry.hpp"
+
+namespace hpcla::sparklite::spill {
+namespace {
+
+std::size_t env_budget_bytes() {
+  const char* e = std::getenv("HPCLA_SPILL_BUDGET_BYTES");
+  if (!e || !*e) return 0;
+  return static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+}
+
+std::filesystem::path base_spill_dir(const std::string& override_dir) {
+  if (!override_dir.empty()) return override_dir;
+  if (const char* e = std::getenv("HPCLA_SPILL_DIR"); e && *e) return e;
+  std::error_code ec;
+  auto tmp = std::filesystem::temp_directory_path(ec);
+  return ec ? std::filesystem::path(".") : tmp;
+}
+
+}  // namespace
+
+SpillManager::SpillManager(std::optional<std::size_t> budget,
+                           std::string dir_override, std::size_t fan_in)
+    : budget_(budget ? *budget : env_budget_bytes()),
+      dir_override_(std::move(dir_override)),
+      fan_in_(std::max<std::size_t>(fan_in, 2)) {}
+
+SpillManager::~SpillManager() {
+  if (dir_created_) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+const std::filesystem::path& SpillManager::dir() {
+  std::call_once(dir_once_, [this] {
+    static std::atomic<std::uint64_t> engine_seq{0};
+    dir_ = base_spill_dir(dir_override_) /
+           ("hpcla-spill-" + std::to_string(::getpid()) + "-" +
+            std::to_string(engine_seq.fetch_add(1)));
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    HPCLA_CHECK_MSG(!ec, "cannot create spill directory");
+    dir_created_ = true;
+  });
+  return dir_;
+}
+
+std::filesystem::path SpillManager::next_file_path() {
+  return dir() / ("run-" +
+                  std::to_string(file_seq_.fetch_add(
+                      1, std::memory_order_relaxed)) +
+                  ".spill");
+}
+
+void SpillManager::add_spilled_bytes(std::uint64_t n) {
+  bytes_spilled_.fetch_add(n, std::memory_order_relaxed);
+  telemetry::registry().counter("sparklite.spill.bytes").add(n);
+}
+
+void SpillManager::add_spill_file() {
+  spill_files_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::registry().counter("sparklite.spill.files").add(1);
+}
+
+void SpillManager::add_merge_pass() {
+  merge_passes_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::registry().counter("sparklite.spill.merge_passes").add(1);
+}
+
+}  // namespace hpcla::sparklite::spill

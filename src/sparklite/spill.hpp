@@ -1,0 +1,609 @@
+// Spill tier for the fused shuffle (DESIGN.md §13.1): when a map task's
+// scatter output crosses its byte budget, the bucket cells are serialized
+// into a compressed run file under a per-engine spill directory, and the
+// lazy reduce side streams runs back block-by-block — so shuffle residency
+// is bounded by the budget while results stay byte-identical to the pure
+// in-memory path:
+//
+//   - reduce/group buckets replay rows in (lane, flush, encounter) order,
+//     which is exactly the upstream-then-encounter order of the old bucket
+//     matrix;
+//   - sort_by runs are stable_sorted at spill time, and a stable k-way
+//     merge with source-ordinal tie-break reproduces
+//     stable_sort-of-concatenation exactly.
+//
+// Rows spill through the Codec<T> customization point below. Arithmetic
+// types, enums, strings, pairs, and vectors are covered; user row types
+// opt in by specializing spill::Codec<MyRow> (see bench_spill.cpp for an
+// EventRecord example). Element types without a codec compile fine and
+// simply never spill.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/block_codec.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::sparklite::spill {
+
+// ------------------------------------------------------------------ codecs
+
+/// Serialization customization point for spillable rows. Specializations
+/// provide:
+///   static constexpr bool enabled = true;
+///   static void encode(const T&, std::string& out);
+///   static const char* decode(const char* p, const char* end, T& out);
+///       // advanced pointer, or nullptr on corrupt input
+///   static std::size_t approx_bytes(const T&);  // in-memory footprint
+template <typename T, typename Enable = void>
+struct Codec {
+  static constexpr bool enabled = false;
+};
+
+template <typename T>
+inline constexpr bool is_spillable_v = Codec<T>::enabled;
+
+/// Fixed-width little-endian scalars (the block codec squeezes out the
+/// redundancy, so varint-ing here would only cost CPU).
+template <typename T>
+struct Codec<T, std::enable_if_t<std::is_arithmetic_v<T> || std::is_enum_v<T>>> {
+  static constexpr bool enabled = true;
+  static void encode(const T& v, std::string& out) {
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+  }
+  static const char* decode(const char* p, const char* end, T& v) {
+    if (static_cast<std::size_t>(end - p) < sizeof(T)) return nullptr;
+    std::memcpy(&v, p, sizeof(T));
+    return p + sizeof(T);
+  }
+  static std::size_t approx_bytes(const T&) { return sizeof(T); }
+};
+
+template <>
+struct Codec<std::string> {
+  static constexpr bool enabled = true;
+  static void encode(const std::string& v, std::string& out) {
+    codec::put_varint(out, v.size());
+    out.append(v);
+  }
+  static const char* decode(const char* p, const char* end, std::string& v) {
+    std::uint64_t len = 0;
+    p = codec::get_varint(p, end, len);
+    if (!p || static_cast<std::uint64_t>(end - p) < len) return nullptr;
+    v.assign(p, static_cast<std::size_t>(len));
+    return p + len;
+  }
+  static std::size_t approx_bytes(const std::string& v) {
+    return sizeof(std::string) + v.size();
+  }
+};
+
+template <typename A, typename B>
+struct Codec<std::pair<A, B>,
+             std::enable_if_t<is_spillable_v<A> && is_spillable_v<B>>> {
+  static constexpr bool enabled = true;
+  static void encode(const std::pair<A, B>& v, std::string& out) {
+    Codec<A>::encode(v.first, out);
+    Codec<B>::encode(v.second, out);
+  }
+  static const char* decode(const char* p, const char* end,
+                            std::pair<A, B>& v) {
+    p = Codec<A>::decode(p, end, v.first);
+    if (!p) return nullptr;
+    return Codec<B>::decode(p, end, v.second);
+  }
+  static std::size_t approx_bytes(const std::pair<A, B>& v) {
+    return Codec<A>::approx_bytes(v.first) + Codec<B>::approx_bytes(v.second);
+  }
+};
+
+template <typename V>
+struct Codec<std::vector<V>, std::enable_if_t<is_spillable_v<V>>> {
+  static constexpr bool enabled = true;
+  static void encode(const std::vector<V>& v, std::string& out) {
+    codec::put_varint(out, v.size());
+    for (const auto& e : v) Codec<V>::encode(e, out);
+  }
+  static const char* decode(const char* p, const char* end,
+                            std::vector<V>& v) {
+    std::uint64_t n = 0;
+    p = codec::get_varint(p, end, n);
+    if (!p) return nullptr;
+    v.clear();
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && p; ++i) {
+      V e;
+      p = Codec<V>::decode(p, end, e);
+      if (p) v.push_back(std::move(e));
+    }
+    return p;
+  }
+  static std::size_t approx_bytes(const std::vector<V>& v) {
+    std::size_t total = sizeof(std::vector<V>);
+    for (const auto& e : v) total += Codec<V>::approx_bytes(e);
+    return total;
+  }
+};
+
+// ----------------------------------------------------------- spill manager
+
+/// Per-engine spill configuration + accounting. The directory is created
+/// lazily on first spill (most workloads never touch it) and removed with
+/// the engine. Counters are mirrored onto the process-wide telemetry
+/// registry (`sparklite.spill.*`) so bench summaries can report spill
+/// volume after engines are gone.
+class SpillManager {
+ public:
+  /// `budget`: nullopt inherits HPCLA_SPILL_BUDGET_BYTES (0/unset = spill
+  /// disabled); an explicit value overrides the env — 0 forces the pure
+  /// in-memory path regardless of environment (tests rely on this).
+  /// `dir_override`: empty inherits HPCLA_SPILL_DIR, else the system temp
+  /// dir. `fan_in`: max run files merged per external-merge pass.
+  SpillManager(std::optional<std::size_t> budget, std::string dir_override,
+               std::size_t fan_in);
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t merge_fan_in() const noexcept { return fan_in_; }
+
+  /// A fresh run-file path under the (lazily created) spill dir.
+  std::filesystem::path next_file_path();
+
+  void add_spilled_bytes(std::uint64_t n);
+  void add_spill_file();
+  void add_merge_pass();
+
+  [[nodiscard]] std::uint64_t bytes_spilled() const noexcept {
+    return bytes_spilled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t spill_files() const noexcept {
+    return spill_files_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t merge_passes() const noexcept {
+    return merge_passes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::filesystem::path& dir();
+
+  std::size_t budget_;
+  std::string dir_override_;
+  std::size_t fan_in_;
+  std::once_flag dir_once_;
+  std::filesystem::path dir_;
+  bool dir_created_ = false;
+  std::atomic<std::uint64_t> file_seq_{0};
+  std::atomic<std::uint64_t> bytes_spilled_{0};
+  std::atomic<std::uint64_t> spill_files_{0};
+  std::atomic<std::uint64_t> merge_passes_{0};
+};
+
+// -------------------------------------------------------------- run files
+
+/// One spilled run's location inside its lane's file.
+struct RunMeta {
+  std::size_t bucket = 0;
+  std::uint64_t offset = 0;  ///< file offset of the first block
+  std::uint64_t length = 0;  ///< total on-disk bytes (headers included)
+  std::uint64_t rows = 0;
+};
+
+constexpr std::size_t kSpillBlockBytes = 256 * 1024;  ///< raw bytes per block
+
+/// Appends runs of encoded rows to one spill file as compressed blocks:
+/// [u32 raw_size][u32 comp_size][comp bytes]... The file is deleted with
+/// the writer. Single-writer (each shuffle lane owns one).
+template <typename Row>
+class RunWriter {
+ public:
+  explicit RunWriter(SpillManager& mgr)
+      : mgr_(&mgr), path_(mgr.next_file_path()) {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    HPCLA_CHECK_MSG(out_.is_open(), "cannot open spill run file");
+    mgr_->add_spill_file();
+  }
+  ~RunWriter() {
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+  void begin_run(std::size_t bucket) {
+    cur_ = RunMeta{};
+    cur_.bucket = bucket;
+    cur_.offset = file_bytes_;
+    raw_.clear();
+  }
+
+  void add(const Row& row) {
+    Codec<Row>::encode(row, raw_);
+    ++cur_.rows;
+    if (raw_.size() >= kSpillBlockBytes) flush_block();
+  }
+
+  RunMeta end_run() {
+    if (!raw_.empty()) flush_block();
+    out_.flush();
+    HPCLA_CHECK_MSG(out_.good(), "spill run write failed (disk full?)");
+    return cur_;
+  }
+
+ private:
+  void flush_block() {
+    const std::string comp = codec::block_compress(raw_);
+    std::uint32_t hdr[2] = {static_cast<std::uint32_t>(raw_.size()),
+                            static_cast<std::uint32_t>(comp.size())};
+    out_.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+    out_.write(comp.data(), static_cast<std::streamsize>(comp.size()));
+    const std::uint64_t wrote = sizeof(hdr) + comp.size();
+    file_bytes_ += wrote;
+    cur_.length += wrote;
+    mgr_->add_spilled_bytes(wrote);
+    raw_.clear();
+  }
+
+  SpillManager* mgr_;
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::string raw_;
+  std::uint64_t file_bytes_ = 0;
+  RunMeta cur_;
+};
+
+/// Streams one run back, block at a time — memory is one decompressed
+/// block, not the run. Each cursor owns its own ifstream, so any number of
+/// reduce tasks can replay runs from the same file concurrently.
+template <typename Row>
+class RunCursor {
+ public:
+  RunCursor(const std::filesystem::path& path, const RunMeta& meta)
+      : in_(path, std::ios::binary), meta_(meta) {
+    HPCLA_CHECK_MSG(in_.is_open(), "cannot reopen spill run file");
+    in_.seekg(static_cast<std::streamoff>(meta.offset));
+  }
+
+  bool next(Row& out) {
+    while (pos_ >= raw_.size()) {
+      if (!load_block()) return false;
+    }
+    const char* p = Codec<Row>::decode(raw_.data() + pos_,
+                                       raw_.data() + raw_.size(), out);
+    HPCLA_CHECK_MSG(p != nullptr, "corrupt spill run row");
+    pos_ = static_cast<std::size_t>(p - raw_.data());
+    return true;
+  }
+
+ private:
+  bool load_block() {
+    if (consumed_ >= meta_.length) return false;
+    std::uint32_t hdr[2];
+    in_.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+    HPCLA_CHECK_MSG(in_.good(), "truncated spill block header");
+    comp_.resize(hdr[1]);
+    in_.read(comp_.data(), static_cast<std::streamsize>(hdr[1]));
+    HPCLA_CHECK_MSG(in_.good(), "truncated spill block body");
+    HPCLA_CHECK_MSG(
+        codec::block_decompress(std::string_view(comp_.data(), comp_.size()),
+                                hdr[0], raw_),
+        "corrupt spill block");
+    consumed_ += sizeof(hdr) + hdr[1];
+    pos_ = 0;
+    return true;
+  }
+
+  std::ifstream in_;
+  RunMeta meta_;
+  std::string comp_;
+  std::string raw_;
+  std::size_t pos_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+// ------------------------------------------------------------ scatter sink
+
+/// The shuffle's intermediate store, replacing the all-in-RAM bucket
+/// matrix. One Lane per upstream partition (map tasks write only their own
+/// lane — no locks); each lane scatters rows into per-bucket cells and,
+/// when the lane's resident bytes cross its share of the engine budget,
+/// serializes every non-empty cell as a compressed run and frees the RAM.
+/// Readers replay a bucket as: per lane, spilled runs in flush order, then
+/// the leftover in-memory cell — the same row order the matrix produced.
+template <typename Row>
+class ScatterSink {
+ public:
+  using Less = std::function<bool(const Row&, const Row&)>;
+
+  /// `presort`: when set (sort_by), cells are stable_sorted with it before
+  /// spilling, making every run sorted — the precondition merge_sorted()
+  /// needs to k-way merge instead of re-sorting.
+  ScatterSink(SpillManager& mgr, std::size_t upstream, std::size_t buckets,
+              Less presort = {})
+      : mgr_(&mgr),
+        buckets_(buckets),
+        presort_(std::move(presort)),
+        lanes_(std::max<std::size_t>(upstream, 1)) {
+    for (auto& lane : lanes_) {
+      lane.cells.resize(buckets_);
+      lane.counts.assign(buckets_, 0);
+    }
+    if constexpr (is_spillable_v<Row>) {
+      if (mgr.budget_bytes() > 0) {
+        lane_budget_ = std::max<std::size_t>(
+            mgr.budget_bytes() / lanes_.size(), 1024);
+      }
+    }
+  }
+
+  /// Routes one row from upstream lane `u` to bucket `d`. Thread-safe
+  /// across distinct lanes (the map-stage contract), not within one.
+  void emit(std::size_t u, std::size_t d, Row row) {
+    Lane& lane = lanes_[u];
+    ++lane.counts[d];
+    if constexpr (is_spillable_v<Row>) {
+      if (lane_budget_ > 0) {
+        lane.bytes += Codec<Row>::approx_bytes(row) + sizeof(Row);
+      }
+    }
+    lane.cells[d].push_back(std::move(row));
+    if constexpr (is_spillable_v<Row>) {
+      if (lane_budget_ > 0) {
+        lane.peak_bytes = std::max(lane.peak_bytes, lane.bytes);
+        if (lane.bytes >= lane_budget_) spill_lane(lane);
+      }
+    }
+  }
+
+  /// Replays bucket `d` in canonical order. Rows are delivered by value
+  /// (decoded or copied), so an uncached lineage can replay repeatedly.
+  template <typename Fn>
+  void for_each_row(std::size_t d, Fn&& fn) const {
+    for (const Lane& lane : lanes_) replay_lane_bucket(lane, d, fn);
+  }
+
+  /// Replays every row of lane `u` (all buckets interleaved in encounter
+  /// order only when buckets == 1 — the hold-sink case sort_by uses).
+  template <typename Fn>
+  void for_each_lane_row(std::size_t u, Fn&& fn) const {
+    const Lane& lane = lanes_[u];
+    for (std::size_t d = 0; d < buckets_; ++d) replay_lane_bucket(lane, d, fn);
+  }
+
+  /// Merges bucket `d` into one sorted vector. Requires a presort
+  /// comparator (runs sorted at spill time); with no spilled runs this is
+  /// concatenate + stable_sort, byte-identical to the pre-spill path, and
+  /// with runs it is a stable k-way merge with ordinal tie-break —
+  /// identical output either way. Sources beyond the manager's fan-in are
+  /// first merged into intermediate runs (counted in `merge_passes_out`).
+  template <typename LessFn>
+  std::vector<Row> merge_sorted(std::size_t d, LessFn less,
+                                std::uint64_t* merge_passes_out = nullptr) {
+    std::vector<Row> out;
+    if (!bucket_has_runs(d)) {
+      for (const Lane& lane : lanes_) {
+        out.insert(out.end(), lane.cells[d].begin(), lane.cells[d].end());
+      }
+      std::stable_sort(out.begin(), out.end(), less);
+      return out;
+    }
+    if constexpr (is_spillable_v<Row>) {
+      std::vector<Source> sources;
+      for (Lane& lane : lanes_) {
+        for (const RunMeta& run : lane.runs) {
+          if (run.bucket != d || run.rows == 0) continue;
+          Source s;
+          s.cursor =
+              std::make_unique<RunCursor<Row>>(lane.writer->path(), run);
+          sources.push_back(std::move(s));
+        }
+        if (!lane.cells[d].empty()) {
+          Source s;
+          s.mem = lane.cells[d];  // copy: lineage may replay this bucket
+          std::stable_sort(s.mem.begin(), s.mem.end(), less);
+          sources.push_back(std::move(s));
+        }
+      }
+      // External merge passes: fold the leading fan-in sources into one
+      // intermediate run until the final merge fits. Prefix groups keep the
+      // global source order, so ordinal tie-breaks stay correct.
+      const std::size_t fan_in = mgr_->merge_fan_in();
+      while (sources.size() > fan_in) {
+        auto writer = std::make_shared<RunWriter<Row>>(*mgr_);
+        writer->begin_run(d);
+        std::vector<Source> group;
+        group.reserve(fan_in);
+        std::move(sources.begin(),
+                  sources.begin() + static_cast<std::ptrdiff_t>(fan_in),
+                  std::back_inserter(group));
+        sources.erase(sources.begin(),
+                      sources.begin() + static_cast<std::ptrdiff_t>(fan_in));
+        drain_merge(group, less, [&](Row row) { writer->add(row); });
+        Source merged;
+        merged.owner = writer;
+        merged.cursor = std::make_unique<RunCursor<Row>>(writer->path(),
+                                                         writer->end_run());
+        sources.insert(sources.begin(), std::move(merged));
+        mgr_->add_merge_pass();
+        if (merge_passes_out) ++*merge_passes_out;
+      }
+      std::uint64_t expect = 0;
+      for (const Lane& lane : lanes_) expect += lane.counts[d];
+      out.reserve(static_cast<std::size_t>(expect));
+      drain_merge(sources, less, [&](Row row) { out.push_back(std::move(row)); });
+    }
+    return out;
+  }
+
+  /// Spilled rows per bucket + resident rows per bucket (ShuffleRecord).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_record_counts() const {
+    std::vector<std::uint64_t> counts(buckets_, 0);
+    for (const Lane& lane : lanes_) {
+      for (std::size_t d = 0; d < buckets_; ++d) counts[d] += lane.counts[d];
+    }
+    return counts;
+  }
+
+  [[nodiscard]] std::uint64_t spilled_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_) {
+      for (const RunMeta& run : lane.runs) total += run.length;
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t spill_file_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.writer != nullptr;
+    return n;
+  }
+  /// Largest resident-byte high-water mark any lane reached (the
+  /// bucket-byte accounting the budget test asserts against).
+  [[nodiscard]] std::size_t peak_lane_bytes() const noexcept {
+    std::size_t peak = 0;
+    for (const Lane& lane : lanes_) peak = std::max(peak, lane.peak_bytes);
+    return peak;
+  }
+  [[nodiscard]] std::size_t lane_budget_bytes() const noexcept {
+    return lane_budget_;
+  }
+  [[nodiscard]] bool spilled() const noexcept {
+    for (const Lane& lane : lanes_) {
+      if (!lane.runs.empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::vector<Row>> cells;   // [bucket] resident rows
+    std::vector<std::uint64_t> counts;     // [bucket] total rows routed
+    std::size_t bytes = 0;                 // resident approx bytes
+    std::size_t peak_bytes = 0;
+    std::unique_ptr<RunWriter<Row>> writer;
+    std::vector<RunMeta> runs;             // flush order
+  };
+
+  /// One merge input: a run cursor or an in-memory sorted vector. `owner`
+  /// keeps intermediate-merge files alive while their cursor drains.
+  struct Source {
+    std::unique_ptr<RunCursor<Row>> cursor;
+    std::shared_ptr<RunWriter<Row>> owner;
+    std::vector<Row> mem;
+    std::size_t mem_pos = 0;
+    Row head{};
+    bool has = false;
+
+    bool advance() {
+      if (cursor) {
+        has = cursor->next(head);
+      } else if (mem_pos < mem.size()) {
+        head = std::move(mem[mem_pos++]);
+        has = true;
+      } else {
+        has = false;
+      }
+      return has;
+    }
+  };
+
+  void spill_lane(Lane& lane) {
+    if constexpr (is_spillable_v<Row>) {
+      if (!lane.writer) lane.writer = std::make_unique<RunWriter<Row>>(*mgr_);
+      for (std::size_t d = 0; d < buckets_; ++d) {
+        auto& cell = lane.cells[d];
+        if (cell.empty()) continue;
+        if (presort_) std::stable_sort(cell.begin(), cell.end(), presort_);
+        lane.writer->begin_run(d);
+        for (const Row& row : cell) lane.writer->add(row);
+        lane.runs.push_back(lane.writer->end_run());
+        cell.clear();
+        cell.shrink_to_fit();
+      }
+      lane.bytes = 0;
+    }
+  }
+
+  template <typename Fn>
+  void replay_lane_bucket(const Lane& lane, std::size_t d, Fn&& fn) const {
+    if constexpr (is_spillable_v<Row>) {
+      for (const RunMeta& run : lane.runs) {
+        if (run.bucket != d || run.rows == 0) continue;
+        RunCursor<Row> cursor(lane.writer->path(), run);
+        Row row;
+        while (cursor.next(row)) fn(std::move(row));
+      }
+    }
+    for (const Row& row : lane.cells[d]) fn(Row(row));
+  }
+
+  [[nodiscard]] bool bucket_has_runs(std::size_t d) const noexcept {
+    for (const Lane& lane : lanes_) {
+      for (const RunMeta& run : lane.runs) {
+        if (run.bucket == d && run.rows > 0) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Stable k-way merge: among equal heads, the earliest source wins —
+  /// sources are enumerated in concatenation order, so this reproduces
+  /// stable_sort of the concatenated sequence.
+  template <typename LessFn, typename Emit>
+  static void drain_merge(std::vector<Source>& sources, LessFn less,
+                          Emit&& emit) {
+    std::vector<std::size_t> heap;  // manual heap of source indices
+    heap.reserve(sources.size());
+    auto before = [&](std::size_t a, std::size_t b) {
+      const Row& ra = sources[a].head;
+      const Row& rb = sources[b].head;
+      if (less(ra, rb)) return true;
+      if (less(rb, ra)) return false;
+      return a < b;
+    };
+    auto heap_cmp = [&](std::size_t a, std::size_t b) { return before(b, a); };
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i].advance()) heap.push_back(i);
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_cmp);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      const std::size_t i = heap.back();
+      emit(std::move(sources[i].head));
+      if (sources[i].advance()) {
+        std::push_heap(heap.begin(), heap.end(), heap_cmp);
+      } else {
+        heap.pop_back();
+      }
+    }
+  }
+
+  SpillManager* mgr_;
+  std::size_t buckets_;
+  Less presort_;
+  std::vector<Lane> lanes_;
+  std::size_t lane_budget_ = 0;  // 0 = spilling disabled
+};
+
+}  // namespace hpcla::sparklite::spill

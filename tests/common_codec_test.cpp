@@ -1,0 +1,122 @@
+// Tests for the shared varint/zigzag helpers and the LZ4-style block codec
+// (src/common/block_codec.hpp) that the spill tier and columnar extents
+// both ride on.
+#include "common/block_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+
+namespace hpcla::codec {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 0xffffffffULL,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : cases) {
+    std::string buf;
+    put_varint(buf, v);
+    std::uint64_t got = 0;
+    const char* p = get_varint(buf.data(), buf.data() + buf.size(), got);
+    ASSERT_NE(p, nullptr) << v;
+    EXPECT_EQ(p, buf.data() + buf.size());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Varint, RejectsTruncatedInput) {
+  std::string buf;
+  put_varint(buf, 1u << 20);
+  std::uint64_t got = 0;
+  EXPECT_EQ(get_varint(buf.data(), buf.data() + buf.size() - 1, got), nullptr);
+  EXPECT_EQ(get_varint(buf.data(), buf.data(), got), nullptr);
+}
+
+TEST(Zigzag, RoundTripsSignedRange) {
+  const std::int64_t cases[] = {0, -1, 1, -2, 63, -64,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : cases) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+  // Small magnitudes map to small codes (the property delta coding needs).
+  EXPECT_LT(zigzag_encode(-3), 8u);
+}
+
+std::string roundtrip(const std::string& in) {
+  const std::string packed = block_compress(in);
+  std::string out;
+  EXPECT_TRUE(block_decompress(packed, in.size(), out)) << in.size();
+  return out;
+}
+
+TEST(BlockCodec, RoundTripsEmptyAndTiny) {
+  EXPECT_EQ(roundtrip(""), "");
+  EXPECT_EQ(roundtrip("a"), "a");
+  EXPECT_EQ(roundtrip("abc"), "abc");
+}
+
+TEST(BlockCodec, CompressesRepetitiveData) {
+  std::string in;
+  for (int i = 0; i < 2000; ++i) in += "machine check exception cpu0 ";
+  const std::string packed = block_compress(in);
+  EXPECT_LT(packed.size(), in.size() / 4) << "repetitive logs should shrink";
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(BlockCodec, RoundTripsIncompressibleData) {
+  std::mt19937_64 rng(42);
+  std::string in;
+  in.reserve(64 * 1024);
+  for (int i = 0; i < 64 * 1024; ++i) {
+    in.push_back(static_cast<char>(rng() & 0xff));
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(BlockCodec, RoundTripsOverlappingMatches) {
+  // Runs of one byte force maximally overlapping matches (offset 1).
+  std::string in(10000, 'x');
+  in += "tail";
+  in += std::string(500, 'y');
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(BlockCodec, RoundTripsMixedContent) {
+  std::mt19937_64 rng(7);
+  std::string in;
+  for (int block = 0; block < 50; ++block) {
+    if (block % 2 == 0) {
+      in.append(200, static_cast<char>('a' + block % 26));
+    } else {
+      for (int i = 0; i < 200; ++i) {
+        in.push_back(static_cast<char>(rng() & 0xff));
+      }
+    }
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(BlockCodec, DetectsCorruptStreams) {
+  std::string in;
+  for (int i = 0; i < 500; ++i) in += "abcdefgh";
+  std::string packed = block_compress(in);
+  std::string out;
+  // Wrong raw size.
+  EXPECT_FALSE(block_decompress(packed, in.size() + 1, out));
+  // Truncated stream.
+  EXPECT_FALSE(block_decompress(
+      std::string_view(packed.data(), packed.size() / 2), in.size(), out));
+}
+
+}  // namespace
+}  // namespace hpcla::codec

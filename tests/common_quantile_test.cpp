@@ -1,0 +1,146 @@
+// Tests for the GK quantile sketch (src/common/quantile_sketch.hpp):
+// epsilon rank-error bounds on several input shapes, merge correctness,
+// and the bounded-memory property that motivated it.
+#include "common/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace hpcla {
+namespace {
+
+/// Exact rank of `v` in sorted `data` (number of elements <= v).
+std::size_t rank_of(const std::vector<double>& sorted_data, double v) {
+  return static_cast<std::size_t>(
+      std::upper_bound(sorted_data.begin(), sorted_data.end(), v) -
+      sorted_data.begin());
+}
+
+/// Asserts every queried quantile lands within epsilon*n of its true rank.
+void expect_within_epsilon(const QuantileSketch& sketch,
+                           std::vector<double> data, double epsilon) {
+  std::sort(data.begin(), data.end());
+  const double n = static_cast<double>(data.size());
+  for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double got = sketch.quantile(q);
+    const double target = 1.0 + q * (n - 1.0);
+    const auto r = static_cast<double>(rank_of(data, got));
+    // The returned value's rank interval must overlap [target - eps*n,
+    // target + eps*n]; with duplicates the element's rank range is wide,
+    // so check the lower edge too.
+    const double lo = static_cast<double>(
+        std::lower_bound(data.begin(), data.end(), got) - data.begin() + 1);
+    EXPECT_LE(lo - epsilon * n, target + 1e-9) << "q=" << q << " got=" << got;
+    EXPECT_GE(r + epsilon * n, target - 1e-9) << "q=" << q << " got=" << got;
+  }
+}
+
+TEST(QuantileSketch, ExactOnTinyInputs) {
+  QuantileSketch s(0.01);
+  EXPECT_EQ(s.count(), 0u);
+  s.add(42.0);
+  EXPECT_EQ(s.quantile(0.0), 42.0);
+  EXPECT_EQ(s.quantile(0.5), 42.0);
+  EXPECT_EQ(s.quantile(1.0), 42.0);
+  s.add(7.0);
+  EXPECT_EQ(s.quantile(0.0), 7.0);
+  EXPECT_EQ(s.quantile(1.0), 42.0);
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(QuantileSketch, UniformRandomWithinEpsilon) {
+  const double eps = 0.01;
+  QuantileSketch s(eps);
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(0.0, 1000.0);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = dist(rng);
+    data.push_back(v);
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), data.size());
+  expect_within_epsilon(s, data, eps);
+}
+
+TEST(QuantileSketch, SortedAndReversedStreams) {
+  for (const bool reversed : {false, true}) {
+    const double eps = 0.02;
+    QuantileSketch s(eps);
+    std::vector<double> data;
+    for (int i = 0; i < 20000; ++i) {
+      const double v =
+          reversed ? static_cast<double>(20000 - i) : static_cast<double>(i);
+      data.push_back(v);
+      s.add(v);
+    }
+    expect_within_epsilon(s, data, eps);
+  }
+}
+
+TEST(QuantileSketch, HeavyDuplicates) {
+  const double eps = 0.01;
+  QuantileSketch s(eps);
+  std::vector<double> data;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 30000; ++i) {
+    // 90% of mass on three values, like coalesced burst counts.
+    const double v = (rng() % 10 < 9) ? static_cast<double>(rng() % 3)
+                                      : static_cast<double>(rng() % 1000);
+    data.push_back(v);
+    s.add(v);
+  }
+  expect_within_epsilon(s, data, eps);
+}
+
+TEST(QuantileSketch, BoundedMemory) {
+  const double eps = 0.01;
+  QuantileSketch s(eps);
+  for (int i = 0; i < 200000; ++i) {
+    s.add(static_cast<double>((i * 2654435761u) % 100000));
+  }
+  (void)s.quantile(0.5);
+  // GK keeps O(1/eps * log(eps n)) tuples; 200k inserts at eps=0.01 must
+  // not come anywhere near buffering the input.
+  EXPECT_LT(s.tuple_count(), 4000u) << "sketch is buffering, not sketching";
+}
+
+TEST(QuantileSketch, MergePreservesBounds) {
+  const double eps = 0.02;
+  QuantileSketch a(eps), b(eps), c(eps);
+  std::vector<double> data;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>(rng() % 5000);
+    data.push_back(v);
+    if (i % 3 == 0) {
+      a.add(v);
+    } else if (i % 3 == 1) {
+      b.add(v);
+    } else {
+      c.add(v);
+    }
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.count(), data.size());
+  // Merged sketches lose some precision; allow the standard 2*eps bound.
+  expect_within_epsilon(a, data, 2 * eps);
+}
+
+TEST(QuantileSketch, MergeWithEmpty) {
+  QuantileSketch a(0.01), empty(0.01);
+  for (int i = 0; i < 100; ++i) a.add(static_cast<double>(i));
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 100u);
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 99.0);
+}
+
+}  // namespace
+}  // namespace hpcla

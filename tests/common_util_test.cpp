@@ -259,6 +259,27 @@ TEST(StatsTest, Percentiles) {
   EXPECT_DOUBLE_EQ(none.percentile(0.5), 0.0);
 }
 
+TEST(StatsTest, RepeatedPercentileQueriesDoNotRescan) {
+  PercentileTracker p;
+  for (int i = 0; i < 1000; ++i) p.add(i);
+  EXPECT_EQ(p.sort_passes(), 0u);
+  (void)p.percentile(0.5);
+  (void)p.percentile(0.9);
+  (void)p.percentile(0.99);
+  EXPECT_EQ(p.sort_passes(), 1u) << "queries on unchanged data must reuse "
+                                    "the sorted buffer";
+  // New samples invalidate the sorted state exactly once...
+  p.add(-1.0);
+  p.add(2000.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 2000.0);
+  EXPECT_EQ(p.sort_passes(), 2u);
+  // ...and interleaved add/query keeps answers correct (the historical bug:
+  // add() left the stale sorted flag set, so later queries read garbage).
+  (void)p.percentile(0.5);
+  EXPECT_EQ(p.sort_passes(), 2u);
+}
+
 TEST(StatsTest, HistogramBinning) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.0);

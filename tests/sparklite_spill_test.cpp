@@ -1,0 +1,291 @@
+// Spill-tier tests (DESIGN.md §13.1): wide operations with spilling forced
+// via a tiny byte budget must produce results *identical* to the pure
+// in-memory path — same values, same order — while actually streaming
+// through compressed on-disk runs (bytes_spilled > 0, residency bounded by
+// the lane budget). Also covers the RunWriter/RunCursor layer directly,
+// the external merge (fan-in folding), env-var budget inheritance, and
+// non-spillable element types degrading gracefully to in-RAM shuffles.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sparklite/dataset.hpp"
+#include "sparklite/engine.hpp"
+#include "sparklite/spill.hpp"
+
+namespace hpcla::sparklite {
+namespace {
+
+using KV = std::pair<std::string, std::int64_t>;
+
+Engine::Options opts(std::size_t workers, std::size_t spill_budget) {
+  Engine::Options o;
+  o.workers = workers;
+  o.shuffle_spill_bytes = spill_budget;  // 0 = force in-memory
+  return o;
+}
+
+std::vector<KV> keyed_input(std::size_t n) {
+  std::vector<KV> data;
+  data.reserve(n);
+  std::uint64_t x = 88172645463325252ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    data.emplace_back("key-" + std::to_string(x % 97),
+                      static_cast<std::int64_t>(i % 11));
+  }
+  return data;
+}
+
+TEST(SpillShuffle, ReduceByKeyIdenticalWithSpillForced) {
+  const auto data = keyed_input(6000);
+  std::vector<KV> in_memory;
+  {
+    Engine e(opts(4, 0));
+    auto ds = Dataset<KV>::parallelize(e, data, 4);
+    in_memory = reduce_by_key(ds, [](std::int64_t a, std::int64_t b) {
+                  return a + b;
+                }).collect();
+    EXPECT_EQ(e.metrics().bytes_spilled, 0u);
+  }
+  {
+    Engine e(opts(4, 4096));
+    auto ds = Dataset<KV>::parallelize(e, data, 4);
+    auto spilled = reduce_by_key(ds, [](std::int64_t a, std::int64_t b) {
+                     return a + b;
+                   }).collect();
+    EXPECT_EQ(spilled, in_memory) << "spill path changed reduce output";
+    const auto m = e.metrics();
+    EXPECT_GT(m.bytes_spilled, 0u) << "budget was not small enough to spill";
+    EXPECT_GT(m.spill_files, 0u);
+  }
+}
+
+TEST(SpillShuffle, SortByIdenticalWithSpillForced) {
+  // Many duplicate keys: byte-identity requires the merge to preserve
+  // stable_sort's tie order, not just sortedness.
+  std::vector<std::pair<std::int32_t, std::int32_t>> data;
+  std::uint64_t x = 1234567;
+  for (std::int32_t i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    data.emplace_back(static_cast<std::int32_t>(x % 50), i);
+  }
+  std::vector<std::pair<std::int32_t, std::int32_t>> in_memory;
+  {
+    Engine e(opts(4, 0));
+    auto ds = Dataset<std::pair<std::int32_t, std::int32_t>>::parallelize(
+        e, data, 6);
+    in_memory = sort_by(ds, [](const auto& v) { return v.first; }, 4).collect();
+  }
+  {
+    Engine e(opts(4, 8192));
+    auto ds = Dataset<std::pair<std::int32_t, std::int32_t>>::parallelize(
+        e, data, 6);
+    auto spilled =
+        sort_by(ds, [](const auto& v) { return v.first; }, 4).collect();
+    EXPECT_EQ(spilled, in_memory) << "external sort broke stable tie order";
+    EXPECT_GT(e.metrics().bytes_spilled, 0u);
+  }
+}
+
+TEST(SpillShuffle, ExternalMergePassesWithTinyFanIn) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> data;
+  for (std::int32_t i = 0; i < 30000; ++i) {
+    data.emplace_back((i * 7919) % 113, i);
+  }
+  std::vector<std::pair<std::int32_t, std::int32_t>> in_memory;
+  {
+    Engine e(opts(2, 0));
+    auto ds = Dataset<std::pair<std::int32_t, std::int32_t>>::parallelize(
+        e, data, 8);
+    in_memory = sort_by(ds, [](const auto& v) { return v.first; }, 2).collect();
+  }
+  Engine::Options o = opts(2, 4096);
+  o.spill_merge_fan_in = 2;  // force multi-pass external merges
+  Engine e(o);
+  auto ds =
+      Dataset<std::pair<std::int32_t, std::int32_t>>::parallelize(e, data, 8);
+  auto spilled =
+      sort_by(ds, [](const auto& v) { return v.first; }, 2).collect();
+  EXPECT_EQ(spilled, in_memory);
+  const auto m = e.metrics();
+  EXPECT_GT(m.merge_passes, 0u)
+      << "fan-in 2 over 8 spilling lanes must need intermediate merges";
+}
+
+TEST(SpillShuffle, GroupByKeyAndJoinIdenticalWithSpillForced) {
+  const auto data = keyed_input(3000);
+  std::vector<std::pair<std::string, std::string>> right;
+  for (int i = 0; i < 97; ++i) {
+    right.emplace_back("key-" + std::to_string(i), "r" + std::to_string(i));
+  }
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> grouped_mem;
+  std::vector<std::pair<std::string, std::pair<std::int64_t, std::string>>>
+      joined_mem;
+  {
+    Engine e(opts(4, 0));
+    auto ds = Dataset<KV>::parallelize(e, data, 4);
+    grouped_mem = group_by_key(ds).collect();
+    auto rds = Dataset<std::pair<std::string, std::string>>::parallelize(
+        e, right, 3);
+    joined_mem = join(ds, rds).collect();
+  }
+  {
+    Engine e(opts(4, 4096));
+    auto ds = Dataset<KV>::parallelize(e, data, 4);
+    EXPECT_EQ(group_by_key(ds).collect(), grouped_mem);
+    auto rds = Dataset<std::pair<std::string, std::string>>::parallelize(
+        e, right, 3);
+    EXPECT_EQ(join(ds, rds).collect(), joined_mem);
+    EXPECT_GT(e.metrics().bytes_spilled, 0u);
+  }
+}
+
+TEST(SpillShuffle, ResidencyBoundedByLaneBudget) {
+  spill::SpillManager mgr(std::size_t{16 * 1024}, "", 16);
+  spill::ScatterSink<std::pair<std::int64_t, std::int64_t>> sink(mgr, 2, 4);
+  for (std::int64_t i = 0; i < 50000; ++i) {
+    sink.emit(static_cast<std::size_t>(i % 2),
+              static_cast<std::size_t>(i % 4), {i % 33, i});
+  }
+  EXPECT_TRUE(sink.spilled());
+  EXPECT_GT(sink.spilled_bytes(), 0u);
+  ASSERT_GT(sink.lane_budget_bytes(), 0u);
+  // The high-water mark may overshoot by at most one row's accounting.
+  EXPECT_LE(sink.peak_lane_bytes(), sink.lane_budget_bytes() + 64)
+      << "lane kept accumulating past its budget";
+  // Replay preserves counts.
+  std::uint64_t replayed = 0;
+  for (std::size_t d = 0; d < 4; ++d) {
+    sink.for_each_row(d, [&](std::pair<std::int64_t, std::int64_t>) {
+      ++replayed;
+    });
+  }
+  EXPECT_EQ(replayed, 50000u);
+}
+
+TEST(SpillShuffle, RunFileRoundTripAndConcurrentCursors) {
+  spill::SpillManager mgr(std::size_t{1}, "", 16);
+  spill::RunWriter<KV> writer(mgr);
+  std::vector<KV> rows;
+  writer.begin_run(3);
+  for (int i = 0; i < 10000; ++i) {
+    rows.emplace_back("row-" + std::to_string(i % 100),
+                      static_cast<std::int64_t>(i));
+    writer.add(rows.back());
+  }
+  const auto meta = writer.end_run();
+  EXPECT_EQ(meta.rows, 10000u);
+  EXPECT_EQ(meta.bucket, 3u);
+  EXPECT_GT(meta.length, 0u);
+  // Two cursors stream the same run independently.
+  spill::RunCursor<KV> a(writer.path(), meta);
+  spill::RunCursor<KV> b(writer.path(), meta);
+  KV va, vb;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(a.next(va));
+    ASSERT_TRUE(b.next(vb));
+    EXPECT_EQ(va, rows[i]);
+    EXPECT_EQ(vb, rows[i]);
+  }
+  EXPECT_FALSE(a.next(va));
+  EXPECT_FALSE(b.next(vb));
+}
+
+TEST(SpillShuffle, SpillFilesRemovedWithEngine) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "hpcla-spill-test-dir";
+  fs::create_directories(dir);
+  {
+    Engine::Options o = opts(2, 2048);
+    o.spill_dir = dir.string();
+    Engine e(o);
+    auto ds = Dataset<KV>::parallelize(e, keyed_input(4000), 4);
+    (void)reduce_by_key(ds, [](std::int64_t a, std::int64_t b) {
+      return a + b;
+    }).collect();
+    EXPECT_GT(e.metrics().bytes_spilled, 0u);
+  }
+  // The engine's per-process spill subdirectory is gone with the engine.
+  std::size_t leftovers = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++leftovers;
+  }
+  EXPECT_EQ(leftovers, 0u) << "spill dir not cleaned up";
+  fs::remove_all(dir);
+}
+
+TEST(SpillShuffle, EnvBudgetInheritedAndExplicitZeroOverrides) {
+  const char* prior = ::getenv("HPCLA_SPILL_BUDGET_BYTES");
+  const std::string saved = prior ? prior : "";
+  ::setenv("HPCLA_SPILL_BUDGET_BYTES", "4096", 1);
+  {
+    Engine::Options o;
+    o.workers = 2;  // budget unset -> inherit env
+    Engine e(o);
+    auto ds = Dataset<KV>::parallelize(e, keyed_input(4000), 4);
+    (void)reduce_by_key(ds, [](std::int64_t a, std::int64_t b) {
+      return a + b;
+    }).collect();
+    EXPECT_GT(e.metrics().bytes_spilled, 0u) << "env budget ignored";
+  }
+  {
+    Engine e(opts(2, 0));  // explicit 0 must beat the env
+    auto ds = Dataset<KV>::parallelize(e, keyed_input(4000), 4);
+    (void)reduce_by_key(ds, [](std::int64_t a, std::int64_t b) {
+      return a + b;
+    }).collect();
+    EXPECT_EQ(e.metrics().bytes_spilled, 0u) << "explicit 0 did not pin RAM";
+  }
+  if (prior) {
+    ::setenv("HPCLA_SPILL_BUDGET_BYTES", saved.c_str(), 1);
+  } else {
+    ::unsetenv("HPCLA_SPILL_BUDGET_BYTES");
+  }
+}
+
+/// No Codec specialization: must compile and silently never spill.
+struct Opaque {
+  std::int64_t v = 0;
+  friend bool operator==(const Opaque&, const Opaque&) = default;
+};
+
+TEST(SpillShuffle, NonSpillableTypeStaysInMemory) {
+  static_assert(!spill::is_spillable_v<Opaque>);
+  std::vector<Opaque> data;
+  for (std::int64_t i = 0; i < 2000; ++i) data.push_back({(i * 31) % 257});
+  Engine e(opts(2, 1024));  // tiny budget, but nothing can spill
+  auto ds = Dataset<Opaque>::parallelize(e, data, 4);
+  auto sorted = sort_by(ds, [](const Opaque& o) { return o.v; }, 3).collect();
+  ASSERT_EQ(sorted.size(), data.size());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].v, sorted[i].v);
+  }
+  EXPECT_EQ(e.metrics().bytes_spilled, 0u);
+}
+
+TEST(SpillShuffle, ShuffleRecordCarriesSpillMetrics) {
+  Engine e(opts(2, 4096));
+  auto ds = Dataset<KV>::parallelize(e, keyed_input(5000), 4);
+  (void)reduce_by_key(ds, [](std::int64_t a, std::int64_t b) {
+    return a + b;
+  }).collect();
+  const auto history = e.shuffle_history();
+  ASSERT_FALSE(history.empty());
+  const auto& rec = *history.back();
+  EXPECT_GT(rec.bytes_spilled, 0u);
+  EXPECT_GT(rec.spill_files, 0u);
+}
+
+}  // namespace
+}  // namespace hpcla::sparklite
