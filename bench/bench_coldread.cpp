@@ -1,0 +1,251 @@
+// Cold-read bench for the out-of-core cassalite tier (DESIGN.md §14): how
+// much RAM does a narrow sliced read of a file-backed table cost compared
+// to decoding the whole partition, and how much does the block cache give
+// back on a warm re-read?
+//
+// Each phase runs in a forked child so wait4()'s ru_maxrss is that phase's
+// own peak residency, not the max over everything the process did before:
+//
+//   build  writes the dataset into an extent-file directory and exits;
+//   cold   reopens from disk and reads one ~1k-row slice (group pruning
+//          must fetch+decode only the intersecting blocks), then re-reads
+//          it to measure the warm block-cache hit rate;
+//   full   reopens from disk and decodes the entire partition, filtering
+//          the same slice out of the full decode.
+//
+// Acceptance (reported under "coldread" in the JSON summary and rendered
+// by check_trend.py): cold peak RSS <= 1/4 of the full-decode peak, the
+// sliced rows byte-identical (rows_digest) between the two paths, and the
+// warm re-read >= 90% block-cache hits.
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cassalite/storage_engine.hpp"
+#include "common/block_cache.hpp"
+#include "common/clock.hpp"
+#include "common/scratch.hpp"
+
+namespace hpcla::bench {
+namespace {
+
+constexpr const char* kTable = "events";
+constexpr const char* kPartition = "pk-0";
+
+std::int64_t g_rows = 350000;  // --rows overrides (CI smoke uses fewer)
+
+std::int64_t slice_lo() { return g_rows / 2; }
+std::int64_t slice_hi() { return g_rows / 2 + 1024; }
+
+cassalite::StorageOptions bench_options(const std::string& dir) {
+  cassalite::StorageOptions opts;
+  opts.extent_files = true;
+  opts.data_dir = dir;
+  // One big flush, no compaction: the bench measures the read path.
+  opts.memtable_flush_bytes = 1u << 30;
+  opts.compaction_threshold = 1u << 20;
+  opts.extent_rows_per_group = 1024;
+  return opts;
+}
+
+cassalite::Row bench_row(std::int64_t i) {
+  cassalite::Row r;
+  r.key = cassalite::ClusteringKey::of({cassalite::Value(i)});
+  r.write_ts = 1000 + i;
+  r.set("node", cassalite::Value(i % 19200));
+  r.set("msg", cassalite::Value(
+                   "machine check L2 cache parity error on processor socket "
+                   "module, corrected by hardware scrubber pass #" +
+                   std::to_string(i % 997)));
+  return r;
+}
+
+void build_phase(const std::string& dir) {
+  cassalite::StorageEngine eng(bench_options(dir));
+  for (std::int64_t i = 0; i < g_rows; ++i) {
+    eng.apply(cassalite::WriteCommand{kTable, kPartition, bench_row(i)});
+  }
+  eng.flush_all();
+  HPCLA_CHECK(eng.metrics().extent_files_written > 0);
+}
+
+cassalite::ReadQuery slice_query() {
+  cassalite::ReadQuery q;
+  q.table = kTable;
+  q.partition_key = kPartition;
+  q.slice.lower = cassalite::ClusteringKey::of({cassalite::Value(slice_lo())});
+  q.slice.upper = cassalite::ClusteringKey::of({cassalite::Value(slice_hi())});
+  return q;
+}
+
+/// Cold + warm sliced reads; result fields: digest, sliced row count,
+/// cold/warm latency, warm hit rate.
+Json cold_phase(const std::string& dir) {
+  cassalite::StorageOptions opts = bench_options(dir);
+  opts.block_cache_bytes = 64u << 20;
+  cassalite::StorageEngine eng(opts);
+  (void)eng.reopen_from_disk();
+
+  const auto q = slice_query();
+  Stopwatch cold_watch;
+  const auto first = eng.read(q);
+  const double cold_s = cold_watch.elapsed_seconds();
+  HPCLA_CHECK(!first.rows.empty());
+
+  // Warm passes: every block the slice touches is now cache-resident.
+  const auto stats_before = BlockCache::instance().stats();
+  constexpr int kWarmReps = 20;
+  Stopwatch warm_watch;
+  for (int rep = 0; rep < kWarmReps; ++rep) {
+    const auto again = eng.read(q);
+    HPCLA_CHECK(again.rows.size() == first.rows.size());
+  }
+  const double warm_s = warm_watch.elapsed_seconds();
+  const auto stats_after = BlockCache::instance().stats();
+  const double hits =
+      static_cast<double>(stats_after.hits - stats_before.hits);
+  const double misses =
+      static_cast<double>(stats_after.misses - stats_before.misses);
+
+  Json out = Json::object();
+  out["digest"] = static_cast<std::int64_t>(cassalite::rows_digest(first.rows));
+  out["rows"] = static_cast<std::int64_t>(first.rows.size());
+  out["cold_seconds"] = cold_s;
+  out["warm_ops_per_sec"] = warm_s > 0 ? kWarmReps / warm_s : 0.0;
+  out["warm_hit_rate"] = (hits + misses) > 0 ? hits / (hits + misses) : 0.0;
+  return out;
+}
+
+/// Full-partition decode; digests the same logical slice out of it.
+Json full_phase(const std::string& dir) {
+  cassalite::StorageEngine eng(bench_options(dir));
+  (void)eng.reopen_from_disk();
+
+  cassalite::ReadQuery q;
+  q.table = kTable;
+  q.partition_key = kPartition;
+  Stopwatch watch;
+  const auto all = eng.read(q);
+  const double full_s = watch.elapsed_seconds();
+  HPCLA_CHECK(static_cast<std::int64_t>(all.rows.size()) == g_rows);
+
+  std::vector<cassalite::Row> sliced;
+  for (const auto& r : all.rows) {
+    const std::int64_t k = r.key.parts[0].as_int();
+    if (k >= slice_lo() && k < slice_hi()) sliced.push_back(r);
+  }
+  Json out = Json::object();
+  out["digest"] =
+      static_cast<std::int64_t>(cassalite::rows_digest(sliced));
+  out["rows"] = static_cast<std::int64_t>(sliced.size());
+  out["full_seconds"] = full_s;
+  return out;
+}
+
+/// Runs `phase` in a forked child (its own peak RSS), reading the child's
+/// JSON result back through a scratch file. Returns the child's result
+/// with "peak_rss_bytes" added.
+Json run_forked(const std::function<Json(void)>& phase,
+                const std::string& result_path) {
+  const pid_t pid = fork();
+  HPCLA_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    Json result = phase();
+    std::ofstream out(result_path);
+    out << result.dump() << "\n";
+    out.close();
+    _exit(out ? 0 : 1);
+  }
+  int status = 0;
+  struct rusage ru {};
+  HPCLA_CHECK_MSG(wait4(pid, &status, 0, &ru) == pid, "wait4 failed");
+  HPCLA_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                  "bench phase child failed");
+  std::ifstream in(result_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::parse(buf.str());
+  HPCLA_CHECK_MSG(parsed.is_ok(), "bench phase child wrote invalid JSON");
+  Json result = std::move(parsed.value());
+  result["peak_rss_bytes"] =
+      static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+  return result;
+}
+
+int run(int argc, char** argv) {
+  const std::string path = consume_json_flag(argc, argv);
+  g_rows = consume_long_flag(argc, argv, "rows", g_rows);
+  BenchJsonWriter writer("coldread", path);
+
+  const std::string dir = scratch::make_subdir("hpcla-coldread-bench");
+  const std::string result_path = dir + "/phase-result.json";
+
+  (void)run_forked([&] { build_phase(dir); return Json::object(); },
+                   result_path);
+  const Json cold = run_forked([&] { return cold_phase(dir); }, result_path);
+  const Json full = run_forked([&] { return full_phase(dir); }, result_path);
+  scratch::remove_all(dir);
+
+  const double cold_rss = cold["peak_rss_bytes"].as_double();
+  const double full_rss = full["peak_rss_bytes"].as_double();
+  const double ratio = full_rss > 0 ? cold_rss / full_rss : 0.0;
+  const bool identical = cold["digest"].as_int() == full["digest"].as_int() &&
+                         cold["rows"].as_int() == full["rows"].as_int();
+  const double hit_rate = cold["warm_hit_rate"].as_double();
+  const double cold_s = cold["cold_seconds"].as_double();
+  const double full_s = full["full_seconds"].as_double();
+
+  BenchResultRow cold_row;
+  cold_row.name = "coldread/cold_sliced_read";
+  cold_row.ops_per_sec = cold_s > 0 ? 1.0 / cold_s : 0.0;
+  cold_row.p50_us = cold_s * 1e6;
+  cold_row.p99_us = cold_s * 1e6;
+  writer.add(cold_row);
+
+  BenchResultRow warm_row;
+  warm_row.name = "coldread/warm_cached_read";
+  warm_row.ops_per_sec = cold["warm_ops_per_sec"].as_double();
+  writer.add(warm_row);
+
+  BenchResultRow full_row;
+  full_row.name = "coldread/full_decode";
+  full_row.ops_per_sec = full_s > 0 ? 1.0 / full_s : 0.0;
+  full_row.p50_us = full_s * 1e6;
+  full_row.p99_us = full_s * 1e6;
+  writer.add(full_row);
+
+  Json probe = Json::object();
+  probe["rows"] = g_rows;
+  probe["cold_peak_rss_bytes"] = cold_rss;
+  probe["full_peak_rss_bytes"] = full_rss;
+  probe["rss_ratio"] = ratio;
+  probe["warm_hit_rate"] = hit_rate;
+  probe["identical"] = identical;
+  writer.root_extra()["coldread"] = std::move(probe);
+  writer.write();
+
+  std::printf(
+      "cold sliced read: %.1f ms, peak RSS %.1f MiB\n"
+      "full decode:      %.1f ms, peak RSS %.1f MiB  (cold/full RSS ratio "
+      "%.2f)\n"
+      "warm re-read:     %.0f reads/s, block-cache hit rate %.1f%%\n"
+      "sliced rows byte-identical across paths: %s\n",
+      cold_s * 1e3, cold_rss / (1 << 20), full_s * 1e3, full_rss / (1 << 20),
+      ratio, cold["warm_ops_per_sec"].as_double(), hit_rate * 100,
+      identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hpcla::bench
+
+int main(int argc, char** argv) { return hpcla::bench::run(argc, argv); }

@@ -160,6 +160,36 @@ def report_cached_path(path):
     )
 
 
+def report_coldread(path):
+    """Prints bench_coldread's out-of-core acceptance probe: cold sliced
+    read peak RSS <= 1/4 of the full-decode path, byte-identical sliced
+    rows, and >= 90% block-cache hits on the warm re-read."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("coldread")
+    if not isinstance(probe, dict):
+        return
+    ratio = probe.get("rss_ratio")
+    hit_rate = probe.get("warm_hit_rate")
+    identical = probe.get("identical")
+    if not isinstance(ratio, (int, float)):
+        return
+    rss_verdict = "within 1/4 budget" if ratio <= 0.25 else "OVER 1/4 budget"
+    print(
+        f"  coldread RSS: sliced {probe.get('cold_peak_rss_bytes', 0) / (1 << 20):,.1f} MiB "
+        f"vs full decode {probe.get('full_peak_rss_bytes', 0) / (1 << 20):,.1f} MiB "
+        f"= {ratio:,.2f}x ({rss_verdict})"
+    )
+    if isinstance(hit_rate, (int, float)):
+        hit_verdict = "meets 90% floor" if hit_rate >= 0.9 else "UNDER 90% floor"
+        print(f"  coldread warm hit rate: {hit_rate:.1%} ({hit_verdict})")
+    if identical is not None:
+        print(
+            "  coldread sliced rows byte-identical: "
+            + ("yes" if identical else "NO — cold path corrupts reads")
+        )
+
+
 class EnvMismatch(Exception):
     """Raised when a summary and its baseline disagree on environment."""
 
@@ -242,6 +272,7 @@ def main():
         report_cached_path(path)
         report_spill_overhead(path)
         report_extent_compression(path)
+        report_coldread(path)
         if not os.path.exists(baseline):
             print(f"  (no baseline at {baseline} — skipping)")
             continue

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "cassalite/extent_file.hpp"
+#include "common/block_cache.hpp"
 #include "common/block_codec.hpp"
 #include "common/status.hpp"
 
@@ -257,14 +259,26 @@ const char* decode_value_column(const char* p, const char* end, std::size_t n,
   }
 }
 
+std::size_t decoded_rows_bytes(const std::vector<Row>& rows) {
+  std::size_t total = 0;
+  for (const Row& r : rows) total += r.memory_bytes();
+  return total;
+}
+
 }  // namespace
+
+ExtentCacheOwner::ExtentCacheOwner() : id_(BlockCache::new_owner_id()) {}
+
+ExtentCacheOwner::~ExtentCacheOwner() {
+  BlockCache::instance().erase_owner(id_);
+}
 
 ColumnarExtent::Group ColumnarExtent::encode_group(const Row* rows,
                                                    std::size_t n) {
   Group g;
-  g.rows = static_cast<std::uint32_t>(n);
-  g.first = rows[0].key;
-  g.last = rows[n - 1].key;
+  g.meta.rows = static_cast<std::uint32_t>(n);
+  g.meta.first = rows[0].key;
+  g.meta.last = rows[n - 1].key;
 
   std::string body;
   // write_ts column: zigzag deltas (timestamps are near-monotonic).
@@ -316,8 +330,9 @@ ColumnarExtent::Group ColumnarExtent::encode_group(const Row* rows,
     encode_value_column(column, body);
   }
 
-  g.raw_size = static_cast<std::uint32_t>(body.size());
+  g.meta.raw_size = static_cast<std::uint32_t>(body.size());
   g.body = codec::block_compress(body);
+  g.meta.length = static_cast<std::uint32_t>(g.body.size());
   return g;
 }
 
@@ -332,20 +347,67 @@ ColumnarExtent ColumnarExtent::encode(const std::vector<Row>& rows,
     ext.groups_.push_back(encode_group(rows.data() + begin, n));
   }
   for (const Group& g : ext.groups_) {
-    ext.encoded_bytes_ += g.body.size() + g.first.memory_bytes() +
-                          g.last.memory_bytes() + sizeof(Group);
+    ext.encoded_bytes_ += g.body.size() + g.meta.first.memory_bytes() +
+                          g.meta.last.memory_bytes() + sizeof(Group);
+  }
+  if (opts.cache_decoded) {
+    ext.cache_ = std::make_shared<ExtentCacheOwner>();
   }
   return ext;
 }
 
+ColumnarExtent ColumnarExtent::from_file(std::shared_ptr<ExtentFile> file,
+                                         std::vector<ExtentGroupMeta> groups,
+                                         std::uint64_t rows,
+                                         std::uint64_t raw_bytes,
+                                         const ExtentOptions& opts) {
+  ColumnarExtent ext;
+  ext.rows_ = static_cast<std::size_t>(rows);
+  ext.raw_bytes_ = static_cast<std::size_t>(raw_bytes);
+  ext.file_ = std::move(file);
+  ext.groups_.reserve(groups.size());
+  for (auto& meta : groups) {
+    Group g;
+    g.meta = std::move(meta);
+    ext.encoded_bytes_ += g.meta.length + g.meta.first.memory_bytes() +
+                          g.meta.last.memory_bytes() + sizeof(Group);
+    ext.groups_.push_back(std::move(g));
+  }
+  if (opts.cache_decoded) {
+    ext.cache_ = std::make_shared<ExtentCacheOwner>();
+  }
+  return ext;
+}
+
+void ColumnarExtent::persist(
+    const std::function<std::uint64_t(std::string_view)>& append) {
+  for (Group& g : groups_) {
+    g.meta.offset = append(g.body);
+    g.meta.length = static_cast<std::uint32_t>(g.body.size());
+    std::string().swap(g.body);  // the file copy is the only copy now
+  }
+}
+
+std::vector<ExtentGroupMeta> ColumnarExtent::group_metas() const {
+  std::vector<ExtentGroupMeta> out;
+  out.reserve(groups_.size());
+  for (const Group& g : groups_) out.push_back(g.meta);
+  return out;
+}
+
 std::vector<Row> ColumnarExtent::decode_group(const Group& g) const {
   decoded_groups_.fetch_add(1, std::memory_order_relaxed);
+  std::string scratch;
+  std::string_view compressed = g.body;
+  if (file_ != nullptr && g.body.empty()) {
+    compressed = file_->fetch(g.meta.offset, g.meta.length, scratch);
+  }
   std::string body;
-  HPCLA_CHECK_MSG(codec::block_decompress(g.body, g.raw_size, body),
+  HPCLA_CHECK_MSG(codec::block_decompress(compressed, g.meta.raw_size, body),
                   "corrupt extent group");
   const char* p = body.data();
   const char* end = p + body.size();
-  const std::size_t n = g.rows;
+  const std::size_t n = g.meta.rows;
   std::vector<Row> rows(n);
 
   std::int64_t prev_ts = 0;
@@ -419,21 +481,45 @@ std::vector<Row> ColumnarExtent::decode_group(const Group& g) const {
   return rows;
 }
 
+std::shared_ptr<const std::vector<Row>> ColumnarExtent::group_rows(
+    std::size_t index) const {
+  auto& cache = BlockCache::instance();
+  if (cache_ != nullptr) {
+    if (auto hit = cache.lookup(cache_->id(), index)) {
+      return std::static_pointer_cast<const std::vector<Row>>(hit);
+    }
+  }
+  auto rows =
+      std::make_shared<const std::vector<Row>>(decode_group(groups_[index]));
+  if (cache_ != nullptr) {
+    cache.insert(cache_->id(), index, rows, decoded_rows_bytes(*rows));
+  }
+  return rows;
+}
+
 void ColumnarExtent::read(const ClusteringSlice& slice,
                           std::vector<Row>& out) const {
-  for (const Group& g : groups_) {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const Group& g = groups_[i];
     // Prune: the group covers [first, last]; skip when wholly outside.
     if (slice.lower &&
-        g.last.compare(*slice.lower) == std::strong_ordering::less) {
+        g.meta.last.compare(*slice.lower) == std::strong_ordering::less) {
       continue;
     }
     if (slice.upper &&
-        g.first.compare(*slice.upper) != std::strong_ordering::less) {
+        g.meta.first.compare(*slice.upper) != std::strong_ordering::less) {
       // Groups are in ascending order — nothing later can match either.
       break;
     }
-    for (auto& row : decode_group(g)) {
-      if (slice.admits(row.key)) out.push_back(std::move(row));
+    if (cache_ != nullptr) {
+      const auto rows = group_rows(i);
+      for (const Row& row : *rows) {
+        if (slice.admits(row.key)) out.push_back(row);
+      }
+    } else {
+      for (auto& row : decode_group(g)) {
+        if (slice.admits(row.key)) out.push_back(std::move(row));
+      }
     }
   }
 }
@@ -441,8 +527,13 @@ void ColumnarExtent::read(const ClusteringSlice& slice,
 std::vector<Row> ColumnarExtent::decode_all() const {
   std::vector<Row> out;
   out.reserve(rows_);
-  for (const Group& g : groups_) {
-    for (auto& row : decode_group(g)) out.push_back(std::move(row));
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (cache_ != nullptr) {
+      const auto rows = group_rows(i);
+      for (const Row& row : *rows) out.push_back(row);
+    } else {
+      for (auto& row : decode_group(groups_[i])) out.push_back(std::move(row));
+    }
   }
   return out;
 }

@@ -1,0 +1,329 @@
+#include "cassalite/extent_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/block_codec.hpp"
+#include "common/status.hpp"
+
+namespace hpcla::cassalite {
+namespace {
+
+using codec::get_varint;
+using codec::put_varint;
+using codec::zigzag_decode;
+using codec::zigzag_encode;
+
+constexpr char kMagic[] = "HPEXT1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;  // 7
+constexpr std::size_t kTrailerLen = 2 * sizeof(std::uint64_t) + kMagicLen;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[sizeof(v)];
+  for (std::size_t i = 0; i < sizeof(v); ++i) {
+    buf[i] = static_cast<char>(v >> (8 * i));
+  }
+  out.append(buf, sizeof(v));
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(v); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+const char* get_string(const char* p, const char* end, std::string& s) {
+  std::uint64_t len = 0;
+  p = get_varint(p, end, len);
+  if (!p || static_cast<std::uint64_t>(end - p) < len) return nullptr;
+  s.assign(p, static_cast<std::size_t>(len));
+  return p + len;
+}
+
+// Tagged scalar codec for footer clustering keys — the columnar encoder
+// in extent.cpp is for dense value columns; footers hold a handful of
+// boundary keys, so one tag byte per value is the right trade.
+enum ValueTag : std::uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagText = 5,
+};
+
+void put_value(std::string& out, const Value& v) {
+  if (v.is_null()) {
+    out.push_back(static_cast<char>(kTagNull));
+  } else if (v.is_bool()) {
+    out.push_back(static_cast<char>(v.as_bool() ? kTagTrue : kTagFalse));
+  } else if (v.is_int()) {
+    out.push_back(static_cast<char>(kTagInt));
+    put_varint(out, zigzag_encode(v.as_int()));
+  } else if (v.is_double()) {
+    out.push_back(static_cast<char>(kTagDouble));
+    char buf[sizeof(double)];
+    const double d = v.as_double();
+    std::memcpy(buf, &d, sizeof(double));
+    out.append(buf, sizeof(double));
+  } else {
+    out.push_back(static_cast<char>(kTagText));
+    put_string(out, v.as_text());
+  }
+}
+
+const char* get_value(const char* p, const char* end, Value& v) {
+  if (p >= end) return nullptr;
+  const auto tag = static_cast<std::uint8_t>(*p++);
+  switch (tag) {
+    case kTagNull:
+      v = Value();
+      return p;
+    case kTagFalse:
+      v = Value(false);
+      return p;
+    case kTagTrue:
+      v = Value(true);
+      return p;
+    case kTagInt: {
+      std::uint64_t zz = 0;
+      p = get_varint(p, end, zz);
+      if (!p) return nullptr;
+      v = Value(zigzag_decode(zz));
+      return p;
+    }
+    case kTagDouble: {
+      if (static_cast<std::size_t>(end - p) < sizeof(double)) return nullptr;
+      double d = 0;
+      std::memcpy(&d, p, sizeof(double));
+      v = Value(d);
+      return p + sizeof(double);
+    }
+    case kTagText: {
+      std::string s;
+      p = get_string(p, end, s);
+      if (!p) return nullptr;
+      v = Value(std::move(s));
+      return p;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+void put_key(std::string& out, const ClusteringKey& k) {
+  put_varint(out, k.parts.size());
+  for (const Value& v : k.parts) put_value(out, v);
+}
+
+const char* get_key(const char* p, const char* end, ClusteringKey& k) {
+  std::uint64_t parts = 0;
+  p = get_varint(p, end, parts);
+  if (!p) return nullptr;
+  k.parts.resize(static_cast<std::size_t>(parts));
+  for (auto& v : k.parts) {
+    p = get_value(p, end, v);
+    if (!p) return nullptr;
+  }
+  return p;
+}
+
+std::string encode_footer(const ExtentFileFooter& f) {
+  std::string out;
+  put_string(out, f.table);
+  put_varint(out, f.generation);
+  put_varint(out, f.flushed_lsn);
+  put_varint(out, f.partitions.size());
+  for (const auto& part : f.partitions) {
+    put_string(out, part.key);
+    put_varint(out, part.rows);
+    put_varint(out, part.raw_bytes);
+    put_varint(out, part.groups.size());
+    for (const auto& g : part.groups) {
+      put_key(out, g.first);
+      put_key(out, g.last);
+      put_varint(out, g.rows);
+      put_varint(out, g.raw_size);
+      put_varint(out, g.offset);
+      put_varint(out, g.length);
+    }
+  }
+  return out;
+}
+
+bool decode_footer(const char* p, const char* end, ExtentFileFooter& f) {
+  std::uint64_t n = 0;
+  p = get_string(p, end, f.table);
+  if (p) p = get_varint(p, end, f.generation);
+  if (p) p = get_varint(p, end, f.flushed_lsn);
+  if (p) p = get_varint(p, end, n);
+  if (!p) return false;
+  f.partitions.resize(static_cast<std::size_t>(n));
+  for (auto& part : f.partitions) {
+    std::uint64_t groups = 0;
+    p = get_string(p, end, part.key);
+    if (p) p = get_varint(p, end, part.rows);
+    if (p) p = get_varint(p, end, part.raw_bytes);
+    if (p) p = get_varint(p, end, groups);
+    if (!p) return false;
+    part.groups.resize(static_cast<std::size_t>(groups));
+    for (auto& g : part.groups) {
+      std::uint64_t rows = 0, raw = 0, len = 0;
+      p = get_key(p, end, g.first);
+      if (p) p = get_key(p, end, g.last);
+      if (p) p = get_varint(p, end, rows);
+      if (p) p = get_varint(p, end, raw);
+      if (p) p = get_varint(p, end, g.offset);
+      if (p) p = get_varint(p, end, len);
+      if (!p) return false;
+      g.rows = static_cast<std::uint32_t>(rows);
+      g.raw_size = static_cast<std::uint32_t>(raw);
+      g.length = static_cast<std::uint32_t>(len);
+    }
+  }
+  return p == end;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ writer
+
+ExtentFileWriter::ExtentFileWriter(std::string path)
+    : path_(std::move(path)),
+      guard_(path_),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+  HPCLA_CHECK_MSG(out_.good(), "cannot create extent file");
+  out_.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+  offset_ = kMagicLen;
+}
+
+std::uint64_t ExtentFileWriter::append(std::string_view block) {
+  const std::uint64_t at = offset_;
+  out_.write(block.data(), static_cast<std::streamsize>(block.size()));
+  HPCLA_CHECK_MSG(out_.good(), "extent file write failed");
+  offset_ += block.size();
+  return at;
+}
+
+void ExtentFileWriter::finish(const ExtentFileFooter& footer) {
+  const std::string bytes = encode_footer(footer);
+  const std::uint64_t footer_at = offset_;
+  std::string trailer;
+  trailer.reserve(bytes.size() + kTrailerLen);
+  trailer.append(bytes);
+  put_u64(trailer, footer_at);
+  put_u64(trailer, bytes.size());
+  trailer.append(kMagic, kMagicLen);
+  out_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  out_.flush();
+  HPCLA_CHECK_MSG(out_.good(), "extent file footer write failed");
+  out_.close();
+  guard_.release();  // sealed: the file is complete and self-describing
+}
+
+// ------------------------------------------------------------------ reader
+
+std::shared_ptr<ExtentFile> ExtentFile::open(const std::string& path,
+                                             bool use_mmap) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < kMagicLen + kTrailerLen) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+
+  // Trailer first: a file without both magics is not ours (or is a torn
+  // write that escaped the writer guard) — skip it, don't crash the scan.
+  char trailer[kTrailerLen];
+  if (::pread(fd, trailer, kTrailerLen,
+              static_cast<off_t>(size - kTrailerLen)) !=
+      static_cast<ssize_t>(kTrailerLen)) {
+    ::close(fd);
+    return nullptr;
+  }
+  char head[kMagicLen];
+  if (::pread(fd, head, kMagicLen, 0) != static_cast<ssize_t>(kMagicLen) ||
+      std::memcmp(head, kMagic, kMagicLen) != 0 ||
+      std::memcmp(trailer + 2 * sizeof(std::uint64_t), kMagic, kMagicLen) !=
+          0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const std::uint64_t footer_at = get_u64(trailer);
+  const std::uint64_t footer_len = get_u64(trailer + sizeof(std::uint64_t));
+  if (footer_at + footer_len + kTrailerLen != size) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  std::string footer_bytes(static_cast<std::size_t>(footer_len), '\0');
+  if (footer_len > 0 &&
+      ::pread(fd, footer_bytes.data(), footer_bytes.size(),
+              static_cast<off_t>(footer_at)) !=
+          static_cast<ssize_t>(footer_bytes.size())) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto file = std::shared_ptr<ExtentFile>(new ExtentFile());
+  file->path_ = path;
+  file->fd_ = fd;
+  file->size_ = size;
+  if (!decode_footer(footer_bytes.data(),
+                     footer_bytes.data() + footer_bytes.size(),
+                     file->footer_)) {
+    return nullptr;  // dtor closes the fd
+  }
+  if (use_mmap) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (map != MAP_FAILED) file->map_ = static_cast<const char*>(map);
+    // mmap failure is not fatal — fetch() falls back to pread.
+  }
+  return file;
+}
+
+ExtentFile::~ExtentFile() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+  if (remove_on_close_.load(std::memory_order_acquire)) {
+    scratch::remove_file(path_);
+  }
+}
+
+std::string_view ExtentFile::fetch(std::uint64_t offset, std::uint32_t length,
+                                   std::string& scratch) const {
+  HPCLA_CHECK_MSG(offset + length <= size_, "extent block out of bounds");
+  if (map_ != nullptr) {
+    return std::string_view(map_ + offset, length);
+  }
+  scratch.resize(length);
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd_, scratch.data() + done, length - done,
+                              static_cast<off_t>(offset + done));
+    HPCLA_CHECK_MSG(n > 0, "extent block read failed");
+    done += static_cast<std::size_t>(n);
+  }
+  return scratch;
+}
+
+}  // namespace hpcla::cassalite

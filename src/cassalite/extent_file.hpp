@@ -1,0 +1,123 @@
+// On-disk extent files: the persistence tier under cassalite's columnar
+// SSTables (DESIGN.md §14.1).
+//
+// One file holds every partition of one SSTable generation:
+//
+//     "HPEXT1\n"                           header magic
+//     <compressed group blocks...>         appended in write order
+//     <footer>                             index, see below
+//     u64 footer_offset  u64 footer_len    little-endian trailer
+//     "HPEXT1\n"                           trailer magic
+//
+// The footer is the self-describing index: table name, generation, the
+// commit-log LSN the file covers, and per partition the key plus one
+// ExtentGroupMeta per row group — uncompressed first/last clustering keys
+// (slice pruning without touching the block), row count, raw size, and the
+// block's (offset, length) in the file. A reader reconstructs the whole
+// SSTable skeleton from the footer alone; group blocks are fetched lazily
+// by mmap (default) or pread and decoded through the BlockCache.
+//
+// Writers go through ExtentFileWriter, which keeps a scratch::FileGuard
+// armed until finish() — an exception unwinding mid-write removes the
+// partial file instead of leaving a truncated orphan for the next
+// reopen-from-disk scan to trip over.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cassalite/extent.hpp"
+#include "common/scratch.hpp"
+
+namespace hpcla::cassalite {
+
+/// Footer entry for one partition: its key and per-group metadata.
+struct ExtentFilePartition {
+  std::string key;
+  std::vector<ExtentGroupMeta> groups;
+  std::uint64_t rows = 0;
+  std::uint64_t raw_bytes = 0;  ///< boxed-row footprint (metrics)
+};
+
+/// The self-describing index at the end of every extent file.
+struct ExtentFileFooter {
+  std::string table;
+  std::uint64_t generation = 0;
+  std::uint64_t flushed_lsn = 0;  ///< commit log is durable past this LSN
+  std::vector<ExtentFilePartition> partitions;
+};
+
+/// Append-only writer. Blocks first, then finish(footer) seals the file;
+/// destruction before finish() removes the partial file.
+class ExtentFileWriter {
+ public:
+  explicit ExtentFileWriter(std::string path);
+  ExtentFileWriter(const ExtentFileWriter&) = delete;
+  ExtentFileWriter& operator=(const ExtentFileWriter&) = delete;
+
+  /// Appends one compressed group block; returns its file offset.
+  std::uint64_t append(std::string_view block);
+
+  /// Writes the footer + trailer and keeps the file.
+  void finish(const ExtentFileFooter& footer);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  scratch::FileGuard guard_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Read-only handle on a sealed extent file. Fetches are thread-safe:
+/// mmap when enabled (zero-copy views into the mapping) with a pread
+/// fallback that streams into a caller-provided scratch buffer.
+class ExtentFile : public std::enable_shared_from_this<ExtentFile> {
+ public:
+  /// Opens and validates `path`; returns nullptr when the file is not a
+  /// sealed extent file (truncated writes never survive the writer guard,
+  /// but reopen-from-disk must shrug off stray files).
+  static std::shared_ptr<ExtentFile> open(const std::string& path,
+                                          bool use_mmap);
+
+  ~ExtentFile();
+  ExtentFile(const ExtentFile&) = delete;
+  ExtentFile& operator=(const ExtentFile&) = delete;
+
+  /// Bytes [offset, offset+length): a view into the mapping when mmapped,
+  /// otherwise `scratch` is filled via pread and viewed.
+  [[nodiscard]] std::string_view fetch(std::uint64_t offset,
+                                       std::uint32_t length,
+                                       std::string& scratch) const;
+
+  [[nodiscard]] const ExtentFileFooter& footer() const noexcept {
+    return footer_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+
+  /// Marks the file superseded (compaction replaced it): it is unlinked
+  /// when the last reader releases the handle, never while a concurrent
+  /// snapshot still reads it.
+  void remove_on_close() noexcept {
+    remove_on_close_.store(true, std::memory_order_release);
+  }
+
+ private:
+  ExtentFile() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  std::size_t size_ = 0;
+  const char* map_ = nullptr;
+  ExtentFileFooter footer_;
+  std::atomic<bool> remove_on_close_{false};
+};
+
+}  // namespace hpcla::cassalite

@@ -28,6 +28,46 @@ SSTable::SSTable(std::uint64_t generation,
   }
 }
 
+std::shared_ptr<SSTable> SSTable::from_extent_file(
+    std::shared_ptr<ExtentFile> file, const ExtentOptions& opts) {
+  const ExtentFileFooter& footer = file->footer();
+  auto table = std::shared_ptr<SSTable>(
+      new SSTable(footer.generation, footer.partitions.size()));
+  table->columnar_ = true;
+  table->file_ = file;
+  table->partitions_.reserve(footer.partitions.size());
+  for (const auto& part : footer.partitions) {
+    table->rows_ += static_cast<std::size_t>(part.rows);
+    table->bloom_.insert(part.key);
+    Stored s;
+    s.key = part.key;
+    s.extent = ColumnarExtent::from_file(file, part.groups, part.rows,
+                                         part.raw_bytes, opts);
+    table->raw_bytes_ += s.extent.raw_bytes();
+    table->encoded_bytes_ += s.extent.encoded_bytes();
+    table->partitions_.push_back(std::move(s));
+  }
+  return table;
+}
+
+void SSTable::persist_to(ExtentFileWriter& writer, ExtentFileFooter& footer) {
+  for (auto& p : partitions_) {
+    p.extent.persist(
+        [&writer](std::string_view block) { return writer.append(block); });
+    ExtentFilePartition part;
+    part.key = p.key;
+    part.rows = p.extent.row_count();
+    part.raw_bytes = p.extent.raw_bytes();
+    part.groups = p.extent.group_metas();
+    footer.partitions.push_back(std::move(part));
+  }
+}
+
+void SSTable::attach_file(const std::shared_ptr<ExtentFile>& file) {
+  file_ = file;
+  for (auto& p : partitions_) p.extent.attach_file(file);
+}
+
 bool SSTable::read(const std::string& partition_key,
                    const ClusteringSlice& slice, std::vector<Row>& out) const {
   if (!bloom_.may_contain(partition_key)) return false;
@@ -65,9 +105,9 @@ std::vector<std::string> SSTable::partition_keys() const {
   return keys;
 }
 
-SSTablePtr compact(std::uint64_t new_generation,
-                   const std::vector<SSTablePtr>& inputs,
-                   const ExtentOptions* extent_opts) {
+std::shared_ptr<SSTable> compact(std::uint64_t new_generation,
+                                 const std::vector<SSTablePtr>& inputs,
+                                 const ExtentOptions* extent_opts) {
   // partition key -> clustering key -> newest row. std::map keeps both
   // levels sorted, which is exactly the SSTable layout invariant.
   std::map<std::string, std::map<ClusteringKey, Row>> merged;
@@ -92,8 +132,8 @@ SSTablePtr compact(std::uint64_t new_generation,
     for (auto& [_, row] : rows) p.rows.push_back(std::move(row));
     partitions.push_back(std::move(p));
   }
-  return std::make_shared<const SSTable>(new_generation, std::move(partitions),
-                                         extent_opts);
+  return std::make_shared<SSTable>(new_generation, std::move(partitions),
+                                   extent_opts);
 }
 
 }  // namespace hpcla::cassalite

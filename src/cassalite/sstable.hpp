@@ -1,15 +1,18 @@
 // Immutable sorted run produced by flushing a memtable: sorted partitions,
 // each with clustering-sorted rows, fronted by a Bloom filter on partition
-// keys. Mirrors Cassandra's on-disk SSTable at the data-structure level
-// (the simulated cluster keeps runs in memory; persistence semantics —
-// immutability, merge-on-read, compaction — are what the analytics stack
-// depends on, not the medium).
+// keys. Mirrors Cassandra's on-disk SSTable at the data-structure level.
 //
-// Partitions are stored either as plain Row vectors or — when the engine
-// enables columnar extents — as compressed ColumnarExtent column streams
-// decoded lazily per read slice (DESIGN.md §13.2).
+// Partitions are stored one of three ways:
+//   * plain Row vectors (the original path),
+//   * resident ColumnarExtent column streams decoded lazily per slice
+//     (DESIGN.md §13.2), or
+//   * file-backed extents (DESIGN.md §14): the SSTable holds only the
+//     lightweight handles — partition keys, Bloom filter, per-group
+//     first/last keys and block offsets — while the compressed blocks
+//     live in an on-disk extent file fetched by mmap/pread on demand.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -17,12 +20,14 @@
 
 #include "cassalite/bloom.hpp"
 #include "cassalite/extent.hpp"
+#include "cassalite/extent_file.hpp"
 #include "cassalite/schema.hpp"
 #include "cassalite/value.hpp"
 
 namespace hpcla::cassalite {
 
-/// Immutable after construction; safe to share across threads.
+/// Immutable after construction (persist_to/attach_file run before the
+/// table is published); safe to share across threads.
 class SSTable {
  public:
   struct Partition {
@@ -36,6 +41,24 @@ class SSTable {
   /// vectors are dropped; reads decode lazily per slice.
   SSTable(std::uint64_t generation, std::vector<Partition> sorted_partitions,
           const ExtentOptions* extent_opts = nullptr);
+
+  /// Rebuilds the SSTable skeleton from a sealed extent file's footer —
+  /// the cold-start path: no block is read until a slice needs it.
+  [[nodiscard]] static std::shared_ptr<SSTable> from_extent_file(
+      std::shared_ptr<ExtentFile> file, const ExtentOptions& opts);
+
+  /// Streams every partition's compressed blocks into `writer` (dropping
+  /// the resident copies) and appends the index entries to `footer`.
+  /// Caller seals the writer, opens the result, and attach_file()s it
+  /// before publishing the table. Columnar tables only.
+  void persist_to(ExtentFileWriter& writer, ExtentFileFooter& footer);
+  void attach_file(const std::shared_ptr<ExtentFile>& file);
+
+  /// The backing extent file; null for in-memory tables.
+  [[nodiscard]] const std::shared_ptr<ExtentFile>& extent_file()
+      const noexcept {
+    return file_;
+  }
 
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
   [[nodiscard]] std::size_t partition_count() const noexcept {
@@ -83,12 +106,16 @@ class SSTable {
     ColumnarExtent extent;
   };
 
+  SSTable(std::uint64_t generation, std::size_t bloom_hint)
+      : generation_(generation), bloom_(std::max<std::size_t>(bloom_hint, 8)) {}
+
   std::uint64_t generation_;
   std::vector<Stored> partitions_;  ///< sorted by key
   std::size_t rows_ = 0;
   bool columnar_ = false;
   std::size_t raw_bytes_ = 0;
   std::size_t encoded_bytes_ = 0;
+  std::shared_ptr<ExtentFile> file_;  ///< null = fully resident
   BloomFilter bloom_;
 };
 
@@ -97,8 +124,10 @@ using SSTablePtr = std::shared_ptr<const SSTable>;
 /// Merges several runs into one (size-tiered compaction step): partitions
 /// unioned, rows with equal clustering keys reconciled last-write-wins.
 /// `extent_opts` propagates the output encoding as in the constructor.
-SSTablePtr compact(std::uint64_t new_generation,
-                   const std::vector<SSTablePtr>& inputs,
-                   const ExtentOptions* extent_opts = nullptr);
+/// Returned mutable so the engine can persist_to/attach_file before
+/// publishing it as const.
+std::shared_ptr<SSTable> compact(std::uint64_t new_generation,
+                                 const std::vector<SSTablePtr>& inputs,
+                                 const ExtentOptions* extent_opts = nullptr);
 
 }  // namespace hpcla::cassalite

@@ -2,22 +2,79 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <set>
+#include <system_error>
 #include <utility>
 
+#include "common/block_cache.hpp"
 #include "common/clock.hpp"
 #include "common/faultsim.hpp"
+#include "common/scratch.hpp"
+#include "common/status.hpp"
+#include "common/telemetry.hpp"
 
 namespace hpcla::cassalite {
+namespace {
 
-bool StorageOptions::columnar_extents_default() noexcept {
-  const char* e = std::getenv("HPCLA_COLUMNAR_EXTENTS");
-  return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+bool env_flag(const char* name, bool fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || *e == '\0') return fallback;
+  return std::string_view(e) != "0";
 }
 
+}  // namespace
+
+bool StorageOptions::columnar_extents_default() noexcept {
+  return env_flag("HPCLA_COLUMNAR_EXTENTS", false);
+}
+
+bool StorageOptions::extent_files_default() noexcept {
+  return env_flag("HPCLA_EXTENT_FILES", false);
+}
+
+bool StorageOptions::extent_mmap_default() noexcept {
+  return env_flag("HPCLA_EXTENT_MMAP", true);
+}
+
+std::size_t StorageOptions::block_cache_bytes_default() noexcept {
+  const char* e = std::getenv("HPCLA_BLOCK_CACHE_BYTES");
+  if (e == nullptr || *e == '\0') return 0;
+  return static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+}
+
+StorageEngine::TableStore::TableStore()
+    : id([] {
+        static std::atomic<std::uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()) {}
+
 StorageEngine::StorageEngine(StorageOptions options) : options_(options) {
+  if (options_.extent_files) options_.columnar_extents = true;
   extent_opts_.rows_per_group =
       std::max<std::size_t>(options_.extent_rows_per_group, 1);
+  if (options_.block_cache_bytes != 0) {
+    BlockCache::instance().set_capacity(options_.block_cache_bytes);
+  }
+  // Decoded-group caching only pays when the process cache can hold the
+  // result; otherwise the plain move-out decode path is strictly faster.
+  extent_opts_.cache_decoded =
+      options_.extent_files && BlockCache::instance().capacity() != 0;
+  if (options_.extent_files) {
+    if (options_.data_dir.empty()) {
+      data_dir_ = scratch::make_subdir("hpcla-extents");
+      owns_data_dir_ = true;
+    } else {
+      std::error_code ec;
+      std::filesystem::create_directories(options_.data_dir, ec);
+      data_dir_ = options_.data_dir;
+    }
+    HPCLA_CHECK_MSG(!data_dir_.empty(), "cannot create extent data dir");
+  }
+}
+
+StorageEngine::~StorageEngine() {
+  if (owns_data_dir_) scratch::remove_all(data_dir_);
 }
 
 const StorageEngine::TableStore* StorageEngine::find_table(
@@ -36,6 +93,42 @@ StorageEngine::TableStore& StorageEngine::table_for_write(
   }
   std::unique_lock lock(map_mu_);
   return tables_[table];
+}
+
+StorageEngine::SnapshotPtr StorageEngine::load_snapshot(
+    const TableStore& store) {
+  // One-entry thread-local cache keyed by (table id, publish version).
+  // Publishes are rare next to reads, so the hot path degenerates to two
+  // relaxed-ish loads and zero shared-cacheline writes — the atomic
+  // shared_ptr load below serializes readers on the control block's
+  // refcount (and on a spinlock in libstdc++'s non-lock-free
+  // atomic<shared_ptr>), which is what flattened read scaling at 8
+  // threads before this cache existed.
+  struct Cached {
+    std::uint64_t id = 0;
+    std::uint64_t version = 0;
+    SnapshotPtr snap;
+  };
+  thread_local Cached cached;
+  const std::uint64_t version =
+      store.snapshot_version.load(std::memory_order_acquire);
+  if (cached.id == store.id && cached.version == version &&
+      cached.snap != nullptr) {
+    return cached.snap;
+  }
+  // Safety: a reader that must observe a publish (because it already
+  // observed the corresponding memtable drain via mem_mu) sees the bumped
+  // version — publish stores the snapshot before bumping, and the drain
+  // happens after the bump, so lock acquisition ordering carries the new
+  // version to the reader and the mismatch forces a fresh load here.
+  SnapshotPtr snap = store.snapshot.load(std::memory_order_acquire);
+  cached = Cached{store.id, version, snap};
+  return snap;
+}
+
+void StorageEngine::publish_snapshot(TableStore& store, SnapshotPtr next) {
+  store.snapshot.store(std::move(next), std::memory_order_release);
+  store.snapshot_version.fetch_add(1, std::memory_order_release);
 }
 
 void StorageEngine::apply(const WriteCommand& cmd) {
@@ -75,14 +168,35 @@ void StorageEngine::apply_one_locked(const WriteCommand& cmd,
   }
   store.applied_lsn = std::max(store.applied_lsn, lsn);
   if (store.memtable.memory_bytes() >= options_.memtable_flush_bytes) {
-    flush_store_locked(store);
-    if (auto job = maybe_begin_compaction_locked(store)) {
+    flush_store_locked(cmd.table, store);
+    if (auto job = maybe_begin_compaction_locked(cmd.table, store)) {
       jobs.push_back(std::move(*job));
     }
   }
 }
 
-void StorageEngine::flush_store_locked(TableStore& store) {
+void StorageEngine::persist_sstable(const std::string& table, SSTable& sst,
+                                    std::uint64_t flushed_lsn) {
+  if (!options_.extent_files) return;
+  const std::string path =
+      data_dir_ + "/ext-" +
+      std::to_string(next_file_seq_.fetch_add(1, std::memory_order_relaxed)) +
+      ".extent";
+  ExtentFileWriter writer(path);
+  ExtentFileFooter footer;
+  footer.table = table;
+  footer.generation = sst.generation();
+  footer.flushed_lsn = flushed_lsn;
+  sst.persist_to(writer, footer);
+  writer.finish(footer);
+  auto file = ExtentFile::open(path, options_.extent_mmap);
+  HPCLA_CHECK_MSG(file != nullptr, "cannot reopen sealed extent file");
+  sst.attach_file(file);
+  counters_.extent_files_written.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StorageEngine::flush_store_locked(const std::string& table,
+                                       TableStore& store) {
   if (store.memtable.empty()) return;
   // Writers are excluded by writer_mu_, so a shared lock is enough for a
   // consistent copy even while readers stream through. Rows are copied
@@ -96,8 +210,11 @@ void StorageEngine::flush_store_locked(TableStore& store) {
       partitions.push_back(SSTable::Partition{key, rows});
     }
   }
-  auto sst = std::make_shared<const SSTable>(
-      store.next_generation++, std::move(partitions), extent_opts());
+  auto sst = std::make_shared<SSTable>(store.next_generation++,
+                                       std::move(partitions), extent_opts());
+  // The footer covers every mutation currently in the memtable, i.e.
+  // everything up to applied_lsn (which becomes flushed_lsn below).
+  persist_sstable(table, *sst, store.applied_lsn);
 
   // Publish BEFORE drain: a reader checks the memtable first, so between
   // publish and drain it sees the rows twice (reconciled) — never zero.
@@ -105,7 +222,7 @@ void StorageEngine::flush_store_locked(TableStore& store) {
   auto next = std::make_shared<TableSnapshot>();
   next->sstables = old->sstables;
   next->sstables.push_back(std::move(sst));
-  store.snapshot.store(std::move(next), std::memory_order_release);
+  publish_snapshot(store, std::move(next));
   {
     std::unique_lock mem(store.mem_mu);
     (void)store.memtable.drain();
@@ -127,7 +244,8 @@ void StorageEngine::flush_store_locked(TableStore& store) {
 }
 
 std::optional<StorageEngine::CompactionJob>
-StorageEngine::maybe_begin_compaction_locked(TableStore& store) {
+StorageEngine::maybe_begin_compaction_locked(const std::string& table,
+                                             TableStore& store) {
   const SnapshotPtr snap = store.snapshot.load(std::memory_order_relaxed);
   if (snap->sstables.size() < options_.compaction_threshold ||
       store.compacting) {
@@ -136,6 +254,7 @@ StorageEngine::maybe_begin_compaction_locked(TableStore& store) {
   store.compacting = true;
   CompactionJob job;
   job.store = &store;
+  job.table = table;
   job.inputs = snap->sstables;
   job.generation = store.next_generation++;
   return job;
@@ -144,7 +263,17 @@ StorageEngine::maybe_begin_compaction_locked(TableStore& store) {
 void StorageEngine::run_compaction(CompactionJob job) {
   // The heavy merge runs with no lock held: readers keep reading the old
   // snapshot, writers keep appending new SSTables behind our inputs.
-  SSTablePtr merged = compact(job.generation, job.inputs, extent_opts());
+  std::shared_ptr<SSTable> merged =
+      compact(job.generation, job.inputs, extent_opts());
+  // The merged run covers exactly what its inputs covered: take the
+  // newest input footer LSN (0 when inputs are purely in-memory).
+  std::uint64_t covered_lsn = 0;
+  for (const auto& input : job.inputs) {
+    if (const auto& f = input->extent_file()) {
+      covered_lsn = std::max(covered_lsn, f->footer().flushed_lsn);
+    }
+  }
+  persist_sstable(job.table, *merged, covered_lsn);
 
   Stopwatch publish_watch;
   {
@@ -160,8 +289,13 @@ void StorageEngine::run_compaction(CompactionJob job) {
         cur->sstables.begin() +
             static_cast<std::ptrdiff_t>(job.inputs.size()),
         cur->sstables.end());
-    job.store->snapshot.store(std::move(next), std::memory_order_release);
+    publish_snapshot(*job.store, std::move(next));
     job.store->compacting = false;
+  }
+  // Superseded runs' files go when their last reader drops the handle
+  // (in-flight snapshots may still be streaming from them).
+  for (const auto& input : job.inputs) {
+    if (const auto& f = input->extent_file()) f->remove_on_close();
   }
   counters_.compactions.fetch_add(1, std::memory_order_relaxed);
   counters_.compaction_stall_us.fetch_add(
@@ -205,7 +339,7 @@ ReadResult StorageEngine::read(const ReadQuery& q) const {
     std::shared_lock mem(store->mem_mu);
     store->memtable.read(q.partition_key, q.slice, candidates);
   }
-  const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+  const SnapshotPtr snap = load_snapshot(*store);
   for (const auto& sst : snap->sstables) {
     counters_.sstables_read.fetch_add(1, std::memory_order_relaxed);
     if (!sst->read(q.partition_key, q.slice, candidates)) {
@@ -229,6 +363,13 @@ void StorageEngine::scan_partitions(
     const ClusteringSlice& slice,
     const std::function<void(const std::string& key, std::vector<Row> rows)>&
         fn) const {
+  telemetry::Span span("cassalite.scan");
+  // Stats deltas are whole-process (other threads contribute), so only
+  // worth the shard walk when a trace is actually recording.
+  const bool tag_cache = span.active() && extent_opts_.cache_decoded;
+  const BlockCache::Stats cache_before =
+      tag_cache ? BlockCache::instance().stats() : BlockCache::Stats{};
+
   const TableStore* store = find_table(table);
   if (store == nullptr) {
     for (const auto& key : keys) fn(key, {});
@@ -249,7 +390,7 @@ void StorageEngine::scan_partitions(
       all.insert(std::make_move_iterator(live.begin()),
                  std::make_move_iterator(live.end()));
     }
-    const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+    const SnapshotPtr snap = load_snapshot(*store);
     for (const auto& sst : snap->sstables) {
       for (auto& k : sst->partition_keys()) all.insert(std::move(k));
     }
@@ -271,7 +412,7 @@ void StorageEngine::scan_partitions(
         store->memtable.read(scan_keys[k], slice, mem_rows[k - begin]);
       }
     }
-    const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+    const SnapshotPtr snap = load_snapshot(*store);
     for (std::size_t k = begin; k < end; ++k) {
       const std::string& key = scan_keys[k];
       std::vector<Row> candidates = std::move(mem_rows[k - begin]);
@@ -285,6 +426,16 @@ void StorageEngine::scan_partitions(
       fn(key, std::move(candidates));
     }
   }
+
+  if (span.active()) {
+    span.tag("table", table);
+    span.tag("keys", static_cast<std::uint64_t>(scan_keys.size()));
+    if (tag_cache) {
+      const BlockCache::Stats after = BlockCache::instance().stats();
+      span.tag("blockcache_hits", after.hits - cache_before.hits);
+      span.tag("blockcache_misses", after.misses - cache_before.misses);
+    }
+  }
 }
 
 std::vector<std::string> StorageEngine::partition_keys(
@@ -296,7 +447,7 @@ std::vector<std::string> StorageEngine::partition_keys(
     std::shared_lock mem(store->mem_mu);
     for (auto& k : store->memtable.partition_keys()) keys.insert(std::move(k));
   }
-  const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+  const SnapshotPtr snap = load_snapshot(*store);
   for (const auto& sst : snap->sstables) {
     for (auto& k : sst->partition_keys()) keys.insert(std::move(k));
   }
@@ -311,9 +462,85 @@ std::uint64_t StorageEngine::approximate_rows(const std::string& table) const {
     std::shared_lock mem(store->mem_mu);
     total += store->memtable.row_count();
   }
-  const SnapshotPtr snap = store->snapshot.load(std::memory_order_acquire);
+  const SnapshotPtr snap = load_snapshot(*store);
   for (const auto& sst : snap->sstables) total += sst->row_count();
   return total;
+}
+
+std::size_t StorageEngine::reopen_locked(std::vector<CompactionJob>& jobs) {
+  // Drop every in-memory structure: memtables are gone (a crash loses
+  // them), and with extent files on the SSTable objects themselves are
+  // rebuilt from disk rather than trusted.
+  for (auto& [_, store] : tables_) {
+    {
+      std::unique_lock mem(store.mem_mu);
+      (void)store.memtable.drain();
+    }
+    if (options_.extent_files) {
+      publish_snapshot(store, std::make_shared<TableSnapshot>());
+      store.flushed_lsn = 0;
+      store.next_generation = 1;
+    }
+    store.applied_lsn = store.flushed_lsn;
+  }
+
+  if (options_.extent_files) {
+    // Scan the data dir for sealed extent files. Files that fail to open
+    // (torn writes, foreign files) are skipped, not fatal.
+    std::map<std::string, std::vector<std::shared_ptr<ExtentFile>>> by_table;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(data_dir_, ec)) {
+      if (!entry.is_regular_file() ||
+          entry.path().extension() != ".extent") {
+        continue;
+      }
+      if (auto file =
+              ExtentFile::open(entry.path().string(), options_.extent_mmap)) {
+        by_table[file->footer().table].push_back(std::move(file));
+      }
+    }
+    std::uint64_t max_seq = 0;
+    for (auto& [table, files] : by_table) {
+      // Ascending generation restores flush order (compaction outputs carry
+      // a generation above their inputs', so they sort behind them too).
+      std::sort(files.begin(), files.end(),
+                [](const auto& a, const auto& b) {
+                  return a->footer().generation < b->footer().generation;
+                });
+      TableStore& store = table_for_write(table);
+      auto next = std::make_shared<TableSnapshot>();
+      for (auto& file : files) {
+        store.next_generation =
+            std::max(store.next_generation, file->footer().generation + 1);
+        store.flushed_lsn =
+            std::max(store.flushed_lsn, file->footer().flushed_lsn);
+        next->sstables.push_back(
+            SSTable::from_extent_file(std::move(file), extent_opts_));
+      }
+      store.applied_lsn = store.flushed_lsn;
+      publish_snapshot(store, std::move(next));
+      max_seq = std::max(max_seq, store.next_generation);
+    }
+    // Keep fresh file names clear of anything already in the directory.
+    std::uint64_t seq = next_file_seq_.load(std::memory_order_relaxed);
+    next_file_seq_.store(std::max(seq, max_seq + 1),
+                         std::memory_order_relaxed);
+  }
+
+  // Replay everything newer than the oldest flushed point. Replaying a
+  // mutation that already reached an SSTable is harmless: reconciliation
+  // is last-write-wins on identical write_ts.
+  std::uint64_t min_flushed = log_.last_lsn();
+  for (const auto& [_, store] : tables_) {
+    min_flushed = std::min(min_flushed, store.flushed_lsn);
+  }
+  const auto entries = log_.replay(min_flushed);
+  std::uint64_t lsn = min_flushed;
+  for (const auto& cmd : entries) {
+    apply_one_locked(cmd, ++lsn, jobs);
+  }
+  return entries.size();
 }
 
 std::size_t StorageEngine::crash_and_recover() {
@@ -321,28 +548,16 @@ std::size_t StorageEngine::crash_and_recover() {
   std::size_t replayed = 0;
   {
     std::lock_guard writer(writer_mu_);
-    // Lose all memtables; SSTables survive (they are "on disk").
-    for (auto& [_, store] : tables_) {
-      std::unique_lock mem(store.mem_mu);
-      (void)store.memtable.drain();
-      store.applied_lsn = store.flushed_lsn;
-    }
-    // Replay everything newer than the oldest flushed point. Replaying a
-    // mutation that already reached an SSTable is harmless: reconciliation
-    // is last-write-wins on identical write_ts.
-    std::uint64_t min_flushed = log_.last_lsn();
-    for (const auto& [_, store] : tables_) {
-      min_flushed = std::min(min_flushed, store.flushed_lsn);
-    }
-    const auto entries = log_.replay(min_flushed);
-    std::uint64_t lsn = min_flushed;
-    for (const auto& cmd : entries) {
-      apply_one_locked(cmd, ++lsn, jobs);
-    }
-    replayed = entries.size();
+    replayed = reopen_locked(jobs);
   }
   for (auto& job : jobs) run_compaction(std::move(job));
   return replayed;
+}
+
+std::size_t StorageEngine::reopen_from_disk() {
+  HPCLA_CHECK_MSG(options_.extent_files,
+                  "reopen_from_disk requires extent_files");
+  return crash_and_recover();
 }
 
 StorageMetrics StorageEngine::metrics() const {
@@ -358,6 +573,8 @@ StorageMetrics StorageEngine::metrics() const {
   m.snapshot_reads = counters_.snapshot_reads.load(std::memory_order_relaxed);
   m.compaction_stall_us =
       counters_.compaction_stall_us.load(std::memory_order_relaxed);
+  m.extent_files_written =
+      counters_.extent_files_written.load(std::memory_order_relaxed);
   // Extent accounting reflects the currently published SSTables (it shrinks
   // when compaction supersedes runs). Tables are never erased and map nodes
   // are stable, so a shared map lock plus acquire snapshot loads suffice.
@@ -378,9 +595,9 @@ void StorageEngine::flush_all() {
   std::vector<CompactionJob> jobs;
   {
     std::lock_guard writer(writer_mu_);
-    for (auto& [_, store] : tables_) {
-      flush_store_locked(store);
-      if (auto job = maybe_begin_compaction_locked(store)) {
+    for (auto& [table, store] : tables_) {
+      flush_store_locked(table, store);
+      if (auto job = maybe_begin_compaction_locked(table, store)) {
         jobs.push_back(std::move(*job));
       }
     }

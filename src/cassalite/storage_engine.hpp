@@ -8,7 +8,10 @@
 //     TableSnapshot> swapped atomically on flush/compaction; the live
 //     memtable is read under a brief shared lock. A read therefore costs
 //     one shared-lock acquisition plus one atomic load, then proceeds
-//     entirely against immutable structures.
+//     entirely against immutable structures. A per-table publish version
+//     lets readers reuse a thread-local snapshot reference between
+//     publishes, so the hot read path skips the contended atomic
+//     shared_ptr load (and its refcount cache-line bounce) entirely.
 //   * Writes (`apply`), flush, compaction publish, and crash recovery are
 //     serialized by one writer-exclusive mutex per engine.
 //   * Flush publishes the new SSTable *before* draining the memtable, and
@@ -18,6 +21,13 @@
 //   * Compaction merges its input runs outside every lock and re-enters the
 //     writer lock only to swap the snapshot, so a long compaction stalls
 //     neither readers nor writers.
+//
+// Out-of-core tier (DESIGN.md §14): with `extent_files` on, flush and
+// compaction write each SSTable's columnar extents to an on-disk extent
+// file under `data_dir` and the published SSTables hold only lightweight
+// handles; reads fetch blocks by mmap/pread through the process
+// BlockCache. reopen_from_disk() rebuilds the whole engine state from
+// those files plus the commit log — the cold-start path.
 #pragma once
 
 #include <atomic>
@@ -46,6 +56,12 @@ namespace hpcla::cassalite {
 struct StorageOptions {
   /// True when HPCLA_COLUMNAR_EXTENTS is set to anything but "0".
   static bool columnar_extents_default() noexcept;
+  /// True when HPCLA_EXTENT_FILES is set to anything but "0".
+  static bool extent_files_default() noexcept;
+  /// False only when HPCLA_EXTENT_MMAP is set to "0" (pread fallback).
+  static bool extent_mmap_default() noexcept;
+  /// HPCLA_BLOCK_CACHE_BYTES, default 0 (cache disabled).
+  static std::size_t block_cache_bytes_default() noexcept;
 
   /// Memtable flush threshold in bytes.
   std::size_t memtable_flush_bytes = 8u << 20;  // 8 MiB
@@ -57,6 +73,19 @@ struct StorageOptions {
   /// Rows per extent group when columnar_extents is on — the lazy-decode
   /// and compression granularity.
   std::size_t extent_rows_per_group = 1024;
+  /// Persist extents to on-disk extent files on flush/compaction (implies
+  /// columnar_extents); SSTables keep only handles and block indexes.
+  bool extent_files = extent_files_default();
+  /// Directory for extent files. Empty = a unique scratch subdirectory
+  /// (honoring HPCLA_SPILL_DIR) that is removed with the engine; explicit
+  /// paths persist across engine lifetimes for reopen_from_disk().
+  std::string data_dir;
+  /// Fetch extent blocks through mmap (pread streaming when off or when
+  /// the map fails).
+  bool extent_mmap = extent_mmap_default();
+  /// Budget for the process-wide decoded-block cache. Applied to the
+  /// BlockCache singleton at engine construction; 0 leaves caching off.
+  std::size_t block_cache_bytes = block_cache_bytes_default();
 };
 
 /// Plain snapshot of the storage-level counters, safe to copy around.
@@ -74,16 +103,19 @@ struct StorageMetrics {
   /// Wall time the compaction publish step held the writer lock — the only
   /// part of compaction that can stall writers (readers are never stalled).
   std::uint64_t compaction_stall_us = 0;
-  /// Resident extent compression accounting across currently published
-  /// SSTables (zero unless columnar_extents is on): boxed-Row footprint of
-  /// the encoded data vs. the encoded bytes actually held.
+  /// Extent compression accounting across currently published SSTables
+  /// (zero unless columnar_extents is on): boxed-Row footprint of the
+  /// encoded data vs. the encoded bytes held (on disk once extent_files).
   std::uint64_t extent_raw_bytes = 0;
   std::uint64_t extent_encoded_bytes = 0;
+  /// Extent files written (flush + compaction) since construction.
+  std::uint64_t extent_files_written = 0;
 };
 
 class StorageEngine {
  public:
   explicit StorageEngine(StorageOptions options = {});
+  ~StorageEngine();
 
   /// Applies one mutation: journal, memtable, maybe flush/compact.
   void apply(const WriteCommand& cmd);
@@ -127,9 +159,21 @@ class StorageEngine {
   [[nodiscard]] std::uint64_t approximate_rows(const std::string& table) const;
 
   /// Simulates a crash: all memtables are lost, then recovered from the
-  /// commit log. Returns the number of replayed mutations. The engine is
-  /// fully usable afterwards — used by availability fault-injection tests.
+  /// commit log. With extent_files on, the in-memory SSTable objects are
+  /// dropped too and the node reopens from its extent files — the honest
+  /// crash path. Returns the number of replayed mutations.
   std::size_t crash_and_recover();
+
+  /// Cold start from disk: discards every in-memory table structure,
+  /// rebuilds SSTables from the extent files found in data_dir(), and
+  /// replays the commit log past the highest LSN the files cover.
+  /// Requires extent_files. Returns the number of replayed mutations.
+  std::size_t reopen_from_disk();
+
+  /// The extent-file directory ("" unless extent_files is on).
+  [[nodiscard]] const std::string& data_dir() const noexcept {
+    return data_dir_;
+  }
 
   [[nodiscard]] StorageMetrics metrics() const;
 
@@ -152,6 +196,12 @@ class StorageEngine {
     /// loaded (acquire) by readers. Non-snapshot fields below are written
     /// only under the engine writer mutex.
     std::atomic<SnapshotPtr> snapshot{std::make_shared<TableSnapshot>()};
+    /// Bumped (release) after every snapshot store — readers compare it
+    /// against a thread-local cache to skip the atomic shared_ptr load.
+    std::atomic<std::uint64_t> snapshot_version{1};
+    /// Process-unique id keying the thread-local snapshot cache (table
+    /// stores from different engines may reuse addresses).
+    const std::uint64_t id;
     std::uint64_t next_generation = 1;
     /// LSN of the newest mutation already covered by the SSTables.
     std::uint64_t flushed_lsn = 0;
@@ -159,11 +209,14 @@ class StorageEngine {
     std::uint64_t applied_lsn = 0;
     /// True while a compaction for this table is merging out-of-lock.
     bool compacting = false;
+
+    TableStore();
   };
 
   /// A compaction prepared under the writer lock and executed outside it.
   struct CompactionJob {
     TableStore* store = nullptr;
+    std::string table;
     std::vector<SSTablePtr> inputs;  ///< prefix of the snapshot at grab time
     std::uint64_t generation = 0;
   };
@@ -178,6 +231,7 @@ class StorageEngine {
     std::atomic<std::uint64_t> bloom_rejections{0};
     std::atomic<std::uint64_t> snapshot_reads{0};
     std::atomic<std::uint64_t> compaction_stall_us{0};
+    std::atomic<std::uint64_t> extent_files_written{0};
   };
 
   /// Read-side table lookup (shared map lock; pointer stays valid because
@@ -186,17 +240,33 @@ class StorageEngine {
   /// Write-side lookup-or-create (caller holds the writer mutex).
   TableStore& table_for_write(const std::string& table);
 
+  /// Read-side snapshot acquisition with the thread-local version cache:
+  /// when the table's publish version matches the cached one, the cached
+  /// shared_ptr is reused — no atomic shared_ptr load, no refcount bounce.
+  static SnapshotPtr load_snapshot(const TableStore& store);
+  /// Publishes a new snapshot and bumps the version (writer side).
+  static void publish_snapshot(TableStore& store, SnapshotPtr next);
+
   /// nullptr when columnar extents are off; otherwise the shared encoding
   /// options handed to every SSTable build (flush and compaction alike).
   [[nodiscard]] const ExtentOptions* extent_opts() const noexcept {
     return options_.columnar_extents ? &extent_opts_ : nullptr;
   }
 
+  /// Writes `sst`'s blocks + footer to a fresh extent file in data_dir_
+  /// and attaches the sealed file. No-op unless extent_files is on.
+  void persist_sstable(const std::string& table, SSTable& sst,
+                       std::uint64_t flushed_lsn);
+
   void apply_one_locked(const WriteCommand& cmd, std::uint64_t lsn,
                         std::vector<CompactionJob>& jobs);
-  void flush_store_locked(TableStore& store);
-  std::optional<CompactionJob> maybe_begin_compaction_locked(TableStore& store);
+  void flush_store_locked(const std::string& table, TableStore& store);
+  std::optional<CompactionJob> maybe_begin_compaction_locked(
+      const std::string& table, TableStore& store);
   void run_compaction(CompactionJob job);
+  /// Shared core of reopen_from_disk/crash_and_recover: caller holds the
+  /// writer mutex; compaction jobs triggered by replay are returned.
+  std::size_t reopen_locked(std::vector<CompactionJob>& jobs);
 
   /// LWW-reconciles candidate rows in place (sort by key then write_ts,
   /// keep the newest version of each clustering key).
@@ -206,6 +276,9 @@ class StorageEngine {
   mutable std::mutex writer_mu_;
   StorageOptions options_;
   ExtentOptions extent_opts_;
+  std::string data_dir_;          ///< resolved extent-file directory
+  bool owns_data_dir_ = false;    ///< scratch subdir removed in dtor
+  std::atomic<std::uint64_t> next_file_seq_{1};
   FaultInjector* injector_ = nullptr;  ///< not owned; see set_fault_injector
   std::size_t injector_node_ = 0;
   CommitLog log_;

@@ -1,0 +1,138 @@
+#include "common/block_cache.hpp"
+
+#include <cstdlib>
+
+namespace hpcla {
+namespace {
+
+std::size_t capacity_from_env() {
+  if (const char* env = std::getenv("HPCLA_BLOCK_CACHE_BYTES");
+      env != nullptr && env[0] != '\0') {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 0;
+}
+
+}  // namespace
+
+BlockCache& BlockCache::instance() {
+  static BlockCache* cache = new BlockCache(capacity_from_env());
+  return *cache;
+}
+
+std::uint64_t BlockCache::new_owner_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCache::BlockCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  telemetry_ = telemetry::registry().register_collector(
+      [this](telemetry::MetricSink& sink) {
+        const auto s = stats();
+        sink.counter("blockcache.hits", s.hits);
+        sink.counter("blockcache.misses", s.misses);
+        sink.counter("blockcache.inserts", s.inserts);
+        sink.counter("blockcache.evictions", s.evictions);
+        sink.gauge("blockcache.resident_bytes",
+                   static_cast<double>(s.resident_bytes));
+        sink.gauge("blockcache.capacity_bytes",
+                   static_cast<double>(capacity()));
+      });
+}
+
+void BlockCache::set_capacity(std::size_t bytes) {
+  capacity_.store(bytes, std::memory_order_release);
+  const std::size_t budget = bytes / kShards;
+  std::list<Entry> graveyard;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    evict_to_budget(s, budget, graveyard);
+  }
+}
+
+std::shared_ptr<const void> BlockCache::lookup(std::uint64_t owner,
+                                               std::uint64_t block) {
+  if (!enabled()) {
+    misses_.add();
+    return nullptr;
+  }
+  const Key key{owner, block};
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    misses_.add();
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote to MRU
+  hits_.add();
+  return it->second->value;
+}
+
+void BlockCache::insert(std::uint64_t owner, std::uint64_t block,
+                        std::shared_ptr<const void> value,
+                        std::size_t charge) {
+  const std::size_t budget = shard_budget();
+  if (budget == 0 || charge > budget || value == nullptr) return;
+  const Key key{owner, block};
+  Shard& s = shard_of(key);
+  std::list<Entry> graveyard;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (auto it = s.index.find(key); it != s.index.end()) {
+      s.resident -= it->second->charge;
+      graveyard.splice(graveyard.begin(), s.lru, it->second);
+      s.index.erase(it);
+    }
+    evict_to_budget(s, budget - charge, graveyard);
+    s.lru.push_front(Entry{key, std::move(value), charge});
+    s.index[key] = s.lru.begin();
+    s.resident += charge;
+    inserts_.add();
+  }
+}
+
+void BlockCache::erase_owner(std::uint64_t owner) {
+  std::list<Entry> graveyard;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto it = s.lru.begin(); it != s.lru.end();) {
+      if (it->key.owner == owner) {
+        s.resident -= it->charge;
+        s.index.erase(it->key);
+        auto dead = it++;
+        graveyard.splice(graveyard.begin(), s.lru, dead);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats out;
+  out.hits = hits_.value();
+  out.misses = misses_.value();
+  out.inserts = inserts_.value();
+  out.evictions = evictions_.value();
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(s.mu));
+    out.resident_bytes += s.resident;
+    out.entries += s.lru.size();
+  }
+  return out;
+}
+
+void BlockCache::evict_to_budget(Shard& s, std::size_t budget,
+                                 std::list<Entry>& graveyard) {
+  while (s.resident > budget && !s.lru.empty()) {
+    auto victim = std::prev(s.lru.end());
+    s.resident -= victim->charge;
+    s.index.erase(victim->key);
+    graveyard.splice(graveyard.begin(), s.lru, victim);
+    evictions_.add();
+  }
+}
+
+}  // namespace hpcla

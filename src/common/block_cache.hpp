@@ -1,0 +1,132 @@
+// Process-wide sharded LRU cache over *decoded* column blocks
+// (DESIGN.md §14). Out-of-core cassalite keeps SSTable extents on disk;
+// the only RAM a cold read spends is the blocks it touches, and this
+// cache is where those decoded blocks live between reads.
+//
+// Design:
+//   * Keyed by (owner, block): `owner` is a process-unique id per extent
+//     (see new_owner_id()); `block` is the row-group index inside it. An
+//     owner that dies calls erase_owner() so superseded SSTables cannot be
+//     resurrected from cache.
+//   * Values are type-erased shared_ptrs with an explicit byte charge; the
+//     caller keeps using its block straight from the returned pointer, so
+//     an eviction never invalidates an in-flight read.
+//   * Sharded by key hash: each shard has its own mutex, LRU list, and
+//     slice of the byte budget, so 8 reader threads hitting different
+//     blocks do not serialize on one lock.
+//   * Capacity 0 (the default) disables the cache entirely — lookups miss
+//     without touching a lock, inserts drop — so the in-memory extent path
+//     keeps its PR 7 behavior unless `StorageOptions::block_cache_bytes`
+//     or HPCLA_BLOCK_CACHE_BYTES turns the cache on.
+//
+// Hit/miss/eviction counters and a resident-bytes gauge are mirrored into
+// the process MetricRegistry under blockcache.* at snapshot time.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/telemetry.hpp"
+
+namespace hpcla {
+
+class BlockCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t entries = 0;
+  };
+
+  /// The process-wide cache (leaked singleton; capacity starts from
+  /// HPCLA_BLOCK_CACHE_BYTES, default 0 = disabled).
+  static BlockCache& instance();
+
+  /// A fresh owner id (never 0). Extents take one at construction and key
+  /// their blocks under it.
+  static std::uint64_t new_owner_id() noexcept;
+
+  explicit BlockCache(std::size_t capacity_bytes = 0);
+
+  /// Resets the byte budget; shrinking evicts LRU entries immediately.
+  /// 0 disables the cache and drops everything resident.
+  void set_capacity(std::size_t bytes);
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool enabled() const noexcept { return capacity() > 0; }
+
+  /// Returns the cached block (promoting it to MRU) or nullptr.
+  [[nodiscard]] std::shared_ptr<const void> lookup(std::uint64_t owner,
+                                                   std::uint64_t block);
+
+  /// Inserts (or replaces) a block under `charge` bytes, evicting LRU
+  /// entries in the same shard as needed. Oversized blocks (charge beyond
+  /// the shard budget) are not admitted. No-op when disabled.
+  void insert(std::uint64_t owner, std::uint64_t block,
+              std::shared_ptr<const void> value, std::size_t charge);
+
+  /// Drops every block of one owner (extent/SSTable teardown).
+  void erase_owner(std::uint64_t owner);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Key {
+    std::uint64_t owner = 0;
+    std::uint64_t block = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // splitmix-style scramble; owner ids are sequential.
+      std::uint64_t x = k.owner * 0x9e3779b97f4a7c15ull ^ (k.block + 0x7f4a7c15ull);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const void> value;
+    std::size_t charge = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = MRU
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t resident = 0;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_of(const Key& k) noexcept {
+    return shards_[KeyHash{}(k) % kShards];
+  }
+  [[nodiscard]] std::size_t shard_budget() const noexcept {
+    return capacity() / kShards;
+  }
+  /// Evicts from `s` until resident <= budget. Caller holds s.mu; evicted
+  /// values are moved into `graveyard` so their destructors run outside
+  /// the shard lock.
+  void evict_to_budget(Shard& s, std::size_t budget,
+                       std::list<Entry>& graveyard);
+
+  std::atomic<std::size_t> capacity_;
+  Shard shards_[kShards];
+
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter inserts_;
+  telemetry::Counter evictions_;
+  telemetry::CollectorHandle telemetry_;  // keep last
+};
+
+}  // namespace hpcla

@@ -1,0 +1,61 @@
+#include "common/scratch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace hpcla::scratch {
+namespace {
+
+std::int64_t process_id() {
+#ifdef _WIN32
+  return static_cast<std::int64_t>(_getpid());
+#else
+  return static_cast<std::int64_t>(::getpid());
+#endif
+}
+
+}  // namespace
+
+std::string base_dir() {
+  if (const char* env = std::getenv("HPCLA_SPILL_DIR");
+      env != nullptr && env[0] != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(env, ec);
+    return env;
+  }
+  std::error_code ec;
+  auto tmp = std::filesystem::temp_directory_path(ec);
+  if (ec) return ".";
+  return tmp.string();
+}
+
+std::string make_subdir(const std::string& prefix, const std::string& parent) {
+  static std::atomic<std::uint64_t> seq{0};
+  const std::filesystem::path root = parent.empty() ? base_dir() : parent;
+  const auto n = seq.fetch_add(1, std::memory_order_relaxed);
+  const auto dir = root / (prefix + "-" + std::to_string(process_id()) + "-" +
+                           std::to_string(n));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir.string();
+}
+
+void remove_all(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+}
+
+void remove_file(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace hpcla::scratch

@@ -1,0 +1,53 @@
+// Shared scratch-file conventions for every component that writes
+// temporary data to disk (sparklite spill runs, cassalite extent files).
+//
+// One env knob — HPCLA_SPILL_DIR — names the scratch root for the whole
+// process; components create their own uniquely-named subdirectories under
+// it so concurrent engines never collide. The RAII guards make partial
+// files safe: a writer that dies mid-stream (exception unwinding through a
+// serializer, a failed disk write) removes what it wrote instead of
+// leaving orphans for the next run to trip over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpcla::scratch {
+
+/// The scratch root: $HPCLA_SPILL_DIR when set (created if missing), else
+/// the system temp directory. Never empty.
+[[nodiscard]] std::string base_dir();
+
+/// Creates and returns a uniquely-named subdirectory `<base>/<prefix>-<n>`
+/// under `parent` (or under base_dir() when `parent` is empty). The name
+/// embeds the pid and a process-wide counter, so two engines in one test
+/// binary — or two test binaries on one machine — get distinct dirs.
+[[nodiscard]] std::string make_subdir(const std::string& prefix,
+                                      const std::string& parent = {});
+
+/// Best-effort recursive removal (directories created by make_subdir).
+void remove_all(const std::string& path) noexcept;
+
+/// Best-effort removal of one file.
+void remove_file(const std::string& path) noexcept;
+
+/// Removes `path` on destruction unless release()d — the standard guard
+/// around multi-write file creation: construct before the first write,
+/// release after the last one succeeded.
+class FileGuard {
+ public:
+  explicit FileGuard(std::string path) : path_(std::move(path)) {}
+  FileGuard(const FileGuard&) = delete;
+  FileGuard& operator=(const FileGuard&) = delete;
+  ~FileGuard() {
+    if (!path_.empty()) remove_file(path_);
+  }
+
+  /// The file is complete; keep it.
+  void release() noexcept { path_.clear(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace hpcla::scratch

@@ -19,6 +19,7 @@ void ViewCatalog::apply(const EventRecord& e, bool counted) {
       Tile& tile = hv.tiles[e.type];
       tile.node_counts[e.node] += e.count;
       tile.total += e.count;
+      tile.burst.add(static_cast<double>(e.count));
     }
   }
   (counted ? applied_ : partial_).fetch_add(1, std::memory_order_relaxed);
@@ -120,6 +121,42 @@ std::vector<std::pair<std::string, std::int64_t>> ViewCatalog::type_counts(
   return out;
 }
 
+std::vector<BurstSummary> ViewCatalog::burst_percentiles(
+    const ViewQuery& q) const {
+  // Merge the per-tile sketches per type. for_each_hour walks hours
+  // ascending and tiles are type-ordered within an hour, so the merge
+  // order — and therefore the exact GK summary — is deterministic for a
+  // given catalog state (cache entries stay self-consistent).
+  std::map<titanlog::EventType, QuantileSketch> merged;
+  for_each_hour(q.window, [&](std::int64_t, const HourView& hv) {
+    for (const auto& [type, tile] : hv.tiles) {
+      if (!wants_type(q, type)) continue;
+      if (tile.burst.count() == 0) continue;
+      auto [it, inserted] =
+          merged.try_emplace(type, QuantileSketch(kBurstEpsilon));
+      it->second.merge(tile.burst);
+      (void)inserted;
+    }
+  });
+  std::vector<BurstSummary> out;
+  out.reserve(merged.size());
+  for (auto& [type, sketch] : merged) {
+    BurstSummary row;
+    row.label = std::string(titanlog::event_id(type));
+    row.events = sketch.count();
+    row.p50 = sketch.quantile(0.50);
+    row.p95 = sketch.quantile(0.95);
+    row.p99 = sketch.quantile(0.99);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BurstSummary& a, const BurstSummary& b) {
+              if (a.events != b.events) return a.events > b.events;
+              return a.label < b.label;
+            });
+  return out;
+}
+
 std::vector<double> ViewCatalog::hour_series(const ViewQuery& q) const {
   const std::int64_t h0 = q.window.first_hour();
   const std::int64_t h1 = q.window.last_hour();
@@ -138,7 +175,12 @@ ViewStats ViewCatalog::stats() const {
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard.mu);
     s.hours += shard.hours.size();
-    for (const auto& [hour, hv] : shard.hours) s.tiles += hv.tiles.size();
+    for (const auto& [hour, hv] : shard.hours) {
+      s.tiles += hv.tiles.size();
+      for (const auto& [type, tile] : hv.tiles) {
+        s.sketch_tuples += tile.burst.tuple_count();
+      }
+    }
   }
   return s;
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/quantile_sketch.hpp"
 #include "common/telemetry.hpp"
 #include "titanlog/events.hpp"
 #include "titanlog/record.hpp"
@@ -58,6 +59,17 @@ struct ViewStats {
   std::uint64_t partial = 0;   ///< epoch-only bumps (partial writes)
   std::uint64_t hours = 0;     ///< distinct hours with a view
   std::uint64_t tiles = 0;     ///< (hour, type) tiles
+  std::uint64_t sketch_tuples = 0;  ///< GK tuples resident across all tiles
+};
+
+/// One row of the view-served burst-size distribution: shaped like
+/// analytics::BurstPercentiles so the server can share one serializer.
+struct BurstSummary {
+  std::string label;
+  std::uint64_t events = 0;  ///< records folded into the sketch
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 class ViewCatalog {
@@ -70,6 +82,8 @@ class ViewCatalog {
           sink.counter("model.views.partial", s.partial);
           sink.gauge("model.views.hours", static_cast<double>(s.hours));
           sink.gauge("model.views.tiles", static_cast<double>(s.tiles));
+          sink.gauge("model.views.sketch_tuples",
+                     static_cast<double>(s.sketch_tuples));
           sink.counter("model.views.epoch",
                        global_epoch_.load(std::memory_order_relaxed));
         });
@@ -126,18 +140,38 @@ class ViewCatalog {
   /// hour), the timeseries op's shape for bin_seconds = 3600.
   [[nodiscard]] std::vector<double> hour_series(const ViewQuery& q) const;
 
+  /// Per-type burst-size percentiles, merged from the per-tile
+  /// QuantileSketch summaries — the sketch-backed equivalent of
+  /// analytics::burst_percentiles(group_by = type). Sketches are
+  /// whole-system (tiles do not keep per-node sketches), so this reader
+  /// ignores q.location; callers must only route location-free queries
+  /// here. Percentiles carry GK rank error <= 2 * kBurstEpsilon and may
+  /// differ from the engine path by merge order within that bound;
+  /// labels, ordering, and event counts match exactly. Ordered
+  /// descending by events then ascending by label.
+  [[nodiscard]] std::vector<BurstSummary> burst_percentiles(
+      const ViewQuery& q) const;
+
   [[nodiscard]] ViewStats stats() const;
 
   static constexpr std::int64_t kHourSeconds = 3600;
+  /// Rank-error budget of the per-tile burst sketches. Matches the
+  /// analytics::burst_percentiles default so the view path substitutes
+  /// for the engine path at the server's default precision.
+  static constexpr double kBurstEpsilon = 0.02;
   /// Above this many covered hours window_epoch() degrades to the global
   /// epoch (correct, coarser invalidation) instead of walking the span.
   static constexpr std::int64_t kMaxEpochHours = 4096;
 
  private:
-  /// One (hour, type) tile: sparse node -> count plus the tile total.
+  /// One (hour, type) tile: sparse node -> count, the tile total, and a
+  /// mergeable burst-size sketch (one sample per record, value =
+  /// EventRecord::count) in place of any exact percentile buffer —
+  /// per-tile residency is O(1/epsilon), independent of record count.
   struct Tile {
     std::unordered_map<topo::NodeId, std::int64_t> node_counts;
     std::int64_t total = 0;
+    QuantileSketch burst{kBurstEpsilon};
   };
   /// All tiles of one hour plus the hour's invalidation epoch.
   struct HourView {

@@ -41,6 +41,7 @@ Result<QueryPath> classify_query(std::string_view op) {
       {"distribution", QueryPath::kComplex},
       {"hourly", QueryPath::kComplex},
       {"timeseries", QueryPath::kComplex},
+      {"burst", QueryPath::kComplex},
       {"cross_correlation", QueryPath::kComplex},
       {"transfer_entropy", QueryPath::kComplex},
       {"word_count", QueryPath::kComplex},
@@ -143,7 +144,7 @@ Json AnalyticsServer::handle(const Json& request) {
 
 bool AnalyticsServer::cacheable_op(std::string_view op) noexcept {
   return op == "heatmap" || op == "distribution" || op == "hourly" ||
-         op == "timeseries";
+         op == "timeseries" || op == "burst";
 }
 
 std::string AnalyticsServer::handle_text(std::string_view request) {
@@ -181,6 +182,7 @@ Result<Json> AnalyticsServer::dispatch(std::string_view op,
   if (op == "distribution") return op_distribution(request);
   if (op == "hourly") return op_hourly(request);
   if (op == "timeseries") return op_timeseries(request);
+  if (op == "burst") return op_burst(request);
   if (op == "cross_correlation") return op_cross_correlation(request);
   if (op == "transfer_entropy") return op_transfer_entropy(request);
   if (op == "word_count") return op_word_count(request);
@@ -490,6 +492,25 @@ Json series_json(const std::vector<double>& series) {
   return arr;
 }
 
+// Works for both analytics::BurstPercentiles (engine path) and
+// model::views::BurstSummary (view path) — same field names by design,
+// so both paths serialize identically. Responses carry only the sketch
+// summaries (events + three percentiles), never raw sample buffers.
+template <typename Rows>
+Json burst_json(const Rows& rows) {
+  Json arr = Json::array();
+  for (const auto& r : rows) {
+    Json row = Json::object();
+    row["label"] = r.label;
+    row["events"] = static_cast<std::int64_t>(r.events);
+    row["p50"] = r.p50;
+    row["p95"] = r.p95;
+    row["p99"] = r.p99;
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
 Json timeseries_json(std::int64_t bin, const std::vector<double>& series) {
   Json out = Json::object();
   out["bin_seconds"] = bin;
@@ -519,6 +540,22 @@ Result<Json> AnalyticsServer::op_distribution(const Json& request) {
   rows.reserve(dist.size());
   for (const auto& entry : dist) rows.emplace_back(entry.label, entry.count);
   return label_count_json(rows);
+}
+
+Result<Json> AnalyticsServer::op_burst(const Json& request) {
+  auto ctx = context_of(request);
+  if (!ctx.is_ok()) return ctx.status();
+  auto group = analytics::group_by_from_string(
+      request.get_string("group_by").value_or("type"));
+  if (!group.is_ok()) return group.status();
+  const double eps = request.get_double("epsilon").value_or(
+      model::views::ViewCatalog::kBurstEpsilon);
+  if (!(eps > 0.0 && eps < 0.5)) {
+    return invalid_argument("'epsilon' must be in (0, 0.5)");
+  }
+  return burst_json(analytics::burst_percentiles(*engine_, *cluster_,
+                                                 ctx.value(), group.value(),
+                                                 eps));
 }
 
 Result<Json> AnalyticsServer::op_hourly(const Json& request) {
@@ -562,6 +599,21 @@ std::optional<Json> AnalyticsServer::try_view(std::string_view op,
       return std::nullopt;
     }
     return label_count_json(views_->type_counts(q));
+  }
+  if (op == "burst") {
+    // Tile sketches are whole-system and per-type at the catalog's fixed
+    // epsilon: a location filter, a non-type grouping, or a custom
+    // epsilon all need the engine's per-event pass.
+    if (ctx.location) return std::nullopt;
+    if (request.get_string("group_by").value_or("type") != "type") {
+      return std::nullopt;
+    }
+    if (request.get_double("epsilon")
+            .value_or(ViewCatalog::kBurstEpsilon) !=
+        ViewCatalog::kBurstEpsilon) {
+      return std::nullopt;
+    }
+    return burst_json(views_->burst_percentiles(q));
   }
   if (op == "timeseries") {
     // Only the hourly bin matches the tile grid; event_series replaces the

@@ -93,7 +93,7 @@ class AnalyticsServer {
   ///
   /// Ops (see README for the full schema):
   ///   simple:  nodeinfo, eventtypes, synopsis, events, jobs
-  ///   complex: heatmap, distribution, hourly, timeseries,
+  ///   complex: heatmap, distribution, hourly, timeseries, burst,
   ///            cross_correlation, transfer_entropy, word_count,
   ///            storm_signature, apps_running, reliability, app_impact,
   ///            render_heatmap, render_placement, composite_events,
@@ -124,6 +124,7 @@ class AnalyticsServer {
   Result<Json> op_distribution(const Json& request);
   Result<Json> op_hourly(const Json& request);
   Result<Json> op_timeseries(const Json& request);
+  Result<Json> op_burst(const Json& request);
   Result<Json> op_cross_correlation(const Json& request);
   Result<Json> op_transfer_entropy(const Json& request);
   Result<Json> op_word_count(const Json& request);

@@ -28,6 +28,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -365,10 +367,49 @@ struct ShuffleStage {
   std::shared_ptr<ShuffleRecord> record;
 };
 
+/// The per-lane residency budget for map-side combine/group hash tables:
+/// the engine's shuffle spill budget split across the map lanes, same as
+/// ScatterSink's lane budget. 0 = unlimited (no budget configured or the
+/// row type is not spillable, so partials could not be replayed anyway).
+template <typename Row>
+std::size_t combine_lane_budget(Engine& engine, std::size_t lanes) {
+  if constexpr (spill::is_spillable_v<Row>) {
+    if (engine.spill().budget_bytes() > 0) {
+      return std::max<std::size_t>(
+          engine.spill().budget_bytes() / std::max<std::size_t>(lanes, 1),
+          1024);
+    }
+  }
+  return 0;
+}
+
+/// Tracks the combine-table flush accounting across a map stage's lanes
+/// (relaxed atomics: lanes only ever add / max their own totals).
+struct CombineStats {
+  std::atomic<std::uint64_t> flushes{0};
+  std::atomic<std::uint64_t> peak_bytes{0};
+
+  void note_lane(std::uint64_t lane_flushes, std::uint64_t lane_peak) {
+    flushes.fetch_add(lane_flushes, std::memory_order_relaxed);
+    std::uint64_t seen = peak_bytes.load(std::memory_order_relaxed);
+    while (lane_peak > seen &&
+           !peak_bytes.compare_exchange_weak(seen, lane_peak,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+};
+
 /// Map stage of a combining hash shuffle: per upstream partition, combine
 /// values sharing a key, then scatter the combined entries into the sink
 /// by std::hash<K>. Runs as one pool stage; lanes are disjoint. Lanes over
-/// the engine's spill budget stream to compressed run files.
+/// the engine's spill budget stream to compressed run files — and the
+/// combine hash table itself honors the same per-lane budget: when its
+/// approximate footprint crosses it, the partial aggregates flush into the
+/// sink early and the table restarts empty. A key may then reach the
+/// reduce side as several partials per lane, in flush order; the reduce
+/// merge combines them left-to-right, so for the associative combiners
+/// reduce_by_key requires the result is byte-identical to the unflushed
+/// path (the partials partition the same left fold).
 template <typename K, typename V, typename Combine>
 ShuffleStage<std::pair<K, V>> shuffle_combine_stage(
     const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
@@ -376,29 +417,60 @@ ShuffleStage<std::pair<K, V>> shuffle_combine_stage(
   using KV = std::pair<K, V>;
   auto sink = std::make_shared<spill::ScatterSink<KV>>(
       ds.engine().spill(), ds.partition_count(), num_partitions);
+  const std::size_t budget =
+      combine_lane_budget<KV>(ds.engine(), ds.partition_count());
+  CombineStats stats;
   Stopwatch map_watch;
   ds.for_each_partition([&](const TaskContext& ctx, std::vector<KV> rows) {
     std::unordered_map<K, V> local;
+    std::size_t bytes = 0;
+    std::uint64_t peak = 0, flushes = 0;
+    const auto flush_local = [&] {
+      for (auto& [k, v] : local) {
+        sink->emit(ctx.task_index, std::hash<K>{}(k) % num_partitions,
+                   KV(k, std::move(v)));
+      }
+      local.clear();
+      bytes = 0;
+    };
     for (auto& [k, v] : rows) {
       auto [it, inserted] = local.try_emplace(k, v);
-      if (!inserted) it->second = combine(std::move(it->second), v);
+      if (!inserted) {
+        it->second = combine(std::move(it->second), v);
+      } else if (budget > 0) {
+        // Footprint is charged at insertion (combine-grown values are not
+        // recharged — scalar aggregates dominate this path).
+        if constexpr (spill::is_spillable_v<KV>) {
+          bytes += spill::Codec<K>::approx_bytes(it->first) +
+                   spill::Codec<V>::approx_bytes(it->second) + sizeof(KV);
+        }
+        peak = std::max<std::uint64_t>(peak, bytes);
+        if (bytes >= budget) {
+          flush_local();
+          ++flushes;
+        }
+      }
     }
-    for (auto& [k, v] : local) {
-      sink->emit(ctx.task_index, std::hash<K>{}(k) % num_partitions,
-                 KV(k, std::move(v)));
-    }
+    flush_local();
+    if (budget > 0) stats.note_lane(flushes, peak);
   });
   auto record = ds.engine().record_shuffle_detail(
       label, ds.partition_count(), map_watch.elapsed_seconds(),
       sink->bucket_record_counts(), sink->spilled_bytes(),
-      sink->spill_file_count());
+      sink->spill_file_count(),
+      stats.flushes.load(std::memory_order_relaxed),
+      stats.peak_bytes.load(std::memory_order_relaxed));
   return {std::move(sink), std::move(record)};
 }
 
 /// Map stage of a grouping shuffle: like shuffle_combine_stage but gathers
 /// all values per key into one vector (value order = encounter order within
 /// the upstream partition), so group_by_key and join scatter one entry per
-/// (partition, key) instead of one vector per element.
+/// (partition, key) instead of one vector per element. The local grouping
+/// table flushes early under the lane budget like the combining stage;
+/// partial vectors reach the reduce side in flush order, and the group
+/// merge concatenates per key in arrival order, so encounter order — and
+/// therefore the result — is unchanged.
 template <typename K, typename V>
 ShuffleStage<std::pair<K, std::vector<V>>> shuffle_group_stage(
     const Dataset<std::pair<K, V>>& ds, std::size_t num_partitions,
@@ -406,20 +478,51 @@ ShuffleStage<std::pair<K, std::vector<V>>> shuffle_group_stage(
   using Entry = std::pair<K, std::vector<V>>;
   auto sink = std::make_shared<spill::ScatterSink<Entry>>(
       ds.engine().spill(), ds.partition_count(), num_partitions);
+  const std::size_t budget =
+      combine_lane_budget<Entry>(ds.engine(), ds.partition_count());
+  CombineStats stats;
   Stopwatch map_watch;
   ds.for_each_partition(
       [&](const TaskContext& ctx, std::vector<std::pair<K, V>> rows) {
         std::unordered_map<K, std::vector<V>> local;
-        for (auto& [k, v] : rows) local[k].push_back(std::move(v));
-        for (auto& [k, vs] : local) {
-          sink->emit(ctx.task_index, std::hash<K>{}(k) % num_partitions,
-                     Entry(k, std::move(vs)));
+        std::size_t bytes = 0;
+        std::uint64_t peak = 0, flushes = 0;
+        const auto flush_local = [&] {
+          for (auto& [k, vs] : local) {
+            sink->emit(ctx.task_index, std::hash<K>{}(k) % num_partitions,
+                       Entry(k, std::move(vs)));
+          }
+          local.clear();
+          bytes = 0;
+        };
+        for (auto& [k, v] : rows) {
+          auto& vs = local[k];
+          if (budget > 0) {
+            if constexpr (spill::is_spillable_v<Entry>) {
+              if (vs.empty()) {
+                bytes += spill::Codec<K>::approx_bytes(k) + sizeof(Entry);
+              }
+              bytes += spill::Codec<V>::approx_bytes(v);
+            }
+          }
+          vs.push_back(std::move(v));
+          if (budget > 0) {
+            peak = std::max<std::uint64_t>(peak, bytes);
+            if (bytes >= budget) {
+              flush_local();
+              ++flushes;
+            }
+          }
         }
+        flush_local();
+        if (budget > 0) stats.note_lane(flushes, peak);
       });
   auto record = ds.engine().record_shuffle_detail(
       label, ds.partition_count(), map_watch.elapsed_seconds(),
       sink->bucket_record_counts(), sink->spilled_bytes(),
-      sink->spill_file_count());
+      sink->spill_file_count(),
+      stats.flushes.load(std::memory_order_relaxed),
+      stats.peak_bytes.load(std::memory_order_relaxed));
   return {std::move(sink), std::move(record)};
 }
 

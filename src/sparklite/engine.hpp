@@ -87,6 +87,12 @@ struct ShuffleRecord {
   double map_seconds = 0.0;
   std::uint64_t bytes_spilled = 0;  ///< compressed run bytes this shuffle wrote
   std::uint64_t spill_files = 0;    ///< run files this shuffle created
+  /// Early flushes of map-side combine/group tables that crossed the lane
+  /// budget (0 = every table stayed resident, the pre-spill behavior).
+  std::uint64_t combine_flushes = 0;
+  /// Largest approximate footprint any lane's combine table reached — the
+  /// residency bound the spill tests assert against the lane budget.
+  std::uint64_t combine_peak_bytes = 0;
   /// Reduce-side merge wall time, summed over lazy bucket evaluations
   /// (recomputation of an uncached shuffled dataset adds to it).
   std::atomic<std::uint64_t> reduce_us{0};
@@ -246,13 +252,13 @@ class Engine {
     if (!shuffles.empty()) {
       out +=
           "shuffle                count  maps  buckets     records   skew"
-          "    map_ms  reduce_ms  spill_kb  runs  merges\n";
+          "    map_ms  reduce_ms  spill_kb  runs  merges  cflush\n";
       for (const auto& sh : shuffles) {
         char line[240];
         std::snprintf(
             line, sizeof(line),
             "%-28s %5zu  %7zu  %10llu  %5.2f  %8.3f  %9.3f  %8llu  %4llu"
-            "  %6llu\n",
+            "  %6llu  %6llu\n",
             sh->label.c_str(), sh->map_tasks, sh->buckets,
             static_cast<unsigned long long>(sh->records), sh->skew,
             sh->map_seconds * 1e3,
@@ -262,7 +268,8 @@ class Engine {
             static_cast<unsigned long long>(sh->bytes_spilled / 1024),
             static_cast<unsigned long long>(sh->spill_files),
             static_cast<unsigned long long>(
-                sh->merge_passes.load(std::memory_order_relaxed)));
+                sh->merge_passes.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(sh->combine_flushes));
         out += line;
       }
     }
@@ -282,7 +289,9 @@ class Engine {
   std::shared_ptr<ShuffleRecord> record_shuffle_detail(
       std::string label, std::size_t map_tasks, double map_seconds,
       const std::vector<std::uint64_t>& bucket_records,
-      std::uint64_t bytes_spilled = 0, std::uint64_t spill_files = 0) {
+      std::uint64_t bytes_spilled = 0, std::uint64_t spill_files = 0,
+      std::uint64_t combine_flushes = 0,
+      std::uint64_t combine_peak_bytes = 0) {
     auto rec = std::make_shared<ShuffleRecord>();
     rec->label = std::move(label);
     rec->map_tasks = map_tasks;
@@ -301,6 +310,8 @@ class Engine {
     rec->map_seconds = map_seconds;
     rec->bytes_spilled = bytes_spilled;
     rec->spill_files = spill_files;
+    rec->combine_flushes = combine_flushes;
+    rec->combine_peak_bytes = combine_peak_bytes;
     record_shuffle(rec->records);
     const auto map_us = static_cast<std::int64_t>(map_seconds * 1e6);
     // The map stage just finished: back-date the shuffle span over it.

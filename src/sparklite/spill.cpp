@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "common/scratch.hpp"
 #include "common/telemetry.hpp"
 
 namespace hpcla::sparklite::spill {
@@ -15,12 +16,12 @@ std::size_t env_budget_bytes() {
   return static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
 }
 
+// The shared scratch-root convention (common/scratch.hpp) resolves
+// HPCLA_SPILL_DIR for every scratch writer — spill runs and extent files
+// land under the same root.
 std::filesystem::path base_spill_dir(const std::string& override_dir) {
   if (!override_dir.empty()) return override_dir;
-  if (const char* e = std::getenv("HPCLA_SPILL_DIR"); e && *e) return e;
-  std::error_code ec;
-  auto tmp = std::filesystem::temp_directory_path(ec);
-  return ec ? std::filesystem::path(".") : tmp;
+  return scratch::base_dir();
 }
 
 }  // namespace

@@ -260,6 +260,7 @@ void write_workload(StorageEngine& store) {
 TEST(ColumnarStorageEngine, EndToEndMatchesRowStorage) {
   StorageOptions plain_opts;
   plain_opts.columnar_extents = false;
+  plain_opts.extent_files = false;  // HPCLA_EXTENT_FILES would re-enable both
   plain_opts.memtable_flush_bytes = 64 * 1024;  // force several flushes
   plain_opts.compaction_threshold = 3;          // and compactions
   StorageOptions col_opts = plain_opts;

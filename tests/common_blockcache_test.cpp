@@ -1,0 +1,152 @@
+// BlockCache unit tests: byte-budget enforcement with LRU eviction,
+// MRU promotion on lookup, owner teardown, capacity shrink/disable
+// semantics, oversized-block rejection, and a concurrent hammer that
+// checks the resident-bytes accounting stays consistent.
+#include "common/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hpcla {
+namespace {
+
+std::shared_ptr<const void> block_of(int v) {
+  return std::make_shared<int>(v);
+}
+
+int value_of(const std::shared_ptr<const void>& p) {
+  return *static_cast<const int*>(p.get());
+}
+
+TEST(BlockCache, DisabledCacheAdmitsNothing) {
+  BlockCache cache(0);
+  cache.insert(1, 1, block_of(7), 100);
+  EXPECT_EQ(cache.lookup(1, 1), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.inserts, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+}
+
+TEST(BlockCache, LookupReturnsInsertedBlock) {
+  BlockCache cache(1u << 20);
+  cache.insert(1, 5, block_of(42), 128);
+  auto hit = cache.lookup(1, 5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(value_of(hit), 42);
+  EXPECT_EQ(cache.lookup(1, 6), nullptr);
+  EXPECT_EQ(cache.lookup(2, 5), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.resident_bytes, 128u);
+}
+
+TEST(BlockCache, EvictsLeastRecentlyUsedWithinBudget) {
+  // One owner, blocks hash to various shards; use a big charge so each
+  // shard holds at most a few entries and eviction is forced.
+  BlockCache cache(16u * 1024);  // 1 KiB per shard
+  // Fill one logical stream far past the budget.
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    cache.insert(9, b, block_of(static_cast<int>(b)), 512);
+  }
+  const auto s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.resident_bytes, 16u * 1024);
+  // Whatever is resident must still be correct.
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    auto hit = cache.lookup(9, b);
+    if (hit != nullptr) EXPECT_EQ(value_of(hit), static_cast<int>(b));
+  }
+}
+
+TEST(BlockCache, LookupPromotesToMru) {
+  // Two entries that land in the same shard (same owner, probe block ids
+  // until two share a shard budget): keep touching the first, insert a
+  // third — the untouched one must go first. We approximate by using one
+  // entry per shard-sized charge: with budget = 1 entry per shard, the
+  // re-inserted key replaces in place rather than evicting the hot one.
+  BlockCache cache(16u * 600);
+  cache.insert(1, 0, block_of(0), 512);
+  ASSERT_NE(cache.lookup(1, 0), nullptr);  // promote
+  cache.insert(1, 0, block_of(1), 512);    // replace same key in place
+  auto hit = cache.lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(value_of(hit), 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(BlockCache, RejectsBlocksLargerThanShardBudget) {
+  BlockCache cache(16u * 1024);
+  cache.insert(3, 0, block_of(1), 4096);  // > 1 KiB shard budget
+  EXPECT_EQ(cache.lookup(3, 0), nullptr);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+TEST(BlockCache, EraseOwnerDropsOnlyThatOwner) {
+  BlockCache cache(1u << 20);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    cache.insert(1, b, block_of(1), 64);
+    cache.insert(2, b, block_of(2), 64);
+  }
+  cache.erase_owner(1);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(cache.lookup(1, b), nullptr);
+    ASSERT_NE(cache.lookup(2, b), nullptr);
+  }
+  EXPECT_EQ(cache.stats().entries, 8u);
+  EXPECT_EQ(cache.stats().resident_bytes, 8u * 64);
+}
+
+TEST(BlockCache, ShrinkingCapacityEvictsAndZeroDisables) {
+  BlockCache cache(1u << 20);
+  for (std::uint64_t b = 0; b < 32; ++b) cache.insert(1, b, block_of(1), 256);
+  EXPECT_EQ(cache.stats().entries, 32u);
+  cache.set_capacity(16u * 256);  // shrink: evict down to the new budget
+  EXPECT_LE(cache.stats().resident_bytes, 16u * 256);
+  cache.set_capacity(0);  // disable: drop everything
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  cache.insert(1, 0, block_of(1), 64);
+  EXPECT_EQ(cache.lookup(1, 0), nullptr);
+}
+
+TEST(BlockCache, NewOwnerIdsAreUniqueAndNonZero) {
+  const auto a = BlockCache::new_owner_id();
+  const auto b = BlockCache::new_owner_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(BlockCache, ConcurrentMixedTrafficKeepsAccountingSane) {
+  BlockCache cache(64u * 1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      const std::uint64_t owner = static_cast<std::uint64_t>(t % 2 + 1);
+      for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t b = static_cast<std::uint64_t>(i % 64);
+        if (i % 3 == 0) {
+          cache.insert(owner, b, block_of(i), 256);
+        } else if (i % 97 == 0) {
+          cache.erase_owner(owner);
+        } else {
+          auto hit = cache.lookup(owner, b);
+          if (hit != nullptr) (void)value_of(hit);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache.stats();
+  EXPECT_LE(s.resident_bytes, 64u * 1024);
+  EXPECT_EQ(s.resident_bytes, s.entries * 256);
+}
+
+}  // namespace
+}  // namespace hpcla

@@ -124,6 +124,68 @@ TEST(ViewCatalogTest, HourSeriesIsDense) {
   EXPECT_DOUBLE_EQ(series[2], 0.0);  // dense: the empty hour is a zero bin
 }
 
+TEST(ViewCatalogTest, BurstPercentilesMatchSketchGroundTruth) {
+  ViewCatalog views;
+  // One type with a skewed burst-size distribution spread over two hours:
+  // 99 bursts of size 1 and one of size 100.
+  for (int i = 0; i < 99; ++i) {
+    views.apply(ev(kT0 + i, EventType::kMachineCheck, 100 + i % 7, 1));
+  }
+  views.apply(ev(kT0 + 3600, EventType::kMachineCheck, 100, 100));
+  views.apply(ev(kT0 + 10, EventType::kKernelPanic, 250, 5));
+
+  ViewQuery q{TimeRange{kT0, kT0 + 7200}, {}, std::nullopt};
+  const auto rows = views.burst_percentiles(q);
+  ASSERT_EQ(rows.size(), 2u);
+  // Descending by events, then label.
+  EXPECT_EQ(rows[0].label, "MCE");
+  EXPECT_EQ(rows[0].events, 100u);
+  EXPECT_EQ(rows[1].events, 1u);
+  // Rank error 2*eps = 4%: p50 of {1 x99, 100} is 1; p99 admits the tail.
+  EXPECT_DOUBLE_EQ(rows[0].p50, 1.0);
+  EXPECT_GE(rows[0].p99, 1.0);
+  EXPECT_LE(rows[0].p99, 100.0);
+  // Percentiles are monotone by construction.
+  EXPECT_LE(rows[0].p50, rows[0].p95);
+  EXPECT_LE(rows[0].p95, rows[0].p99);
+  // Single-sample type: all percentiles collapse to the sample.
+  EXPECT_DOUBLE_EQ(rows[1].p50, 5.0);
+  EXPECT_DOUBLE_EQ(rows[1].p99, 5.0);
+
+  // Type filter applies.
+  ViewQuery only{TimeRange{kT0, kT0 + 7200},
+                 {EventType::kKernelPanic},
+                 std::nullopt};
+  const auto filtered = views.burst_percentiles(only);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].label, "KernelPanic");
+
+  // Window filter applies: the 100-burst lives in hour 2.
+  ViewQuery first_hour{TimeRange{kT0, kT0 + 3600}, {}, std::nullopt};
+  const auto early = views.burst_percentiles(first_hour);
+  ASSERT_FALSE(early.empty());
+  EXPECT_EQ(early[0].events, 99u);
+  EXPECT_DOUBLE_EQ(early[0].p99, 1.0);
+}
+
+TEST(ViewCatalogTest, SketchTuplesReportedAndPartialWritesSkipSketch) {
+  ViewCatalog views;
+  EXPECT_EQ(views.stats().sketch_tuples, 0u);
+  for (const auto& e : sample_events()) views.apply(e);
+  EXPECT_GT(views.stats().sketch_tuples, 0u);
+
+  // A partial write bumps epochs but must not add a sample.
+  const auto before = views.burst_percentiles(
+      ViewQuery{TimeRange{kT0, kT0 + 7200}, {}, std::nullopt});
+  const auto epoch = views.global_epoch();
+  views.apply(ev(kT0 + 50, EventType::kMachineCheck, 100, 9), false);
+  EXPECT_GT(views.global_epoch(), epoch);
+  const auto after = views.burst_percentiles(
+      ViewQuery{TimeRange{kT0, kT0 + 7200}, {}, std::nullopt});
+  ASSERT_EQ(after.size(), before.size());
+  EXPECT_EQ(after[0].events, before[0].events);
+}
+
 TEST(ViewCatalogTest, WindowEpochChangesOnlyForCoveredHours) {
   ViewCatalog views;
   const TimeRange window{kT0, kT0 + 3600};

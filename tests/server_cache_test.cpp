@@ -138,6 +138,51 @@ TEST(ServerCacheTest, UnalignedOrFilteredQueriesMissThenHit) {
   EXPECT_EQ(fx.ask(fx.hot, reordered)["cache"].as_string(), "hit");
 }
 
+TEST(ServerCacheTest, BurstOpViewServedCachedAndInvalidated) {
+  CacheFixture fx;
+  const std::string req =
+      std::string(R"({"op":"burst","context":{)") + kAlignedWindow + "}}";
+  Json hot = fx.ask(fx.hot, req);
+  EXPECT_EQ(hot["cache"].as_string(), "view");
+  Json cold = fx.ask(fx.cold, req);
+  EXPECT_TRUE(cold["cache"].is_null());
+
+  // The view path merges per-tile sketches while the engine path merges
+  // per-task sketches: percentiles may differ within the shared rank-error
+  // bound, but labels, ordering, and event counts must match exactly and
+  // every row's percentiles must be monotone.
+  const auto& h = hot["result"].as_array();
+  const auto& c = cold["result"].as_array();
+  ASSERT_EQ(h.size(), c.size());
+  ASSERT_FALSE(h.empty());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h[i]["label"].as_string(), c[i]["label"].as_string());
+    EXPECT_EQ(h[i]["events"].as_int(), c[i]["events"].as_int());
+    EXPECT_LE(h[i]["p50"].as_double(), h[i]["p95"].as_double());
+    EXPECT_LE(h[i]["p95"].as_double(), h[i]["p99"].as_double());
+  }
+
+  // LRU hit on repeat; ingest into the window invalidates.
+  EXPECT_EQ(fx.ask(fx.hot, req)["cache"].as_string(), "hit");
+  fx.ingest_one(kT0 + 40, EventType::kKernelPanic, 4242);
+  Json after = fx.ask(fx.hot, req);
+  EXPECT_EQ(after["cache"].as_string(), "view");
+
+  // Non-type grouping cannot be view-served: engine computes, result is
+  // cached anyway.
+  const std::string grouped =
+      std::string(R"({"op":"burst","group_by":"cabinet","context":{)") +
+      kAlignedWindow + "}}";
+  EXPECT_EQ(fx.ask(fx.hot, grouped)["cache"].as_string(), "miss");
+  EXPECT_EQ(fx.ask(fx.hot, grouped)["cache"].as_string(), "hit");
+
+  // A custom epsilon bypasses the fixed-epsilon tiles too.
+  const std::string custom =
+      std::string(R"({"op":"burst","epsilon":0.1,"context":{)") +
+      kAlignedWindow + "}}";
+  EXPECT_EQ(fx.ask(fx.hot, custom)["cache"].as_string(), "miss");
+}
+
 TEST(ServerCacheTest, IngestIntoCoveredWindowInvalidates) {
   CacheFixture fx;
   const std::string req = heatmap_req(kAlignedWindow);

@@ -274,6 +274,51 @@ TEST(SpillShuffle, NonSpillableTypeStaysInMemory) {
   EXPECT_EQ(e.metrics().bytes_spilled, 0u);
 }
 
+TEST(SpillShuffle, CombineTableFlushesWithinLaneBudgetAndStaysExact) {
+  const auto data = keyed_input(20000);
+  const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
+  std::vector<KV> in_memory;
+  {
+    Engine e(opts(4, 0));
+    auto ds = Dataset<KV>::parallelize(e, data, 4);
+    in_memory = reduce_by_key(ds, sum).collect();
+    const auto& rec = *e.shuffle_history().back();
+    EXPECT_EQ(rec.combine_flushes, 0u)
+        << "no budget -> combine table must never flush early";
+  }
+  Engine e(opts(4, 8192));  // lane budget = 8192 / 4 lanes = 2 KiB
+  auto ds = Dataset<KV>::parallelize(e, data, 4);
+  const auto spilled = reduce_by_key(ds, sum).collect();
+  EXPECT_EQ(spilled, in_memory)
+      << "partial-aggregate flushes changed the reduce result";
+  const auto& rec = *e.shuffle_history().back();
+  EXPECT_GT(rec.combine_flushes, 0u)
+      << "97 keys x ~60 bytes should overflow a 2 KiB combine table";
+  ASSERT_GT(rec.combine_peak_bytes, 0u);
+  // Residency bound: the table flushes as soon as its charged footprint
+  // crosses the lane budget, so the peak overshoots by at most one row.
+  EXPECT_LE(rec.combine_peak_bytes, 8192u / 4 + 256)
+      << "combine table kept accumulating past its lane budget";
+}
+
+TEST(SpillShuffle, GroupTableFlushesPreserveEncounterOrder) {
+  const auto data = keyed_input(20000);
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> in_memory;
+  {
+    Engine e(opts(4, 0));
+    auto ds = Dataset<KV>::parallelize(e, data, 4);
+    in_memory = group_by_key(ds).collect();
+  }
+  Engine e(opts(4, 8192));
+  auto ds = Dataset<KV>::parallelize(e, data, 4);
+  // Partial vectors reach the reduce side in flush order and concatenate
+  // in arrival order, so per-key value order must be byte-identical.
+  EXPECT_EQ(group_by_key(ds).collect(), in_memory);
+  const auto& rec = *e.shuffle_history().back();
+  EXPECT_GT(rec.combine_flushes, 0u);
+  EXPECT_LE(rec.combine_peak_bytes, 8192u / 4 + 256);
+}
+
 TEST(SpillShuffle, ShuffleRecordCarriesSpillMetrics) {
   Engine e(opts(2, 4096));
   auto ds = Dataset<KV>::parallelize(e, keyed_input(5000), 4);
