@@ -291,6 +291,14 @@ std::shared_ptr<ExtentFile> ExtentFile::open(const std::string& path,
                      file->footer_)) {
     return nullptr;  // dtor closes the fd
   }
+  // A footer that decodes but points blocks outside the file is still
+  // corrupt: reject it here so fetch() never walks off the mapping. The
+  // subtraction order avoids uint64 overflow on absurd offsets.
+  for (const auto& part : file->footer_.partitions) {
+    for (const auto& g : part.groups) {
+      if (g.offset > size || g.length > size - g.offset) return nullptr;
+    }
+  }
   if (use_mmap) {
     void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
     if (map != MAP_FAILED) file->map_ = static_cast<const char*>(map);
@@ -311,7 +319,8 @@ ExtentFile::~ExtentFile() {
 
 std::string_view ExtentFile::fetch(std::uint64_t offset, std::uint32_t length,
                                    std::string& scratch) const {
-  HPCLA_CHECK_MSG(offset + length <= size_, "extent block out of bounds");
+  HPCLA_CHECK_MSG(offset <= size_ && length <= size_ - offset,
+                  "extent block out of bounds");
   if (map_ != nullptr) {
     return std::string_view(map_ + offset, length);
   }

@@ -81,8 +81,9 @@ class ExtentFileWriter {
 class ExtentFile : public std::enable_shared_from_this<ExtentFile> {
  public:
   /// Opens and validates `path`; returns nullptr when the file is not a
-  /// sealed extent file (truncated writes never survive the writer guard,
-  /// but reopen-from-disk must shrug off stray files).
+  /// sealed extent file or its footer indexes blocks outside the file
+  /// bounds (truncated writes never survive the writer guard, but
+  /// reopen-from-disk must shrug off stray or corrupt files).
   static std::shared_ptr<ExtentFile> open(const std::string& path,
                                           bool use_mmap);
 

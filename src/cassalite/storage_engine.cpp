@@ -23,6 +23,82 @@ bool env_flag(const char* name, bool fallback) {
   return std::string_view(e) != "0";
 }
 
+// Numeric suffix of an "ext-<n>.extent" file name, 0 when the name does
+// not match. Reopen seeds the fresh-file sequence from these — file names
+// are numbered by a process-global counter, so per-table generations say
+// nothing about which names are taken on disk.
+std::uint64_t extent_file_seq(const std::filesystem::path& path) {
+  const std::string stem = path.stem().string();  // "ext-<n>"
+  constexpr std::string_view kPrefix = "ext-";
+  if (stem.size() <= kPrefix.size() || stem.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return 0;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = kPrefix.size(); i < stem.size(); ++i) {
+    const char c = stem[i];
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+// Thread-local snapshot cache slot (see load_snapshot), registered
+// process-wide so the engine can invalidate entries held by threads that
+// are no longer reading: without this, an idle pool thread's cached
+// snapshot pins superseded SSTables — and their remove_on_close() extent
+// files — until that thread happens to read again or exits. The per-slot
+// mutex is uncontended on the read path (only invalidation sweeps, which
+// ride on rare compactions and engine teardown, contend for it).
+struct SnapshotCacheSlot {
+  std::mutex mu;
+  std::uint64_t table_id = 0;
+  std::uint64_t version = 0;
+  std::shared_ptr<const void> snap;
+};
+
+class SnapshotCacheRegistry {
+ public:
+  static SnapshotCacheRegistry& instance() {
+    // Leaked: thread_local slot destructors may outlive function statics.
+    static auto* reg = new SnapshotCacheRegistry();
+    return *reg;
+  }
+  void add(SnapshotCacheSlot* slot) {
+    std::lock_guard lock(mu_);
+    slots_.push_back(slot);
+  }
+  void remove(SnapshotCacheSlot* slot) {
+    std::lock_guard lock(mu_);
+    std::erase(slots_, slot);
+  }
+  /// Drops every thread's cached snapshot of one table (by store id).
+  void invalidate(std::uint64_t table_id) {
+    std::lock_guard lock(mu_);
+    for (SnapshotCacheSlot* slot : slots_) {
+      std::lock_guard slot_lock(slot->mu);
+      if (slot->table_id == table_id) {
+        slot->table_id = 0;
+        slot->version = 0;
+        slot->snap.reset();
+      }
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<SnapshotCacheSlot*> slots_;
+};
+
+SnapshotCacheSlot& thread_snapshot_slot() {
+  struct Registered {
+    SnapshotCacheSlot slot;
+    Registered() { SnapshotCacheRegistry::instance().add(&slot); }
+    ~Registered() { SnapshotCacheRegistry::instance().remove(&slot); }
+  };
+  thread_local Registered r;
+  return r.slot;
+}
+
 }  // namespace
 
 bool StorageOptions::columnar_extents_default() noexcept {
@@ -54,7 +130,14 @@ StorageEngine::StorageEngine(StorageOptions options) : options_(options) {
   extent_opts_.rows_per_group =
       std::max<std::size_t>(options_.extent_rows_per_group, 1);
   if (options_.block_cache_bytes != 0) {
-    BlockCache::instance().set_capacity(options_.block_cache_bytes);
+    // Engines share the process-wide cache, so engine-driven sizing is
+    // grow-only: constructing a small-budget engine must not mass-evict
+    // a bigger engine's resident working set. Tests (or callers) that
+    // need an exact or smaller budget call set_capacity directly.
+    BlockCache& cache = BlockCache::instance();
+    if (cache.capacity() < options_.block_cache_bytes) {
+      cache.set_capacity(options_.block_cache_bytes);
+    }
   }
   // Decoded-group caching only pays when the process cache can hold the
   // result; otherwise the plain move-out decode path is strictly faster.
@@ -74,6 +157,12 @@ StorageEngine::StorageEngine(StorageOptions options) : options_(options) {
 }
 
 StorageEngine::~StorageEngine() {
+  // Release every thread's cached snapshot of this engine's tables so
+  // superseded SSTables (and their extent files) die with the engine
+  // instead of dangling from idle threads' caches.
+  for (const auto& [_, store] : tables_) {
+    SnapshotCacheRegistry::instance().invalidate(store.id);
+  }
   if (owns_data_dir_) scratch::remove_all(data_dir_);
 }
 
@@ -98,23 +187,22 @@ StorageEngine::TableStore& StorageEngine::table_for_write(
 StorageEngine::SnapshotPtr StorageEngine::load_snapshot(
     const TableStore& store) {
   // One-entry thread-local cache keyed by (table id, publish version).
-  // Publishes are rare next to reads, so the hot path degenerates to two
-  // relaxed-ish loads and zero shared-cacheline writes — the atomic
-  // shared_ptr load below serializes readers on the control block's
-  // refcount (and on a spinlock in libstdc++'s non-lock-free
-  // atomic<shared_ptr>), which is what flattened read scaling at 8
-  // threads before this cache existed.
-  struct Cached {
-    std::uint64_t id = 0;
-    std::uint64_t version = 0;
-    SnapshotPtr snap;
-  };
-  thread_local Cached cached;
+  // Publishes are rare next to reads, so the hot path degenerates to an
+  // uncontended thread-owned lock plus two loads — the atomic shared_ptr
+  // load below serializes readers on the control block's refcount (and on
+  // a spinlock in libstdc++'s non-lock-free atomic<shared_ptr>), which is
+  // what flattened read scaling at 8 threads before this cache existed.
+  // The slot is registry-visible so compaction and engine teardown can
+  // clear stale entries out from under idle threads (hence the lock).
+  SnapshotCacheSlot& slot = thread_snapshot_slot();
   const std::uint64_t version =
       store.snapshot_version.load(std::memory_order_acquire);
-  if (cached.id == store.id && cached.version == version &&
-      cached.snap != nullptr) {
-    return cached.snap;
+  {
+    std::lock_guard lock(slot.mu);
+    if (slot.table_id == store.id && slot.version == version &&
+        slot.snap != nullptr) {
+      return std::static_pointer_cast<const TableSnapshot>(slot.snap);
+    }
   }
   // Safety: a reader that must observe a publish (because it already
   // observed the corresponding memtable drain via mem_mu) sees the bumped
@@ -122,7 +210,12 @@ StorageEngine::SnapshotPtr StorageEngine::load_snapshot(
   // happens after the bump, so lock acquisition ordering carries the new
   // version to the reader and the mismatch forces a fresh load here.
   SnapshotPtr snap = store.snapshot.load(std::memory_order_acquire);
-  cached = Cached{store.id, version, snap};
+  {
+    std::lock_guard lock(slot.mu);
+    slot.table_id = store.id;
+    slot.version = version;
+    slot.snap = snap;
+  }
   return snap;
 }
 
@@ -178,10 +271,18 @@ void StorageEngine::apply_one_locked(const WriteCommand& cmd,
 void StorageEngine::persist_sstable(const std::string& table, SSTable& sst,
                                     std::uint64_t flushed_lsn) {
   if (!options_.extent_files) return;
-  const std::string path =
-      data_dir_ + "/ext-" +
-      std::to_string(next_file_seq_.fetch_add(1, std::memory_order_relaxed)) +
-      ".extent";
+  // Never reuse a name already present on disk: the writer truncates, and
+  // an existing file may be live (mmapped by a published SSTable). Reopen
+  // seeds the sequence past everything it scanned, so this loop only
+  // skips names raced in by a foreign writer sharing the directory.
+  std::string path;
+  std::error_code exists_ec;
+  do {
+    path = data_dir_ + "/ext-" +
+           std::to_string(
+               next_file_seq_.fetch_add(1, std::memory_order_relaxed)) +
+           ".extent";
+  } while (std::filesystem::exists(path, exists_ec));
   ExtentFileWriter writer(path);
   ExtentFileFooter footer;
   footer.table = table;
@@ -292,6 +393,10 @@ void StorageEngine::run_compaction(CompactionJob job) {
     publish_snapshot(*job.store, std::move(next));
     job.store->compacting = false;
   }
+  // Idle threads' cached snapshots would otherwise pin the superseded
+  // inputs (and their files) indefinitely; clear them now. Threads that
+  // reloaded the new snapshot just refill on their next read.
+  SnapshotCacheRegistry::instance().invalidate(job.store->id);
   // Superseded runs' files go when their last reader drops the handle
   // (in-flight snapshots may still be streaming from them).
   for (const auto& input : job.inputs) {
@@ -486,8 +591,11 @@ std::size_t StorageEngine::reopen_locked(std::vector<CompactionJob>& jobs) {
 
   if (options_.extent_files) {
     // Scan the data dir for sealed extent files. Files that fail to open
-    // (torn writes, foreign files) are skipped, not fatal.
+    // (torn writes, foreign files) are skipped, not fatal — but their
+    // names still count toward the fresh-file sequence below, so a later
+    // flush can never truncate a path that exists on disk.
     std::map<std::string, std::vector<std::shared_ptr<ExtentFile>>> by_table;
+    std::uint64_t max_seq = 0;
     std::error_code ec;
     for (const auto& entry :
          std::filesystem::directory_iterator(data_dir_, ec)) {
@@ -495,12 +603,12 @@ std::size_t StorageEngine::reopen_locked(std::vector<CompactionJob>& jobs) {
           entry.path().extension() != ".extent") {
         continue;
       }
+      max_seq = std::max(max_seq, extent_file_seq(entry.path()));
       if (auto file =
               ExtentFile::open(entry.path().string(), options_.extent_mmap)) {
         by_table[file->footer().table].push_back(std::move(file));
       }
     }
-    std::uint64_t max_seq = 0;
     for (auto& [table, files] : by_table) {
       // Ascending generation restores flush order (compaction outputs carry
       // a generation above their inputs', so they sort behind them too).
@@ -520,9 +628,11 @@ std::size_t StorageEngine::reopen_locked(std::vector<CompactionJob>& jobs) {
       }
       store.applied_lsn = store.flushed_lsn;
       publish_snapshot(store, std::move(next));
-      max_seq = std::max(max_seq, store.next_generation);
     }
     // Keep fresh file names clear of anything already in the directory.
+    // max_seq comes from the file names themselves, NOT from per-table
+    // generations: the sequence is process-global across tables, so the
+    // per-table generation max can sit below a live file's number.
     std::uint64_t seq = next_file_seq_.load(std::memory_order_relaxed);
     next_file_seq_.store(std::max(seq, max_seq + 1),
                          std::memory_order_relaxed);

@@ -84,7 +84,10 @@ struct StorageOptions {
   /// the map fails).
   bool extent_mmap = extent_mmap_default();
   /// Budget for the process-wide decoded-block cache. Applied to the
-  /// BlockCache singleton at engine construction; 0 leaves caching off.
+  /// BlockCache singleton at engine construction *grow-only* (the cache
+  /// is shared by every engine in the process, so a small-budget engine
+  /// never shrinks or mass-evicts it); 0 leaves the cache untouched.
+  /// Callers needing an exact budget use BlockCache::set_capacity.
   std::size_t block_cache_bytes = block_cache_bytes_default();
 };
 
@@ -243,6 +246,9 @@ class StorageEngine {
   /// Read-side snapshot acquisition with the thread-local version cache:
   /// when the table's publish version matches the cached one, the cached
   /// shared_ptr is reused — no atomic shared_ptr load, no refcount bounce.
+  /// Slots live in a process registry so compaction and engine teardown
+  /// invalidate stale entries held by idle threads (otherwise a parked
+  /// pool thread would pin superseded SSTables and their extent files).
   static SnapshotPtr load_snapshot(const TableStore& store);
   /// Publishes a new snapshot and bumps the version (writer side).
   static void publish_snapshot(TableStore& store, SnapshotPtr next);

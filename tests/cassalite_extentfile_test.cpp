@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cassalite/extent.hpp"
@@ -140,6 +142,45 @@ TEST_F(ExtentFileTest, WarmReReadsServeFromBlockCache) {
       static_cast<double>((after.hits - before.hits) +
                           (after.misses - before.misses));
   EXPECT_GE(hit_rate, 0.5);
+}
+
+TEST_F(ExtentFileTest, OpenRejectsFooterWithOutOfBoundsGroups) {
+  // A footer can decode cleanly yet index blocks outside the file (bit
+  // rot, crafted input). open() must reject it — fetch() would otherwise
+  // read past the mapping, and `offset + length` can even wrap uint64.
+  struct Case {
+    std::uint64_t offset;
+    std::uint32_t length;
+  };
+  const Case cases[] = {
+      {~std::uint64_t{0} - 4, 100},  // offset + length wraps past zero
+      {1u << 30, 8},                 // offset beyond EOF
+      {0, ~std::uint32_t{0}},        // length beyond EOF
+  };
+  int n = 0;
+  for (const Case& c : cases) {
+    const std::string path = dir_ + "/oob" + std::to_string(n++) + ".extent";
+    {
+      ExtentFileWriter writer(path);
+      writer.append("some block bytes");
+      ExtentFileFooter footer;
+      footer.table = "events";
+      footer.generation = 1;
+      ExtentFilePartition part;
+      part.key = "p0";
+      ExtentGroupMeta g;
+      g.rows = 1;
+      g.raw_size = 8;
+      g.offset = c.offset;
+      g.length = c.length;
+      part.groups.push_back(g);
+      part.rows = 1;
+      footer.partitions.push_back(std::move(part));
+      writer.finish(footer);
+    }
+    EXPECT_EQ(ExtentFile::open(path, true), nullptr)
+        << "offset=" << c.offset << " length=" << c.length;
+  }
 }
 
 TEST_F(ExtentFileTest, OpenRejectsMalformedFiles) {
@@ -279,6 +320,135 @@ TEST_F(ExtentFileTest, EngineWarmReadsHitBlockCache) {
       static_cast<double>(warm_hits) /
       static_cast<double>(warm_hits + warm_misses);
   EXPECT_GE(hit_rate, 0.9) << "warm re-read should be >=90% cache hits";
+}
+
+TEST_F(ExtentFileTest, ReopenNeverTruncatesLiveFilesAcrossTables) {
+  // File names carry a process-global sequence while generations are
+  // per-table, so with 2+ tables the per-table generation max sits below
+  // the highest file number on disk. Reopen must seed fresh names from
+  // the file names themselves: the first post-reopen flush used to pick
+  // a live file's name and truncate it out from under its mmapped,
+  // just-rebuilt SSTable.
+  const std::string data = dir_ + "/twotables";
+  StorageOptions opts = out_of_core_options(data);
+  opts.compaction_threshold = 100;  // keep generations low and stable
+
+  auto write_to = [&](StorageEngine& eng, const std::string& table,
+                      std::int64_t base, std::int64_t n) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      WriteCommand cmd;
+      cmd.table = table;
+      cmd.partition_key = "p" + std::to_string(i % 3);
+      cmd.row = make_row(base + i, 1000 + base + i);
+      cmd.row.set("msg", Value(table + " payload " + std::to_string(i)));
+      eng.apply(cmd);
+    }
+    eng.flush_all();
+  };
+  auto read_table = [&](StorageEngine& eng, const std::string& table) {
+    std::vector<std::vector<Row>> out;
+    for (int p = 0; p < 3; ++p) {
+      ReadQuery q;
+      q.table = table;
+      q.partition_key = "p" + std::to_string(p);
+      out.push_back(eng.read(q).rows);
+    }
+    return out;
+  };
+
+  std::vector<std::vector<Row>> alpha_before, beta_before;
+  {
+    // Interleaved flushes: alpha and beta each reach generation 2, but
+    // the files on disk are ext-1..ext-4 — beta's last file outnumbers
+    // every table's generation.
+    StorageEngine writer(opts);
+    write_to(writer, "alpha", 0, 300);
+    write_to(writer, "beta", 0, 300);
+    write_to(writer, "alpha", 300, 300);
+    write_to(writer, "beta", 300, 300);
+    alpha_before = read_table(writer, "alpha");
+    beta_before = read_table(writer, "beta");
+  }
+
+  // A fresh engine (file sequence back at 1) must reseed from the file
+  // names on disk, not from per-table generations.
+  StorageEngine eng(opts);
+  (void)eng.reopen_from_disk();
+  write_to(eng, "alpha", 600, 300);  // must claim an unused file name
+
+  EXPECT_EQ(read_table(eng, "beta"), beta_before)
+      << "post-reopen flush truncated another table's live extent file";
+  const auto alpha_after = read_table(eng, "alpha");
+  std::size_t rows_before = 0, rows_after = 0;
+  for (const auto& p : alpha_before) rows_before += p.size();
+  for (const auto& p : alpha_after) rows_after += p.size();
+  EXPECT_EQ(rows_after, rows_before + 300);
+}
+
+TEST_F(ExtentFileTest, CompactionReleasesIdleThreadSnapshots) {
+  // An idle thread's cached snapshot must not pin compaction inputs: the
+  // invalidation sweep clears the thread-local cache so superseded extent
+  // files are unlinked while the thread is still parked.
+  const std::string data = dir_ + "/idle";
+  StorageOptions opts = out_of_core_options(data);
+  opts.compaction_threshold = 4;
+  StorageEngine eng(opts);
+
+  auto write_batch = [&](std::int64_t base) {
+    for (std::int64_t i = 0; i < 200; ++i) {
+      WriteCommand cmd;
+      cmd.table = "events";
+      cmd.partition_key = "node-" + std::to_string(i % 3);
+      cmd.row = make_row(base + i, 1000 + base + i);
+      eng.apply(cmd);
+    }
+    eng.flush_all();
+  };
+  write_batch(0);
+  write_batch(200);  // two sealed files; no compaction yet
+
+  std::promise<void> read_done;
+  std::promise<void> release;
+  std::thread idle([&] {
+    ReadQuery q;
+    q.table = "events";
+    q.partition_key = "node-0";
+    (void)eng.read(q);  // populates this thread's snapshot cache
+    read_done.set_value();
+    release.get_future().wait();  // park, cache entry still in TLS
+  });
+  read_done.get_future().wait();
+
+  write_batch(400);
+  write_batch(600);  // 4th flush triggers compaction over all four runs
+  const auto m = eng.metrics();
+  ASSERT_GT(m.compactions, 0u);
+  // Only the merged output remains on disk — the two files pinned by the
+  // parked thread's snapshot were released by the invalidation sweep.
+  EXPECT_EQ(extent_file_count(data), 1u);
+
+  release.set_value();
+  idle.join();
+}
+
+TEST_F(ExtentFileTest, EngineBlockCacheSizingIsGrowOnly) {
+  BlockCache::instance().set_capacity(0);
+  StorageOptions big = out_of_core_options(dir_ + "/grow1");
+  big.block_cache_bytes = 8u << 20;
+  StorageEngine first(big);
+  EXPECT_EQ(BlockCache::instance().capacity(), 8u << 20);
+
+  // A second engine with a smaller budget must not shrink (and thereby
+  // mass-evict) the cache shared by every engine in the process.
+  StorageOptions small = out_of_core_options(dir_ + "/grow2");
+  small.block_cache_bytes = 1u << 20;
+  StorageEngine second(small);
+  EXPECT_EQ(BlockCache::instance().capacity(), 8u << 20);
+
+  StorageOptions bigger = out_of_core_options(dir_ + "/grow3");
+  bigger.block_cache_bytes = 16u << 20;
+  StorageEngine third(bigger);
+  EXPECT_EQ(BlockCache::instance().capacity(), 16u << 20);
 }
 
 }  // namespace
