@@ -190,6 +190,73 @@ def report_coldread(path):
         )
 
 
+def report_rebalance_chaos(path):
+    """Prints the rebalance chaos probe and returns the list of violated
+    invariants. Unlike the throughput probes these are correctness
+    tripwires — zero acked-write loss across a topology change and a
+    bit-identical seeded replay — so violations count as regressions even
+    when no baseline exists."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("rebalance_chaos")
+    if not isinstance(probe, dict):
+        return []
+    violations = []
+    seed = probe.get("seed", "?")
+    loss = probe.get("acked_loss")
+    if isinstance(loss, (int, float)):
+        verdict = "zero acked-loss" if loss == 0 else "ACKED WRITES LOST"
+        print(
+            f"  rebalance chaos (seed {seed}): {probe.get('acked', 0):,} "
+            f"acked writes, loss={loss:,.0f} ({verdict}); "
+            f"{probe.get('topology_changes', 0)} topology changes, "
+            f"{probe.get('ranges_streamed', 0):,} ranges streamed, "
+            f"{probe.get('repair_rows_sent', 0):,} repair rows, "
+            f"{probe.get('partition_drops', 0):,} partition drops"
+        )
+        if loss != 0:
+            violations.append(f"rebalance_chaos.acked_loss (seed {seed})")
+    replay = probe.get("replay_identical")
+    if replay is not None:
+        print(
+            "  rebalance chaos replay bit-identical: "
+            + ("yes" if replay else "NO — seed does not replay identically")
+        )
+        if not replay:
+            violations.append(f"rebalance_chaos.replay_identical (seed {seed})")
+    return violations
+
+
+# Structured (dict-valued) top-level keys this script knows how to report.
+# Scalar keys are free-form informational metadata and are not checked.
+KNOWN_PROBE_KEYS = {
+    "environment",
+    "spill_overhead",
+    "extent_compression",
+    "telemetry_overhead",
+    "cached_path",
+    "coldread",
+    "rebalance_chaos",
+}
+
+
+def warn_unknown_probes(path):
+    """Flags dict-valued top-level keys no report_* function handles.
+    Silently ignoring an unknown probe would read as "checked and fine"
+    when the check never ran."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        return
+    for key in sorted(data):
+        if key in KNOWN_PROBE_KEYS or not isinstance(data[key], dict):
+            continue
+        print(
+            f"  WARNING: unknown probe '{key}' — this script has no checker "
+            f"for it (add a report_* function)"
+        )
+
+
 class EnvMismatch(Exception):
     """Raised when a summary and its baseline disagree on environment."""
 
@@ -273,6 +340,8 @@ def main():
         report_spill_overhead(path)
         report_extent_compression(path)
         report_coldread(path)
+        all_regressions.extend(report_rebalance_chaos(path))
+        warn_unknown_probes(path)
         if not os.path.exists(baseline):
             print(f"  (no baseline at {baseline} — skipping)")
             continue

@@ -1,8 +1,11 @@
 #include "cassalite/cluster.hpp"
 
 #include <algorithm>
+#include <set>
+#include <thread>
 #include <utility>
 
+#include "cassalite/merkle.hpp"
 #include "common/faultsim.hpp"
 #include "common/hash.hpp"
 #include "common/thread_pool.hpp"
@@ -49,34 +52,49 @@ std::string_view consistency_name(Consistency c) noexcept {
   return "?";
 }
 
-Cluster::Cluster(ClusterOptions options)
-    : options_(options),
-      ring_(options.node_count, options.vnodes, options.ring_seed) {
+Cluster::Cluster(ClusterOptions options) : options_(options) {
   HPCLA_CHECK_MSG(options.node_count >= 1, "cluster needs at least one node");
   options_.replication_factor =
       std::min(std::max<std::size_t>(options_.replication_factor, 1),
                options_.node_count);
-  if (options_.racks > 0) {
-    rack_of_.resize(options_.node_count);
-    for (std::size_t i = 0; i < options_.node_count; ++i) {
+  capacity_ = options_.max_node_count != 0 ? options_.max_node_count
+                                           : options_.node_count + 16;
+  HPCLA_CHECK_MSG(capacity_ >= options_.node_count,
+                  "max_node_count below initial node_count");
+  rack_aware_ = options_.racks > 0;
+  rack_of_.resize(capacity_, 0);
+  if (rack_aware_) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
       rack_of_[i] = static_cast<int>(i % options_.racks);
     }
   }
-  nodes_.reserve(options_.node_count);
-  for (std::size_t i = 0; i < options_.node_count; ++i) {
-    nodes_.push_back(std::make_unique<StorageEngine>(options_.storage));
-  }
-  alive_ = std::make_unique<std::atomic<bool>[]>(options_.node_count);
-  for (std::size_t i = 0; i < options_.node_count; ++i) {
+  nodes_ = std::make_unique<std::unique_ptr<StorageEngine>[]>(capacity_);
+  alive_ = std::make_unique<std::atomic<bool>[]>(capacity_);
+  streams_served_ = std::make_unique<std::atomic<std::uint64_t>[]>(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
     alive_[i].store(true, std::memory_order_relaxed);
+    streams_served_[i].store(0, std::memory_order_relaxed);
   }
-  hint_shards_ = std::make_unique<HintShard[]>(options_.node_count);
+  for (std::size_t i = 0; i < options_.node_count; ++i) {
+    nodes_[i] = std::make_unique<StorageEngine>(options_.storage);
+  }
+  node_slots_.store(options_.node_count, std::memory_order_release);
+  hint_shards_ = std::make_unique<HintShard[]>(capacity_);
+
+  auto v0 = std::make_shared<TopologyVersion>();
+  v0->epoch = 1;
+  v0->committed = std::make_shared<const TokenRing>(
+      options_.node_count, options_.vnodes, options_.ring_seed);
+  topo_history_.push_back(v0);
+  topo_.store(v0.get(), std::memory_order_release);
+
   telemetry_ = telemetry::registry().register_collector(
       [this](telemetry::MetricSink& sink) {
         const ClusterMetrics m = metrics();
         sink.counter("cassalite.write.ok", m.writes_ok);
         sink.counter("cassalite.write.unavailable", m.writes_unavailable);
         sink.counter("cassalite.write.retries", m.write_retries);
+        sink.counter("cassalite.write.pending_range", m.pending_range_writes);
         sink.counter("cassalite.read.ok", m.reads_ok);
         sink.counter("cassalite.read.unavailable", m.reads_unavailable);
         sink.counter("cassalite.read.retries", m.read_retries);
@@ -88,9 +106,16 @@ Cluster::Cluster(ClusterOptions options)
         sink.counter("cassalite.hints.replayed", m.hints_replayed);
         sink.counter("cassalite.hints.expired", m.hints_expired);
         sink.counter("cassalite.hints.overflowed", m.hints_overflowed);
+        sink.counter("cassalite.topology.changes", m.topology_changes);
+        sink.counter("cassalite.topology.epoch", ring_epoch());
+        sink.counter("cassalite.stream.rows_sent", m.stream_rows_sent);
+        sink.counter("cassalite.repair.scheduled", m.repairs_scheduled);
+        sink.counter("cassalite.repair.ranges_streamed", m.ranges_streamed);
+        sink.counter("cassalite.repair.rows_sent", m.repair_rows_sent);
         StorageMetrics s;
-        for (const auto& node : nodes_) {
-          const StorageMetrics n = node->metrics();
+        const std::size_t slots = node_count();
+        for (std::size_t i = 0; i < slots; ++i) {
+          const StorageMetrics n = nodes_[i]->metrics();
           s.writes += n.writes;
           s.reads += n.reads;
           s.memtable_flushes += n.memtable_flushes;
@@ -139,12 +164,10 @@ std::vector<TableSchema> Cluster::schemas() const {
 // ------------------------------------------------------------ fault wiring
 
 void Cluster::set_fault_injector(FaultInjector* injector) {
-  HPCLA_CHECK_MSG(injector == nullptr ||
-                      injector->node_count() >= nodes_.size(),
-                  "fault injector covers fewer nodes than the cluster");
   injector_ = injector;
   if (clock_ == nullptr && injector != nullptr) clock_ = injector->clock();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
     nodes_[i]->set_fault_injector(injector, i);
   }
 }
@@ -155,9 +178,26 @@ void Cluster::set_suspicion_source(std::function<bool(NodeIndex)> suspected) {
   suspected_ = std::move(suspected);
 }
 
+void Cluster::set_suspicion_refresher(std::function<void()> refresher) {
+  suspicion_refresher_ = std::move(refresher);
+}
+
+void Cluster::set_topology_hook(std::function<void(TopologyStage)> hook) {
+  topology_hook_ = std::move(hook);
+}
+
 bool Cluster::replica_up(NodeIndex node) const {
   if (!alive_[node].load(std::memory_order_acquire)) return false;
   return injector_ == nullptr || !injector_->is_down(node);
+}
+
+bool Cluster::reachable(NodeIndex node) const {
+  if (injector_ == nullptr) return true;
+  const std::size_t coord = options_.coordinator_node;
+  // A usable replica needs the round trip: request out AND response back.
+  if (injector_->link_down(coord, node)) return false;
+  if (injector_->link_down(node, coord)) return false;
+  return true;
 }
 
 std::int64_t Cluster::now_ms() const noexcept {
@@ -169,7 +209,7 @@ std::vector<NodeIndex> Cluster::order_replicas(
   std::vector<NodeIndex> order;
   order.reserve(replicas.size());
   for (NodeIndex r : replicas) {
-    if (replica_up(r)) order.push_back(r);
+    if (replica_up(r) && reachable(r)) order.push_back(r);
   }
   if (suspected_) {
     // Suspected-but-up nodes go last: they are likelier to be slow or about
@@ -198,6 +238,194 @@ std::int64_t Cluster::backoff_ms(std::uint64_t salt, std::int64_t prev) const {
   return std::min(cap, base + static_cast<std::int64_t>(h % span));
 }
 
+// -------------------------------------------------------- topology versions
+
+const TokenRing& Cluster::ring() const noexcept { return *topo()->committed; }
+
+std::uint64_t Cluster::ring_epoch() const noexcept { return topo()->epoch; }
+
+bool Cluster::movement_in_progress() const noexcept {
+  return topo()->pending != nullptr;
+}
+
+const Cluster::TopologyVersion* Cluster::enter_write() const {
+  const TopologyVersion* v = topo_.load(std::memory_order_acquire);
+  for (;;) {
+    v->inflight.fetch_add(1, std::memory_order_seq_cst);
+    // Re-check after announcing ourselves: if a new version was published
+    // in between, the drain may already have sampled our version's count
+    // as zero — retry on the fresh version instead of routing stale.
+    const TopologyVersion* cur = topo_.load(std::memory_order_seq_cst);
+    if (cur == v) return v;
+    v->inflight.fetch_sub(1, std::memory_order_relaxed);
+    v = cur;
+  }
+}
+
+void Cluster::leave_write(const TopologyVersion* v) const {
+  v->inflight.fetch_sub(1, std::memory_order_release);
+}
+
+void Cluster::publish_and_drain(std::shared_ptr<TopologyVersion> next) {
+  const TopologyVersion* prev = topo_.load(std::memory_order_relaxed);
+  topo_history_.push_back(next);  // pins the version for the cluster's life
+  topo_.store(next.get(), std::memory_order_seq_cst);
+  if (prev == nullptr) return;
+  // RCU grace period: wait until every writer that routed against the
+  // superseded version has finished, so the streaming scan below (or the
+  // committed ring above) observes all of their effects.
+  while (prev->inflight.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+std::uint64_t Cluster::streams_served(NodeIndex node) const {
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
+  return streams_served_[node].load(std::memory_order_relaxed);
+}
+
+Status Cluster::stream_moved_ranges(const std::vector<MovedRange>& moved) {
+  if (moved.empty()) return Status::ok();
+  // Satellite fix: refresh the failure detector *now*, then never stream
+  // from a node it suspects — a stale verdict must not pick a source that
+  // is already failing, and a fresh one must veto it outright.
+  if (suspicion_refresher_) suspicion_refresher_();
+  const std::vector<std::string> tables = all_table_names();
+  for (const MovedRange& m : moved) {
+    if (m.gained.empty()) continue;
+    const std::size_t quorum = m.old_owners.size() / 2 + 1;
+    std::vector<NodeIndex> sources;
+    for (NodeIndex s : m.old_owners) {
+      if (!replica_up(s) || !reachable(s)) continue;
+      if (suspected_ && suspected_(s)) continue;
+      sources.push_back(s);
+    }
+    if (sources.size() < quorum) {
+      return unavailable(
+          "range streaming reached " + std::to_string(sources.size()) + "/" +
+          std::to_string(quorum) + " healthy sources; movement aborted");
+    }
+    // Quorum-merge streaming: any old-owner quorum intersects the ack set
+    // of every write acked before the movement, so the gained replicas
+    // receive every acked write even if one source is stale.
+    sources.resize(quorum);
+    ranges_streamed_.fetch_add(1, std::memory_order_relaxed);
+    for (NodeIndex s : sources) {
+      streams_served_[s].fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const std::string& table : tables) {
+      // Union of in-range partition keys across the sources (sorted for
+      // deterministic replay).
+      std::map<std::string, char> keys;
+      for (NodeIndex s : sources) {
+        for (auto& key : nodes_[s]->partition_keys(table)) {
+          if (m.range.contains(token_for_key(key))) {
+            keys.emplace(std::move(key), 0);
+          }
+        }
+      }
+      for (const auto& [key, unused] : keys) {
+        std::vector<ReadResult> results(sources.size());
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          results[i].rows = read_partition(sources[i], table, key);
+        }
+        const ReadResult merged = merge_lww(results);
+        for (NodeIndex g : m.gained) {
+          for (const Row& row : merged.rows) {
+            nodes_[g]->apply(WriteCommand{table, key, row});
+            stream_rows_sent_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status Cluster::apply_topology_change_locked(
+    std::shared_ptr<const TokenRing> next_ring) {
+  telemetry::Span span("cassalite.topology");
+  const TopologyVersion* cur = topo();
+  std::shared_ptr<const TokenRing> old_ring = topo_history_.back()->committed;
+  std::vector<MovedRange> moved =
+      ring_diff(*old_ring, *next_ring, options_.replication_factor,
+                rack_aware_ ? rack_of_ : std::vector<int>{});
+  span.tag("moved_ranges", static_cast<std::uint64_t>(moved.size()));
+
+  // Stage 1 — pending publish: writers start dual-routing to old+new
+  // owners; the drain guarantees no writer is still routing old-only when
+  // the streaming scan starts.
+  auto pending = std::make_shared<TopologyVersion>();
+  pending->epoch = cur->epoch + 1;
+  pending->committed = old_ring;
+  pending->pending = next_ring;
+  pending->moved = std::move(moved);
+  publish_and_drain(pending);
+  if (topology_hook_) topology_hook_(TopologyStage::kPendingPublished);
+
+  // Stage 2 — stream moved ranges to their gained owners.
+  Status streamed = stream_moved_ranges(pending->moved);
+  if (topology_hook_) topology_hook_(TopologyStage::kStreamed);
+
+  // Stage 3 — commit the new ring, or abort back to the old one. Either
+  // way the pending version drains so no dual-router straddles the switch.
+  auto final_version = std::make_shared<TopologyVersion>();
+  final_version->epoch = pending->epoch + 1;
+  final_version->committed = streamed.is_ok() ? next_ring : old_ring;
+  publish_and_drain(final_version);
+  if (streamed.is_ok()) {
+    topology_changes_.fetch_add(1, std::memory_order_relaxed);
+    if (topology_hook_) topology_hook_(TopologyStage::kCommitted);
+    span.tag("committed", true);
+  }
+  return streamed;
+}
+
+Result<NodeIndex> Cluster::add_node(std::size_t vnodes, int rack,
+                                    std::uint64_t token_seed) {
+  std::lock_guard lock(topo_mu_);
+  const std::size_t idx = node_slots_.load(std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    return resource_exhausted("cluster is at max_node_count (" +
+                              std::to_string(capacity_) + ")");
+  }
+  // Build the slot before any ring referencing it can publish.
+  nodes_[idx] = std::make_unique<StorageEngine>(options_.storage);
+  if (injector_ != nullptr) nodes_[idx]->set_fault_injector(injector_, idx);
+  alive_[idx].store(true, std::memory_order_release);
+  if (rack_aware_ && rack >= 0) rack_of_[idx] = rack;
+  node_slots_.store(idx + 1, std::memory_order_release);
+
+  auto next = std::make_shared<const TokenRing>(topo()->committed->with_node(
+      idx, vnodes != 0 ? vnodes : options_.vnodes, token_seed));
+  Status s = apply_topology_change_locked(next);
+  if (!s.is_ok()) return s;  // slot stays allocated but is not a member
+  return idx;
+}
+
+Status Cluster::remove_node(NodeIndex node) {
+  std::lock_guard lock(topo_mu_);
+  const std::shared_ptr<const TokenRing> cur = topo_history_.back()->committed;
+  if (!cur->is_member(node)) {
+    return failed_precondition("node " + std::to_string(node) +
+                               " is not a ring member");
+  }
+  if (cur->node_count() - 1 < options_.replication_factor) {
+    return failed_precondition(
+        "removing node " + std::to_string(node) +
+        " would leave fewer members than the replication factor");
+  }
+  auto next = std::make_shared<const TokenRing>(cur->without_node(node));
+  return apply_topology_change_locked(next);
+}
+
+Status Cluster::rebalance(std::uint64_t token_seed) {
+  std::lock_guard lock(topo_mu_);
+  auto next = std::make_shared<const TokenRing>(
+      topo_history_.back()->committed->reshuffled(token_seed));
+  return apply_topology_change_locked(next);
+}
+
 // ------------------------------------------------------------------- write
 
 Status Cluster::insert(const std::string& table,
@@ -207,17 +435,41 @@ Status Cluster::insert(const std::string& table,
   span.tag("table", table);
   span.tag("consistency", consistency_name(consistency));
   row.write_ts = write_clock_.fetch_add(1, std::memory_order_relaxed);
-  const auto replicas = replicas_of(partition_key);
-  const std::size_t needed = required_acks(consistency, replicas.size());
+
+  const TopologyVersion* tv = enter_write();
+  const auto natural = replicas_in(*tv->committed, partition_key);
+  std::size_t needed = required_acks(consistency, natural.size());
+  std::vector<NodeIndex> targets = natural;
+  if (tv->pending != nullptr) {
+    // Pending-range write: also route to the new ring's extra owners, and
+    // require *all* of them to ack. Guarantees every write acked during
+    // the movement already sits on enough of the post-commit replica set
+    // that any post-commit quorum intersects it.
+    bool extra = false;
+    for (NodeIndex r : replicas_in(*tv->pending, partition_key)) {
+      if (std::find(targets.begin(), targets.end(), r) == targets.end()) {
+        targets.push_back(r);
+        ++needed;
+        extra = true;
+      }
+    }
+    if (extra) pending_range_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   WriteCommand cmd{table, partition_key, std::move(row)};
   const std::uint64_t op_salt =
       hash_combine(fnv1a_64(partition_key),
                    static_cast<std::uint64_t>(cmd.row.write_ts));
+  const std::size_t coord = options_.coordinator_node;
   std::size_t acks = 0;
-  for (NodeIndex r : replicas) {
+  for (NodeIndex r : targets) {
     if (!replica_up(r)) {
       // Down replica: hint immediately so it converges on return.
+      store_hint(r, cmd);
+      continue;
+    }
+    if (injector_ != nullptr && injector_->link_down(coord, r)) {
+      // Outbound partition: the mutation never reaches the replica.
       store_hint(r, cmd);
       continue;
     }
@@ -248,6 +500,13 @@ Status Cluster::insert(const std::string& table,
       store_hint(r, cmd);
       continue;
     }
+    if (injector_ != nullptr && injector_->link_down(r, coord)) {
+      // Asymmetric partition on the return path: the replica applied the
+      // mutation but the ack is lost — no consistency-level credit. Hint
+      // anyway; the LWW re-apply on replay is harmless.
+      store_hint(r, cmd);
+      continue;
+    }
     if (elapsed > options_.write_timeout_ms) {
       // Applied, but the ack is too late to count toward the consistency
       // level. No hint needed: the data is on the replica.
@@ -256,6 +515,7 @@ Status Cluster::insert(const std::string& table,
     }
     ++acks;
   }
+  leave_write(tv);
   if (acks < needed) {
     writes_unavailable_.fetch_add(1, std::memory_order_relaxed);
     return unavailable("write to '" + partition_key + "' got " +
@@ -307,6 +567,15 @@ Cluster::ReplicaTry Cluster::run_read_try(NodeIndex replica,
     t.end = start + std::min(elapsed, options_.read_timeout_ms);
   }
   return t;
+}
+
+std::vector<Row> Cluster::read_partition(NodeIndex node,
+                                         const std::string& table,
+                                         const std::string& key) const {
+  ReadQuery q;
+  q.table = table;
+  q.partition_key = key;
+  return nodes_[node]->read(q).rows;
 }
 
 Result<ReadTrace> Cluster::select_traced(const ReadQuery& query,
@@ -725,6 +994,170 @@ std::vector<Result<ReadResult>> Cluster::parallel_read(
   return results;
 }
 
+// ----------------------------------------------------------- anti-entropy
+
+std::vector<std::string> Cluster::all_table_names() const {
+  // Union of registered schemas and every engine's actual tables — implicit
+  // tables (written without create_table) still stream and repair.
+  std::set<std::string> names;
+  for (const TableSchema& s : schemas()) names.insert(s.name);
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
+    for (auto& t : nodes_[i]->table_names()) names.insert(std::move(t));
+  }
+  return {names.begin(), names.end()};
+}
+
+Result<RepairReport> Cluster::repair(const std::string& table) {
+  const auto known = all_table_names();
+  if (std::find(known.begin(), known.end(), table) == known.end()) {
+    return not_found("no such table '" + table + "'");
+  }
+  telemetry::Span span("cassalite.repair");
+  span.tag("table", table);
+  repairs_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  RepairReport rep;
+  rep.tables = 1;
+  const TopologyVersion* tv = topo();
+  const TokenRing& r = *tv->committed;
+
+  // Per-node (token, key) index for this table; partition digests are
+  // recomputed per range below (reads are snapshot-consistent per call).
+  const std::size_t slots = node_count();
+  std::vector<std::vector<std::pair<Token, std::string>>> parts(slots);
+  for (NodeIndex n : r.members()) {
+    if (!replica_up(n)) continue;
+    for (auto& key : nodes_[n]->partition_keys(table)) {
+      parts[n].emplace_back(token_for_key(key), std::move(key));
+    }
+    std::sort(parts[n].begin(), parts[n].end());
+  }
+
+  // Ownership intervals at ring token boundaries, merged while the owner
+  // set is unchanged (fewer, wider Merkle trees).
+  auto owners_at = [&](Token t) {
+    return rack_aware_ ? r.replicas_for_token_rack_aware(
+                             t, options_.replication_factor, rack_of_)
+                       : r.replicas_for_token(t, options_.replication_factor);
+  };
+  struct Interval {
+    TokenRange range;
+    std::vector<NodeIndex> owners;
+  };
+  std::vector<Interval> intervals;
+  const std::vector<Token> bounds = r.boundary_tokens();
+  const std::size_t k = bounds.size();
+  if (k == 1) {
+    intervals.push_back(
+        {TokenRange{bounds[0], bounds[0], true}, owners_at(bounds[0])});
+  } else {
+    for (std::size_t i = 0; i < k; ++i) {
+      const bool wrap = i == 0;
+      const Token lo = wrap ? bounds[k - 1] : bounds[i - 1];
+      const Token hi = bounds[i];
+      auto owners = owners_at(hi);
+      if (!wrap && !intervals.empty() && !intervals.back().range.wraps &&
+          intervals.back().range.hi == lo &&
+          intervals.back().owners == owners) {
+        intervals.back().range.hi = hi;
+      } else {
+        intervals.push_back({TokenRange{lo, hi, wrap}, std::move(owners)});
+      }
+    }
+  }
+
+  for (const Interval& iv : intervals) {
+    std::vector<NodeIndex> live;
+    for (NodeIndex o : iv.owners) {
+      if (replica_up(o)) live.push_back(o);
+    }
+    if (live.size() < 2) continue;  // nothing to compare against
+    ++rep.ranges_checked;
+
+    // One Merkle tree per live replica over this range.
+    std::vector<MerkleTree> trees;
+    trees.reserve(live.size());
+    for (NodeIndex o : live) {
+      MerkleTree tree(iv.range, options_.repair_merkle_depth);
+      for (const auto& [tok, key] : parts[o]) {
+        if (!iv.range.contains(tok)) continue;
+        tree.add(tok, hash_combine(fnv1a_64(key),
+                                   rows_digest(read_partition(o, table, key))));
+      }
+      trees.push_back(std::move(tree));
+    }
+    std::vector<char> divergent(trees.front().leaf_count(), 0);
+    bool any = false;
+    for (std::size_t i = 1; i < trees.size(); ++i) {
+      for (std::size_t leaf : MerkleTree::diff(trees.front(), trees[i])) {
+        divergent[leaf] = 1;
+        any = true;
+      }
+    }
+    if (!any) continue;
+
+    for (std::size_t leaf = 0; leaf < divergent.size(); ++leaf) {
+      if (divergent[leaf] == 0) continue;
+      ++rep.ranges_diverged;
+      ranges_streamed_.fetch_add(1, std::memory_order_relaxed);
+      // Union of partitions hashing into this leaf across the replicas
+      // (sorted: deterministic reconciliation order).
+      std::map<std::string, char> keys;
+      for (NodeIndex o : live) {
+        for (const auto& [tok, key] : parts[o]) {
+          if (iv.range.contains(tok) &&
+              trees.front().leaf_index(tok) == leaf) {
+            keys.emplace(key, 0);
+          }
+        }
+      }
+      for (const auto& [key, unused] : keys) {
+        // LWW-merge the partition across replicas, then apply only the
+        // rows a replica is missing or holds stale.
+        std::vector<std::vector<Row>> replica_rows(live.size());
+        std::vector<ReadResult> results(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          replica_rows[i] = read_partition(live[i], table, key);
+          results[i].rows = replica_rows[i];
+        }
+        const ReadResult merged = merge_lww(results);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          bool repaired = false;
+          for (const Row& row : merged.rows) {
+            const auto it = std::find_if(
+                replica_rows[i].begin(), replica_rows[i].end(),
+                [&](const Row& have) { return have.key == row.key; });
+            if (it != replica_rows[i].end() && *it == row) continue;
+            nodes_[live[i]]->apply(WriteCommand{table, key, row});
+            repair_rows_sent_.fetch_add(1, std::memory_order_relaxed);
+            ++rep.rows_streamed;
+            repaired = true;
+          }
+          if (repaired) ++rep.replicas_repaired;
+        }
+      }
+    }
+  }
+  span.tag("ranges_checked", static_cast<std::uint64_t>(rep.ranges_checked));
+  span.tag("ranges_diverged", static_cast<std::uint64_t>(rep.ranges_diverged));
+  span.tag("rows_streamed", static_cast<std::uint64_t>(rep.rows_streamed));
+  return rep;
+}
+
+Result<RepairReport> Cluster::repair_all() {
+  RepairReport total;
+  for (const std::string& name : all_table_names()) {
+    auto rep = repair(name);
+    if (!rep.is_ok()) return rep.status();
+    total.tables += rep->tables;
+    total.ranges_checked += rep->ranges_checked;
+    total.ranges_diverged += rep->ranges_diverged;
+    total.rows_streamed += rep->rows_streamed;
+    total.replicas_repaired += rep->replicas_repaired;
+  }
+  return total;
+}
+
 // ------------------------------------------------------------------- hints
 
 void Cluster::store_hint(NodeIndex node, const WriteCommand& cmd) {
@@ -748,7 +1181,7 @@ void Cluster::store_hint(NodeIndex node, const WriteCommand& cmd) {
 }
 
 std::size_t Cluster::replay_hints(NodeIndex node) {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
   std::deque<Hint> pending;
   {
     std::lock_guard lock(hint_shards_[node].mu);
@@ -773,45 +1206,48 @@ std::size_t Cluster::replay_hints(NodeIndex node) {
 
 std::size_t Cluster::replay_all_hints() {
   std::size_t total = 0;
-  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
-    if (replica_up(n)) total += replay_hints(n);
+  const std::size_t slots = node_count();
+  for (NodeIndex n = 0; n < slots; ++n) {
+    if (replica_up(n) && reachable(n)) total += replay_hints(n);
   }
   return total;
 }
 
-// ---------------------------------------------------------------- topology
+// ---------------------------------------------------------------- liveness
 
 void Cluster::kill_node(NodeIndex node) {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
   alive_[node].store(false, std::memory_order_release);
 }
 
 std::size_t Cluster::revive_node(NodeIndex node) {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
   alive_[node].store(true, std::memory_order_release);
   return replay_hints(node);
 }
 
 void Cluster::kill_rack(int rack) {
-  HPCLA_CHECK_MSG(!rack_of_.empty(), "cluster has no rack configuration");
-  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+  HPCLA_CHECK_MSG(rack_aware_, "cluster has no rack configuration");
+  const std::size_t slots = node_count();
+  for (NodeIndex n = 0; n < slots; ++n) {
     if (rack_of_[n] == rack) kill_node(n);
   }
 }
 
 std::size_t Cluster::crash_node(NodeIndex node) {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
   return nodes_[node]->crash_and_recover();
 }
 
 bool Cluster::is_alive(NodeIndex node) const {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
   return alive_[node].load(std::memory_order_acquire);
 }
 
 std::size_t Cluster::live_node_count() const {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
     n += alive_[i].load(std::memory_order_acquire) ? 1 : 0;
   }
   return n;
@@ -819,7 +1255,8 @@ std::size_t Cluster::live_node_count() const {
 
 std::size_t Cluster::pending_hints() const {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
     std::lock_guard lock(hint_shards_[i].mu);
     n += hint_shards_[i].q.size();
   }
@@ -827,16 +1264,17 @@ std::size_t Cluster::pending_hints() const {
 }
 
 const StorageEngine& Cluster::engine(NodeIndex node) const {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
   return *nodes_[node];
 }
 
 std::vector<std::string> Cluster::primary_partition_keys(
     NodeIndex node, const std::string& table) const {
-  HPCLA_CHECK_MSG(node < nodes_.size(), "node index out of range");
+  HPCLA_CHECK_MSG(node < node_count(), "node index out of range");
+  const TokenRing& r = ring();
   std::vector<std::string> out;
   for (auto& key : nodes_[node]->partition_keys(table)) {
-    if (ring_.primary(key) == node) out.push_back(std::move(key));
+    if (r.primary(key) == node) out.push_back(std::move(key));
   }
   return out;
 }
@@ -844,8 +1282,9 @@ std::vector<std::string> Cluster::primary_partition_keys(
 std::vector<std::string> Cluster::all_partition_keys(
     const std::string& table) const {
   std::vector<std::string> all;
-  for (const auto& node : nodes_) {
-    auto keys = node->partition_keys(table);
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
+    auto keys = nodes_[i]->partition_keys(table);
     all.insert(all.end(), std::make_move_iterator(keys.begin()),
                std::make_move_iterator(keys.end()));
   }
@@ -870,6 +1309,13 @@ ClusterMetrics Cluster::metrics() const {
   m.digest_mismatches = digest_mismatches_.load(std::memory_order_relaxed);
   m.hints_expired = hints_expired_.load(std::memory_order_relaxed);
   m.hints_overflowed = hints_overflowed_.load(std::memory_order_relaxed);
+  m.topology_changes = topology_changes_.load(std::memory_order_relaxed);
+  m.pending_range_writes =
+      pending_range_writes_.load(std::memory_order_relaxed);
+  m.stream_rows_sent = stream_rows_sent_.load(std::memory_order_relaxed);
+  m.repairs_scheduled = repairs_scheduled_.load(std::memory_order_relaxed);
+  m.ranges_streamed = ranges_streamed_.load(std::memory_order_relaxed);
+  m.repair_rows_sent = repair_rows_sent_.load(std::memory_order_relaxed);
   return m;
 }
 

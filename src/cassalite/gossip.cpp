@@ -9,8 +9,23 @@ Gossiper::Gossiper(GossipOptions options)
   HPCLA_CHECK_MSG(options_.node_count >= 2, "gossip needs >= 2 nodes");
   options_.fanout = std::max<std::size_t>(1, options_.fanout);
   dead_.assign(options_.node_count, false);
+  joined_at_round_.assign(options_.node_count, 0);
   views_.assign(options_.node_count,
                 std::vector<View>(options_.node_count));
+}
+
+std::size_t Gossiper::add_node() {
+  const std::size_t idx = options_.node_count++;
+  dead_.push_back(false);
+  joined_at_round_.push_back(round_);
+  for (auto& row : views_) row.emplace_back();
+  views_.emplace_back(options_.node_count, View{});
+  // The joiner's first heartbeat is its join announcement; it spreads
+  // through normal gossip from the next round on.
+  auto& self = views_[idx][idx];
+  self.heartbeat = 1;
+  self.seen_at_round = round_;
+  return idx;
 }
 
 void Gossiper::kill(std::size_t node) {
@@ -33,16 +48,13 @@ bool Gossiper::is_dead(std::size_t node) const {
   return dead_[node];
 }
 
-void Gossiper::merge(std::size_t a, std::size_t b) {
+void Gossiper::absorb(std::size_t dst, std::size_t src) {
   for (std::size_t t = 0; t < options_.node_count; ++t) {
-    View& va = views_[a][t];
-    View& vb = views_[b][t];
-    if (va.heartbeat < vb.heartbeat) {
-      va.heartbeat = vb.heartbeat;
-      va.seen_at_round = round_;
-    } else if (vb.heartbeat < va.heartbeat) {
-      vb.heartbeat = va.heartbeat;
-      vb.seen_at_round = round_;
+    View& vd = views_[dst][t];
+    const View& vs = views_[src][t];
+    if (vd.heartbeat < vs.heartbeat) {
+      vd.heartbeat = vs.heartbeat;
+      vd.seen_at_round = round_;
     }
   }
 }
@@ -64,7 +76,14 @@ void Gossiper::step() {
       if (peer >= n) ++peer;  // uniform over peers != n
       if (dead_[peer]) continue;  // connection refused
       if (injector_ != nullptr && injector_->drop_gossip()) continue;
-      merge(n, peer);
+      // SYN: n's vector travels to peer; ACK: peer's vector travels back.
+      // A cut SYN link kills the whole exchange (the peer never learns it
+      // should reply); a cut ACK link loses only the reply — the peer still
+      // absorbed the SYN, so rumors flow one way across an asymmetric cut.
+      if (injector_ != nullptr && injector_->link_down(n, peer)) continue;
+      absorb(peer, n);
+      if (injector_ != nullptr && injector_->link_down(peer, n)) continue;
+      absorb(n, peer);
     }
   }
 }
@@ -75,8 +94,10 @@ bool Gossiper::suspects(std::size_t observer, std::size_t target) const {
   if (observer == target) return false;
   const View& v = views_[observer][target];
   if (v.heartbeat == 0) {
-    // Never heard of it: suspicious once the grace window passes.
-    return round_ > options_.suspect_after_rounds;
+    // Never heard of it: suspicious once the grace window passes — anchored
+    // at the target's join round, so a late joiner gets the same grace a
+    // founding member got at round 0.
+    return round_ - joined_at_round_[target] > options_.suspect_after_rounds;
   }
   return round_ - v.seen_at_round > options_.suspect_after_rounds;
 }

@@ -43,6 +43,13 @@ class Gossiper {
   }
   [[nodiscard]] std::int64_t round() const noexcept { return round_; }
 
+  /// Adds a fresh node to the membership (elastic join). The joiner gets a
+  /// suspicion grace window anchored at the current round — peers that have
+  /// not heard its heartbeat yet do not suspect it until
+  /// `suspect_after_rounds` rounds after the *join*, not after round 0.
+  /// Returns the new node's index.
+  std::size_t add_node();
+
   /// Marks a node dead: it stops heartbeating and gossiping (its state is
   /// still gossiped *about* by others).
   void kill(std::size_t node);
@@ -54,8 +61,11 @@ class Gossiper {
   [[nodiscard]] bool is_dead(std::size_t node) const;
 
   /// Advances one gossip round: live nodes bump their own heartbeat, then
-  /// exchange vectors with `fanout` random peers (bidirectional merge,
-  /// like real gossip's SYN/ACK).
+  /// exchange vectors with `fanout` random peers. The exchange models real
+  /// gossip's SYN/ACK as two one-way merges: the SYN direction is dropped
+  /// when the initiator->peer link is partitioned, the ACK direction when
+  /// peer->initiator is — so an asymmetric partition degrades gossip to
+  /// one-way rumor flow instead of silently staying bidirectional.
   void step();
 
   /// Runs `n` rounds.
@@ -89,13 +99,17 @@ class Gossiper {
     std::int64_t seen_at_round = 0;   ///< round when it last advanced
   };
 
-  void merge(std::size_t a, std::size_t b);
+  /// One-way merge: `dst` absorbs every heartbeat `src` knows better.
+  void absorb(std::size_t dst, std::size_t src);
 
   GossipOptions options_;
   Rng rng_;
   FaultInjector* injector_ = nullptr;  ///< not owned
   std::int64_t round_ = 0;
   std::vector<bool> dead_;
+  /// Round each node joined (0 for founding members): anchors the
+  /// never-heard-of-it suspicion grace window for elastic joiners.
+  std::vector<std::int64_t> joined_at_round_;
   /// views_[observer][target]
   std::vector<std::vector<View>> views_;
 };

@@ -1,0 +1,102 @@
+#include "cassalite/merkle.hpp"
+
+#include "common/status.hpp"
+
+namespace hpcla::cassalite {
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-partition digests before the
+/// commutative wrapping sum so correlated inputs can't cancel.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(TokenRange range, int depth)
+    : range_(range), depth_(depth) {
+  HPCLA_CHECK_MSG(depth >= 0 && depth <= 16, "merkle depth out of range");
+  // (lo, hi] width via modular subtraction; wraps ranges get the correct
+  // wrapped width, and lo == hi with wraps means the full 2^64 space
+  // (span_ == 0 encodes that).
+  span_ = static_cast<std::uint64_t>(range.hi) -
+          static_cast<std::uint64_t>(range.lo);
+  HPCLA_CHECK_MSG(span_ != 0 || range.wraps, "merkle over an empty range");
+  leaves_.assign(std::size_t{1} << depth, 0);
+}
+
+std::uint64_t MerkleTree::offset_of(Token token) const noexcept {
+  return static_cast<std::uint64_t>(token) -
+         static_cast<std::uint64_t>(range_.lo) - 1;
+}
+
+std::uint64_t MerkleTree::leaf_start(std::size_t leaf) const noexcept {
+  if (span_ == 0) {  // full token space: exact power-of-two split
+    // leaf == leaf_count() wraps to 0 (offset 2^64), which is what the
+    // modular token arithmetic in leaf_range() wants.
+    return depth_ == 0 ? 0
+                       : static_cast<std::uint64_t>(leaf) << (64 - depth_);
+  }
+  // ceil(leaf * span / leaf_count): the smallest offset mapping to `leaf`.
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(leaf) * span_ + leaves_.size() - 1;
+  return static_cast<std::uint64_t>(num / leaves_.size());
+}
+
+std::size_t MerkleTree::leaf_index(Token token) const {
+  HPCLA_CHECK_MSG(range_.contains(token), "merkle: token outside range");
+  const std::uint64_t off = offset_of(token);
+  if (span_ == 0) {
+    return depth_ == 0 ? 0 : static_cast<std::size_t>(off >> (64 - depth_));
+  }
+  return static_cast<std::size_t>(
+      static_cast<unsigned __int128>(off) * leaves_.size() / span_);
+}
+
+TokenRange MerkleTree::leaf_range(std::size_t leaf) const {
+  HPCLA_CHECK_MSG(leaf < leaves_.size(), "merkle: leaf index out of range");
+  const std::uint64_t start = leaf_start(leaf);
+  const std::uint64_t end = leaf_start(leaf + 1);
+  // Tokens in this leaf are lo+1+start .. lo+end, i.e. (lo+start, lo+end].
+  const Token a =
+      static_cast<Token>(static_cast<std::uint64_t>(range_.lo) + start);
+  const Token b =
+      static_cast<Token>(static_cast<std::uint64_t>(range_.lo) + end);
+  if (start == end) {
+    // Depth-0 full-space tree: the single leaf is the whole ring.
+    if (span_ == 0) return TokenRange{range_.lo, range_.hi, true};
+    return TokenRange{a, a, false};  // empty leaf (range narrower than 2^depth)
+  }
+  // A non-empty modular interval (a, b] wraps iff a >= b in signed order.
+  return TokenRange{a, b, a >= b};
+}
+
+void MerkleTree::add(Token token, std::uint64_t key_digest) {
+  leaves_[leaf_index(token)] += mix64(key_digest);
+  ++keys_;
+}
+
+std::uint64_t MerkleTree::root() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t leaf : leaves_) {
+    h = hash_combine(h, leaf);
+  }
+  return h;
+}
+
+std::vector<std::size_t> MerkleTree::diff(const MerkleTree& a,
+                                          const MerkleTree& b) {
+  HPCLA_CHECK_MSG(a.depth_ == b.depth_ && a.span_ == b.span_ &&
+                      a.range_.lo == b.range_.lo && a.range_.hi == b.range_.hi,
+                  "merkle: diff over mismatched trees");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < a.leaves_.size(); ++i) {
+    if (a.leaves_[i] != b.leaves_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace hpcla::cassalite

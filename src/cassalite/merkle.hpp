@@ -1,0 +1,74 @@
+// Merkle trees over token ranges — the comparison half of anti-entropy
+// repair (DESIGN.md §15). Each replica summarises a token range as a
+// fixed-depth hash tree: the range is split into 2^depth equal-width leaf
+// sub-ranges, every partition hashes into the leaf covering its token, and
+// two replicas' trees diff leaf-by-leaf to localise divergence. Only the
+// partitions inside divergent leaves are then streamed for LWW
+// reconciliation — the Cassandra repair protocol, minus the network.
+//
+// Leaf accumulation is *commutative* (wrapping sum of mixed per-partition
+// digests), so replicas may scan partitions in any order and still produce
+// identical trees for identical data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cassalite/ring.hpp"
+
+namespace hpcla::cassalite {
+
+class MerkleTree {
+ public:
+  /// A tree over `range` with 2^depth leaves. A range with lo == hi and
+  /// wraps == true denotes the full token space.
+  MerkleTree(TokenRange range, int depth);
+
+  [[nodiscard]] const TokenRange& range() const noexcept { return range_; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return leaves_.size();
+  }
+  [[nodiscard]] std::uint64_t keys_added() const noexcept { return keys_; }
+
+  /// Folds one partition into the tree. `key_digest` must capture the
+  /// partition's full contents (key + rows), e.g.
+  /// hash_combine(fnv1a_64(key), rows_digest(rows)). `token` must lie
+  /// inside range().
+  void add(Token token, std::uint64_t key_digest);
+
+  /// Leaf index covering `token` (which must lie inside range()).
+  [[nodiscard]] std::size_t leaf_index(Token token) const;
+
+  /// The token sub-range a leaf covers (empty leaves possible on narrow
+  /// ranges; then lo == hi and wraps == false, containing no token).
+  [[nodiscard]] TokenRange leaf_range(std::size_t leaf) const;
+
+  /// Root hash: order-sensitive fold of the leaf hashes. Equal roots <=>
+  /// equal leaf vectors.
+  [[nodiscard]] std::uint64_t root() const noexcept;
+
+  [[nodiscard]] std::uint64_t leaf_hash(std::size_t leaf) const {
+    return leaves_[leaf];
+  }
+
+  /// Indices of leaves whose hashes differ between two trees built over
+  /// the same range and depth.
+  [[nodiscard]] static std::vector<std::size_t> diff(const MerkleTree& a,
+                                                     const MerkleTree& b);
+
+ private:
+  /// Offset of `token` within (lo, hi], in [0, span). Modular arithmetic
+  /// makes this correct for wrapping ranges too.
+  [[nodiscard]] std::uint64_t offset_of(Token token) const noexcept;
+  /// First offset covered by `leaf` (== span for leaf == leaf_count).
+  [[nodiscard]] std::uint64_t leaf_start(std::size_t leaf) const noexcept;
+
+  TokenRange range_;
+  int depth_;
+  std::uint64_t span_;  ///< range width in tokens; 0 encodes 2^64 (full)
+  std::uint64_t keys_ = 0;
+  std::vector<std::uint64_t> leaves_;
+};
+
+}  // namespace hpcla::cassalite

@@ -5,21 +5,45 @@
 #include "common/rng.hpp"
 
 namespace hpcla::cassalite {
+namespace {
+
+/// Tokens for one node, decorrelated from other nodes under the same seed
+/// so with_node/reshuffled never depend on generation order.
+std::vector<Token> tokens_for_node(NodeIndex node, std::size_t vnodes,
+                                   std::uint64_t seed) {
+  Rng rng(hash_combine(seed, static_cast<std::uint64_t>(node)));
+  std::vector<Token> out;
+  out.reserve(vnodes);
+  for (std::size_t v = 0; v < vnodes; ++v) {
+    out.push_back(static_cast<Token>(rng.next_u64()));
+  }
+  return out;
+}
+
+}  // namespace
 
 TokenRing::TokenRing(std::size_t node_count, std::size_t vnodes,
-                     std::uint64_t seed)
-    : node_count_(node_count), vnodes_(vnodes) {
+                     std::uint64_t seed) {
   HPCLA_CHECK_MSG(node_count >= 1, "ring requires at least one node");
   HPCLA_CHECK_MSG(vnodes >= 1, "ring requires at least one vnode per node");
-  Rng rng(seed);
+  vnodes_ = vnodes;
   entries_.reserve(node_count * vnodes);
+  // Preserve the original (pre-elastic) token layout: one sequential Rng
+  // over all nodes, so seeded tests keep their historical placements.
+  Rng rng(seed);
   for (NodeIndex n = 0; n < node_count; ++n) {
     for (std::size_t v = 0; v < vnodes; ++v) {
       entries_.push_back(Entry{static_cast<Token>(rng.next_u64()), n});
     }
   }
+  finalize();
+}
+
+void TokenRing::finalize() {
   std::sort(entries_.begin(), entries_.end(),
-            [](const Entry& a, const Entry& b) { return a.token < b.token; });
+            [](const Entry& a, const Entry& b) {
+              return a.token != b.token ? a.token < b.token : a.node < b.node;
+            });
   // Colliding tokens are astronomically unlikely with 64-bit tokens but
   // would make ownership ambiguous; nudge duplicates apart deterministically.
   for (std::size_t i = 1; i < entries_.size(); ++i) {
@@ -27,6 +51,77 @@ TokenRing::TokenRing(std::size_t node_count, std::size_t vnodes,
       ++entries_[i].token;
     }
   }
+  members_.clear();
+  index_space_ = 0;
+  for (const Entry& e : entries_) {
+    if (std::find(members_.begin(), members_.end(), e.node) == members_.end()) {
+      members_.push_back(e.node);
+    }
+    index_space_ = std::max(index_space_, e.node + 1);
+  }
+  std::sort(members_.begin(), members_.end());
+}
+
+bool TokenRing::is_member(NodeIndex node) const noexcept {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+std::vector<Token> TokenRing::tokens_of(NodeIndex node) const {
+  std::vector<Token> out;
+  for (const Entry& e : entries_) {
+    if (e.node == node) out.push_back(e.token);
+  }
+  return out;
+}
+
+std::vector<Token> TokenRing::boundary_tokens() const {
+  std::vector<Token> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.token);
+  // entries_ is sorted and collision-nudged, so tokens are already distinct.
+  return out;
+}
+
+TokenRing TokenRing::with_node(NodeIndex node, std::size_t vnodes,
+                               std::uint64_t seed) const {
+  HPCLA_CHECK_MSG(!is_member(node), "with_node: node is already a member");
+  if (vnodes == 0) vnodes = vnodes_;
+  TokenRing next;
+  next.vnodes_ = vnodes_;
+  next.entries_ = entries_;
+  for (Token t : tokens_for_node(node, vnodes, seed)) {
+    next.entries_.push_back(Entry{t, node});
+  }
+  next.finalize();
+  return next;
+}
+
+TokenRing TokenRing::without_node(NodeIndex node) const {
+  HPCLA_CHECK_MSG(is_member(node), "without_node: node is not a member");
+  HPCLA_CHECK_MSG(members_.size() >= 2,
+                  "without_node: cannot remove the last member");
+  TokenRing next;
+  next.vnodes_ = vnodes_;
+  next.entries_.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.node != node) next.entries_.push_back(e);
+  }
+  next.finalize();
+  return next;
+}
+
+TokenRing TokenRing::reshuffled(std::uint64_t seed) const {
+  TokenRing next;
+  next.vnodes_ = vnodes_;
+  next.entries_.reserve(entries_.size());
+  for (NodeIndex node : members_) {
+    const std::size_t vnodes = tokens_of(node).size();
+    for (Token t : tokens_for_node(node, vnodes, seed)) {
+      next.entries_.push_back(Entry{t, node});
+    }
+  }
+  next.finalize();
+  return next;
 }
 
 NodeIndex TokenRing::primary(std::string_view partition_key) const {
@@ -41,10 +136,15 @@ std::vector<NodeIndex> TokenRing::replicas(std::string_view partition_key,
 std::vector<NodeIndex> TokenRing::replicas_rack_aware(
     std::string_view partition_key, std::size_t rf,
     const std::vector<int>& rack_of) const {
-  HPCLA_CHECK_MSG(rack_of.size() == node_count_,
-                  "rack_of must cover every node");
-  rf = std::min(std::max<std::size_t>(rf, 1), node_count_);
-  const Token t = token_for_key(partition_key);
+  return replicas_for_token_rack_aware(token_for_key(partition_key), rf,
+                                       rack_of);
+}
+
+std::vector<NodeIndex> TokenRing::replicas_for_token_rack_aware(
+    Token t, std::size_t rf, const std::vector<int>& rack_of) const {
+  HPCLA_CHECK_MSG(rack_of.size() >= index_space_,
+                  "rack_of must cover every node index");
+  rf = std::min(std::max<std::size_t>(rf, 1), members_.size());
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), t,
       [](const Entry& e, Token tok) { return e.token < tok; });
@@ -80,7 +180,7 @@ std::vector<NodeIndex> TokenRing::replicas_rack_aware(
 
 std::vector<NodeIndex> TokenRing::replicas_for_token(Token t,
                                                      std::size_t rf) const {
-  rf = std::min(std::max<std::size_t>(rf, 1), node_count_);
+  rf = std::min(std::max<std::size_t>(rf, 1), members_.size());
   std::vector<NodeIndex> out;
   out.reserve(rf);
   // First vnode with token >= t, wrapping.
@@ -98,6 +198,71 @@ std::vector<NodeIndex> TokenRing::replicas_for_token(Token t,
     }
   }
   return out;
+}
+
+std::vector<MovedRange> ring_diff(const TokenRing& before,
+                                  const TokenRing& after, std::size_t rf,
+                                  const std::vector<int>& rack_of) {
+  // Partition the token space at the union of both rings' tokens: within
+  // each resulting interval, ownership is constant in *both* rings (each
+  // ring's own boundaries are a subset of the union).
+  std::vector<Token> bounds = before.boundary_tokens();
+  {
+    std::vector<Token> b2 = after.boundary_tokens();
+    bounds.insert(bounds.end(), b2.begin(), b2.end());
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  HPCLA_CHECK_MSG(!bounds.empty(), "ring_diff: empty rings");
+
+  auto owners = [&](const TokenRing& ring, Token t) {
+    return rack_of.empty()
+               ? ring.replicas_for_token(t, rf)
+               : ring.replicas_for_token_rack_aware(t, rf, rack_of);
+  };
+  auto minus = [](const std::vector<NodeIndex>& a,
+                  const std::vector<NodeIndex>& b) {
+    std::vector<NodeIndex> out;
+    for (NodeIndex n : a) {
+      if (std::find(b.begin(), b.end(), n) == b.end()) out.push_back(n);
+    }
+    return out;
+  };
+  auto same_set = [&](const std::vector<NodeIndex>& a,
+                      const std::vector<NodeIndex>& b) {
+    return a.size() == b.size() && minus(a, b).empty();
+  };
+
+  std::vector<MovedRange> moved;
+  // Intervals (bounds[i-1], bounds[i]] for i >= 1, then the wrap interval
+  // (bounds.back(), bounds.front()]. The inclusive upper bound is always a
+  // token inside the interval, so it serves as the ownership probe.
+  const std::size_t k = bounds.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const bool wrap = i == 0;
+    const Token lo = wrap ? bounds[k - 1] : bounds[i - 1];
+    const Token hi = bounds[i];
+    if (wrap && k == 1) continue;  // single boundary: full ring, one owner set
+    std::vector<NodeIndex> old_owners = owners(before, hi);
+    std::vector<NodeIndex> new_owners = owners(after, hi);
+    if (same_set(old_owners, new_owners)) continue;
+    // Merge with the previous emitted range when contiguous + same owners.
+    if (!wrap && !moved.empty() && !moved.back().range.wraps &&
+        moved.back().range.hi == lo &&
+        moved.back().old_owners == old_owners &&
+        moved.back().new_owners == new_owners) {
+      moved.back().range.hi = hi;
+      continue;
+    }
+    MovedRange m;
+    m.range = TokenRange{lo, hi, wrap};
+    m.gained = minus(new_owners, old_owners);
+    m.lost = minus(old_owners, new_owners);
+    m.old_owners = std::move(old_owners);
+    m.new_owners = std::move(new_owners);
+    moved.push_back(std::move(m));
+  }
+  return moved;
 }
 
 }  // namespace hpcla::cassalite

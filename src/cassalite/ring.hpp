@@ -2,6 +2,13 @@
 // placement layer (paper §II-A: "a hashing-based distributed database...
 // a partition is associated with a hash key and mapped to one or more
 // nodes"; Fig 4 shows (hour, type) partitions mapped over 4 nodes).
+//
+// Since PR 9 the ring is a *value*: each TokenRing instance is still
+// immutable, but elastic topology derives new rings from old ones
+// (with_node / without_node / reshuffled) and the cluster atomically
+// publishes the successor. Membership is therefore a set of node indices,
+// not a dense 0..n-1 range: a removed node leaves a hole in the index
+// space so surviving engines keep their slots.
 #pragma once
 
 #include <cstdint>
@@ -17,25 +24,86 @@ namespace hpcla::cassalite {
 /// Index of a node within a cluster.
 using NodeIndex = std::size_t;
 
-/// Token ring: each node owns `vnodes` pseudo-random tokens; a partition
-/// key is owned by the node whose token is the first at or after the key's
-/// token (clockwise), and replicated on the next RF-1 *distinct* nodes.
-/// Immutable after construction.
+/// Half-open-on-the-left token interval (lo, hi]. `wraps` means the range
+/// crosses the int64 wraparound point: it covers (lo, +inf] ∪ [-inf, hi].
+struct TokenRange {
+  Token lo = 0;
+  Token hi = 0;
+  bool wraps = false;
+
+  [[nodiscard]] bool contains(Token t) const noexcept {
+    return wraps ? (t > lo || t <= hi) : (t > lo && t <= hi);
+  }
+};
+
+/// One token interval whose replica set changes between two rings, as
+/// computed by ring_diff(). `gained` nodes must be streamed the range
+/// before the new ring commits; `lost` nodes stop being owners (their
+/// copies become stale but are never deleted — repair reconciles them).
+struct MovedRange {
+  TokenRange range;
+  std::vector<NodeIndex> old_owners;
+  std::vector<NodeIndex> new_owners;
+  std::vector<NodeIndex> gained;  ///< in new_owners but not old_owners
+  std::vector<NodeIndex> lost;    ///< in old_owners but not new_owners
+};
+
+/// Token ring: each member node owns `vnodes` pseudo-random tokens; a
+/// partition key is owned by the member whose token is the first at or
+/// after the key's token (clockwise), and replicated on the next RF-1
+/// *distinct* members. Each instance is immutable; topology changes build
+/// derived rings.
 class TokenRing {
  public:
-  /// Builds a ring for `node_count` nodes with `vnodes` tokens each,
-  /// deterministically derived from `seed`.
+  /// Builds a ring for members {0..node_count-1} with `vnodes` tokens
+  /// each, deterministically derived from `seed`.
   TokenRing(std::size_t node_count, std::size_t vnodes = 64,
             std::uint64_t seed = 0xCA55A17E);
 
-  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+  /// Number of member nodes (not the index space size).
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return members_.size();
+  }
+  /// 1 + the highest member index: the engine-array span the ring refers
+  /// into. A removed member leaves a hole, so this can exceed node_count().
+  [[nodiscard]] std::size_t index_space() const noexcept {
+    return index_space_;
+  }
   [[nodiscard]] std::size_t vnodes_per_node() const noexcept { return vnodes_; }
+
+  [[nodiscard]] bool is_member(NodeIndex node) const noexcept;
+  /// Member indices, sorted ascending.
+  [[nodiscard]] const std::vector<NodeIndex>& members() const noexcept {
+    return members_;
+  }
+  /// Tokens owned by one member, sorted ascending (empty if not a member).
+  [[nodiscard]] std::vector<Token> tokens_of(NodeIndex node) const;
+  /// Every token in the ring, sorted ascending and distinct.
+  [[nodiscard]] std::vector<Token> boundary_tokens() const;
+
+  // ---------------------------------------------------- derived topologies
+
+  /// A ring with `node` added as a member owning `vnodes` fresh tokens
+  /// derived from `seed` (0 vnodes means "same as this ring"). `node` must
+  /// not already be a member.
+  [[nodiscard]] TokenRing with_node(NodeIndex node, std::size_t vnodes,
+                                    std::uint64_t seed) const;
+
+  /// A ring with `node` (a current member) removed; its ranges fall to the
+  /// clockwise successors.
+  [[nodiscard]] TokenRing without_node(NodeIndex node) const;
+
+  /// A ring with the same members but all tokens re-derived from `seed`
+  /// (a full rebalance: most ranges move).
+  [[nodiscard]] TokenRing reshuffled(std::uint64_t seed) const;
+
+  // ----------------------------------------------------------- placement
 
   /// The primary owner of a partition key.
   [[nodiscard]] NodeIndex primary(std::string_view partition_key) const;
 
   /// The replica set (primary first, then clockwise distinct successors).
-  /// `rf` is clamped to the node count.
+  /// `rf` is clamped to the member count.
   [[nodiscard]] std::vector<NodeIndex> replicas(std::string_view partition_key,
                                                 std::size_t rf) const;
 
@@ -44,7 +112,7 @@ class TokenRing {
                                                           std::size_t rf) const;
 
   /// Rack-aware replica selection (NetworkTopologyStrategy-style): walks
-  /// the ring clockwise preferring nodes whose rack (`rack_of(node)`) has
+  /// the ring clockwise preferring nodes whose rack (`rack_of[node]`) has
   /// not supplied a replica yet, then fills any remainder with distinct
   /// nodes regardless of rack. With rf <= rack count, replicas land on
   /// rf distinct racks, so the loss of one whole rack never removes more
@@ -53,15 +121,35 @@ class TokenRing {
       std::string_view partition_key, std::size_t rf,
       const std::vector<int>& rack_of) const;
 
+  /// Token-based variant of replicas_rack_aware().
+  [[nodiscard]] std::vector<NodeIndex> replicas_for_token_rack_aware(
+      Token t, std::size_t rf, const std::vector<int>& rack_of) const;
+
  private:
   struct Entry {
     Token token;
     NodeIndex node;
   };
 
-  std::size_t node_count_;
-  std::size_t vnodes_;
-  std::vector<Entry> entries_;  ///< sorted by token
+  TokenRing() = default;  ///< for derived-topology builders
+
+  /// Sorts entries, nudges colliding tokens apart, recomputes members.
+  void finalize();
+
+  std::size_t vnodes_ = 1;
+  std::size_t index_space_ = 0;
+  std::vector<Entry> entries_;       ///< sorted by token
+  std::vector<NodeIndex> members_;   ///< sorted distinct node indices
 };
+
+/// Diffs two rings: partitions token space at the union of both rings'
+/// boundary tokens (ownership is constant on each interval in both rings)
+/// and emits every interval whose replica set changes, merging adjacent
+/// intervals with identical old/new owner lists. Placement is rack-aware
+/// when `rack_of` is non-empty (it must cover both rings' index spaces).
+[[nodiscard]] std::vector<MovedRange> ring_diff(const TokenRing& before,
+                                                const TokenRing& after,
+                                                std::size_t rf,
+                                                const std::vector<int>& rack_of);
 
 }  // namespace hpcla::cassalite

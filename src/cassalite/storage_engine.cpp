@@ -559,6 +559,14 @@ std::vector<std::string> StorageEngine::partition_keys(
   return {keys.begin(), keys.end()};
 }
 
+std::vector<std::string> StorageEngine::table_names() const {
+  std::shared_lock lock(map_mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;  // std::map iteration order: already sorted
+}
+
 std::uint64_t StorageEngine::approximate_rows(const std::string& table) const {
   const TableStore* store = find_table(table);
   if (store == nullptr) return 0;

@@ -157,6 +157,11 @@ class StorageEngine {
   [[nodiscard]] std::vector<std::string> partition_keys(
       const std::string& table) const;
 
+  /// Names of every table with data on this node (sorted). Range streaming
+  /// and anti-entropy repair enumerate tables through this, so data written
+  /// to tables never registered with Cluster::create_table still moves.
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
   /// Number of rows stored for a table (post-reconciliation upper bound:
   /// duplicates across runs counted once per run).
   [[nodiscard]] std::uint64_t approximate_rows(const std::string& table) const;

@@ -31,7 +31,8 @@ FaultInjector::FaultInjector(std::size_t node_count, FaultOptions options,
     : node_count_(node_count),
       options_(options),
       clock_(clock),
-      nodes_(std::make_unique<NodeFaults[]>(node_count)) {}
+      nodes_(std::make_unique<NodeFaults[]>(node_count)),
+      links_(std::make_unique<LinkFault[]>(node_count * node_count)) {}
 
 void FaultInjector::crash_window(std::size_t node, std::int64_t from_ms,
                                  std::int64_t until_ms) {
@@ -57,20 +58,91 @@ void FaultInjector::heal_node(std::size_t node) {
 
 void FaultInjector::heal_all() {
   for (std::size_t n = 0; n < node_count_; ++n) heal_node(n);
+  heal_partitions();
 }
 
 bool FaultInjector::is_down(std::size_t node) const {
-  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  // Nodes added to the cluster after the injector was sized have no
+  // scheduled faults: report healthy instead of asserting.
+  if (node >= node_count_) return false;
   return in_window(now_ms(),
                    nodes_[node].down_from.load(std::memory_order_acquire),
                    nodes_[node].down_until.load(std::memory_order_acquire));
 }
 
 bool FaultInjector::is_slow(std::size_t node) const {
-  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  if (node >= node_count_) return false;
   return in_window(now_ms(),
                    nodes_[node].slow_from.load(std::memory_order_acquire),
                    nodes_[node].slow_until.load(std::memory_order_acquire));
+}
+
+void FaultInjector::partition_link(std::size_t from_node, std::size_t to_node,
+                                   std::int64_t from_ms,
+                                   std::int64_t until_ms) {
+  HPCLA_CHECK_MSG(from_node < node_count_ && to_node < node_count_,
+                  "faultsim: partition node index out of range");
+  LinkFault& l = link(from_node, to_node);
+  l.from.store(from_ms, std::memory_order_release);
+  l.until.store(until_ms, std::memory_order_release);
+}
+
+void FaultInjector::partition_groups(const std::vector<std::size_t>& group_a,
+                                     const std::vector<std::size_t>& group_b,
+                                     std::int64_t from_ms,
+                                     std::int64_t until_ms) {
+  for (std::size_t a : group_a) {
+    for (std::size_t b : group_b) {
+      if (a == b) continue;
+      partition_link(a, b, from_ms, until_ms);
+      partition_link(b, a, from_ms, until_ms);
+    }
+  }
+}
+
+void FaultInjector::heal_partitions() {
+  for (std::size_t i = 0; i < node_count_ * node_count_; ++i) {
+    links_[i].from.store(INT64_MAX, std::memory_order_release);
+    links_[i].until.store(INT64_MIN, std::memory_order_release);
+  }
+}
+
+bool FaultInjector::link_down(std::size_t from_node, std::size_t to_node) {
+  if (from_node >= node_count_ || to_node >= node_count_) return false;
+  if (from_node == to_node) return false;
+  const LinkFault& l = link(from_node, to_node);
+  bool down = in_window(now_ms(), l.from.load(std::memory_order_acquire),
+                        l.until.load(std::memory_order_acquire));
+  if (down) partition_drops_.fetch_add(1, std::memory_order_relaxed);
+  return down;
+}
+
+void FaultInjector::schedule_topology_event(TopologyEvent event) {
+  std::lock_guard<std::mutex> lock(topology_mu_);
+  topology_events_.push_back(event);
+}
+
+std::optional<TopologyEvent> FaultInjector::pop_due_topology_event() {
+  std::lock_guard<std::mutex> lock(topology_mu_);
+  const std::int64_t now = now_ms();
+  std::size_t best = topology_events_.size();
+  for (std::size_t i = 0; i < topology_events_.size(); ++i) {
+    if (topology_events_[i].at_ms > now) continue;
+    if (best == topology_events_.size() ||
+        topology_events_[i].at_ms < topology_events_[best].at_ms) {
+      best = i;  // earliest due; ties keep the first inserted
+    }
+  }
+  if (best == topology_events_.size()) return std::nullopt;
+  TopologyEvent event = topology_events_[best];
+  topology_events_.erase(topology_events_.begin() +
+                         static_cast<std::ptrdiff_t>(best));
+  return event;
+}
+
+std::size_t FaultInjector::pending_topology_events() const {
+  std::lock_guard<std::mutex> lock(topology_mu_);
+  return topology_events_.size();
 }
 
 bool FaultInjector::decide(double rate, std::uint64_t channel,
@@ -84,7 +156,7 @@ bool FaultInjector::decide(double rate, std::uint64_t channel,
 }
 
 bool FaultInjector::fail_write(std::size_t node) {
-  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  if (node >= node_count_) return false;
   std::uint64_t n =
       nodes_[node].write_ops.fetch_add(1, std::memory_order_relaxed);
   bool fail = decide(options_.write_error_rate,
@@ -94,7 +166,7 @@ bool FaultInjector::fail_write(std::size_t node) {
 }
 
 bool FaultInjector::fail_read(std::size_t node) {
-  HPCLA_CHECK_MSG(node < node_count_, "faultsim: node index out of range");
+  if (node >= node_count_) return false;
   std::uint64_t n =
       nodes_[node].read_ops.fetch_add(1, std::memory_order_relaxed);
   bool fail =
@@ -132,6 +204,7 @@ FaultCounts FaultInjector::counts() const {
   c.gossip_drops = gossip_drops_.load(std::memory_order_relaxed);
   c.poisoned_records = poisoned_records_.load(std::memory_order_relaxed);
   c.slow_ops = slow_ops_.load(std::memory_order_relaxed);
+  c.partition_drops = partition_drops_.load(std::memory_order_relaxed);
   return c;
 }
 

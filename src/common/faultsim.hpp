@@ -20,6 +20,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -69,6 +72,23 @@ struct FaultCounts {
   std::uint64_t gossip_drops = 0;
   std::uint64_t poisoned_records = 0;
   std::uint64_t slow_ops = 0;
+  std::uint64_t partition_drops = 0;
+};
+
+/// A scheduled topology mutation a chaos run drains at virtual-time
+/// boundaries. The injector only stores and orders these; the cluster (or a
+/// test harness) pops due events and applies them, so the *schedule* is part
+/// of the seeded, replayable fault plan even though ring changes happen in
+/// cluster code.
+enum class TopologyAction { kAddNode, kRemoveNode, kRebalance };
+
+struct TopologyEvent {
+  std::int64_t at_ms = 0;
+  TopologyAction action = TopologyAction::kAddNode;
+  /// Node the action targets (kRemoveNode); ignored for add/rebalance.
+  std::size_t node = 0;
+  /// Token seed for the new/reshuffled ring position.
+  std::uint64_t seed = 0;
 };
 
 /// Seeded, thread-safe fault decider. All per-op decisions are hash-based
@@ -99,11 +119,45 @@ class FaultInjector {
   /// Heals one node: clears its crash and slow windows.
   void heal_node(std::size_t node);
 
-  /// Heals every node.
+  /// Heals every node (crash/slow windows and partition links).
   void heal_all();
 
   [[nodiscard]] bool is_down(std::size_t node) const;
   [[nodiscard]] bool is_slow(std::size_t node) const;
+
+  // ------------------------------------------- network-partition schedules
+
+  /// One-way drop: messages from `from_node` to `to_node` are lost during
+  /// [from_ms, until_ms). Asymmetric by design — schedule only one direction
+  /// to model a half-open link. Replaces any previous window on that link.
+  void partition_link(std::size_t from_node, std::size_t to_node,
+                      std::int64_t from_ms, std::int64_t until_ms);
+
+  /// Symmetric partition between two node groups: every cross-group link is
+  /// dropped in both directions during [from_ms, until_ms).
+  void partition_groups(const std::vector<std::size_t>& group_a,
+                        const std::vector<std::size_t>& group_b,
+                        std::int64_t from_ms, std::int64_t until_ms);
+
+  /// Clears every link window (crash/slow windows are untouched).
+  void heal_partitions();
+
+  /// Is the from->to direction of the link currently dropping messages?
+  /// Out-of-range indices and self-links are never partitioned. Counts one
+  /// partition_drop per true answer (each query models one lost message).
+  bool link_down(std::size_t from_node, std::size_t to_node);
+
+  // ------------------------------------------- topology-change schedules
+
+  /// Enqueues a deterministic topology mutation for the chaos schedule.
+  void schedule_topology_event(TopologyEvent event);
+
+  /// Pops the earliest scheduled event with at_ms <= now, if any. Events due
+  /// at the same virtual time pop in insertion order.
+  std::optional<TopologyEvent> pop_due_topology_event();
+
+  /// Number of scheduled events not yet popped.
+  [[nodiscard]] std::size_t pending_topology_events() const;
 
   // ----------------------------------------------------- per-op decisions
 
@@ -138,18 +192,34 @@ class FaultInjector {
   [[nodiscard]] bool decide(double rate, std::uint64_t channel,
                             std::uint64_t n) const noexcept;
 
+  /// One directed link's drop window; same sentinel scheme as NodeFaults.
+  struct LinkFault {
+    std::atomic<std::int64_t> from{INT64_MAX};
+    std::atomic<std::int64_t> until{INT64_MIN};
+  };
+
+  [[nodiscard]] LinkFault& link(std::size_t from_node,
+                                std::size_t to_node) const {
+    return links_[from_node * node_count_ + to_node];
+  }
+
   std::size_t node_count_;
   FaultOptions options_;
   SimClock* clock_;
   std::unique_ptr<NodeFaults[]> nodes_;
+  std::unique_ptr<LinkFault[]> links_;  // node_count_^2 directed links
   std::atomic<std::uint64_t> gossip_ops_{0};
   std::atomic<std::uint64_t> poison_ops_{0};
+
+  mutable std::mutex topology_mu_;
+  std::vector<TopologyEvent> topology_events_;
 
   mutable std::atomic<std::uint64_t> write_errors_{0};
   mutable std::atomic<std::uint64_t> read_errors_{0};
   mutable std::atomic<std::uint64_t> gossip_drops_{0};
   mutable std::atomic<std::uint64_t> poisoned_records_{0};
   mutable std::atomic<std::uint64_t> slow_ops_{0};
+  mutable std::atomic<std::uint64_t> partition_drops_{0};
 };
 
 }  // namespace hpcla

@@ -246,6 +246,13 @@ std::string render_cluster_metrics(const cassalite::ClusterMetrics& m) {
   line("hints_replayed", m.hints_replayed);
   line("hints_expired", m.hints_expired);
   line("hints_overflowed", m.hints_overflowed);
+  out += "topology + repair\n";
+  line("topology_changes", m.topology_changes);
+  line("pending_range_writes", m.pending_range_writes);
+  line("stream_rows_sent", m.stream_rows_sent);
+  line("repairs_scheduled", m.repairs_scheduled);
+  line("ranges_streamed", m.ranges_streamed);
+  line("repair_rows_sent", m.repair_rows_sent);
   return out;
 }
 

@@ -37,6 +37,8 @@ Result<QueryPath> classify_query(std::string_view op) {
       {"metrics", QueryPath::kSimple},
       {"trace", QueryPath::kSimple},
       {"slowlog", QueryPath::kSimple},
+      {"topology", QueryPath::kSimple},
+      {"repair", QueryPath::kSimple},
       {"heatmap", QueryPath::kComplex},
       {"distribution", QueryPath::kComplex},
       {"hourly", QueryPath::kComplex},
@@ -178,6 +180,8 @@ Result<Json> AnalyticsServer::dispatch(std::string_view op,
   if (op == "metrics") return op_metrics(request);
   if (op == "trace") return op_trace(request);
   if (op == "slowlog") return op_slowlog(request);
+  if (op == "topology") return op_topology(request);
+  if (op == "repair") return op_repair(request);
   if (op == "heatmap") return op_heatmap(request);
   if (op == "distribution") return op_distribution(request);
   if (op == "hourly") return op_hourly(request);
@@ -241,6 +245,12 @@ Result<Json> AnalyticsServer::op_metrics(const Json&) {
   put("speculative_reads", cm.speculative_reads);
   put("replica_timeouts", cm.replica_timeouts);
   put("digest_mismatches", cm.digest_mismatches);
+  put("topology_changes", cm.topology_changes);
+  put("pending_range_writes", cm.pending_range_writes);
+  put("stream_rows_sent", cm.stream_rows_sent);
+  put("repairs_scheduled", cm.repairs_scheduled);
+  put("ranges_streamed", cm.ranges_streamed);
+  put("repair_rows_sent", cm.repair_rows_sent);
   Json j = Json::object();
   j["server"] = std::move(server);
   j["cluster"] = std::move(cluster);
@@ -323,6 +333,78 @@ Result<Json> AnalyticsServer::op_slowlog(const Json&) {
     arr.push_back(std::move(row));
   }
   out["spans"] = std::move(arr);
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_topology(const Json& request) {
+  // Optional mutation first (nodetool-style admin verbs), then the
+  // post-action view of the ring — so the response always describes the
+  // topology the action produced.
+  const auto action = request.get_string("action");
+  if (action.is_ok()) {
+    const std::string& verb = action.value();
+    if (verb == "add_node") {
+      const std::int64_t vnodes = request.get_int("vnodes").value_or(0);
+      const std::int64_t rack = request.get_int("rack").value_or(-1);
+      if (vnodes < 0) return invalid_argument("'vnodes' must be >= 0");
+      auto added = request.as_object().contains("token_seed")
+                       ? cluster_->add_node(
+                             static_cast<std::size_t>(vnodes),
+                             static_cast<int>(rack),
+                             static_cast<std::uint64_t>(
+                                 request.get_int("token_seed").value_or(0)))
+                       : cluster_->add_node(static_cast<std::size_t>(vnodes),
+                                            static_cast<int>(rack));
+      if (!added.is_ok()) return added.status();
+    } else if (verb == "remove_node") {
+      auto node = request.get_int("node");
+      if (!node.is_ok()) return node.status();
+      if (node.value() < 0) return invalid_argument("'node' must be >= 0");
+      HPCLA_RETURN_IF_ERROR(cluster_->remove_node(
+          static_cast<cassalite::NodeIndex>(node.value())));
+    } else if (verb == "rebalance") {
+      auto seed = request.get_int("token_seed");
+      if (!seed.is_ok()) return seed.status();
+      HPCLA_RETURN_IF_ERROR(
+          cluster_->rebalance(static_cast<std::uint64_t>(seed.value())));
+    } else {
+      return invalid_argument("unknown topology action '" + verb + "'");
+    }
+  }
+  const cassalite::TokenRing& ring = cluster_->ring();
+  Json out = Json::object();
+  out["epoch"] = static_cast<std::int64_t>(cluster_->ring_epoch());
+  out["node_slots"] = static_cast<std::int64_t>(cluster_->node_count());
+  out["members"] = static_cast<std::int64_t>(cluster_->member_count());
+  out["replication_factor"] =
+      static_cast<std::int64_t>(cluster_->replication_factor());
+  out["movement_in_progress"] = cluster_->movement_in_progress();
+  Json members = Json::array();
+  for (cassalite::NodeIndex n : ring.members()) {
+    Json row = Json::object();
+    row["node"] = static_cast<std::int64_t>(n);
+    row["vnodes"] = static_cast<std::int64_t>(ring.tokens_of(n).size());
+    row["alive"] = cluster_->is_alive(n);
+    const int rack = cluster_->rack_of(n);
+    if (rack >= 0) row["rack"] = static_cast<std::int64_t>(rack);
+    members.push_back(std::move(row));
+  }
+  out["ring"] = std::move(members);
+  return out;
+}
+
+Result<Json> AnalyticsServer::op_repair(const Json& request) {
+  const auto table = request.get_string("table");
+  auto report = table.is_ok() ? cluster_->repair(table.value())
+                              : cluster_->repair_all();
+  if (!report.is_ok()) return report.status();
+  Json out = Json::object();
+  out["tables"] = static_cast<std::int64_t>(report->tables);
+  out["ranges_checked"] = static_cast<std::int64_t>(report->ranges_checked);
+  out["ranges_diverged"] = static_cast<std::int64_t>(report->ranges_diverged);
+  out["rows_streamed"] = static_cast<std::int64_t>(report->rows_streamed);
+  out["replicas_repaired"] =
+      static_cast<std::int64_t>(report->replicas_repaired);
   return out;
 }
 

@@ -92,7 +92,8 @@ class AnalyticsServer {
   ///                     "result":...} or {"status":"error","error":"..."}
   ///
   /// Ops (see README for the full schema):
-  ///   simple:  nodeinfo, eventtypes, synopsis, events, jobs
+  ///   simple:  nodeinfo, eventtypes, synopsis, events, jobs, topology,
+  ///            repair
   ///   complex: heatmap, distribution, hourly, timeseries, burst,
   ///            cross_correlation, transfer_entropy, word_count,
   ///            storm_signature, apps_running, reliability, app_impact,
@@ -118,6 +119,8 @@ class AnalyticsServer {
   Result<Json> op_metrics(const Json& request);
   Result<Json> op_trace(const Json& request);
   Result<Json> op_slowlog(const Json& request);
+  Result<Json> op_topology(const Json& request);
+  Result<Json> op_repair(const Json& request);
 
   // complex path (big data processing unit)
   Result<Json> op_heatmap(const Json& request);

@@ -26,6 +26,7 @@
 #include "cassalite/cluster.hpp"
 #include "cassalite/gossip.hpp"
 #include "common/faultsim.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
 
@@ -515,6 +516,304 @@ TEST(ChaosConcurrencyTest, ConcurrentTrafficUnderFaultsStaysCoherent) {
     for (NodeIndex node : replicas) {
       EXPECT_EQ(rows_digest(cluster.engine(node).read(q).rows), want)
           << "replica " << node << " diverged";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance chaos: a seeded schedule interleaves QUORUM traffic with a node
+// add and a token rebalance while one-way partitions, crash/slow windows,
+// and transient errors fire — including a partition cut mid-movement via the
+// topology hook. Invariants:
+//   * zero acked-write loss at QUORUM across every topology change,
+//   * reads during movement are honest (acked data or UNAVAILABLE/TIMEOUT),
+//   * after heal + hint replay + Merkle repair, every replica of every
+//     partition is byte-identical,
+//   * the same seed replays to a bit-identical fingerprint.
+// ---------------------------------------------------------------------------
+
+struct RebalanceChaosResult {
+  std::uint64_t fingerprint = 0;
+  std::size_t acked_total = 0;
+  std::uint64_t acked_loss = 0;
+  std::uint64_t topology_changes = 0;
+  std::uint64_t ranges_streamed = 0;
+  std::uint64_t repair_rows_sent = 0;
+  std::uint64_t partition_drops = 0;
+};
+
+RebalanceChaosResult run_rebalance_chaos(std::uint64_t seed) {
+  RebalanceChaosResult result;
+  SimClock clock;
+  FaultOptions fopts;
+  fopts.seed = seed;
+  fopts.write_error_rate = 0.04;
+  fopts.read_error_rate = 0.04;
+  fopts.base_latency_ms = 2;
+  fopts.slow_latency_ms = 40;
+
+  ClusterOptions copts;
+  copts.node_count = 5;
+  copts.replication_factor = 3;
+  copts.max_node_count = 8;  // headroom for the scheduled add
+  copts.read_timeout_ms = 30;
+  copts.write_timeout_ms = 30;
+  copts.speculative_delay_ms = 5;
+
+  // The injector's link matrix is sized to the slot capacity so partitions
+  // can target nodes that join mid-run.
+  FaultInjector injector(copts.max_node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  Rng rng(seed);
+  const std::vector<std::string> pks = {"pk0", "pk1", "pk2", "pk3",
+                                        "pk4", "pk5", "pk6", "pk7"};
+  std::map<std::string, std::map<std::int64_t, std::string>> acked;
+  std::int64_t seq = 0;
+
+  auto quorum_write = [&] {
+    const std::string& pk = pks[static_cast<std::size_t>(seq) % pks.size()];
+    const std::string value = "v" + std::to_string(seq);
+    const Status st =
+        cluster.insert("t", pk, chaos_row(seq, value), Consistency::kQuorum);
+    if (st.is_ok()) {
+      acked[pk][seq] = value;
+    } else {
+      EXPECT_TRUE(honest_error(st)) << st.to_string();
+    }
+    ++seq;
+  };
+
+  // The seeded topology schedule: add a node at t=1000, reshuffle tokens at
+  // t=2500. Failed applications (honest aborts under partition) retry later.
+  injector.schedule_topology_event(
+      {1000, TopologyAction::kAddNode, 0, seed ^ 0x5EEDAD0Dull});
+  injector.schedule_topology_event(
+      {2500, TopologyAction::kRebalance, 0, seed ^ 0xC0FFEEull});
+  int topology_retry_budget = 6;
+
+  // Concurrent partition mid-movement: the instant the pending ring goes
+  // live, cut the coordinator <-> node 1 link both ways and land a burst of
+  // QUORUM writes against the dual-routed (old + pending) owner sets.
+  cluster.set_topology_hook([&](TopologyStage stage) {
+    if (stage != TopologyStage::kPendingPublished) return;
+    const std::int64_t now = clock.now_ms();
+    injector.partition_link(0, 1, now, now + 150);
+    injector.partition_link(1, 0, now, now + 150);
+    for (int k = 0; k < 6; ++k) quorum_write();
+  });
+
+  for (int step = 0; step < 400; ++step) {
+    const std::int64_t now = clock.now_ms();
+
+    // --- drain due topology events --------------------------------------
+    while (auto ev = injector.pop_due_topology_event()) {
+      Status st;
+      switch (ev->action) {
+        case TopologyAction::kAddNode:
+          st = cluster.add_node(0, -1, ev->seed).status();
+          break;
+        case TopologyAction::kRemoveNode:
+          st = cluster.remove_node(ev->node);
+          break;
+        case TopologyAction::kRebalance:
+          st = cluster.rebalance(ev->seed);
+          break;
+      }
+      if (st.is_ok()) continue;
+      EXPECT_TRUE(honest_error(st)) << st.to_string();
+      if (topology_retry_budget-- > 0) {
+        ev->at_ms = now + 200;
+        injector.schedule_topology_event(*ev);
+      }
+      break;
+    }
+
+    // --- fault schedule (windows + one-way partitions) ------------------
+    if (rng.chance(0.06)) {
+      const std::size_t node = rng.next_below(cluster.node_count());
+      const auto dur = static_cast<std::int64_t>(20 + rng.next_below(150));
+      if (rng.chance(0.5)) {
+        injector.crash_window(node, now, now + dur);
+      } else {
+        injector.slow_window(node, now, now + dur);
+      }
+    }
+    if (rng.chance(0.05)) {
+      // Asymmetric drop: one direction only — a half-open link.
+      const std::size_t a = rng.next_below(cluster.node_count());
+      const std::size_t b = rng.next_below(cluster.node_count());
+      const auto dur = static_cast<std::int64_t>(50 + rng.next_below(200));
+      injector.partition_link(a, b, now, now + dur);
+    }
+    if (rng.chance(0.05)) {
+      injector.heal_node(rng.next_below(cluster.node_count()));
+    }
+    if (rng.chance(0.04)) {
+      const std::size_t node = rng.next_below(cluster.node_count());
+      if (!injector.is_down(node)) (void)cluster.replay_hints(node);
+    }
+
+    // --- traffic ---------------------------------------------------------
+    quorum_write();
+    if (step % 7 == 0) {
+      const std::string& rpk = pks[rng.next_below(pks.size())];
+      ReadQuery q;
+      q.table = "t";
+      q.partition_key = rpk;
+      const auto r = cluster.select(q, Consistency::kQuorum);
+      if (r.is_ok()) {
+        std::map<std::int64_t, std::string> got;
+        for (const Row& row : r->rows) {
+          got[row.key.parts[0].as_int()] = row.find("v")->as_text();
+        }
+        for (const auto& [s, v] : acked[rpk]) {
+          const auto it = got.find(s);
+          if (it == got.end() || it->second != v) {
+            ++result.acked_loss;
+            ADD_FAILURE() << "acked seq=" << s << " wrong/missing in '" << rpk
+                          << "' during movement";
+          }
+        }
+      } else {
+        EXPECT_TRUE(honest_error(r.status())) << r.status().to_string();
+      }
+    }
+    clock.advance_ms(10);
+  }
+
+  // Both scheduled changes must eventually have landed.
+  EXPECT_EQ(injector.pending_topology_events(), 0u);
+  EXPECT_GE(cluster.metrics().topology_changes, 1u)
+      << "no topology change committed under this schedule";
+  EXPECT_GT(injector.counts().partition_drops, 0u)
+      << "the partition schedule never dropped a message";
+
+  // --- heal, replay, repair, converge ------------------------------------
+  // The partition outlives the hint TTL: by heal time replay can expire
+  // hints but not reconcile, so convergence is Merkle repair's job alone.
+  clock.advance_ms(copts.hint_ttl_ms + 1);
+  injector.heal_all();
+  (void)cluster.replay_all_hints();
+  EXPECT_GT(cluster.metrics().hints_expired, 0u)
+      << "schedule never left a hint to expire";
+  cluster.set_fault_injector(nullptr);
+
+  // If any partition's replicas diverge at this point, only repair can fix
+  // them (the hints are gone) — so repair must stream at least that much.
+  std::size_t diverged_before = 0;
+  for (const auto& pk : pks) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = pk;
+    const auto replicas = cluster.replicas_of(pk);
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    for (NodeIndex r : replicas) {
+      if (rows_digest(cluster.engine(r).read(q).rows) != want) {
+        ++diverged_before;
+        break;
+      }
+    }
+  }
+
+  const auto rep = cluster.repair_all();
+  EXPECT_TRUE(rep.is_ok()) << rep.status().to_string();
+  if (!rep.is_ok()) return result;
+  if (diverged_before > 0) {
+    EXPECT_GT(rep->rows_streamed, 0u)
+        << diverged_before << " divergent partitions but repair streamed 0";
+  }
+
+  std::uint64_t fp = cluster.ring_epoch();
+  for (const auto& pk : pks) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = pk;
+    const auto replicas = cluster.replicas_of(pk);
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    for (NodeIndex r : replicas) {
+      const std::uint64_t got = rows_digest(cluster.engine(r).read(q).rows);
+      EXPECT_EQ(got, want) << "replica " << r << " of '" << pk
+                           << "' diverged after repair";
+      fp = hash_combine(fp, got);
+    }
+    const auto read = cluster.select(q, Consistency::kAll);
+    EXPECT_TRUE(read.is_ok()) << read.status().to_string();
+    if (!read.is_ok()) continue;
+    std::map<std::int64_t, std::string> got;
+    for (const Row& row : read->rows) {
+      got[row.key.parts[0].as_int()] = row.find("v")->as_text();
+    }
+    for (const auto& [s, v] : acked[pk]) {
+      const auto it = got.find(s);
+      if (it == got.end() || it->second != v) {
+        ++result.acked_loss;
+        ADD_FAILURE() << "acked seq=" << s << " lost from '" << pk
+                      << "' after heal + repair";
+      }
+    }
+  }
+
+  const ClusterMetrics m = cluster.metrics();
+  for (const auto& [_, rows] : acked) result.acked_total += rows.size();
+  result.topology_changes = m.topology_changes;
+  result.ranges_streamed = m.ranges_streamed;
+  result.repair_rows_sent = m.repair_rows_sent;
+  result.partition_drops = injector.counts().partition_drops;
+  result.fingerprint = hash_combine(
+      hash_combine(fp, static_cast<std::uint64_t>(result.acked_total)),
+      m.stream_rows_sent);
+
+  std::fprintf(stderr,
+               "[rebalance-chaos seed=%llu] acked=%zu loss=%llu epoch=%llu "
+               "topo=%llu streamed_ranges=%llu stream_rows=%llu "
+               "repair_rows=%llu pending_writes=%llu drops=%llu fp=%016llx\n",
+               static_cast<unsigned long long>(seed), result.acked_total,
+               static_cast<unsigned long long>(result.acked_loss),
+               static_cast<unsigned long long>(cluster.ring_epoch()),
+               static_cast<unsigned long long>(m.topology_changes),
+               static_cast<unsigned long long>(m.ranges_streamed),
+               static_cast<unsigned long long>(m.stream_rows_sent),
+               static_cast<unsigned long long>(m.repair_rows_sent),
+               static_cast<unsigned long long>(m.pending_range_writes),
+               static_cast<unsigned long long>(result.partition_drops),
+               static_cast<unsigned long long>(result.fingerprint));
+  return result;
+}
+
+TEST(ChaosTest, SeededRebalanceUnderPartitionConvergesWithZeroAckedLoss) {
+  const char* json_path = std::getenv("CHAOS_JSON");
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RebalanceChaosResult first = run_rebalance_chaos(seed);
+    const RebalanceChaosResult second = run_rebalance_chaos(seed);
+    EXPECT_EQ(first.fingerprint, second.fingerprint)
+        << "same seed did not replay bit-identically";
+    EXPECT_EQ(first.acked_loss, 0u);
+
+    if (json_path != nullptr && *json_path != '\0') {
+      // Probe summary for bench/check_trend.py (last seed wins).
+      std::FILE* f = std::fopen(json_path, "w");
+      if (f != nullptr) {
+        std::fprintf(
+            f,
+            "{\n  \"bench\": \"rebalance_chaos\",\n  \"results\": [],\n"
+            "  \"rebalance_chaos\": {\"seed\": %llu, \"acked\": %zu, "
+            "\"acked_loss\": %llu, \"topology_changes\": %llu, "
+            "\"ranges_streamed\": %llu, \"repair_rows_sent\": %llu, "
+            "\"partition_drops\": %llu, \"replay_identical\": %s}\n}\n",
+            static_cast<unsigned long long>(seed), first.acked_total,
+            static_cast<unsigned long long>(first.acked_loss),
+            static_cast<unsigned long long>(first.topology_changes),
+            static_cast<unsigned long long>(first.ranges_streamed),
+            static_cast<unsigned long long>(first.repair_rows_sent),
+            static_cast<unsigned long long>(first.partition_drops),
+            first.fingerprint == second.fingerprint ? "true" : "false");
+        std::fclose(f);
+      }
     }
   }
 }

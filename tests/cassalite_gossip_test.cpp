@@ -213,5 +213,94 @@ TEST(GossipFaultTest, DropsDelaySuspicionOfARealDeath) {
   EXPECT_EQ(g.suspicion_count(5), 15u);
 }
 
+// -------------------------------------------------- asymmetric partitions
+
+TEST(GossipFaultTest, AsymmetricLinkCutSuspectsOnlyTheUnreachableDirection) {
+  // One-way drop 0->1 on a two-node cluster. Exchanges initiated by node 0
+  // die at the SYN; exchanges initiated by node 1 deliver its digest to
+  // node 0 but the ACK back to node 1 is lost. Rumors therefore flow
+  // 1 -> 0 only: node 0 keeps a fresh view of node 1 while node 1 never
+  // hears from node 0 — suspicion must be exactly one-sided.
+  FaultOptions fopts;
+  FaultInjector injector(2, fopts);  // no clock: virtual now stays 0
+  injector.partition_link(0, 1, 0, INT64_MAX / 2);
+
+  GossipOptions o;
+  o.node_count = 2;
+  o.fanout = 1;
+  o.suspect_after_rounds = 4;
+  o.seed = 21;
+  Gossiper g(o);
+  g.set_fault_injector(&injector);
+  g.run(30);
+
+  EXPECT_FALSE(g.suspects(0, 1)) << "healthy direction falsely suspected";
+  EXPECT_GT(g.known_heartbeat(0, 1), 0);
+  EXPECT_TRUE(g.suspects(1, 0)) << "cut direction never suspected";
+  EXPECT_GT(injector.counts().partition_drops, 0u);
+}
+
+TEST(GossipFaultTest, HealedAsymmetricLinkClearsSuspicion) {
+  FaultOptions fopts;
+  FaultInjector injector(2, fopts);
+  injector.partition_link(0, 1, 0, INT64_MAX / 2);
+  GossipOptions o;
+  o.node_count = 2;
+  o.fanout = 1;
+  o.suspect_after_rounds = 4;
+  o.seed = 22;
+  Gossiper g(o);
+  g.set_fault_injector(&injector);
+  g.run(20);
+  ASSERT_TRUE(g.suspects(1, 0));
+
+  injector.heal_partitions();
+  g.run(10);
+  EXPECT_FALSE(g.suspects(1, 0));
+  EXPECT_TRUE(g.converged());
+}
+
+// ------------------------------------------------------- elastic membership
+
+TEST(GossipTest, JoiningNodeGetsAGracePeriodBeforeSuspicion) {
+  Gossiper g(opts(8));
+  g.run(20);  // long past suspect_after_rounds: heartbeats are all large
+  ASSERT_TRUE(g.converged());
+
+  const std::size_t joiner = g.add_node();
+  EXPECT_EQ(joiner, 8u);
+  // Nobody suspects the newcomer just because its heartbeat is still
+  // unknown — the suspicion window is anchored at its join round.
+  for (std::size_t o = 0; o < 8; ++o) {
+    EXPECT_FALSE(g.suspects(o, joiner)) << "observer " << o;
+  }
+
+  // Within the grace window its rumors spread and the cluster converges
+  // with the newcomer as a first-class member.
+  g.run(12);
+  for (std::size_t o = 0; o <= 8; ++o) {
+    EXPECT_FALSE(g.suspects(o, joiner)) << "observer " << o;
+    if (o != joiner) EXPECT_GT(g.known_heartbeat(o, joiner), 0);
+  }
+  EXPECT_EQ(g.suspicion_count(joiner), 0u);
+
+  // The joiner also learned about everyone else.
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_FALSE(g.suspects(joiner, t)) << "target " << t;
+    EXPECT_GT(g.known_heartbeat(joiner, t), 0);
+  }
+}
+
+TEST(GossipTest, JoinerIsSuspectedIfItNeverSpeaks) {
+  // The grace period is finite: a node that joins and then immediately
+  // dies (never gossips once) is suspected after the window elapses.
+  Gossiper g(opts(8));
+  g.run(10);
+  const std::size_t joiner = g.add_node();
+  g.kill(joiner);
+  g.run(static_cast<std::size_t>(opts(8).suspect_after_rounds) + 6);
+  EXPECT_EQ(g.suspicion_count(joiner), 8u);
+}
+
 }  // namespace
 }  // namespace hpcla::cassalite

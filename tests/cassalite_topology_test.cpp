@@ -1,0 +1,596 @@
+// Elastic topology: versioned rings, ring_diff, Merkle anti-entropy, range
+// streaming, pending-range dual writes, and the hinted-handoff LWW-safety
+// and exactly-once read-repair guarantees (ISSUE 9 / DESIGN.md §15).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cassalite/cluster.hpp"
+#include "cassalite/merkle.hpp"
+#include "cassalite/ring.hpp"
+#include "common/faultsim.hpp"
+#include "common/rng.hpp"
+
+namespace hpcla::cassalite {
+namespace {
+
+Row row_of(std::int64_t seq, const std::string& value) {
+  Row r;
+  r.key = ClusteringKey::of({Value(seq), Value(0)});
+  r.set("v", Value(value));
+  return r;
+}
+
+// ------------------------------------------------------------------- ring
+
+TEST(TokenRingTest, WithAndWithoutNodeTrackMembership) {
+  const TokenRing base(4, 8, 1);
+  EXPECT_EQ(base.node_count(), 4u);
+  EXPECT_TRUE(base.is_member(3));
+  EXPECT_FALSE(base.is_member(4));
+
+  const TokenRing grown = base.with_node(4, 8, 77);
+  EXPECT_EQ(grown.node_count(), 5u);
+  EXPECT_TRUE(grown.is_member(4));
+  EXPECT_EQ(grown.tokens_of(4).size(), 8u);
+  // The original members' tokens are untouched (consistent hashing: only
+  // ranges adjacent to the new tokens move).
+  for (NodeIndex n = 0; n < 4; ++n) {
+    EXPECT_EQ(grown.tokens_of(n), base.tokens_of(n)) << n;
+  }
+
+  const TokenRing shrunk = grown.without_node(1);
+  EXPECT_EQ(shrunk.node_count(), 4u);
+  EXPECT_FALSE(shrunk.is_member(1));
+  EXPECT_TRUE(shrunk.is_member(4));
+  EXPECT_TRUE(shrunk.tokens_of(1).empty());
+}
+
+TEST(TokenRingTest, AddNodeIsOrderIndependent) {
+  // Token derivation is decorrelated per node: the ring after adding nodes
+  // 4 then 5 equals the ring after adding 5 then 4.
+  const TokenRing base(4, 8, 1);
+  const TokenRing ab = base.with_node(4, 8, 9).with_node(5, 8, 9);
+  const TokenRing ba = base.with_node(5, 8, 9).with_node(4, 8, 9);
+  EXPECT_EQ(ab.boundary_tokens(), ba.boundary_tokens());
+  for (NodeIndex n = 0; n < 6; ++n) {
+    EXPECT_EQ(ab.tokens_of(n), ba.tokens_of(n)) << n;
+  }
+}
+
+TEST(TokenRingTest, RingDiffCapturesEveryOwnershipChange) {
+  const std::size_t rf = 3;
+  const TokenRing before(5, 16, 42);
+  const TokenRing after = before.with_node(5, 16, 1234);
+  const auto moved = ring_diff(before, after, rf, {});
+  ASSERT_FALSE(moved.empty());
+
+  // Every moved range agrees with a direct ownership probe at its upper
+  // bound, and gained/lost are consistent set differences.
+  for (const auto& m : moved) {
+    const auto old_owners = before.replicas_for_token(m.range.hi, rf);
+    const auto new_owners = after.replicas_for_token(m.range.hi, rf);
+    EXPECT_EQ(m.old_owners, old_owners);
+    EXPECT_EQ(m.new_owners, new_owners);
+    for (NodeIndex g : m.gained) {
+      EXPECT_TRUE(std::find(old_owners.begin(), old_owners.end(), g) ==
+                  old_owners.end());
+      EXPECT_TRUE(std::find(new_owners.begin(), new_owners.end(), g) !=
+                  new_owners.end());
+    }
+    for (NodeIndex l : m.lost) {
+      EXPECT_TRUE(std::find(new_owners.begin(), new_owners.end(), l) ==
+                  new_owners.end());
+    }
+  }
+
+  // Completeness: probe many tokens; every token whose owner set changed
+  // must be covered by some moved range.
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Token t = static_cast<Token>(rng.next_u64());
+    const auto o = before.replicas_for_token(t, rf);
+    const auto n = after.replicas_for_token(t, rf);
+    const bool changed = [&] {
+      if (o.size() != n.size()) return true;
+      for (NodeIndex x : o) {
+        if (std::find(n.begin(), n.end(), x) == n.end()) return true;
+      }
+      return false;
+    }();
+    bool covered = false;
+    for (const auto& m : moved) {
+      if (m.range.contains(t)) {
+        covered = true;
+        break;
+      }
+    }
+    if (changed) {
+      EXPECT_TRUE(covered) << "changed token " << t << " not in any range";
+    }
+  }
+}
+
+TEST(TokenRingTest, ReshuffleKeepsMembersAndVnodeCounts) {
+  const TokenRing base(4, 8, 1);
+  const TokenRing shuffled = base.reshuffled(999);
+  EXPECT_EQ(shuffled.node_count(), 4u);
+  for (NodeIndex n = 0; n < 4; ++n) {
+    EXPECT_EQ(shuffled.tokens_of(n).size(), 8u);
+  }
+  EXPECT_NE(shuffled.boundary_tokens(), base.boundary_tokens());
+}
+
+// ----------------------------------------------------------------- merkle
+
+TEST(MerkleTreeTest, ScanOrderDoesNotChangeTheTree) {
+  const TokenRange full{0, 0, true};
+  MerkleTree a(full, 6);
+  MerkleTree b(full, 6);
+  Rng rng(3);
+  std::vector<std::pair<Token, std::uint64_t>> parts;
+  for (int i = 0; i < 500; ++i) {
+    parts.emplace_back(static_cast<Token>(rng.next_u64()), rng.next_u64());
+  }
+  for (const auto& [t, d] : parts) a.add(t, d);
+  std::reverse(parts.begin(), parts.end());
+  for (const auto& [t, d] : parts) b.add(t, d);
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_TRUE(MerkleTree::diff(a, b).empty());
+}
+
+TEST(MerkleTreeTest, DiffLocalizesTheDivergentLeaf) {
+  const TokenRange full{0, 0, true};
+  MerkleTree a(full, 5);
+  MerkleTree b(full, 5);
+  Rng rng(4);
+  Token mutated = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Token t = static_cast<Token>(rng.next_u64());
+    const std::uint64_t d = rng.next_u64();
+    a.add(t, d);
+    if (i == 123) {
+      mutated = t;
+      b.add(t, d ^ 0xDEADBEEFull);  // same partition, different contents
+    } else {
+      b.add(t, d);
+    }
+  }
+  EXPECT_NE(a.root(), b.root());
+  const auto leaves = MerkleTree::diff(a, b);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves.front(), a.leaf_index(mutated));
+  // The divergent leaf's range contains the mutated token.
+  EXPECT_TRUE(a.leaf_range(leaves.front()).contains(mutated));
+}
+
+TEST(MerkleTreeTest, LeafRangesTileTheRange) {
+  // Every token in a narrow range maps to exactly the leaf whose range
+  // contains it.
+  const TokenRange narrow{-50, 50, false};
+  MerkleTree t(narrow, 3);
+  for (std::int64_t raw = -50 + 1; raw <= 50; ++raw) {
+    const Token tok = static_cast<Token>(raw);
+    const std::size_t leaf = t.leaf_index(tok);
+    EXPECT_TRUE(t.leaf_range(leaf).contains(tok)) << raw;
+    // ...and no other leaf claims it.
+    for (std::size_t l = 0; l < t.leaf_count(); ++l) {
+      if (l == leaf) continue;
+      EXPECT_FALSE(t.leaf_range(l).contains(tok)) << raw << " leaf " << l;
+    }
+  }
+}
+
+// ------------------------------------------------- cluster: add/remove
+
+ClusterOptions small_cluster() {
+  ClusterOptions o;
+  o.node_count = 4;
+  o.replication_factor = 3;
+  o.vnodes = 16;
+  return o;
+}
+
+void load_keys(Cluster& c, int n, const char* prefix = "pk") {
+  for (int k = 0; k < n; ++k) {
+    ASSERT_TRUE(c.insert("t", prefix + std::to_string(k),
+                         row_of(k, "v" + std::to_string(k)),
+                         Consistency::kQuorum)
+                    .is_ok())
+        << k;
+  }
+}
+
+void expect_all_readable(Cluster& c, int n, const char* prefix = "pk",
+                         const char* value_prefix = "v") {
+  for (int k = 0; k < n; ++k) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = prefix + std::to_string(k);
+    const auto r = c.select(q, Consistency::kQuorum);
+    ASSERT_TRUE(r.is_ok()) << q.partition_key << ": " << r.status().to_string();
+    ASSERT_FALSE(r->rows.empty()) << q.partition_key << " came back empty";
+    EXPECT_EQ(r->rows.front().find("v")->as_text(),
+              value_prefix + std::to_string(k));
+  }
+}
+
+TEST(ElasticTopologyTest, AddNodeStreamsItsRangesAndCommitsANewEpoch) {
+  Cluster cluster(small_cluster());
+  load_keys(cluster, 64);
+  const std::uint64_t epoch0 = cluster.ring_epoch();
+
+  const auto added = cluster.add_node();
+  ASSERT_TRUE(added.is_ok()) << added.status().to_string();
+  const NodeIndex n = added.value();
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(cluster.member_count(), 5u);
+  EXPECT_EQ(cluster.node_count(), 5u);
+  // Pending publish + commit: two epoch bumps.
+  EXPECT_EQ(cluster.ring_epoch(), epoch0 + 2);
+  EXPECT_FALSE(cluster.movement_in_progress());
+  EXPECT_GT(cluster.metrics().stream_rows_sent, 0u);
+  EXPECT_GT(cluster.metrics().ranges_streamed, 0u);
+  EXPECT_EQ(cluster.metrics().topology_changes, 1u);
+
+  // Every key readable at QUORUM against the new ring, and wherever the
+  // new node is a replica it holds byte-identical data.
+  expect_all_readable(cluster, 64);
+  std::size_t keys_on_new_node = 0;
+  for (int k = 0; k < 64; ++k) {
+    const std::string pk = "pk" + std::to_string(k);
+    const auto replicas = cluster.replicas_of(pk);
+    if (std::find(replicas.begin(), replicas.end(), n) == replicas.end()) {
+      continue;
+    }
+    ++keys_on_new_node;
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = pk;
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    EXPECT_EQ(rows_digest(cluster.engine(n).read(q).rows), want) << pk;
+  }
+  EXPECT_GT(keys_on_new_node, 0u) << "new node owns no tested key ranges";
+}
+
+TEST(ElasticTopologyTest, RemoveNodeRefusedBelowReplicationFactor) {
+  ClusterOptions o = small_cluster();
+  o.node_count = 3;  // rf == 3: any removal would underflow
+  Cluster cluster(o);
+  const Status s = cluster.remove_node(0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.to_string();
+}
+
+TEST(ElasticTopologyTest, RemoveNodeMovesOwnershipWithoutDataLoss) {
+  Cluster cluster(small_cluster());
+  load_keys(cluster, 64);
+  ASSERT_TRUE(cluster.remove_node(2).is_ok());
+  EXPECT_EQ(cluster.member_count(), 3u);
+  EXPECT_FALSE(cluster.is_member(2));
+  // Engine slots survive decommission (node_count is slot space).
+  EXPECT_EQ(cluster.node_count(), 4u);
+  expect_all_readable(cluster, 64);
+  // Node 2 no longer appears in any replica set.
+  for (int k = 0; k < 64; ++k) {
+    const auto replicas = cluster.replicas_of("pk" + std::to_string(k));
+    EXPECT_TRUE(std::find(replicas.begin(), replicas.end(), 2u) ==
+                replicas.end());
+  }
+}
+
+TEST(ElasticTopologyTest, RebalancePreservesEveryAckedWrite) {
+  Cluster cluster(small_cluster());
+  load_keys(cluster, 96);
+  ASSERT_TRUE(cluster.rebalance(0xFEED).is_ok());
+  EXPECT_EQ(cluster.metrics().topology_changes, 1u);
+  expect_all_readable(cluster, 96);
+  // All replicas of every key byte-identical after the movement.
+  for (int k = 0; k < 96; ++k) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = "pk" + std::to_string(k);
+    const auto replicas = cluster.replicas_of(q.partition_key);
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    for (NodeIndex r : replicas) {
+      EXPECT_EQ(rows_digest(cluster.engine(r).read(q).rows), want)
+          << "replica " << r << " of " << q.partition_key;
+    }
+  }
+}
+
+TEST(ElasticTopologyTest, PendingRangeWritesDualRouteDuringMovement) {
+  Cluster cluster(small_cluster());
+  load_keys(cluster, 16);
+  const std::uint64_t before = cluster.metrics().pending_range_writes;
+
+  // Inject writes + reads at the exact moment the pending ring is live.
+  bool observed_movement = false;
+  cluster.set_topology_hook([&](TopologyStage stage) {
+    if (stage != TopologyStage::kPendingPublished) return;
+    observed_movement = cluster.movement_in_progress();
+    for (int k = 0; k < 16; ++k) {
+      ASSERT_TRUE(cluster
+                      .insert("t", "mid" + std::to_string(k),
+                              row_of(k, "m" + std::to_string(k)),
+                              Consistency::kQuorum)
+                      .is_ok())
+          << k;
+    }
+    // Reads during movement stay honest: acked data visible, no phantom
+    // empty ranges.
+    for (int k = 0; k < 16; ++k) {
+      ReadQuery q;
+      q.table = "t";
+      q.partition_key = "pk" + std::to_string(k);
+      const auto r = cluster.select(q, Consistency::kQuorum);
+      ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+      EXPECT_FALSE(r->rows.empty()) << q.partition_key;
+    }
+  });
+  ASSERT_TRUE(cluster.add_node().is_ok());
+  EXPECT_TRUE(observed_movement);
+  // At least one mid-movement write must have routed to a pending extra
+  // owner (the new node gains ranges, so some key hits a moved range).
+  EXPECT_GT(cluster.metrics().pending_range_writes, before);
+  // Mid-movement writes survive the commit at QUORUM.
+  expect_all_readable(cluster, 16, "mid", "m");
+}
+
+TEST(ElasticTopologyTest, SameSeedProducesIdenticalTopology) {
+  ClusterOptions o = small_cluster();
+  Cluster a(o);
+  Cluster b(o);
+  load_keys(a, 8);
+  load_keys(b, 8);
+  ASSERT_TRUE(a.add_node(0, -1, 0xABC).is_ok());
+  ASSERT_TRUE(b.add_node(0, -1, 0xABC).is_ok());
+  EXPECT_EQ(a.ring().boundary_tokens(), b.ring().boundary_tokens());
+  ASSERT_TRUE(a.rebalance(5).is_ok());
+  ASSERT_TRUE(b.rebalance(5).is_ok());
+  EXPECT_EQ(a.ring().boundary_tokens(), b.ring().boundary_tokens());
+}
+
+// ------------------------------------------- streaming source selection
+
+TEST(ElasticTopologyTest, StreamingNeverUsesASuspectedSource) {
+  Cluster cluster(small_cluster());
+  load_keys(cluster, 64);
+
+  // Node 1 is suspected by the failure detector (still up at the cluster
+  // level). The refresher must run before sources are picked.
+  bool refreshed = false;
+  std::set<NodeIndex> suspected = {1};
+  cluster.set_suspicion_refresher([&] { refreshed = true; });
+  cluster.set_suspicion_source([&](NodeIndex n) {
+    EXPECT_TRUE(refreshed) << "suspicion consulted before refresh";
+    return suspected.count(n) != 0;
+  });
+
+  ASSERT_TRUE(cluster.add_node().is_ok());
+  EXPECT_TRUE(refreshed);
+  EXPECT_EQ(cluster.streams_served(1), 0u)
+      << "a suspected node served as a streaming source";
+  std::uint64_t healthy_streams = 0;
+  for (NodeIndex n = 0; n < 4; ++n) {
+    if (n != 1) healthy_streams += cluster.streams_served(n);
+  }
+  EXPECT_GT(healthy_streams, 0u);
+  expect_all_readable(cluster, 64);
+}
+
+TEST(ElasticTopologyTest, MovementAbortsWhenQuorumOfSourcesIsSuspected) {
+  Cluster cluster(small_cluster());
+  load_keys(cluster, 16);
+  cluster.set_suspicion_source([](NodeIndex) { return true; });
+  const std::uint64_t epoch0 = cluster.ring_epoch();
+  const auto added = cluster.add_node();
+  ASSERT_FALSE(added.is_ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kUnavailable)
+      << added.status().to_string();
+  // The abort republished the old committed ring: membership unchanged,
+  // movement flag cleared, and the acked data still reads fine.
+  EXPECT_EQ(cluster.member_count(), 4u);
+  EXPECT_FALSE(cluster.movement_in_progress());
+  EXPECT_GT(cluster.ring_epoch(), epoch0);
+  EXPECT_EQ(cluster.metrics().topology_changes, 0u);
+  cluster.set_suspicion_source(nullptr);
+  expect_all_readable(cluster, 16);
+}
+
+// -------------------------------------------------------- merkle repair
+
+TEST(RepairTest, RepairConvergesAHintExpiredReplica) {
+  SimClock clock;
+  ClusterOptions copts = small_cluster();
+  copts.hint_ttl_ms = 1000;
+  FaultOptions fopts;
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  load_keys(cluster, 32);
+
+  // Take node 2 down via an injected crash window and write over every
+  // key: node 2 misses the overwrites, hints pile up.
+  injector.crash_window(2, 0, 10'000);
+  for (int k = 0; k < 32; ++k) {
+    ASSERT_TRUE(cluster
+                    .insert("t", "pk" + std::to_string(k),
+                            row_of(k, "new" + std::to_string(k)),
+                            Consistency::kQuorum)
+                    .is_ok());
+  }
+  // The hints expire before the node returns: honest divergence that only
+  // anti-entropy can heal.
+  clock.advance_ms(20'000);
+  injector.heal_all();
+  EXPECT_EQ(cluster.replay_all_hints(), 0u) << "hints should have expired";
+  EXPECT_GT(cluster.metrics().hints_expired, 0u);
+
+  const auto report = cluster.repair("t");
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_GT(report->ranges_diverged, 0u);
+  EXPECT_GT(report->rows_streamed, 0u);
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.repairs_scheduled, 1u);
+  EXPECT_GT(m.repair_rows_sent, 0u);
+
+  // Byte-identical replicas everywhere; the overwrites won.
+  for (int k = 0; k < 32; ++k) {
+    ReadQuery q;
+    q.table = "t";
+    q.partition_key = "pk" + std::to_string(k);
+    const auto replicas = cluster.replicas_of(q.partition_key);
+    const std::uint64_t want =
+        rows_digest(cluster.engine(replicas.front()).read(q).rows);
+    for (NodeIndex r : replicas) {
+      EXPECT_EQ(rows_digest(cluster.engine(r).read(q).rows), want)
+          << "replica " << r << " of " << q.partition_key;
+    }
+    const auto read = cluster.select(q, Consistency::kAll);
+    ASSERT_TRUE(read.is_ok());
+    EXPECT_EQ(read->rows.front().find("v")->as_text(),
+              "new" + std::to_string(k));
+  }
+
+  // A second repair finds nothing to do.
+  const auto again = cluster.repair("t");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->ranges_diverged, 0u);
+  EXPECT_EQ(again->rows_streamed, 0u);
+}
+
+TEST(RepairTest, RepairUnknownTableIsNotFound) {
+  Cluster cluster(small_cluster());
+  const auto r = cluster.repair("nope");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ----------------------------- satellite (c): hinted handoff LWW safety
+
+TEST(HintSafetyTest, StaleHintReplayNeverResurrectsOverwrittenCells) {
+  SimClock clock;
+  ClusterOptions copts = small_cluster();
+  copts.hint_ttl_ms = 600'000;
+  FaultOptions fopts;
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  const std::string pk = "pk-lww";
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(0, "v1"), Consistency::kQuorum).is_ok());
+
+  // Replica r misses the v2 overwrite (crash window): a hint is stored.
+  const NodeIndex r = cluster.replicas_of(pk).front();
+  injector.crash_window(r, 0, 1'000);
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(0, "v2"), Consistency::kQuorum).is_ok());
+  EXPECT_GT(cluster.pending_hints(), 0u);
+
+  // The window expires (injector heal, NOT revive): the hint stays queued
+  // — a "regenerated" target with a stale hint outstanding.
+  clock.advance_ms(2'000);
+  ASSERT_FALSE(injector.is_down(r));
+  // v3 lands everywhere, including r, with a newer write timestamp.
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(0, "v3"), Consistency::kAll).is_ok());
+
+  // Now the stale v2 hint replays — LWW must keep v3 on the replica.
+  (void)cluster.replay_hints(r);
+  ReadQuery q;
+  q.table = "t";
+  q.partition_key = pk;
+  EXPECT_EQ(cluster.engine(r).read(q).rows.front().find("v")->as_text(), "v3")
+      << "stale hint resurrected an overwritten cell";
+  const auto read = cluster.select(q, Consistency::kAll);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read->rows.front().find("v")->as_text(), "v3");
+}
+
+TEST(HintSafetyTest, HintTtlFollowsTheInjectedSimClock) {
+  SimClock clock;
+  ClusterOptions copts = small_cluster();
+  copts.hint_ttl_ms = 1'000;
+  FaultOptions fopts;
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);  // adopts the injector's clock
+
+  const std::string pk = "pk-ttl";
+  const NodeIndex victim = cluster.replicas_of(pk).front();
+  cluster.kill_node(victim);
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(0, "x"), Consistency::kQuorum).is_ok());
+  ASSERT_GT(cluster.pending_hints(), 0u);
+
+  // Under TTL: the hint replays.
+  clock.advance_ms(999);
+  EXPECT_EQ(cluster.revive_node(victim), 1u);
+  EXPECT_EQ(cluster.metrics().hints_expired, 0u);
+
+  // Past TTL: the hint expires instead (virtual time only — no wall clock).
+  cluster.kill_node(victim);
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(1, "y"), Consistency::kQuorum).is_ok());
+  clock.advance_ms(1'001);
+  EXPECT_EQ(cluster.revive_node(victim), 0u);
+  EXPECT_GT(cluster.metrics().hints_expired, 0u);
+}
+
+// ------------------- satellite (d): exactly-once read repair at kAll
+
+TEST(ReadRepairTest, OneStaleReplicaRepairsExactlyOnceAtAll) {
+  SimClock clock;
+  ClusterOptions copts = small_cluster();
+  FaultOptions fopts;
+  FaultInjector injector(copts.node_count, fopts, &clock);
+  Cluster cluster(copts);
+  cluster.set_fault_injector(&injector);
+
+  const std::string pk = "pk-rr";
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(0, "old"), Consistency::kAll).is_ok());
+
+  // Exactly one replica misses the overwrite (crash window during the
+  // write), then comes back without hint replay.
+  const NodeIndex stale = cluster.replicas_of(pk).back();
+  injector.crash_window(stale, 0, 100);
+  ASSERT_TRUE(
+      cluster.insert("t", pk, row_of(0, "new"), Consistency::kQuorum).is_ok());
+  clock.advance_ms(200);  // window over; hint left unplayed on purpose
+  ASSERT_FALSE(injector.is_down(stale));
+
+  const std::uint64_t repairs_before = cluster.metrics().read_repairs;
+  ReadQuery q;
+  q.table = "t";
+  q.partition_key = pk;
+  const auto read = cluster.select(q, Consistency::kAll);
+  ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+  EXPECT_EQ(read->rows.front().find("v")->as_text(), "new");
+
+  // Exactly one repair: the one stale replica; the up-to-date ones were
+  // digest-identical to the merged state.
+  EXPECT_EQ(cluster.metrics().read_repairs, repairs_before + 1);
+  EXPECT_GT(cluster.metrics().digest_mismatches, 0u);
+
+  // The repaired replica is byte-identical to its peers.
+  const auto replicas = cluster.replicas_of(pk);
+  const std::uint64_t want =
+      rows_digest(cluster.engine(replicas.front()).read(q).rows);
+  EXPECT_EQ(rows_digest(cluster.engine(stale).read(q).rows), want);
+
+  // A second kAll read finds digests converged: no further repair.
+  const std::uint64_t repairs_after = cluster.metrics().read_repairs;
+  ASSERT_TRUE(cluster.select(q, Consistency::kAll).is_ok());
+  EXPECT_EQ(cluster.metrics().read_repairs, repairs_after);
+}
+
+}  // namespace
+}  // namespace hpcla::cassalite

@@ -420,6 +420,106 @@ TEST(ServerTest, MetricsOpExposesCoordinatorCounters) {
   EXPECT_NE(rendered.find("writes_ok"), std::string::npos);
 }
 
+// ------------------------------------------------------- topology + repair
+
+// Admin ops run against a dedicated cluster: mutating the shared fixture's
+// ring would reshuffle replica placement under every later test.
+struct AdminFixture {
+  Cluster cluster;
+  sparklite::Engine engine;
+  AnalyticsServer server;
+
+  AdminFixture()
+      : cluster([] {
+          ClusterOptions o;
+          o.node_count = 4;
+          o.replication_factor = 2;
+          return o;
+        }()),
+        engine(sparklite::EngineOptions{.workers = 2}),
+        server(cluster, engine) {}
+
+  Json ok(const std::string& request_text) {
+    auto request = Json::parse(request_text);
+    HPCLA_CHECK(request.is_ok());
+    Json response = server.handle(request.value());
+    EXPECT_EQ(response["status"].as_string(), "ok")
+        << (response["error"].is_string() ? response["error"].as_string()
+                                          : std::string());
+    return response;
+  }
+
+  Json err(const std::string& request_text) {
+    auto request = Json::parse(request_text);
+    HPCLA_CHECK(request.is_ok());
+    Json response = server.handle(request.value());
+    EXPECT_EQ(response["status"].as_string(), "error");
+    return response;
+  }
+};
+
+TEST(ServerTest, TopologyOpViewsAndMutatesTheRing) {
+  EXPECT_EQ(classify_query("topology").value(), QueryPath::kSimple);
+  AdminFixture f;
+
+  auto view = f.ok(R"({"op":"topology"})");
+  EXPECT_EQ(view["result"]["members"].as_int(), 4);
+  EXPECT_EQ(view["result"]["node_slots"].as_int(), 4);
+  EXPECT_EQ(view["result"]["replication_factor"].as_int(), 2);
+  EXPECT_FALSE(view["result"]["movement_in_progress"].as_bool());
+  const std::int64_t epoch0 = view["result"]["epoch"].as_int();
+
+  auto added = f.ok(R"({"op":"topology","action":"add_node"})");
+  EXPECT_EQ(added["result"]["members"].as_int(), 5);
+  EXPECT_GT(added["result"]["epoch"].as_int(), epoch0);
+  const auto& ring = added["result"]["ring"].as_array();
+  ASSERT_EQ(ring.size(), 5u);
+  EXPECT_TRUE(ring[0]["alive"].as_bool());
+  EXPECT_GT(ring[4]["vnodes"].as_int(), 0);
+
+  auto rebalanced =
+      f.ok(R"({"op":"topology","action":"rebalance","token_seed":77})");
+  EXPECT_EQ(rebalanced["result"]["members"].as_int(), 5);
+  EXPECT_GT(rebalanced["result"]["epoch"].as_int(),
+            added["result"]["epoch"].as_int());
+
+  auto removed = f.ok(R"({"op":"topology","action":"remove_node","node":1})");
+  EXPECT_EQ(removed["result"]["members"].as_int(), 4);
+
+  // Error envelopes: unknown verb, missing required seed, bad node.
+  f.err(R"({"op":"topology","action":"explode"})");
+  f.err(R"({"op":"topology","action":"rebalance"})");
+  f.err(R"({"op":"topology","action":"remove_node","node":-1})");
+}
+
+TEST(ServerTest, RepairOpReportsConvergence) {
+  EXPECT_EQ(classify_query("repair").value(), QueryPath::kSimple);
+  AdminFixture f;
+
+  for (int k = 0; k < 12; ++k) {
+    cassalite::Row r;
+    r.key = cassalite::ClusteringKey::of({cassalite::Value(k)});
+    r.set("v", cassalite::Value("x" + std::to_string(k)));
+    HPCLA_CHECK(f.cluster
+                    .insert("t", "pk" + std::to_string(k), r,
+                            cassalite::Consistency::kAll)
+                    .is_ok());
+  }
+
+  // A healthy cluster repairs to "nothing to do".
+  auto all = f.ok(R"({"op":"repair"})");
+  EXPECT_GE(all["result"]["tables"].as_int(), 1);
+  EXPECT_GT(all["result"]["ranges_checked"].as_int(), 0);
+  EXPECT_EQ(all["result"]["ranges_diverged"].as_int(), 0);
+  EXPECT_EQ(all["result"]["rows_streamed"].as_int(), 0);
+
+  auto one = f.ok(R"({"op":"repair","table":"t"})");
+  EXPECT_EQ(one["result"]["tables"].as_int(), 1);
+
+  // Unknown table surfaces as an error envelope, not a silent no-op.
+  f.err(R"({"op":"repair","table":"no_such_table"})");
+}
+
 // --------------------------------------------------------------- telemetry
 
 TEST(ServerTest, MetricsOpExposesRegistryAndPrometheus) {
