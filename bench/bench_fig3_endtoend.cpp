@@ -9,10 +9,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "buslite/broker.hpp"
 #include "cassalite/cql.hpp"
 #include "common/clock.hpp"
 #include "common/quantile_sketch.hpp"
 #include "common/telemetry.hpp"
+#include "model/selftel/selftel.hpp"
 #include "model/views/views.hpp"
 
 namespace hpcla::bench {
@@ -165,6 +167,53 @@ Json telemetry_overhead_probe() {
   return probe;
 }
 
+/// Self-telemetry export probe (acceptance: ≤5% on the complex path with
+/// the full closed loop running). "On" rounds run the heatmap workload
+/// and then pump a SelfTelemetryLoop inside the timed region, so the
+/// per-query mean amortizes exporting metric deltas and tail-sampled
+/// spans, landing them in the sys_* tables, and evaluating alert rules.
+/// "Off" rounds run the bare workload. Alternating min-of-rounds as in
+/// the tracing probe; check_trend.py gates on overhead_pct.
+Json selftelemetry_overhead_probe() {
+  auto& f = fixture();
+  buslite::Broker broker;
+  model::selftel::SelfTelemetryLoop loop(f.stack.cluster, broker);
+  constexpr int kWarmup = 5;
+  constexpr int kIters = 20;
+  constexpr int kRounds = 5;
+  const auto mean_query_us = [&](bool exporting) {
+    const Stopwatch watch;
+    for (int i = 0; i < kIters; ++i) {
+      auto r = f.server.handle_text(kComplexHeatmap);
+      benchmark::DoNotOptimize(r);
+    }
+    if (exporting) loop.pump();
+    return static_cast<double>(watch.elapsed_micros()) / kIters;
+  };
+  for (int i = 0; i < kWarmup; ++i) {
+    auto r = f.server.handle_text(kComplexHeatmap);
+    benchmark::DoNotOptimize(r);
+  }
+  loop.pump();  // absorb fixture-setup metric movement before timing
+  double off_us = std::numeric_limits<double>::max();
+  double on_us = std::numeric_limits<double>::max();
+  for (int round = 0; round < kRounds; ++round) {
+    off_us = std::min(off_us, mean_query_us(false));
+    on_us = std::min(on_us, mean_query_us(true));
+  }
+  const double overhead_pct =
+      off_us > 0.0 ? (on_us - off_us) / off_us * 100.0 : 0.0;
+  Json probe = Json::object();
+  probe["query"] = "heatmap";
+  probe["export_off_us"] = off_us;
+  probe["export_on_us"] = on_us;
+  probe["overhead_pct"] = overhead_pct;
+  probe["alerts_fired"] =
+      static_cast<std::int64_t>(loop.alerts().fired_count());
+  probe["accepted"] = overhead_pct <= 5.0;
+  return probe;
+}
+
 /// Cached-path probe (acceptance: warm complex-query p50 ≥ 10x faster
 /// than cold on the same run). "Cold" is the regular engine pipeline —
 /// views detached, so every heatmap query runs scan -> shuffle -> reduce.
@@ -228,6 +277,8 @@ int main(int argc, char** argv) {
       argc, argv, [](hpcla::bench::BenchJsonWriter& writer) {
         writer.root_extra()["telemetry_overhead"] =
             hpcla::bench::telemetry_overhead_probe();
+        writer.root_extra()["selftelemetry"] =
+            hpcla::bench::selftelemetry_overhead_probe();
         writer.root_extra()["cached_path"] =
             hpcla::bench::cached_path_probe();
       });

@@ -227,6 +227,66 @@ def report_rebalance_chaos(path):
     return violations
 
 
+def report_selftelemetry(path):
+    """Prints the closed-loop self-telemetry probes and returns the list
+    of violated invariants. Two summaries carry a `selftelemetry` key:
+
+    - bench_fig3_endtoend embeds the export-on/off overhead probe
+      (acceptance: the full export -> ingest -> alert loop costs <= 5%
+      on the complex path);
+    - the model_selftel_test chaos run (SELFTEL_JSON) records the seeded
+      fault scenario (acceptance: >= 1 alert fires, the replay is
+      bit-identical, and the idle loop publishes zero events).
+
+    The determinism fields are correctness tripwires, counted as
+    regressions even without a baseline; the overhead budget is advisory
+    like the tracing probe (runner jitter)."""
+    with open(path) as f:
+        data = json.load(f)
+    probe = data.get("selftelemetry")
+    if not isinstance(probe, dict):
+        return []
+    violations = []
+    pct = probe.get("overhead_pct")
+    if isinstance(pct, (int, float)):
+        verdict = "within budget" if pct <= 5.0 else "OVER 5% budget"
+        print(
+            f"  self-telemetry export overhead ({probe.get('query', '?')}): "
+            f"{pct:+.2f}% ({verdict}; informational)"
+        )
+    fired = probe.get("alerts_fired")
+    if "seed" in probe and isinstance(fired, (int, float)):
+        seed = probe.get("seed", "?")
+        verdict = "alert fired" if fired >= 1 else "NO ALERT FIRED"
+        print(
+            f"  self-telemetry chaos (seed {seed}): {fired:,.0f} alert(s) "
+            f"[{probe.get('rule', '?')}], fingerprint "
+            f"{probe.get('fingerprint', '?')}, "
+            f"{probe.get('rows_written', 0):,} sys rows ({verdict})"
+        )
+        if fired < 1:
+            violations.append(f"selftelemetry.alerts_fired (seed {seed})")
+        replay = probe.get("replay_identical")
+        if replay is not None:
+            print(
+                "  self-telemetry replay bit-identical: "
+                + ("yes" if replay else "NO — seed does not replay identically")
+            )
+            if not replay:
+                violations.append(
+                    f"selftelemetry.replay_identical (seed {seed})"
+                )
+        idle = probe.get("idle_events")
+        if isinstance(idle, (int, float)):
+            print(
+                f"  self-telemetry idle-loop events: {idle:,.0f} "
+                + ("(converged)" if idle == 0 else "(LOOP FEEDS ITSELF)")
+            )
+            if idle != 0:
+                violations.append(f"selftelemetry.idle_events (seed {seed})")
+    return violations
+
+
 # Structured (dict-valued) top-level keys this script knows how to report.
 # Scalar keys are free-form informational metadata and are not checked.
 KNOWN_PROBE_KEYS = {
@@ -237,6 +297,7 @@ KNOWN_PROBE_KEYS = {
     "cached_path",
     "coldread",
     "rebalance_chaos",
+    "selftelemetry",
 }
 
 
@@ -341,6 +402,7 @@ def main():
         report_extent_compression(path)
         report_coldread(path)
         all_regressions.extend(report_rebalance_chaos(path))
+        all_regressions.extend(report_selftelemetry(path))
         warn_unknown_probes(path)
         if not os.path.exists(baseline):
             print(f"  (no baseline at {baseline} — skipping)")

@@ -3,9 +3,13 @@
 // the analytics server — in under a hundred lines.
 //
 //   ./build/examples/quickstart
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 
+#include "buslite/broker.hpp"
 #include "model/ingest.hpp"
+#include "model/selftel/selftel.hpp"
 #include "model/tables.hpp"
 #include "server/server.hpp"
 #include "titanlog/generator.hpp"
@@ -63,5 +67,28 @@ int main() {
   std::printf("\nserver handled %llu simple + %llu complex queries\n",
               static_cast<unsigned long long>(metrics.simple_queries),
               static_cast<unsigned long long>(metrics.complex_queries));
+
+  // 6. Close the loop: export the system's own metrics and traces into
+  //    sys_* tables and ask the server about its own behaviour.
+  buslite::Broker telemetry_bus;
+  model::selftel::SelfTelemetryLoop loop(cluster, telemetry_bus);
+  server.set_self_telemetry(&loop);
+  auto pumped = loop.pump();
+  std::printf("\nself-telemetry: published %zu events, landed %llu rows\n",
+              pumped.published,
+              static_cast<unsigned long long>(pumped.drained.rows_written));
+  const std::int64_t now_s = std::chrono::duration_cast<std::chrono::seconds>(
+                                 std::chrono::system_clock::now()
+                                     .time_since_epoch())
+                                 .count();
+  const std::int64_t now = hour_bucket(now_s);
+  char selfquery[160];
+  std::snprintf(selfquery, sizeof(selfquery),
+                R"({"op":"selfquery","what":"ops","begin":%lld,"end":%lld})",
+                static_cast<long long>((now - 1) * kSecondsPerHour),
+                static_cast<long long>((now + 1) * kSecondsPerHour));
+  std::printf(">>> %s\n%s\n", selfquery, server.handle_text(selfquery).c_str());
+  std::printf(">>> {\"op\":\"alerts\"}\n%s\n",
+              server.handle_text(R"({"op":"alerts"})").c_str());
   return 0;
 }

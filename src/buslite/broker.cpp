@@ -18,6 +18,14 @@ Broker::Broker() {
         sink.counter("buslite.messages_trimmed", m.messages_trimmed);
         sink.counter("buslite.commits", m.commits);
         sink.counter("buslite.produce_contention", m.produce_contention);
+        // Internal (`_`-prefixed) topic traffic under the excluded-from-
+        // export selftel prefix, so the dogfooded bus metrics only show
+        // foreground load (DESIGN.md §16).
+        const BrokerMetrics s = internal_metrics();
+        sink.counter("selftel.bus.produces", s.produces);
+        sink.counter("selftel.bus.fetches", s.fetches);
+        sink.counter("selftel.bus.messages_fetched", s.messages_fetched);
+        sink.counter("selftel.bus.commits", s.commits);
       });
 }
 
@@ -228,12 +236,24 @@ Result<std::int64_t> Broker::begin_offset(const std::string& topic,
       ->published_base.load(std::memory_order_acquire);
 }
 
+namespace {
+
+bool internal_topic(const std::string& name) noexcept {
+  return !name.empty() && name.front() == '_';
+}
+
+}  // namespace
+
 BrokerMetrics Broker::metrics() const noexcept {
-  // Sum the per-partition counters. Topics are never deleted, so the
-  // current snapshot covers every partition that ever counted anything.
+  // Sum the per-partition counters of user topics. Topics are never
+  // deleted, so the current snapshot covers every partition that ever
+  // counted anything. Internal (`_`-prefixed) topics — the self-telemetry
+  // bus — are summed separately by internal_metrics() so exported broker
+  // metrics never reflect telemetry traffic itself.
   BrokerMetrics m;
   const TopicMap* map = topic_map();
-  for (const auto& [_, t] : *map) {
+  for (const auto& [name, t] : *map) {
+    if (internal_topic(name)) continue;
     for (const auto& p : t->partitions) {
       m.produces += p->produces.load(std::memory_order_relaxed);
       m.fetches += p->fetches.load(std::memory_order_relaxed);
@@ -245,6 +265,26 @@ BrokerMetrics Broker::metrics() const noexcept {
   for (const auto& shard : commit_shards_) {
     std::lock_guard lock(shard.mu);
     m.commits += shard.commits;
+  }
+  return m;
+}
+
+BrokerMetrics Broker::internal_metrics() const noexcept {
+  BrokerMetrics m;
+  const TopicMap* map = topic_map();
+  for (const auto& [name, t] : *map) {
+    if (!internal_topic(name)) continue;
+    for (const auto& p : t->partitions) {
+      m.produces += p->produces.load(std::memory_order_relaxed);
+      m.fetches += p->fetches.load(std::memory_order_relaxed);
+      m.messages_fetched += p->fetched_messages.load(std::memory_order_relaxed);
+      m.messages_trimmed += p->trimmed.load(std::memory_order_relaxed);
+      m.produce_contention += p->contention.load(std::memory_order_relaxed);
+    }
+  }
+  for (const auto& shard : commit_shards_) {
+    std::lock_guard lock(shard.mu);
+    m.commits += shard.internal_commits;
   }
   return m;
 }
@@ -272,7 +312,11 @@ Status Broker::commit(const std::string& group, const std::string& topic,
   {
     std::lock_guard lock(shard.mu);
     shard.offsets[key] = offset;
-    ++shard.commits;
+    if (internal_topic(topic)) {
+      ++shard.internal_commits;
+    } else {
+      ++shard.commits;
+    }
   }
   return Status::ok();
 }

@@ -100,7 +100,13 @@ class Broker {
   Result<std::int64_t> begin_offset(const std::string& topic,
                                     int partition) const;
 
+  /// Counters for user topics only. Internal (`_`-prefixed) topics — the
+  /// self-telemetry bus — are excluded and reported by internal_metrics(),
+  /// so the exported broker metrics only ever show foreground traffic.
   [[nodiscard]] BrokerMetrics metrics() const noexcept;
+
+  /// Counters for internal (`_`-prefixed) topics.
+  [[nodiscard]] BrokerMetrics internal_metrics() const noexcept;
 
   // ---------------------------------------------------- consumer groups
 
@@ -169,6 +175,7 @@ class Broker {
     mutable std::mutex mu;
     std::map<std::string, std::int64_t> offsets;  ///< "group|topic|part"
     std::uint64_t commits = 0;                    ///< guarded by mu
+    std::uint64_t internal_commits = 0;           ///< `_`-prefixed topics
   };
 
   [[nodiscard]] const TopicMap* topic_map() const {

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/faultsim.hpp"
 
@@ -32,6 +33,14 @@ std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
   const std::uint64_t sub = (v >> (k - 2)) & 3;
   return 4 + static_cast<std::size_t>(k - 2) * 4 +
          static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t idx) noexcept {
+  if (idx < 4) return idx;
+  const std::size_t k = 2 + (idx - 4) / 4;
+  const std::uint64_t sub = (idx - 4) % 4;
+  const std::uint64_t width = 1ull << (k - 2);
+  return (1ull << k) + (sub + 1) * width - 1;
 }
 
 double LatencyHistogram::bucket_midpoint(std::size_t idx) noexcept {
@@ -93,6 +102,13 @@ HistogramSnapshot LatencyHistogram::snapshot() const {
   snap.p50_us = percentile(0.50);
   snap.p95_us = percentile(0.95);
   snap.p99_us = percentile(0.99);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    cum += counts[b];
+    snap.cumulative_buckets.emplace_back(
+        static_cast<double>(bucket_upper(b)), cum);
+  }
   return snap;
 }
 
@@ -207,6 +223,20 @@ MetricRegistry& registry() {
   return *r;
 }
 
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prometheus_text(const RegistrySnapshot& snap) {
   std::string out;
   const auto sanitized = [](const std::string& name) {
@@ -221,22 +251,29 @@ std::string prometheus_text(const RegistrySnapshot& snap) {
     std::snprintf(buf, sizeof(buf), "%g", v);
     return std::string(buf);
   };
+  const auto header = [&out](const std::string& n, const std::string& orig,
+                             const char* type, const char* what) {
+    out += "# HELP " + n + " " + orig + " " + what + "\n";
+    out += "# TYPE " + n + " " + type + "\n";
+  };
   for (const auto& [name, value] : snap.counters) {
     const std::string n = sanitized(name);
-    out += "# TYPE " + n + " counter\n";
+    header(n, name, "counter", "(monotonic)");
     out += n + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string n = sanitized(name);
-    out += "# TYPE " + n + " gauge\n";
+    header(n, name, "gauge", "(last value)");
     out += n + " " + number(value) + "\n";
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string n = sanitized(name);
-    out += "# TYPE " + n + " summary\n";
-    out += n + "{quantile=\"0.5\"} " + number(h.p50_us) + "\n";
-    out += n + "{quantile=\"0.95\"} " + number(h.p95_us) + "\n";
-    out += n + "{quantile=\"0.99\"} " + number(h.p99_us) + "\n";
+    header(n, name, "histogram", "latency (microseconds)");
+    for (const auto& [le, cum] : h.cumulative_buckets) {
+      out += n + "_bucket{le=\"" + prometheus_escape_label(number(le)) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
     out += n + "_sum " + std::to_string(h.sum_us) + "\n";
     out += n + "_count " + std::to_string(h.count) + "\n";
   }
@@ -248,10 +285,41 @@ std::string prometheus_text(const RegistrySnapshot& snap) {
 namespace {
 
 thread_local TraceContext tls_context;
+thread_local int tls_suppress = 0;
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  return (end == raw || v < 0) ? fallback : static_cast<std::int64_t>(v);
+}
 
 }  // namespace
 
 TraceContext current() noexcept { return tls_context; }
+
+bool suppressed() noexcept { return tls_suppress > 0; }
+
+SuppressScope::SuppressScope() noexcept { ++tls_suppress; }
+
+SuppressScope::~SuppressScope() { --tls_suppress; }
+
+TracerOptions TracerOptions::from_env() {
+  TracerOptions opts;
+  opts.slow_threshold_us =
+      env_int64("HPCLA_SLOW_OP_US", opts.slow_threshold_us);
+  opts.slowlog_capacity = static_cast<std::size_t>(env_int64(
+      "HPCLA_SLOWLOG_CAP", static_cast<std::int64_t>(opts.slowlog_capacity)));
+  return opts;
+}
 
 std::int64_t Tracer::now_us() const noexcept {
   if (SimClock* clock = sim_clock_.load(std::memory_order_acquire)) {
@@ -263,42 +331,160 @@ std::int64_t Tracer::now_us() const noexcept {
       .count();
 }
 
-void Tracer::record(SpanRecord rec) {
-  const std::int64_t threshold = slow_threshold_us();
+Tracer::Tracer() { configure(TracerOptions::from_env()); }
+
+void Tracer::configure(TracerOptions opts) {
   std::lock_guard lock(mu_);
-  auto it = traces_.find(rec.trace_id);
-  if (it == traces_.end()) {
-    if (trace_order_.size() >= kMaxTraces) {
-      traces_.erase(trace_order_.front());
-      trace_order_.erase(trace_order_.begin());
-    }
-    trace_order_.push_back(rec.trace_id);
-    it = traces_.emplace(rec.trace_id, std::vector<SpanRecord>{}).first;
+  opts_ = opts;
+  slow_threshold_us_.store(opts.slow_threshold_us, std::memory_order_release);
+  if (slow_.size() > opts_.slowlog_capacity) {
+    slow_.resize(opts_.slowlog_capacity);
   }
-  auto& spans = it->second;
-  const bool slow = threshold > 0 && rec.duration_us >= threshold;
-  if (spans.size() < kMaxSpansPerTrace) {
-    if (slow) {
-      spans.push_back(rec);
-    } else {
-      spans.push_back(std::move(rec));
+  while (completed_.size() > opts_.completed_queue_capacity) {
+    completed_.pop_front();
+  }
+}
+
+TracerOptions Tracer::options() const {
+  std::lock_guard lock(mu_);
+  return opts_;
+}
+
+void Tracer::set_slow_threshold_us(std::int64_t us) noexcept {
+  std::lock_guard lock(mu_);
+  opts_.slow_threshold_us = us;
+  slow_threshold_us_.store(us, std::memory_order_release);
+}
+
+void Tracer::enter_slowlog(const SpanRecord& span,
+                           const std::string& root_name) {
+  SpanRecord entry = span;
+  entry.tags.emplace_back("op", root_name);
+  slow_.push_back(std::move(entry));
+  std::stable_sort(slow_.begin(), slow_.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.duration_us > b.duration_us;
+                   });
+  if (slow_.size() > opts_.slowlog_capacity) {
+    slow_.resize(opts_.slowlog_capacity);
+  }
+}
+
+void Tracer::record(SpanRecord rec) {
+  std::lock_guard lock(mu_);
+  const std::int64_t threshold = opts_.slow_threshold_us;
+  if (rec.parent_id != 0) {
+    // Child span: its trace is normally still open — buffer it. A child
+    // finishing after its root already closed (detached pool task) lands
+    // directly in the kept trace when sampling kept it, and is dropped
+    // otherwise — the keep decision is not reopened.
+    if (auto kept = traces_.find(rec.trace_id); kept != traces_.end()) {
+      auto& kt = kept->second;
+      const std::string root_name =
+          kt.spans.empty() ? std::string() : kt.spans.back().name;
+      if (threshold > 0 && rec.duration_us >= threshold) {
+        enter_slowlog(rec, root_name);
+      }
+      if (kt.spans.size() < opts_.max_spans_per_trace) {
+        kt.spans.push_back(std::move(rec));
+      }
       return;
+    }
+    auto it = pending_.find(rec.trace_id);
+    if (it == pending_.end()) {
+      if (pending_order_.size() >= opts_.max_traces) {
+        // A trace whose root never closes must not pin memory forever.
+        pending_.erase(pending_order_.front());
+        pending_order_.erase(pending_order_.begin());
+      }
+      pending_order_.push_back(rec.trace_id);
+      it = pending_.emplace(rec.trace_id, std::vector<SpanRecord>{}).first;
+    }
+    if (it->second.size() < opts_.max_spans_per_trace) {
+      it->second.push_back(std::move(rec));
+    }
+    return;
+  }
+
+  // Root closed: the trace is complete.
+  const std::uint64_t trace_id = rec.trace_id;
+  const std::string root_name = rec.name;
+  std::vector<SpanRecord> spans;
+  if (auto it = pending_.find(trace_id); it != pending_.end()) {
+    spans = std::move(it->second);
+    pending_.erase(it);
+    pending_order_.erase(
+        std::find(pending_order_.begin(), pending_order_.end(), trace_id));
+  }
+  if (spans.size() < opts_.max_spans_per_trace) {
+    spans.push_back(std::move(rec));
+  }
+
+  bool slow = false;
+  bool errored = false;
+  for (const SpanRecord& s : spans) {
+    if (threshold > 0 && s.duration_us >= threshold) slow = true;
+    for (const auto& [k, v] : s.tags) {
+      if (k == "error" || (k == "status" && v == "error")) errored = true;
     }
   }
   if (slow) {
-    slow_.push_back(std::move(rec));
-    std::stable_sort(slow_.begin(), slow_.end(),
-                     [](const SpanRecord& a, const SpanRecord& b) {
-                       return a.duration_us > b.duration_us;
-                     });
-    if (slow_.size() > kSlowLogCapacity) slow_.resize(kSlowLogCapacity);
+    for (const SpanRecord& s : spans) {
+      if (s.duration_us >= threshold) enter_slowlog(s, root_name);
+    }
+  }
+
+  // Tail-sampling keep decision: slow and errored traces always survive;
+  // normal traces fill the reservoir, then replace the oldest resident
+  // normal trace with probability reservoir/seen (deterministic hash in
+  // place of randomness, so seeded replays keep identical traces).
+  bool keep = slow || errored;
+  const bool normal = !keep;
+  if (normal && opts_.normal_reservoir > 0) {
+    ++normal_seen_;
+    if (normal_resident_ < opts_.normal_reservoir) {
+      keep = true;
+    } else if (mix64(opts_.sample_seed ^ normal_seen_) % normal_seen_ <
+               opts_.normal_reservoir) {
+      for (auto it = trace_order_.begin(); it != trace_order_.end(); ++it) {
+        const auto victim = traces_.find(*it);
+        if (victim != traces_.end() && victim->second.normal) {
+          traces_.erase(victim);
+          trace_order_.erase(it);
+          --normal_resident_;
+          break;
+        }
+      }
+      keep = true;
+    }
+  }
+  if (!keep) return;
+
+  if (trace_order_.size() >= opts_.max_traces) {
+    const auto victim = traces_.find(trace_order_.front());
+    if (victim != traces_.end()) {
+      if (victim->second.normal) --normal_resident_;
+      traces_.erase(victim);
+    }
+    trace_order_.erase(trace_order_.begin());
+  }
+  trace_order_.push_back(trace_id);
+  traces_.emplace(trace_id, KeptTrace{spans, normal});
+  if (normal) ++normal_resident_;
+
+  if (opts_.completed_queue_capacity > 0) {
+    if (completed_.size() >= opts_.completed_queue_capacity) {
+      completed_.pop_front();
+    }
+    completed_.push_back(
+        CompletedTrace{trace_id, root_name, slow, errored, std::move(spans)});
   }
 }
 
 std::vector<SpanRecord> Tracer::trace(std::uint64_t trace_id) const {
   std::lock_guard lock(mu_);
   const auto it = traces_.find(trace_id);
-  return it == traces_.end() ? std::vector<SpanRecord>{} : it->second;
+  return it == traces_.end() ? std::vector<SpanRecord>{} : it->second.spans;
 }
 
 std::vector<SpanRecord> Tracer::slow_ops() const {
@@ -306,11 +492,29 @@ std::vector<SpanRecord> Tracer::slow_ops() const {
   return slow_;
 }
 
+std::vector<CompletedTrace> Tracer::drain_completed(std::size_t max) {
+  std::lock_guard lock(mu_);
+  const std::size_t n =
+      (max == 0) ? completed_.size() : std::min(max, completed_.size());
+  std::vector<CompletedTrace> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(completed_.front()));
+    completed_.pop_front();
+  }
+  return out;
+}
+
 void Tracer::clear() {
   std::lock_guard lock(mu_);
+  pending_.clear();
+  pending_order_.clear();
   traces_.clear();
   trace_order_.clear();
   slow_.clear();
+  completed_.clear();
+  normal_seen_ = 0;
+  normal_resident_ = 0;
 }
 
 Tracer& tracer() {
@@ -329,7 +533,7 @@ ScopedContext::~ScopedContext() { tls_context = saved_; }
 
 Span::Span(std::string_view name, bool root) {
   Tracer& t = tracer();
-  if (!t.enabled()) return;
+  if (!t.enabled() || tls_suppress > 0) return;
   const TraceContext parent = tls_context;
   if (!root && !parent.active()) return;
   rec_.name.assign(name);
@@ -375,7 +579,7 @@ void emit_span(const TraceContext& parent, std::string_view name,
                std::int64_t start_us, std::int64_t duration_us,
                std::vector<std::pair<std::string, std::string>> tags) {
   Tracer& t = tracer();
-  if (!t.enabled() || !parent.active()) return;
+  if (!t.enabled() || tls_suppress > 0 || !parent.active()) return;
   SpanRecord rec;
   rec.trace_id = parent.trace_id;
   rec.parent_id = parent.span_id;

@@ -31,6 +31,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -90,6 +91,10 @@ struct HistogramSnapshot {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  /// Non-empty buckets as (inclusive upper bound, cumulative count ≤ bound)
+  /// pairs ordered by bound — the exposition renders these as native
+  /// Prometheus `_bucket` series.
+  std::vector<std::pair<double, std::uint64_t>> cumulative_buckets;
   [[nodiscard]] double mean_us() const noexcept {
     return count == 0 ? 0.0 : static_cast<double>(sum_us) /
                                   static_cast<double>(count);
@@ -113,6 +118,9 @@ class LatencyHistogram {
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
   /// Midpoint estimate of bucket `idx`.
   [[nodiscard]] static double bucket_midpoint(std::size_t idx) noexcept;
+  /// Largest value that still lands in bucket `idx` (the Prometheus `le`
+  /// bound for that bucket).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t idx) noexcept;
 
  private:
   static constexpr std::size_t kStripes = 8;
@@ -206,9 +214,15 @@ class MetricRegistry {
 /// during static destruction must always find it alive).
 MetricRegistry& registry();
 
-/// Prometheus-style text exposition ('.' becomes '_'; histograms expand to
-/// _count/_sum and quantile-labelled rows).
+/// Prometheus text exposition: every series carries `# HELP`/`# TYPE`
+/// lines ('.' and '-' in names become '_'), and latency histograms render
+/// as native cumulative `_bucket{le="..."}`/`_sum`/`_count` series built
+/// from HistogramSnapshot::cumulative_buckets.
 std::string prometheus_text(const RegistrySnapshot& snap);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become \\, \", and \n.
+std::string prometheus_escape_label(std::string_view value);
 
 // ------------------------------------------------------------------- tracing
 
@@ -231,12 +245,47 @@ struct SpanRecord {
   std::vector<std::pair<std::string, std::string>> tags;
 };
 
-/// Bounded in-memory span sink + slow-op log.
+/// Tracer sink tuning. Defaults reproduce the PR-5 sizing; `from_env()`
+/// overlays `HPCLA_SLOW_OP_US` (slow-span threshold, 0 disables the slow
+/// log) and `HPCLA_SLOWLOG_CAP` (slow-op log capacity).
+struct TracerOptions {
+  std::int64_t slow_threshold_us = 50'000;
+  std::size_t slowlog_capacity = 32;
+  std::size_t max_traces = 128;  ///< kept completed traces (FIFO eviction)
+  std::size_t max_spans_per_trace = 512;
+  /// Tail-sampling reservoir: ceiling on *normal* (neither slow nor
+  /// errored) traces resident in the sink. Slow and errored traces are
+  /// always kept (up to max_traces). Defaults to max_traces so the
+  /// out-of-the-box sink behaves like the old keep-everything FIFO.
+  std::size_t normal_reservoir = 128;
+  /// Completed traces buffered for Exporter::drain (0 disables the queue).
+  std::size_t completed_queue_capacity = 256;
+  std::uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
+
+  [[nodiscard]] static TracerOptions from_env();
+};
+
+/// One completed trace as handed to the self-telemetry exporter.
+struct CompletedTrace {
+  std::uint64_t trace_id = 0;
+  std::string root_name;
+  bool slow = false;
+  bool errored = false;
+  std::vector<SpanRecord> spans;  ///< completion order, root last
+};
+
+/// Tail-sampling span sink + slow-op log. Spans buffer per trace until the
+/// root closes; the completed trace is kept when any span was slow or
+/// errored, and normal traces fill a bounded reservoir (deterministic
+/// Algorithm-R replacement past capacity), so the sink holds interesting
+/// traces instead of the most recent 128.
 class Tracer {
  public:
   static constexpr std::size_t kMaxTraces = 128;
   static constexpr std::size_t kMaxSpansPerTrace = 512;
   static constexpr std::size_t kSlowLogCapacity = 32;
+
+  Tracer();  ///< applies TracerOptions::from_env()
 
   void set_enabled(bool on) noexcept {
     enabled_.store(on, std::memory_order_release);
@@ -251,10 +300,16 @@ class Tracer {
   void set_sim_clock(SimClock* clock) noexcept {
     sim_clock_.store(clock, std::memory_order_release);
   }
-
-  void set_slow_threshold_us(std::int64_t us) noexcept {
-    slow_threshold_us_.store(us, std::memory_order_release);
+  [[nodiscard]] SimClock* sim_clock() const noexcept {
+    return sim_clock_.load(std::memory_order_acquire);
   }
+
+  /// Replaces the sink tuning. Existing slow-log rows are re-trimmed to
+  /// the new capacity; buffered traces stay as they are.
+  void configure(TracerOptions opts);
+  [[nodiscard]] TracerOptions options() const;
+
+  void set_slow_threshold_us(std::int64_t us) noexcept;
   [[nodiscard]] std::int64_t slow_threshold_us() const noexcept {
     return slow_threshold_us_.load(std::memory_order_acquire);
   }
@@ -270,31 +325,52 @@ class Tracer {
     return next_span_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Stores a finished span (bounded per trace; oldest trace evicted when
-  /// the sink is full) and enters it into the slow-op log when its
-  /// duration is at or over the threshold.
+  /// Child spans buffer under their still-open trace; a root span closing
+  /// completes its trace and runs the tail-sampling keep decision. Slow
+  /// spans of a completing trace enter the slow-op log stamped with an
+  /// "op" tag naming the root span.
   void record(SpanRecord rec);
 
-  /// All spans of one trace, in completion order (children before parents).
+  /// All spans of one kept trace, in completion order (children before
+  /// parents). Empty for traces still pending or dropped by sampling.
   [[nodiscard]] std::vector<SpanRecord> trace(std::uint64_t trace_id) const;
 
   /// Top-K spans over the slow threshold, slowest first.
   [[nodiscard]] std::vector<SpanRecord> slow_ops() const;
 
-  /// Drops all stored traces and the slow log (test isolation).
+  /// Moves out up to `max` kept completed traces (0 = all) in completion
+  /// order — the exporter's feed. The queue is bounded
+  /// (TracerOptions::completed_queue_capacity, oldest dropped).
+  [[nodiscard]] std::vector<CompletedTrace> drain_completed(
+      std::size_t max = 0);
+
+  /// Drops all stored traces, buffers, and the slow log (test isolation).
   void clear();
 
  private:
+  void enter_slowlog(const SpanRecord& span, const std::string& root_name);
+
   std::atomic<bool> enabled_{true};
   std::atomic<SimClock*> sim_clock_{nullptr};
   std::atomic<std::int64_t> slow_threshold_us_{50'000};
   std::atomic<std::uint64_t> next_trace_{1};
   std::atomic<std::uint64_t> next_span_{1};
 
+  struct KeptTrace {
+    std::vector<SpanRecord> spans;
+    bool normal = false;  ///< counted against the reservoir
+  };
+
   mutable std::mutex mu_;
-  std::map<std::uint64_t, std::vector<SpanRecord>> traces_;
+  TracerOptions opts_;
+  std::map<std::uint64_t, std::vector<SpanRecord>> pending_;
+  std::vector<std::uint64_t> pending_order_;  ///< FIFO for leak bounding
+  std::map<std::uint64_t, KeptTrace> traces_;
   std::vector<std::uint64_t> trace_order_;  ///< FIFO for eviction
   std::vector<SpanRecord> slow_;            ///< kept sorted, slowest first
+  std::deque<CompletedTrace> completed_;    ///< exporter feed
+  std::uint64_t normal_seen_ = 0;    ///< completed normal traces (sampling)
+  std::size_t normal_resident_ = 0;  ///< normal traces currently kept
 };
 
 /// The process-wide tracer (leaked singleton, like registry()).
@@ -302,6 +378,21 @@ Tracer& tracer();
 
 /// This thread's current trace context (zero when not inside a span).
 [[nodiscard]] TraceContext current() noexcept;
+
+/// True while a SuppressScope is alive on this thread.
+[[nodiscard]] bool suppressed() noexcept;
+
+/// While alive on this thread, Span construction and emit_span are inert.
+/// The self-telemetry pipeline wraps its own publish/drain work in one so
+/// `_telemetry.*` traffic never generates further telemetry events — the
+/// loop-suppression invariant (DESIGN.md §16). Nests.
+class SuppressScope {
+ public:
+  SuppressScope() noexcept;
+  ~SuppressScope();
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+};
 
 /// Installs `ctx` as the thread's current context for the scope — how a
 /// driver's context crosses into ThreadPool tasks: capture current() by

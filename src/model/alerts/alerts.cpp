@@ -1,0 +1,316 @@
+#include "model/alerts/alerts.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+#include "common/telemetry.hpp"
+
+namespace hpcla::model::alerts {
+
+namespace {
+
+/// Alert-pipeline instruments; selftel. prefix keeps them out of exports.
+struct AlertCounters {
+  telemetry::Counter& observed =
+      telemetry::registry().counter("selftel.alerts.observed");
+  telemetry::Counter& evaluations =
+      telemetry::registry().counter("selftel.alerts.evaluations");
+  telemetry::Counter& fired =
+      telemetry::registry().counter("selftel.alerts.fired");
+};
+
+AlertCounters& counters() {
+  static AlertCounters c;
+  return c;
+}
+
+double field_of(const titanlog::MetricSample& s, const std::string& field) {
+  if (field == "p50_us") return s.p50_us;
+  if (field == "p95_us") return s.p95_us;
+  if (field == "p99_us") return s.p99_us;
+  if (field == "sum_us") return s.sum_us;
+  if (field == "max_us") return s.max_us;
+  return s.value;
+}
+
+void fnv_fold(std::uint64_t& h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv_fold(std::uint64_t& h, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+}
+
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += '+';
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+Json Alert::to_json() const {
+  Json j = Json::object();
+  j["rule"] = rule;
+  j["metric"] = metric;
+  j["ts"] = ts;
+  j["seq"] = seq;
+  j["value"] = value;
+  j["threshold"] = threshold;
+  j["message"] = message;
+  return j;
+}
+
+void AlertEngine::install_default_rules() {
+  add_rule(ZScoreRule{.name = "complex-query-p99",
+                      .metric = "server.query.complex.us",
+                      .field = "p99_us",
+                      .alpha = 0.3,
+                      .z_threshold = 3.0,
+                      .min_samples = 5,
+                      .abs_floor = 1000.0,  // ignore sub-millisecond wiggle
+                      .cooldown_s = 60});
+  add_rule(BurnRateRule{.name = "replica-timeout-burn",
+                        .numerator = {"cassalite.replica.timeouts"},
+                        .denominator = {"cassalite.read.ok"},
+                        .budget = 0.01,
+                        .burn_threshold = 10.0,
+                        .window_s = 300,
+                        .min_denominator = 10.0,
+                        .cooldown_s = 60});
+  add_rule(BurnRateRule{.name = "blockcache-hit-rate",
+                        .numerator = {"blockcache.misses"},
+                        .denominator = {"blockcache.hits",
+                                        "blockcache.misses"},
+                        .budget = 0.5,  // hit-rate floor of 50%
+                        .burn_threshold = 1.0,
+                        .window_s = 300,
+                        .min_denominator = 100.0,
+                        .cooldown_s = 60});
+}
+
+void AlertEngine::add_rule(ZScoreRule rule) {
+  std::lock_guard lock(mu_);
+  zscore_.push_back(ZScoreState{.rule = std::move(rule)});
+}
+
+void AlertEngine::add_rule(BurnRateRule rule) {
+  std::lock_guard lock(mu_);
+  BurnState st;
+  st.rule = std::move(rule);
+  burn_.push_back(std::move(st));
+}
+
+void AlertEngine::observe(const titanlog::MetricSample& sample) {
+  std::lock_guard lock(mu_);
+  counters().observed.add(1);
+  for (ZScoreState& st : zscore_) {
+    if (st.rule.metric != sample.name) continue;
+    const double x = field_of(sample, st.rule.field);
+    // Test against the baseline *before* absorbing the sample, so a step
+    // change is judged by the pre-step estimate.
+    const double sigma = std::sqrt(st.var);
+    const double dev = std::abs(x - st.mean);
+    if (st.samples >= st.rule.min_samples && dev >= st.rule.abs_floor &&
+        dev > st.rule.z_threshold * sigma) {
+      fire(st, sample, x, sigma);
+    } else if (st.firing &&
+               (st.last_fired_ts < 0 ||
+                sample.ts - st.last_fired_ts >= st.rule.cooldown_s)) {
+      st.firing = false;
+    }
+    const double diff = x - st.mean;
+    const double incr = st.rule.alpha * diff;
+    st.mean += incr;
+    st.var = (1.0 - st.rule.alpha) * (st.var + diff * incr);
+    ++st.samples;
+  }
+  for (BurnState& st : burn_) {
+    // Windows are keyed by metric name, so append once even when the
+    // metric sits in both the numerator and the denominator (hit-rate
+    // rules) — sum_of reads the same window from both sides.
+    const auto contains = [&](const std::vector<std::string>& names) {
+      for (const std::string& name : names) {
+        if (name == sample.name) return true;
+      }
+      return false;
+    };
+    if (contains(st.rule.numerator) || contains(st.rule.denominator)) {
+      st.deltas[sample.name].emplace_back(sample.ts, sample.value);
+    }
+  }
+}
+
+void AlertEngine::evaluate(UnixSeconds now) {
+  std::lock_guard lock(mu_);
+  counters().evaluations.add(1);
+  for (BurnState& st : burn_) {
+    // Sliding window (now - window_s, now]: prune, then sum.
+    const UnixSeconds horizon = now - st.rule.window_s;
+    auto sum_of = [&](const std::vector<std::string>& names) {
+      double total = 0.0;
+      for (const std::string& name : names) {
+        auto it = st.deltas.find(name);
+        if (it == st.deltas.end()) continue;
+        auto& window = it->second;
+        while (!window.empty() && window.front().first <= horizon) {
+          window.pop_front();
+        }
+        for (const auto& [ts, delta] : window) total += delta;
+      }
+      return total;
+    };
+    const double num = sum_of(st.rule.numerator);
+    const double den = sum_of(st.rule.denominator);
+    if (den < st.rule.min_denominator) continue;
+    const double rate = num / den;
+    const double burn = rate / st.rule.budget;
+    if (burn >= st.rule.burn_threshold) {
+      fire(st, now, rate, burn);
+    } else if (st.firing &&
+               (st.last_fired_ts < 0 ||
+                now - st.last_fired_ts >= st.rule.cooldown_s)) {
+      st.firing = false;
+    }
+  }
+}
+
+void AlertEngine::fire(ZScoreState& st, const titanlog::MetricSample& s,
+                       double x, double sigma) {
+  st.firing = true;
+  if (st.last_fired_ts >= 0 &&
+      s.ts - st.last_fired_ts < st.rule.cooldown_s) {
+    return;  // refreshed but suppressed by cooldown
+  }
+  st.last_fired_ts = s.ts;
+  Alert alert;
+  alert.rule = st.rule.name;
+  alert.metric = st.rule.metric;
+  alert.ts = s.ts;
+  alert.seq = s.seq;
+  alert.value = x;
+  alert.threshold = st.rule.z_threshold;
+  alert.message = st.rule.metric + "." + st.rule.field + " deviates from " +
+                  std::to_string(st.mean) + " by more than " +
+                  std::to_string(st.rule.z_threshold) + " sigma (sigma=" +
+                  std::to_string(sigma) + ")";
+  record_alert(std::move(alert));
+}
+
+void AlertEngine::fire(BurnState& st, UnixSeconds now, double rate,
+                       double burn) {
+  st.firing = true;
+  if (st.last_fired_ts >= 0 && now - st.last_fired_ts < st.rule.cooldown_s) {
+    return;
+  }
+  st.last_fired_ts = now;
+  Alert alert;
+  alert.rule = st.rule.name;
+  alert.metric = joined(st.rule.numerator) + "/" + joined(st.rule.denominator);
+  alert.ts = now;
+  alert.seq = 0;
+  alert.value = burn;
+  alert.threshold = st.rule.burn_threshold;
+  alert.message = "error rate " + std::to_string(rate) + " burns budget " +
+                  std::to_string(st.rule.budget) + " at " +
+                  std::to_string(burn) + "x over " +
+                  std::to_string(st.rule.window_s) + "s";
+  record_alert(std::move(alert));
+}
+
+void AlertEngine::record_alert(Alert alert) {
+  ++fired_;
+  counters().fired.add(1);
+  fnv_fold(fingerprint_, alert.rule);
+  fnv_fold(fingerprint_, alert.metric);
+  fnv_fold(fingerprint_, alert.ts);
+  fnv_fold(fingerprint_, alert.seq);
+  history_.push_back(std::move(alert));
+  while (history_.size() > kHistoryCap) history_.pop_front();
+}
+
+std::vector<Alert> AlertEngine::active() const {
+  std::lock_guard lock(mu_);
+  std::vector<Alert> out;
+  auto newest_for = [&](const std::string& rule) {
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+      if (it->rule == rule) {
+        out.push_back(*it);
+        return;
+      }
+    }
+  };
+  for (const ZScoreState& st : zscore_) {
+    if (st.firing) newest_for(st.rule.name);
+  }
+  for (const BurnState& st : burn_) {
+    if (st.firing) newest_for(st.rule.name);
+  }
+  return out;
+}
+
+std::vector<Alert> AlertEngine::history() const {
+  std::lock_guard lock(mu_);
+  return {history_.begin(), history_.end()};
+}
+
+std::uint64_t AlertEngine::fired_count() const {
+  std::lock_guard lock(mu_);
+  return fired_;
+}
+
+std::uint64_t AlertEngine::fingerprint() const {
+  std::lock_guard lock(mu_);
+  return fingerprint_;
+}
+
+Json AlertEngine::to_json() const {
+  Json j = Json::object();
+  {
+    std::lock_guard lock(mu_);
+    j["fired"] = static_cast<std::int64_t>(fired_);
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fingerprint_));
+    j["fingerprint"] = std::string(buf);
+  }
+  Json hist = Json::array();
+  for (const Alert& a : history()) hist.push_back(a.to_json());
+  j["history"] = std::move(hist);
+  Json act = Json::array();
+  for (const Alert& a : active()) act.push_back(a.to_json());
+  j["active"] = std::move(act);
+  return j;
+}
+
+void AlertEngine::clear() {
+  std::lock_guard lock(mu_);
+  for (ZScoreState& st : zscore_) {
+    st.mean = 0.0;
+    st.var = 0.0;
+    st.samples = 0;
+    st.last_fired_ts = -1;
+    st.firing = false;
+  }
+  for (BurnState& st : burn_) {
+    st.deltas.clear();
+    st.last_fired_ts = -1;
+    st.firing = false;
+  }
+  history_.clear();
+  fired_ = 0;
+  fingerprint_ = 1469598103934665603ull;
+}
+
+}  // namespace hpcla::model::alerts

@@ -1,0 +1,158 @@
+// Online anomaly detection and SLO alerting over the self-telemetry
+// stream (DESIGN.md §16). The AlertEngine consumes the MetricSamples the
+// TelemetryIngestor drains from `_telemetry.metrics` and evaluates two
+// detector families per micro-batch:
+//
+//   * ZScoreRule — per-metric sliding EWMA mean/variance; a sample whose
+//     deviation exceeds `z_threshold` standard deviations (and an
+//     absolute floor, so a quiet metric's tiny variance can't page) fires
+//     an anomaly. Test-then-update: the firing sample is excluded from
+//     the baseline it is judged against, so a step change is detected
+//     before it poisons the estimate.
+//   * BurnRateRule — SLO error-budget burn over a sliding window of
+//     counter deltas: rate = sum(numerator) / sum(denominator); the rule
+//     fires when rate / budget >= burn_threshold (multi-metric numerator
+//     and denominator sum, so hit-rate style SLOs are expressible).
+//
+// Everything is deterministic: state advances only on observed samples
+// and their embedded timestamps (SimClock under chaos runs), so two
+// replays of a seeded run fire bit-identical alert sequences —
+// fingerprint() folds the fired history into one comparable hash.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "titanlog/selftel.hpp"
+
+namespace hpcla::model::alerts {
+
+/// EWMA z-score anomaly rule over one exported metric field.
+struct ZScoreRule {
+  std::string name;    ///< rule id, unique within the engine
+  std::string metric;  ///< MetricSample::name to watch
+  /// MetricSample field fed to the detector: "value" (counter delta /
+  /// gauge level / hist count) or a histogram percentile field
+  /// ("p50_us" | "p95_us" | "p99_us" | "sum_us" | "max_us").
+  std::string field = "value";
+  double alpha = 0.3;        ///< EWMA smoothing factor
+  double z_threshold = 3.0;  ///< fire above this many sigmas
+  /// Samples the baseline must absorb before the rule may fire.
+  std::uint64_t min_samples = 5;
+  /// Absolute minimum deviation to fire — guards near-zero variance.
+  double abs_floor = 0.0;
+  std::int64_t cooldown_s = 60;  ///< min seconds between firings
+};
+
+/// SLO burn-rate rule over sliding windows of counter deltas.
+struct BurnRateRule {
+  std::string name;
+  std::vector<std::string> numerator;    ///< bad-event counters (summed)
+  std::vector<std::string> denominator;  ///< total-event counters (summed)
+  double budget = 0.01;          ///< SLO error budget (bad / total)
+  double burn_threshold = 1.0;   ///< fire when rate/budget >= this
+  std::int64_t window_s = 300;   ///< sliding-window span
+  /// Minimum denominator volume in the window before evaluating — a
+  /// handful of requests cannot meaningfully burn a budget.
+  double min_denominator = 10.0;
+  std::int64_t cooldown_s = 60;
+};
+
+/// One fired alert.
+struct Alert {
+  std::string rule;
+  std::string metric;  ///< watched metric (zscore) or "num/den" (burn)
+  UnixSeconds ts = 0;  ///< sample timestamp that fired the rule
+  std::int64_t seq = 0;      ///< export cycle of the firing sample
+  double value = 0.0;        ///< observed value (zscore) or burn rate
+  double threshold = 0.0;    ///< z_threshold or burn_threshold
+  std::string message;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Deterministic online alert evaluator. Thread-safe; all methods take
+/// the engine mutex. Instrumented under the export-excluded `selftel.`
+/// prefix so alert evaluation never feeds back into the telemetry loop.
+class AlertEngine {
+ public:
+  AlertEngine() = default;
+
+  /// Installs the stock rule pack (see DESIGN.md §16):
+  ///   * complex-query-p99 — z-score on server.query.complex.us p99;
+  ///   * replica-timeout-burn — cassalite.replica.timeouts burning the
+  ///     read-error budget against cassalite.read.ok;
+  ///   * blockcache-hit-rate — blockcache.misses burning the miss budget
+  ///     against total block-cache lookups.
+  void install_default_rules();
+
+  void add_rule(ZScoreRule rule);
+  void add_rule(BurnRateRule rule);
+
+  /// Feeds one drained metric sample: updates z-score detectors keyed on
+  /// the sample's metric (test-then-update) and appends counter deltas to
+  /// burn-rule windows. Fires z-score alerts inline.
+  void observe(const titanlog::MetricSample& sample);
+
+  /// Evaluates burn-rate rules at `now` (the newest drained sample's
+  /// timestamp) and expires window entries older than each rule's span.
+  /// Call once per drained micro-batch.
+  void evaluate(UnixSeconds now);
+
+  /// Alerts currently firing (within cooldown of their last trigger).
+  [[nodiscard]] std::vector<Alert> active() const;
+
+  /// Most recent firings, oldest first (bounded ring of kHistoryCap).
+  [[nodiscard]] std::vector<Alert> history() const;
+
+  /// Total alerts ever fired.
+  [[nodiscard]] std::uint64_t fired_count() const;
+
+  /// FNV-1a fold of every fired alert (rule, metric, ts, seq) in firing
+  /// order — bit-identical across replays of the same seeded run.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// {"fired": n, "fingerprint": "...", "active": [...], "history": [...]}
+  [[nodiscard]] Json to_json() const;
+
+  void clear();
+
+  static constexpr std::size_t kHistoryCap = 128;
+
+ private:
+  struct ZScoreState {
+    ZScoreRule rule;
+    double mean = 0.0;
+    double var = 0.0;
+    std::uint64_t samples = 0;
+    std::int64_t last_fired_ts = -1;  ///< -1 = never
+    bool firing = false;
+  };
+  struct BurnState {
+    BurnRateRule rule;
+    /// (sample ts, delta) per watched counter, pruned to the window.
+    std::map<std::string, std::deque<std::pair<UnixSeconds, double>>> deltas;
+    std::int64_t last_fired_ts = -1;
+    bool firing = false;
+  };
+
+  void fire(ZScoreState& st, const titanlog::MetricSample& s, double x,
+            double sigma);
+  void fire(BurnState& st, UnixSeconds now, double rate, double burn);
+  void record_alert(Alert alert);
+
+  mutable std::mutex mu_;
+  std::vector<ZScoreState> zscore_;
+  std::vector<BurnState> burn_;
+  std::deque<Alert> history_;
+  std::uint64_t fired_ = 0;
+  std::uint64_t fingerprint_ = 1469598103934665603ull;  ///< FNV-1a basis
+};
+
+}  // namespace hpcla::model::alerts

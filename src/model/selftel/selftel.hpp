@@ -1,0 +1,212 @@
+// Self-telemetry landing zone (DESIGN.md §16): the drain half of the
+// closed loop. telemetry::Exporter publishes the system's own metric
+// deltas and tail-sampled traces on `_telemetry.*`; TelemetryIngestor
+// drains them through the same micro-batch streaming machinery as the
+// log-event path and lands them in cassalite tables shaped exactly like
+// the data model's event tables:
+//
+//   sys_metrics  pk (hour, name)  ck (ts, seq)   — one partition per
+//                metric-hour, time ordered (the event_by_time of metrics)
+//   sys_spans    pk (hour, op)    ck (ts, span_id) — one partition per
+//                op-hour of tail-sampled spans
+//
+// so parallel_read / paging / the burst machinery work on the system's
+// own history unchanged. SysViews mirrors views::ViewCatalog for spans:
+// per-(hour, op) tiles with slow/error counts and a GK duration sketch,
+// feeding the server's `selfquery` op without a table scan. Drained
+// metric samples also feed the online alerts::AlertEngine.
+//
+// Everything in this module runs under telemetry::SuppressScope and
+// counts its own work under the export-excluded `selftel.` prefix; the
+// SelfTelemetryLoop's rebaseline-after-drain protocol absorbs the metric
+// movement the drain itself causes (cassalite writes into sys_* tables,
+// consumer commits), so an idle loop converges to zero events per cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buslite/broker.hpp"
+#include "cassalite/cluster.hpp"
+#include "common/clock.hpp"
+#include "common/quantile_sketch.hpp"
+#include "model/alerts/alerts.hpp"
+#include "sparklite/streaming.hpp"
+#include "telemetry/exporter.hpp"
+#include "titanlog/selftel.hpp"
+
+namespace hpcla::model::selftel {
+
+// Table names (the "sys" prefix marks self-describing system tables).
+inline constexpr std::string_view kSysMetrics = "sys_metrics";
+inline constexpr std::string_view kSysSpans = "sys_spans";
+
+/// Creates sys_metrics and sys_spans (tolerates pre-existing tables).
+Status create_self_telemetry_tables(cassalite::Cluster& cluster);
+
+/// sys_metrics partition: "<hour>|<metric-name>".
+std::string sys_metric_key(std::int64_t hour, std::string_view name);
+
+/// sys_spans partition: "<hour>|<op>" (op = root span name of the trace).
+std::string sys_span_key(std::int64_t hour, std::string_view op);
+
+/// Row for one exported metric sample; clustering key (ts, seq).
+cassalite::Row sys_metric_row(const titanlog::MetricSample& s);
+
+/// Row for one exported span sample; clustering key (ts, span_id).
+cassalite::Row sys_span_row(const titanlog::SpanSample& s);
+
+/// Inverse of sys_metric_row given the partition key it was stored under.
+Result<titanlog::MetricSample> decode_sys_metric_row(
+    const std::string& partition_key, const cassalite::Row& row);
+
+/// Inverse of sys_span_row given the partition key it was stored under.
+Result<titanlog::SpanSample> decode_sys_span_row(
+    const std::string& partition_key, const cassalite::Row& row);
+
+/// Merged per-op span summary over a span of hours.
+struct OpSummary {
+  std::string op;
+  std::uint64_t spans = 0;
+  std::uint64_t slow = 0;
+  std::uint64_t errored = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Hourly span-summary tiles, the self-telemetry ViewCatalog analogue:
+/// per (hour, op) a span count, slow/error counts, and a GK duration
+/// sketch, so `selfquery` answers op-latency questions without scanning
+/// sys_spans. Thread-safe.
+class SysViews {
+ public:
+  void apply(const titanlog::SpanSample& s);
+
+  /// Per-op summaries merged across [first_hour, last_hour], descending
+  /// by span count then ascending by op. Percentiles carry GK rank error
+  /// <= 2 * kEpsilon.
+  [[nodiscard]] std::vector<OpSummary> summaries(std::int64_t first_hour,
+                                                 std::int64_t last_hour) const;
+
+  [[nodiscard]] std::uint64_t applied() const;
+
+  static constexpr double kEpsilon = 0.02;
+
+ private:
+  struct Tile {
+    std::uint64_t spans = 0;
+    std::uint64_t slow = 0;
+    std::uint64_t errored = 0;
+    QuantileSketch durations{kEpsilon};
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::int64_t, std::map<std::string, Tile>> hours_;
+  std::uint64_t applied_ = 0;
+};
+
+/// One drain's worth of work (and the running totals' shape).
+struct DrainReport {
+  std::uint64_t metric_batches = 0;
+  std::uint64_t span_batches = 0;
+  std::uint64_t metrics_in = 0;
+  std::uint64_t spans_in = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t rows_written = 0;
+  std::uint64_t write_failures = 0;
+  std::uint64_t alerts_fired = 0;  ///< alerts fired during this drain
+};
+
+struct IngestorOptions {
+  std::string group = "hpcla-selftel";
+  cassalite::Consistency consistency = cassalite::Consistency::kQuorum;
+};
+
+/// Subscriber draining `_telemetry.*` into the sys_* tables, the span
+/// views, and the alert engine. The whole drain runs under
+/// telemetry::SuppressScope so it never generates spans of its own;
+/// undecodable payloads quarantine on `<topic>.dlq` like any other
+/// ingest stream.
+class TelemetryIngestor {
+ public:
+  TelemetryIngestor(cassalite::Cluster& cluster, buslite::Broker& broker,
+                    const std::string& metrics_topic,
+                    const std::string& spans_topic,
+                    IngestorOptions options = {});
+
+  /// Attaches the online alert engine; drained metric samples feed
+  /// observe() and each drain ends with one evaluate() at the newest
+  /// drained timestamp. Pass nullptr to detach.
+  void set_alert_engine(alerts::AlertEngine* engine) { alerts_ = engine; }
+
+  /// Drains everything currently on both telemetry topics. Safe to call
+  /// repeatedly (offsets are committed).
+  DrainReport drain();
+
+  [[nodiscard]] const DrainReport& totals() const noexcept { return totals_; }
+  [[nodiscard]] const SysViews& views() const noexcept { return views_; }
+
+ private:
+  void handle_metrics(const sparklite::MicroBatch& batch, DrainReport& report,
+                      UnixSeconds& newest_ts);
+  void handle_spans(const sparklite::MicroBatch& batch, DrainReport& report);
+
+  cassalite::Cluster* cluster_;
+  buslite::Broker* broker_;
+  IngestorOptions options_;
+  std::string metrics_dlq_;
+  std::string spans_dlq_;
+  sparklite::MicroBatchStream metrics_stream_;
+  sparklite::MicroBatchStream spans_stream_;
+  SysViews views_;
+  alerts::AlertEngine* alerts_ = nullptr;  ///< not owned
+  DrainReport totals_;
+};
+
+/// The closed loop: Exporter (publish) + TelemetryIngestor (drain) + the
+/// stock AlertEngine, wired so each pump cycle is
+///   export_now() -> drain() -> rebaseline()
+/// — the rebaseline absorbs every metric the drain itself moved, which
+/// (with the SuppressScope and selftel.-prefix layers) guarantees an
+/// idle loop publishes zero events.
+class SelfTelemetryLoop {
+ public:
+  struct PumpReport {
+    std::size_t published = 0;
+    DrainReport drained;
+  };
+
+  /// Creates the sys_* tables and telemetry topics on first use.
+  SelfTelemetryLoop(cassalite::Cluster& cluster, buslite::Broker& broker,
+                    telemetry::ExporterOptions exporter_options = {},
+                    IngestorOptions ingestor_options = {});
+
+  /// One full cycle, unconditionally.
+  PumpReport pump();
+
+  /// Periodic driver: pumps when the exporter's period has elapsed on
+  /// its clock (first call always pumps).
+  PumpReport tick();
+
+  [[nodiscard]] telemetry::Exporter& exporter() noexcept { return exporter_; }
+  [[nodiscard]] TelemetryIngestor& ingestor() noexcept { return ingestor_; }
+  [[nodiscard]] alerts::AlertEngine& alerts() noexcept { return alerts_; }
+  [[nodiscard]] const alerts::AlertEngine& alerts() const noexcept {
+    return alerts_;
+  }
+
+ private:
+  alerts::AlertEngine alerts_;
+  telemetry::Exporter exporter_;
+  TelemetryIngestor ingestor_;
+};
+
+}  // namespace hpcla::model::selftel

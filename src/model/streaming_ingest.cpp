@@ -48,6 +48,19 @@ std::optional<EventRecord> decode_message(const buslite::Message& msg) {
 
 }  // namespace
 
+bool quarantine_message(buslite::Broker& broker, const std::string& dlq_topic,
+                        const buslite::Message& msg) {
+  const auto produced =
+      broker.produce(dlq_topic, msg.key, msg.value, msg.timestamp);
+  if (!produced.is_ok()) return false;
+  HPCLA_LOG(kInfo) << "quarantined undecodable record: topic=" << dlq_topic
+                   << " partition=" << produced->first
+                   << " offset=" << produced->second
+                   << " source_offset=" << msg.offset
+                   << " trace_id=" << telemetry::current().trace_id;
+  return true;
+}
+
 StreamingIngestor::StreamingIngestor(cassalite::Cluster& cluster,
                                      sparklite::Engine& engine,
                                      buslite::Broker& broker,
@@ -113,19 +126,9 @@ void StreamingIngestor::handle_batch(const sparklite::MicroBatch& batch,
     if (!slot) {
       ++report.decode_failures;
       counters().decode_failures.add(1);
-      // Quarantine the raw message on the dead-letter topic: the payload
-      // is preserved byte-for-byte for offline inspection and replay.
-      const auto& msg = batch.messages[i];
-      const auto produced =
-          broker_->produce(dlq_topic_, msg.key, msg.value, msg.timestamp);
-      if (produced.is_ok()) {
+      if (quarantine_message(*broker_, dlq_topic_, batch.messages[i])) {
         ++report.quarantined;
         counters().quarantined.add(1);
-        HPCLA_LOG(kInfo) << "quarantined undecodable record: topic="
-                         << dlq_topic_ << " partition=" << produced->first
-                         << " offset=" << produced->second
-                         << " source_offset=" << msg.offset
-                         << " trace_id=" << telemetry::current().trace_id;
       }
       continue;
     }

@@ -31,6 +31,13 @@ inline std::string dead_letter_topic(const std::string& topic) {
   return topic + ".dlq";
 }
 
+/// Quarantines one undecodable message on `dlq_topic`, preserving the
+/// payload byte-for-byte for offline inspection and replay. Returns true
+/// when the DLQ publish succeeded. Shared by the event ingest path and
+/// the self-telemetry drain (model::selftel::TelemetryIngestor).
+bool quarantine_message(buslite::Broker& broker, const std::string& dlq_topic,
+                        const buslite::Message& msg);
+
 /// Publishes parsed event occurrences to the bus. Message key is the
 /// source cname so per-component order is preserved across partitions.
 class EventPublisher {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <set>
 
 namespace hpcla::server {
 
@@ -286,9 +287,29 @@ std::string render_trace(const std::vector<telemetry::SpanRecord>& spans) {
   std::string out;
   constexpr std::size_t kLabelWidth = 56;
   constexpr std::size_t kBarWidth = 20;
+  // Nesting beyond this is elided (one marker line per branch): traces
+  // from runaway recursion stay renderable with bounded stack and output.
+  constexpr int kMaxDepth = 32;
+  // Indentation stops growing before it would swallow the whole label
+  // column; deeper rows share the maximum indent.
+  constexpr int kMaxIndentDepth = 20;
+  std::set<std::uint64_t> visited;
+  // Marks a whole subtree visited without emitting it — the tail of an
+  // over-deep branch, so the flat unreachable-span pass below doesn't
+  // resurrect rows the depth limit elided.
+  const std::function<void(const telemetry::SpanRecord*)> mark_elided =
+      [&](const telemetry::SpanRecord* s) {
+        if (!visited.insert(s->span_id).second) return;
+        for (const auto* kid : children[s->span_id]) mark_elided(kid);
+      };
   const std::function<void(const telemetry::SpanRecord*, int)> emit =
       [&](const telemetry::SpanRecord* s, int depth) {
-        std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+        // Cycle / duplicate-id guard: corrupted records whose parent chain
+        // loops would otherwise recurse forever.
+        if (!visited.insert(s->span_id).second) return;
+        std::string label(
+            static_cast<std::size_t>(std::min(depth, kMaxIndentDepth)) * 2,
+            ' ');
         label += s->name;
         for (const auto& [k, v] : s->tags) {
           label += ' ';
@@ -311,9 +332,25 @@ std::string render_trace(const std::vector<telemetry::SpanRecord>& spans) {
         out += buf;
         out.append(std::min(filled, kBarWidth), '#');
         out.push_back('\n');
+        if (depth >= kMaxDepth) {
+          if (!children[s->span_id].empty()) {
+            out.append(
+                static_cast<std::size_t>(std::min(depth, kMaxIndentDepth) + 1) *
+                    2,
+                ' ');
+            out += "... (deeper spans elided)\n";
+            for (const auto* kid : children[s->span_id]) mark_elided(kid);
+          }
+          return;
+        }
         for (const auto* kid : children[s->span_id]) emit(kid, depth + 1);
       };
   for (const auto* r : roots) emit(r, 0);
+  // Spans unreachable from any root (their parent chain forms a cycle)
+  // render flat at the end so no recorded span silently disappears.
+  for (const auto& s : spans) {
+    if (visited.count(s.span_id) == 0) emit(&s, 0);
+  }
   return out;
 }
 

@@ -39,6 +39,8 @@ Result<QueryPath> classify_query(std::string_view op) {
       {"slowlog", QueryPath::kSimple},
       {"topology", QueryPath::kSimple},
       {"repair", QueryPath::kSimple},
+      {"alerts", QueryPath::kSimple},
+      {"selfquery", QueryPath::kSimple},
       {"heatmap", QueryPath::kComplex},
       {"distribution", QueryPath::kComplex},
       {"hourly", QueryPath::kComplex},
@@ -182,6 +184,8 @@ Result<Json> AnalyticsServer::dispatch(std::string_view op,
   if (op == "slowlog") return op_slowlog(request);
   if (op == "topology") return op_topology(request);
   if (op == "repair") return op_repair(request);
+  if (op == "alerts") return op_alerts(request);
+  if (op == "selfquery") return op_selfquery(request);
   if (op == "heatmap") return op_heatmap(request);
   if (op == "distribution") return op_distribution(request);
   if (op == "hourly") return op_hourly(request);
@@ -406,6 +410,144 @@ Result<Json> AnalyticsServer::op_repair(const Json& request) {
   out["replicas_repaired"] =
       static_cast<std::int64_t>(report->replicas_repaired);
   return out;
+}
+
+Result<Json> AnalyticsServer::op_alerts(const Json&) {
+  if (selftel_ == nullptr) {
+    return failed_precondition("self-telemetry loop not attached");
+  }
+  return selftel_->alerts().to_json();
+}
+
+namespace {
+
+/// Hour span a selfquery may fan over; beyond this the partition-key list
+/// (and the parallel_read behind it) stops being a sane online query.
+constexpr std::int64_t kMaxSelfQueryHours = 1024;
+
+}  // namespace
+
+Result<Json> AnalyticsServer::op_selfquery(const Json& request) {
+  if (selftel_ == nullptr) {
+    return failed_precondition("self-telemetry loop not attached");
+  }
+  auto what = request.get_string("what");
+  if (!what.is_ok()) return what.status();
+  auto begin = request.get_int("begin");
+  auto end = request.get_int("end");
+  if (!begin.is_ok() || !end.is_ok()) {
+    return invalid_argument("'begin' and 'end' (unix seconds) are required");
+  }
+  if (end.value() < begin.value()) {
+    return invalid_argument("'end' must be >= 'begin'");
+  }
+  const std::int64_t h0 = hour_bucket(begin.value());
+  const std::int64_t h1 = hour_bucket(end.value());
+  if (h1 - h0 + 1 > kMaxSelfQueryHours) {
+    return invalid_argument("window spans more than " +
+                            std::to_string(kMaxSelfQueryHours) + " hours");
+  }
+  const std::size_t limit = static_cast<std::size_t>(
+      std::max<std::int64_t>(request.get_int("limit").value_or(1000), 1));
+
+  // Per-op span summaries come from the in-memory hourly tiles; metric
+  // and span history reads fan partition keys across the cluster — the
+  // sys_* tables are shaped like the event tables precisely so the same
+  // parallel_read path serves them.
+  if (what.value() == "ops") {
+    const auto filter = request.get_string("spanop");
+    Json arr = Json::array();
+    for (const auto& s :
+         selftel_->ingestor().views().summaries(h0, h1)) {
+      if (filter.is_ok() && s.op != filter.value()) continue;
+      arr.push_back(s.to_json());
+    }
+    Json out = Json::object();
+    out["ops"] = std::move(arr);
+    return out;
+  }
+
+  if (what.value() == "latency_p99" || what.value() == "metric_series") {
+    auto metric = request.get_string("metric");
+    if (!metric.is_ok()) return metric.status();
+    std::vector<std::string> keys;
+    keys.reserve(static_cast<std::size_t>(h1 - h0 + 1));
+    for (std::int64_t h = h0; h <= h1; ++h) {
+      keys.push_back(model::selftel::sys_metric_key(h, metric.value()));
+    }
+    auto results = cluster_->parallel_read(
+        engine_->pool(), std::string(model::selftel::kSysMetrics), keys);
+    std::vector<titanlog::MetricSample> samples;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].is_ok()) return results[i].status();
+      for (const auto& row : results[i]->rows) {
+        auto s = model::selftel::decode_sys_metric_row(keys[i], row);
+        if (!s.is_ok()) return s.status();
+        if (s->ts < begin.value() || s->ts > end.value()) continue;
+        samples.push_back(std::move(s).value());
+      }
+    }
+    // parallel_read returns hours in order and rows clustering-ordered
+    // within each partition, so `samples` is already (ts, seq) ascending.
+    Json out = Json::object();
+    out["metric"] = metric.value();
+    out["rows"] = static_cast<std::int64_t>(samples.size());
+    if (what.value() == "latency_p99") {
+      if (samples.empty()) {
+        return not_found("no sys_metrics rows for '" + metric.value() +
+                         "' in window");
+      }
+      out["latest"] = samples.back().to_json();
+      return out;
+    }
+    Json arr = Json::array();
+    const std::size_t first =
+        samples.size() > limit ? samples.size() - limit : 0;
+    for (std::size_t i = first; i < samples.size(); ++i) {
+      arr.push_back(samples[i].to_json());
+    }
+    out["truncated"] = first > 0;
+    out["series"] = std::move(arr);
+    return out;
+  }
+
+  if (what.value() == "slow_spans") {
+    auto op = request.get_string("spanop");
+    if (!op.is_ok()) return op.status();
+    std::vector<std::string> keys;
+    keys.reserve(static_cast<std::size_t>(h1 - h0 + 1));
+    for (std::int64_t h = h0; h <= h1; ++h) {
+      keys.push_back(model::selftel::sys_span_key(h, op.value()));
+    }
+    auto results = cluster_->parallel_read(
+        engine_->pool(), std::string(model::selftel::kSysSpans), keys);
+    std::vector<titanlog::SpanSample> spans;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].is_ok()) return results[i].status();
+      for (const auto& row : results[i]->rows) {
+        auto s = model::selftel::decode_sys_span_row(keys[i], row);
+        if (!s.is_ok()) return s.status();
+        if (s->ts < begin.value() || s->ts > end.value()) continue;
+        if (!s->slow) continue;
+        spans.push_back(std::move(s).value());
+      }
+    }
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const titanlog::SpanSample& a,
+                        const titanlog::SpanSample& b) {
+                       return a.duration_us > b.duration_us;
+                     });
+    if (spans.size() > limit) spans.resize(limit);
+    Json arr = Json::array();
+    for (const auto& s : spans) arr.push_back(s.to_json());
+    Json out = Json::object();
+    out["op"] = op.value();
+    out["spans"] = std::move(arr);
+    return out;
+  }
+
+  return invalid_argument(
+      "unknown 'what' (expected latency_p99|metric_series|ops|slow_spans)");
 }
 
 Result<Json> AnalyticsServer::op_nodeinfo(const Json& request) {

@@ -33,6 +33,7 @@
 #include "common/json.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "model/selftel/selftel.hpp"
 #include "model/views/views.hpp"
 #include "server/query_cache.hpp"
 #include "sparklite/engine.hpp"
@@ -85,6 +86,14 @@ class AnalyticsServer {
   /// The server-side result cache (for inspection in tests/benchmarks).
   [[nodiscard]] QueryCache& query_cache() noexcept { return cache_; }
 
+  /// Attaches the self-telemetry loop (not owned): enables the `alerts`
+  /// op (online anomaly/SLO state) and the `selfquery` op (the system's
+  /// own metric/span history out of the sys_* tables and span views).
+  /// Pass nullptr to detach.
+  void set_self_telemetry(model::selftel::SelfTelemetryLoop* loop) {
+    selftel_ = loop;
+  }
+
   /// Handles one frontend query synchronously.
   ///
   /// Request envelope:  {"op": "<name>", ...op-specific fields}
@@ -121,6 +130,8 @@ class AnalyticsServer {
   Result<Json> op_slowlog(const Json& request);
   Result<Json> op_topology(const Json& request);
   Result<Json> op_repair(const Json& request);
+  Result<Json> op_alerts(const Json& request);
+  Result<Json> op_selfquery(const Json& request);
 
   // complex path (big data processing unit)
   Result<Json> op_heatmap(const Json& request);
@@ -156,7 +167,8 @@ class AnalyticsServer {
 
   cassalite::Cluster* cluster_;
   sparklite::Engine* engine_;
-  model::views::ViewCatalog* views_ = nullptr;  ///< not owned
+  model::views::ViewCatalog* views_ = nullptr;           ///< not owned
+  model::selftel::SelfTelemetryLoop* selftel_ = nullptr;  ///< not owned
   QueryCache cache_;
   mutable std::atomic<std::uint64_t> simple_{0};
   mutable std::atomic<std::uint64_t> complex_{0};

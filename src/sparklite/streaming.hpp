@@ -58,7 +58,8 @@ class MicroBatchStream {
   MicroBatchStream(buslite::Broker& broker, std::string group,
                    std::string topic, std::size_t member_index,
                    std::size_t member_count, StreamOptions options = {})
-      : consumer_(broker, std::move(group), std::move(topic), member_index,
+      : internal_(!topic.empty() && topic.front() == '_'),
+        consumer_(broker, std::move(group), std::move(topic), member_index,
                   member_count),
         options_(options) {}
 
@@ -182,16 +183,20 @@ class MicroBatchStream {
     return w * options_.window_ms;
   }
 
+  /// Streams over internal (`_`-prefixed) topics — the self-telemetry
+  /// drain — count under the excluded-from-export selftel. prefix so the
+  /// exported streaming metrics only reflect foreground traffic.
+  const bool internal_;
   buslite::Consumer consumer_;
   StreamOptions options_;
   std::uint64_t batches_ = 0;
   std::uint64_t messages_ = 0;
   // Process-wide instruments (the members above are this stream's view;
   // registry lookups are cached once so the loop records lock-free).
-  telemetry::Counter& batches_ctr_ =
-      telemetry::registry().counter("streaming.batches");
-  telemetry::Counter& messages_ctr_ =
-      telemetry::registry().counter("streaming.messages");
+  telemetry::Counter& batches_ctr_ = telemetry::registry().counter(
+      internal_ ? "selftel.streaming.batches" : "streaming.batches");
+  telemetry::Counter& messages_ctr_ = telemetry::registry().counter(
+      internal_ ? "selftel.streaming.messages" : "streaming.messages");
 };
 
 }  // namespace hpcla::sparklite

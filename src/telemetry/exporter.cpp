@@ -1,0 +1,160 @@
+#include "telemetry/exporter.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/faultsim.hpp"
+
+namespace hpcla::telemetry {
+
+Exporter::Exporter(buslite::Broker& broker, ExporterOptions opts)
+    : broker_(&broker), opts_(std::move(opts)) {
+  buslite::TopicConfig config;
+  config.partitions = opts_.topic_partitions;
+  // A shared broker may already carry the topics (two exporters, or a
+  // pipeline rebuilt over a live broker) — kAlreadyExists is fine.
+  (void)broker_->create_topic(opts_.metrics_topic, config);
+  (void)broker_->create_topic(opts_.spans_topic, config);
+  base_ = registry().snapshot();
+}
+
+std::int64_t Exporter::now_ms() const {
+  SimClock* clock = opts_.sim_clock != nullptr ? opts_.sim_clock
+                                               : tracer().sim_clock();
+  if (clock != nullptr) return clock->now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Exporter::excluded(const std::string& name) const {
+  for (const std::string& prefix : opts_.exclude_prefixes) {
+    if (name.size() >= prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Exporter::publish_metric(titanlog::MetricSample sample, UnixMillis ts_ms,
+                              std::size_t& published) {
+  std::string key = sample.name;  // stable partition per metric
+  auto r = broker_->produce(opts_.metrics_topic, std::move(key),
+                            sample.to_json().dump(), ts_ms);
+  if (r.is_ok()) {
+    ++published;
+  } else {
+    registry().counter("selftel.export.errors").add();
+  }
+}
+
+void Exporter::publish_spans(UnixMillis ts_ms, std::size_t& published) {
+  const UnixSeconds ts = ts_ms / 1000;
+  for (CompletedTrace& trace :
+       tracer().drain_completed(opts_.max_traces_per_cycle)) {
+    for (SpanRecord& span : trace.spans) {
+      titanlog::SpanSample sample;
+      sample.ts = ts;
+      sample.op = trace.root_name;
+      sample.name = std::move(span.name);
+      sample.trace_id = span.trace_id;
+      sample.span_id = span.span_id;
+      sample.parent_id = span.parent_id;
+      sample.start_us = span.start_us;
+      sample.duration_us = span.duration_us;
+      sample.slow = trace.slow;
+      sample.errored = trace.errored;
+      auto r = broker_->produce(opts_.spans_topic, sample.op,
+                                sample.to_json().dump(), ts_ms);
+      if (r.is_ok()) {
+        ++published;
+      } else {
+        registry().counter("selftel.export.errors").add();
+      }
+    }
+  }
+}
+
+std::size_t Exporter::export_now() {
+  // Nothing below may generate further telemetry: no spans open while
+  // publishing, and the pipeline's own counters sit under the excluded
+  // selftel. prefix.
+  SuppressScope suppress;
+  const std::int64_t ts_ms = now_ms();
+  const UnixSeconds ts = ts_ms / 1000;
+  RegistrySnapshot snap = registry().snapshot();
+  const auto seq = static_cast<std::int64_t>(cycle_);
+  std::size_t published = 0;
+
+  for (const auto& [name, value] : snap.counters) {
+    if (excluded(name)) continue;
+    const auto it = base_.counters.find(name);
+    const std::uint64_t before = it == base_.counters.end() ? 0 : it->second;
+    if (value <= before) continue;
+    titanlog::MetricSample sample;
+    sample.ts = ts;
+    sample.name = name;
+    sample.kind = "counter";
+    sample.value = static_cast<double>(value - before);
+    sample.seq = seq;
+    publish_metric(std::move(sample), ts_ms, published);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (excluded(name)) continue;
+    const auto it = base_.gauges.find(name);
+    if (it != base_.gauges.end() && it->second == value) continue;
+    titanlog::MetricSample sample;
+    sample.ts = ts;
+    sample.name = name;
+    sample.kind = "gauge";
+    sample.value = value;
+    sample.seq = seq;
+    publish_metric(std::move(sample), ts_ms, published);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (excluded(name)) continue;
+    const auto it = base_.histograms.find(name);
+    const std::uint64_t before_count =
+        it == base_.histograms.end() ? 0 : it->second.count;
+    const std::uint64_t before_sum =
+        it == base_.histograms.end() ? 0 : it->second.sum_us;
+    if (h.count <= before_count) continue;
+    titanlog::MetricSample sample;
+    sample.ts = ts;
+    sample.name = name;
+    sample.kind = "hist";
+    sample.value = static_cast<double>(h.count - before_count);
+    sample.sum_us = static_cast<double>(h.sum_us - before_sum);
+    sample.p50_us = h.p50_us;
+    sample.p95_us = h.p95_us;
+    sample.p99_us = h.p99_us;
+    sample.max_us = static_cast<double>(h.max_us);
+    sample.seq = seq;
+    publish_metric(std::move(sample), ts_ms, published);
+  }
+
+  publish_spans(ts_ms, published);
+
+  base_ = std::move(snap);
+  ++cycle_;
+  last_export_ms_ = ts_ms;
+  registry().counter("selftel.export.cycles").add();
+  registry().counter("selftel.export.events").add(published);
+  return published;
+}
+
+std::size_t Exporter::tick() {
+  const std::int64_t now = now_ms();
+  if (last_export_ms_ >= 0 && now - last_export_ms_ < opts_.period_ms) {
+    return 0;
+  }
+  return export_now();
+}
+
+void Exporter::rebaseline() {
+  SuppressScope suppress;
+  base_ = registry().snapshot();
+}
+
+}  // namespace hpcla::telemetry

@@ -1,0 +1,90 @@
+// telemetry::Exporter — the publish half of the self-telemetry loop
+// (DESIGN.md §16). Periodically (or on demand) snapshots the process-wide
+// MetricRegistry, diffs it against the previous export baseline, and
+// publishes the deltas plus every tail-sampled completed trace as
+// titanlog-shaped events on the `_telemetry.*` bus topics. The drain half
+// (model::selftel::TelemetryIngestor) lands them in cassalite.
+//
+// Loop suppression happens at three layers:
+//   * every export runs under telemetry::SuppressScope, so publishing
+//     never opens spans;
+//   * metric names under ExporterOptions::exclude_prefixes (the pipeline's
+//     own `selftel.*` instruments, including the broker's internal-topic
+//     counters) are never exported;
+//   * rebaseline() — called by the pipeline after the drain lands —
+//     re-snapshots the registry as the new baseline, absorbing any metric
+//     movement the telemetry traffic itself caused (cassalite writes into
+//     sys_* tables, consumer commits, ...). With no foreground work, the
+//     next cycle therefore publishes zero events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buslite/broker.hpp"
+#include "common/telemetry.hpp"
+#include "titanlog/selftel.hpp"
+
+namespace hpcla::telemetry {
+
+struct ExporterOptions {
+  std::string metrics_topic = titanlog::kTelemetryMetricsTopic;
+  std::string spans_topic = titanlog::kTelemetrySpansTopic;
+  /// Partitions for the telemetry topics (created if absent). One keeps
+  /// per-topic event order total, which seeded replays rely on.
+  int topic_partitions = 1;
+  /// tick() export cadence on the exporter clock.
+  std::int64_t period_ms = 1000;
+  /// Metric-name prefixes never exported: the self-telemetry pipeline's
+  /// own instruments, so an idle loop converges to zero deltas.
+  std::vector<std::string> exclude_prefixes = {"selftel."};
+  /// Completed traces drained from the tracer per cycle.
+  std::size_t max_traces_per_cycle = 256;
+  /// Virtual clock for timestamps/cadence; nullptr follows the tracer's
+  /// SimClock if one is installed, wall time otherwise.
+  SimClock* sim_clock = nullptr;
+};
+
+class Exporter {
+ public:
+  /// Creates the telemetry topics (tolerating pre-existing ones) and
+  /// snapshots the registry as the initial delta baseline.
+  explicit Exporter(buslite::Broker& broker, ExporterOptions opts = {});
+
+  /// Publishes metric deltas against the baseline and all completed
+  /// traces the tracer has buffered. Returns the number of events
+  /// published. The pre-publish snapshot becomes the new baseline.
+  std::size_t export_now();
+
+  /// Periodic driver: exports when `period_ms` has elapsed on the
+  /// exporter clock since the last export (first call always exports).
+  std::size_t tick();
+
+  /// Re-snapshots the registry as the delta baseline without publishing —
+  /// run after the drain lands so self-caused metric movement is absorbed.
+  void rebaseline();
+
+  /// Export timestamp source: SimClock milliseconds when one is
+  /// installed (deterministic), system wall clock otherwise.
+  [[nodiscard]] std::int64_t now_ms() const;
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycle_; }
+  [[nodiscard]] const ExporterOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  [[nodiscard]] bool excluded(const std::string& name) const;
+  void publish_metric(titanlog::MetricSample sample, UnixMillis ts_ms,
+                      std::size_t& published);
+  void publish_spans(UnixMillis ts_ms, std::size_t& published);
+
+  buslite::Broker* broker_;
+  ExporterOptions opts_;
+  RegistrySnapshot base_;
+  std::uint64_t cycle_ = 0;
+  std::int64_t last_export_ms_ = -1;
+};
+
+}  // namespace hpcla::telemetry

@@ -1,0 +1,93 @@
+#include "titanlog/selftel.hpp"
+
+namespace hpcla::titanlog {
+
+Json MetricSample::to_json() const {
+  Json j = Json::object();
+  j["ts"] = ts;
+  j["name"] = name;
+  j["kind"] = kind;
+  j["value"] = value;
+  if (kind == "hist") {
+    j["sum_us"] = sum_us;
+    j["p50_us"] = p50_us;
+    j["p95_us"] = p95_us;
+    j["p99_us"] = p99_us;
+    j["max_us"] = max_us;
+  }
+  j["seq"] = seq;
+  return j;
+}
+
+Result<MetricSample> MetricSample::from_json(const Json& j) {
+  MetricSample s;
+  auto ts = j.get_int("ts");
+  if (!ts.is_ok()) return ts.status();
+  s.ts = ts.value();
+  auto name = j.get_string("name");
+  if (!name.is_ok()) return name.status();
+  s.name = std::move(name.value());
+  auto kind = j.get_string("kind");
+  if (!kind.is_ok()) return kind.status();
+  s.kind = std::move(kind.value());
+  if (s.kind != "counter" && s.kind != "gauge" && s.kind != "hist") {
+    return invalid_argument("bad metric sample kind '" + s.kind + "'");
+  }
+  auto value = j.get_double("value");
+  if (!value.is_ok()) return value.status();
+  s.value = value.value();
+  if (s.kind == "hist") {
+    s.sum_us = j.get_double("sum_us").value_or(0.0);
+    s.p50_us = j.get_double("p50_us").value_or(0.0);
+    s.p95_us = j.get_double("p95_us").value_or(0.0);
+    s.p99_us = j.get_double("p99_us").value_or(0.0);
+    s.max_us = j.get_double("max_us").value_or(0.0);
+  }
+  s.seq = j.get_int("seq").value_or(0);
+  return s;
+}
+
+Json SpanSample::to_json() const {
+  Json j = Json::object();
+  j["ts"] = ts;
+  j["op"] = op;
+  j["name"] = name;
+  j["trace_id"] = static_cast<std::int64_t>(trace_id);
+  j["span_id"] = static_cast<std::int64_t>(span_id);
+  j["parent_id"] = static_cast<std::int64_t>(parent_id);
+  j["start_us"] = start_us;
+  j["duration_us"] = duration_us;
+  j["slow"] = slow;
+  j["errored"] = errored;
+  return j;
+}
+
+Result<SpanSample> SpanSample::from_json(const Json& j) {
+  SpanSample s;
+  auto ts = j.get_int("ts");
+  if (!ts.is_ok()) return ts.status();
+  s.ts = ts.value();
+  auto op = j.get_string("op");
+  if (!op.is_ok()) return op.status();
+  s.op = std::move(op.value());
+  auto name = j.get_string("name");
+  if (!name.is_ok()) return name.status();
+  s.name = std::move(name.value());
+  auto trace_id = j.get_int("trace_id");
+  if (!trace_id.is_ok()) return trace_id.status();
+  s.trace_id = static_cast<std::uint64_t>(trace_id.value());
+  auto span_id = j.get_int("span_id");
+  if (!span_id.is_ok()) return span_id.status();
+  s.span_id = static_cast<std::uint64_t>(span_id.value());
+  s.parent_id =
+      static_cast<std::uint64_t>(j.get_int("parent_id").value_or(0));
+  auto duration = j.get_int("duration_us");
+  if (!duration.is_ok()) return duration.status();
+  s.duration_us = duration.value();
+  s.start_us = j.get_int("start_us").value_or(0);
+  s.slow = j.get_bool("slow").value_or(false);
+  s.errored = j.get_bool("errored").value_or(false);
+  return s;
+}
+
+}  // namespace hpcla::titanlog

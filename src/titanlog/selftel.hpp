@@ -1,0 +1,63 @@
+// Self-telemetry record vocabulary: the shapes telemetry::Exporter
+// publishes on the `_telemetry.*` bus topics. They mirror EventRecord's
+// JSON idiom (flat objects, to_json/from_json with Result-typed decode
+// errors) so the streaming-ingest machinery treats the system's own
+// observability data exactly like any other log stream (DESIGN.md §16).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+
+namespace hpcla::titanlog {
+
+/// Bus topics the exporter publishes on. The leading underscore marks
+/// them internal: buslite accounts their traffic separately so exported
+/// broker metrics never reflect telemetry traffic itself.
+inline constexpr const char* kTelemetryMetricsTopic = "_telemetry.metrics";
+inline constexpr const char* kTelemetrySpansTopic = "_telemetry.spans";
+
+/// One exported metric observation: a counter delta since the previous
+/// export cycle, a gauge level, or a histogram window (count/sum deltas
+/// plus point-in-time percentiles).
+struct MetricSample {
+  UnixSeconds ts = 0;    ///< export time (wall or SimClock)
+  std::string name;      ///< registry metric name (dotted)
+  std::string kind;      ///< "counter" | "gauge" | "hist"
+  double value = 0.0;    ///< counter delta / gauge level / hist count delta
+  double sum_us = 0.0;   ///< hist only: sum-of-latencies delta
+  double p50_us = 0.0;   ///< hist only: cumulative percentile at export
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  std::int64_t seq = 0;  ///< export cycle number (uniquifier within ts)
+
+  [[nodiscard]] Json to_json() const;
+  static Result<MetricSample> from_json(const Json& j);
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+};
+
+/// One exported completed span (tail-sampled: its trace was slow,
+/// errored, or reservoir-kept).
+struct SpanSample {
+  UnixSeconds ts = 0;  ///< export time (wall or SimClock)
+  std::string op;      ///< root span name of the owning trace
+  std::string name;    ///< this span's name
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  std::int64_t start_us = 0;    ///< tracer-clock start (relative)
+  std::int64_t duration_us = 0;
+  bool slow = false;     ///< owning trace had a span over the threshold
+  bool errored = false;  ///< owning trace carried an error tag
+
+  [[nodiscard]] Json to_json() const;
+  static Result<SpanSample> from_json(const Json& j);
+
+  friend bool operator==(const SpanSample&, const SpanSample&) = default;
+};
+
+}  // namespace hpcla::titanlog

@@ -171,11 +171,78 @@ TEST(MetricRegistryTest, PrometheusTextRendersAllKinds) {
   registry().gauge("test.prom.gauge").set(2);
   registry().histogram("test.prom.hist").record(100);
   const std::string text = prometheus_text(registry().snapshot());
+  EXPECT_NE(text.find("# HELP test_prom_counter test.prom.counter"),
+            std::string::npos);
   EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
   EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
-  EXPECT_NE(text.find("test_prom_hist{quantile=\"0.99\"}"),
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram"), std::string::npos);
+  // Native cumulative histogram series, not quantile summary rows.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"}"),
             std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum"), std::string::npos);
   EXPECT_NE(text.find("test_prom_hist_count"), std::string::npos);
+  EXPECT_EQ(text.find("test_prom_hist{quantile"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, PrometheusGoldenOutput) {
+  // Hand-built snapshot -> byte-exact exposition. A histogram with two
+  // recorded values (10 and 100) exposes exactly its two non-empty
+  // buckets as cumulative counts, then +Inf / _sum / _count.
+  RegistrySnapshot snap;
+  snap.counters["test.golden.counter"] = 42;
+  snap.gauges["test.golden.gauge"] = 1.5;
+  HistogramSnapshot h;
+  h.count = 2;
+  h.sum_us = 110;
+  h.min_us = 10;
+  h.max_us = 100;
+  h.cumulative_buckets = {{11.0, 1}, {103.0, 2}};
+  snap.histograms["test.golden.hist"] = h;
+  const std::string expected =
+      "# HELP test_golden_counter test.golden.counter (monotonic)\n"
+      "# TYPE test_golden_counter counter\n"
+      "test_golden_counter 42\n"
+      "# HELP test_golden_gauge test.golden.gauge (last value)\n"
+      "# TYPE test_golden_gauge gauge\n"
+      "test_golden_gauge 1.5\n"
+      "# HELP test_golden_hist test.golden.hist latency (microseconds)\n"
+      "# TYPE test_golden_hist histogram\n"
+      "test_golden_hist_bucket{le=\"11\"} 1\n"
+      "test_golden_hist_bucket{le=\"103\"} 2\n"
+      "test_golden_hist_bucket{le=\"+Inf\"} 2\n"
+      "test_golden_hist_sum 110\n"
+      "test_golden_hist_count 2\n";
+  EXPECT_EQ(prometheus_text(snap), expected);
+}
+
+TEST(MetricRegistryTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(MetricRegistryTest, HistogramBucketsAreCumulativeAndBounded) {
+  LatencyHistogram hist;
+  hist.record(10);
+  hist.record(10);
+  hist.record(5000);
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.cumulative_buckets.size(), 2u);
+  EXPECT_EQ(snap.cumulative_buckets[0].second, 2u);
+  EXPECT_EQ(snap.cumulative_buckets[1].second, 3u);
+  // Each bound is the largest value still landing in its bucket, and the
+  // recorded values respect their bounds.
+  EXPECT_GE(snap.cumulative_buckets[0].first, 10.0);
+  EXPECT_GE(snap.cumulative_buckets[1].first, 5000.0);
+  EXPECT_LT(snap.cumulative_buckets[0].first,
+            snap.cumulative_buckets[1].first);
+  // Bounds line up with bucket_upper of the value's bucket.
+  EXPECT_DOUBLE_EQ(
+      snap.cumulative_buckets[0].first,
+      static_cast<double>(
+          LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(10))));
 }
 
 // ------------------------------------------------------------------ tracer
@@ -303,6 +370,266 @@ TEST(TracerTest, SimClockMakesTimestampsDeterministic) {
   EXPECT_EQ(spans[0].start_us, 250'000);
   EXPECT_EQ(spans[0].duration_us, 30'000);
   tr.clear();
+}
+
+// --------------------------------------------------- tail sampling + export
+
+/// Restores startup tracer configuration on scope exit.
+struct TracerConfigGuard {
+  ~TracerConfigGuard() {
+    tracer().configure(TracerOptions::from_env());
+    tracer().clear();
+  }
+};
+
+TEST(TailSamplingTest, SlowAndErroredTracesAlwaysKept) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  TracerOptions opts;
+  opts.slow_threshold_us = 1000;
+  opts.normal_reservoir = 0;  // drop every normal trace
+  tr.configure(opts);
+
+  std::vector<std::uint64_t> slow_ids;
+  std::vector<std::uint64_t> errored_ids;
+  std::vector<std::uint64_t> normal_ids;
+  for (int i = 0; i < 16; ++i) {
+    {
+      Span root = Span::root("test.tail.slow");
+      root.set_duration_us(5000);
+      slow_ids.push_back(root.trace_id());
+    }
+    {
+      Span root = Span::root("test.tail.errored");
+      root.tag("error", "boom");
+      root.set_duration_us(10);
+      errored_ids.push_back(root.trace_id());
+    }
+    {
+      Span root = Span::root("test.tail.normal");
+      root.set_duration_us(10);
+      normal_ids.push_back(root.trace_id());
+    }
+  }
+  for (auto id : slow_ids) {
+    EXPECT_EQ(tr.trace(id).size(), 1u) << "slow trace must be kept";
+  }
+  for (auto id : errored_ids) {
+    EXPECT_EQ(tr.trace(id).size(), 1u) << "errored trace must be kept";
+  }
+  for (auto id : normal_ids) {
+    EXPECT_TRUE(tr.trace(id).empty()) << "normal trace must be sampled out";
+  }
+}
+
+TEST(TailSamplingTest, ErrorStatusTagMarksTraceErrored) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  TracerOptions opts;
+  opts.normal_reservoir = 0;
+  tr.configure(opts);
+  std::uint64_t tid = 0;
+  {
+    Span root = Span::root("test.tail.status");
+    root.tag("status", "error");
+    tid = root.trace_id();
+  }
+  EXPECT_EQ(tr.trace(tid).size(), 1u);
+  auto drained = tr.drain_completed();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(drained[0].errored);
+  EXPECT_FALSE(drained[0].slow);
+}
+
+TEST(TailSamplingTest, NormalTracesBoundedByReservoir) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  TracerOptions opts;
+  opts.slow_threshold_us = 0;  // nothing is slow
+  opts.normal_reservoir = 4;
+  tr.configure(opts);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    Span root = Span::root("test.tail.reservoir");
+    root.set_duration_us(10);
+    ids.push_back(root.trace_id());
+  }
+  std::size_t resident = 0;
+  for (auto id : ids) {
+    resident += tr.trace(id).empty() ? 0 : 1;
+  }
+  EXPECT_LE(resident, 4u);
+  EXPECT_GT(resident, 0u);
+}
+
+TEST(TailSamplingTest, ReservoirSamplingIsDeterministic) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  const auto run = [&tr] {
+    tr.clear();
+    TracerOptions opts;
+    opts.slow_threshold_us = 0;
+    opts.normal_reservoir = 4;
+    tr.configure(opts);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 64; ++i) {
+      Span root = Span::root("test.tail.replay");
+      root.set_duration_us(10);
+      ids.push_back(root.trace_id());
+    }
+    // Which of the 64 (by position) survived — trace ids differ between
+    // runs, positions must not.
+    std::vector<int> kept;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (!tr.trace(ids[i]).empty()) kept.push_back(static_cast<int>(i));
+    }
+    return kept;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TailSamplingTest, ChildSpansBufferUntilRootCloses) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  tr.configure(TracerOptions{});
+  std::uint64_t tid = 0;
+  {
+    Span root = Span::root("test.tail.buffered");
+    tid = root.trace_id();
+    {
+      Span child("test.tail.child");
+      (void)child;
+    }
+    // Root still open: nothing visible, nothing drainable yet.
+    EXPECT_TRUE(tr.trace(tid).empty());
+    EXPECT_TRUE(tr.drain_completed().empty());
+  }
+  EXPECT_EQ(tr.trace(tid).size(), 2u);
+  auto drained = tr.drain_completed();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].trace_id, tid);
+  EXPECT_EQ(drained[0].root_name, "test.tail.buffered");
+  ASSERT_EQ(drained[0].spans.size(), 2u);
+  EXPECT_EQ(drained[0].spans.back().name, "test.tail.buffered");
+  // Drain moves traces out; a second drain is empty.
+  EXPECT_TRUE(tr.drain_completed().empty());
+}
+
+TEST(TailSamplingTest, DrainRespectsMaxAndOrder) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  tr.configure(TracerOptions{});
+  for (int i = 0; i < 5; ++i) {
+    Span root = Span::root("test.tail.drain" + std::to_string(i));
+  }
+  auto first = tr.drain_completed(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].root_name, "test.tail.drain0");
+  EXPECT_EQ(first[1].root_name, "test.tail.drain1");
+  auto rest = tr.drain_completed();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[2].root_name, "test.tail.drain4");
+}
+
+TEST(TailSamplingTest, SlowlogRowsCarryRootOpTag) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  TracerOptions opts;
+  opts.slow_threshold_us = 1000;
+  tr.configure(opts);
+  {
+    Span root = Span::root("test.tail.slowop");
+    emit_span(root.context(), "test.tail.inner", 0, 2000);
+    root.set_duration_us(3000);
+  }
+  const auto slow = tr.slow_ops();
+  ASSERT_GE(slow.size(), 2u);
+  for (const auto& s : slow) {
+    bool has_op = false;
+    for (const auto& [k, v] : s.tags) {
+      if (k == "op") {
+        has_op = true;
+        EXPECT_EQ(v, "test.tail.slowop");
+      }
+    }
+    EXPECT_TRUE(has_op) << s.name;
+  }
+}
+
+TEST(TailSamplingTest, SlowlogCapacityIsConfigurable) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  TracerOptions opts;
+  opts.slow_threshold_us = 1000;
+  opts.slowlog_capacity = 3;
+  tr.configure(opts);
+  for (int i = 0; i < 10; ++i) {
+    Span root = Span::root("test.tail.cap");
+    root.set_duration_us(2000 + i * 100);
+  }
+  EXPECT_EQ(tr.slow_ops().size(), 3u);
+  // Slowest first, so the largest durations survived the trim.
+  EXPECT_EQ(tr.slow_ops()[0].duration_us, 2900);
+}
+
+TEST(SuppressScopeTest, SuppressesSpansAndEmit) {
+  Tracer& tr = tracer();
+  TracerConfigGuard guard;
+  tr.clear();
+  tr.configure(TracerOptions{});
+  EXPECT_FALSE(suppressed());
+  std::uint64_t tid = 0;
+  {
+    SuppressScope scope;
+    EXPECT_TRUE(suppressed());
+    Span root = Span::root("test.suppressed");
+    EXPECT_FALSE(root.active());
+    tid = root.trace_id();
+    emit_span(TraceContext{1234, 1}, "test.suppressed.emit", 0, 10);
+  }
+  EXPECT_FALSE(suppressed());
+  EXPECT_EQ(tid, 0u);
+  EXPECT_TRUE(tr.drain_completed().empty());
+  // Nesting: two scopes, suppression holds until both close.
+  {
+    SuppressScope outer;
+    {
+      SuppressScope inner;
+      EXPECT_TRUE(suppressed());
+    }
+    EXPECT_TRUE(suppressed());
+  }
+  EXPECT_FALSE(suppressed());
+}
+
+TEST(TracerOptionsTest, FromEnvReadsKnobs) {
+  ::setenv("HPCLA_SLOW_OP_US", "1234", 1);
+  ::setenv("HPCLA_SLOWLOG_CAP", "7", 1);
+  const TracerOptions opts = TracerOptions::from_env();
+  EXPECT_EQ(opts.slow_threshold_us, 1234);
+  EXPECT_EQ(opts.slowlog_capacity, 7u);
+  ::unsetenv("HPCLA_SLOW_OP_US");
+  ::unsetenv("HPCLA_SLOWLOG_CAP");
+  const TracerOptions defaults = TracerOptions::from_env();
+  EXPECT_EQ(defaults.slow_threshold_us, 50'000);
+  EXPECT_EQ(defaults.slowlog_capacity, 32u);
+}
+
+TEST(TracerOptionsTest, FromEnvRejectsGarbage) {
+  ::setenv("HPCLA_SLOW_OP_US", "not-a-number", 1);
+  ::setenv("HPCLA_SLOWLOG_CAP", "-5", 1);
+  const TracerOptions opts = TracerOptions::from_env();
+  EXPECT_EQ(opts.slow_threshold_us, 50'000);
+  EXPECT_EQ(opts.slowlog_capacity, 32u);
+  ::unsetenv("HPCLA_SLOW_OP_US");
+  ::unsetenv("HPCLA_SLOWLOG_CAP");
 }
 
 TEST(TracerTest, ExplicitDurationOverridesMeasurement) {

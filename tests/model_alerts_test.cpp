@@ -1,0 +1,360 @@
+// AlertEngine unit tests: z-score step detection (test-then-update),
+// abs_floor and cooldown guards, burn-rate windows with pruning and
+// minimum volume, hysteresis, fingerprint determinism, history bounds.
+#include "model/alerts/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpcla::model::alerts {
+namespace {
+
+using titanlog::MetricSample;
+
+MetricSample sample(const std::string& name, UnixSeconds ts, double value,
+                    std::int64_t seq = 0) {
+  MetricSample s;
+  s.ts = ts;
+  s.name = name;
+  s.kind = "counter";
+  s.value = value;
+  s.seq = seq;
+  return s;
+}
+
+MetricSample hist_sample(const std::string& name, UnixSeconds ts,
+                         double p99_us, std::int64_t seq = 0) {
+  MetricSample s;
+  s.ts = ts;
+  s.name = name;
+  s.kind = "hist";
+  s.value = 1.0;
+  s.p99_us = p99_us;
+  s.seq = seq;
+  return s;
+}
+
+ZScoreRule steady_rule() {
+  ZScoreRule r;
+  r.name = "test-zscore";
+  r.metric = "test.metric";
+  r.field = "value";
+  r.alpha = 0.3;
+  r.z_threshold = 3.0;
+  r.min_samples = 5;
+  r.abs_floor = 0.0;
+  r.cooldown_s = 60;
+  return r;
+}
+
+// ------------------------------------------------------------------ z-score
+
+TEST(ZScoreRuleTest, FiresOnStepChangeAfterWarmup) {
+  AlertEngine eng;
+  auto rule = steady_rule();
+  rule.abs_floor = 1.0;
+  eng.add_rule(rule);
+  // Steady baseline: 10 identical samples, variance collapses to ~0.
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    eng.observe(sample("test.metric", ts++, 100.0, i));
+  }
+  EXPECT_EQ(eng.fired_count(), 0u);
+  // Step to 200: dev=100 >> 3 sigma (~0) and >= floor.
+  eng.observe(sample("test.metric", ts, 200.0, 10));
+  ASSERT_EQ(eng.fired_count(), 1u);
+  const auto hist = eng.history();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].rule, "test-zscore");
+  EXPECT_EQ(hist[0].metric, "test.metric");
+  EXPECT_EQ(hist[0].ts, ts);
+  EXPECT_EQ(hist[0].seq, 10);
+  EXPECT_DOUBLE_EQ(hist[0].value, 200.0);
+}
+
+TEST(ZScoreRuleTest, DoesNotFireDuringWarmup) {
+  AlertEngine eng;
+  eng.add_rule(steady_rule());
+  // The very first samples jump around, but min_samples gates firing.
+  eng.observe(sample("test.metric", 1, 0.0));
+  eng.observe(sample("test.metric", 2, 1000.0));
+  eng.observe(sample("test.metric", 3, -500.0));
+  eng.observe(sample("test.metric", 4, 2000.0));
+  EXPECT_EQ(eng.fired_count(), 0u);
+}
+
+TEST(ZScoreRuleTest, AbsFloorSuppressesQuietMetricNoise) {
+  AlertEngine eng;
+  auto rule = steady_rule();
+  rule.abs_floor = 50.0;
+  eng.add_rule(rule);
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    eng.observe(sample("test.metric", ts++, 100.0));
+  }
+  // A 10-unit wiggle is a huge z-score on zero variance but under floor.
+  eng.observe(sample("test.metric", ts++, 110.0));
+  EXPECT_EQ(eng.fired_count(), 0u);
+  // A 100-unit step clears the floor.
+  eng.observe(sample("test.metric", ts, 210.0));
+  EXPECT_EQ(eng.fired_count(), 1u);
+}
+
+TEST(ZScoreRuleTest, CooldownSuppressesRefiring) {
+  AlertEngine eng;
+  auto rule = steady_rule();
+  rule.cooldown_s = 60;
+  eng.add_rule(rule);
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    eng.observe(sample("test.metric", ts++, 100.0));
+  }
+  eng.observe(sample("test.metric", ts, 500.0));
+  ASSERT_EQ(eng.fired_count(), 1u);
+  // Still anomalous 10 s later: refreshed but within cooldown.
+  eng.observe(sample("test.metric", ts + 10, 900.0));
+  EXPECT_EQ(eng.fired_count(), 1u);
+  EXPECT_EQ(eng.active().size(), 1u);
+  // Past cooldown, a fresh anomaly fires again.
+  eng.observe(sample("test.metric", ts + 120, 5000.0));
+  EXPECT_EQ(eng.fired_count(), 2u);
+}
+
+TEST(ZScoreRuleTest, HysteresisClearsAfterCooldownOfNormalSamples) {
+  AlertEngine eng;
+  eng.add_rule(steady_rule());
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    eng.observe(sample("test.metric", ts++, 100.0));
+  }
+  eng.observe(sample("test.metric", ts, 500.0));
+  ASSERT_EQ(eng.active().size(), 1u);
+  // Normal sample within cooldown: still listed active.
+  eng.observe(sample("test.metric", ts + 5, 100.0));
+  EXPECT_EQ(eng.active().size(), 1u);
+  // Normal sample after cooldown expires: clears.
+  eng.observe(sample("test.metric", ts + 120, 100.0));
+  EXPECT_TRUE(eng.active().empty());
+}
+
+TEST(ZScoreRuleTest, HistogramPercentileFieldIsWatched) {
+  AlertEngine eng;
+  ZScoreRule rule = steady_rule();
+  rule.metric = "server.query.complex.us";
+  rule.field = "p99_us";
+  rule.abs_floor = 1000.0;
+  eng.add_rule(rule);
+  UnixSeconds ts = 5000;
+  for (int i = 0; i < 8; ++i) {
+    eng.observe(hist_sample("server.query.complex.us", ts++, 2000.0, i));
+  }
+  EXPECT_EQ(eng.fired_count(), 0u);
+  eng.observe(hist_sample("server.query.complex.us", ts, 50'000.0, 8));
+  EXPECT_EQ(eng.fired_count(), 1u);
+}
+
+TEST(ZScoreRuleTest, UnrelatedMetricsDoNotAdvanceState) {
+  AlertEngine eng;
+  eng.add_rule(steady_rule());
+  for (int i = 0; i < 20; ++i) {
+    eng.observe(sample("other.metric", 1000 + i, i * 1000.0));
+  }
+  EXPECT_EQ(eng.fired_count(), 0u);
+}
+
+// ---------------------------------------------------------------- burn rate
+
+BurnRateRule burn_rule() {
+  BurnRateRule r;
+  r.name = "test-burn";
+  r.numerator = {"test.errors"};
+  r.denominator = {"test.requests"};
+  r.budget = 0.01;
+  r.burn_threshold = 10.0;
+  r.window_s = 300;
+  r.min_denominator = 10.0;
+  r.cooldown_s = 60;
+  return r;
+}
+
+TEST(BurnRateRuleTest, FiresWhenBurnCrossesThreshold) {
+  AlertEngine eng;
+  eng.add_rule(burn_rule());
+  // 100 requests, 5 errors: rate 0.05, burn 5x — below the 10x threshold.
+  eng.observe(sample("test.requests", 1000, 100.0));
+  eng.observe(sample("test.errors", 1000, 5.0));
+  eng.evaluate(1000);
+  EXPECT_EQ(eng.fired_count(), 0u);
+  // 15 more errors: rate 0.2, burn 20x — fires.
+  eng.observe(sample("test.errors", 1010, 15.0));
+  eng.evaluate(1010);
+  ASSERT_EQ(eng.fired_count(), 1u);
+  const auto hist = eng.history();
+  EXPECT_EQ(hist[0].rule, "test-burn");
+  EXPECT_EQ(hist[0].metric, "test.errors/test.requests");
+  EXPECT_EQ(hist[0].ts, 1010);
+  EXPECT_DOUBLE_EQ(hist[0].value, 20.0);
+}
+
+TEST(BurnRateRuleTest, MinDenominatorGatesLowVolume) {
+  AlertEngine eng;
+  eng.add_rule(burn_rule());
+  // 5 requests all failing: 100% error rate, but volume is below 10.
+  eng.observe(sample("test.requests", 1000, 5.0));
+  eng.observe(sample("test.errors", 1000, 5.0));
+  eng.evaluate(1000);
+  EXPECT_EQ(eng.fired_count(), 0u);
+}
+
+TEST(BurnRateRuleTest, WindowPrunesOldDeltas) {
+  AlertEngine eng;
+  eng.add_rule(burn_rule());
+  // Errors at t=1000 burn hard...
+  eng.observe(sample("test.requests", 1000, 50.0));
+  eng.observe(sample("test.errors", 1000, 50.0));
+  eng.evaluate(1000);
+  ASSERT_EQ(eng.fired_count(), 1u);
+  // ...but 400 s later they have aged out of the 300 s window; fresh
+  // healthy traffic keeps the denominator above the volume gate.
+  eng.observe(sample("test.requests", 1400, 100.0));
+  eng.evaluate(1400);
+  EXPECT_EQ(eng.fired_count(), 1u);
+  EXPECT_TRUE(eng.active().empty());
+}
+
+TEST(BurnRateRuleTest, MultiMetricDenominatorSums) {
+  AlertEngine eng;
+  BurnRateRule rule;
+  rule.name = "test-hitrate";
+  rule.numerator = {"test.misses"};
+  rule.denominator = {"test.hits", "test.misses"};
+  rule.budget = 0.5;
+  rule.burn_threshold = 1.0;
+  rule.window_s = 300;
+  rule.min_denominator = 10.0;
+  rule.cooldown_s = 60;
+  eng.add_rule(rule);
+  // 60% misses of 100 lookups: rate 0.6 vs budget 0.5 — burns at 1.2x.
+  eng.observe(sample("test.hits", 1000, 40.0));
+  eng.observe(sample("test.misses", 1000, 60.0));
+  eng.evaluate(1000);
+  ASSERT_EQ(eng.fired_count(), 1u);
+  EXPECT_NEAR(eng.history()[0].value, 1.2, 1e-9);
+}
+
+TEST(BurnRateRuleTest, CooldownAndHysteresis) {
+  AlertEngine eng;
+  eng.add_rule(burn_rule());
+  eng.observe(sample("test.requests", 1000, 50.0));
+  eng.observe(sample("test.errors", 1000, 50.0));
+  eng.evaluate(1000);
+  ASSERT_EQ(eng.fired_count(), 1u);
+  // Still burning 10 s later: active but not re-fired.
+  eng.evaluate(1010);
+  EXPECT_EQ(eng.fired_count(), 1u);
+  EXPECT_EQ(eng.active().size(), 1u);
+  // Past cooldown and still burning: fires again.
+  eng.evaluate(1070);
+  EXPECT_EQ(eng.fired_count(), 2u);
+}
+
+// ------------------------------------------------------------ whole engine
+
+TEST(AlertEngineTest, DefaultRulePackInstallsAndEvaluates) {
+  AlertEngine eng;
+  eng.install_default_rules();
+  // Replica timeouts burning hard against a healthy read volume.
+  eng.observe(sample("cassalite.read.ok", 2000, 100.0));
+  eng.observe(sample("cassalite.replica.timeouts", 2000, 50.0));
+  eng.evaluate(2000);
+  ASSERT_EQ(eng.fired_count(), 1u);
+  EXPECT_EQ(eng.history()[0].rule, "replica-timeout-burn");
+}
+
+TEST(AlertEngineTest, FingerprintIsDeterministicAcrossReplays) {
+  const auto replay = [] {
+    AlertEngine eng;
+    eng.install_default_rules();
+    eng.add_rule(steady_rule());
+    UnixSeconds ts = 1000;
+    for (int i = 0; i < 10; ++i) {
+      eng.observe(sample("test.metric", ts++, 100.0, i));
+    }
+    eng.observe(sample("test.metric", ts, 900.0, 10));
+    eng.observe(sample("cassalite.read.ok", ts, 100.0, 10));
+    eng.observe(sample("cassalite.replica.timeouts", ts, 50.0, 10));
+    eng.evaluate(ts);
+    return std::pair(eng.fired_count(), eng.fingerprint());
+  };
+  const auto a = replay();
+  const auto b = replay();
+  EXPECT_EQ(a.first, 2u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AlertEngineTest, FingerprintChangesWithAlertSequence) {
+  AlertEngine a;
+  a.add_rule(steady_rule());
+  AlertEngine b;
+  b.add_rule(steady_rule());
+  const std::uint64_t empty_fp = a.fingerprint();
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    a.observe(sample("test.metric", ts + i, 100.0));
+    b.observe(sample("test.metric", ts + i, 100.0));
+  }
+  a.observe(sample("test.metric", ts + 10, 900.0));  // fires at ts+10
+  b.observe(sample("test.metric", ts + 11, 900.0));  // fires at ts+11
+  EXPECT_NE(a.fingerprint(), empty_fp);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(AlertEngineTest, HistoryIsBoundedToCap) {
+  AlertEngine eng;
+  auto rule = steady_rule();
+  rule.cooldown_s = 0;  // every anomalous sample fires
+  rule.alpha = 1.0;     // baseline = previous sample, variance = 0
+  eng.add_rule(rule);
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    eng.observe(sample("test.metric", ts++, 100.0));
+  }
+  // With alpha=1 every alternation is an infinite-z step, so each fires.
+  for (int i = 0; i < 400; ++i) {
+    const double v = (i % 2 == 0) ? 1e9 : -1e9;
+    eng.observe(sample("test.metric", ts++, v));
+  }
+  EXPECT_GT(eng.fired_count(), AlertEngine::kHistoryCap);
+  EXPECT_EQ(eng.history().size(), AlertEngine::kHistoryCap);
+}
+
+TEST(AlertEngineTest, ToJsonShapeAndClear) {
+  AlertEngine eng;
+  eng.add_rule(steady_rule());
+  UnixSeconds ts = 1000;
+  for (int i = 0; i < 10; ++i) {
+    eng.observe(sample("test.metric", ts++, 100.0));
+  }
+  eng.observe(sample("test.metric", ts, 900.0, 7));
+  Json j = eng.to_json();
+  EXPECT_EQ(j["fired"].as_int(), 1);
+  EXPECT_EQ(j["fingerprint"].as_string().size(), 16u);
+  ASSERT_EQ(j["active"].as_array().size(), 1u);
+  ASSERT_EQ(j["history"].as_array().size(), 1u);
+  const Json& a = j["history"].as_array()[0];
+  EXPECT_EQ(a["rule"].as_string(), "test-zscore");
+  EXPECT_EQ(a["seq"].as_int(), 7);
+  const std::string fp = j["fingerprint"].as_string();
+
+  eng.clear();
+  Json cleared = eng.to_json();
+  EXPECT_EQ(cleared["fired"].as_int(), 0);
+  EXPECT_TRUE(cleared["active"].as_array().empty());
+  EXPECT_TRUE(cleared["history"].as_array().empty());
+  EXPECT_NE(cleared["fingerprint"].as_string(), fp);
+}
+
+}  // namespace
+}  // namespace hpcla::model::alerts

@@ -547,8 +547,14 @@ TEST(ServerTest, MetricsOpExposesRegistryAndPrometheus) {
   // Prometheus text exposition covers the same instruments.
   const std::string prom = response["result"]["prometheus"].as_string();
   EXPECT_NE(prom.find("cassalite_write_ok"), std::string::npos);
-  EXPECT_NE(prom.find("server_query_complex_us{quantile=\"0.99\"}"),
+  // Native cumulative histogram series (no synthetic quantile rows).
+  EXPECT_NE(prom.find("# TYPE server_query_complex_us histogram"),
             std::string::npos);
+  EXPECT_NE(prom.find("server_query_complex_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("server_query_complex_us_sum"), std::string::npos);
+  EXPECT_NE(prom.find("server_query_complex_us_count"), std::string::npos);
+  EXPECT_EQ(prom.find("{quantile"), std::string::npos);
 }
 
 TEST(ServerTest, HeatmapQueryProducesCrossLayerTrace) {
@@ -622,6 +628,140 @@ TEST(ServerTest, SlowlogOpSurfacesSlowSpans) {
   }
   EXPECT_TRUE(found_root);
   tr.clear();
+}
+
+// -------------------------------------------------- trace renderer hardening
+
+telemetry::SpanRecord span_rec(std::uint64_t span_id, std::uint64_t parent_id,
+                               const std::string& name, std::int64_t start_us,
+                               std::int64_t duration_us) {
+  telemetry::SpanRecord s;
+  s.trace_id = 1;
+  s.span_id = span_id;
+  s.parent_id = parent_id;
+  s.name = name;
+  s.start_us = start_us;
+  s.duration_us = duration_us;
+  return s;
+}
+
+TEST(RenderTraceTest, OrphanedChildrenRenderAsRoots) {
+  // Parent 99 was evicted/capped out of the sink: its children must still
+  // render (as extra roots), not vanish.
+  const std::vector<telemetry::SpanRecord> spans = {
+      span_rec(1, 0, "root.op", 0, 100),
+      span_rec(2, 99, "orphan.a", 10, 50),
+      span_rec(3, 99, "orphan.b", 20, 30),
+  };
+  const std::string out = render_trace(spans);
+  EXPECT_NE(out.find("root.op"), std::string::npos);
+  EXPECT_NE(out.find("orphan.a"), std::string::npos);
+  EXPECT_NE(out.find("orphan.b"), std::string::npos);
+  // Orphans are top-level rows: no leading indent before their names.
+  EXPECT_NE(out.find("\norphan.a"), std::string::npos);
+}
+
+TEST(RenderTraceTest, OutOfOrderCompletionNestsBySpanStart) {
+  // Completion order (vector order) is children-first and scrambled; the
+  // tree must still nest by parent links and order siblings by start.
+  const std::vector<telemetry::SpanRecord> spans = {
+      span_rec(3, 1, "child.late", 50, 20),
+      span_rec(2, 1, "child.early", 10, 20),
+      span_rec(1, 0, "root.op", 0, 100),
+  };
+  const std::string out = render_trace(spans);
+  const auto root_pos = out.find("root.op");
+  const auto early_pos = out.find("  child.early");
+  const auto late_pos = out.find("  child.late");
+  ASSERT_NE(root_pos, std::string::npos);
+  ASSERT_NE(early_pos, std::string::npos);
+  ASSERT_NE(late_pos, std::string::npos);
+  EXPECT_LT(root_pos, early_pos);
+  EXPECT_LT(early_pos, late_pos);
+}
+
+TEST(RenderTraceTest, NestingBeyondDepthLimitIsElided) {
+  // A 40-deep parent chain: rows past depth 32 are replaced by one
+  // elision marker per branch instead of unbounded indentation.
+  std::vector<telemetry::SpanRecord> spans;
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    spans.push_back(span_rec(i, i - 1, "s" + std::to_string(i),
+                             static_cast<std::int64_t>(i), 10));
+  }
+  const std::string out = render_trace(spans);
+  EXPECT_NE(out.find("s33"), std::string::npos);  // depth 32: last rendered
+  EXPECT_EQ(out.find("s34"), std::string::npos);  // depth 33: elided
+  EXPECT_NE(out.find("... (deeper spans elided)"), std::string::npos);
+}
+
+TEST(RenderTraceTest, CyclicParentChainTerminates) {
+  // Corrupted records: 10 <-> 11 reference each other, reachable from no
+  // root. The renderer must terminate and still show both spans.
+  const std::vector<telemetry::SpanRecord> spans = {
+      span_rec(1, 0, "root.op", 0, 100),
+      span_rec(10, 11, "cycle.a", 10, 20),
+      span_rec(11, 10, "cycle.b", 15, 10),
+  };
+  const std::string out = render_trace(spans);
+  EXPECT_NE(out.find("root.op"), std::string::npos);
+  EXPECT_NE(out.find("cycle.a"), std::string::npos);
+  EXPECT_NE(out.find("cycle.b"), std::string::npos);
+}
+
+TEST(RenderTraceTest, EmptyTraceRendersPlaceholder) {
+  EXPECT_EQ(render_trace({}), "(empty trace)\n");
+}
+
+TEST(ServerTest, TraceOpAfterEvictionIsNotFound) {
+  auto& f = fixture();
+  telemetry::tracer().clear();
+  auto response = f.ok(R"({"op":"heatmap",)" + ctx_json() + "}");
+  ASSERT_TRUE(response["trace_id"].is_int());
+  const std::int64_t tid = response["trace_id"].as_int();
+  // The trace evaporates between the response and the trace lookup
+  // (eviction under sink pressure); the op answers honestly.
+  telemetry::tracer().clear();
+  f.err(R"({"op":"trace","trace_id":)" + std::to_string(tid) + "}");
+}
+
+// ------------------------------------------------------ self-telemetry ops
+
+TEST(ServerTest, AlertsAndSelfqueryRequireAttachedLoop) {
+  auto& f = fixture();
+  // The fixture server has no SelfTelemetryLoop attached.
+  auto alerts = f.err(R"({"op":"alerts"})");
+  EXPECT_NE(alerts["error"].as_string().find("not attached"),
+            std::string::npos);
+  f.err(R"({"op":"selfquery","what":"ops","begin":0,"end":10})");
+}
+
+TEST(ServerTest, SelfqueryValidatesItsArguments) {
+  auto& f = fixture();
+  buslite::Broker broker;
+  model::selftel::SelfTelemetryLoop loop(f.cluster, broker);
+  f.server.set_self_telemetry(&loop);
+  // Both ops classify as simple-path queries.
+  EXPECT_EQ(classify_query("alerts").value(), QueryPath::kSimple);
+  EXPECT_EQ(classify_query("selfquery").value(), QueryPath::kSimple);
+
+  f.err(R"({"op":"selfquery","what":"ops"})");  // begin/end required
+  f.err(R"({"op":"selfquery","what":"ops","begin":100,"end":50})");
+  f.err(R"({"op":"selfquery","what":"nonsense","begin":0,"end":10})");
+  // > 1024 hours of partition keys is refused, not fanned out.
+  f.err(R"({"op":"selfquery","what":"ops","begin":0,"end":40000000})");
+  // latency_p99 needs a metric, and an unpopulated window is not_found.
+  f.err(R"({"op":"selfquery","what":"latency_p99","begin":0,"end":10})");
+  f.err(
+      R"({"op":"selfquery","what":"latency_p99","metric":"no.such.metric","begin":0,"end":10})");
+  // slow_spans needs a spanop; an empty window returns an empty list.
+  f.err(R"({"op":"selfquery","what":"slow_spans","begin":0,"end":10})");
+  auto empty = f.ok(
+      R"({"op":"selfquery","what":"slow_spans","spanop":"nothing","begin":0,"end":10})");
+  EXPECT_TRUE(empty["result"]["spans"].as_array().empty());
+  // An attached loop makes the alerts op answer.
+  auto alerts = f.ok(R"({"op":"alerts"})");
+  EXPECT_TRUE(alerts["result"]["fired"].is_int());
+  f.server.set_self_telemetry(nullptr);
 }
 
 // ----------------------------------------------------------- async session
